@@ -1,0 +1,108 @@
+//===- ablation_queues.cpp - queue scaling microbenchmark (Section 4.2) ----===//
+//
+// google-benchmark microbenchmarks for the device-to-host queues: the
+// paper found that allocating multiple queues (~1.1-1.5 per SM) achieves
+// orders of magnitude better throughput than a single queue, because a
+// single queue serializes all producers on its commit index. We measure
+// producer-side throughput with contended producers into 1..8 queues,
+// plus the raw single-producer push/drain cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Queue.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+namespace {
+
+LogRecord testRecord(uint32_t Warp) {
+  LogRecord Record;
+  Record.Warp = Warp;
+  Record.setOp(RecordOp::Write);
+  Record.ActiveMask = ~0u;
+  return Record;
+}
+
+/// Throughput with P producer threads (blocks) routed across Q queues,
+/// one draining consumer per queue.
+void contendedProducers(benchmark::State &State) {
+  const unsigned NumQueues = static_cast<unsigned>(State.range(0));
+  const unsigned Producers = 4;
+  constexpr uint64_t PerProducer = 4096;
+
+  for (auto _ : State) {
+    QueueSet Queues(NumQueues, 1 << 12);
+    std::vector<std::thread> Consumers;
+    for (unsigned Q = 0; Q != NumQueues; ++Q) {
+      Consumers.emplace_back([&Queues, Q] {
+        EventQueue &Queue = Queues.queue(Q);
+        LogRecord Batch[64];
+        while (!Queue.exhausted()) {
+          if (!Queue.drain(Batch, 64))
+            std::this_thread::yield();
+        }
+      });
+    }
+    std::vector<std::thread> Threads;
+    for (unsigned P = 0; P != Producers; ++P) {
+      Threads.emplace_back([&Queues, P] {
+        LogRecord Record = testRecord(P);
+        for (uint64_t I = 0; I != PerProducer; ++I)
+          Queues.queueForBlock(P).push(Record);
+      });
+    }
+    for (std::thread &Thread : Threads)
+      Thread.join();
+    Queues.closeAll();
+    for (std::thread &Thread : Consumers)
+      Thread.join();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          Producers * PerProducer);
+}
+
+/// Raw single-producer, single-consumer push+drain cost.
+void pushDrain(benchmark::State &State) {
+  EventQueue Queue(1 << 12);
+  LogRecord Record = testRecord(0);
+  LogRecord Out;
+  for (auto _ : State) {
+    Queue.push(Record);
+    benchmark::DoNotOptimize(Queue.pop(Out));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+
+/// Commit-index handoff cost with interleaved reservations from one
+/// thread (models the warp-leader protocol without contention).
+void reserveCommit(benchmark::State &State) {
+  EventQueue Queue(1 << 12);
+  LogRecord Out;
+  for (auto _ : State) {
+    uint64_t A = Queue.reserve();
+    uint64_t B = Queue.reserve();
+    Queue.slot(A) = testRecord(0);
+    Queue.slot(B) = testRecord(1);
+    Queue.commit(A);
+    Queue.commit(B);
+    Queue.pop(Out);
+    Queue.pop(Out);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 2);
+}
+
+BENCHMARK(contendedProducers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(pushDrain);
+BENCHMARK(reserveCommit);
+
+} // namespace
+
+BENCHMARK_MAIN();

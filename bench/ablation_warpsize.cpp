@@ -1,0 +1,111 @@
+//===- ablation_warpsize.cpp - latent bugs under simulated warp widths -----===//
+//
+// Implements the extension the paper sketches in Section 3.1: "in future
+// we could simulate the behavior of smaller/larger warps to find
+// additional latent bugs". Runs warp-width-sensitive programs from the
+// concurrency suite at simulated warp sizes 32/16/8/4 and reports where
+// new races appear — exactly the latent dependence on 32-wide lockstep
+// (and on the SIMT serialization order) that portable CUDA code must
+// avoid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+#include "suite/Suite.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+
+using namespace barracuda;
+
+namespace {
+
+struct Outcome {
+  bool Ok = false;
+  size_t Races = 0;
+};
+
+Outcome runAt(const suite::SuiteProgram &Program, uint32_t WarpSize) {
+  SessionOptions Options;
+  Options.WarpSize = WarpSize;
+  Session S(Options);
+  Outcome Result;
+  if (!S.loadModule(Program.Ptx))
+    return Result;
+  std::vector<uint64_t> Params;
+  for (const auto &Spec : Program.Params) {
+    if (Spec.K == suite::ParamSpec::Kind::Value) {
+      Params.push_back(Spec.Value);
+      continue;
+    }
+    uint64_t Addr = S.alloc(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      S.writeU32(Addr, Spec.InitWord);
+    Params.push_back(Addr);
+  }
+  sim::LaunchResult Launch = S.launchKernel(Program.KernelName,
+                                            Program.Grid, Program.Block,
+                                            Params);
+  Result.Ok = Launch.Ok;
+  Result.Races = S.races().size() + S.barrierErrors().size();
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Simulated warp widths (Section 3.1's future-work "
+              "extension): distinct races + barrier errors per width\n\n");
+
+  // Programs whose verdicts are width-sensitive (warp-synchronous or
+  // divergence-dependent) plus width-robust controls.
+  static const char *const Programs[] = {
+      "w_lockstep_wr",           // relies on 32-wide lockstep
+      "b_missing_barrier_stencil", // racy at any width
+      "s_producer_consumer_barrier", // barrier-synchronized: robust
+      "w_branch_order_ww",       // branch-ordering race at any width
+      "w_nested_disjoint",       // disjoint: robust
+      "g_disjoint_slots",        // robust
+      "b_divergent_barrier",     // barrier divergence at any width
+  };
+
+  support::TableWriter Table;
+  Table.addHeader({"program", "ws=32", "ws=16", "ws=8", "ws=4",
+                   "latent bug?"});
+
+  unsigned LatentFound = 0;
+  for (const char *Name : Programs) {
+    const suite::SuiteProgram *Program = suite::findSuiteProgram(Name);
+    if (!Program) {
+      std::fprintf(stderr, "missing program %s\n", Name);
+      return 1;
+    }
+    std::vector<std::string> Row = {Name};
+    size_t At32 = 0;
+    bool Latent = false;
+    for (uint32_t WarpSize : {32u, 16u, 8u, 4u}) {
+      Outcome Result = runAt(*Program, WarpSize);
+      if (!Result.Ok) {
+        Row.push_back("fail");
+        continue;
+      }
+      if (WarpSize == 32)
+        At32 = Result.Races;
+      else if (Result.Races > At32)
+        Latent = true;
+      Row.push_back(support::formatString(
+          "%zu", Result.Races));
+    }
+    Row.push_back(Latent ? "YES - width-dependent" : "-");
+    LatentFound += Latent;
+    Table.addRow(Row);
+  }
+  Table.print();
+
+  std::printf("\n%u program(s) are quiet at the hardware warp width but "
+              "race under narrower lockstep: their correctness silently "
+              "depends on a 32-thread warp.\n",
+              LatentFound);
+  return 0;
+}

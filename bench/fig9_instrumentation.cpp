@@ -1,0 +1,82 @@
+//===- fig9_instrumentation.cpp - Figure 9: instrumented fraction ----------===//
+//
+// Regenerates Figure 9: for every Table 1 benchmark, the percentage of
+// static PTX instructions instrumented by BARRACUDA before (left bar)
+// and after (right bar) the intra-basic-block redundant-logging pruning
+// optimization. Rendered as an ASCII bar chart plus the raw series.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+
+using namespace barracuda;
+using namespace barracuda::workloads;
+using support::formatString;
+
+int main() {
+  std::printf("Figure 9: %% of static PTX instructions instrumented, "
+              "before and after instrumentation pruning\n\n");
+
+  support::TableWriter Table;
+  Table.addHeader({"benchmark", "static", "unoptimized", "optimized",
+                   "dyn saved", "bars (u=unoptimized, #=optimized)"});
+  for (unsigned Col = 1; Col <= 4; ++Col)
+    Table.setRightAligned(Col);
+
+  workloads::GeneratorOptions GenOptions;
+  GenOptions.MaxMeasureThreads = 4096;
+
+  double MaxUnopt = 0;
+  for (const BenchmarkSpec &Spec : table1Specs()) {
+    GeneratedBenchmark Bench = generateBenchmark(Spec, GenOptions);
+    std::unique_ptr<ptx::Module> Mod = ptx::parseOrDie(Bench.Ptx);
+    instrument::InstrumenterOptions Options;
+    instrument::ModuleInstrumentation Instr =
+        instrument::instrumentModule(*Mod, Options);
+    instrument::InstrumentationStats Stats = Instr.totalStats();
+
+    double Unopt = 100.0 * Stats.unoptimizedFraction();
+    double Opt = 100.0 * Stats.optimizedFraction();
+    MaxUnopt = std::max(MaxUnopt, Unopt);
+
+    // Dynamic effect of pruning: fraction of would-be records elided at
+    // runtime (RedCard-style dynamic savings).
+    Session S;
+    std::string DynSaved = "-";
+    if (S.loadModule(Bench.Ptx)) {
+      uint64_t Data = S.alloc(Bench.DataBytes);
+      sim::LaunchResult Run = S.launchKernel(
+          Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
+      if (Run.Ok && Run.RecordsLogged + Run.RecordsPruned)
+        DynSaved = formatString(
+            "%.1f%%", 100.0 * static_cast<double>(Run.RecordsPruned) /
+                          static_cast<double>(Run.RecordsLogged +
+                                              Run.RecordsPruned));
+    }
+
+    std::string Bars(static_cast<size_t>(Opt), '#');
+    Bars += std::string(
+        static_cast<size_t>(std::max(0.0, Unopt - Opt)), 'u');
+
+    Table.addRow({Spec.Name,
+                  formatString("%llu", static_cast<unsigned long long>(
+                                           Stats.StaticInsns)),
+                  formatString("%.1f%%", Unopt),
+                  formatString("%.1f%%", Opt), DynSaved, Bars});
+  }
+  Table.print();
+
+  std::printf("\nShape check (paper): arithmetic dominates GPU kernels, "
+              "so Barracuda never instruments more than half the static "
+              "instructions (max here: %.1f%%), and pruning removes the "
+              "redundant same-address logging.\n",
+              MaxUnopt);
+  return MaxUnopt <= 50.0 ? 0 : 1;
+}

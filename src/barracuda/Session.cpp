@@ -1,0 +1,201 @@
+//===- Session.cpp - end-to-end BARRACUDA pipeline -------------------------===//
+
+#include "barracuda/Session.h"
+
+#include "ptx/Inliner.h"
+#include "ptx/Parser.h"
+#include "ptx/Verifier.h"
+#include "support/Format.h"
+#include "trace/TraceFile.h"
+
+using namespace barracuda;
+
+Session::Session(SessionOptions Opts)
+    : Options(Opts), Machine(Memory, Opts.Machine) {}
+
+Session::~Session() = default;
+
+bool Session::loadModule(const std::string &PtxText) {
+  ptx::Parser Parser(PtxText);
+  Mod = Parser.parseModule();
+  if (!Mod) {
+    ErrorMessage = Parser.error();
+    return false;
+  }
+  std::vector<std::string> Diags = ptx::verifyModule(*Mod);
+  if (!Diags.empty()) {
+    ErrorMessage = Diags.front();
+    Mod.reset();
+    return false;
+  }
+  // Device functions are inlined into their call sites before anything
+  // else sees the kernels (the paper's trace model inlines calls).
+  ErrorMessage = ptx::inlineFunctions(*Mod);
+  if (!ErrorMessage.empty()) {
+    Mod.reset();
+    return false;
+  }
+  sim::Machine::layoutModuleGlobals(*Mod, Memory);
+  if (Options.Instrument) {
+    Instr = std::make_unique<instrument::ModuleInstrumentation>(
+        instrument::instrumentModule(*Mod, Options.Instrumenter));
+    // Re-verify: the predication transform must keep the module valid.
+    Diags = ptx::verifyModule(*Mod);
+    if (!Diags.empty()) {
+      ErrorMessage = "after instrumentation: " + Diags.front();
+      Mod.reset();
+      Instr.reset();
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Session::alloc(uint64_t Bytes, uint64_t Align) {
+  return Memory.allocate(Bytes, Align);
+}
+
+void Session::copyToDevice(uint64_t Addr, const void *Src, uint64_t Bytes) {
+  Memory.writeBytes(Addr, Src, Bytes);
+}
+
+void Session::copyFromDevice(void *Dst, uint64_t Addr, uint64_t Bytes) {
+  Memory.readBytes(Addr, Dst, Bytes);
+}
+
+void Session::fillDevice(uint64_t Addr, uint64_t Bytes, uint8_t Value) {
+  for (uint64_t I = 0; I != Bytes; ++I)
+    Memory.write(Addr + I, 1, Value);
+}
+
+uint32_t Session::readU32(uint64_t Addr) {
+  return static_cast<uint32_t>(Memory.read(Addr, 4));
+}
+
+uint64_t Session::readU64(uint64_t Addr) { return Memory.read(Addr, 8); }
+
+void Session::writeU32(uint64_t Addr, uint32_t Value) {
+  Memory.write(Addr, 4, Value);
+}
+
+void Session::writeU64(uint64_t Addr, uint64_t Value) {
+  Memory.write(Addr, 8, Value);
+}
+
+uint64_t Session::globalAddress(const std::string &Name) const {
+  assert(Mod && "no module loaded");
+  int Index = Mod->findGlobal(Name);
+  assert(Index >= 0 && "unknown global variable");
+  return Mod->Globals[static_cast<size_t>(Index)].Address;
+}
+
+sim::LaunchResult
+Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
+                      sim::Dim3 Block,
+                      const std::vector<uint64_t> &Params) {
+  if (!Mod)
+    return sim::LaunchResult::failure("no module loaded");
+  ptx::Kernel *K = Mod->findKernel(KernelName);
+  if (!K)
+    return sim::LaunchResult::failure(
+        support::formatString("unknown kernel '%s'", KernelName.c_str()));
+  if (Params.size() != K->Params.size())
+    return sim::LaunchResult::failure(support::formatString(
+        "kernel '%s' expects %zu params, got %zu", KernelName.c_str(),
+        K->Params.size(), Params.size()));
+
+  sim::ParamBuilder Builder(*K);
+  for (size_t I = 0; I != Params.size(); ++I)
+    Builder.set(I, Params[I]);
+
+  sim::LaunchConfig Config;
+  Config.Grid = Grid;
+  Config.Block = Block;
+  Config.WarpSize = Options.WarpSize;
+
+  if (!Options.Instrument) {
+    return Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(),
+                          nullptr);
+  }
+
+  size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
+  const instrument::KernelInstrumentation &KI =
+      Instr->Kernels[KernelIndex];
+
+  trace::QueueSet Queues(Options.NumQueues, Options.QueueCapacity);
+  detector::DetectorOptions DetOpts;
+  DetOpts.Hier = sim::ThreadHierarchy(Config);
+  DetOpts.CollectStats = Options.CollectStats;
+  detector::SharedDetectorState State(DetOpts);
+  detector::HostDetector Host(Queues, State);
+  Host.start();
+
+  // Optional trace recording: the device thread tees every record into
+  // the trace file before publishing it to the queues.
+  class TeeLogger : public sim::DeviceLogger {
+  public:
+    TeeLogger(trace::QueueSet &Queues, trace::TraceWriter *Writer)
+        : Inner(Queues), Writer(Writer) {}
+    void log(uint32_t BlockId, const trace::LogRecord &Record) override {
+      if (Writer)
+        Writer->append(BlockId, Record);
+      Inner.log(BlockId, Record);
+    }
+
+  private:
+    sim::QueueLogger Inner;
+    trace::TraceWriter *Writer;
+  };
+
+  trace::TraceWriter Writer;
+  bool Recording = !Options.RecordTracePath.empty();
+  if (Recording) {
+    trace::TraceHeader Header;
+    Header.ThreadsPerBlock = Config.threadsPerBlock();
+    Header.WarpsPerBlock = Config.warpsPerBlock();
+    Header.WarpSize = Config.WarpSize;
+    Header.KernelName = KernelName;
+    if (!Writer.open(Options.RecordTracePath, Header)) {
+      Queues.closeAll();
+      Host.join();
+      return sim::LaunchResult::failure(support::formatString(
+          "cannot write trace '%s'", Options.RecordTracePath.c_str()));
+    }
+  }
+
+  TeeLogger Logger(Queues, Recording ? &Writer : nullptr);
+  sim::LaunchResult Result =
+      Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger);
+
+  Queues.closeAll();
+  Host.join();
+  if (Recording && !Writer.close() && Result.Ok)
+    Result = sim::LaunchResult::failure(
+        "I/O error while recording the trace");
+
+  // Accumulate findings and stats for this launch, mapping each race's
+  // pc back to its PTX source line.
+  for (detector::RaceReport Race : State.Reporter.races()) {
+    if (Race.Pc < K->Body.size())
+      Race.Line = K->Body[Race.Pc].Line;
+    AllRaces.push_back(std::move(Race));
+  }
+  for (const detector::BarrierError &Error :
+       State.Reporter.barrierErrors())
+    AllBarrierErrors.push_back(Error);
+
+  LastStats.Launch = Result;
+  LastStats.RecordsProcessed = Host.recordsProcessed();
+  LastStats.Formats = State.formatStats();
+  LastStats.PeakPtvcBytes = State.peakPtvcBytes();
+  LastStats.GlobalShadowBytes = State.GlobalMem.shadowBytes();
+  LastStats.SharedShadowBytes = State.sharedShadowBytes();
+  LastStats.SyncLocations = State.Syncs.size();
+  return Result;
+}
+
+instrument::InstrumentationStats Session::instrumentationStats() const {
+  if (!Instr)
+    return instrument::InstrumentationStats();
+  return Instr->totalStats();
+}

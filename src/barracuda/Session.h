@@ -1,0 +1,160 @@
+//===- Session.h - end-to-end BARRACUDA pipeline ---------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: a Session owns a simulated device (global
+/// memory + SIMT machine) and wires the full BARRACUDA pipeline —
+/// parse PTX, instrument it, execute it on the machine with device-side
+/// logging into the lock-free queues, and race-check the streams with
+/// one host detector thread per queue.
+///
+/// Typical use:
+/// \code
+///   barracuda::Session S;
+///   S.loadModule(PtxText);
+///   uint64_t Buf = S.alloc(4096);
+///   S.launchKernel("kernel", {Blocks}, {Threads}, {Buf, 1024});
+///   for (const auto &Race : S.races())
+///     puts(Race.describe().c_str());
+/// \endcode
+///
+/// A Session constructed with Instrument=false runs kernels natively
+/// (no logging, no detection) — the baseline for the overhead figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_BARRACUDA_SESSION_H
+#define BARRACUDA_BARRACUDA_SESSION_H
+
+#include "detector/Detector.h"
+#include "detector/Host.h"
+#include "instrument/Instrumenter.h"
+#include "ptx/Ir.h"
+#include "sim/Machine.h"
+#include "trace/Queue.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+
+/// Session configuration.
+struct SessionOptions {
+  /// Instrument kernels and run the race detector. When false the
+  /// session executes natively.
+  bool Instrument = true;
+  instrument::InstrumenterOptions Instrumenter;
+  sim::MachineOptions Machine;
+  /// Number of device-to-host queues (the paper found ~1.1-1.5 queues
+  /// per SM optimal; each gets one host detector thread).
+  unsigned NumQueues = 4;
+  /// Per-queue capacity in records (power of two).
+  size_t QueueCapacity = 1 << 14;
+  /// Collect PTVC format/memory statistics.
+  bool CollectStats = true;
+  /// Simulated warp width (32 = real hardware). Smaller values expose
+  /// latent warp-synchronous bugs, per the paper's Section 3.1 note.
+  uint32_t WarpSize = trace::WarpSize;
+  /// When non-empty, every launch also records its trace to this file
+  /// (replayable offline with barracuda-replay).
+  std::string RecordTracePath;
+};
+
+/// Result of one instrumented kernel launch.
+struct KernelRunStats {
+  sim::LaunchResult Launch;
+  uint64_t RecordsProcessed = 0;
+  detector::PtvcFormatStats Formats;
+  uint64_t PeakPtvcBytes = 0;
+  uint64_t GlobalShadowBytes = 0;
+  uint64_t SharedShadowBytes = 0;
+  uint64_t SyncLocations = 0;
+};
+
+/// An end-to-end BARRACUDA pipeline over one simulated device.
+class Session {
+public:
+  explicit Session(SessionOptions Options = SessionOptions());
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Parses, verifies and (if enabled) instruments a PTX module, and
+  /// lays out its module-level globals in device memory. Returns false
+  /// and sets error() on failure.
+  bool loadModule(const std::string &PtxText);
+
+  const std::string &error() const { return ErrorMessage; }
+
+  ptx::Module &module() {
+    assert(Mod && "no module loaded");
+    return *Mod;
+  }
+  const ptx::Module &module() const {
+    assert(Mod && "no module loaded");
+    return *Mod;
+  }
+
+  /// Instrumentation annotations (null for native sessions).
+  const instrument::ModuleInstrumentation *instrumentation() const {
+    return Instr.get();
+  }
+
+  // --- device memory (cudaMalloc / cudaMemcpy stand-ins) --------------
+  uint64_t alloc(uint64_t Bytes, uint64_t Align = 8);
+  void copyToDevice(uint64_t Addr, const void *Src, uint64_t Bytes);
+  void copyFromDevice(void *Dst, uint64_t Addr, uint64_t Bytes);
+  void fillDevice(uint64_t Addr, uint64_t Bytes, uint8_t Value);
+
+  uint32_t readU32(uint64_t Addr);
+  uint64_t readU64(uint64_t Addr);
+  void writeU32(uint64_t Addr, uint32_t Value);
+  void writeU64(uint64_t Addr, uint64_t Value);
+
+  /// Address of a module-level .global variable.
+  uint64_t globalAddress(const std::string &Name) const;
+
+  sim::GlobalMemory &memory() { return Memory; }
+
+  // --- launching --------------------------------------------------------
+  /// Launches \p KernelName with scalar/pointer parameters \p Params
+  /// (one value per declared parameter). On instrumented sessions the
+  /// detector runs concurrently and its findings accumulate in races().
+  sim::LaunchResult launchKernel(const std::string &KernelName,
+                                 sim::Dim3 Grid, sim::Dim3 Block,
+                                 const std::vector<uint64_t> &Params = {});
+
+  // --- results -----------------------------------------------------------
+  /// All distinct races found by launches so far.
+  std::vector<detector::RaceReport> races() const { return AllRaces; }
+  std::vector<detector::BarrierError> barrierErrors() const {
+    return AllBarrierErrors;
+  }
+  bool anyRaces() const { return !AllRaces.empty(); }
+
+  /// Statistics from the most recent instrumented launch.
+  const KernelRunStats &lastRunStats() const { return LastStats; }
+
+  /// Static instrumentation statistics for the loaded module.
+  instrument::InstrumentationStats instrumentationStats() const;
+
+private:
+  SessionOptions Options;
+  sim::GlobalMemory Memory;
+  sim::Machine Machine;
+  std::unique_ptr<ptx::Module> Mod;
+  std::unique_ptr<instrument::ModuleInstrumentation> Instr;
+  std::string ErrorMessage;
+  std::vector<detector::RaceReport> AllRaces;
+  std::vector<detector::BarrierError> AllBarrierErrors;
+  KernelRunStats LastStats;
+};
+
+} // namespace barracuda
+
+#endif // BARRACUDA_BARRACUDA_SESSION_H

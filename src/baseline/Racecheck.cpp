@@ -1,0 +1,132 @@
+//===- Racecheck.cpp - CUDA-Racecheck comparison model ----------------------===//
+
+#include "baseline/Racecheck.h"
+
+using namespace barracuda;
+using namespace barracuda::baseline;
+using trace::LogRecord;
+using trace::RecordOp;
+using trace::WarpSize;
+
+RacecheckDetector::RacecheckDetector(const sim::ThreadHierarchy &Hier)
+    : Hier(Hier) {}
+
+RacecheckDetector::BlockState &
+RacecheckDetector::blockState(uint32_t Block) {
+  auto [It, Inserted] = Blocks.try_emplace(Block);
+  if (Inserted)
+    It->second.LiveWarps = Hier.WarpsPerBlock;
+  return It->second;
+}
+
+void RacecheckDetector::handleSharedAccess(BlockState &BS, uint32_t Tid,
+                                           uint64_t Addr, bool IsWrite,
+                                           bool IsAtomic, uint32_t Pc) {
+  CellState &Cell = BS.Cells[Addr];
+  auto hazard = [&](uint8_t Kind) {
+    ++Hazards[{Pc, Kind}];
+    Result.HazardCount = Hazards.size();
+  };
+
+  if (IsWrite) {
+    // Write-after-write / write-after-read hazards in the same interval.
+    if (Cell.WriteValid && Cell.WriteInterval == BS.Interval &&
+        Cell.WriteTid != Tid && !(IsAtomic && Cell.WriteAtomic))
+      hazard(0);
+    if (Cell.ReadValid && Cell.ReadInterval == BS.Interval &&
+        Cell.ReadTid != Tid)
+      hazard(1);
+    Cell.WriteTid = Tid;
+    Cell.WriteInterval = BS.Interval;
+    Cell.WriteValid = true;
+    Cell.WriteAtomic = IsAtomic;
+    return;
+  }
+  // Read-after-write hazard in the same interval.
+  if (Cell.WriteValid && Cell.WriteInterval == BS.Interval &&
+      Cell.WriteTid != Tid && !(IsAtomic && Cell.WriteAtomic))
+    hazard(2);
+  Cell.ReadTid = Tid;
+  Cell.ReadInterval = BS.Interval;
+  Cell.ReadValid = true;
+}
+
+void RacecheckDetector::process(const LogRecord &Record) {
+  if (Result.hung())
+    return;
+  uint32_t Block = Record.Warp / Hier.WarpsPerBlock;
+
+  switch (Record.op()) {
+  case RecordOp::Atom:
+  case RecordOp::Acq:
+  case RecordOp::AcqRel: {
+    // Spinlock loops (repeated atomic acquire attempts at one program
+    // point) hang the real tool.
+    uint64_t Key = (static_cast<uint64_t>(Record.Warp) << 32) | Record.Pc;
+    if (++AtomicSpinCounts[Key] > SpinThreshold) {
+      Result.Outcome = RacecheckResult::OutcomeKind::Hang;
+      return;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+
+  switch (Record.op()) {
+  case RecordOp::Read:
+  case RecordOp::Write:
+  case RecordOp::Atom:
+  case RecordOp::Acq:
+  case RecordOp::Rel:
+  case RecordOp::AcqRel: {
+    // Shared memory only; fences carry no meaning, so acquire/release
+    // bundles degrade to their underlying load/store/atomic.
+    if (Record.space() != trace::MemSpace::Shared)
+      return;
+    BlockState &BS = blockState(Block);
+    bool IsAtomic = Record.op() == RecordOp::Atom ||
+                    Record.op() == RecordOp::Acq ||
+                    Record.op() == RecordOp::AcqRel;
+    bool IsWrite = Record.op() == RecordOp::Write ||
+                   Record.op() == RecordOp::Rel || IsAtomic;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!((Record.ActiveMask >> Lane) & 1))
+        continue;
+      uint32_t Tid =
+          static_cast<uint32_t>(Hier.tidOfLane(Record.Warp, Lane));
+      unsigned Size = Record.AccessSize ? Record.AccessSize : 1;
+      for (unsigned Byte = 0; Byte != Size; ++Byte)
+        handleSharedAccess(BS, Tid, Record.Addr[Lane] + Byte, IsWrite,
+                           IsAtomic, Record.Pc);
+    }
+    break;
+  }
+  case RecordOp::Bar: {
+    BlockState &BS = blockState(Block);
+    BS.Arrived.push_back(Record.Warp);
+    if (BS.Arrived.size() >= BS.LiveWarps) {
+      ++BS.Interval;
+      BS.Arrived.clear();
+    }
+    break;
+  }
+  case RecordOp::WarpEnd: {
+    BlockState &BS = blockState(Block);
+    if (BS.LiveWarps)
+      --BS.LiveWarps;
+    if (BS.LiveWarps && BS.Arrived.size() >= BS.LiveWarps) {
+      ++BS.Interval;
+      BS.Arrived.clear();
+    }
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void RacecheckDetector::processAll(const std::vector<LogRecord> &Records) {
+  for (const LogRecord &Record : Records)
+    process(Record);
+}

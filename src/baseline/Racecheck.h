@@ -1,0 +1,103 @@
+//===- Racecheck.h - CUDA-Racecheck comparison model ------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A behavioural model of Nvidia's cuda-memcheck Racecheck tool, used
+/// only as the comparison point for the 66-program suite table (Section
+/// 6.1). Racecheck is closed source; we model its documented behaviour
+/// and the failure modes the paper observed:
+///
+///   * it tracks *shared* memory only — every global-memory race is
+///     missed;
+///   * it reasons in barrier intervals: two accesses to the same shared
+///     location by different threads in the same interval, at least one
+///     a write, is a hazard;
+///   * it has no model of memory fences as synchronization and no model
+///     of lockstep warp execution, so warp-synchronous and fence-
+///     synchronized shared-memory code draws false hazards;
+///   * atomic-atomic pairs are understood (no hazard), atomic-vs-plain
+///     pairs are hazards;
+///   * spinlock loops cause the tool to hang (modelled by a spin
+///     threshold on repeated atomic program points).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_BASELINE_RACECHECK_H
+#define BARRACUDA_BASELINE_RACECHECK_H
+
+#include "sim/LaunchConfig.h"
+#include "trace/Record.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace baseline {
+
+/// Outcome of a modelled Racecheck run.
+struct RacecheckResult {
+  enum class OutcomeKind : uint8_t {
+    Completed,
+    Hang, ///< tool hung (spinlock in the target)
+  };
+
+  OutcomeKind Outcome = OutcomeKind::Completed;
+  uint64_t HazardCount = 0; ///< distinct (pc, kind) hazards
+
+  bool reportedRace() const { return HazardCount != 0; }
+  bool hung() const { return Outcome == OutcomeKind::Hang; }
+};
+
+/// The Racecheck model. Feed it the same record stream as the real
+/// detector; read the result afterwards.
+class RacecheckDetector {
+public:
+  explicit RacecheckDetector(const sim::ThreadHierarchy &Hier);
+
+  void process(const trace::LogRecord &Record);
+  void processAll(const std::vector<trace::LogRecord> &Records);
+
+  RacecheckResult result() const { return Result; }
+
+private:
+  struct CellState {
+    uint32_t WriteTid = 0;
+    uint32_t WriteInterval = 0;
+    bool WriteValid = false;
+    bool WriteAtomic = false;
+    uint32_t ReadTid = 0;
+    uint32_t ReadInterval = 0;
+    bool ReadValid = false;
+  };
+
+  struct BlockState {
+    uint32_t Interval = 1;
+    uint32_t LiveWarps = 0;
+    std::vector<uint32_t> Arrived;
+    std::map<uint64_t, CellState> Cells;
+  };
+
+  void handleSharedAccess(BlockState &BS, uint32_t Tid, uint64_t Addr,
+                          bool IsWrite, bool IsAtomic, uint32_t Pc);
+  BlockState &blockState(uint32_t Block);
+
+  sim::ThreadHierarchy Hier;
+  std::unordered_map<uint32_t, BlockState> Blocks;
+  std::unordered_map<uint64_t, uint32_t> AtomicSpinCounts; // (warp,pc)
+  std::map<std::pair<uint32_t, uint8_t>, uint64_t> Hazards; // (pc, kind)
+  RacecheckResult Result;
+
+  /// A warp re-executing an atomic/acquire program point means a spin
+  /// (retry) loop, which hangs the real tool.
+  static constexpr uint32_t SpinThreshold = 1;
+};
+
+} // namespace baseline
+} // namespace barracuda
+
+#endif // BARRACUDA_BASELINE_RACECHECK_H

@@ -1,0 +1,277 @@
+//===- Reference.cpp - uncompressed reference detector ---------------------===//
+
+#include "baseline/Reference.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::baseline;
+using namespace barracuda::detector;
+using trace::LogRecord;
+using trace::RecordOp;
+using trace::WarpSize;
+
+ReferenceDetector::ReferenceDetector(const sim::ThreadHierarchy &Hier)
+    : Hier(Hier) {}
+
+FullVc &ReferenceDetector::clock(Tid Thread) {
+  auto [It, Inserted] = Clocks.try_emplace(Thread);
+  if (Inserted)
+    It->second.set(Thread, 1); // inc_t(bottom)
+  return It->second;
+}
+
+const FullVc &ReferenceDetector::clockOf(Tid Thread) {
+  return clock(Thread);
+}
+
+std::vector<Tid> ReferenceDetector::threadsOfMask(uint32_t Warp,
+                                                  uint32_t Mask) const {
+  std::vector<Tid> Threads;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+    if ((Mask >> Lane) & 1)
+      Threads.push_back(Hier.tidOfLane(Warp, Lane));
+  return Threads;
+}
+
+/// The join-and-fork step shared by ENDINSN, IF, ELSE/FI and BAR: all
+/// named threads join into one vector clock, then each increments its own
+/// entry.
+void ReferenceDetector::joinFork(const std::vector<Tid> &Threads) {
+  if (Threads.empty())
+    return;
+  FullVc Joined;
+  for (Tid Thread : Threads)
+    Joined.joinFrom(clock(Thread));
+  for (Tid Thread : Threads) {
+    FullVc Forked = Joined;
+    Forked.increment(Thread);
+    Clocks[Thread] = std::move(Forked);
+  }
+}
+
+RaceScopeKind ReferenceDetector::classify(Tid A, Tid B) const {
+  if (Hier.warpOf(A) == Hier.warpOf(B))
+    return RaceScopeKind::IntraWarp;
+  if (Hier.blockOf(A) == Hier.blockOf(B))
+    return RaceScopeKind::IntraBlock;
+  return RaceScopeKind::InterBlock;
+}
+
+void ReferenceDetector::checkAccess(const LogRecord &Record, uint32_t Lane,
+                                    uint64_t ByteAddr, AccessKind Kind) {
+  uint32_t Block = Record.Warp / Hier.WarpsPerBlock;
+  LocKey Key{Record.space(),
+             Record.space() == trace::MemSpace::Shared ? Block : 0,
+             ByteAddr};
+  Location &Loc = Locations[Key];
+  Tid Me = Hier.tidOfLane(Record.Warp, Lane);
+  FullVc &C = clock(Me);
+  Epoch E{C.get(Me), Me};
+
+  auto orderedBefore = [&](const Epoch &Prev) {
+    return Prev.isBottom() || Prev.Thread == Me ||
+           Prev.Clock <= C.get(Prev.Thread);
+  };
+  auto race = [&](AccessKind PrevKind, Tid Other) {
+    Reporter.reportRace(Record.Pc, Kind, PrevKind, Record.space(),
+                        classify(Me, Other), Me, Other, Record.Addr[Lane]);
+  };
+  AccessKind PrevWriteKind =
+      Loc.WriteAtomic ? AccessKind::Atomic : AccessKind::Write;
+
+  switch (Kind) {
+  case AccessKind::Read:
+    if (!orderedBefore(Loc.Write))
+      race(PrevWriteKind, Loc.Write.Thread);
+    if (Loc.ReadShared) {
+      Loc.Readers.set(Me, E.Clock);
+    } else if (orderedBefore(Loc.Read)) {
+      Loc.Read = E;
+    } else {
+      Loc.Readers = FullVc();
+      Loc.Readers.set(Loc.Read.Thread, Loc.Read.Clock);
+      Loc.Readers.set(Me, E.Clock);
+      Loc.ReadShared = true;
+    }
+    break;
+  case AccessKind::Write:
+  case AccessKind::Atomic: {
+    bool SkipWriteCheck = Kind == AccessKind::Atomic && Loc.WriteAtomic;
+    if (!SkipWriteCheck && !orderedBefore(Loc.Write))
+      race(PrevWriteKind, Loc.Write.Thread);
+    if (Loc.ReadShared) {
+      for (const auto &[Other, Clock] : Loc.Readers.entries())
+        if (Other != Me && Clock > C.get(Other))
+          race(AccessKind::Read, Other);
+    } else if (!orderedBefore(Loc.Read)) {
+      race(AccessKind::Read, Loc.Read.Thread);
+    }
+    Loc.Readers = FullVc();
+    Loc.ReadShared = false;
+    Loc.Read = Epoch();
+    Loc.Write = E;
+    Loc.WriteAtomic = Kind == AccessKind::Atomic;
+    break;
+  }
+  }
+}
+
+void ReferenceDetector::handleMemory(const LogRecord &Record) {
+  AccessKind Kind;
+  switch (Record.op()) {
+  case RecordOp::Read:
+    Kind = AccessKind::Read;
+    break;
+  case RecordOp::Write:
+    Kind = AccessKind::Write;
+    break;
+  default:
+    Kind = AccessKind::Atomic;
+    break;
+  }
+  unsigned Size = Record.AccessSize ? Record.AccessSize : 1;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Record.ActiveMask >> Lane) & 1))
+      continue;
+    for (unsigned Byte = 0; Byte != Size; ++Byte)
+      checkAccess(Record, Lane, Record.Addr[Lane] + Byte, Kind);
+  }
+  joinFork(threadsOfMask(Record.Warp, Record.ActiveMask)); // endi
+}
+
+void ReferenceDetector::handleSync(const LogRecord &Record) {
+  uint32_t Block = Record.Warp / Hier.WarpsPerBlock;
+  bool IsShared = Record.space() == trace::MemSpace::Shared;
+  bool GlobalScope = Record.scope() == trace::SyncScope::Global;
+  RecordOp Op = Record.op();
+  std::vector<Tid> Active = threadsOfMask(Record.Warp, Record.ActiveMask);
+
+  // Phase 1: combined lockstep acquire (see Detector.cpp::handleSync).
+  if (Op == RecordOp::Acq || Op == RecordOp::AcqRel) {
+    FullVc Incoming;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!((Record.ActiveMask >> Lane) & 1))
+        continue;
+      LocKey Key{Record.space(), IsShared ? Block : 0, Record.Addr[Lane]};
+      SyncLoc &Loc = Syncs[Key];
+      if (GlobalScope) {
+        if (Loc.HasGlobalAll)
+          Incoming.joinFrom(Loc.GlobalAll);
+        for (const auto &[B, Vc] : Loc.PerBlock)
+          Incoming.joinFrom(Vc);
+      } else if (auto It = Loc.PerBlock.find(Block);
+                 It != Loc.PerBlock.end()) {
+        Incoming.joinFrom(It->second);
+      } else if (Loc.HasGlobalAll) {
+        Incoming.joinFrom(Loc.GlobalAll);
+      }
+    }
+    for (Tid Thread : Active)
+      clock(Thread).joinFrom(Incoming);
+  }
+
+  // Phase 2: releases assign per-lane snapshots.
+  if (Op == RecordOp::Rel || Op == RecordOp::AcqRel) {
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!((Record.ActiveMask >> Lane) & 1))
+        continue;
+      LocKey Key{Record.space(), IsShared ? Block : 0, Record.Addr[Lane]};
+      SyncLoc &Loc = Syncs[Key];
+      FullVc Snapshot = clock(Hier.tidOfLane(Record.Warp, Lane));
+      if (GlobalScope) {
+        Loc.PerBlock.clear();
+        Loc.GlobalAll = std::move(Snapshot);
+        Loc.HasGlobalAll = true;
+      } else {
+        Loc.PerBlock[Block] = std::move(Snapshot);
+      }
+    }
+  }
+
+  // The instruction boundary, plus the REL*/ACQREL* increment.
+  joinFork(Active);
+  if (Op != RecordOp::Acq)
+    joinFork(Active);
+}
+
+void ReferenceDetector::handleBarrier(const LogRecord &Record) {
+  uint32_t Block = Record.Warp / Hier.WarpsPerBlock;
+  uint32_t Resident = Hier.residentMask(Record.Warp);
+  if (Record.ActiveMask != Resident)
+    Reporter.reportBarrierDivergence(Record.Pc, Record.Warp,
+                                     Record.ActiveMask, Resident);
+  auto [It, Inserted] = Blocks.try_emplace(Block);
+  if (Inserted)
+    It->second.LiveWarps = Hier.WarpsPerBlock;
+  BlockState &BS = It->second;
+  BS.Arrived.push_back(Record.Warp);
+  if (BS.Arrived.size() >= BS.LiveWarps)
+    releaseBarrier(Block);
+}
+
+void ReferenceDetector::releaseBarrier(uint32_t Block) {
+  // The BAR rule: a block-wide join and fork over every resident thread.
+  std::vector<Tid> Threads;
+  Threads.reserve(Hier.ThreadsPerBlock);
+  Tid First = static_cast<Tid>(Block) * Hier.ThreadsPerBlock;
+  for (uint32_t T = 0; T != Hier.ThreadsPerBlock; ++T)
+    Threads.push_back(First + T);
+  joinFork(Threads);
+  Blocks[Block].Arrived.clear();
+}
+
+void ReferenceDetector::process(const LogRecord &Record) {
+  switch (Record.op()) {
+  case RecordOp::Read:
+  case RecordOp::Write:
+  case RecordOp::Atom:
+    handleMemory(Record);
+    break;
+  case RecordOp::Acq:
+  case RecordOp::Rel:
+  case RecordOp::AcqRel:
+    handleSync(Record);
+    break;
+  case RecordOp::If:
+    joinFork(threadsOfMask(Record.Warp, Record.ActiveMask));
+    break;
+  case RecordOp::Else:
+  case RecordOp::Fi:
+    joinFork(threadsOfMask(Record.Warp, Record.ActiveMask));
+    break;
+  case RecordOp::Bar:
+    handleBarrier(Record);
+    break;
+  case RecordOp::WarpEnd: {
+    uint32_t Block = Record.Warp / Hier.WarpsPerBlock;
+    auto [It, Inserted] = Blocks.try_emplace(Block);
+    if (Inserted)
+      It->second.LiveWarps = Hier.WarpsPerBlock;
+    BlockState &BS = It->second;
+    assert(BS.LiveWarps != 0 && "warp-end underflow");
+    --BS.LiveWarps;
+    if (BS.LiveWarps && BS.Arrived.size() >= BS.LiveWarps)
+      releaseBarrier(Block);
+    break;
+  }
+  case RecordOp::BlockEnd:
+  case RecordOp::Invalid:
+    break;
+  }
+
+  uint64_t Bytes = vectorClockBytes();
+  PeakVcBytes = std::max(PeakVcBytes, Bytes);
+}
+
+void ReferenceDetector::processAll(const std::vector<LogRecord> &Records) {
+  for (const LogRecord &Record : Records)
+    process(Record);
+}
+
+uint64_t ReferenceDetector::vectorClockBytes() const {
+  uint64_t Bytes = 0;
+  for (const auto &[Thread, Vc] : Clocks)
+    Bytes += Vc.memoryBytes() + 24;
+  return Bytes;
+}

@@ -1,0 +1,141 @@
+//===- Reference.h - uncompressed reference detector -----------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct, uncompressed implementation of the BARRACUDA operational
+/// semantics (Figures 2 and 3): one full vector clock per thread, exact
+/// join/fork at endi/if/else/fi/bar, exact acquire/release bookkeeping.
+/// It consumes the same warp-level record stream as the production
+/// detector and reports races through the same reporter, so the property
+/// tests can assert that the compressed PTVC implementation is lossless
+/// (identical race sets on the same trace), and the ablation benchmark
+/// can compare memory footprints — this is the O(n^2)-space design the
+/// paper's compression exists to avoid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_BASELINE_REFERENCE_H
+#define BARRACUDA_BASELINE_REFERENCE_H
+
+#include "detector/Report.h"
+#include "sim/LaunchConfig.h"
+#include "trace/Record.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace baseline {
+
+/// A dense-ish vector clock keyed by TID.
+class FullVc {
+public:
+  detector::ClockVal get(detector::Tid Thread) const {
+    auto It = Entries.find(Thread);
+    return It == Entries.end() ? 0 : It->second;
+  }
+  void set(detector::Tid Thread, detector::ClockVal Clock) {
+    Entries[Thread] = Clock;
+  }
+  void joinFrom(const FullVc &Other) {
+    for (const auto &[Thread, Clock] : Other.Entries) {
+      detector::ClockVal &Slot = Entries[Thread];
+      Slot = std::max(Slot, Clock);
+    }
+  }
+  void increment(detector::Tid Thread) { ++Entries[Thread]; }
+
+  const std::unordered_map<detector::Tid, detector::ClockVal> &
+  entries() const {
+    return Entries;
+  }
+
+  size_t memoryBytes() const {
+    return Entries.size() *
+           (sizeof(detector::Tid) + sizeof(detector::ClockVal) + 16);
+  }
+
+private:
+  std::unordered_map<detector::Tid, detector::ClockVal> Entries;
+};
+
+/// The reference (uncompressed) detector. Serial: call process() with
+/// records in device emission order.
+class ReferenceDetector {
+public:
+  explicit ReferenceDetector(const sim::ThreadHierarchy &Hier);
+
+  void process(const trace::LogRecord &Record);
+
+  /// Convenience: processes a whole collected trace.
+  void processAll(const std::vector<trace::LogRecord> &Records);
+
+  const detector::RaceReporter &reporter() const { return Reporter; }
+  detector::RaceReporter &reporter() { return Reporter; }
+
+  /// Total bytes held in per-thread vector clocks right now.
+  uint64_t vectorClockBytes() const;
+  uint64_t peakVectorClockBytes() const { return PeakVcBytes; }
+
+  /// The full vector clock of one thread (for equivalence tests).
+  const FullVc &clockOf(detector::Tid Thread);
+
+private:
+  struct Location {
+    detector::Epoch Write;
+    bool WriteAtomic = false;
+    detector::Epoch Read;
+    bool ReadShared = false;
+    FullVc Readers;
+  };
+
+  struct LocKey {
+    trace::MemSpace Space;
+    uint32_t Block;
+    uint64_t Addr;
+    bool operator<(const LocKey &Other) const {
+      return std::tie(Space, Block, Addr) <
+             std::tie(Other.Space, Other.Block, Other.Addr);
+    }
+  };
+
+  struct SyncLoc {
+    std::map<uint32_t, FullVc> PerBlock;
+    FullVc GlobalAll;
+    bool HasGlobalAll = false;
+  };
+
+  struct BlockState {
+    uint32_t LiveWarps = 0;
+    std::vector<uint32_t> Arrived;
+  };
+
+  FullVc &clock(detector::Tid Thread);
+  void joinFork(const std::vector<detector::Tid> &Threads);
+  std::vector<detector::Tid> threadsOfMask(uint32_t Warp,
+                                           uint32_t Mask) const;
+  void checkAccess(const trace::LogRecord &Record, uint32_t Lane,
+                   uint64_t ByteAddr, detector::AccessKind Kind);
+  void handleMemory(const trace::LogRecord &Record);
+  void handleSync(const trace::LogRecord &Record);
+  void handleBarrier(const trace::LogRecord &Record);
+  void releaseBarrier(uint32_t Block);
+  detector::RaceScopeKind classify(detector::Tid A, detector::Tid B) const;
+
+  sim::ThreadHierarchy Hier;
+  std::unordered_map<detector::Tid, FullVc> Clocks;
+  std::map<LocKey, Location> Locations;
+  std::map<LocKey, SyncLoc> Syncs;
+  std::unordered_map<uint32_t, BlockState> Blocks;
+  detector::RaceReporter Reporter;
+  uint64_t PeakVcBytes = 0;
+};
+
+} // namespace baseline
+} // namespace barracuda
+
+#endif // BARRACUDA_BASELINE_REFERENCE_H

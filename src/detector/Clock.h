@@ -1,0 +1,107 @@
+//===- Clock.h - epochs and compact vector clocks --------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock algebra of Section 3.3: epochs (c@t, a vector clock with a
+/// single non-zero entry, comparable in O(1)) and CompactClock, the sparse
+/// representation used for synchronization-location vector clocks (the
+/// S_x map) and for the shared-readers vector clocks of shadow cells.
+///
+/// A CompactClock stores explicit per-thread entries plus per-block
+/// "floors": C(u) = max(Entries[u], BlockFloor[block(u)]). Floors are what
+/// make release snapshots of compressed PTVCs cheap — a releasing
+/// thread's knowledge of its whole block (the PTVC block clock) becomes a
+/// single floor entry instead of threads-per-block entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_CLOCK_H
+#define BARRACUDA_DETECTOR_CLOCK_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace barracuda {
+namespace detector {
+
+using ClockVal = uint32_t;
+using Tid = uint64_t;
+
+/// An epoch c@t: the time of one access by one thread. Clock 0 means
+/// "never" (bottom).
+struct Epoch {
+  ClockVal Clock = 0;
+  Tid Thread = 0;
+
+  bool isBottom() const { return Clock == 0; }
+
+  bool operator==(const Epoch &Other) const {
+    return Clock == Other.Clock && Thread == Other.Thread;
+  }
+};
+
+/// A sparse vector clock: explicit entries plus per-block floors.
+class CompactClock {
+public:
+  /// The clock value for thread \p Thread that lives in block \p Block.
+  ClockVal get(Tid Thread, uint32_t Block) const {
+    ClockVal Value = 0;
+    if (auto It = Entries.find(Thread); It != Entries.end())
+      Value = It->second;
+    if (auto It = BlockFloors.find(Block); It != BlockFloors.end())
+      Value = std::max(Value, It->second);
+    return Value;
+  }
+
+  void raiseEntry(Tid Thread, ClockVal Clock) {
+    ClockVal &Slot = Entries[Thread];
+    Slot = std::max(Slot, Clock);
+  }
+
+  void raiseBlockFloor(uint32_t Block, ClockVal Clock) {
+    ClockVal &Slot = BlockFloors[Block];
+    Slot = std::max(Slot, Clock);
+  }
+
+  /// Pointwise join with \p Other.
+  void joinFrom(const CompactClock &Other) {
+    for (const auto &[Thread, Clock] : Other.Entries)
+      raiseEntry(Thread, Clock);
+    for (const auto &[Block, Clock] : Other.BlockFloors)
+      raiseBlockFloor(Block, Clock);
+  }
+
+  void clear() {
+    Entries.clear();
+    BlockFloors.clear();
+  }
+
+  bool empty() const { return Entries.empty() && BlockFloors.empty(); }
+
+  const std::unordered_map<Tid, ClockVal> &entries() const {
+    return Entries;
+  }
+  const std::unordered_map<uint32_t, ClockVal> &blockFloors() const {
+    return BlockFloors;
+  }
+
+  /// Approximate heap footprint, for the compression ablation.
+  size_t memoryBytes() const {
+    return Entries.size() * (sizeof(Tid) + sizeof(ClockVal) + 16) +
+           BlockFloors.size() * (sizeof(uint32_t) + sizeof(ClockVal) + 16);
+  }
+
+private:
+  std::unordered_map<Tid, ClockVal> Entries;
+  std::unordered_map<uint32_t, ClockVal> BlockFloors;
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_CLOCK_H

@@ -1,0 +1,426 @@
+//===- Detector.cpp - the BARRACUDA race detection engine ------------------===//
+
+#include "detector/Detector.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace barracuda;
+using namespace barracuda::detector;
+using trace::LogRecord;
+using trace::RecordOp;
+using trace::WarpSize;
+
+//===----------------------------------------------------------------------===//
+// SharedDetectorState
+//===----------------------------------------------------------------------===//
+
+void SharedDetectorState::mergeStats(const PtvcFormatStats &NewFormats,
+                                     uint64_t PeakPtvc,
+                                     uint64_t SharedShadow,
+                                     uint64_t Records) {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  Formats.merge(NewFormats);
+  PeakPtvcBytes_ += PeakPtvc;
+  SharedShadowBytes_ += SharedShadow;
+  Records_ += Records;
+}
+
+PtvcFormatStats SharedDetectorState::formatStats() const {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return Formats;
+}
+
+uint64_t SharedDetectorState::peakPtvcBytes() const {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return PeakPtvcBytes_;
+}
+
+uint64_t SharedDetectorState::sharedShadowBytes() const {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return SharedShadowBytes_;
+}
+
+uint64_t SharedDetectorState::recordsProcessed() const {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return Records_;
+}
+
+//===----------------------------------------------------------------------===//
+// QueueProcessor::LocalShadow
+//===----------------------------------------------------------------------===//
+
+QueueProcessor::LocalShadow::~LocalShadow() {
+  for (auto &[PageId, Cells] : Pages)
+    for (uint64_t I = 0; I != PageSize; ++I)
+      delete Cells[I].Readers;
+}
+
+ShadowCell &QueueProcessor::LocalShadow::cell(uint64_t Addr) {
+  uint64_t PageId = Addr >> PageBits;
+  auto It = Pages.find(PageId);
+  if (It == Pages.end())
+    It = Pages.emplace(PageId, std::make_unique<ShadowCell[]>(PageSize))
+             .first;
+  return It->second[Addr & (PageSize - 1)];
+}
+
+//===----------------------------------------------------------------------===//
+// QueueProcessor
+//===----------------------------------------------------------------------===//
+
+QueueProcessor::QueueProcessor(SharedDetectorState &Shared)
+    : Shared(Shared), Opts(Shared.options()) {}
+
+QueueProcessor::~QueueProcessor() = default;
+
+QueueProcessor::BlockState &QueueProcessor::blockState(uint32_t BlockId) {
+  auto [It, Inserted] = Blocks.try_emplace(BlockId);
+  if (Inserted) {
+    It->second.BlockId = BlockId;
+    It->second.LiveWarps = Opts.Hier.WarpsPerBlock;
+  }
+  return It->second;
+}
+
+uint32_t QueueProcessor::residentMask(uint32_t GlobalWarp) const {
+  return Opts.Hier.residentMask(GlobalWarp);
+}
+
+QueueProcessor::WarpEntry &
+QueueProcessor::warpEntry(BlockState &BS, uint32_t GlobalWarp) {
+  auto It = BS.Warps.find(GlobalWarp);
+  if (It == BS.Warps.end()) {
+    It = BS.Warps
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(GlobalWarp),
+                      std::forward_as_tuple(GlobalWarp,
+                                            residentMask(GlobalWarp),
+                                            Opts.Hier))
+             .first;
+    It->second.LastBytes = It->second.Clocks.memoryBytes();
+    CurrentPtvcBytes += It->second.LastBytes;
+  }
+  return It->second;
+}
+
+ShadowCell &QueueProcessor::globalCell(uint64_t Addr) {
+  uint64_t PageId = Addr >> GlobalShadow::PageBits;
+  if (PageId != CachedPageId) {
+    CachedPage = Shared.GlobalMem.page(Addr);
+    CachedPageId = PageId;
+  }
+  return CachedPage[Addr & (GlobalShadow::PageSize - 1)];
+}
+
+void QueueProcessor::afterClockChange(BlockState &BS, WarpEntry &WE) {
+  BS.MaxClock = std::max(BS.MaxClock, WE.Clocks.selfClock());
+  if (!Opts.CollectStats)
+    return;
+  ++Formats.Samples[static_cast<size_t>(WE.Clocks.format())];
+  size_t Bytes = WE.Clocks.memoryBytes();
+  CurrentPtvcBytes += Bytes - WE.LastBytes;
+  WE.LastBytes = Bytes;
+  PeakPtvcBytes = std::max(PeakPtvcBytes, CurrentPtvcBytes);
+}
+
+void QueueProcessor::waitForTicket(uint32_t Ticket) {
+  assert(Ticket != 0 && "sync record without a ticket");
+  unsigned Spins = 0;
+  while (Shared.SyncProcessed.load(std::memory_order_acquire) !=
+         Ticket - 1) {
+    if (++Spins > 64) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+}
+
+void QueueProcessor::finishTicket(uint32_t Ticket) {
+  Shared.SyncProcessed.store(Ticket, std::memory_order_release);
+}
+
+void QueueProcessor::process(const LogRecord &Record) {
+  ++Records;
+  uint32_t BlockId = Record.Warp / Opts.Hier.WarpsPerBlock;
+  BlockState &BS = blockState(BlockId);
+
+  switch (Record.op()) {
+  case RecordOp::Read:
+  case RecordOp::Write:
+  case RecordOp::Atom:
+    handleMemory(BS, warpEntry(BS, Record.Warp), Record);
+    break;
+  case RecordOp::Acq:
+  case RecordOp::Rel:
+  case RecordOp::AcqRel:
+    handleSync(BS, warpEntry(BS, Record.Warp), Record);
+    break;
+  case RecordOp::If: {
+    WarpEntry &WE = warpEntry(BS, Record.Warp);
+    WE.Clocks.branchIf(Record.ActiveMask, Record.elseMask());
+    afterClockChange(BS, WE);
+    break;
+  }
+  case RecordOp::Else: {
+    WarpEntry &WE = warpEntry(BS, Record.Warp);
+    WE.Clocks.branchElse(Record.ActiveMask);
+    afterClockChange(BS, WE);
+    break;
+  }
+  case RecordOp::Fi: {
+    WarpEntry &WE = warpEntry(BS, Record.Warp);
+    WE.Clocks.branchFi(Record.ActiveMask);
+    afterClockChange(BS, WE);
+    break;
+  }
+  case RecordOp::Bar:
+    handleBarrier(BS, warpEntry(BS, Record.Warp), Record);
+    break;
+  case RecordOp::WarpEnd:
+    handleWarpEnd(BS, Record);
+    break;
+  case RecordOp::BlockEnd:
+    handleBlockEnd(BS);
+    break;
+  case RecordOp::Invalid:
+    assert(false && "invalid record");
+    break;
+  }
+}
+
+void QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
+                                WarpClocks &W, uint32_t Lane, uint32_t Pc,
+                                trace::MemSpace Space, uint64_t Addr) {
+  Epoch E = W.epochOf(Lane);
+  Tid Me = E.Thread;
+
+  auto orderedBefore = [&](uint32_t Clock, Tid Other) {
+    if (Clock == 0 || Other == Me)
+      return true;
+    return Clock <= W.entryFor(Lane, Other, Opts.Hier.blockOf(Other));
+  };
+  auto classify = [&](Tid Other) {
+    if (Opts.Hier.warpOf(Other) == Opts.Hier.warpOf(Me))
+      return RaceScopeKind::IntraWarp;
+    if (Opts.Hier.blockOf(Other) == Opts.Hier.blockOf(Me))
+      return RaceScopeKind::IntraBlock;
+    return RaceScopeKind::InterBlock;
+  };
+  auto race = [&](AccessKind PrevKind, Tid Other) {
+    Shared.Reporter.reportRace(Pc, Kind, PrevKind, Space, classify(Other),
+                               Me, Other, Addr);
+  };
+
+  AccessKind PrevWriteKind =
+      Cell.has(ShadowCell::FlagAtomic) ? AccessKind::Atomic
+                                       : AccessKind::Write;
+
+  switch (Kind) {
+  case AccessKind::Read: {
+    // READ*: check the last write, then record the read.
+    if (!orderedBefore(Cell.WriteClock, Cell.WriteTid))
+      race(PrevWriteKind, Cell.WriteTid);
+    if (Cell.has(ShadowCell::FlagReadShared)) {
+      Cell.Readers->raiseEntry(Me, E.Clock); // READSHARED
+    } else if (orderedBefore(Cell.ReadClock, Cell.ReadTid)) {
+      Cell.ReadClock = E.Clock; // READEXCL
+      Cell.ReadTid = static_cast<uint32_t>(Me);
+    } else {
+      auto *Readers = new CompactClock(); // READINFLATE
+      Readers->raiseEntry(Cell.ReadTid, Cell.ReadClock);
+      Readers->raiseEntry(Me, E.Clock);
+      Cell.Readers = Readers;
+      Cell.set(ShadowCell::FlagReadShared);
+    }
+    break;
+  }
+  case AccessKind::Write:
+  case AccessKind::Atomic: {
+    // WRITE* / INITATOM* / ATOM*: atomics elide the check against a
+    // previous atomic write (atomics do not race with each other, nor
+    // synchronize).
+    bool SkipWriteCheck =
+        Kind == AccessKind::Atomic && Cell.has(ShadowCell::FlagAtomic);
+    if (!SkipWriteCheck && !orderedBefore(Cell.WriteClock, Cell.WriteTid))
+      race(PrevWriteKind, Cell.WriteTid);
+    if (Cell.has(ShadowCell::FlagReadShared)) {
+      for (const auto &[Other, Clock] : Cell.Readers->entries())
+        if (Other != Me &&
+            Clock > W.entryFor(Lane, Other, Opts.Hier.blockOf(Other)))
+          race(AccessKind::Read, Other);
+    } else if (!orderedBefore(Cell.ReadClock, Cell.ReadTid)) {
+      race(AccessKind::Read, Cell.ReadTid);
+    }
+    Cell.clearReads();
+    Cell.WriteClock = E.Clock;
+    Cell.WriteTid = static_cast<uint32_t>(Me);
+    if (Kind == AccessKind::Atomic)
+      Cell.set(ShadowCell::FlagAtomic);
+    else
+      Cell.clearFlag(ShadowCell::FlagAtomic);
+    break;
+  }
+  }
+}
+
+void QueueProcessor::handleMemory(BlockState &BS, WarpEntry &WE,
+                                  const LogRecord &Record) {
+  AccessKind Kind;
+  switch (Record.op()) {
+  case RecordOp::Read:
+    Kind = AccessKind::Read;
+    break;
+  case RecordOp::Write:
+    Kind = AccessKind::Write;
+    break;
+  default:
+    Kind = AccessKind::Atomic;
+    break;
+  }
+  bool IsShared = Record.space() == trace::MemSpace::Shared;
+  unsigned Size = Record.AccessSize ? Record.AccessSize : 1;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Record.ActiveMask >> Lane) & 1))
+      continue;
+    uint64_t Addr = Record.Addr[Lane];
+    for (unsigned Byte = 0; Byte != Size; ++Byte) {
+      if (IsShared) {
+        ShadowCell &Cell = BS.Shared.cell(Addr + Byte);
+        accessCell(Cell, Kind, WE.Clocks, Lane, Record.Pc,
+                   trace::MemSpace::Shared, Addr);
+      } else {
+        ShadowCell &Cell = globalCell(Addr + Byte);
+        CellGuard Guard(Cell, /*Locked=*/true);
+        accessCell(Cell, Kind, WE.Clocks, Lane, Record.Pc,
+                   trace::MemSpace::Global, Addr);
+      }
+    }
+  }
+
+  WE.Clocks.endInsn();
+  afterClockChange(BS, WE);
+}
+
+void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
+                                const LogRecord &Record) {
+  waitForTicket(Record.SyncSeq);
+  bool GlobalScope = Record.scope() == trace::SyncScope::Global;
+  bool IsShared = Record.space() == trace::MemSpace::Shared;
+  RecordOp Op = Record.op();
+
+  // Phase 1: the active lanes acquire in lockstep. Their sources are
+  // combined into one join (the endi at the end of the instruction would
+  // propagate each lane's acquisition across the group anyway; combining
+  // first keeps warp-level semantics deterministic).
+  if (Op == RecordOp::Acq || Op == RecordOp::AcqRel) {
+    CompactClock Incoming;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!((Record.ActiveMask >> Lane) & 1))
+        continue;
+      SyncKey Key{Record.space(), IsShared ? BS.BlockId : 0,
+                  Record.Addr[Lane]};
+      Shared.Syncs.with(Key, [&](SyncLocation &Loc) {
+        if (GlobalScope)
+          Loc.readAll(Incoming);
+        else
+          Loc.readBlock(BS.BlockId, Incoming);
+      });
+    }
+    WE.Clocks.acquire(Incoming);
+  }
+
+  // Phase 2: releases assign each lane's (post-acquire) clock snapshot.
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Record.ActiveMask >> Lane) & 1))
+      continue;
+    uint64_t Addr = Record.Addr[Lane];
+    SyncKey Key{Record.space(), IsShared ? BS.BlockId : 0, Addr};
+
+    // Mark the location in shadow memory for statistics/diagnostics.
+    if (IsShared) {
+      BS.Shared.cell(Addr).set(ShadowCell::FlagSyncLoc);
+    } else {
+      ShadowCell &Cell = globalCell(Addr);
+      CellGuard Guard(Cell, /*Locked=*/true);
+      Cell.set(ShadowCell::FlagSyncLoc);
+    }
+
+    if (Op == RecordOp::Rel || Op == RecordOp::AcqRel) {
+      Shared.Syncs.with(Key, [&](SyncLocation &Loc) {
+        CompactClock Snapshot;
+        WE.Clocks.releaseSnapshot(Lane, Snapshot);
+        if (GlobalScope)
+          Loc.assignAll(std::move(Snapshot));
+        else
+          Loc.assignBlock(BS.BlockId, std::move(Snapshot));
+      });
+    }
+  }
+
+  // The instruction boundary (endi), plus the extra increment the REL*
+  // and ACQREL* rules perform after publishing.
+  WE.Clocks.endInsn();
+  if (Op != RecordOp::Acq)
+    WE.Clocks.endInsn();
+  afterClockChange(BS, WE);
+  finishTicket(Record.SyncSeq);
+}
+
+void QueueProcessor::handleBarrier(BlockState &BS, WarpEntry &WE,
+                                   const LogRecord &Record) {
+  uint32_t Resident = residentMask(Record.Warp);
+  if (Record.ActiveMask != Resident)
+    Shared.Reporter.reportBarrierDivergence(Record.Pc, Record.Warp,
+                                            Record.ActiveMask, Resident);
+  BS.ArrivedWarps.push_back(Record.Warp);
+  afterClockChange(BS, WE);
+  if (BS.ArrivedWarps.size() >= BS.LiveWarps)
+    releaseBarrier(BS);
+}
+
+void QueueProcessor::releaseBarrier(BlockState &BS) {
+  ClockVal BlockMax = BS.MaxClock;
+  for (uint32_t GlobalWarp : BS.ArrivedWarps) {
+    WarpEntry &WE = warpEntry(BS, GlobalWarp);
+    WE.Clocks.barrierJoin(BlockMax);
+    afterClockChange(BS, WE);
+  }
+  BS.MaxClock = BlockMax + 1;
+  BS.ArrivedWarps.clear();
+}
+
+void QueueProcessor::handleWarpEnd(BlockState &BS,
+                                   const LogRecord &Record) {
+  auto It = BS.Warps.find(Record.Warp);
+  if (It != BS.Warps.end()) {
+    CurrentPtvcBytes -= It->second.LastBytes;
+    BS.Warps.erase(It);
+  }
+  assert(BS.LiveWarps != 0 && "warp-end accounting underflow");
+  --BS.LiveWarps;
+  // A warp exit can complete a barrier the remaining warps are parked at.
+  if (BS.LiveWarps && BS.ArrivedWarps.size() >= BS.LiveWarps)
+    releaseBarrier(BS);
+}
+
+void QueueProcessor::handleBlockEnd(BlockState &BS) {
+  if (!BS.ArrivedWarps.empty()) {
+    // Warps were still parked at a barrier when the block died: a hung
+    // barrier (divergence across warps).
+    Shared.Reporter.reportBarrierDivergence(0, BS.ArrivedWarps.front(), 0,
+                                            0);
+  }
+  SharedShadowBytes += BS.Shared.bytes();
+  Blocks.erase(BS.BlockId);
+}
+
+void QueueProcessor::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  for (const auto &[BlockId, BS] : Blocks)
+    SharedShadowBytes += BS.Shared.bytes();
+  Shared.mergeStats(Formats, PeakPtvcBytes, SharedShadowBytes, Records);
+}

@@ -1,0 +1,210 @@
+//===- Detector.h - the BARRACUDA race detection engine --------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-side race detector: implements the operational semantics of
+/// Figures 2 and 3 over streams of warp-level log records.
+///
+/// A QueueProcessor consumes one queue's records. Because every thread
+/// block routes to exactly one queue, all of a block's per-warp clock
+/// state and its shared-memory shadow are processor-private (no locks);
+/// only the global-memory shadow (per-cell spinlocks), the
+/// synchronization-location map (mutex) and the race reporter are shared.
+/// Synchronization records carry a device-issued ticket and are processed
+/// in ticket order across queues, so release/acquire edges are observed
+/// in their true order; data records need no such ordering (accesses
+/// connected by a sync chain are transitively ordered through their
+/// queue's FIFO and the tickets, and unordered accesses race either way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_DETECTOR_H
+#define BARRACUDA_DETECTOR_DETECTOR_H
+
+#include "detector/Ptvc.h"
+#include "detector/Report.h"
+#include "detector/Shadow.h"
+#include "sim/LaunchConfig.h"
+#include "trace/Record.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace barracuda {
+namespace detector {
+
+/// Configuration shared by all processors of one kernel run.
+struct DetectorOptions {
+  sim::ThreadHierarchy Hier;
+  /// Collect PTVC format and memory statistics (cheap; on by default).
+  bool CollectStats = true;
+};
+
+/// PTVC format census: how often (per processed record) each warp's
+/// clocks were representable in each format.
+struct PtvcFormatStats {
+  std::array<uint64_t, 4> Samples = {};
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t Count : Samples)
+      Sum += Count;
+    return Sum;
+  }
+  double fraction(PtvcFormat Format) const {
+    uint64_t Sum = total();
+    return Sum ? static_cast<double>(
+                     Samples[static_cast<size_t>(Format)]) /
+                     static_cast<double>(Sum)
+               : 0.0;
+  }
+  /// Fraction representable with at most two clock values per warp
+  /// (CONVERGED or DIVERGED) — the paper's "roughly 90%" observation.
+  double warpCompressibleFraction() const {
+    uint64_t Sum = total();
+    if (!Sum)
+      return 0.0;
+    return static_cast<double>(
+               Samples[static_cast<size_t>(PtvcFormat::Converged)] +
+               Samples[static_cast<size_t>(PtvcFormat::Diverged)]) /
+           static_cast<double>(Sum);
+  }
+
+  void merge(const PtvcFormatStats &Other) {
+    for (size_t I = 0; I != Samples.size(); ++I)
+      Samples[I] += Other.Samples[I];
+  }
+};
+
+/// State shared across every QueueProcessor of a run.
+class SharedDetectorState {
+public:
+  explicit SharedDetectorState(DetectorOptions Options)
+      : Options(Options) {}
+
+  const DetectorOptions &options() const { return Options; }
+
+  GlobalShadow GlobalMem;
+  SyncMap Syncs;
+  RaceReporter Reporter;
+  /// Count of synchronization tickets fully processed.
+  std::atomic<uint32_t> SyncProcessed{0};
+
+  /// Aggregated statistics (merged in by QueueProcessor::finish()).
+  void mergeStats(const PtvcFormatStats &Formats, uint64_t PeakPtvc,
+                  uint64_t SharedShadow, uint64_t Records);
+
+  PtvcFormatStats formatStats() const;
+  uint64_t peakPtvcBytes() const;
+  uint64_t sharedShadowBytes() const;
+  uint64_t recordsProcessed() const;
+
+private:
+  DetectorOptions Options;
+  mutable std::mutex StatsMutex;
+  PtvcFormatStats Formats;
+  uint64_t PeakPtvcBytes_ = 0;
+  uint64_t SharedShadowBytes_ = 0;
+  uint64_t Records_ = 0;
+};
+
+/// Consumes one queue's records and applies the detection rules.
+class QueueProcessor {
+public:
+  explicit QueueProcessor(SharedDetectorState &Shared);
+  ~QueueProcessor();
+
+  /// Processes one record (records of one queue, in order).
+  void process(const trace::LogRecord &Record);
+
+  /// Flushes statistics into the shared state. Call once, at end.
+  void finish();
+
+  uint64_t recordsProcessed() const { return Records; }
+
+private:
+  /// Lazily-grown unlocked shadow for one block's shared memory.
+  class LocalShadow {
+  public:
+    static constexpr uint64_t PageBits = 12; // 4 KB of shared mem per page
+    static constexpr uint64_t PageSize = 1ULL << PageBits;
+
+    ~LocalShadow();
+    ShadowCell &cell(uint64_t Addr);
+    uint64_t bytes() const {
+      return Pages.size() * PageSize * sizeof(ShadowCell);
+    }
+
+  private:
+    std::unordered_map<uint64_t, std::unique_ptr<ShadowCell[]>> Pages;
+  };
+
+  struct WarpEntry {
+    WarpClocks Clocks;
+    size_t LastBytes = 0;
+
+    WarpEntry(uint32_t GlobalWarp, uint32_t Resident,
+              const sim::ThreadHierarchy &Hier)
+        : Clocks(GlobalWarp, Resident, Hier) {}
+  };
+
+  struct BlockState {
+    uint32_t BlockId = 0;
+    std::unordered_map<uint32_t, WarpEntry> Warps;
+    ClockVal MaxClock = 1;
+    uint32_t LiveWarps = 0;
+    std::vector<uint32_t> ArrivedWarps;
+    LocalShadow Shared;
+  };
+
+  BlockState &blockState(uint32_t BlockId);
+  WarpEntry &warpEntry(BlockState &BS, uint32_t GlobalWarp);
+  uint32_t residentMask(uint32_t GlobalWarp) const;
+
+  ShadowCell &globalCell(uint64_t Addr);
+
+  void handleMemory(BlockState &BS, WarpEntry &WE,
+                    const trace::LogRecord &Record);
+  void handleSync(BlockState &BS, WarpEntry &WE,
+                  const trace::LogRecord &Record);
+  void handleBarrier(BlockState &BS, WarpEntry &WE,
+                     const trace::LogRecord &Record);
+  void releaseBarrier(BlockState &BS);
+  void handleWarpEnd(BlockState &BS, const trace::LogRecord &Record);
+  void handleBlockEnd(BlockState &BS);
+
+  void accessCell(ShadowCell &Cell, AccessKind Kind, WarpClocks &W,
+                  uint32_t Lane, uint32_t Pc, trace::MemSpace Space,
+                  uint64_t Addr);
+
+  void afterClockChange(BlockState &BS, WarpEntry &WE);
+  void waitForTicket(uint32_t Ticket);
+  void finishTicket(uint32_t Ticket);
+
+  SharedDetectorState &Shared;
+  const DetectorOptions &Opts;
+  std::unordered_map<uint32_t, BlockState> Blocks;
+
+  // Cache of the last-touched global shadow page.
+  uint64_t CachedPageId = ~0ULL;
+  ShadowCell *CachedPage = nullptr;
+
+  // Local statistics, merged at finish().
+  PtvcFormatStats Formats;
+  size_t CurrentPtvcBytes = 0;
+  size_t PeakPtvcBytes = 0;
+  uint64_t SharedShadowBytes = 0;
+  uint64_t Records = 0;
+  bool Finished = false;
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_DETECTOR_H

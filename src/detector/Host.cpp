@@ -1,0 +1,81 @@
+//===- Host.cpp - host-side detector threads -------------------------------===//
+
+#include "detector/Host.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::detector;
+
+HostDetector::HostDetector(trace::QueueSet &Queues,
+                           SharedDetectorState &State)
+    : Queues(Queues), State(State) {
+  for (unsigned I = 0; I != Queues.size(); ++I)
+    Processors.push_back(std::make_unique<QueueProcessor>(State));
+}
+
+HostDetector::~HostDetector() {
+  if (Started && !Joined) {
+    Queues.closeAll();
+    join();
+  }
+}
+
+void HostDetector::start() {
+  assert(!Started && "detector already started");
+  Started = true;
+  for (unsigned I = 0; I != Queues.size(); ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+void HostDetector::workerMain(unsigned QueueIndex) {
+  trace::EventQueue &Queue = Queues.queue(QueueIndex);
+  QueueProcessor &Processor = *Processors[QueueIndex];
+  constexpr size_t BatchSize = 64;
+  trace::LogRecord Batch[BatchSize];
+  for (;;) {
+    size_t Count = Queue.drain(Batch, BatchSize);
+    for (size_t I = 0; I != Count; ++I)
+      Processor.process(Batch[I]);
+    if (Count == 0) {
+      if (Queue.exhausted())
+        break;
+      std::this_thread::yield();
+    }
+  }
+  Processor.finish();
+}
+
+void HostDetector::join() {
+  assert(Started && "join before start");
+  if (Joined)
+    return;
+  Joined = true;
+  for (std::thread &Thread : Threads)
+    Thread.join();
+  Threads.clear();
+}
+
+uint64_t HostDetector::recordsProcessed() const {
+  uint64_t Count = 0;
+  for (const auto &Processor : Processors)
+    Count += Processor->recordsProcessed();
+  return Count;
+}
+
+void detector::processCollected(
+    SharedDetectorState &State, unsigned NumQueues,
+    const std::vector<uint32_t> &BlockIds,
+    const std::vector<trace::LogRecord> &Records) {
+  assert(BlockIds.size() == Records.size() &&
+         "mismatched collected streams");
+  std::vector<std::unique_ptr<QueueProcessor>> Processors;
+  for (unsigned I = 0; I != NumQueues; ++I)
+    Processors.push_back(std::make_unique<QueueProcessor>(State));
+  for (size_t I = 0; I != Records.size(); ++I) {
+    unsigned Queue = BlockIds[I] % NumQueues;
+    Processors[Queue]->process(Records[I]);
+  }
+  for (auto &Processor : Processors)
+    Processor->finish();
+}

@@ -1,0 +1,68 @@
+//===- Host.h - host-side detector threads ---------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-side runner: one detector thread per event queue (Section
+/// 4.3), each owning a QueueProcessor. Threads drain until their queue is
+/// closed and empty. Queue draining is the mirror image of the device
+/// logging algorithm, advancing the read head over committed records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_HOST_H
+#define BARRACUDA_DETECTOR_HOST_H
+
+#include "detector/Detector.h"
+#include "trace/Queue.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+/// Runs one detector thread per queue of a QueueSet.
+class HostDetector {
+public:
+  HostDetector(trace::QueueSet &Queues, SharedDetectorState &State);
+  ~HostDetector();
+
+  HostDetector(const HostDetector &) = delete;
+  HostDetector &operator=(const HostDetector &) = delete;
+
+  /// Spawns the worker threads.
+  void start();
+
+  /// Waits for every queue to be closed and fully drained, then merges
+  /// statistics. Call QueueSet::closeAll() (after the device finishes)
+  /// before join(), or join() never returns.
+  void join();
+
+  uint64_t recordsProcessed() const;
+
+private:
+  void workerMain(unsigned QueueIndex);
+
+  trace::QueueSet &Queues;
+  SharedDetectorState &State;
+  std::vector<std::unique_ptr<QueueProcessor>> Processors;
+  std::vector<std::thread> Threads;
+  bool Started = false;
+  bool Joined = false;
+};
+
+/// Synchronous alternative used by tests and the reference detector: runs
+/// records from a collecting logger through processors with the same
+/// block-to-queue routing, on the calling thread.
+void processCollected(SharedDetectorState &State, unsigned NumQueues,
+                      const std::vector<uint32_t> &BlockIds,
+                      const std::vector<trace::LogRecord> &Records);
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_HOST_H

@@ -1,0 +1,46 @@
+//===- Json.cpp - machine-readable race reports ------------------------------===//
+
+#include "detector/Json.h"
+
+#include "support/Format.h"
+
+using namespace barracuda;
+using namespace barracuda::detector;
+using support::formatString;
+
+std::string
+detector::reportsToJson(const std::vector<RaceReport> &Races,
+                        const std::vector<BarrierError> &Barriers) {
+  std::string Out = "{\n  \"races\": [";
+  for (size_t I = 0; I != Races.size(); ++I) {
+    const RaceReport &Race = Races[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += formatString(
+        "{\"pc\": %u, \"line\": %u, \"current\": \"%s\", "
+        "\"previous\": \"%s\", \"space\": \"%s\", \"scope\": \"%s\", "
+        "\"currentTid\": %llu, \"previousTid\": %llu, "
+        "\"address\": \"0x%llx\", \"count\": %llu}",
+        Race.Pc, Race.Line, accessKindName(Race.Current),
+        accessKindName(Race.Previous),
+        Race.Space == trace::MemSpace::Global ? "global" : "shared",
+        raceScopeName(Race.Scope),
+        static_cast<unsigned long long>(Race.CurrentTid),
+        static_cast<unsigned long long>(Race.PreviousTid),
+        static_cast<unsigned long long>(Race.Address),
+        static_cast<unsigned long long>(Race.Count));
+  }
+  Out += Races.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"barrierErrors\": [";
+  for (size_t I = 0; I != Barriers.size(); ++I) {
+    const BarrierError &Error = Barriers[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += formatString("{\"pc\": %u, \"warp\": %u, \"activeMask\": "
+                        "\"0x%x\", \"residentMask\": \"0x%x\", "
+                        "\"count\": %llu}",
+                        Error.Pc, Error.Warp, Error.ActiveMask,
+                        Error.ResidentMask,
+                        static_cast<unsigned long long>(Error.Count));
+  }
+  Out += Barriers.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- Json.h - machine-readable race reports -------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON rendering of race and barrier-divergence reports, for CI
+/// integration (`barracuda-run --json`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_JSON_H
+#define BARRACUDA_DETECTOR_JSON_H
+
+#include "detector/Report.h"
+
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+/// Renders reports as a JSON document:
+/// {"races":[{...}],"barrierErrors":[{...}]}
+std::string reportsToJson(const std::vector<RaceReport> &Races,
+                          const std::vector<BarrierError> &Barriers);
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_JSON_H

@@ -1,0 +1,360 @@
+//===- Ptvc.cpp - compressed per-thread vector clocks ----------------------===//
+
+#include "detector/Ptvc.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::detector;
+using trace::WarpSize;
+
+const char *detector::ptvcFormatName(PtvcFormat Format) {
+  switch (Format) {
+  case PtvcFormat::Converged:
+    return "converged";
+  case PtvcFormat::Diverged:
+    return "diverged";
+  case PtvcFormat::NestedDiverged:
+    return "nested-diverged";
+  case PtvcFormat::SparseVc:
+    return "sparse-vc";
+  }
+  return "converged";
+}
+
+//===----------------------------------------------------------------------===//
+// Frame helpers
+//===----------------------------------------------------------------------===//
+
+WarpClocks::Frame WarpClocks::Frame::clone() const {
+  Frame Copy;
+  Copy.Mask = Mask;
+  Copy.Self = Self;
+  Copy.WarpScalar = WarpScalar;
+  if (WarpVc)
+    Copy.WarpVc = std::make_unique<std::array<ClockVal, WarpSize>>(*WarpVc);
+  Copy.BlockClock = BlockClock;
+  Copy.PendingMax = 0;
+  Copy.Sparse = Sparse;
+  Copy.BlockFloors = BlockFloors;
+  return Copy;
+}
+
+void WarpClocks::Frame::materializeWarpVc() {
+  if (WarpVc)
+    return;
+  WarpVc = std::make_unique<std::array<ClockVal, WarpSize>>();
+  WarpVc->fill(WarpScalar);
+}
+
+void WarpClocks::Frame::setWarpLanes(uint32_t Lanes, ClockVal Value) {
+  if (!Lanes)
+    return;
+  if (!WarpVc) {
+    // Stays scalar if the remaining (non-target) lanes are irrelevant or
+    // already at Value.
+    if (WarpScalar == Value)
+      return;
+    materializeWarpVc();
+  }
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+    if ((Lanes >> Lane) & 1)
+      (*WarpVc)[Lane] = Value;
+}
+
+void WarpClocks::Frame::raiseWarpLanes(uint32_t Lanes, ClockVal Value) {
+  if (!Lanes || Value == 0)
+    return;
+  if (!WarpVc && Value <= WarpScalar)
+    return;
+  if (!WarpVc && Lanes == ~0u) {
+    WarpScalar = std::max(WarpScalar, Value);
+    return;
+  }
+  materializeWarpVc();
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+    if ((Lanes >> Lane) & 1)
+      (*WarpVc)[Lane] = std::max((*WarpVc)[Lane], Value);
+}
+
+//===----------------------------------------------------------------------===//
+// WarpClocks
+//===----------------------------------------------------------------------===//
+
+WarpClocks::WarpClocks(uint32_t GlobalWarp, uint32_t ResidentMask,
+                       const sim::ThreadHierarchy &Hier)
+    : GlobalWarp(GlobalWarp), Block(GlobalWarp / Hier.WarpsPerBlock),
+      Resident(ResidentMask), Hier(Hier) {
+  Frame Bottom;
+  Bottom.Mask = ResidentMask;
+  Bottom.Self = 1; // initial state: inc_t(bottom) for every thread
+  Stack.push_back(std::move(Bottom));
+}
+
+ClockVal WarpClocks::entryFor(uint32_t Lane, Tid Other,
+                              uint32_t OtherBlock) const {
+  const Frame &F = top();
+  Tid Self = tidOfLane(Lane);
+  if (Other == Self)
+    return F.Self;
+
+  ClockVal Structural;
+  if (OtherBlock == Block && Hier.warpOf(Other) == GlobalWarp) {
+    uint32_t OtherLane = Hier.laneOf(Other);
+    Structural = (F.Mask >> OtherLane) & 1 ? F.Self - 1
+                                           : F.warpEntry(OtherLane);
+  } else if (OtherBlock == Block) {
+    Structural = F.BlockClock;
+  } else {
+    auto It = F.BlockFloors.find(OtherBlock);
+    Structural = It == F.BlockFloors.end() ? 0 : It->second;
+  }
+
+  if (auto It = F.Sparse.find(Other); It != F.Sparse.end())
+    Structural = std::max(Structural, It->second);
+  return Structural;
+}
+
+void WarpClocks::branchIf(uint32_t ThenMask, uint32_t ElseMask) {
+  Frame &Parent = top();
+  ClockVal S = Parent.Self;
+
+  // Overlays "Value" as the path's knowledge of the sibling lanes. When
+  // the sibling lanes are the only lanes outside the path (no enclosing
+  // divergence), the scalar DIVERGED form suffices.
+  auto setSiblingView = [&](Frame &Path, uint32_t Sibling, ClockVal Value) {
+    uint32_t Outside = Resident & ~Path.Mask;
+    if (!Path.WarpVc && (Outside & ~Sibling) == 0) {
+      Path.WarpScalar = Value;
+      return;
+    }
+    Path.setWarpLanes(Sibling, Value);
+  };
+
+  // The suspended else path keeps the pre-branch view; its knowledge of
+  // the then threads is the pre-branch join (S-1).
+  Frame ElseFrame = Parent.clone();
+  ElseFrame.Mask = ElseMask;
+  ElseFrame.Self = S;
+  setSiblingView(ElseFrame, ThenMask, S - 1);
+
+  // The then path is joined and forked (the IF rule) and runs first.
+  Frame ThenFrame = Parent.clone();
+  ThenFrame.Mask = ThenMask;
+  ThenFrame.Self = S + 1;
+  setSiblingView(ThenFrame, ElseMask, S - 1);
+
+  Parent.PendingMax = 0;
+  Stack.push_back(std::move(ElseFrame));
+  Stack.push_back(std::move(ThenFrame));
+}
+
+void WarpClocks::mergeCompletedPath(Frame &Parent, const Frame &Done) {
+  Parent.PendingMax = std::max(Parent.PendingMax, Done.Self);
+  Parent.BlockClock = std::max(Parent.BlockClock, Done.BlockClock);
+  for (const auto &[Thread, Clock] : Done.Sparse) {
+    ClockVal &Slot = Parent.Sparse[Thread];
+    Slot = std::max(Slot, Clock);
+  }
+  for (const auto &[BlockId, Clock] : Done.BlockFloors) {
+    ClockVal &Slot = Parent.BlockFloors[BlockId];
+    Slot = std::max(Slot, Clock);
+  }
+  // Knowledge about warp threads outside the parent group (an enclosing
+  // divergence) may have been raised by acquires on the completed path.
+  uint32_t Outer = Resident & ~Parent.Mask;
+  if (!Outer)
+    return;
+  if (Done.WarpVc) {
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+      if ((Outer >> Lane) & 1)
+        Parent.raiseWarpLanes(1u << Lane, (*Done.WarpVc)[Lane]);
+  } else {
+    Parent.raiseWarpLanes(Outer, Done.WarpScalar);
+  }
+}
+
+void WarpClocks::branchElse(uint32_t Mask) {
+  assert(Stack.size() >= 3 && "else without matching if");
+  Frame Done = std::move(Stack.back());
+  Stack.pop_back();
+  Frame &Parent = Stack[Stack.size() - 2];
+  mergeCompletedPath(Parent, Done);
+
+  // The else path is joined and forked as it starts executing.
+  Frame &ElseFrame = top();
+  ElseFrame.Mask = Mask;
+  ++ElseFrame.Self;
+}
+
+void WarpClocks::branchFi(uint32_t Mask) {
+  assert(Stack.size() >= 2 && "fi without matching if");
+  Frame Done = std::move(Stack.back());
+  Stack.pop_back();
+  Frame &Parent = top();
+  mergeCompletedPath(Parent, Done);
+
+  // Join and fork the merged group. Broadcasting the maximum time of the
+  // merged paths (rather than each path's own final time) loses no
+  // precision: no thread has events in (its final time, GroupMax].
+  ClockVal GroupMax = std::max(Parent.Self, Parent.PendingMax);
+  Parent.Self = GroupMax + 1;
+  Parent.Mask = Mask;
+  Parent.PendingMax = 0;
+  compress();
+}
+
+void WarpClocks::barrierJoin(ClockVal BlockMax) {
+  Frame &F = top();
+  assert(BlockMax + 1 > F.Self && "barrier must advance time");
+  F.Self = BlockMax + 1;
+  F.BlockClock = std::max(F.BlockClock, BlockMax);
+  // Entries subsumed by the new block clock can be dropped (the paper's
+  // "check for simpler format" step).
+  for (auto It = F.Sparse.begin(); It != F.Sparse.end();) {
+    if (It->second <= F.BlockClock &&
+        Hier.blockOf(It->first) == Block)
+      It = F.Sparse.erase(It);
+    else
+      ++It;
+  }
+  F.raiseWarpLanes(Resident & ~F.Mask, BlockMax);
+  compress();
+}
+
+void WarpClocks::acquire(const CompactClock &From) {
+  Frame &F = top();
+  for (const auto &[BlockId, Floor] : From.blockFloors()) {
+    if (Floor == 0)
+      continue;
+    if (BlockId == Block) {
+      F.BlockClock = std::max(F.BlockClock, Floor);
+      F.raiseWarpLanes(~F.Mask, Floor);
+      // A floor at or above the group's own time cannot arise from a
+      // well-formed release (the releaser's knowledge of us is bounded
+      // by our own clock); clamp defensively via overrides if it does.
+      if (Floor > F.Self - 1) {
+        for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+          if ((F.Mask >> Lane) & 1) {
+            ClockVal &Slot = F.Sparse[tidOfLane(Lane)];
+            Slot = std::max(Slot, Floor);
+          }
+      }
+    } else {
+      ClockVal &Slot = F.BlockFloors[BlockId];
+      Slot = std::max(Slot, Floor);
+    }
+  }
+
+  for (const auto &[Thread, Clock] : From.entries()) {
+    if (Clock == 0)
+      continue;
+    uint32_t OtherBlock = Hier.blockOf(Thread);
+    if (OtherBlock == Block && Hier.warpOf(Thread) == GlobalWarp) {
+      uint32_t Lane = Hier.laneOf(Thread);
+      if ((F.Mask >> Lane) & 1) {
+        // Entry for a lockstep mate (or self): structurally Self-1 (or
+        // Self); only a stale release can carry more, and then only up
+        // to the mate's current time.
+        if (Clock > F.Self - 1 && Thread != tidOfLane(Lane)) {
+          ClockVal &Slot = F.Sparse[Thread];
+          Slot = std::max(Slot, Clock);
+        }
+      } else {
+        F.raiseWarpLanes(1u << Lane, Clock);
+      }
+      continue;
+    }
+    ClockVal Structural =
+        OtherBlock == Block
+            ? F.BlockClock
+            : (F.BlockFloors.count(OtherBlock) ? F.BlockFloors[OtherBlock]
+                                               : 0);
+    if (Clock > Structural) {
+      ClockVal &Slot = F.Sparse[Thread];
+      Slot = std::max(Slot, Clock);
+    }
+  }
+}
+
+void WarpClocks::releaseSnapshot(uint32_t Lane, CompactClock &Into) const {
+  const Frame &F = top();
+  assert((F.Mask >> Lane) & 1 && "releasing lane is not active");
+
+  for (unsigned L = 0; L != WarpSize; ++L) {
+    if (!((Resident >> L) & 1))
+      continue;
+    ClockVal Entry;
+    if (L == Lane)
+      Entry = F.Self;
+    else if ((F.Mask >> L) & 1)
+      Entry = F.Self - 1;
+    else
+      Entry = F.warpEntry(L);
+    if (Entry)
+      Into.raiseEntry(tidOfLane(L), Entry);
+  }
+  if (F.BlockClock)
+    Into.raiseBlockFloor(Block, F.BlockClock);
+  for (const auto &[BlockId, Floor] : F.BlockFloors)
+    Into.raiseBlockFloor(BlockId, Floor);
+  for (const auto &[Thread, Clock] : F.Sparse)
+    Into.raiseEntry(Thread, Clock);
+}
+
+void WarpClocks::compress() {
+  Frame &F = top();
+  // When every resident lane is active again, knowledge about "other
+  // paths" is vacuous: drop the warp vector.
+  if (Stack.size() == 1 && (F.Mask & Resident) == Resident) {
+    F.WarpVc.reset();
+    F.WarpScalar = 0;
+  } else if (F.WarpVc) {
+    // Collapse the vector to a scalar when all lanes outside the active
+    // group agree.
+    bool Uniform = true;
+    ClockVal Value = 0;
+    bool Seen = false;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!((Resident >> Lane) & 1) || ((F.Mask >> Lane) & 1))
+        continue;
+      if (!Seen) {
+        Value = (*F.WarpVc)[Lane];
+        Seen = true;
+      } else if ((*F.WarpVc)[Lane] != Value) {
+        Uniform = false;
+        break;
+      }
+    }
+    if (Uniform) {
+      F.WarpVc.reset();
+      F.WarpScalar = Value;
+    }
+  }
+}
+
+PtvcFormat WarpClocks::format() const {
+  for (const Frame &F : Stack)
+    if (!F.Sparse.empty() || !F.BlockFloors.empty())
+      return PtvcFormat::SparseVc;
+  if (Stack.size() == 1 && (top().Mask & Resident) == Resident &&
+      !top().WarpVc)
+    return PtvcFormat::Converged;
+  for (const Frame &F : Stack)
+    if (F.WarpVc)
+      return PtvcFormat::NestedDiverged;
+  return PtvcFormat::Diverged;
+}
+
+size_t WarpClocks::memoryBytes() const {
+  size_t Bytes = sizeof(WarpClocks);
+  for (const Frame &F : Stack) {
+    Bytes += 16; // the paper's 16-byte stack entry core
+    if (F.WarpVc)
+      Bytes += sizeof(*F.WarpVc);
+    Bytes += F.Sparse.size() * (sizeof(Tid) + sizeof(ClockVal) + 16);
+    Bytes += F.BlockFloors.size() *
+             (sizeof(uint32_t) + sizeof(ClockVal) + 16);
+  }
+  return Bytes;
+}

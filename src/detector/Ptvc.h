@@ -1,0 +1,165 @@
+//===- Ptvc.h - compressed per-thread vector clocks (Figure 7) -------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BARRACUDA's lossless per-thread vector clock (PTVC) compression
+/// (Section 4.3.1). PTVCs are managed at warp granularity: a WarpClocks
+/// object implicitly represents the full vector clock of every thread in
+/// one warp via a stack of divergence frames that mirrors the hardware
+/// SIMT reconvergence stack.
+///
+/// A frame represents one control-flow path: the set of lockstep threads
+/// on it (active mask), their logical time, and their knowledge of
+/// everyone else, factored by the thread hierarchy:
+///
+///   * SelfClock      — each active thread's entry for itself; lockstep
+///                      execution keeps the whole group at one value, and
+///                      an active thread's entry for an active *mate* is
+///                      always SelfClock-1 (they joined and forked at the
+///                      previous instruction boundary);
+///   * WarpScalar /   — entries for warp threads on other paths; a scalar
+///     WarpVc           when they all diverged at one time (DIVERGED
+///                      format), a 32-entry vector under nesting
+///                      (NESTEDDIVERGED);
+///   * BlockClock     — entries for same-block threads outside the warp
+///                      (kept uniform by broadcasting the block max at
+///                      barriers, Section 4.3.2);
+///   * BlockFloors    — per-block floors learned from global acquires;
+///   * Sparse         — point-to-point overrides for arbitrary threads
+///                      (the SPARSEVC format).
+///
+/// The representation is lossless: entryFor() reconstructs any component
+/// of any thread's full vector clock, and the property tests check it
+/// against an uncompressed reference detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_PTVC_H
+#define BARRACUDA_DETECTOR_PTVC_H
+
+#include "detector/Clock.h"
+#include "sim/LaunchConfig.h"
+#include "trace/Record.h"
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+/// The four PTVC formats of Figure 7, derived from the live state.
+enum class PtvcFormat : uint8_t {
+  Converged,
+  Diverged,
+  NestedDiverged,
+  SparseVc,
+};
+
+const char *ptvcFormatName(PtvcFormat Format);
+
+/// Compressed clocks for all threads of one warp.
+class WarpClocks {
+public:
+  WarpClocks(uint32_t GlobalWarp, uint32_t ResidentMask,
+             const sim::ThreadHierarchy &Hier);
+
+  uint32_t globalWarp() const { return GlobalWarp; }
+  uint32_t blockId() const { return Block; }
+  uint32_t activeMask() const { return Stack.back().Mask; }
+  uint32_t residentMask() const { return Resident; }
+
+  /// The active group's logical time (own entry of each active thread).
+  ClockVal selfClock() const { return Stack.back().Self; }
+
+  Tid tidOfLane(uint32_t Lane) const {
+    return Hier.tidOfLane(GlobalWarp, Lane);
+  }
+
+  /// The epoch E(t) for the active thread in \p Lane.
+  Epoch epochOf(uint32_t Lane) const {
+    return Epoch{selfClock(), tidOfLane(Lane)};
+  }
+
+  /// C_t(Other): the component for \p Other of the full vector clock of
+  /// the *active* thread in \p Lane. \p OtherBlock is block(Other).
+  ClockVal entryFor(uint32_t Lane, Tid Other, uint32_t OtherBlock) const;
+
+  /// ENDINSN: joins and forks the active group (SelfClock advances).
+  void endInsn() { ++Stack.back().Self; }
+
+  /// IF: the active group splits; the then path (executed first) is
+  /// joined and forked, the else path is suspended.
+  void branchIf(uint32_t ThenMask, uint32_t ElseMask);
+
+  /// ELSE: the then path completes; the else path is joined and forked.
+  void branchElse(uint32_t Mask);
+
+  /// FI: both paths complete; the merged group is joined and forked.
+  void branchFi(uint32_t Mask);
+
+  /// BAR: block-wide join; every thread's time becomes \p BlockMax + 1
+  /// and its knowledge of the whole block becomes \p BlockMax.
+  void barrierJoin(ClockVal BlockMax);
+
+  /// ACQ*: joins \p From into the active group's clocks.
+  void acquire(const CompactClock &From);
+
+  /// REL*: writes the full vector clock of the active thread in \p Lane
+  /// into \p Into (which the caller has cleared; the REL rules assign).
+  void releaseSnapshot(uint32_t Lane, CompactClock &Into) const;
+
+  /// Current format, for the compression ablation.
+  PtvcFormat format() const;
+
+  /// Approximate heap footprint of this warp's clock state.
+  size_t memoryBytes() const;
+
+  /// Stack depth (1 = converged).
+  size_t frameCount() const { return Stack.size(); }
+
+private:
+  struct Frame {
+    uint32_t Mask = 0;
+    ClockVal Self = 1;
+    ClockVal WarpScalar = 0;
+    std::unique_ptr<std::array<ClockVal, trace::WarpSize>> WarpVc;
+    ClockVal BlockClock = 0;
+    ClockVal PendingMax = 0; ///< max final time of completed sibling paths
+    std::map<Tid, ClockVal> Sparse;
+    std::map<uint32_t, ClockVal> BlockFloors;
+
+    Frame clone() const;
+    ClockVal warpEntry(uint32_t Lane) const {
+      return WarpVc ? (*WarpVc)[Lane] : WarpScalar;
+    }
+    void setWarpLanes(uint32_t Lanes, ClockVal Value);
+    void raiseWarpLanes(uint32_t Lanes, ClockVal Value);
+    void materializeWarpVc();
+  };
+
+  Frame &top() { return Stack.back(); }
+  const Frame &top() const { return Stack.back(); }
+
+  /// Folds a completed path's knowledge into its parent frame.
+  void mergeCompletedPath(Frame &Parent, const Frame &Done);
+
+  /// Drops redundant state when the representation allows a simpler
+  /// format (after barriers and reconvergence).
+  void compress();
+
+  uint32_t GlobalWarp;
+  uint32_t Block;
+  uint32_t Resident;
+  sim::ThreadHierarchy Hier;
+  std::vector<Frame> Stack;
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_PTVC_H

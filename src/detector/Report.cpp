@@ -1,0 +1,136 @@
+//===- Report.cpp - race reports, classification, deduplication -----------===//
+
+#include "detector/Report.h"
+
+#include "support/Format.h"
+
+using namespace barracuda;
+using namespace barracuda::detector;
+
+const char *detector::accessKindName(AccessKind Kind) {
+  switch (Kind) {
+  case AccessKind::Read:
+    return "read";
+  case AccessKind::Write:
+    return "write";
+  case AccessKind::Atomic:
+    return "atomic";
+  }
+  return "read";
+}
+
+const char *detector::raceScopeName(RaceScopeKind Scope) {
+  switch (Scope) {
+  case RaceScopeKind::IntraWarp:
+    return "intra-warp";
+  case RaceScopeKind::IntraBlock:
+    return "intra-block";
+  case RaceScopeKind::InterBlock:
+    return "inter-block";
+  }
+  return "inter-block";
+}
+
+std::string RaceReport::describe() const {
+  std::string Where =
+      Line ? support::formatString("pc %u (line %u)", Pc, Line)
+           : support::formatString("pc %u", Pc);
+  return support::formatString(
+      "%s race in %s memory at %s: %s by T%llu vs %s by T%llu "
+      "(addr 0x%llx, %llu occurrences)",
+      raceScopeName(Scope),
+      Space == trace::MemSpace::Global ? "global" : "shared",
+      Where.c_str(), accessKindName(Current),
+      static_cast<unsigned long long>(CurrentTid),
+      accessKindName(Previous),
+      static_cast<unsigned long long>(PreviousTid),
+      static_cast<unsigned long long>(Address),
+      static_cast<unsigned long long>(Count));
+}
+
+void RaceReporter::reportRace(uint32_t Pc, AccessKind Current,
+                              AccessKind Previous, trace::MemSpace Space,
+                              RaceScopeKind Scope, Tid CurrentTid,
+                              Tid PreviousTid, uint64_t Address) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  RaceKey Key{Pc, Current, Previous, Space, Scope};
+  auto [It, Inserted] = Races.try_emplace(Key);
+  RaceReport &Report = It->second;
+  if (Inserted) {
+    Report.Pc = Pc;
+    Report.Current = Current;
+    Report.Previous = Previous;
+    Report.Space = Space;
+    Report.Scope = Scope;
+    Report.CurrentTid = CurrentTid;
+    Report.PreviousTid = PreviousTid;
+    Report.Address = Address;
+  }
+  ++Report.Count;
+}
+
+void RaceReporter::reportBarrierDivergence(uint32_t Pc, uint32_t Warp,
+                                           uint32_t ActiveMask,
+                                           uint32_t ResidentMask) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto [It, Inserted] = Barriers.try_emplace({Pc, Warp});
+  BarrierError &Error = It->second;
+  if (Inserted) {
+    Error.Pc = Pc;
+    Error.Warp = Warp;
+    Error.ActiveMask = ActiveMask;
+    Error.ResidentMask = ResidentMask;
+  }
+  ++Error.Count;
+}
+
+std::vector<RaceReport> RaceReporter::races() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<RaceReport> Result;
+  Result.reserve(Races.size());
+  for (const auto &[Key, Report] : Races)
+    Result.push_back(Report);
+  return Result;
+}
+
+std::vector<BarrierError> RaceReporter::barrierErrors() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<BarrierError> Result;
+  Result.reserve(Barriers.size());
+  for (const auto &[Key, Error] : Barriers)
+    Result.push_back(Error);
+  return Result;
+}
+
+uint64_t RaceReporter::distinctRaces() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Races.size();
+}
+
+uint64_t RaceReporter::dynamicRaceCount() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  uint64_t Count = 0;
+  for (const auto &[Key, Report] : Races)
+    Count += Report.Count;
+  return Count;
+}
+
+bool RaceReporter::anyErrors() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return !Barriers.empty();
+}
+
+uint64_t RaceReporter::racesInSpace(trace::MemSpace Space) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  uint64_t Count = 0;
+  for (const auto &[Key, Report] : Races)
+    if (Report.Space == Space)
+      ++Count;
+  return Count;
+}
+
+void RaceReporter::clear() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Races.clear();
+  Barriers.clear();
+}

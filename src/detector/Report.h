@@ -1,0 +1,113 @@
+//===- Report.h - race reports, classification, deduplication -------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race and error reports produced by the detector. When a race is
+/// detected, the offending TIDs are examined to classify the race as a
+/// divergence (intra-warp) race, an intra-block race or an inter-block
+/// race (Section 4.3.3); reports are deduplicated by static program
+/// point and classification, with occurrence counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_REPORT_H
+#define BARRACUDA_DETECTOR_REPORT_H
+
+#include "detector/Clock.h"
+#include "trace/Record.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+/// The kind of each access participating in a race.
+enum class AccessKind : uint8_t {
+  Read,
+  Write,
+  Atomic,
+};
+
+const char *accessKindName(AccessKind Kind);
+
+/// Classification by where the two threads sit in the hierarchy.
+enum class RaceScopeKind : uint8_t {
+  IntraWarp,  ///< a divergence / lockstep-write race
+  IntraBlock, ///< same block, different warps
+  InterBlock, ///< different blocks
+};
+
+const char *raceScopeName(RaceScopeKind Scope);
+
+/// One (deduplicated) data-race report.
+struct RaceReport {
+  uint32_t Pc = 0;   ///< pc of the later (detecting) access
+  uint32_t Line = 0; ///< PTX source line for Pc (filled by the Session)
+  AccessKind Current = AccessKind::Read;
+  AccessKind Previous = AccessKind::Read;
+  trace::MemSpace Space = trace::MemSpace::Global;
+  RaceScopeKind Scope = RaceScopeKind::InterBlock;
+  Tid CurrentTid = 0;  ///< example offending threads (first occurrence)
+  Tid PreviousTid = 0;
+  uint64_t Address = 0; ///< example address (first occurrence)
+  uint64_t Count = 0;   ///< dynamic occurrences
+
+  std::string describe() const;
+};
+
+/// A barrier-divergence error: bar.sync executed by a warp whose active
+/// mask excludes resident threads.
+struct BarrierError {
+  uint32_t Pc = 0;
+  uint32_t Warp = 0;
+  uint32_t ActiveMask = 0;
+  uint32_t ResidentMask = 0;
+  uint64_t Count = 0;
+};
+
+/// Thread-safe collector with per-program-point deduplication.
+class RaceReporter {
+public:
+  void reportRace(uint32_t Pc, AccessKind Current, AccessKind Previous,
+                  trace::MemSpace Space, RaceScopeKind Scope, Tid CurrentTid,
+                  Tid PreviousTid, uint64_t Address);
+
+  void reportBarrierDivergence(uint32_t Pc, uint32_t Warp,
+                               uint32_t ActiveMask, uint32_t ResidentMask);
+
+  /// All distinct races, ordered by pc then classification.
+  std::vector<RaceReport> races() const;
+  std::vector<BarrierError> barrierErrors() const;
+
+  uint64_t distinctRaces() const;
+  uint64_t dynamicRaceCount() const;
+  bool anyRaces() const { return distinctRaces() != 0; }
+  bool anyErrors() const;
+
+  /// Distinct races touching the given space.
+  uint64_t racesInSpace(trace::MemSpace Space) const;
+
+  void clear();
+
+private:
+  using RaceKey =
+      std::tuple<uint32_t, AccessKind, AccessKind, trace::MemSpace,
+                 RaceScopeKind>;
+
+  mutable std::mutex Mutex;
+  std::map<RaceKey, RaceReport> Races;
+  std::map<std::pair<uint32_t, uint32_t>, BarrierError> Barriers;
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_REPORT_H

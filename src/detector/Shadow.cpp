@@ -1,0 +1,36 @@
+//===- Shadow.cpp - shadow memory and synchronization-location map --------===//
+
+#include "detector/Shadow.h"
+
+using namespace barracuda;
+using namespace barracuda::detector;
+
+GlobalShadow::~GlobalShadow() {
+  for (auto &[PageId, Cells] : Pages)
+    for (uint64_t I = 0; I != PageSize; ++I)
+      delete Cells[I].Readers;
+}
+
+ShadowCell *GlobalShadow::page(uint64_t Addr) {
+  uint64_t PageId = Addr >> PageBits;
+  std::lock_guard<std::mutex> Guard(TableMutex);
+  auto It = Pages.find(PageId);
+  if (It == Pages.end()) {
+    It = Pages.emplace(PageId, std::make_unique<ShadowCell[]>(PageSize))
+             .first;
+    for (uint64_t I = 0; I != PageSize; ++I)
+      It->second[I].set(ShadowCell::FlagGlobalMem);
+  }
+  return It->second.get();
+}
+
+size_t GlobalShadow::pageCount() const {
+  std::lock_guard<std::mutex> Guard(TableMutex);
+  return Pages.size();
+}
+
+uint64_t GlobalShadow::shadowBytes() const {
+  std::lock_guard<std::mutex> Guard(TableMutex);
+  return static_cast<uint64_t>(Pages.size()) * PageSize *
+         sizeof(ShadowCell);
+}

@@ -1,0 +1,232 @@
+//===- Shadow.h - shadow memory and synchronization-location map ----------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side shadow memory (Figure 8). Every byte of device memory is
+/// tracked by one 32-byte cell holding the last-write epoch, the
+/// last-read epoch (or a pointer to a sparse read vector clock once the
+/// location has concurrent readers), a spinlock, and flag bits (atomic
+/// last-write, read-shared, sync-location, global-vs-shared).
+///
+/// Global-memory shadow is allocated on demand behind a page table, since
+/// global allocations can occur during kernel execution; shared-memory
+/// shadow is owned privately by the queue processor handling the block
+/// (one block never spans two queues), so it needs no locking.
+///
+/// Synchronization locations (addresses used by acquire/release bundles)
+/// are rare and are tracked in their own map: for each location x, a
+/// vector clock per thread block (the S_x map of Section 3.3), with a
+/// separate slot for global-scope releases, which assign to every block
+/// at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_SHADOW_H
+#define BARRACUDA_DETECTOR_SHADOW_H
+
+#include "detector/Clock.h"
+#include "trace/Record.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+/// Per-byte metadata. 32 bytes, like the paper's padded cell.
+struct ShadowCell {
+  static constexpr uint8_t FlagAtomic = 1;      ///< last write was atomic
+  static constexpr uint8_t FlagReadShared = 2;  ///< Readers VC in use
+  static constexpr uint8_t FlagSyncLoc = 4;     ///< used as a sync location
+  static constexpr uint8_t FlagGlobalMem = 8;   ///< global (vs shared)
+
+  uint32_t WriteClock = 0;
+  uint32_t WriteTid = 0;
+  uint32_t ReadClock = 0;
+  uint32_t ReadTid = 0;
+  CompactClock *Readers = nullptr; ///< owned; non-null iff FlagReadShared
+  uint8_t Flags = 0;
+  std::atomic<uint8_t> Lock{0};
+  uint16_t Pad = 0;
+
+  bool has(uint8_t Flag) const { return (Flags & Flag) != 0; }
+  void set(uint8_t Flag) { Flags |= Flag; }
+  void clearFlag(uint8_t Flag) { Flags &= static_cast<uint8_t>(~Flag); }
+
+  void acquireLock() {
+    uint8_t Expected = 0;
+    while (!Lock.compare_exchange_weak(Expected, 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+      Expected = 0;
+  }
+  void releaseLock() { Lock.store(0, std::memory_order_release); }
+
+  /// Drops read metadata (the R := bottom step of the write/atomic rules).
+  void clearReads() {
+    delete Readers;
+    Readers = nullptr;
+    clearFlag(FlagReadShared);
+    ReadClock = 0;
+    ReadTid = 0;
+  }
+};
+
+static_assert(sizeof(ShadowCell) == 32,
+              "shadow cells must match the paper's 32-byte layout");
+
+/// RAII guard for a cell spinlock.
+class CellGuard {
+public:
+  explicit CellGuard(ShadowCell &Cell, bool Locked) : Cell(Cell),
+                                                      Locked(Locked) {
+    if (Locked)
+      Cell.acquireLock();
+  }
+  ~CellGuard() {
+    if (Locked)
+      Cell.releaseLock();
+  }
+  CellGuard(const CellGuard &) = delete;
+  CellGuard &operator=(const CellGuard &) = delete;
+
+private:
+  ShadowCell &Cell;
+  bool Locked;
+};
+
+/// On-demand paged shadow for global memory, shared by all detector
+/// threads. Callers cache page pointers to avoid the table mutex.
+class GlobalShadow {
+public:
+  static constexpr uint64_t PageBits = 16; ///< 64 KB of device memory/page
+  static constexpr uint64_t PageSize = 1ULL << PageBits;
+
+  GlobalShadow() = default;
+  ~GlobalShadow();
+  GlobalShadow(const GlobalShadow &) = delete;
+  GlobalShadow &operator=(const GlobalShadow &) = delete;
+
+  /// The shadow page covering \p Addr (creating it if needed). The
+  /// returned array has PageSize cells, indexed by Addr % PageSize.
+  ShadowCell *page(uint64_t Addr);
+
+  uint64_t pageId(uint64_t Addr) const { return Addr >> PageBits; }
+
+  size_t pageCount() const;
+
+  /// Host memory consumed by global shadow cells.
+  uint64_t shadowBytes() const;
+
+private:
+  mutable std::mutex TableMutex;
+  std::unordered_map<uint64_t, std::unique_ptr<ShadowCell[]>> Pages;
+};
+
+/// Identity of a synchronization location.
+struct SyncKey {
+  trace::MemSpace Space = trace::MemSpace::Global;
+  uint32_t Block = 0; ///< owning block for shared locations; 0 for global
+  uint64_t Addr = 0;
+
+  bool operator==(const SyncKey &Other) const {
+    return Space == Other.Space && Block == Other.Block &&
+           Addr == Other.Addr;
+  }
+};
+
+struct SyncKeyHash {
+  size_t operator()(const SyncKey &Key) const {
+    uint64_t H = Key.Addr * 0x9E3779B97F4A7C15ULL;
+    H ^= (static_cast<uint64_t>(Key.Block) << 1) ^
+         static_cast<uint64_t>(Key.Space);
+    return static_cast<size_t>(H ^ (H >> 29));
+  }
+};
+
+/// S_x for one location: a vector clock per thread block, plus the
+/// assignment slot written by global-scope releases (which set S_x[b]
+/// for every b in the grid at once).
+struct SyncLocation {
+  std::unordered_map<uint32_t, CompactClock> PerBlock;
+  CompactClock GlobalAll;
+  bool HasGlobalAll = false;
+
+  /// Joins S_x[Block] into \p Out.
+  void readBlock(uint32_t Block, CompactClock &Out) const {
+    if (auto It = PerBlock.find(Block); It != PerBlock.end()) {
+      Out.joinFrom(It->second);
+      return;
+    }
+    if (HasGlobalAll)
+      Out.joinFrom(GlobalAll);
+  }
+
+  /// Joins the union of every block's S_x[b] into \p Out (ACQGLOBAL).
+  void readAll(CompactClock &Out) const {
+    if (HasGlobalAll)
+      Out.joinFrom(GlobalAll);
+    for (const auto &[Block, Clock] : PerBlock)
+      Out.joinFrom(Clock);
+  }
+
+  /// S_x[Block] := Value (RELBLOCK). Note: assignment, not join — but a
+  /// previous global release still floors the other blocks.
+  void assignBlock(uint32_t Block, CompactClock Value) {
+    PerBlock[Block] = std::move(Value);
+  }
+
+  /// For all b: S_x[b] := Value (RELGLOBAL).
+  void assignAll(CompactClock Value) {
+    PerBlock.clear();
+    GlobalAll = std::move(Value);
+    HasGlobalAll = true;
+  }
+
+  size_t memoryBytes() const {
+    size_t Bytes = GlobalAll.memoryBytes();
+    for (const auto &[Block, Clock] : PerBlock)
+      Bytes += Clock.memoryBytes() + 24;
+    return Bytes;
+  }
+};
+
+/// The global synchronization-location map, mutex-guarded (sync
+/// operations are rare relative to data accesses).
+class SyncMap {
+public:
+  /// Runs \p Fn with exclusive access to the location for \p Key.
+  template <typename FnT> void with(const SyncKey &Key, FnT Fn) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    Fn(Map[Key]);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Map.size();
+  }
+
+  uint64_t memoryBytes() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    uint64_t Bytes = 0;
+    for (const auto &[Key, Loc] : Map)
+      Bytes += sizeof(SyncKey) + Loc.memoryBytes() + 32;
+    return Bytes;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<SyncKey, SyncLocation, SyncKeyHash> Map;
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_SHADOW_H

@@ -1,0 +1,486 @@
+//===- Instrumenter.cpp - PTX binary instrumentation framework ------------===//
+
+#include "instrument/Instrumenter.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+
+using namespace barracuda;
+using namespace barracuda::instrument;
+using namespace barracuda::ptx;
+
+const char *instrument::logActionName(LogActionKind Kind) {
+  switch (Kind) {
+  case LogActionKind::None:
+    return "none";
+  case LogActionKind::Read:
+    return "read";
+  case LogActionKind::Write:
+    return "write";
+  case LogActionKind::Atom:
+    return "atom";
+  case LogActionKind::Acquire:
+    return "acquire";
+  case LogActionKind::Release:
+    return "release";
+  case LogActionKind::AcquireRelease:
+    return "acquire-release";
+  case LogActionKind::FencePart:
+    return "fence-part";
+  case LogActionKind::Fence:
+    return "fence";
+  case LogActionKind::Barrier:
+    return "barrier";
+  case LogActionKind::Branch:
+    return "branch";
+  }
+  return "none";
+}
+
+/// True for instructions whose logging hook must be covered by a branch
+/// when predicated: everything that can produce a trace operation.
+static bool isLoggableWhenPredicated(const Instruction &Insn) {
+  if (Insn.isFence() || Insn.isBarrier())
+    return true;
+  if (!Insn.isMemAccess())
+    return false;
+  return Insn.Space == StateSpace::Global ||
+         Insn.Space == StateSpace::Shared ||
+         Insn.Space == StateSpace::Generic;
+}
+
+unsigned instrument::transformPredicatedInstructions(Kernel &K) {
+  bool AnyGuarded = false;
+  for (const Instruction &Insn : K.Body)
+    if (Insn.isGuarded() && !Insn.isBranch() &&
+        isLoggableWhenPredicated(Insn))
+      AnyGuarded = true;
+  if (!AnyGuarded)
+    return 0;
+
+  std::vector<Instruction> NewBody;
+  NewBody.reserve(K.Body.size() + 8);
+  std::vector<uint32_t> Remap(K.Body.size() + 1, 0);
+  struct Fixup {
+    size_t BranchIndex; ///< index of the inserted branch in NewBody
+    size_t TargetIndex; ///< index it must jump to in NewBody
+  };
+  std::vector<Fixup> Fixups;
+  std::vector<std::pair<std::string, uint32_t>> NewLabels;
+  unsigned Transformed = 0;
+
+  for (size_t Index = 0; Index != K.Body.size(); ++Index) {
+    const Instruction &Insn = K.Body[Index];
+    Remap[Index] = static_cast<uint32_t>(NewBody.size());
+    if (!(Insn.isGuarded() && !Insn.isBranch() &&
+          isLoggableWhenPredicated(Insn))) {
+      NewBody.push_back(Insn);
+      continue;
+    }
+
+    std::string SkipLabel =
+        support::formatString("__bcuda_skip_%u", Transformed);
+    Instruction Branch;
+    Branch.Op = Opcode::Bra;
+    Branch.Line = Insn.Line;
+    Branch.GuardPred = Insn.GuardPred;
+    Branch.GuardNegated = !Insn.GuardNegated;
+    Branch.Ops.push_back(Operand::makeLabel(SkipLabel));
+    size_t BranchIndex = NewBody.size();
+    NewBody.push_back(std::move(Branch));
+
+    Instruction Plain = Insn;
+    Plain.GuardPred = -1;
+    Plain.GuardNegated = false;
+    NewBody.push_back(std::move(Plain));
+
+    Fixups.push_back(Fixup{BranchIndex, NewBody.size()});
+    NewLabels.emplace_back(SkipLabel,
+                           static_cast<uint32_t>(NewBody.size()));
+    ++Transformed;
+  }
+  Remap[K.Body.size()] = static_cast<uint32_t>(NewBody.size());
+
+  // Remap pre-existing labels and branch targets.
+  for (auto &[Name, Target] : K.Labels)
+    Target = Remap[Target];
+  for (Instruction &Insn : NewBody) {
+    if (Insn.Op != Opcode::Bra)
+      continue;
+    Operand &Op = Insn.Ops[0];
+    if (Op.Target >= 0)
+      Op.Target = static_cast<int32_t>(
+          Remap[static_cast<uint32_t>(Op.Target)]);
+  }
+  for (const Fixup &F : Fixups)
+    NewBody[F.BranchIndex].Ops[0].Target =
+        static_cast<int32_t>(F.TargetIndex);
+  for (auto &[Name, Target] : NewLabels) {
+    assert(!K.Labels.count(Name) && "skip label collides");
+    K.Labels.emplace(std::move(Name), Target);
+  }
+
+  K.Body = std::move(NewBody);
+  return Transformed;
+}
+
+namespace {
+
+/// Scope of a fence instruction mapped to trace scope. System-level
+/// fences are treated as global since we focus on intra-kernel races.
+trace::SyncScope scopeOfFence(const Instruction &Fence) {
+  assert(Fence.isFence() && "not a fence");
+  return Fence.Fence == FenceScopeKind::FS_Cta ? trace::SyncScope::Block
+                                               : trace::SyncScope::Global;
+}
+
+bool isGlobalScope(const Instruction &Fence) {
+  return scopeOfFence(Fence) == trace::SyncScope::Global;
+}
+
+/// Infers acquire/release bundles and base actions over the linear
+/// instruction layout.
+///
+/// Adjacency policy: "immediately preceded/followed by a fence" is
+/// interpreted over the static layout, skipping a short window of
+/// neutral (non-memory) instructions, and — in the forward direction —
+/// branches. This matches how nvcc lays out the idioms the paper tuned
+/// its inference on: a spinlock acquire compiles to
+///
+///   SPIN: atom.cas ...; setp ...; @%p bra SPIN; membar;
+///
+/// where the fence follows the cas with a compare and a loop branch in
+/// between, and an acquire-flag spin reads the flag the same way.
+class BlockAnnotator {
+public:
+  BlockAnnotator(const Kernel &K, std::vector<InsnAnnotation> &Annotations)
+      : K(K), First(0), End(static_cast<uint32_t>(K.Body.size())),
+        Annotations(Annotations) {}
+
+  void annotate() {
+    for (uint32_t Index = First; Index != End; ++Index)
+      annotateInsn(Index);
+  }
+
+private:
+  /// How many neutral instructions a fence may be separated by.
+  static constexpr uint32_t FenceWindow = 4;
+
+  const Instruction &insn(uint32_t Index) const { return K.Body[Index]; }
+
+  /// Instructions that do not break a fence bundle.
+  static bool isNeutral(const Instruction &Insn) {
+    switch (Insn.Op) {
+    case Opcode::Ld:
+    case Opcode::St:
+    case Opcode::Atom:
+    case Opcode::Membar:
+    case Opcode::Bar:
+    case Opcode::Bra:
+    case Opcode::Ret:
+    case Opcode::Exit:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  /// Index of a fence within the window after \p Index, or 0 if none.
+  /// Only *conditional* branches may be skipped (the spin-loop back
+  /// edge); an unconditional branch ends the path, and whatever follows
+  /// it in layout order belongs to different code.
+  uint32_t fenceAfter(uint32_t Index, bool AllowBranches) const {
+    uint32_t Skipped = 0;
+    for (uint32_t J = Index + 1; J < End && Skipped <= FenceWindow; ++J) {
+      const Instruction &Next = insn(J);
+      if (Next.isFence())
+        return J;
+      if (isNeutral(Next) ||
+          (AllowBranches && Next.isBranch() && Next.isGuarded())) {
+        ++Skipped;
+        continue;
+      }
+      break;
+    }
+    return 0;
+  }
+
+  /// Index+1 of a fence within the window before \p Index, or 0 if none.
+  uint32_t fenceBefore(uint32_t Index) const {
+    uint32_t Skipped = 0;
+    for (uint32_t J = Index; J > First && Skipped <= FenceWindow; --J) {
+      const Instruction &Prev = insn(J - 1);
+      if (Prev.isFence())
+        return J; // 1-based so that 0 means "none"
+      if (isNeutral(Prev)) {
+        ++Skipped;
+        continue;
+      }
+      break;
+    }
+    return 0;
+  }
+
+  /// True if the access is in a logged space (global/shared/generic).
+  static bool inLoggedSpace(const Instruction &Insn) {
+    return Insn.Space == StateSpace::Global ||
+           Insn.Space == StateSpace::Shared ||
+           Insn.Space == StateSpace::Generic;
+  }
+
+  void annotateInsn(uint32_t Index) {
+    const Instruction &Insn = insn(Index);
+    InsnAnnotation &Note = Annotations[Index];
+
+    if (Insn.isFence()) {
+      // May already have been claimed by a neighbouring bundle.
+      if (Note.Action == LogActionKind::None)
+        Note.Action = LogActionKind::Fence;
+      return;
+    }
+
+    if (Insn.isBarrier()) {
+      Note.Action = LogActionKind::Barrier;
+      return;
+    }
+
+    if (Insn.isAtomic() && inLoggedSpace(Insn)) {
+      uint32_t Before = fenceBefore(Index); // fence at Before-1 if nonzero
+      uint32_t After = fenceAfter(Index, /*AllowBranches=*/true);
+      if (Before && After) {
+        // A fence-sandwiched atomic acts as both acquire and release.
+        Note.Action = LogActionKind::AcquireRelease;
+        Note.Scope =
+            (isGlobalScope(insn(Before - 1)) || isGlobalScope(insn(After)))
+                ? trace::SyncScope::Global
+                : trace::SyncScope::Block;
+        Annotations[Before - 1].Action = LogActionKind::FencePart;
+        Annotations[After].Action = LogActionKind::FencePart;
+        return;
+      }
+      // atom.cas is commonly a lock acquire; with a trailing fence we
+      // treat the pair as an acquire.
+      if (Insn.Atomic == AtomOpKind::AO_Cas && After) {
+        Note.Action = LogActionKind::Acquire;
+        Note.Scope = scopeOfFence(insn(After));
+        Annotations[After].Action = LogActionKind::FencePart;
+        return;
+      }
+      // atom.exch is commonly a lock release; with a leading fence we
+      // treat the pair as a release.
+      if (Insn.Atomic == AtomOpKind::AO_Exch && Before) {
+        Note.Action = LogActionKind::Release;
+        Note.Scope = scopeOfFence(insn(Before - 1));
+        Annotations[Before - 1].Action = LogActionKind::FencePart;
+        return;
+      }
+      Note.Action = LogActionKind::Atom;
+      return;
+    }
+
+    if (Insn.isStore() && inLoggedSpace(Insn)) {
+      if (uint32_t Before = fenceBefore(Index)) {
+        Note.Action = LogActionKind::Release;
+        Note.Scope = scopeOfFence(insn(Before - 1));
+        Annotations[Before - 1].Action = LogActionKind::FencePart;
+        return;
+      }
+      Note.Action = LogActionKind::Write;
+      return;
+    }
+
+    if (Insn.isLoad() && inLoggedSpace(Insn)) {
+      if (uint32_t After = fenceAfter(Index, /*AllowBranches=*/true)) {
+        Note.Action = LogActionKind::Acquire;
+        Note.Scope = scopeOfFence(insn(After));
+        Annotations[After].Action = LogActionKind::FencePart;
+        return;
+      }
+      Note.Action = LogActionKind::Read;
+      return;
+    }
+  }
+
+  const Kernel &K;
+  uint32_t First, End;
+  std::vector<InsnAnnotation> &Annotations;
+};
+
+/// The RedCard-style intra-basic-block redundant-logging optimization.
+class RedundancyPruner {
+public:
+  RedundancyPruner(const Kernel &K,
+                   std::vector<InsnAnnotation> &Annotations)
+      : K(K), Annotations(Annotations) {}
+
+  void pruneBlock(uint32_t First, uint32_t End) {
+    Logged.clear();
+    for (uint32_t Index = First; Index != End; ++Index)
+      visit(Index);
+  }
+
+private:
+  /// Identity of a static address expression.
+  struct AddrKey {
+    StateSpace Space;
+    int32_t BaseReg;
+    int32_t BaseSym;
+    StateSpace SymSpace;
+    int64_t Offset;
+
+    bool operator<(const AddrKey &Other) const {
+      return std::tie(Space, BaseReg, BaseSym, SymSpace, Offset) <
+             std::tie(Other.Space, Other.BaseReg, Other.BaseSym,
+                      Other.SymSpace, Other.Offset);
+    }
+  };
+  enum class Strength : uint8_t { ReadLogged = 1, WriteLogged = 2 };
+
+  void visit(uint32_t Index) {
+    const Instruction &Insn = K.Body[Index];
+    InsnAnnotation &Note = Annotations[Index];
+
+    // Any synchronization operation can change the thread's logical time
+    // and its ordering with other threads; accesses after it must be
+    // re-logged.
+    switch (Note.Action) {
+    case LogActionKind::Atom:
+    case LogActionKind::Acquire:
+    case LogActionKind::Release:
+    case LogActionKind::AcquireRelease:
+    case LogActionKind::Fence:
+    case LogActionKind::FencePart:
+    case LogActionKind::Barrier:
+      Logged.clear();
+      invalidateDefs(Insn);
+      return;
+    default:
+      break;
+    }
+
+    if ((Note.Action == LogActionKind::Read ||
+         Note.Action == LogActionKind::Write) &&
+        !Insn.Volatile) {
+      int MemIndex = Insn.memOperandIndex();
+      assert(MemIndex >= 0 && "memory action without memory operand");
+      const Operand &Mem = Insn.Ops[static_cast<size_t>(MemIndex)];
+      AddrKey Key{Insn.Space, Mem.Reg, Mem.Sym, Mem.SymSpace, Mem.Imm};
+      Strength Needed = Note.Action == LogActionKind::Write
+                            ? Strength::WriteLogged
+                            : Strength::ReadLogged;
+      auto It = Logged.find(Key);
+      if (It != Logged.end() && It->second >= Needed)
+        Note.Pruned = true;
+      else
+        Logged[Key] = std::max(It == Logged.end() ? Needed : It->second,
+                               Needed);
+    }
+
+    invalidateDefs(Insn);
+  }
+
+  /// Drops cached address expressions whose base register is redefined
+  /// by \p Insn.
+  void invalidateDefs(const Instruction &Insn) {
+    int32_t DefReg = -1;
+    switch (Insn.Op) {
+    case Opcode::St:
+    case Opcode::Bra:
+    case Opcode::Bar:
+    case Opcode::Membar:
+    case Opcode::Ret:
+    case Opcode::Exit:
+    case Opcode::Nop:
+      return;
+    default:
+      if (!Insn.Ops.empty() && Insn.Ops[0].isReg())
+        DefReg = Insn.Ops[0].Reg;
+      break;
+    }
+    if (DefReg < 0)
+      return;
+    for (auto It = Logged.begin(); It != Logged.end();) {
+      if (It->first.BaseReg == DefReg)
+        It = Logged.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  const Kernel &K;
+  std::vector<InsnAnnotation> &Annotations;
+  std::map<AddrKey, Strength> Logged;
+};
+
+} // namespace
+
+KernelInstrumentation
+instrument::instrumentKernel(Kernel &K, const InstrumenterOptions &Options) {
+  KernelInstrumentation Result;
+  if (Options.TransformPredicated)
+    transformPredicatedInstructions(K);
+
+  Result.Insns.assign(K.Body.size(), InsnAnnotation());
+  Result.Cfg = std::make_shared<const ptx::Cfg>(K);
+
+  BlockAnnotator(K, Result.Insns).annotate();
+
+  // Branch logging: any guarded branch can diverge. bra.uni and unguarded
+  // branches are warp-uniform by construction and are not instrumented.
+  for (uint32_t Index = 0; Index != K.Body.size(); ++Index) {
+    const Instruction &Insn = K.Body[Index];
+    if (Insn.isBranch() && Insn.isGuarded() && !Insn.BranchUni) {
+      Result.Insns[Index].Action = LogActionKind::Branch;
+      Result.Insns[Index].ReconvPc = Result.Cfg->reconvergencePoint(Index);
+    }
+  }
+
+  if (Options.PruneRedundantLogging) {
+    RedundancyPruner Pruner(K, Result.Insns);
+    for (const ptx::BasicBlock &Block : Result.Cfg->blocks())
+      Pruner.pruneBlock(Block.First, Block.End);
+  }
+
+  InstrumentationStats &Stats = Result.Stats;
+  Stats.StaticInsns = K.Body.size();
+  for (const InsnAnnotation &Note : Result.Insns) {
+    switch (Note.Action) {
+    case LogActionKind::Read:
+    case LogActionKind::Write:
+    case LogActionKind::Atom:
+    case LogActionKind::Acquire:
+    case LogActionKind::Release:
+    case LogActionKind::AcquireRelease:
+    case LogActionKind::Barrier:
+    case LogActionKind::Branch:
+      ++Stats.InstrumentedUnoptimized;
+      if (!Note.Pruned)
+        ++Stats.InstrumentedOptimized;
+      break;
+    default:
+      break;
+    }
+  }
+  return Result;
+}
+
+ModuleInstrumentation
+instrument::instrumentModule(Module &M, const InstrumenterOptions &Options) {
+  ModuleInstrumentation Result;
+  Result.Kernels.reserve(M.Kernels.size());
+  for (Kernel &K : M.Kernels)
+    Result.Kernels.push_back(instrumentKernel(K, Options));
+  return Result;
+}
+
+InstrumentationStats ModuleInstrumentation::totalStats() const {
+  InstrumentationStats Total;
+  for (const KernelInstrumentation &K : Kernels) {
+    Total.StaticInsns += K.Stats.StaticInsns;
+    Total.InstrumentedUnoptimized += K.Stats.InstrumentedUnoptimized;
+    Total.InstrumentedOptimized += K.Stats.InstrumentedOptimized;
+  }
+  return Total;
+}

@@ -1,0 +1,139 @@
+//===- Instrumenter.h - PTX binary instrumentation framework --------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary instrumentation framework of Section 4.1. Given a parsed
+/// PTX module it:
+///
+///   * transforms predicated memory/synchronization instructions into a
+///     branch plus a non-predicated instruction, so the logging hook is
+///     covered by the branch;
+///   * infers high-level acquire and release operations from fence
+///     adjacency per Section 3.1 (membar+st = release, ld+membar =
+///     acquire, fence-sandwiched atomics = acquire-release, atom.cas
+///     followed by a fence = acquire, atom.exch preceded by a fence =
+///     release; membar.sys counts as a global fence);
+///   * attaches logging actions to every load, store, atomic, barrier and
+///     potentially-divergent branch, plus branch-convergence points
+///     derived from the immediate post-dominator analysis;
+///   * applies the intra-basic-block redundant-logging optimization: an
+///     access through a register whose value has not changed since the
+///     last logged access to the same address is not logged again
+///     (cleared at any synchronization operation);
+///   * reports the static instrumentation statistics behind Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_INSTRUMENT_INSTRUMENTER_H
+#define BARRACUDA_INSTRUMENT_INSTRUMENTER_H
+
+#include "ptx/Cfg.h"
+#include "ptx/Ir.h"
+#include "trace/Record.h"
+
+#include <memory>
+#include <vector>
+
+namespace barracuda {
+namespace instrument {
+
+/// The logging decision attached to one static instruction.
+enum class LogActionKind : uint8_t {
+  None,           ///< no logging hook
+  Read,           ///< plain load
+  Write,          ///< plain store
+  Atom,           ///< standalone atomic (atm trace op)
+  Acquire,        ///< inferred acquire bundle (this is the memory side)
+  Release,        ///< inferred release bundle
+  AcquireRelease, ///< fence-sandwiched atomic
+  FencePart,      ///< a fence consumed by an adjacent bundle
+  Fence,          ///< standalone fence; produces no trace operation
+  Barrier,        ///< bar.sync
+  Branch,         ///< potentially-divergent branch (if/else/fi logging)
+};
+
+const char *logActionName(LogActionKind Kind);
+
+/// Per-instruction instrumentation annotation.
+struct InsnAnnotation {
+  LogActionKind Action = LogActionKind::None;
+  trace::SyncScope Scope = trace::SyncScope::Block;
+  /// Set when the unoptimized instrumentation would log this instruction
+  /// but the redundant-logging optimization pruned it.
+  bool Pruned = false;
+  /// For Branch actions: instruction index where the warp reconverges
+  /// (kernel body size = reconverge at exit).
+  uint32_t ReconvPc = 0;
+
+  bool logs() const {
+    return Action != LogActionKind::None &&
+           Action != LogActionKind::FencePart &&
+           Action != LogActionKind::Fence && !Pruned;
+  }
+};
+
+/// Static instrumentation statistics for one kernel (Figure 9 inputs).
+struct InstrumentationStats {
+  uint64_t StaticInsns = 0;
+  uint64_t InstrumentedUnoptimized = 0;
+  uint64_t InstrumentedOptimized = 0;
+
+  double unoptimizedFraction() const {
+    return StaticInsns ? static_cast<double>(InstrumentedUnoptimized) /
+                             static_cast<double>(StaticInsns)
+                       : 0.0;
+  }
+  double optimizedFraction() const {
+    return StaticInsns ? static_cast<double>(InstrumentedOptimized) /
+                             static_cast<double>(StaticInsns)
+                       : 0.0;
+  }
+};
+
+/// Instrumentation results for one kernel. Annotations run parallel to
+/// Kernel::Body (after the predication transform has rewritten it).
+struct KernelInstrumentation {
+  std::vector<InsnAnnotation> Insns;
+  InstrumentationStats Stats;
+  /// The CFG built over the transformed body; owned here because the
+  /// simulator also consults it for reconvergence.
+  std::shared_ptr<const ptx::Cfg> Cfg;
+
+  const InsnAnnotation &at(uint32_t Pc) const { return Insns[Pc]; }
+};
+
+/// Instrumentation results for a module, parallel to Module::Kernels.
+struct ModuleInstrumentation {
+  std::vector<KernelInstrumentation> Kernels;
+
+  InstrumentationStats totalStats() const;
+};
+
+/// Instrumenter options.
+struct InstrumenterOptions {
+  /// Apply the intra-basic-block redundant-logging optimization.
+  bool PruneRedundantLogging = true;
+  /// Rewrite predicated memory/sync instructions into branch + plain op.
+  bool TransformPredicated = true;
+};
+
+/// Rewrites predicated loggable instructions in \p K into an explicit
+/// branch over a non-predicated instruction. Exposed for testing.
+/// Returns the number of instructions transformed.
+unsigned transformPredicatedInstructions(ptx::Kernel &K);
+
+/// Instruments one kernel in place (the body may be rewritten).
+KernelInstrumentation instrumentKernel(ptx::Kernel &K,
+                                       const InstrumenterOptions &Options);
+
+/// Instruments every kernel of \p M in place.
+ModuleInstrumentation instrumentModule(ptx::Module &M,
+                                       const InstrumenterOptions &Options);
+
+} // namespace instrument
+} // namespace barracuda
+
+#endif // BARRACUDA_INSTRUMENT_INSTRUMENTER_H

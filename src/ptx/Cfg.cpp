@@ -1,0 +1,181 @@
+//===- Cfg.cpp - control-flow graph and post-dominator analysis -----------===//
+
+#include "ptx/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+Cfg::Cfg(const Kernel &Kern) : K(Kern) {
+  buildBlocks(K);
+  buildEdges(K);
+  computePostDominators();
+}
+
+void Cfg::buildBlocks(const Kernel &Kern) {
+  const auto &Body = Kern.Body;
+  std::vector<bool> Leader(Body.size() + 1, false);
+  if (!Body.empty())
+    Leader[0] = true;
+
+  for (size_t Index = 0; Index != Body.size(); ++Index) {
+    const Instruction &Insn = Body[Index];
+    if (Insn.Op == Opcode::Bra) {
+      assert(!Insn.Ops.empty() && Insn.Ops[0].Target >= 0 &&
+             "unresolved branch target");
+      uint32_t Target = static_cast<uint32_t>(Insn.Ops[0].Target);
+      if (Target < Leader.size())
+        Leader[Target] = true;
+    }
+    if (Insn.isTerminator() && Index + 1 < Body.size())
+      Leader[Index + 1] = true;
+  }
+
+  BlockOf.assign(Body.size(), 0);
+  for (size_t Index = 0; Index != Body.size(); ++Index) {
+    if (Leader[Index]) {
+      BasicBlock Block;
+      Block.First = static_cast<uint32_t>(Index);
+      Blocks.push_back(Block);
+    }
+    assert(!Blocks.empty() && "first instruction must be a leader");
+    Blocks.back().End = static_cast<uint32_t>(Index + 1);
+    BlockOf[Index] = static_cast<uint32_t>(Blocks.size() - 1);
+  }
+}
+
+void Cfg::buildEdges(const Kernel &Kern) {
+  const auto &Body = Kern.Body;
+  uint32_t Exit = exitId();
+
+  auto addEdge = [&](uint32_t From, uint32_t To) {
+    Blocks[From].Succs.push_back(To);
+    if (To == Exit)
+      ExitPreds.push_back(From);
+    else
+      Blocks[To].Preds.push_back(From);
+  };
+
+  for (uint32_t BlockId = 0; BlockId != Blocks.size(); ++BlockId) {
+    const BasicBlock &Block = Blocks[BlockId];
+    assert(Block.End > Block.First && "empty basic block");
+    const Instruction &Last = Body[Block.End - 1];
+
+    if (Last.Op == Opcode::Ret || Last.Op == Opcode::Exit) {
+      addEdge(BlockId, Exit);
+      continue;
+    }
+    if (Last.Op == Opcode::Bra) {
+      uint32_t Target = static_cast<uint32_t>(Last.Ops[0].Target);
+      addEdge(BlockId, Target >= Body.size() ? Exit : BlockOf[Target]);
+      if (Last.isGuarded()) {
+        // Conditional branch: fall through as well.
+        addEdge(BlockId,
+                Block.End >= Body.size() ? Exit : BlockOf[Block.End]);
+      }
+      continue;
+    }
+    // Plain fallthrough (block ended because the next insn is a leader,
+    // or the kernel body ran out, which is an implicit exit).
+    addEdge(BlockId, Block.End >= Body.size() ? Exit : BlockOf[Block.End]);
+  }
+}
+
+void Cfg::computePostDominators() {
+  // Standard iterative algorithm (Cooper/Harvey/Kennedy) on the reverse
+  // CFG rooted at the virtual exit node.
+  uint32_t NodeCount = static_cast<uint32_t>(Blocks.size()) + 1;
+  uint32_t Exit = exitId();
+  constexpr uint32_t Undef = ~0u;
+
+  // Postorder of the *reverse* graph from Exit (edges: succ -> pred).
+  std::vector<uint32_t> Order;           // postorder sequence
+  std::vector<uint32_t> OrderIndex(NodeCount, Undef);
+  {
+    std::vector<uint8_t> State(NodeCount, 0);
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    Stack.emplace_back(Exit, 0);
+    State[Exit] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, EdgeIndex] = Stack.back();
+      const std::vector<uint32_t> &Preds =
+          Node == Exit ? ExitPreds : Blocks[Node].Preds;
+      // In the reverse graph, the "successors" of Node are its CFG preds.
+      if (EdgeIndex < Preds.size()) {
+        uint32_t Next = Preds[EdgeIndex++];
+        if (!State[Next]) {
+          State[Next] = 1;
+          Stack.emplace_back(Next, 0);
+        }
+        continue;
+      }
+      OrderIndex[Node] = static_cast<uint32_t>(Order.size());
+      Order.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+
+  Ipdom.assign(NodeCount, Undef);
+  Ipdom[Exit] = Exit;
+
+  auto intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (OrderIndex[A] < OrderIndex[B])
+        A = Ipdom[A];
+      while (OrderIndex[B] < OrderIndex[A])
+        B = Ipdom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate in reverse postorder of the reverse graph, skipping Exit.
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      uint32_t Node = *It;
+      if (Node == Exit)
+        continue;
+      uint32_t NewIpdom = Undef;
+      for (uint32_t Succ : Blocks[Node].Succs) {
+        if (OrderIndex[Succ] == Undef || Ipdom[Succ] == Undef)
+          continue;
+        NewIpdom = NewIpdom == Undef ? Succ : intersect(NewIpdom, Succ);
+      }
+      if (NewIpdom != Undef && Ipdom[Node] != NewIpdom) {
+        Ipdom[Node] = NewIpdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Blocks with no path to exit (infinite loops) reconverge nowhere;
+  // treat their post-dominator as the exit node.
+  for (uint32_t Node = 0; Node != NodeCount; ++Node)
+    if (Ipdom[Node] == Undef)
+      Ipdom[Node] = Exit;
+}
+
+uint32_t Cfg::reconvergencePoint(uint32_t BranchInsn) const {
+  assert(BranchInsn < K.Body.size() && "branch index out of range");
+  uint32_t Block = BlockOf[BranchInsn];
+  uint32_t Post = Ipdom[Block];
+  if (Post == exitId())
+    return static_cast<uint32_t>(K.Body.size());
+  return Blocks[Post].First;
+}
+
+bool Cfg::postDominates(uint32_t A, uint32_t B) const {
+  // Walk the post-dominator tree upward from B.
+  uint32_t Node = B;
+  for (;;) {
+    if (Node == A)
+      return true;
+    uint32_t Up = Ipdom[Node];
+    if (Up == Node)
+      return Node == A;
+    Node = Up;
+  }
+}

@@ -1,0 +1,75 @@
+//===- Cfg.h - control-flow graph and post-dominator analysis -------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a basic-block control-flow graph for a kernel and computes
+/// immediate post-dominators. The simulator uses the immediate
+/// post-dominator of a divergent branch as the warp reconvergence point,
+/// mirroring the hardware SIMT stack (Fung et al., MICRO 2007) that the
+/// paper's semantics model, and the instrumenter uses it to place the
+/// branch-convergence logging that generates if/else/fi trace operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_CFG_H
+#define BARRACUDA_PTX_CFG_H
+
+#include "ptx/Ir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace barracuda {
+namespace ptx {
+
+/// A basic block: the half-open instruction range [First, End).
+struct BasicBlock {
+  uint32_t First = 0;
+  uint32_t End = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+/// Control-flow graph over a kernel body, with a virtual exit node.
+class Cfg {
+public:
+  explicit Cfg(const Kernel &K);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// The id of the virtual exit node (== blocks().size()).
+  uint32_t exitId() const { return static_cast<uint32_t>(Blocks.size()); }
+
+  /// The block containing instruction \p InsnIndex.
+  uint32_t blockOf(uint32_t InsnIndex) const { return BlockOf[InsnIndex]; }
+
+  /// Immediate post-dominator of block \p BlockId (exitId() if none).
+  uint32_t ipdom(uint32_t BlockId) const { return Ipdom[BlockId]; }
+
+  /// The instruction index at which a warp diverging at the branch
+  /// instruction \p BranchInsn reconverges. Returns the kernel body size
+  /// when the reconvergence point is kernel exit.
+  uint32_t reconvergencePoint(uint32_t BranchInsn) const;
+
+  /// True if \p A post-dominates \p B (both block ids; exitId() allowed).
+  bool postDominates(uint32_t A, uint32_t B) const;
+
+private:
+  void buildBlocks(const Kernel &K);
+  void buildEdges(const Kernel &K);
+  void computePostDominators();
+
+  const Kernel &K;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> BlockOf;
+  std::vector<uint32_t> Ipdom;      ///< indexed by block id, + exit
+  std::vector<uint32_t> ExitPreds;  ///< predecessors of the virtual exit
+};
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_CFG_H

@@ -1,0 +1,217 @@
+//===- Inliner.cpp - device-function inlining -------------------------------===//
+
+#include "ptx/Inliner.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+using support::formatString;
+
+namespace {
+
+/// Expands the first call instruction in \p K. Returns true if a call
+/// was found and expanded; reports problems through \p Error.
+class CallExpander {
+public:
+  CallExpander(const Module &M, Kernel &K, unsigned Serial,
+               std::string &Error)
+      : M(M), K(K), Serial(Serial), Error(Error) {}
+
+  /// Finds and expands the first call; false if the body has none (or
+  /// on error — check Error).
+  bool expandOne() {
+    for (size_t Index = 0; Index != K.Body.size(); ++Index)
+      if (K.Body[Index].Op == Opcode::Call)
+        return expandAt(static_cast<uint32_t>(Index));
+    return false;
+  }
+
+private:
+  bool failInline(const std::string &Message) {
+    if (Error.empty())
+      Error = formatString("kernel '%s': %s", K.Name.c_str(),
+                           Message.c_str());
+    return false;
+  }
+
+  /// Clones \p Op with callee registers remapped into the kernel.
+  Operand cloneOperand(const Operand &Op,
+                       const std::vector<int32_t> &RegMap,
+                       const std::string &LabelSuffix) {
+    Operand Out = Op;
+    if (Op.Reg >= 0)
+      Out.Reg = RegMap[static_cast<size_t>(Op.Reg)];
+    for (int32_t &Reg : Out.VecRegs)
+      Reg = RegMap[static_cast<size_t>(Reg)];
+    if (Op.Kind == Operand::OperandKind::Label) {
+      Out.LabelName = Op.LabelName + LabelSuffix;
+      Out.Target = -1; // re-resolved below
+    }
+    // Symbol operands referencing callee shared/local variables are not
+    // supported (device functions in our subset own no memory); global
+    // symbols pass through untouched.
+    return Out;
+  }
+
+  bool expandAt(uint32_t CallIndex) {
+    const Instruction Call = K.Body[CallIndex];
+    const Kernel *Callee = M.findFunction(Call.CalleeName);
+    if (!Callee)
+      return failInline(formatString("line %u: unknown device function "
+                                     "'%s'",
+                                     Call.Line, Call.CalleeName.c_str()));
+    if (!Callee->SharedVars.empty() || !Callee->LocalVars.empty())
+      return failInline(formatString(
+          "device function '%s' declares memory, which inlining does "
+          "not support",
+          Callee->Name.c_str()));
+    size_t ArgCount = Call.Ops.size() - Call.NumRets;
+    if (ArgCount != Callee->ArgRegs.size() ||
+        Call.NumRets != Callee->RetRegs.size())
+      return failInline(formatString(
+          "line %u: call to '%s' passes %zu args / %u rets, expected "
+          "%zu / %zu",
+          Call.Line, Callee->Name.c_str(), ArgCount, Call.NumRets,
+          Callee->ArgRegs.size(), Callee->RetRegs.size()));
+    if (Call.isGuarded())
+      return failInline(formatString(
+          "line %u: predicated calls are not supported (branch around "
+          "the call instead)",
+          Call.Line));
+
+    // Fresh kernel registers for every callee register.
+    std::string Suffix = formatString("__inl%u", Serial);
+    std::vector<int32_t> RegMap(Callee->Regs.size());
+    for (size_t Reg = 0; Reg != Callee->Regs.size(); ++Reg)
+      RegMap[Reg] =
+          K.addReg(Callee->Regs[Reg].Name + Suffix, Callee->Regs[Reg].Ty);
+
+    // Build the expansion: argument movs, the remapped body with ret
+    // rewritten to a branch to the join label, then return movs.
+    std::vector<Instruction> Expansion;
+    std::string JoinLabel = "__ret" + Suffix;
+
+    for (size_t Arg = 0; Arg != ArgCount; ++Arg) {
+      const Operand &Actual = Call.Ops[Call.NumRets + Arg];
+      int32_t Formal =
+          RegMap[static_cast<size_t>(Callee->ArgRegs[Arg])];
+      Instruction Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.Ty = K.Regs[static_cast<size_t>(Formal)].Ty;
+      Mov.Line = Call.Line;
+      Mov.Ops.push_back(Operand::makeReg(Formal));
+      Mov.Ops.push_back(Actual);
+      Expansion.push_back(std::move(Mov));
+    }
+
+    // Labels local to the callee, with their new positions.
+    std::vector<std::pair<std::string, uint32_t>> NewLabels;
+    std::vector<uint32_t> BodyPosition(Callee->Body.size() + 1);
+    for (size_t Index = 0; Index != Callee->Body.size(); ++Index) {
+      BodyPosition[Index] = static_cast<uint32_t>(Expansion.size());
+      const Instruction &Insn = Callee->Body[Index];
+      if (Insn.Op == Opcode::Ret) {
+        Instruction Jump;
+        Jump.Op = Opcode::Bra;
+        Jump.BranchUni = !Insn.isGuarded();
+        Jump.GuardPred =
+            Insn.isGuarded() ? RegMap[static_cast<size_t>(Insn.GuardPred)]
+                             : -1;
+        Jump.GuardNegated = Insn.GuardNegated;
+        Jump.Line = Insn.Line;
+        Jump.Ops.push_back(Operand::makeLabel(JoinLabel));
+        Expansion.push_back(std::move(Jump));
+        continue;
+      }
+      Instruction Clone = Insn;
+      if (Clone.GuardPred >= 0)
+        Clone.GuardPred = RegMap[static_cast<size_t>(Clone.GuardPred)];
+      for (Operand &Op : Clone.Ops)
+        Op = cloneOperand(Op, RegMap, Suffix);
+      Expansion.push_back(std::move(Clone));
+    }
+    BodyPosition[Callee->Body.size()] =
+        static_cast<uint32_t>(Expansion.size());
+    for (const auto &[Name, Index] : Callee->Labels)
+      NewLabels.emplace_back(Name + Suffix, BodyPosition[Index]);
+    NewLabels.emplace_back(JoinLabel,
+                           static_cast<uint32_t>(Expansion.size()));
+
+    for (size_t Ret = 0; Ret != Call.NumRets; ++Ret) {
+      int32_t Formal =
+          RegMap[static_cast<size_t>(Callee->RetRegs[Ret])];
+      Instruction Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.Ty = K.Regs[static_cast<size_t>(Formal)].Ty;
+      Mov.Line = Call.Line;
+      Mov.Ops.push_back(Call.Ops[Ret]);
+      Mov.Ops.push_back(Operand::makeReg(Formal));
+      Expansion.push_back(std::move(Mov));
+    }
+
+    if (Expansion.empty()) {
+      // Empty callee with no formals: keep the splice arithmetic sane.
+      Instruction Nop;
+      Nop.Op = Opcode::Nop;
+      Nop.Line = Call.Line;
+      Expansion.push_back(std::move(Nop));
+    }
+
+    // Splice: shift kernel labels/targets past the call, insert.
+    uint32_t Growth = static_cast<uint32_t>(Expansion.size()) - 1;
+    for (auto &[Name, Target] : K.Labels)
+      if (Target > CallIndex)
+        Target += Growth;
+    for (Instruction &Insn : K.Body)
+      for (Operand &Op : Insn.Ops)
+        if (Op.Kind == Operand::OperandKind::Label && Op.Target >= 0 &&
+            static_cast<uint32_t>(Op.Target) > CallIndex)
+          Op.Target += static_cast<int32_t>(Growth);
+    for (auto &[Name, Position] : NewLabels)
+      K.Labels.emplace(Name, CallIndex + Position);
+
+    K.Body.erase(K.Body.begin() + CallIndex);
+    K.Body.insert(K.Body.begin() + CallIndex,
+                  std::make_move_iterator(Expansion.begin()),
+                  std::make_move_iterator(Expansion.end()));
+
+    // Resolve the labels of the freshly inserted instructions (existing
+    // instructions keep their numeric targets).
+    std::string Diag = K.resolveLabels();
+    if (!Diag.empty())
+      return failInline(Diag);
+    return true;
+  }
+
+  const Module &M;
+  Kernel &K;
+  unsigned Serial;
+  std::string &Error;
+};
+
+} // namespace
+
+std::string ptx::inlineFunctionsInKernel(Module &M, Kernel &K,
+                                         unsigned InlineBudget) {
+  std::string Error;
+  for (unsigned Serial = 0; Serial != InlineBudget; ++Serial) {
+    CallExpander Expander(M, K, Serial, Error);
+    if (!Expander.expandOne())
+      return Error; // done, or a diagnostic
+  }
+  return formatString("kernel '%s': inlining budget exhausted "
+                      "(recursive device functions?)",
+                      K.Name.c_str());
+}
+
+std::string ptx::inlineFunctions(Module &M) {
+  for (Kernel &K : M.Kernels) {
+    std::string Error = inlineFunctionsInKernel(M, K);
+    if (!Error.empty())
+      return Error;
+  }
+  return std::string();
+}

@@ -1,0 +1,45 @@
+//===- Inliner.h - device-function inlining --------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines device functions (.func) into kernels at their call sites.
+/// The paper's trace model treats function calls as "implicitly
+/// unrolled/inlined in the trace" (Section 3.1), and its framework
+/// threads the computed TID through every device function; inlining
+/// before instrumentation realizes both at once — the instrumenter and
+/// the machine only ever see call-free kernels.
+///
+/// Each call site gets a fresh copy of the callee body with renamed
+/// registers and labels, argument/return values wired through mov
+/// instructions, and `ret` rewritten to a branch past the inlined body.
+/// Nested calls inline iteratively; recursion is rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_INLINER_H
+#define BARRACUDA_PTX_INLINER_H
+
+#include "ptx/Ir.h"
+
+#include <string>
+
+namespace barracuda {
+namespace ptx {
+
+/// Inlines every call in every kernel of \p M. Returns an empty string
+/// on success, else a diagnostic (unknown callee, arity mismatch, or
+/// recursion). Device functions are left in place (and unmodified).
+std::string inlineFunctions(Module &M);
+
+/// Inlines calls within one kernel. \p InlineBudget bounds the total
+/// number of call sites expanded (recursion guard).
+std::string inlineFunctionsInKernel(Module &M, Kernel &K,
+                                    unsigned InlineBudget = 256);
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_INLINER_H

@@ -1,0 +1,69 @@
+//===- Ir.cpp - PTX in-memory representation -------------------------------===//
+
+#include "ptx/Ir.h"
+
+#include "support/Format.h"
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+static uint32_t layoutVars(std::vector<SymbolInfo> &Vars) {
+  uint32_t Offset = 0;
+  for (SymbolInfo &Var : Vars) {
+    uint32_t Align = Var.Align ? Var.Align : 4;
+    Offset = (Offset + Align - 1) & ~(Align - 1);
+    Var.Address = Offset;
+    Offset += Var.SizeBytes;
+  }
+  return Offset;
+}
+
+void Kernel::layoutSharedVars() {
+  SharedBytes = layoutVars(SharedVars);
+  LocalBytes = layoutVars(LocalVars);
+}
+
+std::string Kernel::resolveLabels() {
+  for (size_t Index = 0; Index != Body.size(); ++Index) {
+    Instruction &Insn = Body[Index];
+    for (Operand &Op : Insn.Ops) {
+      if (Op.Kind != Operand::OperandKind::Label)
+        continue;
+      auto It = Labels.find(Op.LabelName);
+      if (It == Labels.end())
+        return support::formatString(
+            "kernel '%s': line %u: undefined label '%s'", Name.c_str(),
+            Insn.Line, Op.LabelName.c_str());
+      Op.Target = static_cast<int32_t>(It->second);
+    }
+  }
+  return std::string();
+}
+
+Kernel *Module::findKernel(const std::string &KernelName) {
+  for (Kernel &K : Kernels)
+    if (K.Name == KernelName)
+      return &K;
+  return nullptr;
+}
+
+const Kernel *Module::findKernel(const std::string &KernelName) const {
+  for (const Kernel &K : Kernels)
+    if (K.Name == KernelName)
+      return &K;
+  return nullptr;
+}
+
+const Kernel *Module::findFunction(const std::string &FuncName) const {
+  for (const Kernel &F : Functions)
+    if (F.Name == FuncName)
+      return &F;
+  return nullptr;
+}
+
+uint64_t Module::staticInstructionCount() const {
+  uint64_t Count = 0;
+  for (const Kernel &K : Kernels)
+    Count += K.Body.size();
+  return Count;
+}

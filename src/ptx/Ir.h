@@ -1,0 +1,294 @@
+//===- Ir.h - PTX in-memory representation ---------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory representation of parsed PTX: operands, instructions,
+/// parameters, variables, kernels and modules. This is the unit that the
+/// instrumentation framework rewrites and the SIMT simulator executes, in
+/// the same way the paper's framework rewrites the PTX extracted from a
+/// CUDA fat binary before it is JIT-compiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_IR_H
+#define BARRACUDA_PTX_IR_H
+
+#include "ptx/Types.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace ptx {
+
+/// A single instruction operand.
+struct Operand {
+  enum class OperandKind : uint8_t {
+    None,
+    Reg,     ///< a virtual register, index into Kernel::Regs
+    Imm,     ///< integer immediate
+    FImm,    ///< floating-point immediate
+    Addr,    ///< memory operand [reg+off], [sym+off] or [imm]
+    Label,   ///< branch target, resolved to an instruction index
+    Special, ///< read-only special register (%tid.x, ...)
+    Symbol,  ///< a named variable used as a value (mov %rd1, sym)
+  };
+
+  OperandKind Kind = OperandKind::None;
+  int32_t Reg = -1;   ///< register id (Reg, or Addr base register)
+  int32_t Sym = -1;   ///< symbol id (Symbol, or Addr base symbol)
+  /// For Symbol operands and Addr operands with a symbol base: the space
+  /// the symbol lives in (Global = module global, Shared = kernel shared
+  /// variable, Param = kernel parameter). Sym indexes the matching table.
+  StateSpace SymSpace = StateSpace::Global;
+  int64_t Imm = 0;    ///< immediate value, or Addr displacement
+  double FImm = 0.0;  ///< floating immediate
+  SpecialReg Special = SpecialReg::TidX;
+  std::string LabelName; ///< unresolved branch target name
+  int32_t Target = -1;   ///< resolved instruction index for Label operands
+  /// For vector operands ({%r0, %r1, ...} of ld.v2/v4 and st.v2/v4):
+  /// the element registers. Kind is Reg with Reg == VecRegs.front().
+  std::vector<int32_t> VecRegs;
+
+  bool isVector() const { return !VecRegs.empty(); }
+
+  static Operand makeReg(int32_t RegId) {
+    Operand Op;
+    Op.Kind = OperandKind::Reg;
+    Op.Reg = RegId;
+    return Op;
+  }
+
+  static Operand makeImm(int64_t Value) {
+    Operand Op;
+    Op.Kind = OperandKind::Imm;
+    Op.Imm = Value;
+    return Op;
+  }
+
+  static Operand makeFImm(double Value) {
+    Operand Op;
+    Op.Kind = OperandKind::FImm;
+    Op.FImm = Value;
+    return Op;
+  }
+
+  static Operand makeAddr(int32_t BaseReg, int32_t BaseSym, int64_t Off) {
+    Operand Op;
+    Op.Kind = OperandKind::Addr;
+    Op.Reg = BaseReg;
+    Op.Sym = BaseSym;
+    Op.Imm = Off;
+    return Op;
+  }
+
+  static Operand makeLabel(std::string Name) {
+    Operand Op;
+    Op.Kind = OperandKind::Label;
+    Op.LabelName = std::move(Name);
+    return Op;
+  }
+
+  static Operand makeSpecial(SpecialReg Reg) {
+    Operand Op;
+    Op.Kind = OperandKind::Special;
+    Op.Special = Reg;
+    return Op;
+  }
+
+  static Operand makeSymbol(int32_t SymId) {
+    Operand Op;
+    Op.Kind = OperandKind::Symbol;
+    Op.Sym = SymId;
+    return Op;
+  }
+
+  bool isReg() const { return Kind == OperandKind::Reg; }
+  bool isImm() const { return Kind == OperandKind::Imm; }
+  bool isAddr() const { return Kind == OperandKind::Addr; }
+};
+
+/// A single PTX instruction after parsing. Operand order conventions:
+///   mov/ld/cvt/cvta/unary: Ops[0]=dst, Ops[1]=src
+///   st:                    Ops[0]=addr, Ops[1]=src
+///   binary arithmetic:     Ops[0]=dst, Ops[1]=a, Ops[2]=b
+///   mad/selp:              Ops[0]=dst, Ops[1..3]=a,b,c
+///   setp:                  Ops[0]=dst pred, Ops[1]=a, Ops[2]=b
+///   atom:                  Ops[0]=dst, Ops[1]=addr, Ops[2]=b[, Ops[3]=c]
+///   bra:                   Ops[0]=label
+///   bar.sync:              Ops[0]=barrier id immediate
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  Type Ty = Type::None;    ///< operating type (result type for cvt)
+  Type SrcTy = Type::None; ///< source type for cvt
+  StateSpace Space = StateSpace::Generic;
+  AtomOpKind Atomic = AtomOpKind::AO_None;
+  CmpOpKind Cmp = CmpOpKind::CO_None;
+  FenceScopeKind Fence = FenceScopeKind::FS_None;
+  MulModeKind MulMode = MulModeKind::MM_Lo;
+  bool BranchUni = false; ///< bra.uni (guaranteed non-divergent)
+  bool CacheCg = false;   ///< .cg cache operator (skip incoherent L1)
+  bool Volatile = false;  ///< ld.volatile / st.volatile
+  bool NoDest = false;    ///< red.* (an atom with no destination register)
+  bool CvtaTo = false;    ///< cvta.to.<space> (generic -> space address)
+  uint8_t VecWidth = 1;   ///< ld.v2/.v4 element count (1 = scalar)
+  int32_t GuardPred = -1; ///< guard predicate register, -1 = unguarded
+  bool GuardNegated = false;
+  std::vector<Operand> Ops;
+  uint32_t Line = 0; ///< 1-based source line for diagnostics
+  /// For Call: the device function's name, and how many leading Ops are
+  /// return destinations (the rest are arguments). Calls exist only
+  /// between parsing and inlining; the machine never executes one.
+  std::string CalleeName;
+  uint8_t NumRets = 0;
+
+  bool isMemAccess() const {
+    return (Op == Opcode::Ld || Op == Opcode::St || Op == Opcode::Atom) &&
+           Space != StateSpace::Param && Space != StateSpace::Const;
+  }
+
+  bool isLoad() const { return Op == Opcode::Ld; }
+  bool isStore() const { return Op == Opcode::St; }
+  bool isAtomic() const { return Op == Opcode::Atom; }
+  bool isFence() const { return Op == Opcode::Membar; }
+  bool isBarrier() const { return Op == Opcode::Bar; }
+  bool isBranch() const { return Op == Opcode::Bra; }
+  bool isGuarded() const { return GuardPred >= 0; }
+
+  /// True for instructions that end a basic block.
+  bool isTerminator() const {
+    return Op == Opcode::Bra || Op == Opcode::Ret || Op == Opcode::Exit;
+  }
+
+  /// The memory-operand index for ld/st/atom, or -1.
+  int memOperandIndex() const {
+    if (Op == Opcode::Ld || Op == Opcode::Atom)
+      return 1;
+    if (Op == Opcode::St)
+      return 0;
+    return -1;
+  }
+
+  /// Access width in bytes for memory instructions (the full vector for
+  /// ld.v2/v4).
+  unsigned accessSize() const { return sizeOfType(Ty) * VecWidth; }
+};
+
+/// A virtual register declared in a kernel.
+struct RegInfo {
+  std::string Name; ///< including the leading '%'
+  Type Ty = Type::None;
+};
+
+/// A kernel parameter (scalar only in this subset).
+struct ParamInfo {
+  std::string Name;
+  Type Ty = Type::None;
+  uint32_t Offset = 0; ///< byte offset in the param buffer
+};
+
+/// A module-level or kernel-level variable declaration.
+struct SymbolInfo {
+  std::string Name;
+  StateSpace Space = StateSpace::Global;
+  Type ElemTy = Type::B8;
+  uint32_t SizeBytes = 0;
+  uint32_t Align = 4;
+  uint64_t Address = 0; ///< assigned at layout/load time
+};
+
+/// A parsed .entry kernel.
+class Kernel {
+public:
+  std::string Name;
+  std::vector<ParamInfo> Params;
+  std::vector<RegInfo> Regs;
+  std::vector<SymbolInfo> SharedVars;
+  std::vector<SymbolInfo> LocalVars;
+  std::vector<Instruction> Body;
+  /// Device-function signature (.func only): register ids of the formal
+  /// arguments and of the return values, within this function's Regs.
+  std::vector<int32_t> ArgRegs;
+  std::vector<int32_t> RetRegs;
+  bool IsFunction = false;
+  /// Label name -> instruction index (may equal Body.size() for a label at
+  /// the very end of the kernel).
+  std::unordered_map<std::string, uint32_t> Labels;
+  uint32_t ParamBytes = 0;
+  uint32_t SharedBytes = 0; ///< total laid-out shared memory
+  uint32_t LocalBytes = 0;  ///< total laid-out per-thread local memory
+
+  /// Returns the register id for \p Name, creating it if \p Ty is given.
+  int findReg(const std::string &Name) const {
+    auto It = RegIds.find(Name);
+    return It == RegIds.end() ? -1 : static_cast<int>(It->second);
+  }
+
+  int addReg(const std::string &Name, Type Ty) {
+    assert(RegIds.find(Name) == RegIds.end() && "duplicate register");
+    RegIds.emplace(Name, Regs.size());
+    Regs.push_back(RegInfo{Name, Ty});
+    return static_cast<int>(Regs.size()) - 1;
+  }
+
+  const ParamInfo *findParam(const std::string &Name) const {
+    for (const ParamInfo &P : Params)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+
+  int findSharedVar(const std::string &Name) const {
+    for (size_t I = 0; I != SharedVars.size(); ++I)
+      if (SharedVars[I].Name == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Lays out shared/local variables, computing SharedBytes/LocalBytes.
+  void layoutSharedVars();
+
+  /// Resolves all Label operands to instruction indices. Returns an empty
+  /// string on success, else a diagnostic.
+  std::string resolveLabels();
+
+private:
+  std::unordered_map<std::string, uint32_t> RegIds;
+};
+
+/// A parsed PTX module: global variables plus kernels.
+class Module {
+public:
+  std::string Version = "4.3";
+  std::string Target = "sm_35";
+  unsigned AddressSize = 64;
+  std::vector<SymbolInfo> Globals;
+  std::vector<Kernel> Kernels;
+  /// Device functions (.func), inlined into kernels before execution.
+  std::vector<Kernel> Functions;
+
+  Kernel *findKernel(const std::string &Name);
+  const Kernel *findKernel(const std::string &Name) const;
+  const Kernel *findFunction(const std::string &Name) const;
+
+  int findGlobal(const std::string &Name) const {
+    for (size_t I = 0; I != Globals.size(); ++I)
+      if (Globals[I].Name == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Total static instruction count across all kernels (Table 1 column 2).
+  uint64_t staticInstructionCount() const;
+};
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_IR_H

@@ -1,0 +1,257 @@
+//===- Lexer.cpp - PTX tokenizer -------------------------------------------===//
+
+#include "ptx/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstring>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+Lexer::Lexer(std::string Src) : Source(std::move(Src)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n')
+    ++Line;
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeError(const std::string &Message) {
+  Token Tok;
+  Tok.Kind = TokenKind::Error;
+  Tok.Text = Message;
+  Tok.Line = Line;
+  return Tok;
+}
+
+Token Lexer::lexNumber(bool Negative) {
+  Token Tok;
+  Tok.Line = Line;
+
+  // PTX hex floats: 0f3F800000 (f32) and 0d3FF0000000000000 (f64).
+  if (peek() == '0' && (peek(1) == 'f' || peek(1) == 'F' || peek(1) == 'd' ||
+                        peek(1) == 'D')) {
+    bool IsF32 = peek(1) == 'f' || peek(1) == 'F';
+    advance();
+    advance();
+    uint64_t Bits = 0;
+    unsigned Digits = 0;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      Bits = (Bits << 4) |
+             static_cast<uint64_t>(std::isdigit(static_cast<unsigned char>(C))
+                                       ? C - '0'
+                                       : std::tolower(C) - 'a' + 10);
+      ++Digits;
+    }
+    if ((IsF32 && Digits != 8) || (!IsF32 && Digits != 16))
+      return makeError("malformed hex float literal");
+    double Value;
+    if (IsF32) {
+      float F;
+      uint32_t B32 = static_cast<uint32_t>(Bits);
+      std::memcpy(&F, &B32, sizeof(F));
+      Value = F;
+    } else {
+      std::memcpy(&Value, &Bits, sizeof(Value));
+    }
+    Tok.Kind = TokenKind::Float;
+    Tok.FloatValue = Negative ? -Value : Value;
+    return Tok;
+  }
+
+  uint64_t IntPart = 0;
+  bool Hex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Hex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      IntPart = (IntPart << 4) |
+                static_cast<uint64_t>(
+                    std::isdigit(static_cast<unsigned char>(C))
+                        ? C - '0'
+                        : std::tolower(C) - 'a' + 10);
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      IntPart = IntPart * 10 + static_cast<uint64_t>(advance() - '0');
+  }
+
+  // Decimal float: "1.5" (but not "1." followed by an identifier, which is
+  // a dotted form that does not occur for numbers in our subset).
+  if (!Hex && peek() == '.' &&
+      std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    double Frac = 0.0, Scale = 0.1;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      Frac += (advance() - '0') * Scale;
+      Scale *= 0.1;
+    }
+    Tok.Kind = TokenKind::Float;
+    double Value = static_cast<double>(IntPart) + Frac;
+    Tok.FloatValue = Negative ? -Value : Value;
+    return Tok;
+  }
+
+  Tok.Kind = TokenKind::Int;
+  int64_t Value = static_cast<int64_t>(IntPart);
+  Tok.IntValue = Negative ? -Value : Value;
+  return Tok;
+}
+
+Token Lexer::lexIdent() {
+  Token Tok;
+  Tok.Line = Line;
+  Tok.Kind = TokenKind::Ident;
+  while (isIdentChar(peek()))
+    Tok.Text.push_back(advance());
+  return Tok;
+}
+
+Token Lexer::lexRegister() {
+  Token Tok;
+  Tok.Line = Line;
+  Tok.Kind = TokenKind::Reg;
+  advance(); // '%'
+  // Register names may embed dots for special registers (%tid.x), so we
+  // greedily consume ident chars and dotted suffixes.
+  while (isIdentChar(peek()) ||
+         (peek() == '.' && isIdentChar(peek(1))))
+    Tok.Text.push_back(advance());
+  if (Tok.Text.empty())
+    return makeError("expected register name after '%'");
+  return Tok;
+}
+
+Token Lexer::lexOne() {
+  skipWhitespaceAndComments();
+  Token Tok;
+  Tok.Line = Line;
+  if (atEnd()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(/*Negative=*/false);
+  if (C == '-' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    return lexNumber(/*Negative=*/true);
+  }
+  if (isIdentStart(C))
+    return lexIdent();
+  if (C == '%')
+    return lexRegister();
+
+  advance();
+  switch (C) {
+  case '.':
+    Tok.Kind = TokenKind::Dot;
+    return Tok;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case ';':
+    Tok.Kind = TokenKind::Semi;
+    return Tok;
+  case ':':
+    Tok.Kind = TokenKind::Colon;
+    return Tok;
+  case '{':
+    Tok.Kind = TokenKind::LBrace;
+    return Tok;
+  case '}':
+    Tok.Kind = TokenKind::RBrace;
+    return Tok;
+  case '[':
+    Tok.Kind = TokenKind::LBracket;
+    return Tok;
+  case ']':
+    Tok.Kind = TokenKind::RBracket;
+    return Tok;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '<':
+    Tok.Kind = TokenKind::Lt;
+    return Tok;
+  case '>':
+    Tok.Kind = TokenKind::Gt;
+    return Tok;
+  case '@':
+    Tok.Kind = TokenKind::At;
+    return Tok;
+  case '!':
+    Tok.Kind = TokenKind::Bang;
+    return Tok;
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    return Tok;
+  default:
+    return makeError(
+        support::formatString("unexpected character '%c'", C));
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = lexOne();
+    bool Done = Tok.is(TokenKind::Eof) || Tok.is(TokenKind::Error);
+    Tokens.push_back(std::move(Tok));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}

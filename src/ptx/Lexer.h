@@ -1,0 +1,91 @@
+//===- Lexer.h - PTX tokenizer ---------------------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written tokenizer for the PTX subset. Handles identifiers,
+/// dotted directives, registers (%r1, %tid.x), integer and floating
+/// immediates (including the PTX 0fXXXXXXXX / 0dXXXXXXXXXXXXXXXX hex-float
+/// forms), punctuation, and both comment styles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_LEXER_H
+#define BARRACUDA_PTX_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace ptx {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,    ///< bare identifier (mnemonic parts, labels, symbols)
+  Reg,      ///< %name (text excludes the '%'; may contain dots: tid.x)
+  Int,      ///< integer literal (value in IntValue)
+  Float,    ///< floating literal (value in FloatValue)
+  Dot,
+  Comma,
+  Semi,
+  Colon,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Lt,
+  Gt,
+  At,
+  Bang,
+  Plus,
+  Minus,
+  Error, ///< lexing error; Text holds the message
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  uint32_t Line = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isIdent(const char *Name) const {
+    return Kind == TokenKind::Ident && Text == Name;
+  }
+};
+
+/// Tokenizes a whole PTX source buffer up front.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Tokenizes the entire buffer. The final token is always Eof (or Error).
+  std::vector<Token> lexAll();
+
+private:
+  Token lexOne();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  void skipWhitespaceAndComments();
+  Token makeError(const std::string &Message);
+  Token lexNumber(bool Negative);
+  Token lexIdent();
+  Token lexRegister();
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_LEXER_H

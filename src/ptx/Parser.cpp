@@ -1,0 +1,783 @@
+//===- Parser.cpp - PTX parser ---------------------------------------------===//
+
+#include "ptx/Parser.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+using support::formatString;
+
+Parser::Parser(std::string Source) {
+  Lexer Lex(std::move(Source));
+  Tokens = Lex.lexAll();
+}
+
+static int findLocalVar(const Kernel &K, const std::string &Name) {
+  for (size_t I = 0; I != K.LocalVars.size(); ++I)
+    if (K.LocalVars[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool Parser::fail(const std::string &Message) {
+  if (ErrorMessage.empty())
+    ErrorMessage = formatString("line %u: %s", cur().Line, Message.c_str());
+  return false;
+}
+
+bool Parser::expect(TokenKind Kind, const char *What) {
+  if (accept(Kind))
+    return true;
+  return fail(formatString("expected %s", What));
+}
+
+std::unique_ptr<Module> Parser::parseModule() {
+  if (!Tokens.empty() && Tokens.back().is(TokenKind::Error)) {
+    ErrorMessage = formatString("line %u: %s", Tokens.back().Line,
+                                Tokens.back().Text.c_str());
+    return nullptr;
+  }
+
+  auto M = std::make_unique<Module>();
+  while (!cur().is(TokenKind::Eof)) {
+    if (!parseTopLevel(*M))
+      return nullptr;
+  }
+  if (M->Kernels.empty())
+    return fail("module contains no kernels"), nullptr;
+  return M;
+}
+
+bool Parser::parseTopLevel(Module &M) {
+  if (!expect(TokenKind::Dot, "a top-level directive"))
+    return false;
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected directive name after '.'");
+  std::string Directive = cur().Text;
+  next();
+
+  if (Directive == "version") {
+    if (cur().is(TokenKind::Float))
+      M.Version = formatString("%.1f", cur().FloatValue);
+    else if (cur().is(TokenKind::Int))
+      M.Version = std::to_string(cur().IntValue);
+    else
+      return fail("expected version number");
+    next();
+    return true;
+  }
+  if (Directive == "target") {
+    if (!cur().is(TokenKind::Ident))
+      return fail("expected target name");
+    M.Target = cur().Text;
+    next();
+    while (accept(TokenKind::Comma)) {
+      if (!cur().is(TokenKind::Ident))
+        return fail("expected target option");
+      next();
+    }
+    return true;
+  }
+  if (Directive == "address_size") {
+    if (!cur().is(TokenKind::Int))
+      return fail("expected address size");
+    M.AddressSize = static_cast<unsigned>(cur().IntValue);
+    next();
+    return true;
+  }
+  if (Directive == "visible" || Directive == "extern" ||
+      Directive == "weak") {
+    // Linkage qualifiers precede .entry / .global; nothing to record.
+    return true;
+  }
+  if (Directive == "entry")
+    return parseKernel(M);
+  if (Directive == "func")
+    return parseFunction(M);
+  if (Directive == "global" || Directive == "const")
+    return parseModuleVariable(M, Directive == "global" ? StateSpace::Global
+                                                        : StateSpace::Const);
+  return fail(formatString("unsupported directive '.%s'", Directive.c_str()));
+}
+
+/// Parses "[.align N] .<type> name[ [count] ];" after the space directive.
+bool Parser::parseVarSuffix(SymbolInfo &Var) {
+  if (accept(TokenKind::Dot)) {
+    if (acceptIdent("align")) {
+      if (!cur().is(TokenKind::Int))
+        return fail("expected alignment");
+      Var.Align = static_cast<uint32_t>(cur().IntValue);
+      next();
+      if (!expect(TokenKind::Dot, "'.' before variable type"))
+        return false;
+    }
+    if (!cur().is(TokenKind::Ident))
+      return fail("expected variable type");
+    Var.ElemTy = parseTypeName(cur().Text);
+    if (Var.ElemTy == Type::None)
+      return fail(formatString("unknown type '%s'", cur().Text.c_str()));
+    next();
+  } else {
+    return fail("expected '.' before variable type");
+  }
+
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected variable name");
+  Var.Name = cur().Text;
+  next();
+
+  uint64_t Count = 1;
+  if (accept(TokenKind::LBracket)) {
+    if (!cur().is(TokenKind::Int))
+      return fail("expected array size");
+    Count = static_cast<uint64_t>(cur().IntValue);
+    next();
+    if (!expect(TokenKind::RBracket, "']'"))
+      return false;
+  }
+  unsigned ElemSize = sizeOfType(Var.ElemTy);
+  if (ElemSize == 0)
+    return fail("variables of predicate type are not allowed");
+  Var.SizeBytes = static_cast<uint32_t>(Count * ElemSize);
+  if (Var.Align == 0)
+    Var.Align = ElemSize;
+  return expect(TokenKind::Semi, "';' after variable declaration");
+}
+
+bool Parser::parseModuleVariable(Module &M, StateSpace Space) {
+  SymbolInfo Var;
+  Var.Space = Space;
+  Var.Align = 0;
+  if (!parseVarSuffix(Var))
+    return false;
+  if (M.findGlobal(Var.Name) >= 0)
+    return fail(formatString("duplicate global '%s'", Var.Name.c_str()));
+  M.Globals.push_back(std::move(Var));
+  return true;
+}
+
+bool Parser::parseKernelParams(Kernel &K) {
+  if (!expect(TokenKind::LParen, "'(' after kernel name"))
+    return false;
+  if (accept(TokenKind::RParen))
+    return true;
+  do {
+    if (!expect(TokenKind::Dot, "'.param'"))
+      return false;
+    if (!acceptIdent("param"))
+      return fail("expected 'param'");
+    if (!expect(TokenKind::Dot, "'.' before param type"))
+      return false;
+    if (!cur().is(TokenKind::Ident))
+      return fail("expected param type");
+    Type Ty = parseTypeName(cur().Text);
+    if (Ty == Type::None || Ty == Type::Pred)
+      return fail(formatString("invalid param type '%s'", cur().Text.c_str()));
+    next();
+    if (!cur().is(TokenKind::Ident))
+      return fail("expected param name");
+    ParamInfo Param;
+    Param.Name = cur().Text;
+    Param.Ty = Ty;
+    next();
+    unsigned Size = sizeOfType(Ty);
+    K.ParamBytes = (K.ParamBytes + Size - 1) & ~(Size - 1);
+    Param.Offset = K.ParamBytes;
+    K.ParamBytes += Size;
+    K.Params.push_back(std::move(Param));
+  } while (accept(TokenKind::Comma));
+  return expect(TokenKind::RParen, "')' after kernel params");
+}
+
+bool Parser::parseRegDecl(Kernel &K) {
+  // ".reg" already consumed along with the leading dot.
+  if (!expect(TokenKind::Dot, "'.' before register type"))
+    return false;
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected register type");
+  Type Ty = parseTypeName(cur().Text);
+  if (Ty == Type::None)
+    return fail(formatString("unknown register type '%s'",
+                             cur().Text.c_str()));
+  next();
+  do {
+    if (!cur().is(TokenKind::Reg))
+      return fail("expected register name");
+    std::string Name = cur().Text;
+    next();
+    if (accept(TokenKind::Lt)) {
+      if (!cur().is(TokenKind::Int))
+        return fail("expected register count");
+      int64_t Count = cur().IntValue;
+      next();
+      if (!expect(TokenKind::Gt, "'>'"))
+        return false;
+      for (int64_t I = 0; I < Count; ++I) {
+        std::string Full = Name + std::to_string(I);
+        if (K.findReg(Full) >= 0)
+          return fail(formatString("duplicate register '%%%s'", Full.c_str()));
+        K.addReg(Full, Ty);
+      }
+    } else {
+      if (K.findReg(Name) >= 0)
+        return fail(formatString("duplicate register '%%%s'", Name.c_str()));
+      K.addReg(Name, Ty);
+    }
+  } while (accept(TokenKind::Comma));
+  return expect(TokenKind::Semi, "';' after register declaration");
+}
+
+bool Parser::parseKernelVariable(Kernel &K, StateSpace Space) {
+  SymbolInfo Var;
+  Var.Space = Space;
+  Var.Align = 0;
+  if (!parseVarSuffix(Var))
+    return false;
+  if (Space == StateSpace::Shared) {
+    if (K.findSharedVar(Var.Name) >= 0)
+      return fail(formatString("duplicate shared var '%s'", Var.Name.c_str()));
+    K.SharedVars.push_back(std::move(Var));
+  } else {
+    K.LocalVars.push_back(std::move(Var));
+  }
+  return true;
+}
+
+/// Parses one ".reg .ty %name" formal of a .func signature, adding the
+/// register to \p F and appending its id to \p Out.
+bool Parser::parseFuncFormal(Kernel &F, std::vector<int32_t> &Out) {
+  if (!expect(TokenKind::Dot, "'.reg'") || !acceptIdent("reg"))
+    return fail("expected '.reg' in function signature");
+  if (!expect(TokenKind::Dot, "'.' before formal type"))
+    return false;
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected formal type");
+  Type Ty = parseTypeName(cur().Text);
+  if (Ty == Type::None)
+    return fail(formatString("unknown type '%s'", cur().Text.c_str()));
+  next();
+  if (!cur().is(TokenKind::Reg))
+    return fail("expected formal register name");
+  if (F.findReg(cur().Text) >= 0)
+    return fail(formatString("duplicate formal '%%%s'", cur().Text.c_str()));
+  Out.push_back(F.addReg(cur().Text, Ty));
+  next();
+  return true;
+}
+
+bool Parser::parseFunction(Module &M) {
+  Kernel F;
+  F.IsFunction = true;
+
+  // Optional return declaration: "(.reg .ty %name)".
+  if (accept(TokenKind::LParen)) {
+    if (!parseFuncFormal(F, F.RetRegs))
+      return false;
+    if (!expect(TokenKind::RParen, "')' after return declaration"))
+      return false;
+  }
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected function name");
+  F.Name = cur().Text;
+  next();
+  if (!expect(TokenKind::LParen, "'(' after function name"))
+    return false;
+  if (!accept(TokenKind::RParen)) {
+    do {
+      if (!parseFuncFormal(F, F.ArgRegs))
+        return false;
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "')' after function params"))
+      return false;
+  }
+  if (!expect(TokenKind::LBrace, "'{' to open function body"))
+    return false;
+  if (!parseKernelBody(M, F))
+    return false;
+  F.layoutSharedVars();
+  std::string Diag = F.resolveLabels();
+  if (!Diag.empty())
+    return fail(Diag);
+  if (M.findFunction(F.Name))
+    return fail(formatString("duplicate function '%s'", F.Name.c_str()));
+  M.Functions.push_back(std::move(F));
+  return true;
+}
+
+bool Parser::parseKernel(Module &M) {
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected kernel name");
+  Kernel K;
+  K.Name = cur().Text;
+  next();
+  if (!parseKernelParams(K))
+    return false;
+  if (!expect(TokenKind::LBrace, "'{' to open kernel body"))
+    return false;
+  if (!parseKernelBody(M, K))
+    return false;
+  K.layoutSharedVars();
+  std::string Diag = K.resolveLabels();
+  if (!Diag.empty())
+    return fail(Diag);
+  M.Kernels.push_back(std::move(K));
+  return true;
+}
+
+bool Parser::parseKernelBody(Module &M, Kernel &K) {
+  while (!cur().is(TokenKind::RBrace)) {
+    if (cur().is(TokenKind::Eof))
+      return fail("unexpected end of file inside kernel body");
+
+    if (cur().is(TokenKind::Dot)) {
+      next();
+      if (!cur().is(TokenKind::Ident))
+        return fail("expected directive name");
+      std::string Directive = cur().Text;
+      next();
+      if (Directive == "reg") {
+        if (!parseRegDecl(K))
+          return false;
+      } else if (Directive == "shared") {
+        if (!parseKernelVariable(K, StateSpace::Shared))
+          return false;
+      } else if (Directive == "local") {
+        if (!parseKernelVariable(K, StateSpace::Local))
+          return false;
+      } else {
+        return fail(
+            formatString("unsupported body directive '.%s'",
+                         Directive.c_str()));
+      }
+      continue;
+    }
+
+    // Label?
+    if (cur().is(TokenKind::Ident) && peek().is(TokenKind::Colon)) {
+      std::string Label = cur().Text;
+      next();
+      next();
+      if (K.Labels.count(Label))
+        return fail(formatString("duplicate label '%s'", Label.c_str()));
+      K.Labels.emplace(Label, static_cast<uint32_t>(K.Body.size()));
+      continue;
+    }
+
+    if (!parseInstruction(M, K))
+      return false;
+  }
+  next(); // consume '}'
+  return true;
+}
+
+bool Parser::applyModifier(Instruction &Insn, const std::string &Mod,
+                           std::vector<Type> &TypesSeen) {
+  Type Ty = parseTypeName(Mod);
+  if (Ty != Type::None) {
+    TypesSeen.push_back(Ty);
+    return true;
+  }
+  if (Mod == "global") {
+    Insn.Space = StateSpace::Global;
+    return true;
+  }
+  if (Mod == "shared") {
+    Insn.Space = StateSpace::Shared;
+    return true;
+  }
+  if (Mod == "local") {
+    Insn.Space = StateSpace::Local;
+    return true;
+  }
+  if (Mod == "param") {
+    Insn.Space = StateSpace::Param;
+    return true;
+  }
+  if (Mod == "const") {
+    Insn.Space = StateSpace::Const;
+    return true;
+  }
+  if (Mod == "volatile") {
+    Insn.Volatile = true;
+    return true;
+  }
+  if (Mod == "uni") {
+    Insn.BranchUni = true;
+    return true;
+  }
+  if (Mod == "sync") {
+    // bar.sync; also future-proof for other .sync forms.
+    return true;
+  }
+  if (Mod == "to") {
+    Insn.CvtaTo = true;
+    return true;
+  }
+  if (Mod == "v2" || Mod == "v4") {
+    Insn.VecWidth = Mod == "v2" ? 2 : 4;
+    return true;
+  }
+  if (Mod == "ca" || Mod == "cg" || Mod == "cs" || Mod == "lu" ||
+      Mod == "cv" || Mod == "wb" || Mod == "wt") {
+    Insn.CacheCg = Mod == "cg";
+    return true;
+  }
+  if (Mod == "rn" || Mod == "rz" || Mod == "rm" || Mod == "rp" ||
+      Mod == "ftz" || Mod == "sat" || Mod == "approx" || Mod == "full")
+    return true;
+  if (Mod == "cta" || Mod == "gl" || Mod == "sys") {
+    Insn.Fence = Mod == "cta"  ? FenceScopeKind::FS_Cta
+                 : Mod == "gl" ? FenceScopeKind::FS_Gl
+                               : FenceScopeKind::FS_Sys;
+    return true;
+  }
+  if (Insn.Op == Opcode::Atom) {
+    AtomOpKind AOp = parseAtomOpName(Mod);
+    if (AOp != AtomOpKind::AO_None) {
+      Insn.Atomic = AOp;
+      return true;
+    }
+  }
+  if (Insn.Op == Opcode::Setp) {
+    CmpOpKind COp = parseCmpOpName(Mod);
+    if (COp != CmpOpKind::CO_None) {
+      Insn.Cmp = COp;
+      return true;
+    }
+  }
+  if (Mod == "lo" || Mod == "hi" || Mod == "wide") {
+    Insn.MulMode = Mod == "lo"   ? MulModeKind::MM_Lo
+                   : Mod == "hi" ? MulModeKind::MM_Hi
+                                 : MulModeKind::MM_Wide;
+    return true;
+  }
+  return fail(formatString("unknown instruction modifier '.%s'",
+                           Mod.c_str()));
+}
+
+static Opcode rootOpcode(const std::string &Name, bool &IsRed) {
+  IsRed = false;
+  static const struct {
+    const char *Name;
+    Opcode Op;
+  } Table[] = {
+      {"nop", Opcode::Nop},       {"mov", Opcode::Mov},
+      {"ld", Opcode::Ld},         {"st", Opcode::St},
+      {"atom", Opcode::Atom},     {"membar", Opcode::Membar},
+      {"bar", Opcode::Bar},       {"bra", Opcode::Bra},
+      {"setp", Opcode::Setp},     {"selp", Opcode::Selp},
+      {"add", Opcode::Add},       {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},       {"mad", Opcode::Mad},
+      {"div", Opcode::Div},       {"rem", Opcode::Rem},
+      {"min", Opcode::Min},       {"max", Opcode::Max},
+      {"neg", Opcode::Neg},       {"abs", Opcode::Abs},
+      {"and", Opcode::And},       {"or", Opcode::Or},
+      {"xor", Opcode::Xor},       {"not", Opcode::Not},
+      {"shl", Opcode::Shl},       {"shr", Opcode::Shr},
+      {"cvt", Opcode::Cvt},       {"cvta", Opcode::Cvta},
+      {"ret", Opcode::Ret},       {"exit", Opcode::Exit},
+      {"call", Opcode::Call},     {"popc", Opcode::Popc},
+      {"clz", Opcode::Clz},       {"brev", Opcode::Brev},
+  };
+  for (const auto &Entry : Table)
+    if (Name == Entry.Name)
+      return Entry.Op;
+  if (Name == "red") {
+    IsRed = true;
+    return Opcode::Atom;
+  }
+  return Opcode::Nop;
+}
+
+bool Parser::parseInstruction(Module &M, Kernel &K) {
+  Instruction Insn;
+  Insn.Line = cur().Line;
+
+  // Optional guard predicate: @%p or @!%p.
+  if (accept(TokenKind::At)) {
+    Insn.GuardNegated = accept(TokenKind::Bang);
+    if (!cur().is(TokenKind::Reg))
+      return fail("expected predicate register after '@'");
+    int RegId = K.findReg(cur().Text);
+    if (RegId < 0)
+      return fail(formatString("unknown predicate register '%%%s'",
+                               cur().Text.c_str()));
+    Insn.GuardPred = RegId;
+    next();
+  }
+
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected instruction mnemonic");
+  std::string Root = cur().Text;
+  bool IsRed = false;
+  Insn.Op = rootOpcode(Root, IsRed);
+  Insn.NoDest = IsRed;
+  if (Insn.Op == Opcode::Nop && Root != "nop")
+    return fail(formatString("unknown instruction '%s'", Root.c_str()));
+  next();
+
+  // Modifiers.
+  std::vector<Type> TypesSeen;
+  while (cur().is(TokenKind::Dot)) {
+    next();
+    if (!cur().is(TokenKind::Ident))
+      return fail("expected modifier after '.'");
+    std::string Mod = cur().Text;
+    next();
+    if (!applyModifier(Insn, Mod, TypesSeen))
+      return false;
+  }
+  if (!TypesSeen.empty())
+    Insn.Ty = TypesSeen.front();
+  if (TypesSeen.size() >= 2)
+    Insn.SrcTy = TypesSeen[1];
+
+  // red.* has no destination register; keep operand layout uniform with
+  // atom by inserting a placeholder dest.
+  if (IsRed)
+    Insn.Ops.push_back(Operand());
+
+  // Calls have their own operand grammar:
+  //   call [(%ret[, ...]),] callee [, (%arg[, ...])];
+  if (Insn.Op == Opcode::Call) {
+    if (!parseCallOperands(K, Insn))
+      return false;
+    if (!expect(TokenKind::Semi, "';' after call"))
+      return false;
+    K.Body.push_back(std::move(Insn));
+    return true;
+  }
+
+  // Operands.
+  if (!cur().is(TokenKind::Semi)) {
+    do {
+      if (!parseOperand(M, K, Insn))
+        return false;
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::Semi, "';' after instruction"))
+    return false;
+
+  // Defaults and quick sanity fixes.
+  if (Insn.Op == Opcode::Membar && Insn.Fence == FenceScopeKind::FS_None)
+    Insn.Fence = FenceScopeKind::FS_Gl;
+
+  K.Body.push_back(std::move(Insn));
+  return true;
+}
+
+bool Parser::parseCallOperands(Kernel &K, Instruction &Insn) {
+  // Optional return-value list.
+  if (accept(TokenKind::LParen)) {
+    do {
+      if (!cur().is(TokenKind::Reg))
+        return fail("expected return register in call");
+      int RegId = K.findReg(cur().Text);
+      if (RegId < 0)
+        return fail(formatString("unknown register '%%%s'",
+                                 cur().Text.c_str()));
+      Insn.Ops.push_back(Operand::makeReg(RegId));
+      next();
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "')' after call returns"))
+      return false;
+    Insn.NumRets = static_cast<uint8_t>(Insn.Ops.size());
+    if (!expect(TokenKind::Comma, "',' after call returns"))
+      return false;
+  }
+  if (!cur().is(TokenKind::Ident))
+    return fail("expected callee name");
+  Insn.CalleeName = cur().Text;
+  next();
+  // Optional argument list.
+  if (accept(TokenKind::Comma)) {
+    if (!expect(TokenKind::LParen, "'(' before call arguments"))
+      return false;
+    do {
+      if (cur().is(TokenKind::Reg)) {
+        SpecialReg Special;
+        if (parseSpecialRegName(cur().Text, Special)) {
+          Insn.Ops.push_back(Operand::makeSpecial(Special));
+        } else {
+          int RegId = K.findReg(cur().Text);
+          if (RegId < 0)
+            return fail(formatString("unknown register '%%%s'",
+                                     cur().Text.c_str()));
+          Insn.Ops.push_back(Operand::makeReg(RegId));
+        }
+        next();
+      } else if (cur().is(TokenKind::Int)) {
+        Insn.Ops.push_back(Operand::makeImm(cur().IntValue));
+        next();
+      } else {
+        return fail("expected call argument");
+      }
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "')' after call arguments"))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseAddressOperand(Module &M, Kernel &K, Instruction &Insn) {
+  // '[' already consumed.
+  int32_t BaseReg = -1;
+  int32_t BaseSym = -1;
+  StateSpace SymSpace = StateSpace::Global;
+  int64_t Offset = 0;
+
+  if (cur().is(TokenKind::Reg)) {
+    BaseReg = K.findReg(cur().Text);
+    if (BaseReg < 0)
+      return fail(formatString("unknown register '%%%s'", cur().Text.c_str()));
+    next();
+  } else if (cur().is(TokenKind::Ident)) {
+    std::string Name = cur().Text;
+    next();
+    if (const ParamInfo *Param = K.findParam(Name)) {
+      BaseSym = static_cast<int32_t>(Param - K.Params.data());
+      SymSpace = StateSpace::Param;
+    } else if (int SharedIdx = K.findSharedVar(Name); SharedIdx >= 0) {
+      BaseSym = SharedIdx;
+      SymSpace = StateSpace::Shared;
+    } else if (int LocalIdx = findLocalVar(K, Name); LocalIdx >= 0) {
+      BaseSym = LocalIdx;
+      SymSpace = StateSpace::Local;
+    } else if (int GlobalIdx = M.findGlobal(Name); GlobalIdx >= 0) {
+      BaseSym = GlobalIdx;
+      SymSpace = StateSpace::Global;
+    } else {
+      return fail(formatString("unknown symbol '%s'", Name.c_str()));
+    }
+  } else if (cur().is(TokenKind::Int)) {
+    Offset = cur().IntValue;
+    next();
+  } else {
+    return fail("expected address base");
+  }
+
+  if (accept(TokenKind::Plus)) {
+    if (!cur().is(TokenKind::Int))
+      return fail("expected address offset");
+    Offset += cur().IntValue;
+    next();
+  } else if (accept(TokenKind::Minus)) {
+    if (!cur().is(TokenKind::Int))
+      return fail("expected address offset");
+    Offset -= cur().IntValue;
+    next();
+  }
+
+  if (!expect(TokenKind::RBracket, "']'"))
+    return false;
+
+  Operand Op = Operand::makeAddr(BaseReg, BaseSym, Offset);
+  Op.SymSpace = SymSpace;
+  Insn.Ops.push_back(std::move(Op));
+  return true;
+}
+
+bool Parser::parseOperand(Module &M, Kernel &K, Instruction &Insn) {
+  if (cur().is(TokenKind::LBracket)) {
+    next();
+    return parseAddressOperand(M, K, Insn);
+  }
+
+  // Vector operand: {%r0, %r1[, ...]} for ld.v2/v4 and st.v2/v4.
+  if (cur().is(TokenKind::LBrace)) {
+    next();
+    Operand Op;
+    Op.Kind = Operand::OperandKind::Reg;
+    do {
+      if (!cur().is(TokenKind::Reg))
+        return fail("expected register in vector operand");
+      int RegId = K.findReg(cur().Text);
+      if (RegId < 0)
+        return fail(formatString("unknown register '%%%s'",
+                                 cur().Text.c_str()));
+      Op.VecRegs.push_back(RegId);
+      next();
+    } while (accept(TokenKind::Comma));
+    if (!expect(TokenKind::RBrace, "'}' after vector operand"))
+      return false;
+    Op.Reg = Op.VecRegs.front();
+    Insn.Ops.push_back(std::move(Op));
+    return true;
+  }
+
+  if (cur().is(TokenKind::Reg)) {
+    SpecialReg Special;
+    if (parseSpecialRegName(cur().Text, Special)) {
+      Insn.Ops.push_back(Operand::makeSpecial(Special));
+      next();
+      return true;
+    }
+    int RegId = K.findReg(cur().Text);
+    if (RegId < 0)
+      return fail(formatString("unknown register '%%%s'", cur().Text.c_str()));
+    Insn.Ops.push_back(Operand::makeReg(RegId));
+    next();
+    return true;
+  }
+
+  if (cur().is(TokenKind::Int)) {
+    Insn.Ops.push_back(Operand::makeImm(cur().IntValue));
+    next();
+    return true;
+  }
+
+  if (cur().is(TokenKind::Float)) {
+    Insn.Ops.push_back(Operand::makeFImm(cur().FloatValue));
+    next();
+    return true;
+  }
+
+  if (cur().is(TokenKind::Ident)) {
+    std::string Name = cur().Text;
+    if (Insn.Op == Opcode::Bra) {
+      Insn.Ops.push_back(Operand::makeLabel(Name));
+      next();
+      return true;
+    }
+    // A symbol used as a value (its address): shared/local var or module
+    // global.
+    if (int SharedIdx = K.findSharedVar(Name); SharedIdx >= 0) {
+      Operand Op = Operand::makeSymbol(SharedIdx);
+      Op.SymSpace = StateSpace::Shared;
+      Insn.Ops.push_back(std::move(Op));
+      next();
+      return true;
+    }
+    if (int LocalIdx = findLocalVar(K, Name); LocalIdx >= 0) {
+      Operand Op = Operand::makeSymbol(LocalIdx);
+      Op.SymSpace = StateSpace::Local;
+      Insn.Ops.push_back(std::move(Op));
+      next();
+      return true;
+    }
+    if (int GlobalIdx = M.findGlobal(Name); GlobalIdx >= 0) {
+      Operand Op = Operand::makeSymbol(GlobalIdx);
+      Op.SymSpace = StateSpace::Global;
+      Insn.Ops.push_back(std::move(Op));
+      next();
+      return true;
+    }
+    return fail(formatString("unknown operand symbol '%s'", Name.c_str()));
+  }
+
+  return fail("expected operand");
+}
+
+std::unique_ptr<Module> ptx::parseOrDie(const std::string &Source) {
+  Parser P(Source);
+  std::unique_ptr<Module> M = P.parseModule();
+  if (!M) {
+    std::fprintf(stderr, "PTX parse error: %s\n", P.error().c_str());
+    std::abort();
+  }
+  return M;
+}

@@ -1,0 +1,97 @@
+//===- Parser.h - PTX parser -----------------------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the PTX subset. Produces a ptx::Module.
+/// The parser corresponds to the fat-binary extraction step of the paper's
+/// instrumentation pipeline: the text that would be pulled out of
+/// __cudaRegisterFatBinary is parsed here instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_PARSER_H
+#define BARRACUDA_PTX_PARSER_H
+
+#include "ptx/Ir.h"
+#include "ptx/Lexer.h"
+
+#include <memory>
+#include <string>
+
+namespace barracuda {
+namespace ptx {
+
+/// Parses PTX source text into a Module.
+class Parser {
+public:
+  explicit Parser(std::string Source);
+
+  /// Parses the whole buffer. Returns nullptr on error; see error().
+  std::unique_ptr<Module> parseModule();
+
+  /// The first diagnostic produced, empty if parsing succeeded.
+  const std::string &error() const { return ErrorMessage; }
+
+private:
+  // Token access.
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t At = Index + Ahead;
+    return At < Tokens.size() ? Tokens[At] : Tokens.back();
+  }
+  void next() {
+    if (Index + 1 < Tokens.size())
+      ++Index;
+  }
+  bool accept(TokenKind Kind) {
+    if (!cur().is(Kind))
+      return false;
+    next();
+    return true;
+  }
+  bool expect(TokenKind Kind, const char *What);
+  bool acceptIdent(const char *Name) {
+    if (!cur().isIdent(Name))
+      return false;
+    next();
+    return true;
+  }
+
+  // Error reporting. All fail() overloads return false for tail-calls.
+  bool fail(const std::string &Message);
+
+  // Grammar productions.
+  bool parseTopLevel(Module &M);
+  bool parseModuleVariable(Module &M, StateSpace Space);
+  bool parseKernel(Module &M);
+  bool parseFunction(Module &M);
+  bool parseFuncFormal(Kernel &F, std::vector<int32_t> &Out);
+  bool parseCallOperands(Kernel &K, Instruction &Insn);
+  bool parseKernelParams(Kernel &K);
+  bool parseKernelBody(Module &M, Kernel &K);
+  bool parseRegDecl(Kernel &K);
+  bool parseKernelVariable(Kernel &K, StateSpace Space);
+  bool parseInstruction(Module &M, Kernel &K);
+  bool parseOperand(Module &M, Kernel &K, Instruction &Insn);
+  bool parseAddressOperand(Module &M, Kernel &K, Instruction &Insn);
+  bool applyModifier(Instruction &Insn, const std::string &Mod,
+                     std::vector<Type> &TypesSeen);
+  bool parseVarSuffix(SymbolInfo &Var);
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  std::string ErrorMessage;
+};
+
+/// Convenience wrapper: parses \p Source, aborting the process with a
+/// diagnostic on stderr if it does not parse. For tests and internally
+/// generated PTX that is expected to be well-formed.
+std::unique_ptr<Module> parseOrDie(const std::string &Source);
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_PARSER_H

@@ -1,0 +1,269 @@
+//===- Printer.cpp - PTX text emission -------------------------------------===//
+
+#include "ptx/Printer.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+using support::formatString;
+
+static std::string printOperand(const Module &M, const Kernel &K,
+                                const Operand &Op) {
+  switch (Op.Kind) {
+  case Operand::OperandKind::None:
+    return "_";
+  case Operand::OperandKind::Reg: {
+    if (!Op.isVector())
+      return "%" + K.Regs[static_cast<size_t>(Op.Reg)].Name;
+    std::string Text = "{";
+    for (size_t I = 0; I != Op.VecRegs.size(); ++I) {
+      if (I)
+        Text += ", ";
+      Text += "%" + K.Regs[static_cast<size_t>(Op.VecRegs[I])].Name;
+    }
+    return Text + "}";
+  }
+  case Operand::OperandKind::Imm:
+    return std::to_string(Op.Imm);
+  case Operand::OperandKind::FImm:
+    return formatString("%g", Op.FImm);
+  case Operand::OperandKind::Special:
+    return std::string("%") + specialRegName(Op.Special);
+  case Operand::OperandKind::Label:
+    return Op.LabelName;
+  case Operand::OperandKind::Symbol: {
+    if (Op.SymSpace == StateSpace::Shared)
+      return K.SharedVars[static_cast<size_t>(Op.Sym)].Name;
+    if (Op.SymSpace == StateSpace::Local)
+      return K.LocalVars[static_cast<size_t>(Op.Sym)].Name;
+    return M.Globals[static_cast<size_t>(Op.Sym)].Name;
+  }
+  case Operand::OperandKind::Addr: {
+    std::string Base;
+    if (Op.Reg >= 0)
+      Base = "%" + K.Regs[static_cast<size_t>(Op.Reg)].Name;
+    else if (Op.Sym >= 0) {
+      if (Op.SymSpace == StateSpace::Param)
+        Base = K.Params[static_cast<size_t>(Op.Sym)].Name;
+      else if (Op.SymSpace == StateSpace::Shared)
+        Base = K.SharedVars[static_cast<size_t>(Op.Sym)].Name;
+      else if (Op.SymSpace == StateSpace::Local)
+        Base = K.LocalVars[static_cast<size_t>(Op.Sym)].Name;
+      else
+        Base = M.Globals[static_cast<size_t>(Op.Sym)].Name;
+    }
+    if (Base.empty())
+      return formatString("[%lld]", static_cast<long long>(Op.Imm));
+    if (Op.Imm == 0)
+      return "[" + Base + "]";
+    return formatString("[%s%+lld]", Base.c_str(),
+                        static_cast<long long>(Op.Imm));
+  }
+  }
+  return "?";
+}
+
+std::string ptx::printInstruction(const Module &M, const Kernel &K,
+                                  const Instruction &Insn) {
+  std::string Text;
+  if (Insn.isGuarded())
+    Text += formatString("@%s%%%s ", Insn.GuardNegated ? "!" : "",
+                         K.Regs[static_cast<size_t>(Insn.GuardPred)]
+                             .Name.c_str());
+
+  if (Insn.Op == Opcode::Call) {
+    Text += "call ";
+    if (Insn.NumRets) {
+      Text += "(";
+      for (size_t I = 0; I != Insn.NumRets; ++I) {
+        if (I)
+          Text += ", ";
+        Text += printOperand(M, K, Insn.Ops[I]);
+      }
+      Text += "), ";
+    }
+    Text += Insn.CalleeName;
+    if (Insn.Ops.size() > Insn.NumRets) {
+      Text += ", (";
+      for (size_t I = Insn.NumRets; I != Insn.Ops.size(); ++I) {
+        if (I != Insn.NumRets)
+          Text += ", ";
+        Text += printOperand(M, K, Insn.Ops[I]);
+      }
+      Text += ")";
+    }
+    return Text + ";";
+  }
+
+  Text += Insn.NoDest ? "red" : opcodeName(Insn.Op);
+
+  if (Insn.Volatile)
+    Text += ".volatile";
+  if (Insn.Op == Opcode::Bra && Insn.BranchUni)
+    Text += ".uni";
+  if (Insn.Op == Opcode::Bar)
+    Text += ".sync";
+  if (Insn.Op == Opcode::Cvta && Insn.CvtaTo)
+    Text += ".to";
+  if (Insn.Op == Opcode::Membar) {
+    Text += std::string(".") + fenceScopeName(Insn.Fence);
+  } else if ((Insn.Op == Opcode::Ld || Insn.Op == Opcode::St ||
+              Insn.Op == Opcode::Atom || Insn.Op == Opcode::Cvta) &&
+             Insn.Space != StateSpace::Generic) {
+    Text += std::string(".") + stateSpaceName(Insn.Space);
+  }
+  if (Insn.CacheCg)
+    Text += ".cg";
+  if (Insn.VecWidth == 2)
+    Text += ".v2";
+  else if (Insn.VecWidth == 4)
+    Text += ".v4";
+  if (Insn.Op == Opcode::Atom)
+    Text += std::string(".") + atomOpName(Insn.Atomic);
+  if (Insn.Op == Opcode::Setp)
+    Text += std::string(".") + cmpOpName(Insn.Cmp);
+  if ((Insn.Op == Opcode::Mul || Insn.Op == Opcode::Mad) &&
+      !isFloatType(Insn.Ty)) {
+    Text += Insn.MulMode == MulModeKind::MM_Lo    ? ".lo"
+            : Insn.MulMode == MulModeKind::MM_Hi ? ".hi"
+                                                  : ".wide";
+  }
+  if (Insn.Ty != Type::None)
+    Text += std::string(".") + typeName(Insn.Ty);
+  if (Insn.SrcTy != Type::None)
+    Text += std::string(".") + typeName(Insn.SrcTy);
+
+  bool First = true;
+  bool SkippedDest = false;
+  for (const Operand &Op : Insn.Ops) {
+    if (Insn.NoDest && !SkippedDest) {
+      SkippedDest = true; // the placeholder destination of red.*
+      continue;
+    }
+    Text += First ? " " : ", ";
+    First = false;
+    Text += printOperand(M, K, Op);
+  }
+  Text += ";";
+  return Text;
+}
+
+static void printVar(std::string &Out, const char *Space,
+                     const SymbolInfo &Var) {
+  Out += formatString("%s .align %u .%s %s", Space, Var.Align,
+                      typeName(Var.ElemTy), Var.Name.c_str());
+  unsigned ElemSize = sizeOfType(Var.ElemTy);
+  assert(ElemSize != 0 && "variables cannot have predicate type");
+  unsigned Count = Var.SizeBytes / ElemSize;
+  if (Count > 1)
+    Out += formatString("[%u]", Count);
+  Out += ";\n";
+}
+
+std::string ptx::printKernel(const Module &M, const Kernel &K) {
+  std::string Out;
+  std::vector<bool> IsFormal(K.Regs.size(), false);
+  if (K.IsFunction) {
+    Out = ".visible .func ";
+    for (int32_t Ret : K.RetRegs) {
+      IsFormal[static_cast<size_t>(Ret)] = true;
+      Out += formatString("(.reg .%s %%%s) ",
+                          typeName(K.Regs[static_cast<size_t>(Ret)].Ty),
+                          K.Regs[static_cast<size_t>(Ret)].Name.c_str());
+    }
+    Out += K.Name + "(";
+    for (size_t I = 0; I != K.ArgRegs.size(); ++I) {
+      size_t Reg = static_cast<size_t>(K.ArgRegs[I]);
+      IsFormal[Reg] = true;
+      if (I != 0)
+        Out += ", ";
+      Out += formatString(".reg .%s %%%s", typeName(K.Regs[Reg].Ty),
+                          K.Regs[Reg].Name.c_str());
+    }
+    Out += ")\n{\n";
+  } else {
+    Out = formatString(".visible .entry %s(", K.Name.c_str());
+    for (size_t I = 0; I != K.Params.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += formatString("\n    .param .%s %s", typeName(K.Params[I].Ty),
+                          K.Params[I].Name.c_str());
+    }
+    Out += "\n)\n{\n";
+  }
+
+  // Registers, grouped by type for compactness (function formals are
+  // declared by the signature).
+  std::map<Type, std::vector<std::string>> ByType;
+  for (size_t Reg = 0; Reg != K.Regs.size(); ++Reg)
+    if (!IsFormal[Reg])
+      ByType[K.Regs[Reg].Ty].push_back(K.Regs[Reg].Name);
+  for (const auto &[Ty, Names] : ByType) {
+    Out += formatString("    .reg .%s ", typeName(Ty));
+    for (size_t I = 0; I != Names.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += "%" + Names[I];
+    }
+    Out += ";\n";
+  }
+  for (const SymbolInfo &Var : K.SharedVars) {
+    Out += "    ";
+    printVar(Out, ".shared", Var);
+  }
+  for (const SymbolInfo &Var : K.LocalVars) {
+    Out += "    ";
+    printVar(Out, ".local", Var);
+  }
+
+  // Invert the label map so labels print before their instruction;
+  // co-located labels print in name order for deterministic output.
+  std::map<uint32_t, std::vector<std::string>> LabelsAt;
+  for (const auto &[Name, Index] : K.Labels)
+    LabelsAt[Index].push_back(Name);
+  for (auto &[Index, Names] : LabelsAt)
+    std::sort(Names.begin(), Names.end());
+
+  for (size_t Index = 0; Index != K.Body.size(); ++Index) {
+    if (auto It = LabelsAt.find(static_cast<uint32_t>(Index));
+        It != LabelsAt.end())
+      for (const std::string &Label : It->second)
+        Out += Label + ":\n";
+    Out += "    " + printInstruction(M, K, K.Body[Index]) + "\n";
+  }
+  if (auto It = LabelsAt.find(static_cast<uint32_t>(K.Body.size()));
+      It != LabelsAt.end())
+    for (const std::string &Label : It->second)
+      Out += Label + ":\n";
+
+  Out += "}\n";
+  return Out;
+}
+
+std::string ptx::printModule(const Module &M) {
+  std::string Out = formatString(".version %s\n.target %s\n"
+                                 ".address_size %u\n\n",
+                                 M.Version.c_str(), M.Target.c_str(),
+                                 M.AddressSize);
+  for (const SymbolInfo &Var : M.Globals) {
+    printVar(Out, Var.Space == StateSpace::Const ? ".const"
+                                                 : ".visible .global",
+             Var);
+  }
+  if (!M.Globals.empty())
+    Out += "\n";
+  for (const Kernel &F : M.Functions) {
+    Out += printKernel(M, F);
+    Out += "\n";
+  }
+  for (const Kernel &K : M.Kernels) {
+    Out += printKernel(M, K);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- Printer.h - PTX text emission ---------------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ptx::Module back to PTX text. Used to round-trip-test the
+/// parser and to dump instrumented modules for inspection (the analogue of
+/// the paper's regenerated fat-binary PTX entry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_PRINTER_H
+#define BARRACUDA_PTX_PRINTER_H
+
+#include "ptx/Ir.h"
+
+#include <string>
+
+namespace barracuda {
+namespace ptx {
+
+/// Renders one instruction (without trailing newline or label).
+std::string printInstruction(const Module &M, const Kernel &K,
+                             const Instruction &Insn);
+
+/// Renders a whole kernel.
+std::string printKernel(const Module &M, const Kernel &K);
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_PRINTER_H

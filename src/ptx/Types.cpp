@@ -1,0 +1,349 @@
+//===- Types.cpp - PTX scalar types, state spaces, enums ------------------===//
+
+#include "ptx/Types.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+unsigned ptx::sizeOfType(Type Ty) {
+  switch (Ty) {
+  case Type::None:
+  case Type::Pred:
+    return 0;
+  case Type::B8:
+  case Type::U8:
+  case Type::S8:
+    return 1;
+  case Type::B16:
+  case Type::U16:
+  case Type::S16:
+    return 2;
+  case Type::B32:
+  case Type::U32:
+  case Type::S32:
+  case Type::F32:
+    return 4;
+  case Type::B64:
+  case Type::U64:
+  case Type::S64:
+  case Type::F64:
+    return 8;
+  }
+  assert(false && "unknown type");
+  return 0;
+}
+
+bool ptx::isSignedType(Type Ty) {
+  switch (Ty) {
+  case Type::S8:
+  case Type::S16:
+  case Type::S32:
+  case Type::S64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ptx::isFloatType(Type Ty) {
+  return Ty == Type::F32 || Ty == Type::F64;
+}
+
+const char *ptx::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::None:
+    return "none";
+  case Type::Pred:
+    return "pred";
+  case Type::B8:
+    return "b8";
+  case Type::B16:
+    return "b16";
+  case Type::B32:
+    return "b32";
+  case Type::B64:
+    return "b64";
+  case Type::U8:
+    return "u8";
+  case Type::U16:
+    return "u16";
+  case Type::U32:
+    return "u32";
+  case Type::U64:
+    return "u64";
+  case Type::S8:
+    return "s8";
+  case Type::S16:
+    return "s16";
+  case Type::S32:
+    return "s32";
+  case Type::S64:
+    return "s64";
+  case Type::F32:
+    return "f32";
+  case Type::F64:
+    return "f64";
+  }
+  return "none";
+}
+
+Type ptx::parseTypeName(const std::string &Name) {
+  static const struct {
+    const char *Name;
+    Type Ty;
+  } Table[] = {
+      {"pred", Type::Pred}, {"b8", Type::B8},   {"b16", Type::B16},
+      {"b32", Type::B32},   {"b64", Type::B64}, {"u8", Type::U8},
+      {"u16", Type::U16},   {"u32", Type::U32}, {"u64", Type::U64},
+      {"s8", Type::S8},     {"s16", Type::S16}, {"s32", Type::S32},
+      {"s64", Type::S64},   {"f32", Type::F32}, {"f64", Type::F64},
+  };
+  for (const auto &Entry : Table)
+    if (Name == Entry.Name)
+      return Entry.Ty;
+  return Type::None;
+}
+
+const char *ptx::stateSpaceName(StateSpace Space) {
+  switch (Space) {
+  case StateSpace::Generic:
+    return "generic";
+  case StateSpace::Global:
+    return "global";
+  case StateSpace::Shared:
+    return "shared";
+  case StateSpace::Local:
+    return "local";
+  case StateSpace::Param:
+    return "param";
+  case StateSpace::Const:
+    return "const";
+  }
+  return "generic";
+}
+
+const char *ptx::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Ld:
+    return "ld";
+  case Opcode::St:
+    return "st";
+  case Opcode::Atom:
+    return "atom";
+  case Opcode::Membar:
+    return "membar";
+  case Opcode::Bar:
+    return "bar";
+  case Opcode::Bra:
+    return "bra";
+  case Opcode::Setp:
+    return "setp";
+  case Opcode::Selp:
+    return "selp";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Mad:
+    return "mad";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Cvt:
+    return "cvt";
+  case Opcode::Cvta:
+    return "cvta";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Exit:
+    return "exit";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Popc:
+    return "popc";
+  case Opcode::Clz:
+    return "clz";
+  case Opcode::Brev:
+    return "brev";
+  }
+  return "nop";
+}
+
+const char *ptx::atomOpName(AtomOpKind Op) {
+  switch (Op) {
+  case AtomOpKind::AO_None:
+    return "none";
+  case AtomOpKind::AO_Exch:
+    return "exch";
+  case AtomOpKind::AO_Cas:
+    return "cas";
+  case AtomOpKind::AO_Add:
+    return "add";
+  case AtomOpKind::AO_Min:
+    return "min";
+  case AtomOpKind::AO_Max:
+    return "max";
+  case AtomOpKind::AO_And:
+    return "and";
+  case AtomOpKind::AO_Or:
+    return "or";
+  case AtomOpKind::AO_Xor:
+    return "xor";
+  case AtomOpKind::AO_Inc:
+    return "inc";
+  case AtomOpKind::AO_Dec:
+    return "dec";
+  }
+  return "none";
+}
+
+AtomOpKind ptx::parseAtomOpName(const std::string &Name) {
+  static const struct {
+    const char *Name;
+    AtomOpKind Op;
+  } Table[] = {
+      {"exch", AtomOpKind::AO_Exch}, {"cas", AtomOpKind::AO_Cas},
+      {"add", AtomOpKind::AO_Add},   {"min", AtomOpKind::AO_Min},
+      {"max", AtomOpKind::AO_Max},   {"and", AtomOpKind::AO_And},
+      {"or", AtomOpKind::AO_Or},     {"xor", AtomOpKind::AO_Xor},
+      {"inc", AtomOpKind::AO_Inc},   {"dec", AtomOpKind::AO_Dec},
+  };
+  for (const auto &Entry : Table)
+    if (Name == Entry.Name)
+      return Entry.Op;
+  return AtomOpKind::AO_None;
+}
+
+const char *ptx::cmpOpName(CmpOpKind Op) {
+  switch (Op) {
+  case CmpOpKind::CO_None:
+    return "none";
+  case CmpOpKind::CO_Eq:
+    return "eq";
+  case CmpOpKind::CO_Ne:
+    return "ne";
+  case CmpOpKind::CO_Lt:
+    return "lt";
+  case CmpOpKind::CO_Le:
+    return "le";
+  case CmpOpKind::CO_Gt:
+    return "gt";
+  case CmpOpKind::CO_Ge:
+    return "ge";
+  }
+  return "none";
+}
+
+CmpOpKind ptx::parseCmpOpName(const std::string &Name) {
+  static const struct {
+    const char *Name;
+    CmpOpKind Op;
+  } Table[] = {
+      {"eq", CmpOpKind::CO_Eq}, {"ne", CmpOpKind::CO_Ne},
+      {"lt", CmpOpKind::CO_Lt}, {"le", CmpOpKind::CO_Le},
+      {"gt", CmpOpKind::CO_Gt}, {"ge", CmpOpKind::CO_Ge},
+  };
+  for (const auto &Entry : Table)
+    if (Name == Entry.Name)
+      return Entry.Op;
+  return CmpOpKind::CO_None;
+}
+
+const char *ptx::fenceScopeName(FenceScopeKind Scope) {
+  switch (Scope) {
+  case FenceScopeKind::FS_None:
+    return "none";
+  case FenceScopeKind::FS_Cta:
+    return "cta";
+  case FenceScopeKind::FS_Gl:
+    return "gl";
+  case FenceScopeKind::FS_Sys:
+    return "sys";
+  }
+  return "none";
+}
+
+const char *ptx::specialRegName(SpecialReg Reg) {
+  switch (Reg) {
+  case SpecialReg::TidX:
+    return "tid.x";
+  case SpecialReg::TidY:
+    return "tid.y";
+  case SpecialReg::TidZ:
+    return "tid.z";
+  case SpecialReg::NtidX:
+    return "ntid.x";
+  case SpecialReg::NtidY:
+    return "ntid.y";
+  case SpecialReg::NtidZ:
+    return "ntid.z";
+  case SpecialReg::CtaIdX:
+    return "ctaid.x";
+  case SpecialReg::CtaIdY:
+    return "ctaid.y";
+  case SpecialReg::CtaIdZ:
+    return "ctaid.z";
+  case SpecialReg::NctaIdX:
+    return "nctaid.x";
+  case SpecialReg::NctaIdY:
+    return "nctaid.y";
+  case SpecialReg::NctaIdZ:
+    return "nctaid.z";
+  case SpecialReg::LaneId:
+    return "laneid";
+  case SpecialReg::WarpSize:
+    return "WARP_SZ";
+  }
+  return "tid.x";
+}
+
+bool ptx::parseSpecialRegName(const std::string &Name, SpecialReg &Out) {
+  static const struct {
+    const char *Name;
+    SpecialReg Reg;
+  } Table[] = {
+      {"tid.x", SpecialReg::TidX},       {"tid.y", SpecialReg::TidY},
+      {"tid.z", SpecialReg::TidZ},       {"ntid.x", SpecialReg::NtidX},
+      {"ntid.y", SpecialReg::NtidY},     {"ntid.z", SpecialReg::NtidZ},
+      {"ctaid.x", SpecialReg::CtaIdX},   {"ctaid.y", SpecialReg::CtaIdY},
+      {"ctaid.z", SpecialReg::CtaIdZ},   {"nctaid.x", SpecialReg::NctaIdX},
+      {"nctaid.y", SpecialReg::NctaIdY}, {"nctaid.z", SpecialReg::NctaIdZ},
+      {"laneid", SpecialReg::LaneId},    {"WARP_SZ", SpecialReg::WarpSize},
+  };
+  for (const auto &Entry : Table) {
+    if (Name == Entry.Name) {
+      Out = Entry.Reg;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,189 @@
+//===- Types.h - PTX scalar types, state spaces, enums --------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerations shared across the PTX front end: scalar types, state
+/// spaces, opcodes, atomic operations, comparison operators, memory fence
+/// scopes and special registers, together with their string spellings.
+///
+/// The subset matches what the BARRACUDA paper's benchmarks and test suite
+/// exercise: integer/float arithmetic, loads/stores in every state space,
+/// atomics, memory fences, barriers and (possibly predicated) branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_TYPES_H
+#define BARRACUDA_PTX_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace barracuda {
+namespace ptx {
+
+/// PTX scalar value types (".u32", ".pred", ...).
+enum class Type : uint8_t {
+  None,
+  Pred,
+  B8,
+  B16,
+  B32,
+  B64,
+  U8,
+  U16,
+  U32,
+  U64,
+  S8,
+  S16,
+  S32,
+  S64,
+  F32,
+  F64,
+};
+
+/// Returns the size of \p Ty in bytes (0 for Pred/None).
+unsigned sizeOfType(Type Ty);
+
+/// True for the S8..S64 types.
+bool isSignedType(Type Ty);
+
+/// True for F32/F64.
+bool isFloatType(Type Ty);
+
+/// The ".u32"-style spelling, without the leading dot.
+const char *typeName(Type Ty);
+
+/// Parses a type suffix spelling ("u32"); returns Type::None on failure.
+Type parseTypeName(const std::string &Name);
+
+/// PTX state spaces for memory operations and variable declarations.
+enum class StateSpace : uint8_t {
+  Generic,
+  Global,
+  Shared,
+  Local,
+  Param,
+  Const,
+};
+
+const char *stateSpaceName(StateSpace Space);
+
+/// Instruction opcodes (the root mnemonic, modifiers stored separately).
+enum class Opcode : uint8_t {
+  Nop,
+  Mov,
+  Ld,
+  St,
+  Atom,
+  Membar,
+  Bar,
+  Bra,
+  Setp,
+  Selp,
+  Add,
+  Sub,
+  Mul,
+  Mad,
+  Div,
+  Rem,
+  Min,
+  Max,
+  Neg,
+  Abs,
+  And,
+  Or,
+  Xor,
+  Not,
+  Shl,
+  Shr,
+  Cvt,
+  Cvta,
+  Ret,
+  Exit,
+  Call,
+  Popc,
+  Clz,
+  Brev,
+};
+
+const char *opcodeName(Opcode Op);
+
+/// Atomic read-modify-write operations ("atom.global.add.u32", ...).
+enum class AtomOpKind : uint8_t {
+  AO_None,
+  AO_Exch,
+  AO_Cas,
+  AO_Add,
+  AO_Min,
+  AO_Max,
+  AO_And,
+  AO_Or,
+  AO_Xor,
+  AO_Inc,
+  AO_Dec,
+};
+
+const char *atomOpName(AtomOpKind Op);
+AtomOpKind parseAtomOpName(const std::string &Name);
+
+/// Comparison operators for setp.
+enum class CmpOpKind : uint8_t {
+  CO_None,
+  CO_Eq,
+  CO_Ne,
+  CO_Lt,
+  CO_Le,
+  CO_Gt,
+  CO_Ge,
+};
+
+const char *cmpOpName(CmpOpKind Op);
+CmpOpKind parseCmpOpName(const std::string &Name);
+
+/// Memory fence scopes: membar.cta / membar.gl / membar.sys.
+enum class FenceScopeKind : uint8_t {
+  FS_None,
+  FS_Cta,
+  FS_Gl,
+  FS_Sys,
+};
+
+const char *fenceScopeName(FenceScopeKind Scope);
+
+/// Width selector for integer multiplies: mul.lo / mul.hi / mul.wide.
+enum class MulModeKind : uint8_t {
+  MM_Lo,
+  MM_Hi,
+  MM_Wide,
+};
+
+/// Read-only special registers.
+enum class SpecialReg : uint8_t {
+  TidX,
+  TidY,
+  TidZ,
+  NtidX,
+  NtidY,
+  NtidZ,
+  CtaIdX,
+  CtaIdY,
+  CtaIdZ,
+  NctaIdX,
+  NctaIdY,
+  NctaIdZ,
+  LaneId,
+  WarpSize,
+};
+
+const char *specialRegName(SpecialReg Reg);
+
+/// Parses "%tid.x"-style names (without the '%'); returns true on success.
+bool parseSpecialRegName(const std::string &Name, SpecialReg &Out);
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_TYPES_H

@@ -1,0 +1,223 @@
+//===- Verifier.cpp - structural checks on parsed PTX ---------------------===//
+
+#include "ptx/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+using support::formatString;
+
+namespace {
+
+class KernelVerifier {
+public:
+  KernelVerifier(const Module &M, const Kernel &K,
+                 std::vector<std::string> &Diags)
+      : M(M), K(K), Diags(Diags) {}
+
+  void run() {
+    for (size_t Index = 0; Index != K.Body.size(); ++Index)
+      verifyInsn(K.Body[Index]);
+  }
+
+private:
+  void report(const Instruction &Insn, const std::string &Message) {
+    Diags.push_back(formatString("kernel '%s', line %u: %s", K.Name.c_str(),
+                                 Insn.Line, Message.c_str()));
+  }
+
+  bool checkOperandCount(const Instruction &Insn, size_t Min, size_t Max) {
+    if (Insn.Ops.size() >= Min && Insn.Ops.size() <= Max)
+      return true;
+    report(Insn, formatString("expected %zu..%zu operands, found %zu", Min,
+                              Max, Insn.Ops.size()));
+    return false;
+  }
+
+  bool isPredReg(const Operand &Op) const {
+    return Op.isReg() &&
+           K.Regs[static_cast<size_t>(Op.Reg)].Ty == Type::Pred;
+  }
+
+  bool isValueOperand(const Operand &Op) const {
+    switch (Op.Kind) {
+    case Operand::OperandKind::Reg:
+    case Operand::OperandKind::Imm:
+    case Operand::OperandKind::FImm:
+    case Operand::OperandKind::Special:
+    case Operand::OperandKind::Symbol:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void verifyInsn(const Instruction &Insn) {
+    if (Insn.isGuarded()) {
+      if (K.Regs[static_cast<size_t>(Insn.GuardPred)].Ty != Type::Pred)
+        report(Insn, "guard register is not a predicate");
+    }
+
+    switch (Insn.Op) {
+    case Opcode::Nop:
+    case Opcode::Ret:
+    case Opcode::Exit:
+    case Opcode::Membar:
+      if (!Insn.Ops.empty())
+        report(Insn, "instruction takes no operands");
+      break;
+
+    case Opcode::Bar:
+      if (!checkOperandCount(Insn, 1, 2))
+        break;
+      if (!Insn.Ops[0].isImm())
+        report(Insn, "bar.sync expects an immediate barrier id");
+      break;
+
+    case Opcode::Bra:
+      if (!checkOperandCount(Insn, 1, 1))
+        break;
+      if (Insn.Ops[0].Kind != Operand::OperandKind::Label)
+        report(Insn, "bra expects a label operand");
+      else if (Insn.Ops[0].Target < 0)
+        report(Insn, "unresolved branch target");
+      break;
+
+    case Opcode::Call:
+      if (Insn.CalleeName.empty())
+        report(Insn, "call without a callee name");
+      if (Insn.NumRets > Insn.Ops.size())
+        report(Insn, "call return count exceeds operand count");
+      break;
+
+    case Opcode::Mov:
+    case Opcode::Cvt:
+    case Opcode::Cvta:
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Not:
+    case Opcode::Popc:
+    case Opcode::Clz:
+    case Opcode::Brev:
+      if (!checkOperandCount(Insn, 2, 2))
+        break;
+      if (!Insn.Ops[0].isReg())
+        report(Insn, "destination must be a register");
+      if (!isValueOperand(Insn.Ops[1]))
+        report(Insn, "source must be a value operand");
+      break;
+
+    case Opcode::Ld:
+      if (!checkOperandCount(Insn, 2, 2))
+        break;
+      if (!Insn.Ops[0].isReg())
+        report(Insn, "ld destination must be a register");
+      if (!Insn.Ops[1].isAddr())
+        report(Insn, "ld source must be a memory operand");
+      if (Insn.Ty == Type::None)
+        report(Insn, "ld requires a type suffix");
+      if (Insn.VecWidth > 1 &&
+          Insn.Ops[0].VecRegs.size() != Insn.VecWidth)
+        report(Insn, "vector width does not match the register list");
+      break;
+
+    case Opcode::St:
+      if (!checkOperandCount(Insn, 2, 2))
+        break;
+      if (!Insn.Ops[0].isAddr())
+        report(Insn, "st destination must be a memory operand");
+      if (!isValueOperand(Insn.Ops[1]))
+        report(Insn, "st source must be a value operand");
+      if (Insn.Ty == Type::None)
+        report(Insn, "st requires a type suffix");
+      if (Insn.VecWidth > 1 &&
+          Insn.Ops[1].VecRegs.size() != Insn.VecWidth)
+        report(Insn, "vector width does not match the register list");
+      break;
+
+    case Opcode::Atom: {
+      size_t Expected = Insn.Atomic == AtomOpKind::AO_Cas ? 4 : 3;
+      size_t MinOps = Insn.Atomic == AtomOpKind::AO_Inc ||
+                              Insn.Atomic == AtomOpKind::AO_Dec
+                          ? 3
+                          : Expected;
+      if (!checkOperandCount(Insn, MinOps, Expected))
+        break;
+      if (Insn.Atomic == AtomOpKind::AO_None)
+        report(Insn, "atom requires an operation suffix");
+      if (!Insn.NoDest && !Insn.Ops[0].isReg())
+        report(Insn, "atom destination must be a register");
+      if (!Insn.Ops[1].isAddr())
+        report(Insn, "atom operand must be a memory operand");
+      break;
+    }
+
+    case Opcode::Setp:
+      if (!checkOperandCount(Insn, 3, 3))
+        break;
+      if (!isPredReg(Insn.Ops[0]))
+        report(Insn, "setp destination must be a predicate register");
+      if (Insn.Cmp == CmpOpKind::CO_None)
+        report(Insn, "setp requires a comparison suffix");
+      break;
+
+    case Opcode::Selp:
+      if (!checkOperandCount(Insn, 4, 4))
+        break;
+      if (!Insn.Ops[0].isReg())
+        report(Insn, "selp destination must be a register");
+      if (!isPredReg(Insn.Ops[3]))
+        report(Insn, "selp selector must be a predicate register");
+      break;
+
+    case Opcode::Mad:
+      if (!checkOperandCount(Insn, 4, 4))
+        break;
+      if (!Insn.Ops[0].isReg())
+        report(Insn, "mad destination must be a register");
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      if (!checkOperandCount(Insn, 3, 3))
+        break;
+      if (!Insn.Ops[0].isReg())
+        report(Insn, "destination must be a register");
+      for (size_t I = 1; I != Insn.Ops.size(); ++I)
+        if (!isValueOperand(Insn.Ops[I]))
+          report(Insn, "source operands must be value operands");
+      break;
+    }
+  }
+
+  const Module &M;
+  const Kernel &K;
+  std::vector<std::string> &Diags;
+};
+
+} // namespace
+
+void ptx::verifyKernel(const Module &M, const Kernel &K,
+                       std::vector<std::string> &Diags) {
+  KernelVerifier(M, K, Diags).run();
+}
+
+std::vector<std::string> ptx::verifyModule(const Module &M) {
+  std::vector<std::string> Diags;
+  for (const Kernel &F : M.Functions)
+    verifyKernel(M, F, Diags);
+  for (const Kernel &K : M.Kernels)
+    verifyKernel(M, K, Diags);
+  return Diags;
+}

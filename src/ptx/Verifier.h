@@ -1,0 +1,36 @@
+//===- Verifier.h - structural checks on parsed PTX -----------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks run after parsing and after
+/// instrumentation rewrites: operand counts and kinds per opcode, register
+/// type agreement for predicates, resolved branch targets, and state-space
+/// sanity for memory operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_PTX_VERIFIER_H
+#define BARRACUDA_PTX_VERIFIER_H
+
+#include "ptx/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace ptx {
+
+/// Verifies \p M; returns all diagnostics found (empty means valid).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Verifies one kernel; appends diagnostics to \p Diags.
+void verifyKernel(const Module &M, const Kernel &K,
+                  std::vector<std::string> &Diags);
+
+} // namespace ptx
+} // namespace barracuda
+
+#endif // BARRACUDA_PTX_VERIFIER_H

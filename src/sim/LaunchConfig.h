@@ -1,0 +1,141 @@
+//===- LaunchConfig.h - grid/block geometry and thread identity -----------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CUDA launch geometry: 1/2/3-D grids of 1/2/3-D thread blocks, and the
+/// mapping from (block, thread) coordinates to the globally unique 64-bit
+/// TID that the paper's instrumentation computes at the top of every
+/// kernel (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SIM_LAUNCHCONFIG_H
+#define BARRACUDA_SIM_LAUNCHCONFIG_H
+
+#include "trace/Record.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace barracuda {
+namespace sim {
+
+/// A 3-component dimension, CUDA-style.
+struct Dim3 {
+  uint32_t X = 1;
+  uint32_t Y = 1;
+  uint32_t Z = 1;
+
+  Dim3() = default;
+  Dim3(uint32_t X, uint32_t Y = 1, uint32_t Z = 1) : X(X), Y(Y), Z(Z) {}
+
+  uint64_t count() const {
+    return static_cast<uint64_t>(X) * Y * Z;
+  }
+};
+
+/// Launch geometry plus derived warp bookkeeping.
+struct LaunchConfig {
+  Dim3 Grid;
+  Dim3 Block;
+  /// Warp width for this launch. 32 on every shipped Nvidia
+  /// architecture; smaller values implement the paper's "simulate the
+  /// behavior of smaller warps to find additional latent bugs" — code
+  /// that silently relies on 32-wide lockstep loses that ordering.
+  uint32_t WarpSize = trace::WarpSize;
+
+  uint32_t threadsPerBlock() const {
+    return static_cast<uint32_t>(Block.count());
+  }
+
+  uint32_t blockCount() const { return static_cast<uint32_t>(Grid.count()); }
+
+  uint32_t warpsPerBlock() const {
+    return (threadsPerBlock() + WarpSize - 1) / WarpSize;
+  }
+
+  uint64_t totalThreads() const {
+    return static_cast<uint64_t>(blockCount()) * threadsPerBlock();
+  }
+
+  uint64_t totalWarps() const {
+    return static_cast<uint64_t>(blockCount()) * warpsPerBlock();
+  }
+
+  /// Decomposes a linear block id into (x, y, z) coordinates.
+  void blockCoords(uint32_t BlockId, uint32_t &X, uint32_t &Y,
+                   uint32_t &Z) const {
+    X = BlockId % Grid.X;
+    Y = (BlockId / Grid.X) % Grid.Y;
+    Z = BlockId / (Grid.X * Grid.Y);
+  }
+
+  /// Decomposes a linear in-block thread id into (x, y, z) coordinates.
+  void threadCoords(uint32_t ThreadId, uint32_t &X, uint32_t &Y,
+                    uint32_t &Z) const {
+    X = ThreadId % Block.X;
+    Y = (ThreadId / Block.X) % Block.Y;
+    Z = ThreadId / (Block.X * Block.Y);
+  }
+
+  /// The globally unique 64-bit thread id.
+  uint64_t tid(uint32_t BlockId, uint32_t ThreadInBlock) const {
+    return static_cast<uint64_t>(BlockId) * threadsPerBlock() +
+           ThreadInBlock;
+  }
+
+  /// The globally unique warp index.
+  uint32_t globalWarp(uint32_t BlockId, uint32_t WarpInBlock) const {
+    return BlockId * warpsPerBlock() + WarpInBlock;
+  }
+};
+
+/// Utilities for mapping TIDs back to hierarchy coordinates; the detector
+/// uses these to classify races and compress clocks.
+struct ThreadHierarchy {
+  uint32_t ThreadsPerBlock = 1;
+  uint32_t WarpsPerBlock = 1;
+  uint32_t WarpSize = trace::WarpSize;
+
+  ThreadHierarchy() = default;
+  explicit ThreadHierarchy(const LaunchConfig &Config)
+      : ThreadsPerBlock(Config.threadsPerBlock()),
+        WarpsPerBlock(Config.warpsPerBlock()),
+        WarpSize(Config.WarpSize) {}
+
+  uint32_t blockOf(uint64_t Tid) const {
+    return static_cast<uint32_t>(Tid / ThreadsPerBlock);
+  }
+  uint32_t threadInBlock(uint64_t Tid) const {
+    return static_cast<uint32_t>(Tid % ThreadsPerBlock);
+  }
+  uint32_t warpOf(uint64_t Tid) const {
+    return blockOf(Tid) * WarpsPerBlock + threadInBlock(Tid) / WarpSize;
+  }
+  uint32_t laneOf(uint64_t Tid) const {
+    return threadInBlock(Tid) % WarpSize;
+  }
+  uint64_t tidOfLane(uint32_t GlobalWarp, uint32_t Lane) const {
+    uint32_t Block = GlobalWarp / WarpsPerBlock;
+    uint32_t WarpInBlock = GlobalWarp % WarpsPerBlock;
+    return static_cast<uint64_t>(Block) * ThreadsPerBlock +
+           WarpInBlock * WarpSize + Lane;
+  }
+
+  /// The resident-lane mask of one warp.
+  uint32_t residentMask(uint32_t GlobalWarp) const {
+    uint32_t WarpInBlock = GlobalWarp % WarpsPerBlock;
+    uint32_t First = WarpInBlock * WarpSize;
+    uint32_t Remaining = ThreadsPerBlock - First;
+    uint32_t Count = Remaining < WarpSize ? Remaining : WarpSize;
+    return Count >= 32 ? ~0u : ((1u << Count) - 1);
+  }
+};
+
+} // namespace sim
+} // namespace barracuda
+
+#endif // BARRACUDA_SIM_LAUNCHCONFIG_H

@@ -1,0 +1,67 @@
+//===- Logger.h - device-side logging interface ----------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logging hook the simulated device calls for every instrumented
+/// instruction, standing in for the GPU-side logging framework merged
+/// into application PTX (Section 4.2). The production implementation
+/// routes each block's records to one queue of a QueueSet; tests use
+/// collectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SIM_LOGGER_H
+#define BARRACUDA_SIM_LOGGER_H
+
+#include "trace/Queue.h"
+#include "trace/Record.h"
+
+#include <vector>
+
+namespace barracuda {
+namespace sim {
+
+/// Destination for device log records.
+class DeviceLogger {
+public:
+  virtual ~DeviceLogger() = default;
+
+  /// Logs one record originating from thread block \p BlockId.
+  virtual void log(uint32_t BlockId, const trace::LogRecord &Record) = 0;
+
+protected:
+  DeviceLogger() = default;
+};
+
+/// Routes records into a QueueSet using the block-to-queue mapping.
+class QueueLogger : public DeviceLogger {
+public:
+  explicit QueueLogger(trace::QueueSet &Queues) : Queues(Queues) {}
+
+  void log(uint32_t BlockId, const trace::LogRecord &Record) override {
+    Queues.queueForBlock(BlockId).push(Record);
+  }
+
+private:
+  trace::QueueSet &Queues;
+};
+
+/// Collects records in order; for tests and the reference detector.
+class CollectingLogger : public DeviceLogger {
+public:
+  void log(uint32_t BlockId, const trace::LogRecord &Record) override {
+    Blocks.push_back(BlockId);
+    Records.push_back(Record);
+  }
+
+  std::vector<uint32_t> Blocks;
+  std::vector<trace::LogRecord> Records;
+};
+
+} // namespace sim
+} // namespace barracuda
+
+#endif // BARRACUDA_SIM_LOGGER_H

@@ -1,0 +1,1231 @@
+//===- Machine.cpp - lockstep SIMT interpreter for PTX --------------------===//
+
+#include "sim/Machine.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace barracuda;
+using namespace barracuda::sim;
+using namespace barracuda::ptx;
+using barracuda::instrument::InsnAnnotation;
+using barracuda::instrument::LogActionKind;
+using barracuda::trace::LogRecord;
+using barracuda::trace::RecordOp;
+using barracuda::trace::WarpSize;
+
+//===----------------------------------------------------------------------===//
+// Scalar value helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t maskToWidth(uint64_t Value, unsigned Bytes) {
+  if (Bytes >= 8)
+    return Value;
+  return Value & ((1ULL << (Bytes * 8)) - 1);
+}
+
+int64_t signExtend(uint64_t Value, unsigned Bytes) {
+  if (Bytes >= 8)
+    return static_cast<int64_t>(Value);
+  unsigned Shift = 64 - Bytes * 8;
+  return static_cast<int64_t>(Value << Shift) >> Shift;
+}
+
+double bitsToFloat(uint64_t Bits, Type Ty) {
+  if (Ty == Type::F32) {
+    float F;
+    uint32_t B = static_cast<uint32_t>(Bits);
+    std::memcpy(&F, &B, sizeof(F));
+    return F;
+  }
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t floatToBits(double Value, Type Ty) {
+  if (Ty == Type::F32) {
+    float F = static_cast<float>(Value);
+    uint32_t B;
+    std::memcpy(&B, &F, sizeof(B));
+    return B;
+  }
+  uint64_t B;
+  std::memcpy(&B, &Value, sizeof(B));
+  return B;
+}
+
+uint64_t applyAtomOp(AtomOpKind Op, Type Ty, uint64_t Old, uint64_t B,
+                     uint64_t C) {
+  unsigned Bytes = sizeOfType(Ty);
+  switch (Op) {
+  case AtomOpKind::AO_Exch:
+    return maskToWidth(B, Bytes);
+  case AtomOpKind::AO_Cas:
+    return maskToWidth(Old == maskToWidth(B, Bytes) ? C : Old, Bytes);
+  case AtomOpKind::AO_Add:
+    if (isFloatType(Ty))
+      return floatToBits(bitsToFloat(Old, Ty) + bitsToFloat(B, Ty), Ty);
+    return maskToWidth(Old + B, Bytes);
+  case AtomOpKind::AO_Min:
+    if (isSignedType(Ty))
+      return maskToWidth(static_cast<uint64_t>(
+                             std::min(signExtend(Old, Bytes),
+                                      signExtend(B, Bytes))),
+                         Bytes);
+    return std::min(maskToWidth(Old, Bytes), maskToWidth(B, Bytes));
+  case AtomOpKind::AO_Max:
+    if (isSignedType(Ty))
+      return maskToWidth(static_cast<uint64_t>(
+                             std::max(signExtend(Old, Bytes),
+                                      signExtend(B, Bytes))),
+                         Bytes);
+    return std::max(maskToWidth(Old, Bytes), maskToWidth(B, Bytes));
+  case AtomOpKind::AO_And:
+    return maskToWidth(Old & B, Bytes);
+  case AtomOpKind::AO_Or:
+    return maskToWidth(Old | B, Bytes);
+  case AtomOpKind::AO_Xor:
+    return maskToWidth(Old ^ B, Bytes);
+  case AtomOpKind::AO_Inc:
+    return maskToWidth(Old >= maskToWidth(B, Bytes) ? 0 : Old + 1, Bytes);
+  case AtomOpKind::AO_Dec:
+    return maskToWidth(
+        (Old == 0 || Old > maskToWidth(B, Bytes)) ? maskToWidth(B, Bytes)
+                                                  : Old - 1,
+        Bytes);
+  case AtomOpKind::AO_None:
+    break;
+  }
+  assert(false && "invalid atomic op");
+  return Old;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LaunchContext
+//===----------------------------------------------------------------------===//
+
+class Machine::LaunchContext {
+public:
+  LaunchContext(Machine &Mach, const Module &M, const Kernel &K,
+                const instrument::KernelInstrumentation *Instr,
+                const LaunchConfig &Config,
+                const std::vector<uint8_t> &ParamBuffer,
+                DeviceLogger *Logger)
+      : Mach(Mach), M(M), K(K), Instr(Instr), Config(Config),
+        Params(ParamBuffer), Logger(Logger),
+        Weak(Mach.Options.WeakProfile, Mach.Memory,
+             Mach.Options.WeakSeed +
+                 0x9E3779B97F4A7C15ULL * ++Mach.LaunchSeq) {
+    if (!Instr)
+      OwnCfg = std::make_unique<ptx::Cfg>(K);
+  }
+
+  LaunchResult run();
+
+private:
+  struct StackEntry {
+    uint32_t ReconvPc;
+    uint32_t NextPc;
+    uint32_t Mask;
+  };
+
+  struct WarpExec {
+    std::vector<StackEntry> Stack;
+    uint32_t WarpInBlock = 0;
+    bool AtBarrier = false;
+    bool Done = false;
+  };
+
+  struct BlockExec {
+    uint32_t BlockId = 0;
+    std::vector<uint64_t> Regs;   ///< threadsPerBlock * regCount
+    std::vector<uint8_t> Shared;  ///< block shared memory
+    std::vector<uint8_t> Local;   ///< threadsPerBlock * LocalBytes
+    std::vector<WarpExec> Warps;
+    uint32_t LiveWarps = 0;
+    bool Done = false;
+  };
+
+  // --- failure plumbing (no exceptions) -------------------------------
+  void failLaunch(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      FirstError = support::formatString("kernel '%s': %s", K.Name.c_str(),
+                                         Message.c_str());
+    }
+  }
+
+  // --- register file ---------------------------------------------------
+  uint64_t &reg(BlockExec &B, uint32_t ThreadInBlock, int32_t RegId) {
+    return B.Regs[static_cast<size_t>(ThreadInBlock) * RegCount +
+                  static_cast<size_t>(RegId)];
+  }
+
+  void storeToReg(BlockExec &B, uint32_t ThreadInBlock, int32_t RegId,
+                  uint64_t Value) {
+    const RegInfo &Info = K.Regs[static_cast<size_t>(RegId)];
+    if (Info.Ty == Type::Pred)
+      Value = Value ? 1 : 0;
+    else
+      Value = maskToWidth(Value, sizeOfType(Info.Ty));
+    reg(B, ThreadInBlock, RegId) = Value;
+  }
+
+  uint64_t specialValue(const BlockExec &B, uint32_t ThreadInBlock,
+                        SpecialReg Special) const {
+    uint32_t Tx, Ty, Tz, Bx, By, Bz;
+    Config.threadCoords(ThreadInBlock, Tx, Ty, Tz);
+    Config.blockCoords(B.BlockId, Bx, By, Bz);
+    switch (Special) {
+    case SpecialReg::TidX:
+      return Tx;
+    case SpecialReg::TidY:
+      return Ty;
+    case SpecialReg::TidZ:
+      return Tz;
+    case SpecialReg::NtidX:
+      return Config.Block.X;
+    case SpecialReg::NtidY:
+      return Config.Block.Y;
+    case SpecialReg::NtidZ:
+      return Config.Block.Z;
+    case SpecialReg::CtaIdX:
+      return Bx;
+    case SpecialReg::CtaIdY:
+      return By;
+    case SpecialReg::CtaIdZ:
+      return Bz;
+    case SpecialReg::NctaIdX:
+      return Config.Grid.X;
+    case SpecialReg::NctaIdY:
+      return Config.Grid.Y;
+    case SpecialReg::NctaIdZ:
+      return Config.Grid.Z;
+    case SpecialReg::LaneId:
+      return ThreadInBlock % Config.WarpSize;
+    case SpecialReg::WarpSize:
+      return Config.WarpSize;
+    }
+    return 0;
+  }
+
+  uint64_t readOperand(BlockExec &B, uint32_t ThreadInBlock,
+                       const Operand &Op, Type Ty) {
+    switch (Op.Kind) {
+    case Operand::OperandKind::Reg:
+      return reg(B, ThreadInBlock, Op.Reg);
+    case Operand::OperandKind::Imm:
+      return static_cast<uint64_t>(Op.Imm);
+    case Operand::OperandKind::FImm:
+      return floatToBits(Op.FImm, Ty == Type::F64 ? Type::F64 : Type::F32);
+    case Operand::OperandKind::Special:
+      return specialValue(B, ThreadInBlock, Op.Special);
+    case Operand::OperandKind::Symbol:
+      if (Op.SymSpace == StateSpace::Shared)
+        return K.SharedVars[static_cast<size_t>(Op.Sym)].Address;
+      if (Op.SymSpace == StateSpace::Local)
+        return K.LocalVars[static_cast<size_t>(Op.Sym)].Address;
+      return M.Globals[static_cast<size_t>(Op.Sym)].Address;
+    default:
+      failLaunch("invalid value operand");
+      return 0;
+    }
+  }
+
+  uint64_t operandAddress(BlockExec &B, uint32_t ThreadInBlock,
+                          const Operand &Op) {
+    uint64_t Base = 0;
+    if (Op.Reg >= 0)
+      Base = reg(B, ThreadInBlock, Op.Reg);
+    else if (Op.Sym >= 0) {
+      switch (Op.SymSpace) {
+      case StateSpace::Param:
+        Base = K.Params[static_cast<size_t>(Op.Sym)].Offset;
+        break;
+      case StateSpace::Shared:
+        Base = K.SharedVars[static_cast<size_t>(Op.Sym)].Address;
+        break;
+      case StateSpace::Local:
+        Base = K.LocalVars[static_cast<size_t>(Op.Sym)].Address;
+        break;
+      default:
+        Base = M.Globals[static_cast<size_t>(Op.Sym)].Address;
+        break;
+      }
+    }
+    return Base + static_cast<uint64_t>(Op.Imm);
+  }
+
+  /// Resolves the dynamic state space of a memory access.
+  StateSpace resolveSpace(const Instruction &Insn, uint64_t &Addr) {
+    switch (Insn.Space) {
+    case StateSpace::Generic:
+      if (isGenericSharedAddress(Addr)) {
+        Addr -= GenericSharedBase;
+        return StateSpace::Shared;
+      }
+      return StateSpace::Global;
+    case StateSpace::Shared:
+      if (isGenericSharedAddress(Addr))
+        Addr -= GenericSharedBase;
+      return StateSpace::Shared;
+    default:
+      return Insn.Space;
+    }
+  }
+
+  uint64_t loadFrom(BlockExec &B, uint32_t ThreadInBlock, StateSpace Space,
+                    uint64_t Addr, unsigned Size) {
+    switch (Space) {
+    case StateSpace::Global:
+    case StateSpace::Const:
+      if (Weak.enabled())
+        return Weak.load(B.BlockId, Addr, Size);
+      return Mach.Memory.read(Addr, Size);
+    case StateSpace::Shared: {
+      if (Addr + Size > B.Shared.size()) {
+        failLaunch(support::formatString(
+            "shared load out of bounds (addr %llu, size %u, shared %zu)",
+            static_cast<unsigned long long>(Addr), Size, B.Shared.size()));
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, B.Shared.data() + Addr, Size);
+      return Value;
+    }
+    case StateSpace::Local: {
+      uint64_t Offset =
+          static_cast<uint64_t>(ThreadInBlock) * K.LocalBytes + Addr;
+      if (Addr + Size > K.LocalBytes) {
+        failLaunch("local load out of bounds");
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, B.Local.data() + Offset, Size);
+      return Value;
+    }
+    case StateSpace::Param: {
+      if (Addr + Size > Params.size()) {
+        failLaunch("param load out of bounds");
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, Params.data() + Addr, Size);
+      return Value;
+    }
+    case StateSpace::Generic:
+      break;
+    }
+    failLaunch("load from unresolved generic space");
+    return 0;
+  }
+
+  void storeTo(BlockExec &B, uint32_t ThreadInBlock, StateSpace Space,
+               uint64_t Addr, unsigned Size, uint64_t Value) {
+    switch (Space) {
+    case StateSpace::Global:
+      if (Weak.enabled()) {
+        Weak.store(B.BlockId, Addr, Size, Value);
+        return;
+      }
+      Mach.Memory.write(Addr, Size, Value);
+      return;
+    case StateSpace::Shared:
+      if (Addr + Size > B.Shared.size()) {
+        failLaunch(support::formatString(
+            "shared store out of bounds (addr %llu, size %u, shared %zu)",
+            static_cast<unsigned long long>(Addr), Size, B.Shared.size()));
+        return;
+      }
+      std::memcpy(B.Shared.data() + Addr, &Value, Size);
+      return;
+    case StateSpace::Local: {
+      if (Addr + Size > K.LocalBytes) {
+        failLaunch("local store out of bounds");
+        return;
+      }
+      uint64_t Offset =
+          static_cast<uint64_t>(ThreadInBlock) * K.LocalBytes + Addr;
+      std::memcpy(B.Local.data() + Offset, &Value, Size);
+      return;
+    }
+    default:
+      failLaunch("store to invalid state space");
+      return;
+    }
+  }
+
+  // --- logging ----------------------------------------------------------
+  const InsnAnnotation *annotation(uint32_t Pc) const {
+    if (!Instr || !Logger)
+      return nullptr;
+    const InsnAnnotation &Note = Instr->Insns[Pc];
+    return Note.logs() ? &Note : nullptr;
+  }
+
+  uint32_t reconvergencePoint(uint32_t Pc) const {
+    if (Instr)
+      return Instr->Insns[Pc].Action == LogActionKind::Branch
+                 ? Instr->Insns[Pc].ReconvPc
+                 : Instr->Cfg->reconvergencePoint(Pc);
+    return OwnCfg->reconvergencePoint(Pc);
+  }
+
+  void emit(const BlockExec &B, const LogRecord &Record) {
+    Logger->log(B.BlockId, Record);
+    ++RecordsLogged;
+  }
+
+  void emitControl(const BlockExec &B, const WarpExec &W, RecordOp Op,
+                   uint32_t Pc, uint32_t Mask, uint32_t ElseMask = 0) {
+    if (!Logger || !Instr)
+      return;
+    LogRecord Record = trace::makeControlRecord(
+        Op, Config.globalWarp(B.BlockId, W.WarpInBlock), Pc, Mask);
+    if (Op == RecordOp::If)
+      Record.setElseMask(ElseMask);
+    emit(B, Record);
+  }
+
+  // --- execution --------------------------------------------------------
+  uint32_t guardMask(BlockExec &B, const WarpExec &W,
+                     const Instruction &Insn) {
+    uint32_t Mask = 0;
+    uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+    for (unsigned Lane = 0; Lane != Config.WarpSize; ++Lane) {
+      uint32_t Thread = BaseThread + Lane;
+      if (Thread >= Config.threadsPerBlock())
+        break;
+      bool Pred = reg(B, Thread, Insn.GuardPred) != 0;
+      if (Pred != Insn.GuardNegated)
+        Mask |= 1u << Lane;
+    }
+    return Mask;
+  }
+
+  void retireLanes(BlockExec &B, WarpExec &W, uint32_t Mask) {
+    (void)B;
+    for (StackEntry &Entry : W.Stack)
+      Entry.Mask &= ~Mask;
+  }
+
+  /// Pops completed stack entries, emitting else/fi operations as control
+  /// flow reconverges; marks the warp done when the stack empties.
+  void cleanupStack(BlockExec &B, WarpExec &W) {
+    while (!W.Stack.empty()) {
+      StackEntry &Top = W.Stack.back();
+      if (Top.Mask != 0 && Top.NextPc != Top.ReconvPc &&
+          Top.NextPc < K.Body.size())
+        break;
+      if (Top.Mask != 0 && Top.NextPc >= K.Body.size() &&
+          Top.ReconvPc != Top.NextPc) {
+        // Fell off the end of the kernel with live lanes: implicit exit.
+        retireLanes(B, W, Top.Mask);
+      }
+      StackEntry Popped = W.Stack.back();
+      W.Stack.pop_back();
+      if (W.Stack.empty()) {
+        W.Done = true;
+        assert(B.LiveWarps != 0 && "warp accounting underflow");
+        --B.LiveWarps;
+        emitControl(B, W, RecordOp::WarpEnd, Popped.ReconvPc, 0);
+        return;
+      }
+      StackEntry &NewTop = W.Stack.back();
+      if (NewTop.ReconvPc == Popped.ReconvPc)
+        emitControl(B, W, RecordOp::Else, NewTop.NextPc, NewTop.Mask);
+      else
+        emitControl(B, W, RecordOp::Fi, Popped.ReconvPc, NewTop.Mask);
+    }
+  }
+
+  void executeBranch(BlockExec &B, WarpExec &W, const Instruction &Insn,
+                     uint32_t Pc, uint32_t Active, uint32_t Exec) {
+    StackEntry &Top = W.Stack.back();
+    uint32_t Target = static_cast<uint32_t>(Insn.Ops[0].Target);
+    if (!Insn.isGuarded() || Exec == Active) {
+      Top.NextPc = Target;
+      return;
+    }
+    if (Exec == 0) {
+      Top.NextPc = Pc + 1;
+      return;
+    }
+    // Divergence. The current entry becomes the reconvergence entry; the
+    // taken path is pushed first and the fallthrough path on top, so the
+    // fallthrough ("then") path executes first, matching the IF rule.
+    uint32_t Reconv = reconvergencePoint(Pc);
+    uint32_t TakenMask = Exec;
+    uint32_t FallMask = Active & ~Exec;
+    Top.NextPc = Reconv;
+    W.Stack.push_back(StackEntry{Reconv, Target, TakenMask});
+    W.Stack.push_back(StackEntry{Reconv, Pc + 1, FallMask});
+    emitControl(B, W, RecordOp::If, Pc, FallMask, TakenMask);
+  }
+
+  void executeMemory(BlockExec &B, WarpExec &W, const Instruction &Insn,
+                     uint32_t Pc, uint32_t Exec);
+  void executeLanes(BlockExec &B, WarpExec &W, const Instruction &Insn,
+                    uint32_t Exec);
+
+  bool stepWarp(BlockExec &B, WarpExec &W);
+
+  void initBlock(BlockExec &B, uint32_t BlockId);
+
+  // --- members -----------------------------------------------------------
+  Machine &Mach;
+  const Module &M;
+  const Kernel &K;
+  const instrument::KernelInstrumentation *Instr;
+  LaunchConfig Config;
+  const std::vector<uint8_t> &Params;
+  DeviceLogger *Logger;
+  StoreBufferModel Weak;
+  std::unique_ptr<ptx::Cfg> OwnCfg;
+
+  size_t RegCount = 0;
+  uint64_t Executed = 0;
+  uint64_t RecordsLogged = 0;
+  uint64_t RecordsPruned = 0;
+  uint32_t SyncTicket = 0;
+  bool Failed = false;
+  std::string FirstError;
+
+  static constexpr uint32_t NoReconv = ~0u;
+};
+
+void Machine::LaunchContext::initBlock(BlockExec &B, uint32_t BlockId) {
+  B.BlockId = BlockId;
+  B.Done = false;
+  uint32_t Threads = Config.threadsPerBlock();
+  B.Regs.assign(static_cast<size_t>(Threads) * RegCount, 0);
+  B.Shared.assign(K.SharedBytes, 0);
+  B.Local.assign(static_cast<size_t>(Threads) * K.LocalBytes, 0);
+  uint32_t Warps = Config.warpsPerBlock();
+  B.Warps.assign(Warps, WarpExec());
+  B.LiveWarps = Warps;
+  for (uint32_t WarpId = 0; WarpId != Warps; ++WarpId) {
+    WarpExec &W = B.Warps[WarpId];
+    W.WarpInBlock = WarpId;
+    uint32_t First = WarpId * Config.WarpSize;
+    uint32_t Count = std::min<uint32_t>(Config.WarpSize, Threads - First);
+    uint32_t InitMask = Count >= 32 ? ~0u : ((1u << Count) - 1);
+    W.Stack.push_back(StackEntry{NoReconv, 0, InitMask});
+  }
+}
+
+void Machine::LaunchContext::executeMemory(BlockExec &B, WarpExec &W,
+                                           const Instruction &Insn,
+                                           uint32_t Pc, uint32_t Exec) {
+  unsigned Size = Insn.accessSize();
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  int MemIndex = Insn.memOperandIndex();
+  assert(MemIndex >= 0 && "memory instruction without address operand");
+  const Operand &Mem = Insn.Ops[static_cast<size_t>(MemIndex)];
+
+  uint64_t LaneAddr[WarpSize] = {};
+  uint64_t LaneValue[WarpSize] = {};
+  uint32_t SharedMask = 0, GlobalMask = 0;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Addr = operandAddress(B, Thread, Mem);
+    StateSpace Space = resolveSpace(Insn, Addr);
+    LaneAddr[Lane] = Addr;
+    if (Space == StateSpace::Shared)
+      SharedMask |= 1u << Lane;
+    else
+      GlobalMask |= 1u << Lane;
+
+    unsigned ElemSize = sizeOfType(Insn.Ty);
+    switch (Insn.Op) {
+    case Opcode::Ld: {
+      if (Insn.Ops[0].isVector()) {
+        for (unsigned Elem = 0; Elem != Insn.VecWidth; ++Elem) {
+          uint64_t Raw =
+              loadFrom(B, Thread, Space, Addr + Elem * ElemSize, ElemSize);
+          if (isSignedType(Insn.Ty))
+            Raw = static_cast<uint64_t>(signExtend(Raw, ElemSize));
+          storeToReg(B, Thread, Insn.Ops[0].VecRegs[Elem], Raw);
+        }
+        break;
+      }
+      uint64_t Raw = loadFrom(B, Thread, Space, Addr, Size);
+      if (isSignedType(Insn.Ty))
+        Raw = static_cast<uint64_t>(signExtend(Raw, Size));
+      storeToReg(B, Thread, Insn.Ops[0].Reg, Raw);
+      break;
+    }
+    case Opcode::St: {
+      if (Insn.Ops[1].isVector()) {
+        uint64_t Combined = 0;
+        for (unsigned Elem = 0; Elem != Insn.VecWidth; ++Elem) {
+          uint64_t Value = maskToWidth(
+              reg(B, Thread, Insn.Ops[1].VecRegs[Elem]), ElemSize);
+          storeTo(B, Thread, Space, Addr + Elem * ElemSize, ElemSize,
+                  Value);
+          Combined ^= Value + 0x9E3779B97F4A7C15ULL + (Combined << 6);
+        }
+        LaneValue[Lane] = Combined; // value hash for same-value filtering
+        break;
+      }
+      uint64_t Value =
+          maskToWidth(readOperand(B, Thread, Insn.Ops[1], Insn.Ty), Size);
+      LaneValue[Lane] = Value;
+      storeTo(B, Thread, Space, Addr, Size, Value);
+      break;
+    }
+    case Opcode::Atom: {
+      if (Weak.enabled() && Space == StateSpace::Global)
+        Weak.beforeAtomic(B.BlockId);
+      uint64_t Old = loadFrom(B, Thread, Space, Addr, Size);
+      uint64_t OperandB = readOperand(B, Thread, Insn.Ops[2], Insn.Ty);
+      uint64_t OperandC = Insn.Ops.size() > 3
+                              ? readOperand(B, Thread, Insn.Ops[3], Insn.Ty)
+                              : 0;
+      uint64_t New =
+          applyAtomOp(Insn.Atomic, Insn.Ty, maskToWidth(Old, Size),
+                      OperandB, OperandC);
+      storeTo(B, Thread, Space, Addr, Size, New);
+      if (!Insn.NoDest)
+        storeToReg(B, Thread, Insn.Ops[0].Reg, Old);
+      break;
+    }
+    default:
+      assert(false && "not a memory opcode");
+    }
+    if (Failed)
+      return;
+  }
+
+  if (Instr && Logger && Instr->Insns[Pc].Pruned)
+    ++RecordsPruned; // the unoptimized instrumentation would log here
+  const InsnAnnotation *Note = annotation(Pc);
+  if (!Note)
+    return;
+
+  RecordOp Op;
+  switch (Note->Action) {
+  case LogActionKind::Read:
+    Op = RecordOp::Read;
+    break;
+  case LogActionKind::Write:
+    Op = RecordOp::Write;
+    break;
+  case LogActionKind::Atom:
+    Op = RecordOp::Atom;
+    break;
+  case LogActionKind::Acquire:
+    Op = RecordOp::Acq;
+    break;
+  case LogActionKind::Release:
+    Op = RecordOp::Rel;
+    break;
+  case LogActionKind::AcquireRelease:
+    Op = RecordOp::AcqRel;
+    break;
+  default:
+    return;
+  }
+
+  auto emitGroup = [&](uint32_t Mask, trace::MemSpace Space) {
+    if (!Mask)
+      return;
+    // Same-value intra-warp stores are well-defined; filter duplicate
+    // lanes on the device side like the paper's implementation.
+    if (Op == RecordOp::Write && Mach.Options.FilterSameValueWrites) {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!((Mask >> Lane) & 1))
+          continue;
+        for (unsigned Later = Lane + 1; Later != WarpSize; ++Later) {
+          if (!((Mask >> Later) & 1))
+            continue;
+          if (LaneAddr[Later] == LaneAddr[Lane] &&
+              LaneValue[Later] == LaneValue[Lane])
+            Mask &= ~(1u << Later);
+        }
+      }
+    }
+    LogRecord Record = trace::makeMemRecord(
+        Op, Config.globalWarp(B.BlockId, W.WarpInBlock), Pc, Space,
+        static_cast<uint16_t>(Size), Mask);
+    if (Note->Action == LogActionKind::Acquire ||
+        Note->Action == LogActionKind::Release ||
+        Note->Action == LogActionKind::AcquireRelease) {
+      Record.setScope(Note->Scope);
+      Record.SyncSeq = ++SyncTicket;
+    }
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+      if ((Mask >> Lane) & 1)
+        Record.Addr[Lane] = LaneAddr[Lane];
+    emit(B, Record);
+  };
+
+  emitGroup(GlobalMask, trace::MemSpace::Global);
+  emitGroup(SharedMask, trace::MemSpace::Shared);
+}
+
+void Machine::LaunchContext::executeLanes(BlockExec &B, WarpExec &W,
+                                          const Instruction &Insn,
+                                          uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = Insn.Ty == Type::None ? 8 : sizeOfType(Insn.Ty);
+  if (Insn.Ty == Type::Pred)
+    Bytes = 1;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+
+    auto src = [&](size_t Index) {
+      return readOperand(B, Thread, Insn.Ops[Index], Insn.Ty);
+    };
+    auto srcSigned = [&](size_t Index) {
+      return signExtend(src(Index), Bytes);
+    };
+    auto srcFloat = [&](size_t Index) {
+      return bitsToFloat(src(Index), Insn.Ty);
+    };
+    auto dst = [&](uint64_t Value) {
+      storeToReg(B, Thread, Insn.Ops[0].Reg, Value);
+    };
+
+    switch (Insn.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Mov:
+      dst(src(1));
+      break;
+    case Opcode::Add:
+      if (isFloatType(Insn.Ty))
+        dst(floatToBits(srcFloat(1) + srcFloat(2), Insn.Ty));
+      else
+        dst(maskToWidth(src(1) + src(2), Bytes));
+      break;
+    case Opcode::Sub:
+      if (isFloatType(Insn.Ty))
+        dst(floatToBits(srcFloat(1) - srcFloat(2), Insn.Ty));
+      else
+        dst(maskToWidth(src(1) - src(2), Bytes));
+      break;
+    case Opcode::Mul: {
+      if (isFloatType(Insn.Ty)) {
+        dst(floatToBits(srcFloat(1) * srcFloat(2), Insn.Ty));
+        break;
+      }
+      bool Signed = isSignedType(Insn.Ty);
+      if (Insn.MulMode == MulModeKind::MM_Lo) {
+        dst(maskToWidth(src(1) * src(2), Bytes));
+      } else if (Insn.MulMode == MulModeKind::MM_Wide) {
+        uint64_t Product =
+            Signed ? static_cast<uint64_t>(srcSigned(1) * srcSigned(2))
+                   : maskToWidth(src(1), Bytes) * maskToWidth(src(2), Bytes);
+        dst(maskToWidth(Product, Bytes * 2));
+      } else { // .hi
+        if (Signed) {
+          __int128 Product = static_cast<__int128>(srcSigned(1)) *
+                             static_cast<__int128>(srcSigned(2));
+          dst(maskToWidth(static_cast<uint64_t>(Product >> (Bytes * 8)),
+                          Bytes));
+        } else {
+          unsigned __int128 Product =
+              static_cast<unsigned __int128>(maskToWidth(src(1), Bytes)) *
+              static_cast<unsigned __int128>(maskToWidth(src(2), Bytes));
+          dst(maskToWidth(static_cast<uint64_t>(Product >> (Bytes * 8)),
+                          Bytes));
+        }
+      }
+      break;
+    }
+    case Opcode::Mad: {
+      if (isFloatType(Insn.Ty)) {
+        dst(floatToBits(srcFloat(1) * srcFloat(2) + srcFloat(3), Insn.Ty));
+        break;
+      }
+      uint64_t Product;
+      if (Insn.MulMode == MulModeKind::MM_Wide)
+        Product = isSignedType(Insn.Ty)
+                      ? static_cast<uint64_t>(srcSigned(1) * srcSigned(2))
+                      : maskToWidth(src(1), Bytes) *
+                            maskToWidth(src(2), Bytes);
+      else
+        Product = src(1) * src(2);
+      unsigned OutBytes =
+          Insn.MulMode == MulModeKind::MM_Wide ? Bytes * 2 : Bytes;
+      dst(maskToWidth(Product + src(3), OutBytes));
+      break;
+    }
+    case Opcode::Div:
+      if (isFloatType(Insn.Ty)) {
+        dst(floatToBits(srcFloat(1) / srcFloat(2), Insn.Ty));
+      } else if (isSignedType(Insn.Ty)) {
+        int64_t Den = srcSigned(2);
+        dst(Den ? maskToWidth(
+                      static_cast<uint64_t>(srcSigned(1) / Den), Bytes)
+                : 0);
+      } else {
+        uint64_t Den = maskToWidth(src(2), Bytes);
+        dst(Den ? maskToWidth(src(1), Bytes) / Den : 0);
+      }
+      break;
+    case Opcode::Rem:
+      if (isSignedType(Insn.Ty)) {
+        int64_t Den = srcSigned(2);
+        dst(Den ? maskToWidth(
+                      static_cast<uint64_t>(srcSigned(1) % Den), Bytes)
+                : 0);
+      } else {
+        uint64_t Den = maskToWidth(src(2), Bytes);
+        dst(Den ? maskToWidth(src(1), Bytes) % Den : 0);
+      }
+      break;
+    case Opcode::Min:
+      if (isFloatType(Insn.Ty))
+        dst(floatToBits(std::min(srcFloat(1), srcFloat(2)), Insn.Ty));
+      else if (isSignedType(Insn.Ty))
+        dst(maskToWidth(
+            static_cast<uint64_t>(std::min(srcSigned(1), srcSigned(2))),
+            Bytes));
+      else
+        dst(std::min(maskToWidth(src(1), Bytes), maskToWidth(src(2), Bytes)));
+      break;
+    case Opcode::Max:
+      if (isFloatType(Insn.Ty))
+        dst(floatToBits(std::max(srcFloat(1), srcFloat(2)), Insn.Ty));
+      else if (isSignedType(Insn.Ty))
+        dst(maskToWidth(
+            static_cast<uint64_t>(std::max(srcSigned(1), srcSigned(2))),
+            Bytes));
+      else
+        dst(std::max(maskToWidth(src(1), Bytes), maskToWidth(src(2), Bytes)));
+      break;
+    case Opcode::Neg:
+      if (isFloatType(Insn.Ty))
+        dst(floatToBits(-srcFloat(1), Insn.Ty));
+      else
+        dst(maskToWidth(0 - src(1), Bytes));
+      break;
+    case Opcode::Abs:
+      if (isFloatType(Insn.Ty)) {
+        double Value = srcFloat(1);
+        dst(floatToBits(Value < 0 ? -Value : Value, Insn.Ty));
+      } else {
+        int64_t Value = srcSigned(1);
+        dst(maskToWidth(static_cast<uint64_t>(Value < 0 ? -Value : Value),
+                        Bytes));
+      }
+      break;
+    case Opcode::And:
+      dst(maskToWidth(src(1) & src(2), Bytes));
+      break;
+    case Opcode::Or:
+      dst(maskToWidth(src(1) | src(2), Bytes));
+      break;
+    case Opcode::Xor:
+      dst(maskToWidth(src(1) ^ src(2), Bytes));
+      break;
+    case Opcode::Not:
+      if (Insn.Ty == Type::Pred)
+        dst(src(1) ? 0 : 1);
+      else
+        dst(maskToWidth(~src(1), Bytes));
+      break;
+    case Opcode::Shl: {
+      uint64_t Amount = src(2);
+      dst(Amount >= Bytes * 8 ? 0 : maskToWidth(src(1) << Amount, Bytes));
+      break;
+    }
+    case Opcode::Popc: {
+      uint64_t Value = maskToWidth(src(1), Bytes);
+      dst(static_cast<uint64_t>(__builtin_popcountll(Value)));
+      break;
+    }
+    case Opcode::Clz: {
+      uint64_t Value = maskToWidth(src(1), Bytes);
+      unsigned Width = Bytes * 8;
+      dst(Value ? static_cast<uint64_t>(__builtin_clzll(Value)) -
+                      (64 - Width)
+                : Width);
+      break;
+    }
+    case Opcode::Brev: {
+      uint64_t Value = maskToWidth(src(1), Bytes);
+      uint64_t Reversed = 0;
+      for (unsigned Bit = 0; Bit != Bytes * 8; ++Bit)
+        if ((Value >> Bit) & 1)
+          Reversed |= 1ULL << (Bytes * 8 - 1 - Bit);
+      dst(Reversed);
+      break;
+    }
+    case Opcode::Shr: {
+      uint64_t Amount = src(2);
+      if (isSignedType(Insn.Ty)) {
+        int64_t Value = srcSigned(1);
+        if (Amount >= Bytes * 8)
+          Amount = Bytes * 8 - 1;
+        dst(maskToWidth(static_cast<uint64_t>(Value >> Amount), Bytes));
+      } else {
+        dst(Amount >= Bytes * 8
+                ? 0
+                : maskToWidth(maskToWidth(src(1), Bytes) >> Amount, Bytes));
+      }
+      break;
+    }
+    case Opcode::Setp: {
+      bool Result;
+      if (isFloatType(Insn.Ty)) {
+        double A = srcFloat(1), Cmp = srcFloat(2);
+        switch (Insn.Cmp) {
+        case CmpOpKind::CO_Eq:
+          Result = A == Cmp;
+          break;
+        case CmpOpKind::CO_Ne:
+          Result = A != Cmp;
+          break;
+        case CmpOpKind::CO_Lt:
+          Result = A < Cmp;
+          break;
+        case CmpOpKind::CO_Le:
+          Result = A <= Cmp;
+          break;
+        case CmpOpKind::CO_Gt:
+          Result = A > Cmp;
+          break;
+        case CmpOpKind::CO_Ge:
+          Result = A >= Cmp;
+          break;
+        default:
+          Result = false;
+          break;
+        }
+      } else if (isSignedType(Insn.Ty)) {
+        int64_t A = srcSigned(1), Cmp = srcSigned(2);
+        switch (Insn.Cmp) {
+        case CmpOpKind::CO_Eq:
+          Result = A == Cmp;
+          break;
+        case CmpOpKind::CO_Ne:
+          Result = A != Cmp;
+          break;
+        case CmpOpKind::CO_Lt:
+          Result = A < Cmp;
+          break;
+        case CmpOpKind::CO_Le:
+          Result = A <= Cmp;
+          break;
+        case CmpOpKind::CO_Gt:
+          Result = A > Cmp;
+          break;
+        case CmpOpKind::CO_Ge:
+          Result = A >= Cmp;
+          break;
+        default:
+          Result = false;
+          break;
+        }
+      } else {
+        uint64_t A = maskToWidth(src(1), Bytes);
+        uint64_t Cmp = maskToWidth(src(2), Bytes);
+        switch (Insn.Cmp) {
+        case CmpOpKind::CO_Eq:
+          Result = A == Cmp;
+          break;
+        case CmpOpKind::CO_Ne:
+          Result = A != Cmp;
+          break;
+        case CmpOpKind::CO_Lt:
+          Result = A < Cmp;
+          break;
+        case CmpOpKind::CO_Le:
+          Result = A <= Cmp;
+          break;
+        case CmpOpKind::CO_Gt:
+          Result = A > Cmp;
+          break;
+        case CmpOpKind::CO_Ge:
+          Result = A >= Cmp;
+          break;
+        default:
+          Result = false;
+          break;
+        }
+      }
+      dst(Result ? 1 : 0);
+      break;
+    }
+    case Opcode::Selp: {
+      bool Pick = reg(B, Thread, Insn.Ops[3].Reg) != 0;
+      dst(Pick ? src(1) : src(2));
+      break;
+    }
+    case Opcode::Cvt: {
+      Type From = Insn.SrcTy == Type::None ? Insn.Ty : Insn.SrcTy;
+      uint64_t Raw = readOperand(B, Thread, Insn.Ops[1], From);
+      uint64_t Out;
+      if (isFloatType(From) && isFloatType(Insn.Ty))
+        Out = floatToBits(bitsToFloat(Raw, From), Insn.Ty);
+      else if (isFloatType(From))
+        Out = isSignedType(Insn.Ty)
+                  ? maskToWidth(static_cast<uint64_t>(static_cast<int64_t>(
+                                    bitsToFloat(Raw, From))),
+                                sizeOfType(Insn.Ty))
+                  : maskToWidth(static_cast<uint64_t>(bitsToFloat(Raw, From)),
+                                sizeOfType(Insn.Ty));
+      else if (isFloatType(Insn.Ty))
+        Out = isSignedType(From)
+                  ? floatToBits(static_cast<double>(
+                                    signExtend(Raw, sizeOfType(From))),
+                                Insn.Ty)
+                  : floatToBits(static_cast<double>(
+                                    maskToWidth(Raw, sizeOfType(From))),
+                                Insn.Ty);
+      else if (isSignedType(From))
+        Out = maskToWidth(
+            static_cast<uint64_t>(signExtend(Raw, sizeOfType(From))),
+            sizeOfType(Insn.Ty));
+      else
+        Out = maskToWidth(maskToWidth(Raw, sizeOfType(From)),
+                          sizeOfType(Insn.Ty));
+      dst(Out);
+      break;
+    }
+    case Opcode::Cvta: {
+      uint64_t Addr = src(1);
+      if (Insn.Space == StateSpace::Shared)
+        dst(Insn.CvtaTo ? Addr - GenericSharedBase
+                        : Addr + GenericSharedBase);
+      else
+        dst(Addr);
+      break;
+    }
+    default:
+      failLaunch(support::formatString("unhandled opcode '%s'",
+                                       opcodeName(Insn.Op)));
+      return;
+    }
+    if (Failed)
+      return;
+  }
+}
+
+bool Machine::LaunchContext::stepWarp(BlockExec &B, WarpExec &W) {
+  assert(!W.Stack.empty() && "stepping a finished warp");
+  StackEntry &Top = W.Stack.back();
+  uint32_t Pc = Top.NextPc;
+
+  if (Pc >= K.Body.size()) {
+    // Implicit exit at the end of the body.
+    retireLanes(B, W, Top.Mask);
+    cleanupStack(B, W);
+    return true;
+  }
+
+  const Instruction &Insn = K.Body[Pc];
+  uint32_t Active = Top.Mask;
+  uint32_t Exec = Active;
+  if (Insn.isGuarded() && !Insn.isBranch())
+    Exec &= guardMask(B, W, Insn);
+  ++Executed;
+
+  switch (Insn.Op) {
+  case Opcode::Bra: {
+    uint32_t Guard = Insn.isGuarded() ? (guardMask(B, W, Insn) & Active)
+                                      : Active;
+    executeBranch(B, W, Insn, Pc, Active, Guard);
+    cleanupStack(B, W);
+    return true;
+  }
+  case Opcode::Ret:
+  case Opcode::Exit:
+    Top.NextPc = Pc + 1;
+    retireLanes(B, W, Exec);
+    cleanupStack(B, W);
+    return true;
+  case Opcode::Bar: {
+    if (Exec) {
+      if (annotation(Pc))
+        emitControl(B, W, RecordOp::Bar, Pc, Exec);
+      W.AtBarrier = true;
+    }
+    Top.NextPc = Pc + 1;
+    cleanupStack(B, W);
+    return true;
+  }
+  case Opcode::Membar:
+    if (Weak.enabled() && Exec)
+      Weak.fence(B.BlockId, Insn.Fence != FenceScopeKind::FS_Cta);
+    Top.NextPc = Pc + 1;
+    cleanupStack(B, W);
+    return true;
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::Atom:
+    if (Exec)
+      executeMemory(B, W, Insn, Pc, Exec);
+    Top.NextPc = Pc + 1;
+    cleanupStack(B, W);
+    return true;
+  default:
+    if (Exec)
+      executeLanes(B, W, Insn, Exec);
+    Top.NextPc = Pc + 1;
+    cleanupStack(B, W);
+    return true;
+  }
+}
+
+LaunchResult Machine::LaunchContext::run() {
+  if (Config.threadsPerBlock() == 0 || Config.blockCount() == 0)
+    return LaunchResult::failure("empty launch configuration");
+  if (Config.threadsPerBlock() > 1024)
+    return LaunchResult::failure("more than 1024 threads per block");
+  if (Config.WarpSize == 0 || Config.WarpSize > trace::WarpSize)
+    return LaunchResult::failure("warp size must be in [1, 32]");
+  if (Params.size() < K.ParamBytes)
+    return LaunchResult::failure("parameter buffer too small");
+
+  RegCount = K.Regs.size();
+  if (Weak.enabled())
+    Weak.setBlockCount(Config.blockCount());
+
+  uint32_t BlockCount = Config.blockCount();
+  uint32_t WaveSize = std::min(BlockCount, Mach.Options.MaxResidentBlocks);
+  std::vector<BlockExec> Blocks(WaveSize);
+
+  for (uint32_t WaveBase = 0; WaveBase < BlockCount && !Failed;
+       WaveBase += WaveSize) {
+    uint32_t WaveCount = std::min(WaveSize, BlockCount - WaveBase);
+    for (uint32_t I = 0; I != WaveCount; ++I)
+      initBlock(Blocks[I], WaveBase + I);
+
+    uint32_t LiveBlocks = WaveCount;
+    while (LiveBlocks && !Failed) {
+      bool Progress = false;
+      for (uint32_t I = 0; I != WaveCount && !Failed; ++I) {
+        BlockExec &B = Blocks[I];
+        if (B.Done)
+          continue;
+        for (WarpExec &W : B.Warps) {
+          if (W.Done || W.AtBarrier)
+            continue;
+          Progress |= stepWarp(B, W);
+          if (Failed)
+            break;
+        }
+        if (Failed)
+          break;
+        // Barrier release: every live warp has arrived.
+        if (B.LiveWarps) {
+          bool AllArrived = true;
+          for (const WarpExec &W : B.Warps)
+            if (!W.Done && !W.AtBarrier)
+              AllArrived = false;
+          if (AllArrived) {
+            for (WarpExec &W : B.Warps)
+              W.AtBarrier = false;
+            Progress = true;
+          }
+        }
+        if (B.LiveWarps == 0) {
+          if (Logger && Instr) {
+            LogRecord Record = trace::makeControlRecord(
+                RecordOp::BlockEnd, Config.globalWarp(B.BlockId, 0), 0, 0);
+            emit(B, Record);
+          }
+          B.Done = true;
+          --LiveBlocks;
+          Progress = true;
+        }
+      }
+      if (Weak.enabled())
+        Weak.tick();
+      if (Executed > Mach.Options.MaxWarpInstructions) {
+        failLaunch("watchdog: instruction budget exhausted "
+                   "(livelock or unreleased spin loop?)");
+        break;
+      }
+      if (!Progress && LiveBlocks) {
+        failLaunch("device deadlock: all live warps are blocked at a "
+                   "barrier that cannot be satisfied");
+        break;
+      }
+    }
+  }
+
+  if (Weak.enabled())
+    Weak.drainAll();
+
+  if (Failed)
+    return LaunchResult::failure(FirstError);
+  LaunchResult Result;
+  Result.WarpInstructions = Executed;
+  Result.RecordsLogged = RecordsLogged;
+  Result.RecordsPruned = RecordsPruned;
+  Result.ThreadsLaunched = Config.totalThreads();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+Machine::Machine(GlobalMemory &Memory, MachineOptions Options)
+    : Memory(Memory), Options(Options) {}
+
+Machine::~Machine() = default;
+
+void Machine::layoutModuleGlobals(Module &M, GlobalMemory &Memory) {
+  uint64_t Next = ModuleGlobalBase;
+  for (SymbolInfo &Var : M.Globals) {
+    uint64_t Align = Var.Align ? Var.Align : 8;
+    Next = (Next + Align - 1) & ~(Align - 1);
+    Var.Address = Next;
+    Next += Var.SizeBytes;
+    // Touch the backing pages so the variable starts zeroed.
+    for (uint64_t Offset = 0; Offset < Var.SizeBytes; Offset += 8)
+      Memory.write(Var.Address + Offset, 1, 0);
+  }
+}
+
+LaunchResult Machine::launch(const Module &M, const Kernel &K,
+                             const instrument::KernelInstrumentation *Instr,
+                             const LaunchConfig &Config,
+                             const std::vector<uint8_t> &ParamBuffer,
+                             DeviceLogger *Logger) {
+  LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger);
+  return Context.run();
+}
+
+//===----------------------------------------------------------------------===//
+// ParamBuilder
+//===----------------------------------------------------------------------===//
+
+ParamBuilder &ParamBuilder::set(size_t Index, uint64_t Value) {
+  assert(Index < K.Params.size() && "param index out of range");
+  const ParamInfo &Param = K.Params[Index];
+  unsigned Size = sizeOfType(Param.Ty);
+  std::memcpy(Buffer.data() + Param.Offset, &Value, Size);
+  return *this;
+}
+
+ParamBuilder &ParamBuilder::setFloat(size_t Index, double Value) {
+  assert(Index < K.Params.size() && "param index out of range");
+  const ParamInfo &Param = K.Params[Index];
+  if (Param.Ty == Type::F32) {
+    float F = static_cast<float>(Value);
+    std::memcpy(Buffer.data() + Param.Offset, &F, sizeof(F));
+  } else {
+    std::memcpy(Buffer.data() + Param.Offset, &Value, sizeof(Value));
+  }
+  return *this;
+}

@@ -1,0 +1,80 @@
+//===- Memory.cpp - device memory spaces -----------------------------------===//
+
+#include "sim/Memory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace barracuda;
+using namespace barracuda::sim;
+
+uint8_t *GlobalMemory::pageFor(uint64_t Addr) {
+  uint64_t PageId = Addr >> PageBits;
+  auto It = Pages.find(PageId);
+  if (It == Pages.end()) {
+    auto Page = std::make_unique<uint8_t[]>(PageSize);
+    std::memset(Page.get(), 0, PageSize);
+    It = Pages.emplace(PageId, std::move(Page)).first;
+  }
+  return It->second.get();
+}
+
+uint64_t GlobalMemory::read(uint64_t Addr, unsigned Size) {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "unsupported access size");
+  uint64_t Value = 0;
+  if ((Addr & (PageSize - 1)) + Size <= PageSize) {
+    std::memcpy(&Value, pageFor(Addr) + (Addr & (PageSize - 1)), Size);
+    return Value;
+  }
+  readBytes(Addr, &Value, Size);
+  return Value;
+}
+
+void GlobalMemory::write(uint64_t Addr, unsigned Size, uint64_t Value) {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "unsupported access size");
+  if ((Addr & (PageSize - 1)) + Size <= PageSize) {
+    std::memcpy(pageFor(Addr) + (Addr & (PageSize - 1)), &Value, Size);
+    return;
+  }
+  writeBytes(Addr, &Value, Size);
+}
+
+void GlobalMemory::readBytes(uint64_t Addr, void *Out, uint64_t Count) {
+  uint8_t *Dest = static_cast<uint8_t *>(Out);
+  while (Count) {
+    uint64_t InPage = PageSize - (Addr & (PageSize - 1));
+    uint64_t Chunk = InPage < Count ? InPage : Count;
+    std::memcpy(Dest, pageFor(Addr) + (Addr & (PageSize - 1)), Chunk);
+    Addr += Chunk;
+    Dest += Chunk;
+    Count -= Chunk;
+  }
+}
+
+void GlobalMemory::writeBytes(uint64_t Addr, const void *In, uint64_t Count) {
+  const uint8_t *Src = static_cast<const uint8_t *>(In);
+  while (Count) {
+    uint64_t InPage = PageSize - (Addr & (PageSize - 1));
+    uint64_t Chunk = InPage < Count ? InPage : Count;
+    std::memcpy(pageFor(Addr) + (Addr & (PageSize - 1)), Src, Chunk);
+    Addr += Chunk;
+    Src += Chunk;
+    Count -= Chunk;
+  }
+}
+
+uint64_t GlobalMemory::allocate(uint64_t Bytes, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  NextFree = (NextFree + Align - 1) & ~(Align - 1);
+  uint64_t Base = NextFree;
+  NextFree += Bytes ? Bytes : 1;
+  return Base;
+}
+
+void GlobalMemory::reset() {
+  Pages.clear();
+  NextFree = HeapBase;
+}

@@ -1,0 +1,85 @@
+//===- Memory.h - device memory spaces -------------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU's global memory: a sparse, paged, byte-addressable
+/// space with a bump allocator standing in for cudaMalloc. Shared and
+/// local memory are simple per-block / per-thread arrays owned by the
+/// machine; generic addressing distinguishes them via the shared-memory
+/// window, as on real hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SIM_MEMORY_H
+#define BARRACUDA_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace sim {
+
+/// Base of the generic-address window that maps to shared memory.
+/// cvta.shared adds it; generic loads/stores test against it.
+constexpr uint64_t GenericSharedBase = 0x6000000000000000ULL;
+
+/// Base address handed out for module-level .global variables.
+constexpr uint64_t ModuleGlobalBase = 0x08000000ULL;
+
+/// Base address handed out by the device allocator (cudaMalloc stand-in).
+constexpr uint64_t HeapBase = 0x10000000ULL;
+
+/// True if a generic address falls in the shared-memory window.
+inline bool isGenericSharedAddress(uint64_t Addr) {
+  return Addr >= GenericSharedBase;
+}
+
+/// Sparse paged global memory. Pages materialize on first touch and are
+/// zero-initialized, like freshly cudaMalloc'd memory in practice.
+class GlobalMemory {
+public:
+  static constexpr uint64_t PageBits = 16; // 64 KB pages
+  static constexpr uint64_t PageSize = 1ULL << PageBits;
+
+  GlobalMemory() = default;
+  GlobalMemory(const GlobalMemory &) = delete;
+  GlobalMemory &operator=(const GlobalMemory &) = delete;
+
+  /// Reads \p Size (1/2/4/8) bytes at \p Addr, little-endian.
+  uint64_t read(uint64_t Addr, unsigned Size);
+
+  /// Writes the low \p Size bytes of \p Value at \p Addr.
+  void write(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  /// Bulk access for host-side buffer setup/readback.
+  void readBytes(uint64_t Addr, void *Out, uint64_t Count);
+  void writeBytes(uint64_t Addr, const void *In, uint64_t Count);
+
+  /// Bump allocator; returns the base of a fresh \p Bytes-sized region,
+  /// aligned to \p Align.
+  uint64_t allocate(uint64_t Bytes, uint64_t Align = 8);
+
+  /// Bytes handed out by the allocator so far (Table 1 column 4 input).
+  uint64_t bytesAllocated() const { return NextFree - HeapBase; }
+
+  /// Number of materialized pages.
+  size_t pageCount() const { return Pages.size(); }
+
+  void reset();
+
+private:
+  uint8_t *pageFor(uint64_t Addr);
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+  uint64_t NextFree = HeapBase;
+};
+
+} // namespace sim
+} // namespace barracuda
+
+#endif // BARRACUDA_SIM_MEMORY_H

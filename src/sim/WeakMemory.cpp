@@ -1,0 +1,98 @@
+//===- WeakMemory.cpp - store-buffer weak memory model ---------------------===//
+
+#include "sim/WeakMemory.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::sim;
+
+const char *sim::weakProfileName(WeakProfileKind Profile) {
+  switch (Profile) {
+  case WeakProfileKind::None:
+    return "sc";
+  case WeakProfileKind::KeplerK520:
+    return "K520";
+  case WeakProfileKind::MaxwellTitanX:
+    return "GTX Titan X";
+  }
+  return "sc";
+}
+
+StoreBufferModel::StoreBufferModel(WeakProfileKind Profile,
+                                   GlobalMemory &Memory, uint64_t Seed)
+    : Profile(Profile), Memory(Memory), Rng(Seed) {}
+
+void StoreBufferModel::setBlockCount(uint32_t Blocks) {
+  Buffers.assign(Blocks, {});
+}
+
+void StoreBufferModel::store(uint32_t BlockId, uint64_t Addr, unsigned Size,
+                             uint64_t Value) {
+  assert(enabled() && "store-buffer model disabled");
+  assert(BlockId < Buffers.size() && "block out of range");
+  Buffers[BlockId].push_back(PendingStore{Addr, Value, Size});
+  // The Maxwell-like profile publishes stores eagerly: no cross-block
+  // reorder window was observable on the paper's GTX Titan X.
+  if (Profile == WeakProfileKind::MaxwellTitanX)
+    drainBlock(BlockId);
+}
+
+uint64_t StoreBufferModel::load(uint32_t BlockId, uint64_t Addr,
+                                unsigned Size) {
+  assert(BlockId < Buffers.size() && "block out of range");
+  // Forward the newest exactly-overlapping pending store from this block.
+  const auto &Buffer = Buffers[BlockId];
+  for (auto It = Buffer.rbegin(); It != Buffer.rend(); ++It)
+    if (It->Addr == Addr && It->Size == Size)
+      return It->Value;
+  return Memory.read(Addr, Size);
+}
+
+void StoreBufferModel::fence(uint32_t BlockId, bool GlobalScope) {
+  if (GlobalScope) {
+    // Our litmus observations (like the paper's) show a membar.gl in just
+    // one thread suffices for SC behaviour: model it as a full publish.
+    drainAll();
+    return;
+  }
+  // membar.cta: architecture dependent across blocks.
+  if (Profile == WeakProfileKind::MaxwellTitanX)
+    drainBlock(BlockId);
+  // Kepler-like: intra-block ordering only; no cross-block publication.
+}
+
+void StoreBufferModel::drainBlock(uint32_t BlockId) {
+  auto &Buffer = Buffers[BlockId];
+  for (const PendingStore &Store : Buffer)
+    Memory.write(Store.Addr, Store.Size, Store.Value);
+  Buffer.clear();
+}
+
+void StoreBufferModel::drainOneRandom(uint32_t BlockId) {
+  auto &Buffer = Buffers[BlockId];
+  if (Buffer.empty())
+    return;
+  // Non-FIFO drain order is what makes the mp weak outcome reachable.
+  size_t Pick = Rng.nextBelow(Buffer.size());
+  Memory.write(Buffer[Pick].Addr, Buffer[Pick].Size, Buffer[Pick].Value);
+  Buffer.erase(Buffer.begin() + static_cast<ptrdiff_t>(Pick));
+}
+
+void StoreBufferModel::tick() {
+  for (uint32_t BlockId = 0; BlockId != Buffers.size(); ++BlockId)
+    if (Rng.chance(1, 2))
+      drainOneRandom(BlockId);
+}
+
+void StoreBufferModel::drainAll() {
+  for (uint32_t BlockId = 0; BlockId != Buffers.size(); ++BlockId)
+    drainBlock(BlockId);
+}
+
+size_t StoreBufferModel::pendingStores() const {
+  size_t Count = 0;
+  for (const auto &Buffer : Buffers)
+    Count += Buffer.size();
+  return Count;
+}

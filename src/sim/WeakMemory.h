@@ -1,0 +1,105 @@
+//===- WeakMemory.h - store-buffer weak memory model -----------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A store-buffer model of weak GPU memory behaviour, used to reproduce
+/// the memory-fence litmus tests of Section 3.3.3 (Figure 4). Each thread
+/// block owns a buffer of pending global-memory stores:
+///
+///  * stores enter the owning block's buffer; loads forward from it;
+///  * pending stores drain to memory at random scheduler ticks, in random
+///    (not FIFO) order — modelling the incoherent write path that lets a
+///    K520 reorder two stores as seen from another block;
+///  * membar.gl / membar.sys drain every buffer in the machine, so a
+///    global fence in either litmus thread restores SC, matching the
+///    paper's observations;
+///  * membar.cta behaviour is the architecture profile: on the
+///    Kepler-like profile it does not publish stores across blocks (weak
+///    mp outcomes appear); on the Maxwell-like profile it drains the
+///    block's own buffer (no weak outcomes were observed on the paper's
+///    GTX Titan X).
+///
+/// The model is only engaged for litmus experiments; race-detection runs
+/// use sequentially consistent interleaving, since the detector's job is
+/// to find the races that make weak behaviour observable at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SIM_WEAKMEMORY_H
+#define BARRACUDA_SIM_WEAKMEMORY_H
+
+#include "sim/Memory.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace barracuda {
+namespace sim {
+
+/// Architecture profiles for the weak-memory model.
+enum class WeakProfileKind : uint8_t {
+  None,       ///< sequentially consistent (model disabled)
+  KeplerK520, ///< membar.cta does not publish across blocks
+  MaxwellTitanX, ///< stores publish promptly; no weak mp outcomes
+};
+
+const char *weakProfileName(WeakProfileKind Profile);
+
+/// Per-machine store-buffer state.
+class StoreBufferModel {
+public:
+  StoreBufferModel(WeakProfileKind Profile, GlobalMemory &Memory,
+                   uint64_t Seed);
+
+  bool enabled() const { return Profile != WeakProfileKind::None; }
+
+  void setBlockCount(uint32_t Blocks);
+
+  /// A global store by \p BlockId.
+  void store(uint32_t BlockId, uint64_t Addr, unsigned Size,
+             uint64_t Value);
+
+  /// A global load by \p BlockId: forwards from the block's own pending
+  /// stores, falling back to memory.
+  uint64_t load(uint32_t BlockId, uint64_t Addr, unsigned Size);
+
+  /// Fence executed by \p BlockId. Global fences drain everything;
+  /// block fences depend on the profile.
+  void fence(uint32_t BlockId, bool GlobalScope);
+
+  /// Atomic operations bypass the buffer: drain the block's own pending
+  /// stores first so the RMW sees its own writes.
+  void beforeAtomic(uint32_t BlockId) { drainBlock(BlockId); }
+
+  /// Called once per scheduler round: randomly drains pending stores.
+  void tick();
+
+  /// Drains everything (kernel completion).
+  void drainAll();
+
+  size_t pendingStores() const;
+
+private:
+  struct PendingStore {
+    uint64_t Addr;
+    uint64_t Value;
+    unsigned Size;
+  };
+
+  void drainBlock(uint32_t BlockId);
+  void drainOneRandom(uint32_t BlockId);
+
+  WeakProfileKind Profile;
+  GlobalMemory &Memory;
+  support::Rng Rng;
+  std::vector<std::vector<PendingStore>> Buffers;
+};
+
+} // namespace sim
+} // namespace barracuda
+
+#endif // BARRACUDA_SIM_WEAKMEMORY_H

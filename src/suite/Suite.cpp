@@ -1,0 +1,166 @@
+//===- Suite.cpp - suite assembly and tool runners --------------------------===//
+
+#include "suite/Suite.h"
+
+#include "barracuda/Session.h"
+#include "baseline/Racecheck.h"
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "sim/Machine.h"
+#include "suite/SuitePrograms.h"
+#include "support/Format.h"
+
+#include <ostream>
+
+using namespace barracuda;
+using namespace barracuda::suite;
+
+std::string suite::makeTestKernel(const std::string &Name,
+                                  const std::string &ParamsDecl,
+                                  const std::string &Body,
+                                  const std::string &ExtraDecls) {
+  std::string Out = ".version 4.3\n.target sm_35\n.address_size 64\n\n";
+  Out += ".visible .entry " + Name + "(\n    " + ParamsDecl + "\n)\n{\n";
+  Out += "    .reg .u64 %rd<10>;\n";
+  Out += "    .reg .u32 %r<12>;\n";
+  Out += "    .reg .pred %p<5>;\n";
+  Out += ExtraDecls;
+  Out += Body;
+  Out += "}\n";
+  return Out;
+}
+
+void suite::PrintTo(const SuiteProgram &Program, std::ostream *Out) {
+  *Out << Program.Name << " (" << Program.Category << ", "
+       << (Program.expectProblem() ? "buggy" : "race-free") << ")";
+}
+
+const std::vector<SuiteProgram> &suite::concurrencySuite() {
+  static const std::vector<SuiteProgram> Suite = [] {
+    std::vector<SuiteProgram> All = basicPrograms();
+    std::vector<SuiteProgram> Sync = syncPrograms();
+    std::vector<SuiteProgram> Control = controlPrograms();
+    All.insert(All.end(), std::make_move_iterator(Sync.begin()),
+               std::make_move_iterator(Sync.end()));
+    All.insert(All.end(), std::make_move_iterator(Control.begin()),
+               std::make_move_iterator(Control.end()));
+    return All;
+  }();
+  return Suite;
+}
+
+const SuiteProgram *suite::findSuiteProgram(const std::string &Name) {
+  for (const SuiteProgram &Program : concurrencySuite())
+    if (Program.Name == Name)
+      return &Program;
+  return nullptr;
+}
+
+/// Materializes buffer parameters in \p S and returns the launch values.
+static std::vector<uint64_t> materializeParams(Session &S,
+                                               const SuiteProgram &Program) {
+  std::vector<uint64_t> Values;
+  for (const ParamSpec &Spec : Program.Params) {
+    if (Spec.K == ParamSpec::Kind::Value) {
+      Values.push_back(Spec.Value);
+      continue;
+    }
+    uint64_t Addr = S.alloc(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      S.writeU32(Addr, Spec.InitWord);
+    Values.push_back(Addr);
+  }
+  return Values;
+}
+
+ToolVerdict suite::runBarracuda(const SuiteProgram &Program) {
+  ToolVerdict Verdict;
+  Session S;
+  if (!S.loadModule(Program.Ptx)) {
+    Verdict.Completed = false;
+    Verdict.Detail = "parse error: " + S.error();
+    return Verdict;
+  }
+  std::vector<uint64_t> Params = materializeParams(S, Program);
+  sim::LaunchResult Result =
+      S.launchKernel(Program.KernelName, Program.Grid, Program.Block,
+                     Params);
+  if (!Result.Ok) {
+    Verdict.Completed = false;
+    Verdict.Detail = "launch failed: " + Result.Error;
+    return Verdict;
+  }
+  Verdict.ReportedProblem = S.anyRaces() || !S.barrierErrors().empty();
+  if (!S.races().empty())
+    Verdict.Detail = S.races().front().describe();
+  else if (!S.barrierErrors().empty())
+    Verdict.Detail = support::formatString(
+        "barrier divergence at pc %u", S.barrierErrors().front().Pc);
+  return Verdict;
+}
+
+ToolVerdict suite::runRacecheckModel(const SuiteProgram &Program) {
+  ToolVerdict Verdict;
+
+  // Execute once, collect the trace, and feed the model.
+  ptx::Parser Parser(Program.Ptx);
+  std::unique_ptr<ptx::Module> Mod = Parser.parseModule();
+  if (!Mod) {
+    Verdict.Completed = false;
+    Verdict.Detail = "parse error: " + Parser.error();
+    return Verdict;
+  }
+  instrument::InstrumenterOptions InstrOpts;
+  instrument::ModuleInstrumentation Instr =
+      instrument::instrumentModule(*Mod, InstrOpts);
+
+  sim::GlobalMemory Memory;
+  sim::Machine::layoutModuleGlobals(*Mod, Memory);
+  sim::Machine Machine(Memory);
+
+  const ptx::Kernel *K = Mod->findKernel(Program.KernelName);
+  if (!K) {
+    Verdict.Completed = false;
+    Verdict.Detail = "missing kernel";
+    return Verdict;
+  }
+  sim::ParamBuilder Builder(*K);
+  size_t Index = 0;
+  for (const ParamSpec &Spec : Program.Params) {
+    if (Spec.K == ParamSpec::Kind::Value) {
+      Builder.set(Index++, Spec.Value);
+      continue;
+    }
+    uint64_t Addr = Memory.allocate(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      Memory.write(Addr, 4, Spec.InitWord);
+    Builder.set(Index++, Addr);
+  }
+
+  sim::LaunchConfig Config;
+  Config.Grid = Program.Grid;
+  Config.Block = Program.Block;
+  sim::CollectingLogger Logger;
+  size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
+  sim::LaunchResult Result = Machine.launch(
+      *Mod, *K, &Instr.Kernels[KernelIndex], Config, Builder.bytes(),
+      &Logger);
+  if (!Result.Ok) {
+    Verdict.Completed = false;
+    Verdict.Detail = "launch failed: " + Result.Error;
+    return Verdict;
+  }
+
+  baseline::RacecheckDetector Model{sim::ThreadHierarchy(Config)};
+  Model.processAll(Logger.Records);
+  baseline::RacecheckResult ModelResult = Model.result();
+  Verdict.Completed = !ModelResult.hung();
+  Verdict.ReportedProblem = ModelResult.reportedRace();
+  if (ModelResult.hung())
+    Verdict.Detail = "tool hang (spinlock)";
+  else if (ModelResult.reportedRace())
+    Verdict.Detail = support::formatString(
+        "%llu hazards",
+        static_cast<unsigned long long>(ModelResult.HazardCount));
+  return Verdict;
+}

@@ -1,0 +1,123 @@
+//===- Suite.h - the 66-program CUDA concurrency bug suite -----------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency test suite of Section 6.1: 66 small CUDA (PTX)
+/// programs exhibiting subtle data races or race-free behaviour via
+/// global memory, shared memory, within and across warps and blocks,
+/// using a variety of atomic and memory-fence instructions to implement
+/// locks, whole-grid barriers and flag synchronization. Each program
+/// carries its ground truth; runners execute them under BARRACUDA and
+/// under the Racecheck model and score the verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUITE_SUITE_H
+#define BARRACUDA_SUITE_SUITE_H
+
+#include "sim/LaunchConfig.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace suite {
+
+/// One kernel parameter of a suite program.
+struct ParamSpec {
+  enum class Kind : uint8_t {
+    Buffer, ///< device allocation of BufferBytes, zero-initialized
+    Value,  ///< scalar passed through
+  };
+
+  Kind K = Kind::Buffer;
+  uint64_t BufferBytes = 256;
+  uint64_t Value = 0;
+  /// When true, buffer word 0 is initialized to InitWord before launch.
+  bool HasInitWord = false;
+  uint32_t InitWord = 0;
+
+  static ParamSpec buffer(uint64_t Bytes) {
+    ParamSpec Spec;
+    Spec.K = Kind::Buffer;
+    Spec.BufferBytes = Bytes;
+    return Spec;
+  }
+  static ParamSpec bufferInit(uint64_t Bytes, uint32_t FirstWord) {
+    ParamSpec Spec = buffer(Bytes);
+    Spec.HasInitWord = true;
+    Spec.InitWord = FirstWord;
+    return Spec;
+  }
+  static ParamSpec value(uint64_t V) {
+    ParamSpec Spec;
+    Spec.K = Kind::Value;
+    Spec.Value = V;
+    return Spec;
+  }
+};
+
+/// One suite program with its ground truth.
+struct SuiteProgram {
+  std::string Name;
+  std::string Category;
+  std::string Ptx;
+  std::string KernelName;
+  sim::Dim3 Grid = sim::Dim3(1);
+  sim::Dim3 Block = sim::Dim3(32);
+  std::vector<ParamSpec> Params;
+  bool ExpectRace = false;
+  bool ExpectBarrierError = false;
+  std::string Notes;
+
+  bool expectProblem() const { return ExpectRace || ExpectBarrierError; }
+};
+
+/// gtest value-printer so parameterized test output shows the name.
+void PrintTo(const SuiteProgram &Program, std::ostream *Out);
+
+/// The full 66-program suite.
+const std::vector<SuiteProgram> &concurrencySuite();
+
+/// Finds a suite program by name (null if absent).
+const SuiteProgram *findSuiteProgram(const std::string &Name);
+
+/// Builds a complete module around a kernel body with the standard
+/// register set (%rd0-9 u64, %r0-11 u32, %p0-4 pred).
+/// \p ParamsDecl e.g. ".param .u64 p0, .param .u64 p1".
+/// \p ExtraDecls kernel-scope declarations (.shared/.local variables).
+std::string makeTestKernel(const std::string &Name,
+                           const std::string &ParamsDecl,
+                           const std::string &Body,
+                           const std::string &ExtraDecls = std::string());
+
+/// Tool verdict on one program.
+struct ToolVerdict {
+  bool Completed = true;       ///< tool ran to completion (false: hang/fail)
+  bool ReportedProblem = false; ///< reported a race or barrier error
+  std::string Detail;
+
+  /// Correct iff the verdict matches the program's ground truth.
+  bool correctFor(const SuiteProgram &Program) const {
+    if (!Completed)
+      return false;
+    return ReportedProblem == Program.expectProblem();
+  }
+};
+
+/// Runs \p Program under the full BARRACUDA pipeline.
+ToolVerdict runBarracuda(const SuiteProgram &Program);
+
+/// Runs \p Program under the Racecheck model (execute + feed the trace
+/// to the modelled tool).
+ToolVerdict runRacecheckModel(const SuiteProgram &Program);
+
+} // namespace suite
+} // namespace barracuda
+
+#endif // BARRACUDA_SUITE_SUITE_H

@@ -1,0 +1,493 @@
+//===- SuiteBasic.cpp - global/shared/intra-warp suite programs ------------===//
+//
+// 28 programs: races and race-free patterns through global memory across
+// blocks (8), global memory within a block (6), shared memory (8), and
+// within a single warp, including branch-ordering races (6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/SuitePrograms.h"
+
+using namespace barracuda;
+using namespace barracuda::suite;
+using sim::Dim3;
+
+namespace {
+
+/// Loads p0 into %rd1 and computes %r1=tid.x, %r2=ctaid.x, %r3=ntid.x,
+/// %r4 = global thread index.
+const char PrologA[] = R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+)";
+
+/// %rd4 = p0 + 4 * gid.
+const char GidSlot[] = R"(
+    cvt.u64.u32 %rd3, %r4;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+)";
+
+SuiteProgram make(const char *Name, const char *Category, bool ExpectRace,
+                  Dim3 Grid, Dim3 Block, std::vector<ParamSpec> Params,
+                  const std::string &Body, const char *Notes = "",
+                  const std::string &ExtraDecls = std::string()) {
+  SuiteProgram Program;
+  Program.Name = Name;
+  Program.Category = Category;
+  Program.KernelName = Name;
+  Program.Grid = Grid;
+  Program.Block = Block;
+  Program.Params = std::move(Params);
+  Program.ExpectRace = ExpectRace;
+  Program.Notes = Notes;
+  std::string ParamsDecl = ".param .u64 p0";
+  for (size_t I = 1; I < Program.Params.size(); ++I)
+    ParamsDecl += Program.Params[I].K == ParamSpec::Kind::Buffer
+                      ? ",\n    .param .u64 p" + std::to_string(I)
+                      : ",\n    .param .u32 p" + std::to_string(I);
+  Program.Ptx = makeTestKernel(Name, ParamsDecl, Body, ExtraDecls);
+  return Program;
+}
+
+} // namespace
+
+std::vector<SuiteProgram> suite::basicPrograms() {
+  std::vector<SuiteProgram> Programs;
+
+  //===--- global memory, across blocks -------------------------------===//
+
+  Programs.push_back(make(
+      "g_ww_same_slot", "global-interblock", /*ExpectRace=*/true, Dim3(4),
+      Dim3(32), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    st.global.u32 [%rd1], %r2;
+    ret;
+)",
+      "every block writes its id to slot 0; blocks race with each other"));
+
+  Programs.push_back(make(
+      "g_disjoint_slots", "global-interblock", false, Dim3(4), Dim3(32),
+      {ParamSpec::buffer(4 * 128)},
+      std::string(PrologA) + GidSlot + R"(
+    st.global.u32 [%rd4], %r4;
+    ret;
+)",
+      "one slot per thread"));
+
+  Programs.push_back(make(
+      "g_wr_flag_unsync", "global-interblock", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.eq.u32 %p1, %r2, 0;
+    @%p1 bra WRITER;
+    ld.global.u32 %r5, [%rd1];
+    bra.uni DONE;
+WRITER:
+    st.global.u32 [%rd1], 7;
+DONE:
+    ret;
+)",
+      "block 0 writes, block 1 reads, no synchronization"));
+
+  Programs.push_back(make(
+      "g_same_value_across_blocks", "global-interblock", true, Dim3(2),
+      Dim3(32), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    st.global.u32 [%rd1], 7;
+    ret;
+)",
+      "same value from every thread: the same-value exemption is "
+      "warp-scoped only, so cross-block stores still race"));
+
+  Programs.push_back(make(
+      "g_atomic_counter", "global-interblock", false, Dim3(4), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    atom.global.add.u32 %r5, [%rd1], 1;
+    ret;
+)",
+      "atomics do not race with each other"));
+
+  Programs.push_back(make(
+      "g_atomic_plain_mix", "global-interblock", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ne.u32 %p1, %r4, 32;
+    @%p1 bra ATOMICS;
+    st.global.u32 [%rd1], 9;
+    bra.uni DONE;
+ATOMICS:
+    atom.global.add.u32 %r5, [%rd1], 1;
+DONE:
+    ret;
+)",
+      "atomic operations on shared locations do not guarantee atomicity "
+      "with respect to normal stores (PTX ISA 8.7.12.3)"));
+
+  Programs.push_back(make(
+      "g_read_only", "global-interblock", false, Dim3(4), Dim3(32),
+      {ParamSpec::bufferInit(64, 1234)},
+      std::string(PrologA) + R"(
+    ld.global.u32 %r5, [%rd1];
+    ld.global.u32 %r6, [%rd1+4];
+    add.u32 %r7, %r5, %r6;
+    ret;
+)",
+      "concurrent reads never race"));
+
+  Programs.push_back(make(
+      "g_partials_read_unsync", "global-interblock", true, Dim3(2),
+      Dim3(32), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    cvt.u64.u32 %rd3, %r2;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r2;
+    setp.ne.u32 %p2, %r2, 0;
+    @%p2 bra DONE;
+    ld.global.u32 %r5, [%rd1+4];
+DONE:
+    ret;
+)",
+      "block 0 reads block 1's partial result without waiting for it"));
+
+  //===--- global memory, within a block ------------------------------===//
+
+  Programs.push_back(make(
+      "g_intrablock_ww", "global-intrablock", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    and.b32 %r5, %r1, 31;
+    setp.ne.u32 %p1, %r5, 0;
+    @%p1 bra DONE;
+    shr.u32 %r6, %r1, 5;
+    st.global.u32 [%rd1], %r6;
+DONE:
+    ret;
+)",
+      "lane 0 of each warp writes its warp id to the same slot"));
+
+  Programs.push_back(make(
+      "g_intrablock_sync_free", "global-intrablock", false, Dim3(1),
+      Dim3(64), {ParamSpec::buffer(4 * 64)},
+      std::string(PrologA) + R"(
+    setp.ge.u32 %p1, %r1, 32;
+    @%p1 bra AFTER;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r1;
+AFTER:
+    bar.sync 0;
+    setp.lt.u32 %p2, %r1, 32;
+    @%p2 bra DONE;
+    sub.u32 %r5, %r1, 32;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u32 %r6, [%rd4];
+DONE:
+    ret;
+)",
+      "warp 0 produces, barrier, warp 1 consumes"));
+
+  Programs.push_back(make(
+      "g_intrablock_wr_race", "global-intrablock", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(4 * 64)},
+      std::string(PrologA) + R"(
+    setp.ge.u32 %p1, %r1, 32;
+    @%p1 bra READER;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r1;
+    bra.uni DONE;
+READER:
+    sub.u32 %r5, %r1, 32;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u32 %r6, [%rd4];
+DONE:
+    ret;
+)",
+      "same as g_intrablock_sync_free but the barrier is missing"));
+
+  Programs.push_back(make(
+      "g_neighbor_after_barrier", "global-intrablock", false, Dim3(1),
+      Dim3(64), {ParamSpec::buffer(4 * 64)},
+      std::string(PrologA) + GidSlot + R"(
+    st.global.u32 [%rd4], %r4;
+    bar.sync 0;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, %r3;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u32 %r6, [%rd4];
+    ret;
+)",
+      "barrier orders the neighbour reads after all writes"));
+
+  Programs.push_back(make(
+      "g_intrablock_atomics", "global-intrablock", false, Dim3(1),
+      Dim3(64), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    atom.global.max.u32 %r5, [%rd1], %r1;
+    ret;
+)"));
+
+  Programs.push_back(make(
+      "g_own_slot_rw", "global-intrablock", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(4 * 64)},
+      std::string(PrologA) + GidSlot + R"(
+    st.global.u32 [%rd4], %r4;
+    ld.global.u32 %r5, [%rd4];
+    add.u32 %r5, %r5, 1;
+    st.global.u32 [%rd4], %r5;
+    ret;
+)",
+      "a thread re-reading and re-writing its own slot is ordered by "
+      "program order"));
+
+  //===--- shared memory -----------------------------------------------===//
+
+  const char TileDecl[] = "    .shared .align 4 .b8 tile[512];\n";
+
+  Programs.push_back(make(
+      "s_ww_same_slot", "shared", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    and.b32 %r5, %r1, 31;
+    setp.ne.u32 %p1, %r5, 0;
+    @%p1 bra DONE;
+    shr.u32 %r6, %r1, 5;
+    st.shared.u32 [tile], %r6;
+DONE:
+    ret;
+)",
+      "two warps write the same shared slot", TileDecl));
+
+  Programs.push_back(make(
+      "s_disjoint", "shared", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    st.shared.u32 [%rd6], %r1;
+    ret;
+)",
+      "", TileDecl));
+
+  Programs.push_back(make(
+      "s_producer_consumer_barrier", "shared", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    st.shared.u32 [%rd6], %r1;
+    bar.sync 0;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, %r3;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    ld.shared.u32 %r6, [%rd6];
+    ret;
+)",
+      "", TileDecl));
+
+  Programs.push_back(make(
+      "s_producer_consumer_nosync", "shared", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    setp.ge.u32 %p1, %r1, 32;
+    @%p1 bra READER;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    st.shared.u32 [%rd6], %r1;
+    bra.uni DONE;
+READER:
+    sub.u32 %r5, %r1, 32;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    ld.shared.u32 %r6, [%rd6];
+DONE:
+    ret;
+)",
+      "warp 1 reads warp 0's tile region without a barrier", TileDecl));
+
+  Programs.push_back(make(
+      "s_atomics_only", "shared", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    atom.shared.add.u32 %r5, [tile], 1;
+    ret;
+)",
+      "", TileDecl));
+
+  Programs.push_back(make(
+      "s_atomic_plain_mix", "shared", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra ATOMICS;
+    st.shared.u32 [tile], 9;
+    bra.uni DONE;
+ATOMICS:
+    atom.shared.add.u32 %r5, [tile], 1;
+DONE:
+    ret;
+)",
+      "shared-memory atomics give no atomicity versus plain stores",
+      TileDecl));
+
+  Programs.push_back(make(
+      "s_broadcast_read", "shared", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra WAITERS;
+    st.shared.u32 [tile], 42;
+WAITERS:
+    bar.sync 0;
+    ld.shared.u32 %r5, [tile];
+    ret;
+)",
+      "one writer, a barrier, then 64 concurrent readers (exercises the "
+      "read vector clock inflation)", TileDecl));
+
+  Programs.push_back(make(
+      "s_warp_private_rows", "shared", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    shr.u32 %r5, %r1, 5;
+    shl.b32 %r5, %r5, 7;
+    and.b32 %r6, %r1, 31;
+    shl.b32 %r6, %r6, 2;
+    add.u32 %r5, %r5, %r6;
+    cvt.u64.u32 %rd3, %r5;
+    add.u64 %rd6, %rd5, %rd3;
+    st.shared.u32 [%rd6], %r1;
+    ld.shared.u32 %r7, [%rd6];
+    ret;
+)",
+      "each warp owns a 128-byte row of the tile", TileDecl));
+
+  //===--- intra-warp / branch-ordering --------------------------------===//
+
+  Programs.push_back(make(
+      "w_branch_order_ww", "intra-warp", true, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.lt.u32 %p1, %r1, 16;
+    @%p1 bra THEN;
+    st.global.u32 [%rd1], %r1;
+    bra.uni JOIN;
+THEN:
+    st.global.u32 [%rd1], %r1;
+JOIN:
+    ret;
+)",
+      "both branch paths write the same location: a branch-ordering "
+      "race (outcome depends on the SIMT serialization order)"));
+
+  Programs.push_back(make(
+      "w_branch_order_same_value", "intra-warp", true, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.lt.u32 %p1, %r1, 16;
+    @%p1 bra THEN;
+    st.global.u32 [%rd1], 5;
+    bra.uni JOIN;
+THEN:
+    st.global.u32 [%rd1], 5;
+JOIN:
+    ret;
+)",
+      "the same-value exemption applies within one warp instruction "
+      "only; stores from different instructions still race"));
+
+  Programs.push_back(make(
+      "w_lockstep_wr", "intra-warp", false, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(4 * 32)},
+      std::string(PrologA) + R"(
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r1;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, 32;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u32 %r6, [%rd4];
+    ret;
+)",
+      "warp-synchronous neighbour exchange: lockstep execution orders "
+      "instruction i before i+1 across the whole warp"));
+
+  Programs.push_back(make(
+      "w_divergence_wr", "intra-warp", true, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.lt.u32 %p1, %r1, 16;
+    @%p1 bra THEN;
+    ld.global.u32 %r5, [%rd1];
+    bra.uni JOIN;
+THEN:
+    st.global.u32 [%rd1], 7;
+JOIN:
+    ret;
+)",
+      "the then path writes what the else path reads; the two paths are "
+      "logically concurrent"));
+
+  Programs.push_back(make(
+      "w_intra_instruction_ww", "intra-warp", true, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    st.global.u32 [%rd1], %r1;
+    ret;
+)",
+      "all 32 lanes of one instruction write different values to one "
+      "location: which write lands is architecture-specific"));
+
+  Programs.push_back(make(
+      "w_nested_disjoint", "intra-warp", false, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(4 * 32)},
+      std::string(PrologA) + GidSlot + R"(
+    setp.ge.u32 %p1, %r1, 16;
+    @%p1 bra BIG;
+    setp.ge.u32 %p2, %r1, 8;
+    @%p2 bra MID;
+    st.global.u32 [%rd4], %r1;
+    bra.uni JOIN1;
+MID:
+    st.global.u32 [%rd4], %r1;
+JOIN1:
+    bra.uni JOIN;
+BIG:
+    st.global.u32 [%rd4], %r1;
+JOIN:
+    ret;
+)",
+      "nested divergence, disjoint addresses (exercises the "
+      "NESTEDDIVERGED clock format)"));
+
+  return Programs;
+}

@@ -1,0 +1,265 @@
+//===- SuiteControl.cpp - barrier/partial-warp/misc suite programs ---------===//
+//
+// 12 programs: barrier divergence errors, loops with barriers, partial
+// warps and blocks, grid-stride patterns and state-space corner cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/SuitePrograms.h"
+
+using namespace barracuda;
+using namespace barracuda::suite;
+using sim::Dim3;
+
+namespace {
+
+const char PrologA[] = R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+)";
+
+const char GidSlot[] = R"(
+    cvt.u64.u32 %rd3, %r4;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+)";
+
+SuiteProgram make(const char *Name, const char *Category, bool ExpectRace,
+                  bool ExpectBarrierError, Dim3 Grid, Dim3 Block,
+                  std::vector<ParamSpec> Params, const std::string &Body,
+                  const char *Notes = "",
+                  const std::string &ExtraDecls = std::string()) {
+  SuiteProgram Program;
+  Program.Name = Name;
+  Program.Category = Category;
+  Program.KernelName = Name;
+  Program.Grid = Grid;
+  Program.Block = Block;
+  Program.Params = std::move(Params);
+  Program.ExpectRace = ExpectRace;
+  Program.ExpectBarrierError = ExpectBarrierError;
+  Program.Notes = Notes;
+  std::string ParamsDecl = ".param .u64 p0";
+  for (size_t I = 1; I < Program.Params.size(); ++I)
+    ParamsDecl += Program.Params[I].K == ParamSpec::Kind::Buffer
+                      ? ",\n    .param .u64 p" + std::to_string(I)
+                      : ",\n    .param .u32 p" + std::to_string(I);
+  Program.Ptx = makeTestKernel(Name, ParamsDecl, Body, ExtraDecls);
+  return Program;
+}
+
+} // namespace
+
+std::vector<SuiteProgram> suite::controlPrograms() {
+  std::vector<SuiteProgram> Programs;
+
+  //===--- barriers -----------------------------------------------------===//
+
+  Programs.push_back(make(
+      "b_divergent_barrier", "barrier", /*ExpectRace=*/false,
+      /*ExpectBarrierError=*/true, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ge.u32 %p1, %r1, 16;
+    @%p1 bra SKIP;
+    bar.sync 0;
+SKIP:
+    ret;
+)",
+      "bar.sync on one side of a divergent branch: execution is likely "
+      "to hang or produce unintended side effects (CUDA guide B.6)"));
+
+  Programs.push_back(make(
+      "b_uniform_conditional_barrier", "barrier", false, false, Dim3(1),
+      Dim3(64), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    setp.ge.u32 %p1, %r1, %r3;
+    @%p1 bra SKIP;
+    bar.sync 0;
+SKIP:
+    ret;
+)",
+      "a conditional barrier taken by every thread is fine"));
+
+  Programs.push_back(make(
+      "b_barrier_loop", "barrier", false, false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, %r3;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd7, %rd5, %rd3;
+    mov.u32 %r6, 0;
+LOOP:
+    st.shared.u32 [%rd6], %r6;
+    bar.sync 0;
+    ld.shared.u32 %r7, [%rd7];
+    bar.sync 0;
+    add.u32 %r6, %r6, 1;
+    setp.lt.u32 %p1, %r6, 4;
+    @%p1 bra LOOP;
+    ret;
+)",
+      "a double-buffered exchange loop with two barriers per iteration",
+      "    .shared .align 4 .b8 tile[256];\n"));
+
+  Programs.push_back(make(
+      "b_missing_barrier_stencil", "barrier", true, false, Dim3(1),
+      Dim3(64), {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    mov.u64 %rd5, tile;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    st.shared.u32 [%rd6], %r1;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, %r3;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd7, %rd5, %rd3;
+    ld.shared.u32 %r6, [%rd7];
+    ret;
+)",
+      "a stencil missing its barrier: thread 31 reads thread 32's slot "
+      "across the warp boundary",
+      "    .shared .align 4 .b8 tile[256];\n"));
+
+  //===--- partial warps and grid strides ------------------------------===//
+
+  Programs.push_back(make(
+      "p_partial_warp", "partial", false, false, Dim3(1), Dim3(20),
+      {ParamSpec::buffer(4 * 20)},
+      std::string(PrologA) + GidSlot + R"(
+    st.global.u32 [%rd4], %r4;
+    ret;
+)",
+      "a 20-thread block: only 20 resident lanes in the warp"));
+
+  Programs.push_back(make(
+      "p_partial_last_warp", "partial", false, false, Dim3(3), Dim3(48),
+      {ParamSpec::buffer(4 * 48 * 3)},
+      std::string(PrologA) + GidSlot + R"(
+    st.global.u32 [%rd4], %r4;
+    bar.sync 0;
+    ld.global.u32 %r5, [%rd4];
+    ret;
+)",
+      "48-thread blocks: the second warp of each block is half "
+      "resident, and it still participates in barriers"));
+
+  Programs.push_back(make(
+      "p_grid_stride_disjoint", "partial", false, false, Dim3(2), Dim3(64),
+      {ParamSpec::buffer(4 * 512), ParamSpec::value(512)},
+      std::string(PrologA) + R"(
+    ld.param.u32 %r5, [p1];
+    mov.u32 %r6, %nctaid.x;
+    mul.lo.u32 %r6, %r6, %r3;
+    mov.u32 %r7, %r4;
+LOOP:
+    setp.ge.u32 %p1, %r7, %r5;
+    @%p1 bra FIN;
+    cvt.u64.u32 %rd3, %r7;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r7;
+    add.u32 %r7, %r7, %r6;
+    bra.uni LOOP;
+FIN:
+    ret;
+)",
+      "a correct grid-stride loop: stride = ntid * nctaid"));
+
+  Programs.push_back(make(
+      "p_grid_stride_overlap", "partial", true, false, Dim3(2), Dim3(64),
+      {ParamSpec::buffer(4 * 256), ParamSpec::value(256)},
+      std::string(PrologA) + R"(
+    ld.param.u32 %r5, [p1];
+    mov.u32 %r6, %r3;
+    mov.u32 %r7, %r4;
+LOOP:
+    setp.ge.u32 %p1, %r7, %r5;
+    @%p1 bra FIN;
+    cvt.u64.u32 %rd3, %r7;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r7;
+    add.u32 %r7, %r7, %r6;
+    bra.uni LOOP;
+FIN:
+    ret;
+)",
+      "the stride forgets the grid dimension, so the blocks' index sets "
+      "overlap; the racing writes even store identical values, which "
+      "value-based detectors would miss"));
+
+  //===--- state-space corners ------------------------------------------===//
+
+  Programs.push_back(make(
+      "m_read_only_everywhere", "misc", false, false, Dim3(2), Dim3(64),
+      {ParamSpec::bufferInit(64, 77)},
+      std::string(PrologA) + R"(
+    ld.global.u32 %r5, [%rd1];
+    ld.shared.u32 %r6, [tile];
+    add.u32 %r7, %r5, %r6;
+    ret;
+)",
+      "global and shared reads only",
+      "    .shared .align 4 .b8 tile[64];\n"));
+
+  Programs.push_back(make(
+      "m_local_memory", "misc", false, false, Dim3(2), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(PrologA) + R"(
+    st.local.u32 [scratch], %r4;
+    ld.local.u32 %r5, [scratch];
+    add.u32 %r5, %r5, 1;
+    st.local.u32 [scratch+4], %r5;
+    ret;
+)",
+      "local memory is thread-private and is not even instrumented",
+      "    .local .align 4 .b8 scratch[64];\n"));
+
+  Programs.push_back(make(
+      "m_param_scaled_slots", "misc", false, false, Dim3(2), Dim3(64),
+      {ParamSpec::buffer(4 * 128), ParamSpec::value(3)},
+      std::string(PrologA) + GidSlot + R"(
+    ld.param.u32 %r5, [p1];
+    mul.lo.u32 %r6, %r4, %r5;
+    st.global.u32 [%rd4], %r6;
+    ret;
+)",
+      "scalar parameters feed disjoint writes"));
+
+  Programs.push_back(make(
+      "m_mixed_spaces", "misc", false, false, Dim3(2), Dim3(64),
+      {ParamSpec::buffer(4 * 128)},
+      std::string(PrologA) + GidSlot + R"(
+    mov.u64 %rd5, tile;
+    cvt.u64.u32 %rd3, %r1;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd6, %rd5, %rd3;
+    st.global.u32 [%rd4], %r4;
+    st.shared.u32 [%rd6], %r1;
+    bar.sync 0;
+    add.u32 %r5, %r1, 1;
+    rem.u32 %r5, %r5, %r3;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd7, %rd5, %rd3;
+    ld.shared.u32 %r6, [%rd7];
+    ld.global.u32 %r7, [%rd4];
+    ret;
+)",
+      "global and shared traffic in one kernel, ordered by a barrier",
+      "    .shared .align 4 .b8 tile[256];\n"));
+
+  return Programs;
+}

@@ -1,0 +1,27 @@
+//===- SuitePrograms.h - internal suite category builders ------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUITE_SUITEPROGRAMS_H
+#define BARRACUDA_SUITE_SUITEPROGRAMS_H
+
+#include "suite/Suite.h"
+
+namespace barracuda {
+namespace suite {
+
+/// Global-memory, shared-memory and intra-warp programs (28).
+std::vector<SuiteProgram> basicPrograms();
+
+/// Fence/flag, lock and atomic programs (26).
+std::vector<SuiteProgram> syncPrograms();
+
+/// Barrier-divergence, partial-warp/grid-stride and misc programs (12).
+std::vector<SuiteProgram> controlPrograms();
+
+} // namespace suite
+} // namespace barracuda
+
+#endif // BARRACUDA_SUITE_SUITEPROGRAMS_H

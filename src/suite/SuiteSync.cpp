@@ -1,0 +1,536 @@
+//===- SuiteSync.cpp - fence/flag, lock and atomic suite programs ----------===//
+//
+// 26 programs: message passing with every fence combination (the Figure 4
+// insight that membar.cta cannot synchronize across blocks), flag
+// synchronization in global and shared memory, spinlocks built from
+// atom.cas/atom.exch with and without their fences (the hashtable bugs of
+// Section 6.3), and atomic-operation idioms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/SuitePrograms.h"
+
+using namespace barracuda;
+using namespace barracuda::suite;
+using sim::Dim3;
+
+namespace {
+
+/// Loads p0 -> %rd1, p1 -> %rd2; %r1=tid.x, %r2=ctaid.x.
+const char PrologTwoBuf[] = R"(
+    ld.param.u64 %rd1, [p0];
+    ld.param.u64 %rd2, [p1];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+)";
+
+/// Loads p0 -> %rd1 only.
+const char PrologOneBuf[] = R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+)";
+
+SuiteProgram make(const char *Name, const char *Category, bool ExpectRace,
+                  Dim3 Grid, Dim3 Block, std::vector<ParamSpec> Params,
+                  const std::string &Body, const char *Notes = "",
+                  const std::string &ExtraDecls = std::string()) {
+  SuiteProgram Program;
+  Program.Name = Name;
+  Program.Category = Category;
+  Program.KernelName = Name;
+  Program.Grid = Grid;
+  Program.Block = Block;
+  Program.Params = std::move(Params);
+  Program.ExpectRace = ExpectRace;
+  Program.Notes = Notes;
+  std::string ParamsDecl = ".param .u64 p0";
+  for (size_t I = 1; I < Program.Params.size(); ++I)
+    ParamsDecl += Program.Params[I].K == ParamSpec::Kind::Buffer
+                      ? ",\n    .param .u64 p" + std::to_string(I)
+                      : ",\n    .param .u32 p" + std::to_string(I);
+  Program.Ptx = makeTestKernel(Name, ParamsDecl, Body, ExtraDecls);
+  return Program;
+}
+
+/// Message-passing skeleton: block 0 thread 0 stores data then the flag;
+/// block 1 thread 0 spins on the flag then loads data. The fence
+/// placeholders select the synchronization flavour.
+std::string mpBody(const char *WriterFence, const char *ReaderFence) {
+  std::string Body = PrologTwoBuf;
+  Body += R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    setp.ne.u32 %p2, %r2, 0;
+    @%p2 bra READER;
+    st.global.u32 [%rd1], 42;
+)";
+  Body += WriterFence;
+  Body += R"(
+    st.global.u32 [%rd2], 1;
+    bra.uni DONE;
+READER:
+WAIT:
+    ld.volatile.global.u32 %r5, [%rd2];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra WAIT;
+)";
+  Body += ReaderFence;
+  Body += R"(
+    ld.global.u32 %r6, [%rd1];
+DONE:
+    ret;
+)";
+  return Body;
+}
+
+/// Spinlock skeleton for thread 0 of every block: [%rd2] is the lock,
+/// the critical section increments [%rd1].
+std::string lockBody(const char *AcquireFence, const char *CritSection,
+                     const char *ReleaseSeq, const char *Preamble = "") {
+  std::string Body = PrologTwoBuf;
+  Body += R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+)";
+  Body += Preamble;
+  Body += R"(
+SPIN:
+    atom.global.cas.b32 %r5, [%rd2], 0, 1;
+    setp.ne.u32 %p2, %r5, 0;
+    @%p2 bra SPIN;
+)";
+  Body += AcquireFence;
+  Body += CritSection;
+  Body += ReleaseSeq;
+  Body += R"(
+DONE:
+    ret;
+)";
+  return Body;
+}
+
+const char CritIncrement[] = R"(
+    ld.global.u32 %r6, [%rd1];
+    add.u32 %r6, %r6, 1;
+    st.global.u32 [%rd1], %r6;
+)";
+
+} // namespace
+
+std::vector<SuiteProgram> suite::syncPrograms() {
+  std::vector<SuiteProgram> Programs;
+
+  //===--- fences and flag synchronization ----------------------------===//
+
+  Programs.push_back(make(
+      "f_mp_global_fences", "fences", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      mpBody("    membar.gl;\n", "    membar.gl;\n"),
+      "message passing with global fences on both sides is "
+      "well-synchronized"));
+
+  Programs.push_back(make(
+      "f_mp_cta_fences", "fences", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      mpBody("    membar.cta;\n", "    membar.cta;\n"),
+      "membar.cta is insufficient to synchronize across thread blocks "
+      "(the Figure 4 litmus result)"));
+
+  Programs.push_back(make(
+      "f_mp_no_fences", "fences", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)}, mpBody("", ""),
+      "plain flag: both the flag and the data race"));
+
+  Programs.push_back(make(
+      "f_mp_writer_only_fence", "fences", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      mpBody("    membar.gl;\n", ""),
+      "a release without a matching acquire does not order the data "
+      "read"));
+
+  Programs.push_back(make(
+      "f_mp_sys_fences", "fences", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      mpBody("    membar.sys;\n", "    membar.sys;\n"),
+      "system fences are treated as global fences for intra-kernel "
+      "synchronization"));
+
+  Programs.push_back(make(
+      "f_flag_intrablock_cta", "fences", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra WRITER;
+    setp.ne.u32 %p2, %r1, 32;
+    @%p2 bra DONE;
+WAIT:
+    ld.volatile.global.u32 %r5, [%rd2];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra WAIT;
+    membar.cta;
+    ld.global.u32 %r6, [%rd1];
+    bra.uni DONE;
+WRITER:
+    st.global.u32 [%rd1], 42;
+    membar.cta;
+    st.global.u32 [%rd2], 1;
+DONE:
+    ret;
+)",
+      "within one block a cta-scope release/acquire pair is enough"));
+
+  Programs.push_back(make(
+      "f_flag_intrablock_nofence", "fences", true, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra WRITER;
+    setp.ne.u32 %p2, %r1, 32;
+    @%p2 bra DONE;
+WAIT:
+    ld.volatile.global.u32 %r5, [%rd2];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra WAIT;
+    ld.global.u32 %r6, [%rd1];
+    bra.uni DONE;
+WRITER:
+    st.global.u32 [%rd1], 42;
+    st.global.u32 [%rd2], 1;
+DONE:
+    ret;
+)",
+      "flag synchronization without fences: no ordering at all"));
+
+  Programs.push_back(make(
+      "f_grid_handshake", "fences", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    setp.ne.u32 %p2, %r2, 0;
+    @%p2 bra BLOCK1;
+    st.global.u32 [%rd1], 11;
+    membar.gl;
+    st.global.u32 [%rd2], 1;
+W0:
+    ld.volatile.global.u32 %r5, [%rd2+4];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra W0;
+    membar.gl;
+    ld.global.u32 %r6, [%rd1+4];
+    bra.uni DONE;
+BLOCK1:
+W1:
+    ld.volatile.global.u32 %r5, [%rd2];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra W1;
+    membar.gl;
+    ld.global.u32 %r6, [%rd1];
+    st.global.u32 [%rd1+4], 22;
+    membar.gl;
+    st.global.u32 [%rd2+4], 1;
+DONE:
+    ret;
+)",
+      "a bidirectional flag handshake between two blocks"));
+
+  Programs.push_back(make(
+      "f_shared_flag_cta", "fences", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    mov.u64 %rd5, tile;
+)") + R"(
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra WRITER;
+    setp.ne.u32 %p2, %r1, 32;
+    @%p2 bra DONE;
+WAIT:
+    ld.volatile.shared.u32 %r5, [tile+4];
+    setp.eq.u32 %p3, %r5, 0;
+    @%p3 bra WAIT;
+    membar.cta;
+    ld.shared.u32 %r6, [tile];
+    bra.uni DONE;
+WRITER:
+    st.shared.u32 [tile], 42;
+    membar.cta;
+    st.shared.u32 [tile+4], 1;
+DONE:
+    ret;
+)",
+      "flag synchronization through shared memory with cta fences",
+      "    .shared .align 4 .b8 tile[64];\n"));
+
+  Programs.push_back(make(
+      "f_threadfence_reduction", "fences", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(256), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    cvt.u64.u32 %rd3, %r2;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    add.u32 %r5, %r2, 1;
+    st.global.u32 [%rd4], %r5;
+    membar.gl;
+    atom.global.inc.u32 %r6, [%rd2], 4294967295;
+    membar.gl;
+    mov.u32 %r7, %nctaid.x;
+    sub.u32 %r7, %r7, 1;
+    setp.ne.u32 %p2, %r6, %r7;
+    @%p2 bra DONE;
+    ld.global.u32 %r8, [%rd1];
+    ld.global.u32 %r9, [%rd1+4];
+    add.u32 %r8, %r8, %r9;
+    st.global.u32 [%rd1+64], %r8;
+DONE:
+    ret;
+)",
+      "the threadFenceReduction idiom: the fence-sandwiched atomic "
+      "ticket acts as acquire-release; the last block reads all "
+      "partials safely"));
+
+  //===--- locks --------------------------------------------------------===//
+
+  Programs.push_back(make(
+      "l_spinlock_correct", "locks", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("    membar.gl;\n", CritIncrement,
+               "    membar.gl;\n"
+               "    atom.global.exch.b32 %r7, [%rd2], 0;\n"),
+      "textbook global spinlock: cas+fence acquire, fence+exch release"));
+
+  Programs.push_back(make(
+      "l_cas_no_fence", "locks", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("", CritIncrement,
+               "    membar.gl;\n"
+               "    atom.global.exch.b32 %r7, [%rd2], 0;\n"),
+      "the hashtable bug: atomicCAS without a fence can be reordered "
+      "with the critical-section accesses"));
+
+  Programs.push_back(make(
+      "l_unlock_plain_store", "locks", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("    membar.gl;\n", CritIncrement,
+               "    st.global.u32 [%rd2], 0;\n"),
+      "the second hashtable bug: unlocking with a plain unfenced store"));
+
+  Programs.push_back(make(
+      "l_unlock_store_release", "locks", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("    membar.gl;\n", CritIncrement,
+               "    membar.gl;\n"
+               "    st.global.u32 [%rd2], 0;\n"),
+      "a fenced plain store is a valid release of the lock word"));
+
+  Programs.push_back(make(
+      "l_fine_grained_buckets", "locks", false, Dim3(4), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    and.b32 %r8, %r2, 1;
+    cvt.u64.u32 %rd3, %r8;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd5, %rd2, %rd3;
+    add.u64 %rd6, %rd1, %rd3;
+SPIN:
+    atom.global.cas.b32 %r5, [%rd5], 0, 1;
+    setp.ne.u32 %p2, %r5, 0;
+    @%p2 bra SPIN;
+    membar.gl;
+    ld.global.u32 %r6, [%rd6];
+    add.u32 %r6, %r6, 1;
+    st.global.u32 [%rd6], %r6;
+    membar.gl;
+    atom.global.exch.b32 %r7, [%rd5], 0;
+DONE:
+    ret;
+)",
+      "two buckets, each with its own lock and data word"));
+
+  Programs.push_back(make(
+      "l_data_outside_critical", "locks", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("    membar.gl;\n", CritIncrement,
+               "    membar.gl;\n"
+               "    atom.global.exch.b32 %r7, [%rd2], 0;\n",
+               /*Preamble=*/"    st.global.u32 [%rd1], %r2;\n"),
+      "the data word is also written before taking the lock"));
+
+  Programs.push_back(make(
+      "l_shared_lock_cta", "locks", false, Dim3(1), Dim3(64),
+      {ParamSpec::buffer(64)},
+      std::string(R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    and.b32 %r8, %r1, 31;
+    setp.ne.u32 %p1, %r8, 0;
+    @%p1 bra DONE;
+SPIN:
+    atom.shared.cas.b32 %r5, [tile+8], 0, 1;
+    setp.ne.u32 %p2, %r5, 0;
+    @%p2 bra SPIN;
+    membar.cta;
+    ld.shared.u32 %r6, [tile];
+    add.u32 %r6, %r6, 1;
+    st.shared.u32 [tile], %r6;
+    membar.cta;
+    atom.shared.exch.b32 %r7, [tile+8], 0;
+DONE:
+    ret;
+)"),
+      "a shared-memory spinlock with cta fences protecting shared data "
+      "(lane 0 of each warp contends)",
+      "    .shared .align 4 .b8 tile[64];\n"));
+
+  Programs.push_back(make(
+      "l_lock_wrong_scope", "locks", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      lockBody("    membar.cta;\n", CritIncrement,
+               "    membar.cta;\n"
+               "    atom.global.exch.b32 %r7, [%rd2], 0;\n"),
+      "a global lock fenced only with membar.cta cannot order critical "
+      "sections in different blocks"));
+
+  Programs.push_back(make(
+      "l_exch_sandwich_lock", "locks", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+SPIN:
+    membar.gl;
+    atom.global.exch.b32 %r5, [%rd2], 1;
+    membar.gl;
+    setp.ne.u32 %p2, %r5, 0;
+    @%p2 bra SPIN;
+    ld.global.u32 %r6, [%rd1];
+    add.u32 %r6, %r6, 1;
+    st.global.u32 [%rd1], %r6;
+    membar.gl;
+    atom.global.exch.b32 %r7, [%rd2], 0;
+DONE:
+    ret;
+)",
+      "a test-and-set lock: the fence-sandwiched exch acts as "
+      "acquire-release"));
+
+  Programs.push_back(make(
+      "l_trylock_fail_both_write", "locks", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::bufferInit(64, 1)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    atom.global.cas.b32 %r5, [%rd2], 0, 1;
+    st.global.u32 [%rd1], %r2;
+DONE:
+    ret;
+)",
+      "trylock on a pre-held lock: both blocks fail and write anyway"));
+
+  //===--- atomics ------------------------------------------------------===//
+
+  Programs.push_back(make(
+      "a_atomic_mixed_ops", "atomics", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologOneBuf) + R"(
+    atom.global.add.u32 %r5, [%rd1], 1;
+    atom.global.min.u32 %r6, [%rd1], %r4;
+    atom.global.max.u32 %r7, [%rd1], %r4;
+    ret;
+)",
+      "different atomic operations on one location never race"));
+
+  Programs.push_back(make(
+      "a_atomic_then_plain_read", "atomics", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologOneBuf) + R"(
+    setp.ne.u32 %p1, %r2, 0;
+    @%p1 bra ATOMS;
+    setp.ne.u32 %p2, %r1, 0;
+    @%p2 bra DONE;
+    ld.global.u32 %r6, [%rd1];
+    bra.uni DONE;
+ATOMS:
+    atom.global.add.u32 %r5, [%rd1], 1;
+DONE:
+    ret;
+)",
+      "block 0 plainly reads a location block 1 updates with atomics; "
+      "the reader's block performs no atomics itself, so the epoch "
+      "cannot be masked by an ordered writer"));
+
+  Programs.push_back(make(
+      "a_atomic_flag_no_fence", "atomics", true, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    setp.ne.u32 %p1, %r1, 0;
+    @%p1 bra DONE;
+    setp.ne.u32 %p2, %r2, 0;
+    @%p2 bra READER;
+    st.global.u32 [%rd1], 42;
+    atom.global.exch.b32 %r5, [%rd2], 1;
+    bra.uni DONE;
+READER:
+WAIT:
+    ld.volatile.global.u32 %r6, [%rd2];
+    setp.eq.u32 %p3, %r6, 0;
+    @%p3 bra WAIT;
+    ld.global.u32 %r7, [%rd1];
+DONE:
+    ret;
+)",
+      "atomic functions do not act as memory fences and do not imply "
+      "synchronization (CUDA guide B.12)"));
+
+  Programs.push_back(make(
+      "a_ticket_slots", "atomics", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(4 * 64 + 64), ParamSpec::buffer(64)},
+      std::string(PrologTwoBuf) + R"(
+    atom.global.add.u32 %r5, [%rd2], 1;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r4;
+    ret;
+)",
+      "an atomic ticket counter hands every thread a private slot"));
+
+  Programs.push_back(make(
+      "a_cas_retry_loop", "atomics", false, Dim3(1), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologOneBuf) + R"(
+    mov.u32 %r6, 0;
+RETRY:
+    add.u32 %r7, %r6, 1;
+    atom.global.cas.b32 %r5, [%rd1], %r6, %r7;
+    setp.eq.u32 %p1, %r5, %r6;
+    @%p1 bra FIN;
+    mov.u32 %r6, %r5;
+    bra.uni RETRY;
+FIN:
+    ret;
+)",
+      "a lock-free increment loop touching the location only with "
+      "atomics (heavy divergence through the retry loop)"));
+
+  Programs.push_back(make(
+      "a_red_reduction", "atomics", false, Dim3(2), Dim3(32),
+      {ParamSpec::buffer(64)},
+      std::string(PrologOneBuf) + R"(
+    red.global.add.u32 [%rd1], %r1;
+    ret;
+)",
+      "reduction instructions are atomics without a destination"));
+
+  return Programs;
+}

@@ -1,0 +1,56 @@
+//===- Format.cpp - printf-style string formatting helpers ---------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+using namespace barracuda;
+
+std::string support::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string support::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string support::formatBytes(unsigned long long Bytes) {
+  static const char *const Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return formatString("%llu B", Bytes);
+  return formatString("%.1f %s", Value, Units[Unit]);
+}
+
+std::string support::formatWithCommas(unsigned long long Count) {
+  std::string Digits = std::to_string(Count);
+  std::string Result;
+  int Run = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Run == 3) {
+      Result.push_back(',');
+      Run = 0;
+    }
+    Result.push_back(*It);
+    ++Run;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}

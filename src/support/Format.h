@@ -1,0 +1,39 @@
+//===- Format.h - printf-style string formatting helpers -----------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers used throughout the library in
+/// place of <iostream> (which is avoided in library code per the LLVM
+/// coding standards this project follows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_FORMAT_H
+#define BARRACUDA_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace barracuda {
+namespace support {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Renders \p Bytes as a human-readable quantity ("1.5 MB", "272 B").
+std::string formatBytes(unsigned long long Bytes);
+
+/// Renders \p Count with thousands separators ("1,048,576").
+std::string formatWithCommas(unsigned long long Count);
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_FORMAT_H

@@ -1,0 +1,69 @@
+//===- Rng.h - deterministic pseudo-random number generation --------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic xorshift-based RNG. Used for the litmus
+/// memory-stress scheduler, workload generation and property tests, where
+/// reproducibility across runs matters more than statistical quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_RNG_H
+#define BARRACUDA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace barracuda {
+namespace support {
+
+/// xorshift64* generator with splitmix seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  void reseed(uint64_t Seed) {
+    // SplitMix64 step so that small seeds still give good state.
+    uint64_t Z = Seed + 0x9E3779B97F4A7C15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    State = Z ^ (Z >> 31);
+    if (State == 0)
+      State = 0x2545F4914F6CDD1DULL;
+  }
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "chance denominator must be nonzero");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_RNG_H

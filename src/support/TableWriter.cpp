@@ -1,0 +1,60 @@
+//===- TableWriter.cpp - aligned text-table output ------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+
+using namespace barracuda;
+using support::TableWriter;
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::setRightAligned(unsigned Index) {
+  if (RightAligned.size() <= Index)
+    RightAligned.resize(Index + 1, false);
+  RightAligned[Index] = true;
+}
+
+void TableWriter::print() {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      bool Right = I < RightAligned.size() && RightAligned[I];
+      int Pad = static_cast<int>(Widths[I] - Row[I].size());
+      if (Right)
+        std::fprintf(Out, "%*s%s", Pad, "", Row[I].c_str());
+      else if (I + 1 == Row.size())
+        std::fprintf(Out, "%s", Row[I].c_str());
+      else
+        std::fprintf(Out, "%s%*s", Row[I].c_str(), Pad, "");
+      if (I + 1 != Row.size())
+        std::fprintf(Out, "  ");
+    }
+    std::fprintf(Out, "\n");
+  };
+
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    printRow(Rows[R]);
+    if (R == 0) {
+      size_t Total = 0;
+      for (size_t W : Widths)
+        Total += W + 2;
+      std::string Line(Total > 2 ? Total - 2 : Total, '-');
+      std::fprintf(Out, "%s\n", Line.c_str());
+    }
+  }
+  Rows.clear();
+}
+
+void support::printBanner(std::FILE *Out, const std::string &Title) {
+  std::fprintf(Out, "\n== %s ==\n", Title.c_str());
+}

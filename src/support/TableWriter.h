@@ -1,0 +1,55 @@
+//===- TableWriter.h - aligned text-table output --------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer used by the benchmark harnesses to
+/// regenerate the paper's tables on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_TABLEWRITER_H
+#define BARRACUDA_SUPPORT_TABLEWRITER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace support {
+
+/// Accumulates rows of string cells and prints them with columns padded to
+/// the widest cell. The first row added is treated as a header and is
+/// underlined when printed.
+class TableWriter {
+public:
+  explicit TableWriter(std::FILE *Out = stdout) : Out(Out) {}
+
+  /// Adds a row of cells. All rows may have different lengths; shorter rows
+  /// leave trailing columns blank.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: adds a header row (same as addRow on an empty table).
+  void addHeader(std::vector<std::string> Cells) { addRow(std::move(Cells)); }
+
+  /// Prints the accumulated table and clears it.
+  void print();
+
+  /// Marks column \p Index as right-aligned (numbers). Default is left.
+  void setRightAligned(unsigned Index);
+
+private:
+  std::FILE *Out;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> RightAligned;
+};
+
+/// Prints a section banner ("== title ==") to \p Out.
+void printBanner(std::FILE *Out, const std::string &Title);
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_TABLEWRITER_H

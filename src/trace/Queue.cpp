@@ -1,0 +1,77 @@
+//===- Queue.cpp - lock-free device-to-host event queues ------------------===//
+
+#include "trace/Queue.h"
+
+#include <thread>
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+EventQueue::EventQueue(size_t CapacityPow2)
+    : Ring(CapacityPow2), Mask(CapacityPow2 - 1) {
+  assert(CapacityPow2 != 0 && (CapacityPow2 & (CapacityPow2 - 1)) == 0 &&
+         "queue capacity must be a power of two");
+}
+
+uint64_t EventQueue::reserve() {
+  uint64_t Index = WriteHead.fetch_add(1, std::memory_order_relaxed);
+  // Wait for the consumer if the ring has wrapped onto unread entries.
+  unsigned Spins = 0;
+  while (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size()) {
+    if (++Spins > 64) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+  return Index;
+}
+
+void EventQueue::commit(uint64_t Index) {
+  // Publication happens in virtual-index order so the consumer can treat
+  // everything below CommitIndex as complete. (On the GPU this ordering
+  // is enforced with system-scope fences; std::atomic release/acquire
+  // plays that role here.)
+  unsigned Spins = 0;
+  while (CommitIndex.load(std::memory_order_acquire) != Index) {
+    if (++Spins > 64) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+  CommitIndex.store(Index + 1, std::memory_order_release);
+}
+
+void EventQueue::push(const LogRecord &Record) {
+  uint64_t Index = reserve();
+  slot(Index) = Record;
+  commit(Index);
+}
+
+bool EventQueue::pop(LogRecord &Out) {
+  uint64_t Head = ReadHead.load(std::memory_order_relaxed);
+  if (Head == CommitIndex.load(std::memory_order_acquire))
+    return false;
+  Out = Ring[Head & Mask];
+  ReadHead.store(Head + 1, std::memory_order_release);
+  return true;
+}
+
+size_t EventQueue::drain(LogRecord *Out, size_t Max) {
+  uint64_t Head = ReadHead.load(std::memory_order_relaxed);
+  uint64_t Committed = CommitIndex.load(std::memory_order_acquire);
+  size_t Count = 0;
+  while (Head != Committed && Count != Max) {
+    Out[Count++] = Ring[Head & Mask];
+    ++Head;
+  }
+  if (Count)
+    ReadHead.store(Head, std::memory_order_release);
+  return Count;
+}
+
+QueueSet::QueueSet(unsigned NumQueues, size_t CapacityPow2) {
+  assert(NumQueues != 0 && "need at least one queue");
+  Queues.reserve(NumQueues);
+  for (unsigned I = 0; I != NumQueues; ++I)
+    Queues.push_back(std::make_unique<EventQueue>(CapacityPow2));
+}

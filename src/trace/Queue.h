@@ -1,0 +1,126 @@
+//===- Queue.h - lock-free device-to-host event queues --------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock-free queue of Figure 6. Queue contents are tracked by three
+/// monotonically increasing virtual indices — a write head (next slot a
+/// producer may reserve), a commit index (boundary of records visible to
+/// the consumer) and a read head (next record the consumer will take) —
+/// mapped to physical slots modulo the queue size. The queue is full when
+/// the write head is queue-size entries ahead of the read head.
+///
+/// In the paper the producers are GPU warps (a leader lane reserves a
+/// slot, all lanes fill their addresses, the leader bumps the commit
+/// index) and the consumer is a host race-detector thread; here the
+/// producers are simulator worker threads standing in for warps. A
+/// QueueSet routes every thread block to a single queue (multiple blocks
+/// may share one), which lets the consumer thread own all shared-memory
+/// state for its blocks without locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_TRACE_QUEUE_H
+#define BARRACUDA_TRACE_QUEUE_H
+
+#include "trace/Record.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace barracuda {
+namespace trace {
+
+/// A single bounded multi-producer single-consumer record queue.
+class EventQueue {
+public:
+  /// \p CapacityPow2 must be a power of two.
+  explicit EventQueue(size_t CapacityPow2 = 1 << 14);
+
+  EventQueue(const EventQueue &) = delete;
+  EventQueue &operator=(const EventQueue &) = delete;
+
+  size_t capacity() const { return Ring.size(); }
+
+  /// Producer: reserves the next slot, spinning while the queue is full.
+  /// Returns the virtual index of the reserved slot.
+  uint64_t reserve();
+
+  /// Producer: the physical record backing virtual index \p Index.
+  LogRecord &slot(uint64_t Index) { return Ring[Index & Mask]; }
+
+  /// Producer: publishes slot \p Index. Publication is in virtual-index
+  /// order: commits wait for all earlier reservations to commit first.
+  void commit(uint64_t Index);
+
+  /// Convenience: reserve + copy + commit.
+  void push(const LogRecord &Record);
+
+  /// Consumer: pops one committed record. Returns false if none is ready.
+  bool pop(LogRecord &Out);
+
+  /// Consumer: pops up to \p Max committed records; returns the count.
+  size_t drain(LogRecord *Out, size_t Max);
+
+  /// Number of committed-but-unread records (consumer-side estimate).
+  size_t pendingApprox() const {
+    return static_cast<size_t>(CommitIndex.load(std::memory_order_acquire) -
+                               ReadHead.load(std::memory_order_relaxed));
+  }
+
+  /// Marks the producer side closed; consumers drain what remains.
+  void close() { Closed.store(true, std::memory_order_release); }
+  bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+  /// True when closed and fully drained.
+  bool exhausted() const {
+    return closed() && ReadHead.load(std::memory_order_acquire) ==
+                           CommitIndex.load(std::memory_order_acquire);
+  }
+
+private:
+  std::vector<LogRecord> Ring;
+  uint64_t Mask;
+  // Padded to separate producer- and consumer-hot lines.
+  alignas(64) std::atomic<uint64_t> WriteHead{0};
+  alignas(64) std::atomic<uint64_t> CommitIndex{0};
+  alignas(64) std::atomic<uint64_t> ReadHead{0};
+  alignas(64) std::atomic<bool> Closed{false};
+};
+
+/// A collection of queues with the paper's block-to-queue routing.
+class QueueSet {
+public:
+  QueueSet(unsigned NumQueues, size_t CapacityPow2);
+
+  unsigned size() const { return static_cast<unsigned>(Queues.size()); }
+
+  EventQueue &queue(unsigned Index) { return *Queues[Index]; }
+
+  /// Every thread block sends all its events to a single queue.
+  unsigned queueIndexForBlock(uint32_t BlockId) const {
+    return BlockId % size();
+  }
+
+  EventQueue &queueForBlock(uint32_t BlockId) {
+    return *Queues[queueIndexForBlock(BlockId)];
+  }
+
+  void closeAll() {
+    for (auto &Queue : Queues)
+      Queue->close();
+  }
+
+private:
+  std::vector<std::unique_ptr<EventQueue>> Queues;
+};
+
+} // namespace trace
+} // namespace barracuda
+
+#endif // BARRACUDA_TRACE_QUEUE_H

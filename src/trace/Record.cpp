@@ -1,0 +1,38 @@
+//===- Record.cpp - warp-level trace operations and log records -----------===//
+
+#include "trace/Record.h"
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+const char *trace::recordOpName(RecordOp Op) {
+  switch (Op) {
+  case RecordOp::Invalid:
+    return "invalid";
+  case RecordOp::Read:
+    return "read";
+  case RecordOp::Write:
+    return "write";
+  case RecordOp::Atom:
+    return "atom";
+  case RecordOp::Acq:
+    return "acq";
+  case RecordOp::Rel:
+    return "rel";
+  case RecordOp::AcqRel:
+    return "acqrel";
+  case RecordOp::If:
+    return "if";
+  case RecordOp::Else:
+    return "else";
+  case RecordOp::Fi:
+    return "fi";
+  case RecordOp::Bar:
+    return "bar";
+  case RecordOp::WarpEnd:
+    return "warpend";
+  case RecordOp::BlockEnd:
+    return "blockend";
+  }
+  return "invalid";
+}

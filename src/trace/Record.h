@@ -1,0 +1,133 @@
+//===- Record.h - warp-level trace operations and log records -------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-operation vocabulary of Section 3.1 and the fixed-size log
+/// record of Section 4.2 (Figure 6). A record carries one operation for an
+/// entire warp: the warp id, operation kind, a 32-bit active mask, and 32
+/// per-lane address slots. The paper's record is 16 + 8*32 = 272 bytes;
+/// ours adds one 4-byte ordering ticket (padded to 8) for synchronization
+/// records, so that the host threads draining different queues process
+/// releases and acquires in their true device order — 280 bytes total.
+/// The endi(w) operation is implicit: the detector performs the ENDINSN
+/// rule after consuming each warp-level memory record, which is
+/// equivalent to (and cheaper than) logging explicit endi records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_TRACE_RECORD_H
+#define BARRACUDA_TRACE_RECORD_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace barracuda {
+namespace trace {
+
+/// Number of threads per warp. Fixed at 32 like every shipped Nvidia
+/// architecture; the record layout depends on it.
+constexpr unsigned WarpSize = 32;
+
+/// Warp-level record operations. Rd/Wr/Atom carry per-lane addresses;
+/// Acq/Rel/AcqRel are the inferred synchronization bundles of Section 3.1;
+/// If/Else/Fi are the branch operations; Bar is a block barrier arrival.
+enum class RecordOp : uint8_t {
+  Invalid = 0,
+  Read,      ///< rd(t,x) for each active lane
+  Write,     ///< wr(t,x) for each active lane
+  Atom,      ///< atm(t,x) for each active lane
+  Acq,       ///< acqBlk/acqGlb depending on scope()
+  Rel,       ///< relBlk/relGlb
+  AcqRel,    ///< arBlk/arGlb (fence-sandwiched atomic)
+  If,        ///< warp executes a divergent branch; mask = then set
+  Else,      ///< warp switches to the else path; mask = else set
+  Fi,        ///< warp reconverges; mask = merged set
+  Bar,       ///< bar.sync arrival for this warp
+  WarpEnd,   ///< all lanes of this warp have exited
+  BlockEnd,  ///< all warps of the block have exited
+};
+
+/// Address-space of the accessed locations in a record.
+enum class MemSpace : uint8_t {
+  Global = 0,
+  Shared = 1,
+};
+
+/// Synchronization scope for Acq/Rel/AcqRel records.
+enum class SyncScope : uint8_t {
+  Block = 0,  ///< membar.cta-backed
+  Global = 1, ///< membar.gl / membar.sys-backed
+};
+
+/// The 272-byte record communicated from the device to the host detector.
+struct LogRecord {
+  uint32_t Warp = 0;       ///< globally unique warp index within the grid
+  uint8_t Op = 0;          ///< RecordOp
+  uint8_t SpaceScope = 0;  ///< bit 0: MemSpace, bit 1: SyncScope
+  uint16_t AccessSize = 0; ///< bytes per lane access (memory records)
+  uint32_t Pc = 0;         ///< instruction index within the kernel
+  uint32_t ActiveMask = 0; ///< lanes participating in this operation
+  /// 1-based global ordering ticket for Acq/Rel/AcqRel records (0 on all
+  /// other records). Detector threads process synchronization records in
+  /// ticket order across queues.
+  uint32_t SyncSeq = 0;
+  uint64_t Addr[WarpSize] = {}; ///< per-lane addresses / auxiliary payload
+
+  RecordOp op() const { return static_cast<RecordOp>(Op); }
+  MemSpace space() const { return static_cast<MemSpace>(SpaceScope & 1); }
+  SyncScope scope() const {
+    return static_cast<SyncScope>((SpaceScope >> 1) & 1);
+  }
+
+  void setOp(RecordOp NewOp) { Op = static_cast<uint8_t>(NewOp); }
+  void setSpace(MemSpace Space) {
+    SpaceScope = static_cast<uint8_t>((SpaceScope & ~1u) |
+                                      static_cast<uint8_t>(Space));
+  }
+  void setScope(SyncScope Scope) {
+    SpaceScope = static_cast<uint8_t>(
+        (SpaceScope & ~2u) | (static_cast<uint8_t>(Scope) << 1));
+  }
+
+  /// For If records: the else-path active mask rides in Addr[0].
+  uint32_t elseMask() const { return static_cast<uint32_t>(Addr[0]); }
+  void setElseMask(uint32_t Mask) { Addr[0] = Mask; }
+};
+
+static_assert(sizeof(LogRecord) == 280,
+              "LogRecord is the paper's 272-byte record plus the 8-byte "
+              "sync-ordering ticket");
+
+/// Builder helpers used by the simulator's logging hooks and by tests.
+inline LogRecord makeMemRecord(RecordOp Op, uint32_t Warp, uint32_t Pc,
+                               MemSpace Space, uint16_t Size,
+                               uint32_t ActiveMask) {
+  LogRecord Record;
+  Record.Warp = Warp;
+  Record.setOp(Op);
+  Record.setSpace(Space);
+  Record.AccessSize = Size;
+  Record.Pc = Pc;
+  Record.ActiveMask = ActiveMask;
+  return Record;
+}
+
+inline LogRecord makeControlRecord(RecordOp Op, uint32_t Warp, uint32_t Pc,
+                                   uint32_t ActiveMask) {
+  LogRecord Record;
+  Record.Warp = Warp;
+  Record.setOp(Op);
+  Record.Pc = Pc;
+  Record.ActiveMask = ActiveMask;
+  return Record;
+}
+
+const char *recordOpName(RecordOp Op);
+
+} // namespace trace
+} // namespace barracuda
+
+#endif // BARRACUDA_TRACE_RECORD_H

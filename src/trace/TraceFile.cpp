@@ -1,0 +1,99 @@
+//===- TraceFile.cpp - on-disk trace recording and replay ------------------===//
+
+#include "trace/TraceFile.h"
+
+#include <cstring>
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+static const char Magic[4] = {'B', 'C', 'U', 'D'};
+static constexpr uint32_t FormatVersion = 1;
+
+TraceWriter::~TraceWriter() {
+  if (Out)
+    std::fclose(Out);
+}
+
+bool TraceWriter::open(const std::string &Path, const TraceHeader &Header) {
+  Out = std::fopen(Path.c_str(), "wb");
+  if (!Out)
+    return false;
+  uint32_t NameLen = static_cast<uint32_t>(Header.KernelName.size());
+  Failed = std::fwrite(Magic, 1, 4, Out) != 4 ||
+           std::fwrite(&FormatVersion, 4, 1, Out) != 1 ||
+           std::fwrite(&Header.ThreadsPerBlock, 4, 1, Out) != 1 ||
+           std::fwrite(&Header.WarpsPerBlock, 4, 1, Out) != 1 ||
+           std::fwrite(&Header.WarpSize, 4, 1, Out) != 1 ||
+           std::fwrite(&NameLen, 4, 1, Out) != 1 ||
+           (NameLen &&
+            std::fwrite(Header.KernelName.data(), 1, NameLen, Out) !=
+                NameLen);
+  return !Failed;
+}
+
+bool TraceWriter::append(uint32_t BlockId, const LogRecord &Record) {
+  if (!Out || Failed)
+    return false;
+  Failed = std::fwrite(&BlockId, 4, 1, Out) != 1 ||
+           std::fwrite(&Record, sizeof(Record), 1, Out) != 1;
+  if (!Failed)
+    ++Records;
+  return !Failed;
+}
+
+bool TraceWriter::close() {
+  if (!Out)
+    return !Failed;
+  bool Ok = std::fclose(Out) == 0 && !Failed;
+  Out = nullptr;
+  return Ok;
+}
+
+bool TraceReader::read(const std::string &Path) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    ErrorMessage = "cannot open '" + Path + "'";
+    return false;
+  }
+
+  char FileMagic[4];
+  uint32_t Version = 0, NameLen = 0;
+  bool HeaderOk =
+      std::fread(FileMagic, 1, 4, In) == 4 &&
+      std::memcmp(FileMagic, Magic, 4) == 0 &&
+      std::fread(&Version, 4, 1, In) == 1 && Version == FormatVersion &&
+      std::fread(&Header.ThreadsPerBlock, 4, 1, In) == 1 &&
+      std::fread(&Header.WarpsPerBlock, 4, 1, In) == 1 &&
+      std::fread(&Header.WarpSize, 4, 1, In) == 1 &&
+      std::fread(&NameLen, 4, 1, In) == 1 && NameLen < 4096;
+  if (!HeaderOk) {
+    ErrorMessage = "not a BARRACUDA trace (bad header)";
+    std::fclose(In);
+    return false;
+  }
+  Header.KernelName.resize(NameLen);
+  if (NameLen &&
+      std::fread(Header.KernelName.data(), 1, NameLen, In) != NameLen) {
+    ErrorMessage = "truncated header";
+    std::fclose(In);
+    return false;
+  }
+
+  for (;;) {
+    uint32_t BlockId;
+    size_t Got = std::fread(&BlockId, 4, 1, In);
+    if (Got != 1)
+      break; // clean EOF
+    LogRecord Record;
+    if (std::fread(&Record, sizeof(Record), 1, In) != 1) {
+      ErrorMessage = "truncated record stream";
+      std::fclose(In);
+      return false;
+    }
+    BlockIds.push_back(BlockId);
+    Records.push_back(Record);
+  }
+  std::fclose(In);
+  return true;
+}

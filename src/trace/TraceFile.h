@@ -1,0 +1,91 @@
+//===- TraceFile.h - on-disk trace recording and replay --------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple binary container for recorded executions: the launch
+/// hierarchy (so a detector can be reconstructed) followed by the raw
+/// record stream in device emission order, each entry tagged with its
+/// originating thread block. Recording decouples the expensive dynamic
+/// part (execution + logging) from analysis: `barracuda-run --record`
+/// writes a trace, `barracuda-replay` race-checks it offline, possibly
+/// many times with different detector settings.
+///
+/// Format (native-endian):
+///   magic "BCUD" | u32 version | u32 threadsPerBlock
+///   | u32 warpsPerBlock | u32 warpSize | u32 nameLen | name bytes
+///   | { u32 blockId | LogRecord } *
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_TRACE_TRACEFILE_H
+#define BARRACUDA_TRACE_TRACEFILE_H
+
+#include "trace/Record.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace trace {
+
+/// Launch metadata carried in the trace header.
+struct TraceHeader {
+  uint32_t ThreadsPerBlock = 0;
+  uint32_t WarpsPerBlock = 0;
+  uint32_t WarpSize = 32;
+  std::string KernelName;
+};
+
+/// Streams records to a file. Not thread-safe; feed it from a single
+/// collector (or use it behind a lock).
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter();
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Opens \p Path and writes the header. False on I/O failure.
+  bool open(const std::string &Path, const TraceHeader &Header);
+
+  /// Appends one record. False on I/O failure.
+  bool append(uint32_t BlockId, const LogRecord &Record);
+
+  /// Flushes and closes. False if any write failed.
+  bool close();
+
+  uint64_t recordsWritten() const { return Records; }
+
+private:
+  std::FILE *Out = nullptr;
+  uint64_t Records = 0;
+  bool Failed = false;
+};
+
+/// Loads a whole trace into memory.
+class TraceReader {
+public:
+  /// Reads \p Path. False on I/O or format error; see error().
+  bool read(const std::string &Path);
+
+  const std::string &error() const { return ErrorMessage; }
+  const TraceHeader &header() const { return Header; }
+  const std::vector<uint32_t> &blockIds() const { return BlockIds; }
+  const std::vector<LogRecord> &records() const { return Records; }
+
+private:
+  TraceHeader Header;
+  std::vector<uint32_t> BlockIds;
+  std::vector<LogRecord> Records;
+  std::string ErrorMessage;
+};
+
+} // namespace trace
+} // namespace barracuda
+
+#endif // BARRACUDA_TRACE_TRACEFILE_H

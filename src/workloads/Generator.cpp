@@ -1,0 +1,251 @@
+//===- Generator.cpp - synthetic Table 1 benchmark generator ---------------===//
+
+#include "workloads/Generator.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::workloads;
+using support::formatString;
+
+namespace {
+
+/// Emits instructions while counting them, so the generated kernel hits
+/// the spec's static instruction count exactly.
+class Emitter {
+public:
+  void insn(const std::string &Text) {
+    Out += "    " + Text + "\n";
+    ++Count;
+  }
+  void label(const std::string &Name) { Out += Name + ":\n"; }
+
+  unsigned count() const { return Count; }
+  const std::string &text() const { return Out; }
+
+private:
+  std::string Out;
+  unsigned Count = 0;
+};
+
+} // namespace
+
+GeneratedBenchmark
+workloads::generateBenchmark(const BenchmarkSpec &Spec,
+                             const GeneratorOptions &Options) {
+  GeneratedBenchmark Bench;
+  Bench.Name = Spec.Name;
+  Bench.KernelName = Spec.Name;
+  Bench.Block = sim::Dim3(Spec.ThreadsPerBlock);
+  uint32_t FullBlocks = static_cast<uint32_t>(
+      (Spec.TotalThreads + Spec.ThreadsPerBlock - 1) /
+      Spec.ThreadsPerBlock);
+  Bench.FullGrid = sim::Dim3(FullBlocks);
+  uint64_t MaxThreads = Options.MaxMeasureThreads
+                            ? Options.MaxMeasureThreads
+                            : Spec.TotalThreads;
+  uint32_t MeasureBlocks = FullBlocks;
+  if (static_cast<uint64_t>(FullBlocks) * Spec.ThreadsPerBlock > MaxThreads)
+    MeasureBlocks = static_cast<uint32_t>(
+        std::max<uint64_t>(1, MaxThreads / Spec.ThreadsPerBlock));
+  Bench.MeasureGrid = sim::Dim3(MeasureBlocks);
+  Bench.DataBytes = 4096 + 16ULL * Bench.measuredThreads();
+  Bench.FootprintMB = Spec.GlobalMemMB;
+  Bench.ExpectedRaces = Spec.racesTotal();
+
+  Emitter E;
+
+  // Prolog: thread identity and the thread's private 16-byte slot.
+  E.insn("ld.param.u64 %rd1, [data];");
+  E.insn("mov.u32 %r1, %tid.x;");
+  E.insn("mov.u32 %r2, %ctaid.x;");
+  E.insn("mov.u32 %r3, %ntid.x;");
+  E.insn("mad.lo.u32 %r4, %r2, %r3, %r1;");
+  E.insn("cvt.u64.u32 %rd3, %r4;");
+  E.insn("shl.b64 %rd3, %rd3, 4;");
+  E.insn("add.u64 %rd4, %rd1, %rd3;");
+  E.insn("add.u64 %rd4, %rd4, 4096;");
+
+  // Planted race sites: the first warp of block 0 stores conflicting
+  // values (one static store per reported race).
+  E.insn("setp.ge.u32 %p1, %r4, 32;");
+  E.insn("@%p1 bra WORK;");
+  for (uint32_t I = 0; I != Spec.RacesShared; ++I)
+    E.insn(formatString("st.shared.u32 [tile+%u], %%r1;", 4 * I));
+  for (uint32_t I = 0; I != Spec.RacesGlobal; ++I)
+    E.insn(formatString("st.global.u32 [%%rd1+%u], %%r1;", 4 * I));
+  E.label("WORK");
+
+  // Dynamic working loop: DynamicMemOps accesses to the private slot
+  // with DynamicAluOps of arithmetic per iteration.
+  uint32_t Iters = std::max<uint32_t>(1, Spec.DynamicMemOps / 2);
+  E.insn("mov.u32 %r5, 0;");
+  E.insn("mov.u32 %r6, %r4;");
+  E.insn("mov.u32 %r7, 2654435769;");
+  E.label("DLOOP");
+  E.insn("st.global.u32 [%rd4], %r6;");
+  for (uint32_t I = 0; I != Spec.DynamicAluOps; ++I) {
+    switch (I % 4) {
+    case 0:
+      E.insn("xor.b32 %r6, %r6, %r7;");
+      break;
+    case 1:
+      E.insn("add.u32 %r7, %r7, %r6;");
+      break;
+    case 2:
+      E.insn("shl.b32 %r6, %r6, 1;");
+      break;
+    default:
+      E.insn("add.u32 %r6, %r6, %r5;");
+      break;
+    }
+  }
+  E.insn("ld.global.u32 %r8, [%rd4+8];");
+  // Kernels with redundant access patterns re-read the address they
+  // just loaded; the pruning optimization elides the duplicate log at
+  // runtime (the "dyn saved" column of the Figure 9 harness).
+  if (Spec.RedundantMix >= 0.2)
+    E.insn("ld.global.u32 %r9, [%rd4+8];");
+  E.insn("add.u32 %r5, %r5, 1;");
+  E.insn(formatString("setp.lt.u32 %%p2, %%r5, %u;", Iters));
+  E.insn("@%p2 bra DLOOP;");
+  E.insn("bra.uni FIN;");
+
+  // Large programs (the CUB samples especially) consist of several
+  // kernels; carve secondary kernels out of the static budget so the
+  // module shape matches. Column 3 of Table 1 is the *largest* kernel's
+  // threads, which stays the primary kernel here.
+  unsigned SecondaryKernels =
+      Spec.StaticInsns >= 4000 ? 2 : (Spec.StaticInsns >= 1500 ? 1 : 0);
+  unsigned PerSecondary =
+      SecondaryKernels ? Spec.StaticInsns / (4 * SecondaryKernels) : 0;
+
+  // Static filler: the cold bulk of the program. Never executed, but it
+  // determines the static instrumentation profile of Figure 9.
+  assert(Spec.StaticInsns >
+             E.count() + 8 + SecondaryKernels * PerSecondary &&
+         "spec's static size too small for its dynamic skeleton");
+  unsigned Target =
+      Spec.StaticInsns - 1 - SecondaryKernels * PerSecondary;
+  support::Rng Rng(Options.Seed ^ (Spec.StaticInsns * 2654435761ULL));
+  unsigned PendingLabel = 0;   // countdown to place an open branch label
+  unsigned LabelCounter = 0;
+  bool LastWasStore = false;
+  unsigned LastOffset = 0;
+  bool HaveLastAccess = false;
+
+  while (E.count() < Target) {
+    unsigned Remaining = Target - E.count();
+    if (PendingLabel > 0 && --PendingLabel == 0)
+      E.label(formatString("FL%u", LabelCounter));
+
+    double Roll = Rng.nextDouble();
+    if (Roll < Spec.MemMix && Remaining >= 2) {
+      // A memory/sync operation. Occasionally emit a redundant re-read
+      // of the previous address (prunable), a fence bundle, or an
+      // atomic; otherwise a fresh load or store.
+      double Kind = Rng.nextDouble();
+      if (HaveLastAccess && Kind < Spec.RedundantMix) {
+        E.insn(formatString("ld.global.u32 %%r9, [%%rd4+%u];", LastOffset));
+        (void)LastWasStore;
+      } else if (Kind < Spec.RedundantMix + 0.06 && Remaining >= 3) {
+        E.insn("membar.gl;");
+        E.insn("st.global.u32 [%rd4+12], %r6;");
+        HaveLastAccess = false;
+      } else if (Kind < Spec.RedundantMix + 0.12) {
+        E.insn("atom.global.add.u32 %r9, [%rd4], 1;");
+        HaveLastAccess = false;
+      } else {
+        LastOffset = static_cast<unsigned>(Rng.nextBelow(4)) * 4;
+        if (Rng.chance(1, 2)) {
+          E.insn(formatString("st.global.u32 [%%rd4+%u], %%r6;",
+                              LastOffset));
+          LastWasStore = true;
+        } else {
+          E.insn(formatString("ld.global.u32 %%r9, [%%rd4+%u];",
+                              LastOffset));
+          LastWasStore = false;
+        }
+        HaveLastAccess = true;
+      }
+    } else if (Roll < Spec.MemMix + 0.02 && PendingLabel == 0 &&
+               Remaining >= 10) {
+      // A (potentially divergent) guarded branch over a few insns.
+      ++LabelCounter;
+      E.insn("setp.lt.u32 %p3, %r6, %r7;");
+      E.insn(formatString("@%%p3 bra FL%u;", LabelCounter));
+      PendingLabel = 4 + static_cast<unsigned>(Rng.nextBelow(4));
+      HaveLastAccess = false;
+    } else {
+      switch (Rng.nextBelow(5)) {
+      case 0:
+        E.insn("add.u32 %r6, %r6, %r7;");
+        break;
+      case 1:
+        E.insn("xor.b32 %r7, %r7, %r6;");
+        break;
+      case 2:
+        E.insn("mul.lo.u32 %r9, %r6, %r7;");
+        break;
+      case 3:
+        E.insn("shr.u32 %r9, %r6, 3;");
+        break;
+      default:
+        E.insn("min.u32 %r9, %r6, %r7;");
+        break;
+      }
+    }
+  }
+  // Close any open branch label before the exit point.
+  if (PendingLabel > 0)
+    E.label(formatString("FL%u", LabelCounter));
+  E.label("FIN");
+  E.insn("ret;");
+  assert(E.count() == Target + 1 && "static size mismatch");
+
+  std::string SharedDecl = formatString(
+      "    .shared .align 4 .b8 tile[%u];\n",
+      std::max<uint32_t>(512, 4 * Spec.RacesShared + 64));
+
+  Bench.Ptx = ".version 4.3\n.target sm_35\n.address_size 64\n\n";
+  Bench.Ptx += ".visible .entry " + Spec.Name + "(\n    .param .u64 data\n)\n{\n";
+  Bench.Ptx += "    .reg .u64 %rd<10>;\n    .reg .u32 %r<12>;\n"
+               "    .reg .pred %p<5>;\n";
+  Bench.Ptx += SharedDecl;
+  Bench.Ptx += E.text();
+  Bench.Ptx += "}\n";
+
+  // Secondary kernels: setup/teardown-style code that the measurement
+  // never launches but the static columns include.
+  for (unsigned Kernel = 0; Kernel != SecondaryKernels; ++Kernel) {
+    Emitter Side;
+    Side.insn("ld.param.u64 %rd1, [data];");
+    Side.insn("mov.u32 %r1, %tid.x;");
+    Side.insn("cvt.u64.u32 %rd3, %r1;");
+    Side.insn("shl.b64 %rd3, %rd3, 2;");
+    Side.insn("add.u64 %rd4, %rd1, %rd3;");
+    Side.insn("mov.u32 %r6, %r1;");
+    Side.insn("mov.u32 %r7, 40503;");
+    while (Side.count() + 1 < PerSecondary) {
+      if (Rng.nextDouble() < Spec.MemMix)
+        Side.insn(Rng.chance(1, 2)
+                      ? "ld.global.u32 %r9, [%rd4];"
+                      : "st.global.u32 [%rd4], %r6;");
+      else
+        Side.insn(Rng.chance(1, 2) ? "add.u32 %r6, %r6, %r7;"
+                                   : "xor.b32 %r7, %r7, %r6;");
+    }
+    Side.insn("ret;");
+    Bench.Ptx += formatString("\n.visible .entry %s_aux%u(\n"
+                              "    .param .u64 data\n)\n{\n",
+                              Spec.Name.c_str(), Kernel);
+    Bench.Ptx += "    .reg .u64 %rd<10>;\n    .reg .u32 %r<12>;\n"
+                 "    .reg .pred %p<5>;\n";
+    Bench.Ptx += Side.text();
+    Bench.Ptx += "}\n";
+  }
+  return Bench;
+}

@@ -1,0 +1,80 @@
+//===- Generator.h - synthetic Table 1 benchmark generator -----------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministically generates a PTX program for a Table 1 benchmark
+/// spec. The generated kernel has:
+///
+///   * exactly the spec's static instruction count, with an instruction
+///     mix (memory/sync/branch vs arithmetic, and redundant re-accesses)
+///     that reproduces the benchmark's Figure 9 instrumented fraction;
+///   * a dynamic working section: every thread streams over its private
+///     slots for the spec's number of memory operations (Figure 10's
+///     record volume), while the bulk of the static body sits behind a
+///     never-taken branch, as cold code does in the real programs;
+///   * planted race sites matching the "races found" column: one static
+///     store per race, executed conflictingly by warp 0 of block 0, in
+///     shared or global memory as the paper reports;
+///   * the spec's global-memory footprint allocated on the device.
+///
+/// The launch geometry can be the paper's full geometry (up to 1,048,576
+/// threads) or a capped measurement geometry for host-friendly runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_WORKLOADS_GENERATOR_H
+#define BARRACUDA_WORKLOADS_GENERATOR_H
+
+#include "sim/LaunchConfig.h"
+#include "workloads/Table1.h"
+
+#include <string>
+
+namespace barracuda {
+namespace workloads {
+
+/// A generated benchmark, ready to load into a Session.
+struct GeneratedBenchmark {
+  std::string Name;
+  std::string Ptx;
+  std::string KernelName;
+  /// The paper's launch geometry (column 3).
+  sim::Dim3 FullGrid;
+  sim::Dim3 Block;
+  /// The geometry actually used for measurement (threads capped).
+  sim::Dim3 MeasureGrid;
+  /// Bytes for the kernel's working buffer (param 0).
+  uint64_t DataBytes = 0;
+  /// Additional allocation reproducing the footprint column, in MB.
+  uint64_t FootprintMB = 0;
+  /// Expected distinct races when run under the detector.
+  uint32_t ExpectedRaces = 0;
+
+  uint64_t fullThreads() const {
+    return static_cast<uint64_t>(FullGrid.X) * Block.X;
+  }
+  uint64_t measuredThreads() const {
+    return static_cast<uint64_t>(MeasureGrid.X) * Block.X;
+  }
+};
+
+/// Generation knobs.
+struct GeneratorOptions {
+  /// Cap on threads in the measurement geometry (0 = no cap).
+  uint64_t MaxMeasureThreads = 65536;
+  /// Seed for the deterministic filler mix.
+  uint64_t Seed = 0xBACC0DA;
+};
+
+/// Generates the synthetic program for \p Spec.
+GeneratedBenchmark generateBenchmark(const BenchmarkSpec &Spec,
+                                     const GeneratorOptions &Options =
+                                         GeneratorOptions());
+
+} // namespace workloads
+} // namespace barracuda
+
+#endif // BARRACUDA_WORKLOADS_GENERATOR_H

@@ -1,0 +1,62 @@
+//===- Table1.h - the paper's benchmark inventory ---------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specifications for the 26 benchmarks of Table 1 (Rodinia 3.1, GPU-TM
+/// hashtable, SHOC bfs, CUDA SDK samples, and CUB samples). The original
+/// programs are proprietary-toolchain CUDA applications; we regenerate
+/// synthetic PTX with matched observable characteristics — static
+/// instruction count, instruction mix (hence instrumented fraction),
+/// total threads of the largest kernel, global memory footprint, and
+/// planted races matching the "races found" column — so that the tool
+/// paths measured by Table 1 and Figures 9/10 are exercised the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_WORKLOADS_TABLE1_H
+#define BARRACUDA_WORKLOADS_TABLE1_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace workloads {
+
+/// One Table 1 row's generation parameters.
+struct BenchmarkSpec {
+  std::string Name;
+  std::string Origin; ///< rodinia / gpu-tm / shoc / sdk / cub
+  uint32_t StaticInsns;    ///< column 2
+  uint64_t TotalThreads;   ///< column 3 (largest kernel)
+  uint32_t ThreadsPerBlock;
+  uint64_t GlobalMemMB;    ///< column 4
+  uint32_t RacesShared;    ///< column 5
+  uint32_t RacesGlobal;    ///< column 5
+  /// Fraction of static instructions that are memory/sync/branch ops —
+  /// controls the Figure 9 instrumented fraction.
+  double MemMix;
+  /// Fraction of static memory filler that repeats the previous access
+  /// (prunable by the redundant-logging optimization).
+  double RedundantMix;
+  /// Per-thread dynamic global accesses (drives Figure 10 overhead).
+  uint32_t DynamicMemOps;
+  /// Per-thread dynamic arithmetic iterations between accesses.
+  uint32_t DynamicAluOps;
+
+  uint32_t racesTotal() const { return RacesShared + RacesGlobal; }
+};
+
+/// All 26 rows of Table 1.
+const std::vector<BenchmarkSpec> &table1Specs();
+
+/// Finds a spec by name (null if absent).
+const BenchmarkSpec *findSpec(const std::string &Name);
+
+} // namespace workloads
+} // namespace barracuda
+
+#endif // BARRACUDA_WORKLOADS_TABLE1_H

@@ -1,0 +1,123 @@
+//===- CfgTest.cpp - control-flow graph and post-dominator tests ------------===//
+
+#include "ptx/Cfg.h"
+#include "ptx/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+namespace {
+
+std::unique_ptr<Module> parseKernel(const std::string &Body) {
+  return parseOrDie(
+      ".version 4.3\n.target sm_35\n"
+      ".visible .entry k(\n    .param .u64 p0\n)\n{\n"
+      "    .reg .u64 %rd<4>;\n    .reg .u32 %r<6>;\n"
+      "    .reg .pred %p<4>;\n" +
+      Body + "}\n");
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  auto M = parseKernel("    ld.param.u64 %rd1, [p0];\n"
+                       "    mov.u32 %r1, %tid.x;\n"
+                       "    st.global.u32 [%rd1], %r1;\n"
+                       "    ret;\n");
+  Cfg G(M->Kernels[0]);
+  EXPECT_EQ(G.blocks().size(), 1u);
+  EXPECT_EQ(G.blocks()[0].Succs.size(), 1u);
+  EXPECT_EQ(G.blocks()[0].Succs[0], G.exitId());
+}
+
+TEST(Cfg, NestedDiamonds) {
+  auto M = parseKernel(R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 16;
+    @%p1 bra OUTER_THEN;
+    mov.u32 %r2, 1;
+    bra.uni OUTER_JOIN;
+OUTER_THEN:
+    setp.lt.u32 %p2, %r1, 8;
+    @%p2 bra INNER_THEN;
+    mov.u32 %r2, 2;
+    bra.uni INNER_JOIN;
+INNER_THEN:
+    mov.u32 %r2, 3;
+INNER_JOIN:
+    mov.u32 %r3, %r2;
+OUTER_JOIN:
+    st.global.u32 [%rd1], %r2;
+    ret;
+)");
+  const Kernel &K = M->Kernels[0];
+  Cfg G(K);
+  // Outer branch (index 3) reconverges at OUTER_JOIN; inner branch
+  // (index 7) at INNER_JOIN.
+  EXPECT_EQ(G.reconvergencePoint(3), K.Labels.at("OUTER_JOIN"));
+  EXPECT_EQ(G.reconvergencePoint(7), K.Labels.at("INNER_JOIN"));
+  // The outer join block post-dominates everything.
+  uint32_t OuterJoin = G.blockOf(K.Labels.at("OUTER_JOIN"));
+  for (uint32_t B = 0; B != G.blocks().size(); ++B)
+    EXPECT_TRUE(G.postDominates(OuterJoin, B)) << "block " << B;
+  // The inner join does not post-dominate the else side of the outer
+  // branch.
+  uint32_t InnerJoin = G.blockOf(K.Labels.at("INNER_JOIN"));
+  uint32_t OuterElse = G.blockOf(4);
+  EXPECT_FALSE(G.postDominates(InnerJoin, OuterElse));
+}
+
+TEST(Cfg, LoopWithInternalBranch) {
+  auto M = parseKernel(R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, 0;
+LOOP:
+    add.u32 %r1, %r1, 1;
+    and.b32 %r2, %r1, 1;
+    setp.eq.u32 %p1, %r2, 0;
+    @%p1 bra SKIP;
+    st.global.u32 [%rd1], %r1;
+SKIP:
+    setp.lt.u32 %p2, %r1, 10;
+    @%p2 bra LOOP;
+    ret;
+)");
+  const Kernel &K = M->Kernels[0];
+  Cfg G(K);
+  // The intra-loop branch reconverges at SKIP, inside the loop.
+  EXPECT_EQ(G.reconvergencePoint(5), K.Labels.at("SKIP"));
+  // The back edge reconverges at the loop exit (the ret).
+  uint32_t BackEdge = K.Labels.at("SKIP") + 1;
+  EXPECT_EQ(G.reconvergencePoint(BackEdge),
+            static_cast<uint32_t>(K.Body.size()) - 1);
+}
+
+TEST(Cfg, InfiniteLoopPostDominatedByExitFallback) {
+  auto M = parseKernel("    ld.param.u64 %rd1, [p0];\n"
+                       "SPIN:\n"
+                       "    bra.uni SPIN;\n");
+  Cfg G(M->Kernels[0]);
+  // No path to exit: the reconvergence point defaults to kernel end.
+  EXPECT_EQ(G.reconvergencePoint(1), M->Kernels[0].Body.size());
+}
+
+TEST(Cfg, MultipleReturnsShareVirtualExit) {
+  auto M = parseKernel(R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra EARLY;
+    st.global.u32 [%rd1], %r1;
+    ret;
+EARLY:
+    ret;
+)");
+  const Kernel &K = M->Kernels[0];
+  Cfg G(K);
+  // Divergent branch whose paths never rejoin before exiting:
+  // reconvergence is kernel end.
+  EXPECT_EQ(G.reconvergencePoint(3), K.Body.size());
+}
+
+} // namespace

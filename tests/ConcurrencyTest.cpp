@@ -1,0 +1,124 @@
+//===- ConcurrencyTest.cpp - threaded host-detector stability ---------------===//
+//
+// The production pipeline runs one detector thread per queue against a
+// device producing records concurrently. Thread interleavings must
+// never manufacture false positives on well-synchronized programs, and
+// must never lose the verdict on racy ones. These tests hammer the
+// threaded path repeatedly (the suite's per-program tests already cross
+// it once each).
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+#include "suite/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace barracuda;
+
+namespace {
+
+suite::ToolVerdict runOnce(const suite::SuiteProgram &Program) {
+  return suite::runBarracuda(Program);
+}
+
+TEST(Concurrency, SynchronizedProgramsStayQuietAcrossRuns) {
+  // Heavy cross-queue synchronization: the global spinlock and the
+  // threadfence reduction. 20 threaded runs each must stay quiet.
+  for (const char *Name :
+       {"l_spinlock_correct", "f_threadfence_reduction",
+        "f_mp_global_fences", "f_grid_handshake"}) {
+    const suite::SuiteProgram *Program = suite::findSuiteProgram(Name);
+    ASSERT_NE(Program, nullptr) << Name;
+    for (int Run = 0; Run != 20; ++Run) {
+      suite::ToolVerdict Verdict = runOnce(*Program);
+      EXPECT_TRUE(Verdict.Completed) << Name << ": " << Verdict.Detail;
+      EXPECT_FALSE(Verdict.ReportedProblem)
+          << Name << " run " << Run << ": " << Verdict.Detail;
+    }
+  }
+}
+
+TEST(Concurrency, RacyProgramsAlwaysDetectedAcrossRuns) {
+  for (const char *Name :
+       {"l_lock_wrong_scope", "f_mp_cta_fences", "g_ww_same_slot",
+        "a_atomic_then_plain_read"}) {
+    const suite::SuiteProgram *Program = suite::findSuiteProgram(Name);
+    ASSERT_NE(Program, nullptr) << Name;
+    for (int Run = 0; Run != 20; ++Run) {
+      suite::ToolVerdict Verdict = runOnce(*Program);
+      EXPECT_TRUE(Verdict.Completed) << Name << ": " << Verdict.Detail;
+      EXPECT_TRUE(Verdict.ReportedProblem) << Name << " run " << Run;
+    }
+  }
+}
+
+TEST(Concurrency, ManyQueuesAndManyBlocks) {
+  // Hundreds of blocks hammering one counter through a global lock,
+  // across 8 queues/detector threads: still certified quiet, and the
+  // counter proves the lock actually excluded.
+  const suite::SuiteProgram *Base =
+      suite::findSuiteProgram("l_spinlock_correct");
+  ASSERT_NE(Base, nullptr);
+  SessionOptions Options;
+  Options.NumQueues = 8;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(Base->Ptx)) << S.error();
+  uint64_t Data = S.alloc(64), Lock = S.alloc(64);
+  sim::LaunchResult Result = S.launchKernel(
+      Base->KernelName, sim::Dim3(96), sim::Dim3(32), {Data, Lock});
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_FALSE(S.anyRaces())
+      << (S.races().empty() ? std::string() : S.races()[0].describe());
+  EXPECT_EQ(S.readU32(Data), 96u); // one increment per block
+  EXPECT_EQ(S.readU32(Lock), 0u);  // lock released
+}
+
+TEST(Concurrency, TicketOrderingSurvivesSmallQueues) {
+  // Tiny queues force producer back-pressure while detector threads
+  // wait on sync tickets: no deadlock, correct verdict.
+  const suite::SuiteProgram *Program =
+      suite::findSuiteProgram("f_mp_global_fences");
+  ASSERT_NE(Program, nullptr);
+  SessionOptions Options;
+  Options.NumQueues = 3;
+  Options.QueueCapacity = 16;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(Program->Ptx)) << S.error();
+  uint64_t Data = S.alloc(64), Flag = S.alloc(64);
+  sim::LaunchResult Result = S.launchKernel(
+      Program->KernelName, Program->Grid, Program->Block, {Data, Flag});
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_FALSE(S.anyRaces());
+}
+
+TEST(Concurrency, DistinctRaceKeysStableAcrossThreadedRuns) {
+  // The distinct (pc, kinds, space, scope) race keys of a data-racy
+  // program must not depend on detector-thread scheduling.
+  const suite::SuiteProgram *Program =
+      suite::findSuiteProgram("p_grid_stride_overlap");
+  ASSERT_NE(Program, nullptr);
+  std::set<std::tuple<uint32_t, int, int, int, int>> First;
+  for (int Run = 0; Run != 10; ++Run) {
+    Session S;
+    ASSERT_TRUE(S.loadModule(Program->Ptx));
+    uint64_t Buf = S.alloc(4 * 256);
+    ASSERT_TRUE(S.launchKernel(Program->KernelName, Program->Grid,
+                               Program->Block, {Buf, 256})
+                    .Ok);
+    std::set<std::tuple<uint32_t, int, int, int, int>> Keys;
+    for (const auto &Race : S.races())
+      Keys.insert({Race.Pc, static_cast<int>(Race.Current),
+                   static_cast<int>(Race.Previous),
+                   static_cast<int>(Race.Space),
+                   static_cast<int>(Race.Scope)});
+    if (Run == 0)
+      First = Keys;
+    else
+      EXPECT_EQ(Keys, First) << "run " << Run;
+  }
+}
+
+} // namespace

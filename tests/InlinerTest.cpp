@@ -1,0 +1,266 @@
+//===- InlinerTest.cpp - device-function inlining tests ---------------------===//
+
+#include "barracuda/Session.h"
+#include "ptx/Inliner.h"
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+namespace {
+
+const char *ScaleAddModule = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .func (.reg .u32 %out) scale_add(.reg .u32 %a, .reg .u32 %b)
+{
+    .reg .u32 %t<2>;
+    mul.lo.u32 %t0, %a, 3;
+    add.u32 %out, %t0, %b;
+    ret;
+}
+
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    call (%r2), scale_add, (%r1, 7);
+    call (%r3), scale_add, (%r2, %r1);
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r3;
+    ret;
+}
+)";
+
+TEST(Inliner, ParsesFunctionsAndCalls) {
+  Parser P(ScaleAddModule);
+  auto M = P.parseModule();
+  ASSERT_NE(M, nullptr) << P.error();
+  ASSERT_EQ(M->Functions.size(), 1u);
+  const Kernel &F = M->Functions[0];
+  EXPECT_TRUE(F.IsFunction);
+  EXPECT_EQ(F.ArgRegs.size(), 2u);
+  EXPECT_EQ(F.RetRegs.size(), 1u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  unsigned Calls = 0;
+  for (const Instruction &Insn : M->Kernels[0].Body)
+    Calls += Insn.Op == Opcode::Call;
+  EXPECT_EQ(Calls, 2u);
+}
+
+TEST(Inliner, InlinesAndComputesCorrectly) {
+  Session S;
+  ASSERT_TRUE(S.loadModule(ScaleAddModule)) << S.error();
+  // After loading, the kernel must be call-free.
+  for (const Instruction &Insn : S.module().Kernels[0].Body)
+    EXPECT_NE(Insn.Op, Opcode::Call);
+  uint64_t Out = S.alloc(4 * 32);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+  for (uint32_t Tid = 0; Tid != 32; ++Tid) {
+    uint32_t First = Tid * 3 + 7;        // scale_add(tid, 7)
+    uint32_t Second = First * 3 + Tid;   // scale_add(first, tid)
+    EXPECT_EQ(S.readU32(Out + 4 * Tid), Second) << "tid " << Tid;
+  }
+  EXPECT_FALSE(S.anyRaces());
+}
+
+TEST(Inliner, FunctionWithControlFlow) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .func (.reg .u32 %out) clamp10(.reg .u32 %a)
+{
+    .reg .pred %p<2>;
+    setp.le.u32 %p1, %a, 10;
+    @%p1 bra KEEP;
+    mov.u32 %out, 10;
+    ret;
+KEEP:
+    mov.u32 %out, %a;
+    ret;
+}
+
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<4>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    call (%r2), clamp10, (%r1);
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
+  uint64_t Out = S.alloc(4 * 32);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+  for (uint32_t Tid = 0; Tid != 32; ++Tid)
+    EXPECT_EQ(S.readU32(Out + 4 * Tid), std::min(Tid, 10u));
+}
+
+TEST(Inliner, NestedCallsInlineTransitively) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .func (.reg .u32 %out) twice(.reg .u32 %a)
+{
+    add.u32 %out, %a, %a;
+    ret;
+}
+.visible .func (.reg .u32 %out) quad(.reg .u32 %a)
+{
+    .reg .u32 %t<2>;
+    call (%t0), twice, (%a);
+    call (%out), twice, (%t0);
+    ret;
+}
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, 5;
+    call (%r2), quad, (%r1);
+    st.global.u32 [%rd1], %r2;
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
+  uint64_t Out = S.alloc(64);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(1), {Out}).Ok);
+  EXPECT_EQ(S.readU32(Out), 20u);
+}
+
+TEST(Inliner, RacesInsideDeviceFunctionsDetected) {
+  // The memory access lives in the device function; after inlining the
+  // detector sees it like any other instruction.
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .func bump(.reg .u64 %addr)
+{
+    .reg .u32 %v<2>;
+    ld.global.u32 %v0, [%addr];
+    add.u32 %v0, %v0, 1;
+    st.global.u32 [%addr], %v0;
+    ret;
+}
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    ld.param.u64 %rd1, [p0];
+    call bump, (%rd1);
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
+  uint64_t Out = S.alloc(64);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  EXPECT_TRUE(S.anyRaces());
+}
+
+TEST(Inliner, RecursionRejected) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .func (.reg .u32 %out) loop(.reg .u32 %a)
+{
+    call (%out), loop, (%a);
+    ret;
+}
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<3>;
+    ld.param.u64 %rd1, [p0];
+    call (%r1), loop, (%r1);
+    ret;
+}
+)";
+  Session S;
+  EXPECT_FALSE(S.loadModule(Ptx));
+  EXPECT_NE(S.error().find("budget"), std::string::npos);
+}
+
+TEST(Inliner, UnknownCalleeRejected) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    ld.param.u64 %rd1, [p0];
+    call nothing_here, (%rd1);
+    ret;
+}
+)";
+  Session S;
+  EXPECT_FALSE(S.loadModule(Ptx));
+  EXPECT_NE(S.error().find("unknown device function"), std::string::npos);
+}
+
+TEST(Inliner, ArityMismatchRejected) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .func f(.reg .u32 %a, .reg .u32 %b)
+{
+    ret;
+}
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<2>;
+    ld.param.u64 %rd1, [p0];
+    call f, (%r1);
+    ret;
+}
+)";
+  Session S;
+  EXPECT_FALSE(S.loadModule(Ptx));
+  EXPECT_NE(S.error().find("expected"), std::string::npos);
+}
+
+TEST(Inliner, ModuleWithFunctionsRoundTrips) {
+  Parser P(ScaleAddModule);
+  auto M = P.parseModule();
+  ASSERT_NE(M, nullptr) << P.error();
+  std::string Printed = printModule(*M);
+  Parser P2(Printed);
+  auto M2 = P2.parseModule();
+  ASSERT_NE(M2, nullptr) << P2.error() << "\n" << Printed;
+  EXPECT_EQ(M2->Functions.size(), 1u);
+  EXPECT_EQ(printModule(*M2), Printed);
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+//===- InstrumenterTest.cpp - inference, transform, pruning unit tests -----===//
+
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::instrument;
+
+namespace {
+
+/// Parses a body wrapped in a standard kernel and instruments it.
+struct Instrumented {
+  std::unique_ptr<ptx::Module> Mod;
+  KernelInstrumentation KI;
+
+  explicit Instrumented(const std::string &Body,
+                        InstrumenterOptions Options = InstrumenterOptions()) {
+    std::string Ptx =
+        ".version 4.3\n.target sm_35\n.address_size 64\n"
+        ".visible .entry k(\n    .param .u64 p0,\n    .param .u64 p1\n)\n"
+        "{\n    .reg .u64 %rd<8>;\n    .reg .u32 %r<8>;\n"
+        "    .reg .pred %p<4>;\n"
+        "    .shared .align 4 .b8 tile[64];\n"
+        "    ld.param.u64 %rd1, [p0];\n"
+        "    ld.param.u64 %rd2, [p1];\n" +
+        Body + "    ret;\n}\n";
+    Mod = ptx::parseOrDie(Ptx);
+    KI = instrumentKernel(Mod->Kernels[0], Options);
+  }
+
+  /// The action on the Nth instruction *after* the two param loads.
+  LogActionKind action(unsigned Index) const {
+    return KI.Insns[2 + Index].Action;
+  }
+  trace::SyncScope scope(unsigned Index) const {
+    return KI.Insns[2 + Index].Scope;
+  }
+};
+
+TEST(Inference, PlainAccesses) {
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    st.global.u32 [%rd1], %r1;\n"
+                 "    atom.global.add.u32 %r2, [%rd1], 1;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::Read);
+  EXPECT_EQ(I.action(1), LogActionKind::Write);
+  EXPECT_EQ(I.action(2), LogActionKind::Atom);
+}
+
+TEST(Inference, StoreReleaseAndLoadAcquire) {
+  Instrumented I("    membar.gl;\n"
+                 "    st.global.u32 [%rd1], 1;\n"
+                 "    ld.global.u32 %r1, [%rd2];\n"
+                 "    membar.cta;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::FencePart);
+  EXPECT_EQ(I.action(1), LogActionKind::Release);
+  EXPECT_EQ(I.scope(1), trace::SyncScope::Global);
+  EXPECT_EQ(I.action(2), LogActionKind::Acquire);
+  EXPECT_EQ(I.scope(2), trace::SyncScope::Block);
+  EXPECT_EQ(I.action(3), LogActionKind::FencePart);
+}
+
+TEST(Inference, OneFenceServesTwoBundles) {
+  // ld; membar; st — the fence closes an acquire and opens a release.
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    membar.gl;\n"
+                 "    st.global.u32 [%rd2], %r1;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::Acquire);
+  EXPECT_EQ(I.action(1), LogActionKind::FencePart);
+  EXPECT_EQ(I.action(2), LogActionKind::Release);
+}
+
+TEST(Inference, FenceSandwichedAtomicIsAcquireRelease) {
+  Instrumented I("    membar.cta;\n"
+                 "    atom.global.add.u32 %r1, [%rd1], 1;\n"
+                 "    membar.gl;\n");
+  EXPECT_EQ(I.action(1), LogActionKind::AcquireRelease);
+  // Mixed scopes: the stronger (global) wins.
+  EXPECT_EQ(I.scope(1), trace::SyncScope::Global);
+}
+
+TEST(Inference, CasSpinLoopAcquire) {
+  // The compiled shape of `while(atomicCAS(..)); __threadfence();` —
+  // the fence is separated from the cas by the compare and loop branch.
+  Instrumented I("SPIN:\n"
+                 "    atom.global.cas.b32 %r1, [%rd1], 0, 1;\n"
+                 "    setp.ne.u32 %p1, %r1, 0;\n"
+                 "    @%p1 bra SPIN;\n"
+                 "    membar.gl;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::Acquire);
+  EXPECT_EQ(I.action(3), LogActionKind::FencePart);
+}
+
+TEST(Inference, ExchWithLeadingFenceIsRelease) {
+  Instrumented I("    membar.gl;\n"
+                 "    atom.global.exch.b32 %r1, [%rd1], 0;\n");
+  EXPECT_EQ(I.action(1), LogActionKind::Release);
+}
+
+TEST(Inference, StandaloneCasIsJustAtomic) {
+  Instrumented I("    atom.global.cas.b32 %r1, [%rd1], 0, 1;\n"
+                 "    st.global.u32 [%rd2], %r1;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::Atom);
+  EXPECT_EQ(I.action(1), LogActionKind::Write);
+}
+
+TEST(Inference, LoneFenceHasNoTraceOperation) {
+  Instrumented I("    add.u32 %r1, %r1, 1;\n"
+                 "    membar.gl;\n"
+                 "    add.u32 %r1, %r1, 1;\n");
+  EXPECT_EQ(I.action(1), LogActionKind::Fence);
+  EXPECT_EQ(I.KI.Stats.InstrumentedOptimized, 0u);
+}
+
+TEST(Inference, SysFenceIsGlobalScope) {
+  Instrumented I("    membar.sys;\n"
+                 "    st.global.u32 [%rd1], 1;\n");
+  EXPECT_EQ(I.action(1), LogActionKind::Release);
+  EXPECT_EQ(I.scope(1), trace::SyncScope::Global);
+}
+
+TEST(Inference, ParamAndLocalAccessesNotInstrumented) {
+  Instrumented I("    ld.param.u64 %rd3, [p0];\n"
+                 "    st.local.u32 [%rd3], %r1;\n"
+                 "    ld.local.u32 %r1, [%rd3];\n");
+  EXPECT_EQ(I.action(0), LogActionKind::None);
+  EXPECT_EQ(I.action(1), LogActionKind::None);
+  EXPECT_EQ(I.action(2), LogActionKind::None);
+}
+
+TEST(Inference, GuardedBranchInstrumented) {
+  Instrumented I("    setp.eq.u32 %p1, %r1, 0;\n"
+                 "    @%p1 bra SKIP;\n"
+                 "    add.u32 %r1, %r1, 1;\n"
+                 "SKIP:\n");
+  EXPECT_EQ(I.action(1), LogActionKind::Branch);
+  // Reconvergence at SKIP (the ret).
+  EXPECT_EQ(I.KI.Insns[3].ReconvPc, 5u);
+}
+
+TEST(Inference, UniformBranchesNotInstrumented) {
+  Instrumented I("    bra.uni FWD;\n"
+                 "FWD:\n"
+                 "    add.u32 %r1, %r1, 1;\n");
+  EXPECT_EQ(I.action(0), LogActionKind::None);
+}
+
+TEST(Pruning, RepeatedLoadPruned) {
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    ld.global.u32 %r2, [%rd1];\n"
+                 "    ld.global.u32 %r3, [%rd1+4];\n");
+  EXPECT_EQ(I.action(0), LogActionKind::Read);
+  EXPECT_TRUE(I.KI.Insns[3].Pruned);  // same address re-read
+  EXPECT_FALSE(I.KI.Insns[4].Pruned); // different offset
+  EXPECT_EQ(I.KI.Stats.InstrumentedUnoptimized,
+            I.KI.Stats.InstrumentedOptimized + 1);
+}
+
+TEST(Pruning, LoadAfterStoreToSameAddressPruned) {
+  Instrumented I("    st.global.u32 [%rd1], %r1;\n"
+                 "    ld.global.u32 %r2, [%rd1];\n"
+                 "    st.global.u32 [%rd1], %r2;\n");
+  EXPECT_FALSE(I.KI.Insns[2].Pruned); // the store logs
+  EXPECT_TRUE(I.KI.Insns[3].Pruned);  // read covered by the store
+  // A write after a logged write to the same address is redundant too.
+  EXPECT_TRUE(I.KI.Insns[4].Pruned);
+}
+
+TEST(Pruning, BaseRegisterRedefinitionInvalidates) {
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    add.u64 %rd1, %rd1, 0;\n"
+                 "    ld.global.u32 %r2, [%rd1];\n");
+  EXPECT_FALSE(I.KI.Insns[2].Pruned);
+  EXPECT_FALSE(I.KI.Insns[4].Pruned); // %rd1 changed in between
+}
+
+TEST(Pruning, SynchronizationClearsWindow) {
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    bar.sync 0;\n"
+                 "    ld.global.u32 %r2, [%rd1];\n");
+  EXPECT_FALSE(I.KI.Insns[4].Pruned);
+}
+
+TEST(Pruning, VolatileNeverPruned) {
+  Instrumented I("    ld.volatile.global.u32 %r1, [%rd1];\n"
+                 "    ld.volatile.global.u32 %r2, [%rd1];\n");
+  EXPECT_FALSE(I.KI.Insns[2].Pruned);
+  EXPECT_FALSE(I.KI.Insns[3].Pruned);
+}
+
+TEST(Pruning, CanBeDisabled) {
+  InstrumenterOptions Options;
+  Options.PruneRedundantLogging = false;
+  Instrumented I("    ld.global.u32 %r1, [%rd1];\n"
+                 "    ld.global.u32 %r2, [%rd1];\n",
+                 Options);
+  EXPECT_FALSE(I.KI.Insns[3].Pruned);
+  EXPECT_EQ(I.KI.Stats.InstrumentedUnoptimized,
+            I.KI.Stats.InstrumentedOptimized);
+}
+
+TEST(Transform, PredicatedStoreBecomesBranch) {
+  std::string Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 st.global.u32 [%rd1], %r1;
+    ret;
+}
+)";
+  auto Mod = ptx::parseOrDie(Ptx);
+  size_t Before = Mod->Kernels[0].Body.size();
+  unsigned Transformed =
+      instrument::transformPredicatedInstructions(Mod->Kernels[0]);
+  EXPECT_EQ(Transformed, 1u);
+  EXPECT_EQ(Mod->Kernels[0].Body.size(), Before + 1);
+  // The rewritten module is still valid and still prints/parses.
+  EXPECT_TRUE(ptx::verifyModule(*Mod).empty());
+  const ptx::Instruction &Branch = Mod->Kernels[0].Body[3];
+  ASSERT_TRUE(Branch.isBranch());
+  EXPECT_TRUE(Branch.GuardNegated); // @!%p1 bra skip
+  const ptx::Instruction &Store = Mod->Kernels[0].Body[4];
+  EXPECT_TRUE(Store.isStore());
+  EXPECT_FALSE(Store.isGuarded());
+
+  std::string Printed = ptx::printModule(*Mod);
+  ptx::Parser Reparse(Printed);
+  EXPECT_NE(Reparse.parseModule(), nullptr) << Reparse.error() << Printed;
+}
+
+TEST(Transform, PredicatedArithmeticKept) {
+  std::string Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 add.u32 %r2, %r1, 1;
+    ret;
+}
+)";
+  auto Mod = ptx::parseOrDie(Ptx);
+  EXPECT_EQ(instrument::transformPredicatedInstructions(Mod->Kernels[0]),
+            0u);
+}
+
+TEST(Transform, BranchTargetsStayCorrect) {
+  std::string Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra END;
+    @%p1 st.global.u32 [%rd1], %r1;
+    st.global.u32 [%rd1+4], %r1;
+END:
+    ret;
+}
+)";
+  auto Mod = ptx::parseOrDie(Ptx);
+  instrument::transformPredicatedInstructions(Mod->Kernels[0]);
+  const ptx::Kernel &K = Mod->Kernels[0];
+  // The branch to END must now point at the (shifted) ret.
+  const ptx::Instruction &Jump = K.Body[3];
+  ASSERT_TRUE(Jump.isBranch());
+  EXPECT_EQ(static_cast<size_t>(Jump.Ops[0].Target), K.Body.size() - 1);
+  EXPECT_TRUE(K.Body[K.Body.size() - 1].Op == ptx::Opcode::Ret);
+}
+
+} // namespace

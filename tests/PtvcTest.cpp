@@ -1,0 +1,196 @@
+//===- PtvcTest.cpp - compressed per-thread vector clock unit tests --------===//
+
+#include "detector/Ptvc.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::detector;
+
+namespace {
+
+sim::ThreadHierarchy hierarchy(uint32_t ThreadsPerBlock) {
+  sim::ThreadHierarchy Hier;
+  Hier.ThreadsPerBlock = ThreadsPerBlock;
+  Hier.WarpsPerBlock = (ThreadsPerBlock + 31) / 32;
+  return Hier;
+}
+
+TEST(Ptvc, InitialState) {
+  WarpClocks W(0, ~0u, hierarchy(64));
+  EXPECT_EQ(W.selfClock(), 1u);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+  EXPECT_EQ(W.activeMask(), ~0u);
+  // Own entry is the self clock; mates are self-1; outside is zero.
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(0), 0), 1u);
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(5), 0), 0u);
+  EXPECT_EQ(W.entryFor(0, /*Other=*/40, 0), 0u);   // other warp, block 0
+  EXPECT_EQ(W.entryFor(0, /*Other=*/100, 1), 0u);  // other block
+}
+
+TEST(Ptvc, EndInsnAdvancesLockstep) {
+  WarpClocks W(0, ~0u, hierarchy(32));
+  W.endInsn();
+  W.endInsn();
+  EXPECT_EQ(W.selfClock(), 3u);
+  EXPECT_EQ(W.entryFor(3, W.tidOfLane(3), 0), 3u);
+  EXPECT_EQ(W.entryFor(3, W.tidOfLane(9), 0), 2u);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+}
+
+TEST(Ptvc, DivergenceSplitsKnowledge) {
+  WarpClocks W(0, ~0u, hierarchy(32));
+  W.endInsn();               // self = 2
+  uint32_t Then = 0x0000FFFF, Else = 0xFFFF0000;
+  W.branchIf(Then, Else);    // then runs first at self=3
+  EXPECT_EQ(W.selfClock(), 3u);
+  EXPECT_EQ(W.activeMask(), Then);
+  EXPECT_EQ(W.format(), PtvcFormat::Diverged);
+  // A then thread knows then-mates at 2 and else threads at 1 (the
+  // pre-branch fork).
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(1), 0), 2u);
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(20), 0), 1u);
+
+  W.endInsn(); // then path works; self = 4
+  W.branchElse(Else);
+  EXPECT_EQ(W.activeMask(), Else);
+  EXPECT_EQ(W.selfClock(), 3u); // else forked from pre-branch time 2
+  // Else threads never saw the then path's work.
+  EXPECT_EQ(W.entryFor(20, W.tidOfLane(0), 0), 1u);
+
+  W.branchFi(~0u);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+  // Merged time exceeds both paths' final times.
+  EXPECT_GT(W.selfClock(), 4u);
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(20), 0), W.selfClock() - 1);
+}
+
+TEST(Ptvc, NestedDivergenceUsesWarpVector) {
+  WarpClocks W(0, ~0u, hierarchy(32));
+  W.branchIf(0x0000FFFF, 0xFFFF0000);
+  W.endInsn();
+  W.branchIf(0x000000FF, 0x0000FF00); // nested split of the then path
+  EXPECT_EQ(W.format(), PtvcFormat::NestedDiverged);
+  EXPECT_EQ(W.frameCount(), 5u);
+  // Inner then threads: the inner-else lanes forked at the inner branch
+  // (one endInsn plus the IF fork ago), the outer-else lanes earlier
+  // still.
+  ClockVal Self = W.selfClock();
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(9), 0), Self - 2);
+  EXPECT_LT(W.entryFor(0, W.tidOfLane(20), 0), Self - 2);
+  W.branchElse(0x0000FF00);
+  W.branchFi(0x0000FFFF);
+  W.branchElse(0xFFFF0000);
+  W.branchFi(~0u);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+  EXPECT_EQ(W.frameCount(), 1u);
+}
+
+TEST(Ptvc, BarrierBroadcastsBlockMax) {
+  WarpClocks W(0, ~0u, hierarchy(64));
+  W.endInsn();
+  W.barrierJoin(/*BlockMax=*/10);
+  EXPECT_EQ(W.selfClock(), 11u);
+  // Knowledge of the whole block is the broadcast max.
+  EXPECT_EQ(W.entryFor(0, /*Other=*/40, 0), 10u); // other warp, same block
+  EXPECT_EQ(W.entryFor(0, /*Other=*/999, 3), 0u); // other block untouched
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+}
+
+TEST(Ptvc, AcquireBringsPointToPointKnowledge) {
+  WarpClocks W(0, ~0u, hierarchy(32));
+  CompactClock Incoming;
+  Incoming.raiseEntry(/*Tid=*/500, 7); // a thread in block 15
+  Incoming.raiseBlockFloor(/*Block=*/15, 3);
+  W.acquire(Incoming);
+  EXPECT_EQ(W.format(), PtvcFormat::SparseVc);
+  EXPECT_EQ(W.entryFor(0, 500, 15), 7u);
+  EXPECT_EQ(W.entryFor(0, 501, 15), 3u); // covered by the floor
+  EXPECT_EQ(W.entryFor(0, 200, 6), 0u);
+}
+
+TEST(Ptvc, AcquireOfOwnBlockRaisesBlockClock) {
+  WarpClocks W(0, ~0u, hierarchy(64)); // warp 0 of block 0
+  W.endInsn();
+  W.endInsn(); // self = 3
+  CompactClock Incoming;
+  Incoming.raiseBlockFloor(/*Block=*/0, 2);
+  W.acquire(Incoming);
+  EXPECT_EQ(W.entryFor(0, /*Other=*/40, 0), 2u); // warp 1 of block 0
+  // Group mates keep lockstep knowledge (floor below self-1).
+  EXPECT_EQ(W.entryFor(0, W.tidOfLane(1), 0), 2u);
+}
+
+TEST(Ptvc, ReleaseSnapshotRoundTrips) {
+  WarpClocks W(2, ~0u, hierarchy(32)); // warp 2 => block 2
+  W.endInsn();
+  W.endInsn(); // self = 3
+  CompactClock Snapshot;
+  W.releaseSnapshot(/*Lane=*/4, Snapshot);
+  // The releasing lane contributes its own clock, mates self-1, and the
+  // block floor.
+  EXPECT_EQ(Snapshot.get(W.tidOfLane(4), 2), 3u);
+  EXPECT_EQ(Snapshot.get(W.tidOfLane(5), 2), 2u);
+
+  // An acquiring warp in another block learns exactly that.
+  WarpClocks Acquirer(0, ~0u, hierarchy(32));
+  Acquirer.acquire(Snapshot);
+  EXPECT_EQ(Acquirer.entryFor(0, W.tidOfLane(4), 2), 3u);
+  EXPECT_EQ(Acquirer.entryFor(0, W.tidOfLane(5), 2), 2u);
+}
+
+TEST(Ptvc, PartialWarpResidentMask) {
+  // 20-thread block: lanes 20..31 do not exist.
+  WarpClocks W(0, 0xFFFFF, hierarchy(20));
+  EXPECT_EQ(W.residentMask(), 0xFFFFFu);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+  W.branchIf(0x3FF, 0xFFC00);
+  EXPECT_EQ(W.format(), PtvcFormat::Diverged);
+  W.branchElse(0xFFC00);
+  W.branchFi(0xFFFFF);
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+}
+
+TEST(Ptvc, BarrierPrunesSubsumedSparseEntries) {
+  WarpClocks W(0, ~0u, hierarchy(64)); // block 0
+  CompactClock Incoming;
+  Incoming.raiseEntry(/*Tid=*/40, 2); // same-block thread, warp 1
+  W.acquire(Incoming);
+  EXPECT_EQ(W.format(), PtvcFormat::SparseVc);
+  W.barrierJoin(5); // BlockClock = 5 subsumes the entry for thread 40
+  EXPECT_EQ(W.format(), PtvcFormat::Converged);
+  EXPECT_EQ(W.entryFor(0, 40, 0), 5u);
+}
+
+TEST(Ptvc, MemoryStaysSmallWhenConverged) {
+  WarpClocks W(0, ~0u, hierarchy(32));
+  for (int I = 0; I != 1000; ++I)
+    W.endInsn();
+  EXPECT_LE(W.memoryBytes(), sizeof(WarpClocks) + 64);
+}
+
+TEST(Clock, CompactClockJoinAndFloors) {
+  CompactClock A, B;
+  A.raiseEntry(1, 5);
+  A.raiseBlockFloor(0, 2);
+  B.raiseEntry(1, 3);
+  B.raiseEntry(2, 9);
+  B.raiseBlockFloor(0, 4);
+  A.joinFrom(B);
+  EXPECT_EQ(A.get(1, 0), 5u); // max survives
+  EXPECT_EQ(A.get(2, 0), 9u);
+  EXPECT_EQ(A.get(7, 0), 4u); // floor applies to any thread of block 0
+  EXPECT_EQ(A.get(7, 1), 0u);
+  A.clear();
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(Clock, EpochBottom) {
+  Epoch E;
+  EXPECT_TRUE(E.isBottom());
+  Epoch F{3, 7};
+  EXPECT_FALSE(F.isBottom());
+  EXPECT_TRUE((F == Epoch{3, 7}));
+}
+
+} // namespace

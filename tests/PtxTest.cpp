@@ -1,0 +1,270 @@
+//===- PtxTest.cpp - lexer/parser/printer/CFG unit tests -------------------===//
+
+#include "ptx/Cfg.h"
+#include "ptx/Lexer.h"
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::ptx;
+
+namespace {
+
+const char *SimpleKernel = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry simple(
+    .param .u64 out,
+    .param .u32 n
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<6>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [out];
+    ld.param.u32 %r5, [n];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+    setp.ge.u32 %p1, %r4, %r5;
+    @%p1 bra DONE;
+    cvt.u64.u32 %rd2, %r4;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r1;
+DONE:
+    ret;
+}
+)";
+
+TEST(Lexer, TokenKinds) {
+  Lexer Lex("mov.u32 %r1, %tid.x; // comment\n st [%rd1+4], 0x10;");
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_FALSE(Tokens.empty());
+  EXPECT_TRUE(Tokens.back().is(TokenKind::Eof));
+  EXPECT_TRUE(Tokens[0].isIdent("mov"));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Dot));
+  EXPECT_TRUE(Tokens[2].isIdent("u32"));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Reg));
+  EXPECT_EQ(Tokens[3].Text, "r1");
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Comma));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::Reg));
+  EXPECT_EQ(Tokens[5].Text, "tid.x");
+}
+
+TEST(Lexer, Numbers) {
+  Lexer Lex("42 -7 0x1F 0f3F800000 1.5");
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_GE(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].IntValue, -7);
+  EXPECT_EQ(Tokens[2].IntValue, 0x1F);
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Float));
+  EXPECT_FLOAT_EQ(static_cast<float>(Tokens[3].FloatValue), 1.0f);
+  EXPECT_DOUBLE_EQ(Tokens[4].FloatValue, 1.5);
+}
+
+TEST(Lexer, BlockComments) {
+  Lexer Lex("/* a\nmultiline\ncomment */ ret ;");
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_TRUE(Tokens[0].isIdent("ret"));
+  EXPECT_EQ(Tokens[0].Line, 3u);
+}
+
+TEST(Parser, SimpleKernel) {
+  Parser P(SimpleKernel);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  ASSERT_EQ(M->Kernels.size(), 1u);
+  const Kernel &K = M->Kernels[0];
+  EXPECT_EQ(K.Name, "simple");
+  ASSERT_EQ(K.Params.size(), 2u);
+  EXPECT_EQ(K.Params[0].Ty, Type::U64);
+  EXPECT_EQ(K.Params[1].Ty, Type::U32);
+  EXPECT_EQ(K.Params[1].Offset, 8u);
+  EXPECT_EQ(K.Regs.size(), 4u + 6u + 2u);
+  EXPECT_EQ(K.Body.size(), 13u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Parser, BranchTargetsResolved) {
+  Parser P(SimpleKernel);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  const Kernel &K = M->Kernels[0];
+  const Instruction *Branch = nullptr;
+  for (const Instruction &Insn : K.Body)
+    if (Insn.Op == Opcode::Bra)
+      Branch = &Insn;
+  ASSERT_NE(Branch, nullptr);
+  EXPECT_TRUE(Branch->isGuarded());
+  EXPECT_EQ(Branch->Ops[0].Target, 12); // the ret under DONE:
+}
+
+TEST(Parser, Errors) {
+  {
+    Parser P(".version 4.3\n.target sm_35\n.entry k() { bogus.u32 %r1; }");
+    EXPECT_EQ(P.parseModule(), nullptr);
+    EXPECT_NE(P.error().find("unknown"), std::string::npos);
+  }
+  {
+    Parser P(".entry k() { .reg .u32 %r<2>; mov.u32 %r9, 0; }");
+    EXPECT_EQ(P.parseModule(), nullptr);
+  }
+  {
+    Parser P(".entry k() { bra NOWHERE; }");
+    EXPECT_EQ(P.parseModule(), nullptr);
+    EXPECT_NE(P.error().find("undefined label"), std::string::npos);
+  }
+}
+
+TEST(Parser, SharedAndGlobals) {
+  const char *Src = R"(
+.version 4.3
+.target sm_35
+.visible .global .u32 flag;
+.visible .global .align 4 .b8 arr[64];
+.visible .entry k()
+{
+    .reg .u32 %r<3>;
+    .reg .u64 %rd<3>;
+    .shared .align 4 .b8 tile[128];
+    mov.u64 %rd1, tile;
+    mov.u64 %rd2, flag;
+    ld.shared.u32 %r1, [tile+4];
+    st.global.u32 [arr+8], %r1;
+    ret;
+}
+)";
+  Parser P(Src);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  EXPECT_EQ(M->Globals.size(), 2u);
+  const Kernel &K = M->Kernels[0];
+  ASSERT_EQ(K.SharedVars.size(), 1u);
+  EXPECT_EQ(K.SharedVars[0].SizeBytes, 128u);
+  EXPECT_EQ(K.SharedBytes, 128u);
+}
+
+TEST(Parser, VectorOperands) {
+  const char *Src = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 p0
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<6>;
+    ld.param.u64 %rd1, [p0];
+    ld.global.v4.u32 {%r1, %r2, %r3, %r4}, [%rd1];
+    st.global.v2.u32 [%rd1+16], {%r1, %r2};
+    ret;
+}
+)";
+  Parser P(Src);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  const Kernel &K = M->Kernels[0];
+  const Instruction &Load = K.Body[1];
+  EXPECT_EQ(Load.VecWidth, 4u);
+  ASSERT_EQ(Load.Ops[0].VecRegs.size(), 4u);
+  EXPECT_EQ(Load.accessSize(), 16u);
+  const Instruction &Store = K.Body[2];
+  EXPECT_EQ(Store.VecWidth, 2u);
+  EXPECT_EQ(Store.Ops[1].VecRegs.size(), 2u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  // Round trip.
+  std::string Printed = printModule(*M);
+  Parser P2(Printed);
+  ASSERT_NE(P2.parseModule(), nullptr) << P2.error() << Printed;
+}
+
+TEST(Printer, RoundTrip) {
+  Parser P(SimpleKernel);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  std::string Text = printModule(*M);
+
+  Parser P2(Text);
+  auto M2 = P2.parseModule();
+  ASSERT_TRUE(M2) << P2.error() << "\n" << Text;
+  ASSERT_EQ(M2->Kernels.size(), 1u);
+  EXPECT_EQ(M2->Kernels[0].Body.size(), M->Kernels[0].Body.size());
+  // Printing again must be a fixpoint.
+  EXPECT_EQ(printModule(*M2), Text);
+}
+
+TEST(Cfg, DiamondIpdom) {
+  const char *Src = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra THEN;
+    mov.u32 %r2, 1;
+    bra.uni JOIN;
+THEN:
+    mov.u32 %r2, 2;
+JOIN:
+    st.global.u32 [%rd1], %r2;
+    ret;
+}
+)";
+  Parser P(Src);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  const Kernel &K = M->Kernels[0];
+  Cfg G(K);
+  // Blocks: [0..4) entry+branch, [4..6) else, [6..7) then, [7..9) join.
+  ASSERT_EQ(G.blocks().size(), 4u);
+  // The divergent branch at index 3 reconverges at JOIN (index 7).
+  EXPECT_EQ(G.reconvergencePoint(3), 7u);
+}
+
+TEST(Cfg, LoopReconvergesAfterExit) {
+  const char *Src = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, 0;
+LOOP:
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, 10;
+    @%p1 bra LOOP;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+)";
+  Parser P(Src);
+  auto M = P.parseModule();
+  ASSERT_TRUE(M) << P.error();
+  Cfg G(M->Kernels[0]);
+  // The backward branch at index 4 reconverges at the loop exit (5).
+  EXPECT_EQ(G.reconvergencePoint(4), 5u);
+}
+
+} // namespace

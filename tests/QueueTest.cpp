@@ -1,0 +1,153 @@
+//===- QueueTest.cpp - lock-free queue tests --------------------------------===//
+
+#include "trace/Queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+namespace {
+
+LogRecord makeRecord(uint32_t Warp, uint64_t Payload) {
+  LogRecord Record;
+  Record.Warp = Warp;
+  Record.setOp(RecordOp::Write);
+  Record.ActiveMask = 1;
+  Record.Addr[0] = Payload;
+  return Record;
+}
+
+TEST(Queue, RecordSize) {
+  // The paper's record is 272 bytes; ours adds an 8-byte ordering ticket.
+  EXPECT_EQ(sizeof(LogRecord), 280u);
+}
+
+TEST(Queue, PushPopFifo) {
+  EventQueue Queue(64);
+  for (uint64_t I = 0; I != 10; ++I)
+    Queue.push(makeRecord(0, I));
+  EXPECT_EQ(Queue.pendingApprox(), 10u);
+  LogRecord Out;
+  for (uint64_t I = 0; I != 10; ++I) {
+    ASSERT_TRUE(Queue.pop(Out));
+    EXPECT_EQ(Out.Addr[0], I);
+  }
+  EXPECT_FALSE(Queue.pop(Out));
+}
+
+TEST(Queue, DrainBatches) {
+  EventQueue Queue(64);
+  for (uint64_t I = 0; I != 20; ++I)
+    Queue.push(makeRecord(0, I));
+  LogRecord Batch[8];
+  uint64_t Next = 0;
+  for (;;) {
+    size_t Count = Queue.drain(Batch, 8);
+    if (!Count)
+      break;
+    for (size_t I = 0; I != Count; ++I)
+      EXPECT_EQ(Batch[I].Addr[0], Next++);
+  }
+  EXPECT_EQ(Next, 20u);
+}
+
+TEST(Queue, WrapsAroundCapacity) {
+  EventQueue Queue(8);
+  LogRecord Out;
+  for (uint64_t Round = 0; Round != 5; ++Round) {
+    for (uint64_t I = 0; I != 8; ++I)
+      Queue.push(makeRecord(0, Round * 8 + I));
+    for (uint64_t I = 0; I != 8; ++I) {
+      ASSERT_TRUE(Queue.pop(Out));
+      EXPECT_EQ(Out.Addr[0], Round * 8 + I);
+    }
+  }
+}
+
+TEST(Queue, CloseAndExhaust) {
+  EventQueue Queue(8);
+  Queue.push(makeRecord(0, 1));
+  EXPECT_FALSE(Queue.exhausted());
+  Queue.close();
+  EXPECT_TRUE(Queue.closed());
+  EXPECT_FALSE(Queue.exhausted());
+  LogRecord Out;
+  ASSERT_TRUE(Queue.pop(Out));
+  EXPECT_TRUE(Queue.exhausted());
+}
+
+TEST(Queue, ProducerBlocksUntilConsumed) {
+  // A producer filling a small ring makes progress only as the consumer
+  // drains; all records must arrive intact and in order.
+  EventQueue Queue(4);
+  constexpr uint64_t Total = 1000;
+  std::thread Producer([&] {
+    for (uint64_t I = 0; I != Total; ++I)
+      Queue.push(makeRecord(0, I));
+    Queue.close();
+  });
+  LogRecord Out;
+  uint64_t Next = 0;
+  while (!Queue.exhausted()) {
+    if (Queue.pop(Out)) {
+      EXPECT_EQ(Out.Addr[0], Next++);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  Producer.join();
+  EXPECT_EQ(Next, Total);
+}
+
+TEST(Queue, MultipleProducersCommitInOrder) {
+  EventQueue Queue(1 << 10);
+  constexpr unsigned Producers = 4;
+  constexpr uint64_t PerProducer = 2000;
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P != Producers; ++P) {
+    Threads.emplace_back([&Queue, P] {
+      for (uint64_t I = 0; I != PerProducer; ++I) {
+        uint64_t Index = Queue.reserve();
+        Queue.slot(Index) = makeRecord(P, I);
+        Queue.commit(Index);
+      }
+    });
+  }
+
+  std::vector<uint64_t> LastSeen(Producers, 0);
+  std::vector<uint64_t> Counts(Producers, 0);
+  uint64_t Seen = 0;
+  LogRecord Out;
+  while (Seen != Producers * PerProducer) {
+    if (!Queue.pop(Out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++Seen;
+    ASSERT_LT(Out.Warp, Producers);
+    // Per-producer payloads arrive in that producer's order.
+    if (Counts[Out.Warp]) {
+      EXPECT_LT(LastSeen[Out.Warp], Out.Addr[0]);
+    }
+    LastSeen[Out.Warp] = Out.Addr[0];
+    ++Counts[Out.Warp];
+  }
+  for (unsigned P = 0; P != Producers; ++P)
+    EXPECT_EQ(Counts[P], PerProducer);
+  for (std::thread &Thread : Threads)
+    Thread.join();
+}
+
+TEST(QueueSet, BlockRouting) {
+  QueueSet Queues(3, 16);
+  EXPECT_EQ(Queues.size(), 3u);
+  EXPECT_EQ(Queues.queueIndexForBlock(0), 0u);
+  EXPECT_EQ(Queues.queueIndexForBlock(4), 1u);
+  EXPECT_EQ(&Queues.queueForBlock(2), &Queues.queueForBlock(5));
+}
+
+} // namespace

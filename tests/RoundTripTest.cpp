@@ -1,0 +1,86 @@
+//===- RoundTripTest.cpp - printer/parser fixpoint over every program ------===//
+//
+// Every PTX program in the repository (the 66 suite programs and the 26
+// generated Table 1 benchmarks) must parse, verify, print, re-parse,
+// re-verify, and print to the identical text — the printer is a
+// fixpoint and nothing in the corpus leaves the supported subset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "ptx/Verifier.h"
+#include "suite/Suite.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+namespace barracuda {
+namespace workloads {
+// gtest value printer for the parameterized benchmark specs.
+void PrintTo(const BenchmarkSpec &Spec, std::ostream *Out) {
+  *Out << Spec.Name;
+}
+} // namespace workloads
+} // namespace barracuda
+
+using namespace barracuda;
+
+namespace {
+
+void expectRoundTrip(const std::string &Name, const std::string &Ptx) {
+  ptx::Parser First(Ptx);
+  std::unique_ptr<ptx::Module> M1 = First.parseModule();
+  ASSERT_NE(M1, nullptr) << Name << ": " << First.error();
+  EXPECT_TRUE(ptx::verifyModule(*M1).empty()) << Name;
+
+  std::string Printed = ptx::printModule(*M1);
+  ptx::Parser Second(Printed);
+  std::unique_ptr<ptx::Module> M2 = Second.parseModule();
+  ASSERT_NE(M2, nullptr) << Name << ": " << Second.error() << "\n"
+                         << Printed;
+  EXPECT_TRUE(ptx::verifyModule(*M2).empty()) << Name;
+  EXPECT_EQ(M2->Kernels.size(), M1->Kernels.size());
+  for (size_t K = 0; K != M1->Kernels.size(); ++K)
+    EXPECT_EQ(M2->Kernels[K].Body.size(), M1->Kernels[K].Body.size())
+        << Name;
+  EXPECT_EQ(ptx::printModule(*M2), Printed) << Name;
+}
+
+class SuiteRoundTrip
+    : public ::testing::TestWithParam<suite::SuiteProgram> {};
+
+TEST_P(SuiteRoundTrip, PrintsToFixpoint) {
+  expectRoundTrip(GetParam().Name, GetParam().Ptx);
+}
+
+std::string suiteName(
+    const ::testing::TestParamInfo<suite::SuiteProgram> &Info) {
+  return Info.param.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SuiteRoundTrip,
+                         ::testing::ValuesIn(suite::concurrencySuite()),
+                         suiteName);
+
+class BenchmarkRoundTrip
+    : public ::testing::TestWithParam<workloads::BenchmarkSpec> {};
+
+TEST_P(BenchmarkRoundTrip, PrintsToFixpoint) {
+  workloads::GeneratedBenchmark Bench =
+      workloads::generateBenchmark(GetParam());
+  expectRoundTrip(GetParam().Name, Bench.Ptx);
+}
+
+std::string benchName(
+    const ::testing::TestParamInfo<workloads::BenchmarkSpec> &Info) {
+  return Info.param.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkRoundTrip,
+                         ::testing::ValuesIn(workloads::table1Specs()),
+                         benchName);
+
+} // namespace

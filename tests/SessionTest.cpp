@@ -1,0 +1,254 @@
+//===- SessionTest.cpp - public API, reports and weak-memory model tests ---===//
+
+#include "barracuda/Session.h"
+#include "detector/Json.h"
+#include "detector/Report.h"
+#include "sim/WeakMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+
+namespace {
+
+const char *CopyKernel = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry copy(
+    .param .u64 dst,
+    .param .u64 src,
+    .param .u32 n
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<6>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [dst];
+    ld.param.u64 %rd2, [src];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %tid.x;
+    mov.u32 %r3, %ctaid.x;
+    mov.u32 %r4, %ntid.x;
+    mad.lo.u32 %r5, %r3, %r4, %r2;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    cvt.u64.u32 %rd3, %r5;
+    shl.b64 %rd3, %rd3, 2;
+    add.u64 %rd4, %rd2, %rd3;
+    add.u64 %rd5, %rd1, %rd3;
+    ld.global.u32 %r2, [%rd4];
+    st.global.u32 [%rd5], %r2;
+DONE:
+    ret;
+}
+)";
+
+TEST(Session, CopyKernelEndToEnd) {
+  Session S;
+  ASSERT_TRUE(S.loadModule(CopyKernel)) << S.error();
+  std::vector<uint32_t> Input(100);
+  for (uint32_t I = 0; I != 100; ++I)
+    Input[I] = I * 3 + 1;
+  uint64_t Src = S.alloc(400), Dst = S.alloc(400);
+  S.copyToDevice(Src, Input.data(), 400);
+  sim::LaunchResult Result =
+      S.launchKernel("copy", sim::Dim3(4), sim::Dim3(32), {Dst, Src, 100});
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  std::vector<uint32_t> Output(100);
+  S.copyFromDevice(Output.data(), Dst, 400);
+  EXPECT_EQ(Output, Input);
+  EXPECT_FALSE(S.anyRaces());
+  EXPECT_GT(S.lastRunStats().RecordsProcessed, 0u);
+  EXPECT_GT(S.lastRunStats().GlobalShadowBytes, 0u);
+}
+
+TEST(Session, LaunchErrors) {
+  Session S;
+  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).Ok);
+  ASSERT_TRUE(S.loadModule(CopyKernel)) << S.error();
+  // Unknown kernel.
+  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).Ok);
+  // Wrong parameter count.
+  EXPECT_FALSE(S.launchKernel("copy", sim::Dim3(1), sim::Dim3(1), {}).Ok);
+  // Over-large block.
+  EXPECT_FALSE(
+      S.launchKernel("copy", sim::Dim3(1), sim::Dim3(2048), {1, 2, 3}).Ok);
+}
+
+TEST(Session, ParseErrorsSurface) {
+  Session S;
+  EXPECT_FALSE(S.loadModule("this is not ptx"));
+  EXPECT_FALSE(S.error().empty());
+}
+
+TEST(Session, RacesAccumulateAcrossLaunches) {
+  const char *Racy = R"(
+.version 4.3
+.target sm_35
+.visible .entry racy(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<2>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %ctaid.x;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Racy)) << S.error();
+  uint64_t Out = S.alloc(64);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  size_t AfterFirst = S.races().size();
+  EXPECT_GE(AfterFirst, 1u);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  EXPECT_GE(S.races().size(), AfterFirst * 2);
+}
+
+TEST(Session, FillAndScalarHelpers) {
+  Session S;
+  ASSERT_TRUE(S.loadModule(CopyKernel));
+  uint64_t Buf = S.alloc(64);
+  S.fillDevice(Buf, 64, 0xAB);
+  EXPECT_EQ(S.readU32(Buf), 0xABABABABu);
+  S.writeU64(Buf + 8, 0x1122334455667788ULL);
+  EXPECT_EQ(S.readU64(Buf + 8), 0x1122334455667788ULL);
+  S.writeU32(Buf, 7);
+  EXPECT_EQ(S.readU32(Buf), 7u);
+}
+
+TEST(Report, DescribeAndDedup) {
+  detector::RaceReporter Reporter;
+  for (int I = 0; I != 5; ++I)
+    Reporter.reportRace(12, detector::AccessKind::Write,
+                        detector::AccessKind::Read,
+                        trace::MemSpace::Shared,
+                        detector::RaceScopeKind::IntraBlock, 3, 4, 0x99);
+  Reporter.reportRace(12, detector::AccessKind::Write,
+                      detector::AccessKind::Read, trace::MemSpace::Global,
+                      detector::RaceScopeKind::IntraBlock, 3, 4, 0x99);
+  EXPECT_EQ(Reporter.distinctRaces(), 2u);
+  EXPECT_EQ(Reporter.dynamicRaceCount(), 6u);
+  EXPECT_EQ(Reporter.racesInSpace(trace::MemSpace::Shared), 1u);
+  std::string Text = Reporter.races()[0].describe();
+  EXPECT_NE(Text.find("intra-block"), std::string::npos);
+  EXPECT_NE(Text.find("pc 12"), std::string::npos);
+  Reporter.clear();
+  EXPECT_FALSE(Reporter.anyRaces());
+}
+
+TEST(Session, RaceReportsCarrySourceLines) {
+  const char *Racy = R"(
+.version 4.3
+.target sm_35
+.visible .entry racy(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<2>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %ctaid.x;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Racy)) << S.error();
+  uint64_t Out = S.alloc(64);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.anyRaces());
+  // The racing store is on source line 12 of the module text above.
+  EXPECT_EQ(S.races()[0].Line, 12u);
+  EXPECT_NE(S.races()[0].describe().find("line 12"), std::string::npos);
+}
+
+TEST(Session, DynamicPruningCounted) {
+  const char *Redundant = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    ld.param.u64 %rd1, [out];
+    ld.global.u32 %r1, [%rd1];
+    ld.global.u32 %r2, [%rd1];
+    ld.global.u32 %r3, [%rd1];
+    ret;
+}
+)";
+  Session S;
+  ASSERT_TRUE(S.loadModule(Redundant)) << S.error();
+  uint64_t Out = S.alloc(64);
+  sim::LaunchResult Result =
+      S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out});
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  // The second and third loads are statically pruned: one warp executes
+  // them once each.
+  EXPECT_EQ(Result.RecordsPruned, 2u);
+  instrument::InstrumentationStats Stats = S.instrumentationStats();
+  EXPECT_EQ(Stats.InstrumentedUnoptimized - Stats.InstrumentedOptimized,
+            2u);
+}
+
+TEST(Report, JsonRendering) {
+  detector::RaceReporter Reporter;
+  Reporter.reportRace(5, detector::AccessKind::Write,
+                      detector::AccessKind::Atomic,
+                      trace::MemSpace::Global,
+                      detector::RaceScopeKind::InterBlock, 11, 22, 0x40);
+  Reporter.reportBarrierDivergence(9, 3, 0xFF, 0xFFFF);
+  std::string Json = barracuda::detector::reportsToJson(
+      Reporter.races(), Reporter.barrierErrors());
+  EXPECT_NE(Json.find("\"pc\": 5"), std::string::npos);
+  EXPECT_NE(Json.find("\"previous\": \"atomic\""), std::string::npos);
+  EXPECT_NE(Json.find("\"scope\": \"inter-block\""), std::string::npos);
+  EXPECT_NE(Json.find("\"activeMask\": \"0xff\""), std::string::npos);
+
+  std::string Empty = barracuda::detector::reportsToJson({}, {});
+  EXPECT_NE(Empty.find("\"races\": []"), std::string::npos);
+}
+
+TEST(WeakMemory, ForwardingAndFences) {
+  sim::GlobalMemory Memory;
+  sim::StoreBufferModel Model(sim::WeakProfileKind::KeplerK520, Memory, 1);
+  Model.setBlockCount(2);
+  Model.store(0, 0x100, 4, 42);
+  // The writing block forwards from its own buffer...
+  EXPECT_EQ(Model.load(0, 0x100, 4), 42u);
+  // ...but the other block still sees memory.
+  EXPECT_EQ(Model.load(1, 0x100, 4), 0u);
+  // A global fence publishes everything.
+  Model.fence(0, /*GlobalScope=*/true);
+  EXPECT_EQ(Model.load(1, 0x100, 4), 42u);
+  EXPECT_EQ(Model.pendingStores(), 0u);
+}
+
+TEST(WeakMemory, CtaFenceDoesNotPublishOnKepler) {
+  sim::GlobalMemory Memory;
+  sim::StoreBufferModel Model(sim::WeakProfileKind::KeplerK520, Memory, 1);
+  Model.setBlockCount(2);
+  Model.store(0, 0x100, 4, 42);
+  Model.fence(0, /*GlobalScope=*/false);
+  EXPECT_EQ(Model.load(1, 0x100, 4), 0u);
+  Model.drainAll();
+  EXPECT_EQ(Model.load(1, 0x100, 4), 42u);
+}
+
+TEST(WeakMemory, MaxwellPublishesEagerly) {
+  sim::GlobalMemory Memory;
+  sim::StoreBufferModel Model(sim::WeakProfileKind::MaxwellTitanX, Memory,
+                              1);
+  Model.setBlockCount(2);
+  Model.store(0, 0x100, 4, 42);
+  EXPECT_EQ(Model.load(1, 0x100, 4), 42u);
+}
+
+} // namespace

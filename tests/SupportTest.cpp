@@ -1,0 +1,128 @@
+//===- SupportTest.cpp - support utilities and verifier diagnostics --------===//
+
+#include "ptx/Parser.h"
+#include "ptx/Verifier.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+
+namespace {
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(support::formatString("%d + %s", 2, "two"), "2 + two");
+  EXPECT_EQ(support::formatString("%05u", 42u), "00042");
+  EXPECT_EQ(support::formatString("empty"), "empty");
+  // Long strings exceed any static buffer.
+  std::string Long(5000, 'x');
+  EXPECT_EQ(support::formatString("%s!", Long.c_str()).size(), 5001u);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(support::formatBytes(0), "0 B");
+  EXPECT_EQ(support::formatBytes(272), "272 B");
+  EXPECT_EQ(support::formatBytes(1536), "1.5 KB");
+  EXPECT_EQ(support::formatBytes(3ULL << 30), "3.0 GB");
+  EXPECT_EQ(support::formatBytes(4ULL << 40), "4.0 TB");
+}
+
+TEST(Format, Commas) {
+  EXPECT_EQ(support::formatWithCommas(0), "0");
+  EXPECT_EQ(support::formatWithCommas(999), "999");
+  EXPECT_EQ(support::formatWithCommas(1000), "1,000");
+  EXPECT_EQ(support::formatWithCommas(1048576), "1,048,576");
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  support::Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(A.nextBelow(7), 7u);
+    double D = A.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  support::Rng Rng(7);
+  unsigned Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += Rng.chance(1, 4);
+  EXPECT_GT(Hits, 2200u);
+  EXPECT_LT(Hits, 2800u);
+}
+
+TEST(TableWriter, AlignsColumns) {
+  // Mostly a does-not-crash test; the alignment logic is simple.
+  support::TableWriter Table(stdout);
+  Table.addHeader({"a", "long-header", "n"});
+  Table.setRightAligned(2);
+  Table.addRow({"row", "x", "1234"});
+  Table.addRow({"longer-row", "y"});
+  Table.print();
+  SUCCEED();
+}
+
+//===--- verifier diagnostics -------------------------------------------===//
+
+std::vector<std::string> diagnose(const std::string &Body) {
+  std::string Ptx =
+      ".version 4.3\n.target sm_35\n"
+      ".visible .entry k(\n    .param .u64 p0\n)\n{\n"
+      "    .reg .u64 %rd<4>;\n    .reg .u32 %r<4>;\n"
+      "    .reg .pred %p<2>;\n" +
+      Body + "    ret;\n}\n";
+  ptx::Parser P(Ptx);
+  auto M = P.parseModule();
+  if (!M)
+    return {"parse error: " + P.error()};
+  return ptx::verifyModule(*M);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  EXPECT_TRUE(diagnose("    ld.param.u64 %rd1, [p0];\n"
+                       "    st.global.u32 [%rd1], 1;\n")
+                  .empty());
+}
+
+TEST(Verifier, RejectsNonPredicateSetpDest) {
+  auto Diags = diagnose("    setp.eq.u32 %r1, %r2, 0;\n");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("predicate"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongOperandCounts) {
+  EXPECT_FALSE(diagnose("    add.u32 %r1, %r2;\n").empty());
+  EXPECT_FALSE(diagnose("    mov.u32 %r1, %r2, %r3;\n").empty());
+}
+
+TEST(Verifier, RejectsUntypedMemoryOps) {
+  // ld without a type suffix parses but cannot verify.
+  EXPECT_FALSE(diagnose("    ld.param.u64 %rd1, [p0];\n"
+                        "    ld.global %r1, [%rd1];\n")
+                   .empty());
+}
+
+TEST(Verifier, RejectsAtomWithoutOperation) {
+  ptx::Parser P(".version 4.3\n.target sm_35\n"
+                ".visible .entry k(\n    .param .u64 p0\n)\n{\n"
+                "    .reg .u64 %rd<2>;\n    .reg .u32 %r<3>;\n"
+                "    ld.param.u64 %rd1, [p0];\n"
+                "    atom.global.b32 %r1, [%rd1], %r2;\n"
+                "    ret;\n}\n");
+  auto M = P.parseModule();
+  ASSERT_NE(M, nullptr) << P.error();
+  EXPECT_FALSE(ptx::verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsImmediateStoreTarget) {
+  auto Diags = diagnose("    st.global.u32 %r1, 5;\n");
+  EXPECT_FALSE(Diags.empty());
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- TraceFileTest.cpp - trace recording/replay tests ---------------------===//
+
+#include "barracuda/Session.h"
+#include "detector/Host.h"
+#include "suite/Suite.h"
+#include "trace/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string("/tmp/barracuda_test_") + Name + ".bct";
+}
+
+TEST(TraceFile, RoundTripsHeaderAndRecords) {
+  std::string Path = tempPath("roundtrip");
+  TraceHeader Header;
+  Header.ThreadsPerBlock = 96;
+  Header.WarpsPerBlock = 3;
+  Header.WarpSize = 32;
+  Header.KernelName = "roundtrip_kernel";
+
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, Header));
+  for (uint32_t I = 0; I != 100; ++I) {
+    LogRecord Record = makeMemRecord(RecordOp::Write, I % 7, I,
+                                     MemSpace::Global, 4, 0xFF);
+    Record.Addr[0] = 0x1000 + I;
+    ASSERT_TRUE(Writer.append(I % 3, Record));
+  }
+  EXPECT_EQ(Writer.recordsWritten(), 100u);
+  ASSERT_TRUE(Writer.close());
+
+  TraceReader Reader;
+  ASSERT_TRUE(Reader.read(Path)) << Reader.error();
+  EXPECT_EQ(Reader.header().ThreadsPerBlock, 96u);
+  EXPECT_EQ(Reader.header().WarpsPerBlock, 3u);
+  EXPECT_EQ(Reader.header().KernelName, "roundtrip_kernel");
+  ASSERT_EQ(Reader.records().size(), 100u);
+  for (uint32_t I = 0; I != 100; ++I) {
+    EXPECT_EQ(Reader.blockIds()[I], I % 3);
+    EXPECT_EQ(Reader.records()[I].Warp, I % 7);
+    EXPECT_EQ(Reader.records()[I].Addr[0], 0x1000 + I);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbageAndMissing) {
+  TraceReader Reader;
+  EXPECT_FALSE(Reader.read("/nonexistent/path.bct"));
+  std::string Path = tempPath("garbage");
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  std::fputs("definitely not a trace", Out);
+  std::fclose(Out);
+  TraceReader Reader2;
+  EXPECT_FALSE(Reader2.read(Path));
+  EXPECT_NE(Reader2.error().find("bad header"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFile, ReplayMatchesLiveDetection) {
+  // Record a racy suite program while detecting live, then replay the
+  // file offline: identical distinct races.
+  const suite::SuiteProgram *Program =
+      suite::findSuiteProgram("g_intrablock_ww");
+  ASSERT_NE(Program, nullptr);
+  std::string Path = tempPath("replay");
+
+  SessionOptions Options;
+  Options.RecordTracePath = Path;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(Program->Ptx)) << S.error();
+  uint64_t Buf = S.alloc(256);
+  ASSERT_TRUE(S.launchKernel(Program->KernelName, Program->Grid,
+                             Program->Block, {Buf})
+                  .Ok);
+  ASSERT_TRUE(S.anyRaces());
+
+  TraceReader Reader;
+  ASSERT_TRUE(Reader.read(Path)) << Reader.error();
+  EXPECT_EQ(Reader.header().KernelName, Program->KernelName);
+  detector::DetectorOptions DetOpts;
+  DetOpts.Hier.ThreadsPerBlock = Reader.header().ThreadsPerBlock;
+  DetOpts.Hier.WarpsPerBlock = Reader.header().WarpsPerBlock;
+  DetOpts.Hier.WarpSize = Reader.header().WarpSize;
+  detector::SharedDetectorState State(DetOpts);
+  detector::processCollected(State, 2, Reader.blockIds(),
+                             Reader.records());
+
+  auto Live = S.races();
+  auto Replayed = State.Reporter.races();
+  ASSERT_EQ(Replayed.size(), Live.size());
+  for (size_t I = 0; I != Live.size(); ++I) {
+    EXPECT_EQ(Replayed[I].Pc, Live[I].Pc);
+    EXPECT_EQ(Replayed[I].Scope, Live[I].Scope);
+    EXPECT_EQ(Replayed[I].Space, Live[I].Space);
+  }
+  std::remove(Path.c_str());
+}
+
+} // namespace

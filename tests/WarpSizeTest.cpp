@@ -1,0 +1,211 @@
+//===- WarpSizeTest.cpp - simulated warp widths (Section 3.1 extension) ----===//
+//
+// The paper notes that portable CUDA code should not bake in the warp
+// size, and that BARRACUDA could "simulate the behavior of smaller/larger
+// warps to find additional latent bugs". This implements and tests the
+// smaller-warp simulation: warp-synchronous code that is quiet at the
+// hardware width of 32 races once lockstep only spans 16 or 8 lanes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+#include "suite/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+
+namespace {
+
+/// Warp-synchronous neighbour exchange over 32 threads: thread i writes
+/// slot i, then (relying on 32-wide lockstep, no barrier) reads slot
+/// (i+1) % 32.
+const char *WarpSynchronous = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry exchange(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r1;
+    add.u32 %r2, %r1, 1;
+    and.b32 %r2, %r2, 31;
+    cvt.u64.u32 %rd2, %r2;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd4, %rd1, %rd2;
+    ld.global.u32 %r3, [%rd4];
+    ret;
+}
+)";
+
+/// Portable variant: reads %WARP_SZ at runtime and exchanges only
+/// within the actual warp.
+const char *PortableExchange = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry exchange(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<10>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r4, %WARP_SZ;
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r1;
+    // neighbour within my own (simulated) warp:
+    // base = tid - (tid % WARP_SZ); nbr = base + (lane + 1) % WARP_SZ
+    rem.u32 %r5, %r1, %r4;
+    sub.u32 %r6, %r1, %r5;
+    add.u32 %r7, %r5, 1;
+    rem.u32 %r7, %r7, %r4;
+    add.u32 %r7, %r6, %r7;
+    cvt.u64.u32 %rd2, %r7;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd4, %rd1, %rd2;
+    ld.global.u32 %r3, [%rd4];
+    ret;
+}
+)";
+
+size_t racesAtWarpSize(const char *Ptx, uint32_t WarpSize) {
+  SessionOptions Options;
+  Options.WarpSize = WarpSize;
+  Session S(Options);
+  EXPECT_TRUE(S.loadModule(Ptx)) << S.error();
+  uint64_t Out = S.alloc(4 * 32);
+  sim::LaunchResult Result =
+      S.launchKernel("exchange", sim::Dim3(1), sim::Dim3(32), {Out});
+  EXPECT_TRUE(Result.Ok) << Result.Error;
+  return S.races().size();
+}
+
+TEST(WarpSize, WarpSynchronousCodeSafeAt32) {
+  EXPECT_EQ(racesAtWarpSize(WarpSynchronous, 32), 0u);
+}
+
+TEST(WarpSize, LatentRaceAppearsAt16) {
+  // Lanes 15<->16 now straddle two simulated warps: no lockstep order.
+  EXPECT_GT(racesAtWarpSize(WarpSynchronous, 16), 0u);
+}
+
+TEST(WarpSize, LatentRaceAppearsAt8) {
+  EXPECT_GT(racesAtWarpSize(WarpSynchronous, 8), 0u);
+}
+
+TEST(WarpSize, PortableCodeSafeAtEveryWidth) {
+  for (uint32_t WarpSize : {32u, 16u, 8u, 4u})
+    EXPECT_EQ(racesAtWarpSize(PortableExchange, WarpSize), 0u)
+        << "warp size " << WarpSize;
+}
+
+TEST(WarpSize, BarriersStillWorkAtSmallWidths) {
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry exchange(
+    .param .u64 out
+)
+{
+    .reg .u64 %rd<6>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r1;
+    bar.sync 0;
+    add.u32 %r2, %r1, 1;
+    and.b32 %r2, %r2, 31;
+    cvt.u64.u32 %rd2, %r2;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd4, %rd1, %rd2;
+    ld.global.u32 %r3, [%rd4];
+    ret;
+}
+)";
+  for (uint32_t WarpSize : {32u, 16u, 8u})
+    EXPECT_EQ(racesAtWarpSize(Ptx, WarpSize), 0u)
+        << "warp size " << WarpSize;
+}
+
+/// Suite programs whose ground truth is warp-width independent: their
+/// synchronization is barriers/atomics/fences or their accesses are
+/// disjoint, so the verdict must hold at narrower widths too.
+class WidthRobustSuite : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WidthRobustSuite, VerdictHoldsAtNarrowWidths) {
+  const suite::SuiteProgram *Program =
+      suite::findSuiteProgram(GetParam());
+  ASSERT_NE(Program, nullptr) << GetParam();
+  for (uint32_t WarpSize : {16u, 8u}) {
+    SessionOptions Options;
+    Options.WarpSize = WarpSize;
+    Session S(Options);
+    ASSERT_TRUE(S.loadModule(Program->Ptx)) << S.error();
+    std::vector<uint64_t> Params;
+    for (const auto &Spec : Program->Params) {
+      if (Spec.K == suite::ParamSpec::Kind::Value) {
+        Params.push_back(Spec.Value);
+        continue;
+      }
+      uint64_t Addr = S.alloc(Spec.BufferBytes);
+      if (Spec.HasInitWord)
+        S.writeU32(Addr, Spec.InitWord);
+      Params.push_back(Addr);
+    }
+    sim::LaunchResult Result = S.launchKernel(
+        Program->KernelName, Program->Grid, Program->Block, Params);
+    ASSERT_TRUE(Result.Ok) << Result.Error;
+    bool Problem = S.anyRaces() || !S.barrierErrors().empty();
+    EXPECT_EQ(Problem, Program->expectProblem())
+        << GetParam() << " at warp size " << WarpSize
+        << (S.races().empty() ? std::string()
+                              : "\n" + S.races()[0].describe());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, WidthRobustSuite,
+    ::testing::Values(
+        // race-free, width-robust
+        "g_disjoint_slots", "g_neighbor_after_barrier",
+        "s_producer_consumer_barrier", "s_atomics_only",
+        "s_warp_private_rows", "g_atomic_counter", "b_barrier_loop",
+        "m_mixed_spaces", "m_local_memory", "a_ticket_slots",
+        "f_mp_global_fences", "l_spinlock_correct",
+        "f_threadfence_reduction", "p_grid_stride_disjoint",
+        // racy, width-robust
+        "g_ww_same_slot", "s_ww_same_slot", "f_mp_no_fences",
+        "l_lock_wrong_scope", "p_grid_stride_overlap",
+        "b_missing_barrier_stencil"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+TEST(WarpSize, InvalidWidthRejected) {
+  SessionOptions Options;
+  Options.WarpSize = 64;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(WarpSynchronous));
+  uint64_t Out = S.alloc(128);
+  EXPECT_FALSE(
+      S.launchKernel("exchange", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+}
+
+} // namespace

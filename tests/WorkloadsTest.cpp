@@ -1,0 +1,97 @@
+//===- WorkloadsTest.cpp - Table 1 generator tests ---------------------------===//
+
+#include "barracuda/Session.h"
+#include "workloads/Generator.h"
+#include "workloads/Table1.h"
+
+#include <gtest/gtest.h>
+
+using namespace barracuda;
+using namespace barracuda::workloads;
+
+namespace {
+
+TEST(Table1, TwentySixSpecs) { EXPECT_EQ(table1Specs().size(), 26u); }
+
+TEST(Table1, ColumnValuesMatchPaper) {
+  const BenchmarkSpec *Dwt = findSpec("dwt2d");
+  ASSERT_NE(Dwt, nullptr);
+  EXPECT_EQ(Dwt->StaticInsns, 35385u);
+  EXPECT_EQ(Dwt->TotalThreads, 2304u);
+  EXPECT_EQ(Dwt->GlobalMemMB, 6644u);
+  EXPECT_EQ(Dwt->RacesGlobal, 3u);
+
+  const BenchmarkSpec *Dxtc = findSpec("dxtc");
+  ASSERT_NE(Dxtc, nullptr);
+  EXPECT_EQ(Dxtc->RacesShared, 120u);
+  EXPECT_EQ(Dxtc->TotalThreads, 1048576u);
+
+  const BenchmarkSpec *Pathfinder = findSpec("pathfinder");
+  ASSERT_NE(Pathfinder, nullptr);
+  EXPECT_EQ(Pathfinder->RacesShared, 7u);
+}
+
+TEST(Generator, ExactStaticInstructionCounts) {
+  for (const BenchmarkSpec &Spec : table1Specs()) {
+    GeneratedBenchmark Bench = generateBenchmark(Spec);
+    Session S;
+    ASSERT_TRUE(S.loadModule(Bench.Ptx))
+        << Spec.Name << ": " << S.error();
+    // Count before the predication transform: the generator emits no
+    // guarded memory ops, so the body size is preserved anyway.
+    EXPECT_EQ(S.module().staticInstructionCount(), Spec.StaticInsns)
+        << Spec.Name;
+  }
+}
+
+TEST(Generator, GeometryMatchesSpec) {
+  const BenchmarkSpec *Spec = findSpec("backprop");
+  ASSERT_NE(Spec, nullptr);
+  GeneratedBenchmark Bench = generateBenchmark(*Spec);
+  EXPECT_EQ(Bench.fullThreads(), Spec->TotalThreads);
+  EXPECT_LE(Bench.measuredThreads(), 65536u);
+  EXPECT_EQ(Bench.Block.X, Spec->ThreadsPerBlock);
+}
+
+TEST(Generator, PlantedRacesAreFound) {
+  // A benchmark with global races and one with many shared races.
+  for (const char *Name : {"hashtable", "pathfinder"}) {
+    const BenchmarkSpec *Spec = findSpec(Name);
+    ASSERT_NE(Spec, nullptr);
+    GeneratedBenchmark Bench = generateBenchmark(*Spec);
+    Session S;
+    ASSERT_TRUE(S.loadModule(Bench.Ptx)) << S.error();
+    uint64_t Data = S.alloc(Bench.DataBytes);
+    sim::LaunchResult Result = S.launchKernel(
+        Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
+    ASSERT_TRUE(Result.Ok) << Result.Error;
+    EXPECT_EQ(S.races().size(), Bench.ExpectedRaces) << Name;
+  }
+}
+
+TEST(Generator, RaceFreeBenchmarksAreQuiet) {
+  const BenchmarkSpec *Spec = findSpec("streamcluster");
+  ASSERT_NE(Spec, nullptr);
+  GeneratedBenchmark Bench = generateBenchmark(*Spec);
+  Session S;
+  ASSERT_TRUE(S.loadModule(Bench.Ptx)) << S.error();
+  uint64_t Data = S.alloc(Bench.DataBytes);
+  sim::LaunchResult Result = S.launchKernel(
+      Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(S.races().empty());
+}
+
+TEST(Generator, PruningReducesInstrumentation) {
+  const BenchmarkSpec *Spec = findSpec("hotspot");
+  ASSERT_NE(Spec, nullptr);
+  GeneratedBenchmark Bench = generateBenchmark(*Spec);
+  Session S;
+  ASSERT_TRUE(S.loadModule(Bench.Ptx)) << S.error();
+  instrument::InstrumentationStats Stats = S.instrumentationStats();
+  EXPECT_GT(Stats.InstrumentedUnoptimized, 0u);
+  EXPECT_LT(Stats.InstrumentedOptimized, Stats.InstrumentedUnoptimized);
+  EXPECT_LT(Stats.unoptimizedFraction(), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- barracuda-instrument.cpp - instrumentation inspector -----------------===//
+//
+// Shows what the binary instrumentation framework would do to a PTX
+// module: the rewritten (predication-transformed) code with each
+// instruction's logging action, inferred acquire/release scopes, pruning
+// decisions and reconvergence points, plus the Figure 9 statistics.
+//
+// Usage: barracuda-instrument FILE.ptx [--no-prune]
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "ptx/Printer.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace barracuda;
+
+int main(int ArgCount, char **Args) {
+  std::string File;
+  instrument::InstrumenterOptions Options;
+  for (int I = 1; I < ArgCount; ++I) {
+    if (std::strcmp(Args[I], "--no-prune") == 0)
+      Options.PruneRedundantLogging = false;
+    else if (Args[I][0] != '-' && File.empty())
+      File = Args[I];
+    else {
+      std::fprintf(stderr,
+                   "usage: barracuda-instrument FILE.ptx [--no-prune]\n");
+      return 2;
+    }
+  }
+  if (File.empty()) {
+    std::fprintf(stderr,
+                 "usage: barracuda-instrument FILE.ptx [--no-prune]\n");
+    return 2;
+  }
+
+  std::ifstream Input(File);
+  if (!Input) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << Input.rdbuf();
+
+  ptx::Parser Parser(Buffer.str());
+  std::unique_ptr<ptx::Module> Mod = Parser.parseModule();
+  if (!Mod) {
+    std::fprintf(stderr, "parse error: %s\n", Parser.error().c_str());
+    return 2;
+  }
+
+  instrument::ModuleInstrumentation Instr =
+      instrument::instrumentModule(*Mod, Options);
+
+  for (size_t KI = 0; KI != Mod->Kernels.size(); ++KI) {
+    const ptx::Kernel &K = Mod->Kernels[KI];
+    const instrument::KernelInstrumentation &Annotations =
+        Instr.Kernels[KI];
+    std::printf("// kernel %s\n", K.Name.c_str());
+    for (size_t Index = 0; Index != K.Body.size(); ++Index) {
+      const instrument::InsnAnnotation &Note = Annotations.Insns[Index];
+      std::string Tag;
+      if (Note.Action != instrument::LogActionKind::None) {
+        Tag = instrument::logActionName(Note.Action);
+        if (Note.Action == instrument::LogActionKind::Acquire ||
+            Note.Action == instrument::LogActionKind::Release ||
+            Note.Action == instrument::LogActionKind::AcquireRelease)
+          Tag += Note.Scope == trace::SyncScope::Global ? " (global)"
+                                                        : " (block)";
+        if (Note.Action == instrument::LogActionKind::Branch)
+          Tag += support::formatString(" reconv=%u", Note.ReconvPc);
+        if (Note.Pruned)
+          Tag += " [pruned]";
+      }
+      std::printf("%4zu  %-50s %s%s%s\n", Index,
+                  ptx::printInstruction(*Mod, K, K.Body[Index]).c_str(),
+                  Tag.empty() ? "" : "// ", Tag.c_str(),
+                  Note.logs() ? " *" : "");
+    }
+    const instrument::InstrumentationStats &Stats = Annotations.Stats;
+    std::printf("// %llu static insns, instrumented %llu (%.1f%%), "
+                "%llu before pruning (%.1f%%)\n\n",
+                static_cast<unsigned long long>(Stats.StaticInsns),
+                static_cast<unsigned long long>(
+                    Stats.InstrumentedOptimized),
+                100.0 * Stats.optimizedFraction(),
+                static_cast<unsigned long long>(
+                    Stats.InstrumentedUnoptimized),
+                100.0 * Stats.unoptimizedFraction());
+  }
+  return 0;
+}

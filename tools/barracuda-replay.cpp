@@ -1,0 +1,79 @@
+//===- barracuda-replay.cpp - offline race checking of recorded traces -----===//
+//
+// Race-checks a trace recorded with `barracuda-run --record`. Replaying
+// decouples the execution from the analysis, so a trace captured once
+// can be re-analyzed (e.g. with a different queue count) without
+// re-running the program.
+//
+// Usage: barracuda-replay TRACE.bct [--queues N] [--expect-races]
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Host.h"
+#include "support/Format.h"
+#include "trace/TraceFile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace barracuda;
+
+int main(int ArgCount, char **Args) {
+  std::string File;
+  unsigned NumQueues = 4;
+  bool ExpectRaces = false;
+  for (int I = 1; I < ArgCount; ++I) {
+    if (std::strcmp(Args[I], "--queues") == 0 && I + 1 < ArgCount)
+      NumQueues = static_cast<unsigned>(std::strtoul(Args[++I], nullptr,
+                                                     10));
+    else if (std::strcmp(Args[I], "--expect-races") == 0)
+      ExpectRaces = true;
+    else if (Args[I][0] != '-' && File.empty())
+      File = Args[I];
+    else {
+      std::fprintf(stderr, "usage: barracuda-replay TRACE.bct "
+                           "[--queues N] [--expect-races]\n");
+      return 2;
+    }
+  }
+  if (File.empty() || NumQueues == 0) {
+    std::fprintf(stderr, "usage: barracuda-replay TRACE.bct "
+                         "[--queues N] [--expect-races]\n");
+    return 2;
+  }
+
+  trace::TraceReader Reader;
+  if (!Reader.read(File)) {
+    std::fprintf(stderr, "error: %s\n", Reader.error().c_str());
+    return 2;
+  }
+  const trace::TraceHeader &Header = Reader.header();
+  std::printf("barracuda-replay: %s (kernel '%s', %u threads/block, "
+              "%u warps/block, warp size %u, %zu records)\n",
+              File.c_str(), Header.KernelName.c_str(),
+              Header.ThreadsPerBlock, Header.WarpsPerBlock,
+              Header.WarpSize, Reader.records().size());
+
+  detector::DetectorOptions Options;
+  Options.Hier.ThreadsPerBlock = Header.ThreadsPerBlock;
+  Options.Hier.WarpsPerBlock = Header.WarpsPerBlock;
+  Options.Hier.WarpSize = Header.WarpSize;
+  detector::SharedDetectorState State(Options);
+  detector::processCollected(State, NumQueues, Reader.blockIds(),
+                             Reader.records());
+
+  for (const auto &Race : State.Reporter.races())
+    std::printf("RACE: %s\n", Race.describe().c_str());
+  for (const auto &Error : State.Reporter.barrierErrors())
+    std::printf("BARRIER DIVERGENCE: pc %u warp %u\n", Error.Pc,
+                Error.Warp);
+
+  bool Found = State.Reporter.anyRaces() ||
+               !State.Reporter.barrierErrors().empty();
+  if (!Found)
+    std::printf("no races detected\n");
+  if (ExpectRaces)
+    return Found ? 0 : 1;
+  return Found ? 1 : 0;
+}
