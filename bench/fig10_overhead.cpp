@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "barracuda/Session.h"
+#include "runtime/Engine.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 #include "workloads/Generator.h"
@@ -31,9 +32,18 @@ using support::formatString;
 
 namespace {
 
+/// One detector pool for every instrumented measurement: sessions come
+/// and go per benchmark, the engine's threads persist.
+runtime::Engine &benchEngine() {
+  static runtime::Engine Engine;
+  return Engine;
+}
+
 double runOnce(const GeneratedBenchmark &Bench, bool Instrumented) {
   SessionOptions Options;
   Options.Instrument = Instrumented;
+  if (Instrumented)
+    Options.SharedEngine = &benchEngine();
   Session S(Options);
   if (!S.loadModule(Bench.Ptx)) {
     std::fprintf(stderr, "parse error: %s\n", S.error().c_str());

@@ -6,6 +6,7 @@
 #include "ptx/Parser.h"
 #include "ptx/Verifier.h"
 #include "support/Format.h"
+#include "trace/Sink.h"
 #include "trace/TraceFile.h"
 
 using namespace barracuda;
@@ -64,8 +65,7 @@ void Session::copyFromDevice(void *Dst, uint64_t Addr, uint64_t Bytes) {
 }
 
 void Session::fillDevice(uint64_t Addr, uint64_t Bytes, uint8_t Value) {
-  for (uint64_t I = 0; I != Bytes; ++I)
-    Memory.write(Addr + I, 1, Value);
+  Memory.fill(Addr, Bytes, Value);
 }
 
 uint32_t Session::readU32(uint64_t Addr) {
@@ -89,10 +89,56 @@ uint64_t Session::globalAddress(const std::string &Name) const {
   return Mod->Globals[static_cast<size_t>(Index)].Address;
 }
 
+runtime::Engine &Session::engine() {
+  if (Options.SharedEngine)
+    return *Options.SharedEngine;
+  std::lock_guard<std::mutex> Lock(EngineMutex);
+  if (!OwnedEngine) {
+    runtime::EngineOptions EngOpts;
+    EngOpts.NumQueues = Options.NumQueues;
+    EngOpts.QueueCapacity = Options.QueueCapacity;
+    OwnedEngine = std::make_unique<runtime::Engine>(EngOpts);
+  }
+  return *OwnedEngine;
+}
+
 sim::LaunchResult
 Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
                       sim::Dim3 Block,
                       const std::vector<uint64_t> &Params) {
+  return runLaunch(KernelName, Grid, Block, Params);
+}
+
+runtime::Stream &Session::createStream() {
+  engine(); // materialize the pool on the caller, not the executor
+  std::lock_guard<std::mutex> Lock(StreamsMutex);
+  Streams.push_back(std::make_unique<runtime::Stream>());
+  return *Streams.back();
+}
+
+std::future<sim::LaunchResult>
+Session::launchKernelAsync(runtime::Stream &S,
+                           const std::string &KernelName, sim::Dim3 Grid,
+                           sim::Dim3 Block,
+                           const std::vector<uint64_t> &Params) {
+  auto Task = std::make_shared<std::packaged_task<sim::LaunchResult()>>(
+      [this, KernelName, Grid, Block, Params] {
+        return runLaunch(KernelName, Grid, Block, Params);
+      });
+  std::future<sim::LaunchResult> Result = Task->get_future();
+  S.enqueue([Task] { (*Task)(); });
+  return Result;
+}
+
+void Session::synchronize() {
+  std::lock_guard<std::mutex> Lock(StreamsMutex);
+  for (auto &S : Streams)
+    S->synchronize();
+}
+
+sim::LaunchResult
+Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
+                   sim::Dim3 Block, const std::vector<uint64_t> &Params) {
   if (!Mod)
     return sim::LaunchResult::failure("no module loaded");
   ptx::Kernel *K = Mod->findKernel(KernelName);
@@ -122,31 +168,10 @@ Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
   const instrument::KernelInstrumentation &KI =
       Instr->Kernels[KernelIndex];
 
-  trace::QueueSet Queues(Options.NumQueues, Options.QueueCapacity);
-  detector::DetectorOptions DetOpts;
-  DetOpts.Hier = sim::ThreadHierarchy(Config);
-  DetOpts.CollectStats = Options.CollectStats;
-  detector::SharedDetectorState State(DetOpts);
-  detector::HostDetector Host(Queues, State);
-  Host.start();
+  runtime::Engine &Eng = engine();
 
-  // Optional trace recording: the device thread tees every record into
-  // the trace file before publishing it to the queues.
-  class TeeLogger : public sim::DeviceLogger {
-  public:
-    TeeLogger(trace::QueueSet &Queues, trace::TraceWriter *Writer)
-        : Inner(Queues), Writer(Writer) {}
-    void log(uint32_t BlockId, const trace::LogRecord &Record) override {
-      if (Writer)
-        Writer->append(BlockId, Record);
-      Inner.log(BlockId, Record);
-    }
-
-  private:
-    sim::QueueLogger Inner;
-    trace::TraceWriter *Writer;
-  };
-
+  // Optional trace recording: the sink chain tees every record into the
+  // trace file before publishing it to the engine's queues.
   trace::TraceWriter Writer;
   bool Recording = !Options.RecordTracePath.empty();
   if (Recording) {
@@ -155,26 +180,40 @@ Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
     Header.WarpsPerBlock = Config.warpsPerBlock();
     Header.WarpSize = Config.WarpSize;
     Header.KernelName = KernelName;
-    if (!Writer.open(Options.RecordTracePath, Header)) {
-      Queues.closeAll();
-      Host.join();
+    if (!Writer.open(Options.RecordTracePath, Header))
       return sim::LaunchResult::failure(support::formatString(
           "cannot write trace '%s'", Options.RecordTracePath.c_str()));
-    }
   }
 
-  TeeLogger Logger(Queues, Recording ? &Writer : nullptr);
+  detector::DetectorOptions DetOpts;
+  DetOpts.Hier = sim::ThreadHierarchy(Config);
+  DetOpts.CollectStats = Options.CollectStats;
+  detector::SharedDetectorState State(DetOpts);
+
+  runtime::EngineCounters Before = Eng.counters();
+  std::shared_ptr<runtime::Launch> Lease = Eng.begin(State);
+
+  trace::TraceFileSink FileSink(Writer);
+  trace::CountingSink Counts;
+  trace::SinkList Sinks;
+  Sinks.add(Recording ? &FileSink : nullptr);
+  Sinks.add(&Counts);
+  Sinks.add(&Lease->sink());
+
+  sim::SinkLogger Logger(Sinks);
   sim::LaunchResult Result =
       Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger);
 
-  Queues.closeAll();
-  Host.join();
+  Lease->finish();
+  runtime::EngineCounters After = Eng.counters();
   if (Recording && !Writer.close() && Result.Ok)
     Result = sim::LaunchResult::failure(
         "I/O error while recording the trace");
 
   // Accumulate findings and stats for this launch, mapping each race's
-  // pc back to its PTX source line.
+  // pc back to its PTX source line. Launches on concurrent streams land
+  // here from their executor threads, hence the lock.
+  std::lock_guard<std::mutex> Lock(ResultsMutex);
   for (detector::RaceReport Race : State.Reporter.races()) {
     if (Race.Pc < K->Body.size())
       Race.Line = K->Body[Race.Pc].Line;
@@ -185,12 +224,17 @@ Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
     AllBarrierErrors.push_back(Error);
 
   LastStats.Launch = Result;
-  LastStats.RecordsProcessed = Host.recordsProcessed();
+  LastStats.RecordsProcessed = State.recordsProcessed();
   LastStats.Formats = State.formatStats();
   LastStats.PeakPtvcBytes = State.peakPtvcBytes();
   LastStats.GlobalShadowBytes = State.GlobalMem.shadowBytes();
   LastStats.SharedShadowBytes = State.sharedShadowBytes();
   LastStats.SyncLocations = State.Syncs.size();
+  LastStats.MemoryRecords = Counts.memoryRecords();
+  LastStats.SyncRecords = Counts.syncRecords();
+  LastStats.ControlRecords = Counts.controlRecords();
+  LastStats.QueueFullSpins = After.FullSpins - Before.FullSpins;
+  LastStats.DetectorEmptySpins = After.EmptySpins - Before.EmptySpins;
   return Result;
 }
 

@@ -8,8 +8,9 @@
 /// The public entry point: a Session owns a simulated device (global
 /// memory + SIMT machine) and wires the full BARRACUDA pipeline —
 /// parse PTX, instrument it, execute it on the machine with device-side
-/// logging into the lock-free queues, and race-check the streams with
-/// one host detector thread per queue.
+/// logging through a composable sink chain into the persistent runtime
+/// Engine's lock-free queues, where a resident detector thread pool
+/// race-checks the streams.
 ///
 /// Typical use:
 /// \code
@@ -21,6 +22,15 @@
 ///     puts(Race.describe().c_str());
 /// \endcode
 ///
+/// Kernels can also run concurrently on streams (CUDA-stream stand-ins):
+/// \code
+///   runtime::Stream &A = S.createStream();
+///   runtime::Stream &B = S.createStream();
+///   auto RA = S.launchKernelAsync(A, "k1", {64}, {128}, {BufA});
+///   auto RB = S.launchKernelAsync(B, "k2", {64}, {128}, {BufB});
+///   S.synchronize();
+/// \endcode
+///
 /// A Session constructed with Instrument=false runs kernels natively
 /// (no logging, no detection) — the baseline for the overhead figure.
 ///
@@ -30,13 +40,16 @@
 #define BARRACUDA_BARRACUDA_SESSION_H
 
 #include "detector/Detector.h"
-#include "detector/Host.h"
 #include "instrument/Instrumenter.h"
 #include "ptx/Ir.h"
+#include "runtime/Engine.h"
+#include "runtime/Stream.h"
 #include "sim/Machine.h"
 #include "trace/Queue.h"
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,7 +63,7 @@ struct SessionOptions {
   instrument::InstrumenterOptions Instrumenter;
   sim::MachineOptions Machine;
   /// Number of device-to-host queues (the paper found ~1.1-1.5 queues
-  /// per SM optimal; each gets one host detector thread).
+  /// per SM optimal; each gets one persistent detector thread).
   unsigned NumQueues = 4;
   /// Per-queue capacity in records (power of two).
   size_t QueueCapacity = 1 << 14;
@@ -62,6 +75,12 @@ struct SessionOptions {
   /// When non-empty, every launch also records its trace to this file
   /// (replayable offline with barracuda-replay).
   std::string RecordTracePath;
+  /// Use this process-wide Engine instead of creating one per session
+  /// (NumQueues/QueueCapacity are then the engine's, not the session's).
+  /// The engine must outlive the session. Lets a driver running many
+  /// short sessions — e.g. the 66-program suite — pay for the detector
+  /// pool once.
+  runtime::Engine *SharedEngine = nullptr;
 };
 
 /// Result of one instrumented kernel launch.
@@ -73,6 +92,16 @@ struct KernelRunStats {
   uint64_t GlobalShadowBytes = 0;
   uint64_t SharedShadowBytes = 0;
   uint64_t SyncLocations = 0;
+  /// Record-class tallies from the launch's counting sink.
+  uint64_t MemoryRecords = 0;
+  uint64_t SyncRecords = 0;
+  uint64_t ControlRecords = 0;
+  /// Producer waits on full rings during this launch (engine-wide delta;
+  /// approximate when other streams run concurrently).
+  uint64_t QueueFullSpins = 0;
+  /// Detector-worker waits on empty queues during this launch (same
+  /// caveat).
+  uint64_t DetectorEmptySpins = 0;
 };
 
 /// An end-to-end BARRACUDA pipeline over one simulated device.
@@ -121,18 +150,45 @@ public:
 
   sim::GlobalMemory &memory() { return Memory; }
 
+  /// The session's detection runtime (created on first use, or the
+  /// SharedEngine from the options). Instrumented launches lease an
+  /// epoch from it; its thread pool persists across launches.
+  runtime::Engine &engine();
+
   // --- launching --------------------------------------------------------
   /// Launches \p KernelName with scalar/pointer parameters \p Params
-  /// (one value per declared parameter). On instrumented sessions the
-  /// detector runs concurrently and its findings accumulate in races().
+  /// (one value per declared parameter) and blocks until the detector
+  /// has drained the launch. On instrumented sessions findings
+  /// accumulate in races().
   sim::LaunchResult launchKernel(const std::string &KernelName,
                                  sim::Dim3 Grid, sim::Dim3 Block,
                                  const std::vector<uint64_t> &Params = {});
 
+  /// A new stream owned by the session. Launches on different streams
+  /// run concurrently over the one engine; launches on one stream run
+  /// in order. Streams live until the session is destroyed.
+  runtime::Stream &createStream();
+
+  /// Enqueues a launch on \p S and returns immediately. The future
+  /// resolves when the launch and its detection complete. Note the
+  /// simulated device executes interpreter atomics non-atomically
+  /// across streams, so concurrent kernels should work on disjoint
+  /// buffers (or be tolerant of torn cross-kernel atomics).
+  std::future<sim::LaunchResult>
+  launchKernelAsync(runtime::Stream &S, const std::string &KernelName,
+                    sim::Dim3 Grid, sim::Dim3 Block,
+                    const std::vector<uint64_t> &Params = {});
+
+  /// Waits for every stream created by this session (cudaDeviceSynchronize).
+  void synchronize();
+
   // --- results -----------------------------------------------------------
-  /// All distinct races found by launches so far.
-  std::vector<detector::RaceReport> races() const { return AllRaces; }
-  std::vector<detector::BarrierError> barrierErrors() const {
+  /// All distinct races found by launches so far. Synchronize streams
+  /// before reading when async launches are in flight.
+  const std::vector<detector::RaceReport> &races() const {
+    return AllRaces;
+  }
+  const std::vector<detector::BarrierError> &barrierErrors() const {
     return AllBarrierErrors;
   }
   bool anyRaces() const { return !AllRaces.empty(); }
@@ -144,15 +200,32 @@ public:
   instrument::InstrumentationStats instrumentationStats() const;
 
 private:
+  sim::LaunchResult runLaunch(const std::string &KernelName,
+                              sim::Dim3 Grid, sim::Dim3 Block,
+                              const std::vector<uint64_t> &Params);
+
   SessionOptions Options;
   sim::GlobalMemory Memory;
   sim::Machine Machine;
   std::unique_ptr<ptx::Module> Mod;
   std::unique_ptr<instrument::ModuleInstrumentation> Instr;
   std::string ErrorMessage;
+
+  /// Lazily created when no SharedEngine was supplied.
+  std::mutex EngineMutex;
+  std::unique_ptr<runtime::Engine> OwnedEngine;
+
+  /// Results may be appended from stream executor threads.
+  mutable std::mutex ResultsMutex;
   std::vector<detector::RaceReport> AllRaces;
   std::vector<detector::BarrierError> AllBarrierErrors;
   KernelRunStats LastStats;
+
+  /// Streams declared last: they must drain (their work touches the
+  /// machine, the engine and the result vectors) before anything else
+  /// dies.
+  std::mutex StreamsMutex;
+  std::vector<std::unique_ptr<runtime::Stream>> Streams;
 };
 
 } // namespace barracuda

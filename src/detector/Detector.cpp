@@ -2,6 +2,8 @@
 
 #include "detector/Detector.h"
 
+#include "support/Backoff.h"
+
 #include <cassert>
 #include <thread>
 
@@ -126,14 +128,13 @@ void QueueProcessor::afterClockChange(BlockState &BS, WarpEntry &WE) {
 
 void QueueProcessor::waitForTicket(uint32_t Ticket) {
   assert(Ticket != 0 && "sync record without a ticket");
-  unsigned Spins = 0;
+  // Latency matters here (every sync record on every queue serializes
+  // through this), so cap the sleep tier low.
+  support::Backoff Wait(/*SpinPauses=*/64, /*YieldPauses=*/64,
+                        /*MaxSleepMicros=*/64);
   while (Shared.SyncProcessed.load(std::memory_order_acquire) !=
-         Ticket - 1) {
-    if (++Spins > 64) {
-      std::this_thread::yield();
-      Spins = 0;
-    }
-  }
+         Ticket - 1)
+    Wait.pause();
 }
 
 void QueueProcessor::finishTicket(uint32_t Ticket) {

@@ -2,6 +2,8 @@
 
 #include "detector/Host.h"
 
+#include "support/Backoff.h"
+
 #include <cassert>
 
 using namespace barracuda;
@@ -33,6 +35,7 @@ void HostDetector::workerMain(unsigned QueueIndex) {
   QueueProcessor &Processor = *Processors[QueueIndex];
   constexpr size_t BatchSize = 64;
   trace::LogRecord Batch[BatchSize];
+  support::Backoff Wait;
   for (;;) {
     size_t Count = Queue.drain(Batch, BatchSize);
     for (size_t I = 0; I != Count; ++I)
@@ -40,9 +43,13 @@ void HostDetector::workerMain(unsigned QueueIndex) {
     if (Count == 0) {
       if (Queue.exhausted())
         break;
-      std::this_thread::yield();
+      Wait.pause();
+    } else if (Wait.waits()) {
+      EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+      Wait.reset();
     }
   }
+  EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
   Processor.finish();
 }
 

@@ -9,6 +9,8 @@
 /// 4.3), each owning a QueueProcessor. Threads drain until their queue is
 /// closed and empty. Queue draining is the mirror image of the device
 /// logging algorithm, advancing the read head over committed records.
+/// Empty queues are waited on with exponential backoff (spin, yield,
+/// then short sleeps) rather than a hot loop.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #include "detector/Detector.h"
 #include "trace/Queue.h"
 
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -44,6 +47,13 @@ public:
 
   uint64_t recordsProcessed() const;
 
+  /// Total backoff pauses workers took while their queue was empty; a
+  /// measure of detector idle time (the queue-full mirror lives on
+  /// trace::EventQueue::fullSpins()).
+  uint64_t emptySpins() const {
+    return EmptySpins.load(std::memory_order_relaxed);
+  }
+
 private:
   void workerMain(unsigned QueueIndex);
 
@@ -51,6 +61,7 @@ private:
   SharedDetectorState &State;
   std::vector<std::unique_ptr<QueueProcessor>> Processors;
   std::vector<std::thread> Threads;
+  std::atomic<uint64_t> EmptySpins{0};
   bool Started = false;
   bool Joined = false;
 };

@@ -1,0 +1,160 @@
+//===- Engine.cpp - persistent detection runtime ---------------------------===//
+
+#include "runtime/Engine.h"
+
+#include "support/Backoff.h"
+
+#include <cassert>
+
+using namespace barracuda;
+using namespace barracuda::runtime;
+
+//===----------------------------------------------------------------------===//
+// Launch
+//===----------------------------------------------------------------------===//
+
+Launch::Launch(Engine &Eng, uint32_t Epoch,
+               detector::SharedDetectorState &State)
+    : Eng(Eng), Epoch(Epoch), State(State) {
+  for (unsigned I = 0; I != Eng.numQueues(); ++I)
+    Processors.push_back(
+        std::make_unique<detector::QueueProcessor>(State));
+}
+
+Launch::~Launch() { finish(); }
+
+void Launch::EpochQueueSink::accept(uint32_t BlockId,
+                                    const trace::LogRecord &Record) {
+  trace::EventQueue &Queue = Owner.Eng.Queues.queueForBlock(BlockId);
+  uint64_t Index = Queue.reserve();
+  trace::LogRecord &Slot = Queue.slot(Index);
+  Slot = Record;
+  Slot.Epoch = Owner.Epoch;
+  Queue.commit(Index);
+  ++Owner.Logged;
+}
+
+void Launch::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  // Watermark: wait for the pool to drain everything this launch logged.
+  // The release increments in workerMain form a release sequence, so the
+  // final acquire load here orders all detector mutations before the
+  // statistics flush below.
+  support::Backoff Wait;
+  while (Drained.load(std::memory_order_acquire) != Logged)
+    Wait.pause();
+  for (auto &Processor : Processors)
+    Processor->finish();
+  Eng.endLaunch(Epoch);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(EngineOptions Options)
+    : Options(Options), Queues(Options.NumQueues, Options.QueueCapacity) {
+  Threads.reserve(Options.NumQueues);
+  for (unsigned I = 0; I != Options.NumQueues; ++I) {
+    Threads.emplace_back([this, I] { workerMain(I); });
+    ThreadsStarted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Engine::~Engine() {
+  assert(ActiveLaunches.empty() && "engine destroyed with live launches");
+  {
+    std::lock_guard<std::mutex> Lock(ParkMutex);
+    ShuttingDown = true;
+  }
+  Queues.closeAll();
+  ParkCV.notify_all();
+  for (std::thread &Thread : Threads)
+    Thread.join();
+}
+
+std::shared_ptr<Launch>
+Engine::begin(detector::SharedDetectorState &State) {
+  uint32_t Epoch = NextEpoch.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<Launch> Handle(new Launch(*this, Epoch, State));
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    ActiveLaunches.emplace(Epoch, Handle);
+  }
+  {
+    // Raise the active count under ParkMutex so a worker that just saw
+    // an empty queue cannot park past this launch's records.
+    std::lock_guard<std::mutex> Lock(ParkMutex);
+    ActiveEpochs.fetch_add(1, std::memory_order_release);
+  }
+  ParkCV.notify_all();
+  return Handle;
+}
+
+void Engine::endLaunch(uint32_t Epoch) {
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    ActiveLaunches.erase(Epoch);
+  }
+  ActiveEpochs.fetch_sub(1, std::memory_order_release);
+}
+
+std::shared_ptr<Launch> Engine::lookupEpoch(uint32_t Epoch) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  auto It = ActiveLaunches.find(Epoch);
+  assert(It != ActiveLaunches.end() &&
+         "record for an unregistered epoch: launch finished early?");
+  return It->second;
+}
+
+void Engine::workerMain(unsigned QueueIndex) {
+  trace::EventQueue &Queue = Queues.queue(QueueIndex);
+  constexpr size_t BatchSize = 64;
+  trace::LogRecord Batch[BatchSize];
+  // Consecutive records usually belong to one launch; cache the last
+  // epoch's handle to skip the registry on the fast path. The shared_ptr
+  // keeps the Launch alive across the lookup-free hits.
+  std::shared_ptr<Launch> Cached;
+  support::Backoff Wait;
+  for (;;) {
+    size_t Count = Queue.drain(Batch, BatchSize);
+    for (size_t I = 0; I != Count; ++I) {
+      const trace::LogRecord &Record = Batch[I];
+      assert(Record.Epoch != 0 && "unstamped record in engine queue");
+      if (!Cached || Cached->epoch() != Record.Epoch)
+        Cached = lookupEpoch(Record.Epoch);
+      Cached->Processors[QueueIndex]->process(Record);
+      Cached->Drained.fetch_add(1, std::memory_order_release);
+    }
+    if (Count == 0) {
+      if (Queue.exhausted())
+        break;
+      if (ActiveEpochs.load(std::memory_order_acquire) == 0) {
+        // Nothing in flight: park. Records only exist between begin()
+        // and the drained watermark, so empty-queue + zero epochs means
+        // there is nothing to miss; begin() wakes us under ParkMutex.
+        Cached.reset();
+        std::unique_lock<std::mutex> Lock(ParkMutex);
+        ParkCV.wait(Lock, [this] {
+          return ShuttingDown ||
+                 ActiveEpochs.load(std::memory_order_acquire) != 0;
+        });
+      } else {
+        Wait.pause();
+      }
+    } else if (Wait.waits()) {
+      EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+      Wait.reset();
+    }
+  }
+  EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+}
+
+EngineCounters Engine::counters() const {
+  EngineCounters Counters;
+  Counters.EmptySpins = EmptySpins.load(std::memory_order_relaxed);
+  Counters.FullSpins = Queues.totalFullSpins();
+  return Counters;
+}

@@ -1,0 +1,191 @@
+//===- Engine.h - persistent detection runtime ------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent detection runtime. The paper's host tool spawns its
+/// detector threads once and keeps them servicing queues for the life of
+/// the monitored process; the seed reproduction instead built a fresh
+/// QueueSet and thread pool per kernel launch. This Engine restores the
+/// paper's shape: one process-lifetime QueueSet plus one worker thread
+/// per queue, with launches multiplexed over it as epochs.
+///
+/// Every launch registers a Launch handle carrying an epoch id and its
+/// own SharedDetectorState plus per-queue QueueProcessors. The launch's
+/// sink stamps each record with the epoch before enqueueing it, so
+/// workers route records from concurrently running launches to the right
+/// detector state. Completion is a drained-record watermark: the launch
+/// thread counts records logged, workers count records processed
+/// (release increments), and Launch::finish() waits until they meet.
+///
+/// Deadlock freedom with blocking synchronization-ticket waits: each
+/// launch's producer is single-threaded, so within an epoch ticket t-1's
+/// record is committed before ticket t's. Every worker wait therefore
+/// targets a strictly earlier-committed record, the waits-for relation
+/// is acyclic, and one worker per queue suffices even with many
+/// concurrent epochs.
+///
+/// Idle workers park on a condition variable when no epoch is active and
+/// back off (spin, yield, short sleeps) between polls otherwise, so a
+/// resident Engine costs nothing between launches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_RUNTIME_ENGINE_H
+#define BARRACUDA_RUNTIME_ENGINE_H
+
+#include "detector/Detector.h"
+#include "trace/Queue.h"
+#include "trace/Sink.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace runtime {
+
+class Engine;
+
+/// One kernel launch's lease on the engine: an epoch id, the launch's
+/// detector state, and one QueueProcessor per engine queue. Obtained
+/// from Engine::begin(); release with finish() once the device is done
+/// logging.
+class Launch {
+public:
+  ~Launch();
+
+  Launch(const Launch &) = delete;
+  Launch &operator=(const Launch &) = delete;
+
+  uint32_t epoch() const { return Epoch; }
+
+  /// The sink the device logs into: stamps the epoch and enqueues.
+  trace::EventSink &sink() { return Sink; }
+
+  /// Blocks until every record logged through sink() has been processed,
+  /// then flushes detector statistics and unregisters the epoch.
+  /// Idempotent; called by the destructor if skipped.
+  void finish();
+
+  uint64_t recordsLogged() const { return Logged; }
+
+private:
+  friend class Engine;
+
+  /// Stamps records with the owning launch's epoch on their way into
+  /// the engine's shared queues.
+  class EpochQueueSink : public trace::EventSink {
+  public:
+    explicit EpochQueueSink(Launch &Owner) : Owner(Owner) {}
+    void accept(uint32_t BlockId, const trace::LogRecord &Record) override;
+
+  private:
+    Launch &Owner;
+  };
+
+  Launch(Engine &Eng, uint32_t Epoch,
+         detector::SharedDetectorState &State);
+
+  Engine &Eng;
+  uint32_t Epoch;
+  detector::SharedDetectorState &State;
+  EpochQueueSink Sink{*this};
+  /// One processor per engine queue; processor I is touched only by
+  /// worker I, preserving the queue-private detector state invariant.
+  std::vector<std::unique_ptr<detector::QueueProcessor>> Processors;
+  /// Records pushed through the sink. Written by the launch thread only.
+  uint64_t Logged = 0;
+  /// Records fully processed by workers. Release increments; finish()
+  /// acquires, so all detector mutations are visible at the watermark.
+  std::atomic<uint64_t> Drained{0};
+  bool Finished = false;
+};
+
+/// Engine tunables.
+struct EngineOptions {
+  /// Detector worker threads == event queues.
+  unsigned NumQueues = 4;
+  /// Per-queue ring capacity in records; must be a power of two.
+  size_t QueueCapacity = 1 << 14;
+};
+
+/// Lifetime idle/backpressure counters (see KernelRunStats).
+struct EngineCounters {
+  /// Worker backoff pauses taken on empty queues.
+  uint64_t EmptySpins = 0;
+  /// Producer backoff pauses taken on full rings.
+  uint64_t FullSpins = 0;
+};
+
+/// The persistent runtime: a process-lifetime QueueSet and detector
+/// thread pool shared by every launch (and every stream) of a session.
+class Engine {
+public:
+  explicit Engine(EngineOptions Options = {});
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  unsigned numQueues() const { return Queues.size(); }
+  const EngineOptions &options() const { return Options; }
+
+  /// Opens a launch epoch over \p State and wakes the pool. The returned
+  /// handle must outlive the device's logging; keep the shared_ptr until
+  /// finish() returns.
+  std::shared_ptr<Launch> begin(detector::SharedDetectorState &State);
+
+  /// Worker threads created over the engine's lifetime. Stays equal to
+  /// numQueues() however many launches run — the pool is reused, never
+  /// rebuilt.
+  uint64_t threadsEverStarted() const {
+    return ThreadsStarted.load(std::memory_order_relaxed);
+  }
+
+  /// Launch epochs opened so far.
+  uint64_t launchesBegun() const {
+    return NextEpoch.load(std::memory_order_relaxed) - 1;
+  }
+
+  EngineCounters counters() const;
+
+private:
+  friend class Launch;
+
+  void workerMain(unsigned QueueIndex);
+  std::shared_ptr<Launch> lookupEpoch(uint32_t Epoch);
+  void endLaunch(uint32_t Epoch);
+
+  EngineOptions Options;
+  trace::QueueSet Queues;
+
+  /// Epoch registry. Epoch ids are never reused (monotonic from 1; 0
+  /// means "unstamped" in a LogRecord).
+  std::mutex RegistryMutex;
+  std::unordered_map<uint32_t, std::shared_ptr<Launch>> ActiveLaunches;
+  std::atomic<uint32_t> NextEpoch{1};
+
+  /// Parking: workers sleep here when no epoch is active. Transitions
+  /// that must wake them (begin, shutdown) happen under ParkMutex.
+  std::mutex ParkMutex;
+  std::condition_variable ParkCV;
+  std::atomic<uint32_t> ActiveEpochs{0};
+  bool ShuttingDown = false;
+
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> ThreadsStarted{0};
+  std::atomic<uint64_t> EmptySpins{0};
+};
+
+} // namespace runtime
+} // namespace barracuda
+
+#endif // BARRACUDA_RUNTIME_ENGINE_H

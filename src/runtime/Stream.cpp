@@ -1,0 +1,48 @@
+//===- Stream.cpp - ordered asynchronous work queues -----------------------===//
+
+#include "runtime/Stream.h"
+
+using namespace barracuda;
+using namespace barracuda::runtime;
+
+Stream::Stream() : Executor([this] { executorMain(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  WorkCV.notify_all();
+  Executor.join();
+}
+
+void Stream::enqueue(std::function<void()> Work) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Pending.push_back(std::move(Work));
+  }
+  WorkCV.notify_one();
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  IdleCV.wait(Lock, [this] { return Pending.empty() && !Busy; });
+}
+
+void Stream::executorMain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkCV.wait(Lock, [this] { return Stop || !Pending.empty(); });
+    if (Pending.empty()) // Stop with nothing left: drain is complete.
+      return;
+    std::function<void()> Work = std::move(Pending.front());
+    Pending.pop_front();
+    Busy = true;
+    Lock.unlock();
+    Work();
+    Lock.lock();
+    Busy = false;
+    if (Pending.empty())
+      IdleCV.notify_all();
+  }
+}

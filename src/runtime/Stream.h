@@ -1,0 +1,59 @@
+//===- Stream.h - ordered asynchronous work queues --------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CUDA-stream stand-in: an ordered work queue with one executor
+/// thread. Kernels enqueued on one stream run in order; kernels on
+/// different streams run concurrently, multiplexed over the session's
+/// one Engine (each launch gets its own epoch and detector state, so
+/// concurrent launches do not interfere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_RUNTIME_STREAM_H
+#define BARRACUDA_RUNTIME_STREAM_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace barracuda {
+namespace runtime {
+
+/// An in-order asynchronous execution lane.
+class Stream {
+public:
+  Stream();
+  /// Runs all pending work, then joins the executor.
+  ~Stream();
+
+  Stream(const Stream &) = delete;
+  Stream &operator=(const Stream &) = delete;
+
+  /// Appends \p Work; it runs after everything enqueued before it.
+  void enqueue(std::function<void()> Work);
+
+  /// Blocks until every enqueued item has finished (cudaStreamSynchronize).
+  void synchronize();
+
+private:
+  void executorMain();
+
+  std::mutex Mutex;
+  std::condition_variable WorkCV;
+  std::condition_variable IdleCV;
+  std::deque<std::function<void()>> Pending;
+  bool Busy = false; ///< an item is executing right now
+  bool Stop = false;
+  std::thread Executor;
+};
+
+} // namespace runtime
+} // namespace barracuda
+
+#endif // BARRACUDA_RUNTIME_STREAM_H

@@ -18,6 +18,7 @@
 
 #include "trace/Queue.h"
 #include "trace/Record.h"
+#include "trace/Sink.h"
 
 #include <vector>
 
@@ -47,6 +48,22 @@ public:
 
 private:
   trace::QueueSet &Queues;
+};
+
+/// Adapts a composable trace::EventSink chain to the machine's logging
+/// interface. The production pipeline assembles a SinkList (trace file,
+/// counters, the engine's queue sink) and hands the machine this
+/// adapter.
+class SinkLogger : public DeviceLogger {
+public:
+  explicit SinkLogger(trace::EventSink &Sink) : Sink(Sink) {}
+
+  void log(uint32_t BlockId, const trace::LogRecord &Record) override {
+    Sink.accept(BlockId, Record);
+  }
+
+private:
+  trace::EventSink &Sink;
 };
 
 /// Collects records in order; for tests and the reference detector.

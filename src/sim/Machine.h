@@ -31,6 +31,7 @@
 #include "sim/Memory.h"
 #include "sim/WeakMemory.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,8 +106,9 @@ private:
   GlobalMemory &Memory;
   MachineOptions Options;
   /// Per-launch counter folded into the weak-memory seed so repeated
-  /// litmus runs explore different interleavings.
-  uint64_t LaunchSeq = 0;
+  /// litmus runs explore different interleavings. Atomic: concurrent
+  /// streams may launch on the same machine simultaneously.
+  std::atomic<uint64_t> LaunchSeq{0};
 };
 
 /// Helper to build a parameter buffer matching a kernel signature.

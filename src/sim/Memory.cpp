@@ -4,19 +4,24 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 using namespace barracuda;
 using namespace barracuda::sim;
 
 uint8_t *GlobalMemory::pageFor(uint64_t Addr) {
   uint64_t PageId = Addr >> PageBits;
-  auto It = Pages.find(PageId);
-  if (It == Pages.end()) {
-    auto Page = std::make_unique<uint8_t[]>(PageSize);
-    std::memset(Page.get(), 0, PageSize);
-    It = Pages.emplace(PageId, std::move(Page)).first;
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = Pages.find(PageId);
+    if (It != Pages.end())
+      return It->second.get();
   }
-  return It->second.get();
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  std::unique_ptr<uint8_t[]> &Slot = Pages[PageId];
+  if (!Slot) // make_unique<uint8_t[]> value-initializes: pages start zeroed
+    Slot = std::make_unique<uint8_t[]>(PageSize);
+  return Slot.get();
 }
 
 uint64_t GlobalMemory::read(uint64_t Addr, unsigned Size) {
@@ -65,16 +70,39 @@ void GlobalMemory::writeBytes(uint64_t Addr, const void *In, uint64_t Count) {
   }
 }
 
+void GlobalMemory::fill(uint64_t Addr, uint64_t Count, uint8_t Value) {
+  while (Count) {
+    uint64_t Offset = Addr & (PageSize - 1);
+    uint64_t InPage = PageSize - Offset;
+    uint64_t Chunk = InPage < Count ? InPage : Count;
+    std::memset(pageFor(Addr) + Offset, Value, Chunk);
+    Addr += Chunk;
+    Count -= Chunk;
+  }
+}
+
 uint64_t GlobalMemory::allocate(uint64_t Bytes, uint64_t Align) {
   assert(Align != 0 && (Align & (Align - 1)) == 0 &&
          "alignment must be a power of two");
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
   NextFree = (NextFree + Align - 1) & ~(Align - 1);
   uint64_t Base = NextFree;
   NextFree += Bytes ? Bytes : 1;
   return Base;
 }
 
+uint64_t GlobalMemory::bytesAllocated() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return NextFree - HeapBase;
+}
+
+size_t GlobalMemory::pageCount() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Pages.size();
+}
+
 void GlobalMemory::reset() {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
   Pages.clear();
   NextFree = HeapBase;
 }

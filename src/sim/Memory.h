@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,12 @@ inline bool isGenericSharedAddress(uint64_t Addr) {
 
 /// Sparse paged global memory. Pages materialize on first touch and are
 /// zero-initialized, like freshly cudaMalloc'd memory in practice.
+///
+/// Thread-safe at the page-table level: kernels launched on concurrent
+/// streams share this memory, so page materialization and allocation
+/// take a reader/writer lock (page bytes themselves are raw — racing
+/// device accesses to the same location are exactly what the detector
+/// reports). Page pointers are stable once materialized.
 class GlobalMemory {
 public:
   static constexpr uint64_t PageBits = 16; // 64 KB pages
@@ -60,21 +67,26 @@ public:
   void readBytes(uint64_t Addr, void *Out, uint64_t Count);
   void writeBytes(uint64_t Addr, const void *In, uint64_t Count);
 
+  /// Sets \p Count bytes starting at \p Addr to \p Value (cudaMemset
+  /// stand-in): one memset per touched page instead of a store per byte.
+  void fill(uint64_t Addr, uint64_t Count, uint8_t Value);
+
   /// Bump allocator; returns the base of a fresh \p Bytes-sized region,
   /// aligned to \p Align.
   uint64_t allocate(uint64_t Bytes, uint64_t Align = 8);
 
   /// Bytes handed out by the allocator so far (Table 1 column 4 input).
-  uint64_t bytesAllocated() const { return NextFree - HeapBase; }
+  uint64_t bytesAllocated() const;
 
   /// Number of materialized pages.
-  size_t pageCount() const { return Pages.size(); }
+  size_t pageCount() const;
 
   void reset();
 
 private:
   uint8_t *pageFor(uint64_t Addr);
 
+  mutable std::shared_mutex Mutex;
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
   uint64_t NextFree = HeapBase;
 };

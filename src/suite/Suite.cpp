@@ -6,6 +6,7 @@
 #include "baseline/Racecheck.h"
 #include "instrument/Instrumenter.h"
 #include "ptx/Parser.h"
+#include "runtime/Engine.h"
 #include "sim/Machine.h"
 #include "suite/SuitePrograms.h"
 #include "support/Format.h"
@@ -73,9 +74,19 @@ static std::vector<uint64_t> materializeParams(Session &S,
   return Values;
 }
 
+/// One resident detection runtime for every program the suite runs, so
+/// 66 short sessions pay for the detector pool once instead of spawning
+/// and joining threads per program.
+static runtime::Engine &suiteEngine() {
+  static runtime::Engine Engine;
+  return Engine;
+}
+
 ToolVerdict suite::runBarracuda(const SuiteProgram &Program) {
   ToolVerdict Verdict;
-  Session S;
+  SessionOptions Opts;
+  Opts.SharedEngine = &suiteEngine();
+  Session S(Opts);
   if (!S.loadModule(Program.Ptx)) {
     Verdict.Completed = false;
     Verdict.Detail = "parse error: " + S.error();

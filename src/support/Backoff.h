@@ -1,0 +1,72 @@
+//===- Backoff.h - tiered spin/yield/sleep waiting --------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An escalating wait for spin loops: a short busy phase (waits of a few
+/// cycles), then std::this_thread::yield(), then exponentially growing
+/// short sleeps capped at MaxSleepMicros. With the detection runtime's
+/// persistent worker pool, idle detector threads must leave the cores to
+/// the simulated device instead of hot-spinning between launches; the
+/// same policy backs producer-side full-queue waits and the detector's
+/// cross-queue synchronization-ticket waits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_BACKOFF_H
+#define BARRACUDA_SUPPORT_BACKOFF_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace barracuda {
+namespace support {
+
+class Backoff {
+public:
+  /// \p SpinPauses busy iterations, then \p YieldPauses yields, then
+  /// sleeps doubling from 1us up to \p MaxSleepMicros (0 = never sleep,
+  /// keep yielding — for waits that must stay latency-sensitive).
+  explicit Backoff(unsigned SpinPauses = 64, unsigned YieldPauses = 64,
+                   unsigned MaxSleepMicros = 256)
+      : SpinPauses(SpinPauses), YieldPauses(YieldPauses),
+        MaxSleepMicros(MaxSleepMicros) {}
+
+  /// Waits one escalation step.
+  void pause() {
+    ++Waits;
+    if (Waits <= SpinPauses)
+      return;
+    if (Waits <= SpinPauses + YieldPauses || MaxSleepMicros == 0) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(SleepMicros));
+    if (SleepMicros < MaxSleepMicros)
+      SleepMicros *= 2;
+  }
+
+  /// Re-arms the busy phase after useful work was done.
+  void reset() {
+    Waits = 0;
+    SleepMicros = 1;
+  }
+
+  /// pause() calls since the last reset.
+  uint64_t waits() const { return Waits; }
+
+private:
+  unsigned SpinPauses;
+  unsigned YieldPauses;
+  unsigned MaxSleepMicros;
+  uint64_t Waits = 0;
+  unsigned SleepMicros = 1;
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_BACKOFF_H

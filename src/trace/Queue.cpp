@@ -2,7 +2,7 @@
 
 #include "trace/Queue.h"
 
-#include <thread>
+#include "support/Backoff.h"
 
 using namespace barracuda;
 using namespace barracuda::trace;
@@ -16,12 +16,13 @@ EventQueue::EventQueue(size_t CapacityPow2)
 uint64_t EventQueue::reserve() {
   uint64_t Index = WriteHead.fetch_add(1, std::memory_order_relaxed);
   // Wait for the consumer if the ring has wrapped onto unread entries.
-  unsigned Spins = 0;
-  while (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size()) {
-    if (++Spins > 64) {
-      std::this_thread::yield();
-      Spins = 0;
-    }
+  // Long waits (a parked or busy detector thread) escalate from spinning
+  // through yields to short sleeps instead of burning the producer core.
+  if (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size()) {
+    support::Backoff Wait;
+    while (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size())
+      Wait.pause();
+    FullSpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
   }
   return Index;
 }
@@ -30,13 +31,13 @@ void EventQueue::commit(uint64_t Index) {
   // Publication happens in virtual-index order so the consumer can treat
   // everything below CommitIndex as complete. (On the GPU this ordering
   // is enforced with system-scope fences; std::atomic release/acquire
-  // plays that role here.)
-  unsigned Spins = 0;
-  while (CommitIndex.load(std::memory_order_acquire) != Index) {
-    if (++Spins > 64) {
-      std::this_thread::yield();
-      Spins = 0;
-    }
+  // plays that role here.) An earlier reservation may itself be stuck in
+  // reserve() on a full ring, so this wait gets the full backoff ladder
+  // too.
+  if (CommitIndex.load(std::memory_order_acquire) != Index) {
+    support::Backoff Wait;
+    while (CommitIndex.load(std::memory_order_acquire) != Index)
+      Wait.pause();
   }
   CommitIndex.store(Index + 1, std::memory_order_release);
 }

@@ -47,8 +47,9 @@ public:
 
   size_t capacity() const { return Ring.size(); }
 
-  /// Producer: reserves the next slot, spinning while the queue is full.
-  /// Returns the virtual index of the reserved slot.
+  /// Producer: reserves the next slot, waiting (spin, then yield, then
+  /// short sleeps) while the queue is full. Returns the virtual index of
+  /// the reserved slot.
   uint64_t reserve();
 
   /// Producer: the physical record backing virtual index \p Index.
@@ -83,6 +84,12 @@ public:
                            CommitIndex.load(std::memory_order_acquire);
   }
 
+  /// Total producer-side wait iterations on a full ring (backpressure
+  /// observability; see KernelRunStats::QueueFullSpins).
+  uint64_t fullSpins() const {
+    return FullSpins.load(std::memory_order_relaxed);
+  }
+
 private:
   std::vector<LogRecord> Ring;
   uint64_t Mask;
@@ -91,6 +98,7 @@ private:
   alignas(64) std::atomic<uint64_t> CommitIndex{0};
   alignas(64) std::atomic<uint64_t> ReadHead{0};
   alignas(64) std::atomic<bool> Closed{false};
+  std::atomic<uint64_t> FullSpins{0};
 };
 
 /// A collection of queues with the paper's block-to-queue routing.
@@ -114,6 +122,14 @@ public:
   void closeAll() {
     for (auto &Queue : Queues)
       Queue->close();
+  }
+
+  /// Sum of every queue's full-ring producer waits.
+  uint64_t totalFullSpins() const {
+    uint64_t Sum = 0;
+    for (const auto &Queue : Queues)
+      Sum += Queue->fullSpins();
+    return Sum;
   }
 
 private:

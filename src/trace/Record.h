@@ -9,9 +9,11 @@
 /// record of Section 4.2 (Figure 6). A record carries one operation for an
 /// entire warp: the warp id, operation kind, a 32-bit active mask, and 32
 /// per-lane address slots. The paper's record is 16 + 8*32 = 272 bytes;
-/// ours adds one 4-byte ordering ticket (padded to 8) for synchronization
-/// records, so that the host threads draining different queues process
-/// releases and acquires in their true device order — 280 bytes total.
+/// ours adds one 4-byte ordering ticket for synchronization records, so
+/// that the host threads draining different queues process releases and
+/// acquires in their true device order, and a 4-byte launch-epoch tag so
+/// the persistent detection runtime can route records of concurrent
+/// kernel launches sharing one queue set — 280 bytes total.
 /// The endi(w) operation is implicit: the detector performs the ENDINSN
 /// rule after consuming each warp-level memory record, which is
 /// equivalent to (and cheaper than) logging explicit endi records.
@@ -70,10 +72,14 @@ struct LogRecord {
   uint16_t AccessSize = 0; ///< bytes per lane access (memory records)
   uint32_t Pc = 0;         ///< instruction index within the kernel
   uint32_t ActiveMask = 0; ///< lanes participating in this operation
-  /// 1-based global ordering ticket for Acq/Rel/AcqRel records (0 on all
-  /// other records). Detector threads process synchronization records in
-  /// ticket order across queues.
+  /// 1-based per-launch ordering ticket for Acq/Rel/AcqRel records (0 on
+  /// all other records). Detector threads process synchronization records
+  /// in ticket order across queues.
   uint32_t SyncSeq = 0;
+  /// Launch-epoch id stamped by the runtime engine's queue sink (0 until
+  /// stamped). Lets concurrent launches share one persistent queue set:
+  /// workers route each record to its launch's detector state.
+  uint32_t Epoch = 0;
   uint64_t Addr[WarpSize] = {}; ///< per-lane addresses / auxiliary payload
 
   RecordOp op() const { return static_cast<RecordOp>(Op); }
@@ -98,8 +104,8 @@ struct LogRecord {
 };
 
 static_assert(sizeof(LogRecord) == 280,
-              "LogRecord is the paper's 272-byte record plus the 8-byte "
-              "sync-ordering ticket");
+              "LogRecord is the paper's 272-byte record plus the "
+              "sync-ordering ticket and the launch-epoch tag");
 
 /// Builder helpers used by the simulator's logging hooks and by tests.
 inline LogRecord makeMemRecord(RecordOp Op, uint32_t Warp, uint32_t Pc,

@@ -1,0 +1,32 @@
+//===- Sink.cpp - composable trace event sinks -----------------------------===//
+
+#include "trace/Sink.h"
+
+#include "trace/TraceFile.h"
+
+using namespace barracuda;
+using namespace barracuda::trace;
+
+EventSink::~EventSink() = default;
+
+void CountingSink::accept(uint32_t, const LogRecord &Record) {
+  switch (Record.op()) {
+  case RecordOp::Read:
+  case RecordOp::Write:
+  case RecordOp::Atom:
+    ++Memory;
+    break;
+  case RecordOp::Acq:
+  case RecordOp::Rel:
+  case RecordOp::AcqRel:
+    ++Sync;
+    break;
+  default:
+    ++Control;
+    break;
+  }
+}
+
+void TraceFileSink::accept(uint32_t BlockId, const LogRecord &Record) {
+  Writer.append(BlockId, Record);
+}

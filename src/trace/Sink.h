@@ -1,0 +1,109 @@
+//===- Sink.h - composable trace event sinks -------------------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composable destinations for the device's record stream. A launch
+/// builds a SinkList — optional trace-file recording, statistics
+/// counting, and finally the runtime engine's queue sink — so new
+/// consumers (metrics, sampling, compression experiments) plug into the
+/// pipeline without touching Session or the machine. This replaces the
+/// bespoke tee logger Session used to define inline for every launch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_TRACE_SINK_H
+#define BARRACUDA_TRACE_SINK_H
+
+#include "trace/Queue.h"
+#include "trace/Record.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace barracuda {
+namespace trace {
+
+class TraceWriter;
+
+/// Destination for device-emitted trace records.
+class EventSink {
+public:
+  virtual ~EventSink();
+
+  /// One record from thread block \p BlockId, in device emission order.
+  virtual void accept(uint32_t BlockId, const LogRecord &Record) = 0;
+
+protected:
+  EventSink() = default;
+};
+
+/// Fans one event stream out to several sinks, in order. Non-owning.
+class SinkList : public EventSink {
+public:
+  SinkList() = default;
+
+  /// Appends \p Sink to the chain; null is ignored so optional stages
+  /// compose without branching at the call site.
+  void add(EventSink *Sink) {
+    if (Sink)
+      Sinks.push_back(Sink);
+  }
+
+  void accept(uint32_t BlockId, const LogRecord &Record) override {
+    for (EventSink *Sink : Sinks)
+      Sink->accept(BlockId, Record);
+  }
+
+private:
+  std::vector<EventSink *> Sinks;
+};
+
+/// Routes records into a QueueSet with the block-to-queue mapping. The
+/// standalone (epoch-less) sink for single-launch pipelines; the runtime
+/// engine uses its own epoch-stamping variant.
+class QueueSetSink : public EventSink {
+public:
+  explicit QueueSetSink(QueueSet &Queues) : Queues(Queues) {}
+
+  void accept(uint32_t BlockId, const LogRecord &Record) override {
+    Queues.queueForBlock(BlockId).push(Record);
+  }
+
+private:
+  QueueSet &Queues;
+};
+
+/// Counts records by class — cheap per-launch observability.
+class CountingSink : public EventSink {
+public:
+  void accept(uint32_t BlockId, const LogRecord &Record) override;
+
+  uint64_t total() const { return Memory + Sync + Control; }
+  uint64_t memoryRecords() const { return Memory; }
+  uint64_t syncRecords() const { return Sync; }
+  uint64_t controlRecords() const { return Control; }
+
+private:
+  uint64_t Memory = 0;  ///< Read/Write/Atom
+  uint64_t Sync = 0;    ///< Acq/Rel/AcqRel
+  uint64_t Control = 0; ///< branches, barriers, warp/block end
+};
+
+/// Appends every record to an open TraceWriter (--record).
+class TraceFileSink : public EventSink {
+public:
+  explicit TraceFileSink(TraceWriter &Writer) : Writer(Writer) {}
+
+  void accept(uint32_t BlockId, const LogRecord &Record) override;
+
+private:
+  TraceWriter &Writer;
+};
+
+} // namespace trace
+} // namespace barracuda
+
+#endif // BARRACUDA_TRACE_SINK_H

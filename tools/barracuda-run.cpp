@@ -14,6 +14,9 @@
 //     --param val:N        pass a scalar parameter
 //     --warp-size N        simulate a smaller warp (default: 32)
 //     --queues N           device-to-host queues (default: 4)
+//     --repeat N           launch the kernel N times (default: 1); the
+//                          persistent engine pool is reused across runs
+//     --streams M          spread repeats across M concurrent streams
 //     --native             run natively (no instrumentation/detection)
 //     --stats              print detector statistics
 //     --expect-races       exit 0 iff races were found (for testing)
@@ -43,8 +46,8 @@ void usage() {
       stderr,
       "usage: barracuda-run FILE.ptx [--kernel NAME] [--grid X[,Y[,Z]]]\n"
       "       [--block X[,Y[,Z]]] [--param buf:BYTES | --param val:N]...\n"
-      "       [--warp-size N] [--queues N] [--native] [--stats]\n"
-      "       [--record TRACE.bct] [--expect-races]\n");
+      "       [--warp-size N] [--queues N] [--repeat N] [--streams M]\n"
+      "       [--native] [--stats] [--record TRACE.bct] [--expect-races]\n");
 }
 
 bool parseDim(const char *Text, sim::Dim3 &Out) {
@@ -69,6 +72,7 @@ int main(int ArgCount, char **Args) {
   std::vector<ParamArg> Params;
   SessionOptions Options;
   bool Stats = false, ExpectRaces = false, Json = false;
+  unsigned Repeat = 1, NumStreams = 1;
 
   for (int I = 1; I < ArgCount; ++I) {
     std::string Arg = Args[I];
@@ -114,6 +118,20 @@ int main(int ArgCount, char **Args) {
         return usage(), 2;
       Options.NumQueues =
           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--repeat") {
+      const char *V = value();
+      if (!V)
+        return usage(), 2;
+      Repeat = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Repeat == 0)
+        Repeat = 1;
+    } else if (Arg == "--streams") {
+      const char *V = value();
+      if (!V)
+        return usage(), 2;
+      NumStreams = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (NumStreams == 0)
+        NumStreams = 1;
     } else if (Arg == "--record") {
       const char *V = value();
       if (!V)
@@ -162,8 +180,31 @@ int main(int ArgCount, char **Args) {
               File.c_str(), KernelName.c_str(), Grid.X, Grid.Y, Grid.Z,
               Block.X, Block.Y, Block.Z,
               Options.Instrument ? "" : " [native]");
-  sim::LaunchResult Result =
-      S.launchKernel(KernelName, Grid, Block, LaunchParams);
+  if (Repeat > 1)
+    std::printf("repeating %u launches on %u stream%s\n", Repeat,
+                NumStreams, NumStreams == 1 ? "" : "s");
+
+  sim::LaunchResult Result;
+  if (NumStreams > 1 && Options.Instrument) {
+    // Round-robin the repeats over concurrent streams; every launch
+    // leases an epoch from the session's one persistent engine.
+    std::vector<runtime::Stream *> Lanes;
+    for (unsigned I = 0; I != NumStreams; ++I)
+      Lanes.push_back(&S.createStream());
+    std::vector<std::future<sim::LaunchResult>> Futures;
+    for (unsigned I = 0; I != Repeat; ++I)
+      Futures.push_back(S.launchKernelAsync(*Lanes[I % NumStreams],
+                                            KernelName, Grid, Block,
+                                            LaunchParams));
+    for (auto &Future : Futures) {
+      sim::LaunchResult One = Future.get();
+      if (!One.Ok || Result.Ok)
+        Result = One;
+    }
+  } else {
+    for (unsigned I = 0; I != Repeat && (I == 0 || Result.Ok); ++I)
+      Result = S.launchKernel(KernelName, Grid, Block, LaunchParams);
+  }
   if (!Result.Ok) {
     std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
     return 2;
@@ -208,6 +249,14 @@ int main(int ArgCount, char **Args) {
                 support::formatBytes(Run.GlobalShadowBytes).c_str(),
                 support::formatBytes(Run.SharedShadowBytes).c_str(),
                 static_cast<unsigned long long>(Run.SyncLocations));
+    std::printf("records: %llu memory + %llu sync + %llu control\n",
+                static_cast<unsigned long long>(Run.MemoryRecords),
+                static_cast<unsigned long long>(Run.SyncRecords),
+                static_cast<unsigned long long>(Run.ControlRecords));
+    std::printf("runtime: %llu queue-full waits, %llu detector-idle "
+                "waits\n",
+                static_cast<unsigned long long>(Run.QueueFullSpins),
+                static_cast<unsigned long long>(Run.DetectorEmptySpins));
   }
 
   bool Found = S.anyRaces() || !S.barrierErrors().empty();
