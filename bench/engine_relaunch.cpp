@@ -148,16 +148,23 @@ double runPersistentPool(unsigned Launches) {
 
 int main() {
   unsigned Launches = 100;
+  bool Smoke = false;
+  if (const char *Env = std::getenv("BARRACUDA_BENCH_SMOKE"))
+    Smoke = *Env && *Env != '0';
+  if (Smoke)
+    Launches = 5;
   if (const char *Env = std::getenv("BARRACUDA_RELAUNCH_COUNT"))
     Launches = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
 
   std::printf("Per-launch pipeline cost over %u back-to-back launches "
-              "(histogram, grid 4 x block 64, %u queues)\n\n",
-              Launches, NumQueues);
+              "(histogram, grid 4 x block 64, %u queues)%s\n\n",
+              Launches, NumQueues, Smoke ? " [smoke]" : "");
 
   // Warm both paths (thread stacks, allocator, code) before measuring.
-  runPerLaunchPool(4);
-  runPersistentPool(4);
+  if (!Smoke) {
+    runPerLaunchPool(4);
+    runPersistentPool(4);
+  }
 
   double PerLaunchPool = runPerLaunchPool(Launches);
   double Persistent = runPersistentPool(Launches);

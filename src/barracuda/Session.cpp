@@ -188,6 +188,7 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   detector::DetectorOptions DetOpts;
   DetOpts.Hier = sim::ThreadHierarchy(Config);
   DetOpts.CollectStats = Options.CollectStats;
+  DetOpts.HotPath = Options.DetectorHotPath;
   detector::SharedDetectorState State(DetOpts);
 
   runtime::EngineCounters Before = Eng.counters();
@@ -226,6 +227,7 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   LastStats.Launch = Result;
   LastStats.RecordsProcessed = State.recordsProcessed();
   LastStats.Formats = State.formatStats();
+  LastStats.HotPath = State.hotPathStats();
   LastStats.PeakPtvcBytes = State.peakPtvcBytes();
   LastStats.GlobalShadowBytes = State.GlobalMem.shadowBytes();
   LastStats.SharedShadowBytes = State.sharedShadowBytes();

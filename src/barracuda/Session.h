@@ -69,6 +69,10 @@ struct SessionOptions {
   size_t QueueCapacity = 1 << 14;
   /// Collect PTVC format/memory statistics.
   bool CollectStats = true;
+  /// Use the coalescing detector hot path (same-epoch fast paths, run
+  /// coalescing, page cache). Off = rule-per-byte legacy path; reports
+  /// are identical either way.
+  bool DetectorHotPath = true;
   /// Simulated warp width (32 = real hardware). Smaller values expose
   /// latent warp-synchronous bugs, per the paper's Section 3.1 note.
   uint32_t WarpSize = trace::WarpSize;
@@ -88,6 +92,7 @@ struct KernelRunStats {
   sim::LaunchResult Launch;
   uint64_t RecordsProcessed = 0;
   detector::PtvcFormatStats Formats;
+  detector::HotPathStats HotPath;
   uint64_t PeakPtvcBytes = 0;
   uint64_t GlobalShadowBytes = 0;
   uint64_t SharedShadowBytes = 0;

@@ -16,15 +16,21 @@
 /// thread's knowledge of its whole block (the PTVC block clock) becomes a
 /// single floor entry instead of threads-per-block entries.
 ///
+/// Both maps are sorted flat small-vectors (support::FlatMap): PTVC
+/// compression keeps them at a handful of entries, where binary search
+/// over contiguous storage beats hashing, iteration is deterministic
+/// (key order), and the common case allocates nothing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BARRACUDA_DETECTOR_CLOCK_H
 #define BARRACUDA_DETECTOR_CLOCK_H
 
+#include "support/FlatMap.h"
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 
 namespace barracuda {
 namespace detector {
@@ -48,13 +54,14 @@ struct Epoch {
 /// A sparse vector clock: explicit entries plus per-block floors.
 class CompactClock {
 public:
+  using EntryMap = support::FlatMap<Tid, ClockVal, 4>;
+  using FloorMap = support::FlatMap<uint32_t, ClockVal, 2>;
+
   /// The clock value for thread \p Thread that lives in block \p Block.
   ClockVal get(Tid Thread, uint32_t Block) const {
-    ClockVal Value = 0;
-    if (auto It = Entries.find(Thread); It != Entries.end())
-      Value = It->second;
-    if (auto It = BlockFloors.find(Block); It != BlockFloors.end())
-      Value = std::max(Value, It->second);
+    ClockVal Value = Entries.lookup(Thread);
+    if (const ClockVal *Floor = BlockFloors.find(Block))
+      Value = std::max(Value, *Floor);
     return Value;
   }
 
@@ -83,22 +90,18 @@ public:
 
   bool empty() const { return Entries.empty() && BlockFloors.empty(); }
 
-  const std::unordered_map<Tid, ClockVal> &entries() const {
-    return Entries;
-  }
-  const std::unordered_map<uint32_t, ClockVal> &blockFloors() const {
-    return BlockFloors;
-  }
+  const EntryMap &entries() const { return Entries; }
+  const FloorMap &blockFloors() const { return BlockFloors; }
 
-  /// Approximate heap footprint, for the compression ablation.
+  /// Approximate heap footprint, for the compression ablation. Inline
+  /// entries cost nothing beyond the owning object.
   size_t memoryBytes() const {
-    return Entries.size() * (sizeof(Tid) + sizeof(ClockVal) + 16) +
-           BlockFloors.size() * (sizeof(uint32_t) + sizeof(ClockVal) + 16);
+    return Entries.heapBytes() + BlockFloors.heapBytes();
   }
 
 private:
-  std::unordered_map<Tid, ClockVal> Entries;
-  std::unordered_map<uint32_t, ClockVal> BlockFloors;
+  EntryMap Entries;
+  FloorMap BlockFloors;
 };
 
 } // namespace detector

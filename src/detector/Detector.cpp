@@ -4,6 +4,7 @@
 
 #include "support/Backoff.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
 
@@ -20,12 +21,14 @@ using trace::WarpSize;
 void SharedDetectorState::mergeStats(const PtvcFormatStats &NewFormats,
                                      uint64_t PeakPtvc,
                                      uint64_t SharedShadow,
-                                     uint64_t Records) {
+                                     uint64_t Records,
+                                     const HotPathStats &HotPath) {
   std::lock_guard<std::mutex> Guard(StatsMutex);
   Formats.merge(NewFormats);
   PeakPtvcBytes_ += PeakPtvc;
   SharedShadowBytes_ += SharedShadow;
   Records_ += Records;
+  HotPath_.merge(HotPath);
 }
 
 PtvcFormatStats SharedDetectorState::formatStats() const {
@@ -48,6 +51,11 @@ uint64_t SharedDetectorState::recordsProcessed() const {
   return Records_;
 }
 
+HotPathStats SharedDetectorState::hotPathStats() const {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return HotPath_;
+}
+
 //===----------------------------------------------------------------------===//
 // QueueProcessor::LocalShadow
 //===----------------------------------------------------------------------===//
@@ -58,13 +66,13 @@ QueueProcessor::LocalShadow::~LocalShadow() {
       delete Cells[I].Readers;
 }
 
-ShadowCell &QueueProcessor::LocalShadow::cell(uint64_t Addr) {
+ShadowCell *QueueProcessor::LocalShadow::pageFor(uint64_t Addr) {
   uint64_t PageId = Addr >> PageBits;
   auto It = Pages.find(PageId);
   if (It == Pages.end())
     It = Pages.emplace(PageId, std::make_unique<ShadowCell[]>(PageSize))
              .first;
-  return It->second[Addr & (PageSize - 1)];
+  return It->second.get();
 }
 
 //===----------------------------------------------------------------------===//
@@ -106,13 +114,36 @@ QueueProcessor::warpEntry(BlockState &BS, uint32_t GlobalWarp) {
   return It->second;
 }
 
-ShadowCell &QueueProcessor::globalCell(uint64_t Addr) {
+ShadowCell *QueueProcessor::globalPage(uint64_t Addr) {
   uint64_t PageId = Addr >> GlobalShadow::PageBits;
-  if (PageId != CachedPageId) {
-    CachedPage = Shared.GlobalMem.page(Addr);
-    CachedPageId = PageId;
+  PageCacheEntry &Slot = PageCache[PageId & (PageCacheSlots - 1)];
+  if (Slot.PageId == PageId) {
+    ++HotPath.PageCacheHits;
+    return Slot.Page;
   }
-  return CachedPage[Addr & (GlobalShadow::PageSize - 1)];
+  ++HotPath.PageCacheMisses;
+  Slot.Page = Shared.GlobalMem.page(Addr);
+  Slot.PageId = PageId;
+  return Slot.Page;
+}
+
+ClockVal QueueProcessor::cachedEntryFor(const WarpClocks &W, uint32_t Lane,
+                                        Tid Other) {
+  if (!Opts.HotPath)
+    return W.entryFor(Lane, Other, Opts.Hier.blockOf(Other));
+  for (unsigned I = 0; I != EntryMemoCount; ++I)
+    if (EntryMemo[I].Other == Other)
+      return EntryMemo[I].Value;
+  ClockVal Value = W.entryFor(Lane, Other, Opts.Hier.blockOf(Other));
+  unsigned Slot;
+  if (EntryMemoCount < EntryMemoSlots) {
+    Slot = EntryMemoCount++;
+  } else {
+    Slot = EntryMemoNext;
+    EntryMemoNext = (EntryMemoNext + 1) % EntryMemoSlots;
+  }
+  EntryMemo[Slot] = {Other, Value};
+  return Value;
 }
 
 void QueueProcessor::afterClockChange(BlockState &BS, WarpEntry &WE) {
@@ -190,16 +221,47 @@ void QueueProcessor::process(const LogRecord &Record) {
   }
 }
 
-void QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
+bool QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
                                 WarpClocks &W, uint32_t Lane, uint32_t Pc,
                                 trace::MemSpace Space, uint64_t Addr) {
   Epoch E = W.epochOf(Lane);
   Tid Me = E.Thread;
 
+  // Same-epoch fast paths (the FastTrack O(1) common case, Section 3.3):
+  // when the cell already records this thread at this very epoch, the
+  // full rules would re-derive the exact state the cell holds, so skip
+  // them before taking any clock lookups.
+  if (Opts.HotPath) {
+    if (Kind == AccessKind::Read) {
+      // READ SAME EPOCH: our own exclusive read at this epoch. Writes
+      // clear read metadata, so the write epoch cannot have changed
+      // since that read checked it — an exact no-op.
+      if (!Cell.has(ShadowCell::FlagReadShared) &&
+          Cell.ReadClock == E.Clock &&
+          Cell.ReadTid == static_cast<uint32_t>(Me)) {
+        ++HotPath.FastPathHits;
+        return false;
+      }
+    } else {
+      // WRITE SAME EPOCH: our own write at this epoch with bottom read
+      // state and a matching atomic flag — the write rule would store
+      // identical state.
+      if (Cell.WriteClock == E.Clock &&
+          Cell.WriteTid == static_cast<uint32_t>(Me) &&
+          !Cell.has(ShadowCell::FlagReadShared) && Cell.ReadClock == 0 &&
+          Cell.has(ShadowCell::FlagAtomic) ==
+              (Kind == AccessKind::Atomic)) {
+        ++HotPath.FastPathHits;
+        return false;
+      }
+    }
+  }
+
+  bool Raced = false;
   auto orderedBefore = [&](uint32_t Clock, Tid Other) {
     if (Clock == 0 || Other == Me)
       return true;
-    return Clock <= W.entryFor(Lane, Other, Opts.Hier.blockOf(Other));
+    return Clock <= cachedEntryFor(W, Lane, Other);
   };
   auto classify = [&](Tid Other) {
     if (Opts.Hier.warpOf(Other) == Opts.Hier.warpOf(Me))
@@ -209,6 +271,7 @@ void QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
     return RaceScopeKind::InterBlock;
   };
   auto race = [&](AccessKind PrevKind, Tid Other) {
+    Raced = true;
     Shared.Reporter.reportRace(Pc, Kind, PrevKind, Space, classify(Other),
                                Me, Other, Addr);
   };
@@ -247,8 +310,7 @@ void QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
       race(PrevWriteKind, Cell.WriteTid);
     if (Cell.has(ShadowCell::FlagReadShared)) {
       for (const auto &[Other, Clock] : Cell.Readers->entries())
-        if (Other != Me &&
-            Clock > W.entryFor(Lane, Other, Opts.Hier.blockOf(Other)))
+        if (Other != Me && Clock > cachedEntryFor(W, Lane, Other))
           race(AccessKind::Read, Other);
     } else if (!orderedBefore(Cell.ReadClock, Cell.ReadTid)) {
       race(AccessKind::Read, Cell.ReadTid);
@@ -263,6 +325,7 @@ void QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
     break;
   }
   }
+  return Raced;
 }
 
 void QueueProcessor::handleMemory(BlockState &BS, WarpEntry &WE,
@@ -281,27 +344,168 @@ void QueueProcessor::handleMemory(BlockState &BS, WarpEntry &WE,
   }
   bool IsShared = Record.space() == trace::MemSpace::Shared;
   unsigned Size = Record.AccessSize ? Record.AccessSize : 1;
+  resetEntryMemo();
 
+  if (!Opts.HotPath) {
+    handleMemoryLegacy(BS, WE, Record, Kind, IsShared, Size);
+    WE.Clocks.endInsn();
+    afterClockChange(BS, WE);
+    return;
+  }
+
+  // Group active lanes into maximal runs of ascending-contiguous
+  // addresses (lane L+1 starting exactly where lane L's span ends).
+  // Coalesced warp accesses — the common case — collapse into one run;
+  // within a run the shadow page is resolved per page instead of per
+  // byte, spinlocks are taken per granule instead of per byte, and
+  // identical-state granule bytes are settled by broadcast. Processing
+  // order is unchanged: the old loop visited bytes lane-major and
+  // byte-minor, which inside a contiguous run is exactly ascending
+  // address order.
+  AccessRun Run;
+  bool Open = false;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Record.ActiveMask >> Lane) & 1))
+      continue;
+    uint64_t Addr = Record.Addr[Lane];
+    if (Open &&
+        Addr == Run.Start + static_cast<uint64_t>(Run.LaneCount) * Size) {
+      ++Run.LaneCount;
+      continue;
+    }
+    if (Open)
+      processRun(BS, WE.Clocks, Run, Kind, Size, Record.Pc, IsShared);
+    Run = AccessRun{Addr, Lane, 1};
+    Open = true;
+  }
+  if (Open)
+    processRun(BS, WE.Clocks, Run, Kind, Size, Record.Pc, IsShared);
+
+  WE.Clocks.endInsn();
+  afterClockChange(BS, WE);
+}
+
+void QueueProcessor::handleMemoryLegacy(BlockState &BS, WarpEntry &WE,
+                                        const LogRecord &Record,
+                                        AccessKind Kind, bool IsShared,
+                                        unsigned Size) {
+  // The pre-overhaul per-byte loop, kept as the baseline side of the
+  // hot-path ablation. Still uses the granule lock protocol so both
+  // modes interoperate with handleSync's cell marking.
   for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
     if (!((Record.ActiveMask >> Lane) & 1))
       continue;
     uint64_t Addr = Record.Addr[Lane];
     for (unsigned Byte = 0; Byte != Size; ++Byte) {
+      uint64_t A = Addr + Byte;
       if (IsShared) {
-        ShadowCell &Cell = BS.Shared.cell(Addr + Byte);
-        accessCell(Cell, Kind, WE.Clocks, Lane, Record.Pc,
-                   trace::MemSpace::Shared, Addr);
+        accessCell(BS.Shared.cell(A), Kind, WE.Clocks, Lane, Record.Pc,
+                   trace::MemSpace::Shared, A);
       } else {
-        ShadowCell &Cell = globalCell(Addr + Byte);
-        CellGuard Guard(Cell, /*Locked=*/true);
-        accessCell(Cell, Kind, WE.Clocks, Lane, Record.Pc,
-                   trace::MemSpace::Global, Addr);
+        ShadowCell *Page = globalPage(A);
+        uint64_t Off = A & (GlobalShadow::PageSize - 1);
+        CellGuard Guard(Page[ShadowCell::lockCellIndex(Off)],
+                        /*Locked=*/true);
+        accessCell(Page[Off], Kind, WE.Clocks, Lane, Record.Pc,
+                   trace::MemSpace::Global, A);
       }
     }
   }
+}
 
-  WE.Clocks.endInsn();
-  afterClockChange(BS, WE);
+void QueueProcessor::processRun(BlockState &BS, WarpClocks &W,
+                                const AccessRun &Run, AccessKind Kind,
+                                unsigned Size, uint32_t Pc,
+                                bool IsShared) {
+  trace::MemSpace Space =
+      IsShared ? trace::MemSpace::Shared : trace::MemSpace::Global;
+  const uint64_t PageMask =
+      (IsShared ? LocalShadow::PageSize : GlobalShadow::PageSize) - 1;
+  uint64_t SpanEnd =
+      Run.Start + static_cast<uint64_t>(Run.LaneCount) * Size;
+  // Broadcasting needs lanes to corroborate each other; a singleton run
+  // (uncoalesced or conflicting access) always takes the full rules.
+  bool MultiLane = Run.LaneCount >= 2;
+  if (MultiLane)
+    ++HotPath.RunsCoalesced;
+
+  ShadowCell *Page = nullptr;
+  uint64_t PageBase = ~0ULL;
+
+  // Walk the run granule by granule (granules never straddle a page).
+  uint64_t GranuleBase = Run.Start & ~(ShadowCell::LockGranuleBytes - 1);
+  for (uint64_t G = GranuleBase; G < SpanEnd;
+       G += ShadowCell::LockGranuleBytes) {
+    uint64_t ChunkStart = std::max(G, Run.Start);
+    uint64_t ChunkEnd =
+        std::min(G + ShadowCell::LockGranuleBytes, SpanEnd);
+    if ((ChunkStart & ~PageMask) != PageBase) {
+      PageBase = ChunkStart & ~PageMask;
+      Page = IsShared ? BS.Shared.pageFor(ChunkStart)
+                      : globalPage(ChunkStart);
+    }
+
+    // One spinlock acquire covers every byte of the granule (shared
+    // memory is processor-private and needs none).
+    CellGuard Guard(Page[ShadowCell::lockCellIndex(ChunkStart & PageMask)],
+                    /*Locked=*/!IsShared);
+
+    // Split the chunk into per-lane segments: broadcast is only valid
+    // among bytes written by the same thread (the stored tid differs
+    // across lanes even when everything else matches).
+    uint64_t A = ChunkStart;
+    while (A < ChunkEnd) {
+      unsigned Lane =
+          Run.FirstLane + static_cast<unsigned>((A - Run.Start) / Size);
+      uint64_t LaneEnd = Run.Start +
+                         static_cast<uint64_t>(Lane - Run.FirstLane + 1) *
+                             Size;
+      uint64_t SegEnd = std::min(LaneEnd, ChunkEnd);
+      unsigned SegLen = static_cast<unsigned>(SegEnd - A);
+      ShadowCell *Cells = Page + (A & PageMask);
+
+      if (!MultiLane || SegLen < 2) {
+        for (unsigned B = 0; B != SegLen; ++B)
+          accessCell(Cells[B], Kind, W, Lane, Pc, Space, A + B);
+        A = SegEnd;
+        continue;
+      }
+
+      // Leader byte runs the full rules; followers whose prior state
+      // matches the leader's prior state would take the exact same
+      // transition, so the leader's post state is broadcast instead.
+      // Three conditions keep this an exact replay of the per-byte
+      // rules: the leader must not have raced (followers must emit the
+      // same report sequence, i.e. none), and neither prior nor post
+      // state may hold a shared-readers clock (broadcasting would alias
+      // the owned CompactClock; prior-flag equality then guarantees the
+      // followers' Readers pointers are null too).
+      ShadowCell &Leader = Cells[0];
+      uint32_t PW = Leader.WriteClock, PWT = Leader.WriteTid;
+      uint32_t PR = Leader.ReadClock, PRT = Leader.ReadTid;
+      uint8_t PF = Leader.Flags;
+      bool PriorShared = (PF & ShadowCell::FlagReadShared) != 0;
+      bool Raced = accessCell(Leader, Kind, W, Lane, Pc, Space, A);
+      bool CanBroadcast = !Raced && !PriorShared &&
+                          !Leader.has(ShadowCell::FlagReadShared);
+      for (unsigned B = 1; B != SegLen; ++B) {
+        ShadowCell &Cell = Cells[B];
+        if (CanBroadcast && Cell.WriteClock == PW &&
+            Cell.WriteTid == PWT && Cell.ReadClock == PR &&
+            Cell.ReadTid == PRT && Cell.Flags == PF) {
+          Cell.WriteClock = Leader.WriteClock;
+          Cell.WriteTid = Leader.WriteTid;
+          Cell.ReadClock = Leader.ReadClock;
+          Cell.ReadTid = Leader.ReadTid;
+          Cell.Flags = Leader.Flags;
+          ++HotPath.FastPathHits;
+        } else {
+          accessCell(Cell, Kind, W, Lane, Pc, Space, A + B);
+        }
+      }
+      A = SegEnd;
+    }
+  }
 }
 
 void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
@@ -343,9 +547,11 @@ void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
     if (IsShared) {
       BS.Shared.cell(Addr).set(ShadowCell::FlagSyncLoc);
     } else {
-      ShadowCell &Cell = globalCell(Addr);
-      CellGuard Guard(Cell, /*Locked=*/true);
-      Cell.set(ShadowCell::FlagSyncLoc);
+      ShadowCell *Page = globalPage(Addr);
+      uint64_t Off = Addr & (GlobalShadow::PageSize - 1);
+      CellGuard Guard(Page[ShadowCell::lockCellIndex(Off)],
+                      /*Locked=*/true);
+      Page[Off].set(ShadowCell::FlagSyncLoc);
     }
 
     if (Op == RecordOp::Rel || Op == RecordOp::AcqRel) {
@@ -383,9 +589,17 @@ void QueueProcessor::handleBarrier(BlockState &BS, WarpEntry &WE,
 
 void QueueProcessor::releaseBarrier(BlockState &BS) {
   ClockVal BlockMax = BS.MaxClock;
+  // The BAR rule joins full vector clocks, so knowledge of *other*
+  // blocks that any arrived warp picked up via a global acquire must
+  // reach every warp; the scalar block max cannot carry it. Knowledge
+  // of this block needs no such pass: it is subsumed by BlockMax.
+  CompactClock CrossBlock;
+  for (uint32_t GlobalWarp : BS.ArrivedWarps)
+    warpEntry(BS, GlobalWarp).Clocks.crossBlockKnowledge(CrossBlock);
   for (uint32_t GlobalWarp : BS.ArrivedWarps) {
     WarpEntry &WE = warpEntry(BS, GlobalWarp);
     WE.Clocks.barrierJoin(BlockMax);
+    WE.Clocks.acquire(CrossBlock);
     afterClockChange(BS, WE);
   }
   BS.MaxClock = BlockMax + 1;
@@ -423,5 +637,6 @@ void QueueProcessor::finish() {
   Finished = true;
   for (const auto &[BlockId, BS] : Blocks)
     SharedShadowBytes += BS.Shared.bytes();
-  Shared.mergeStats(Formats, PeakPtvcBytes, SharedShadowBytes, Records);
+  Shared.mergeStats(Formats, PeakPtvcBytes, SharedShadowBytes, Records,
+                    HotPath);
 }

@@ -44,6 +44,31 @@ struct DetectorOptions {
   sim::ThreadHierarchy Hier;
   /// Collect PTVC format and memory statistics (cheap; on by default).
   bool CollectStats = true;
+  /// Use the coalesced hot path for memory records (same-epoch fast
+  /// paths, warp-coalesced shadow runs, granule locking). Off falls back
+  /// to the per-byte reference loop — same verdicts, no fast paths —
+  /// which the microbench uses for before/after comparison.
+  bool HotPath = true;
+};
+
+/// Counters for the detector hot path. All monotone; merged per queue.
+struct HotPathStats {
+  /// Byte-cells settled without running the full FastTrack rules: the
+  /// same-epoch guards plus granule-broadcast copies.
+  uint64_t FastPathHits = 0;
+  /// Multi-lane contiguous address runs formed by warp coalescing (each
+  /// covers >= 2 lanes of one record).
+  uint64_t RunsCoalesced = 0;
+  /// Shadow-page cache hits/misses (global memory, per run or byte).
+  uint64_t PageCacheHits = 0;
+  uint64_t PageCacheMisses = 0;
+
+  void merge(const HotPathStats &Other) {
+    FastPathHits += Other.FastPathHits;
+    RunsCoalesced += Other.RunsCoalesced;
+    PageCacheHits += Other.PageCacheHits;
+    PageCacheMisses += Other.PageCacheMisses;
+  }
 };
 
 /// PTVC format census: how often (per processed record) each warp's
@@ -98,12 +123,14 @@ public:
 
   /// Aggregated statistics (merged in by QueueProcessor::finish()).
   void mergeStats(const PtvcFormatStats &Formats, uint64_t PeakPtvc,
-                  uint64_t SharedShadow, uint64_t Records);
+                  uint64_t SharedShadow, uint64_t Records,
+                  const HotPathStats &HotPath);
 
   PtvcFormatStats formatStats() const;
   uint64_t peakPtvcBytes() const;
   uint64_t sharedShadowBytes() const;
   uint64_t recordsProcessed() const;
+  HotPathStats hotPathStats() const;
 
 private:
   DetectorOptions Options;
@@ -112,6 +139,7 @@ private:
   uint64_t PeakPtvcBytes_ = 0;
   uint64_t SharedShadowBytes_ = 0;
   uint64_t Records_ = 0;
+  HotPathStats HotPath_;
 };
 
 /// Consumes one queue's records and applies the detection rules.
@@ -136,7 +164,13 @@ private:
     static constexpr uint64_t PageSize = 1ULL << PageBits;
 
     ~LocalShadow();
-    ShadowCell &cell(uint64_t Addr);
+    /// The page array covering \p Addr (creating it if needed); indexed
+    /// by Addr % PageSize. Runs resolve the page once instead of hashing
+    /// per byte.
+    ShadowCell *pageFor(uint64_t Addr);
+    ShadowCell &cell(uint64_t Addr) {
+      return pageFor(Addr)[Addr & (PageSize - 1)];
+    }
     uint64_t bytes() const {
       return Pages.size() * PageSize * sizeof(ShadowCell);
     }
@@ -163,14 +197,32 @@ private:
     LocalShadow Shared;
   };
 
+  /// A maximal stretch of one record resolved against one shadow page:
+  /// ascending-contiguous addresses of consecutive active lanes (the
+  /// coalesced-access common case), or a single lane's span otherwise.
+  struct AccessRun {
+    uint64_t Start = 0;      ///< first byte address
+    unsigned FirstLane = 0;  ///< lane issuing the first Size bytes
+    unsigned LaneCount = 0;  ///< consecutive active lanes in the run
+  };
+
   BlockState &blockState(uint32_t BlockId);
   WarpEntry &warpEntry(BlockState &BS, uint32_t GlobalWarp);
   uint32_t residentMask(uint32_t GlobalWarp) const;
 
-  ShadowCell &globalCell(uint64_t Addr);
+  /// Global shadow page lookup through the direct-mapped page cache.
+  ShadowCell *globalPage(uint64_t Addr);
 
   void handleMemory(BlockState &BS, WarpEntry &WE,
                     const trace::LogRecord &Record);
+  void handleMemoryLegacy(BlockState &BS, WarpEntry &WE,
+                          const trace::LogRecord &Record, AccessKind Kind,
+                          bool IsShared, unsigned Size);
+  /// Applies one coalesced run (page resolution, granule locking,
+  /// leader-check + broadcast).
+  void processRun(BlockState &BS, WarpClocks &W, const AccessRun &Run,
+                  AccessKind Kind, unsigned Size, uint32_t Pc,
+                  bool IsShared);
   void handleSync(BlockState &BS, WarpEntry &WE,
                   const trace::LogRecord &Record);
   void handleBarrier(BlockState &BS, WarpEntry &WE,
@@ -179,9 +231,18 @@ private:
   void handleWarpEnd(BlockState &BS, const trace::LogRecord &Record);
   void handleBlockEnd(BlockState &BS);
 
-  void accessCell(ShadowCell &Cell, AccessKind Kind, WarpClocks &W,
+  /// Runs the full FastTrack-style rules on one byte cell. Returns true
+  /// iff a race was reported (disables broadcasting for the run).
+  bool accessCell(ShadowCell &Cell, AccessKind Kind, WarpClocks &W,
                   uint32_t Lane, uint32_t Pc, trace::MemSpace Space,
                   uint64_t Addr);
+
+  /// entryFor memoized per record: PTVC clocks are frozen while a memory
+  /// record's bytes are processed, and entryFor is lane-independent for
+  /// Other != self, so one (Other -> value) cache serves every byte and
+  /// lane of the record. Callers must exclude Other == self.
+  ClockVal cachedEntryFor(const WarpClocks &W, uint32_t Lane, Tid Other);
+  void resetEntryMemo() { EntryMemoCount = 0; }
 
   void afterClockChange(BlockState &BS, WarpEntry &WE);
   void waitForTicket(uint32_t Ticket);
@@ -191,12 +252,29 @@ private:
   const DetectorOptions &Opts;
   std::unordered_map<uint32_t, BlockState> Blocks;
 
-  // Cache of the last-touched global shadow page.
-  uint64_t CachedPageId = ~0ULL;
-  ShadowCell *CachedPage = nullptr;
+  // Direct-mapped cache of recently-touched global shadow pages
+  // (replaces the old single cached-page slot; strided accesses touch
+  // neighbouring pages, which map to distinct slots).
+  static constexpr unsigned PageCacheSlots = 8;
+  struct PageCacheEntry {
+    uint64_t PageId = ~0ULL;
+    ShadowCell *Page = nullptr;
+  };
+  std::array<PageCacheEntry, PageCacheSlots> PageCache;
+
+  // Per-record entryFor memo (reset at every memory record).
+  static constexpr unsigned EntryMemoSlots = 8;
+  struct EntryMemoSlot {
+    Tid Other = 0;
+    ClockVal Value = 0;
+  };
+  std::array<EntryMemoSlot, EntryMemoSlots> EntryMemo;
+  unsigned EntryMemoCount = 0;
+  unsigned EntryMemoNext = 0;
 
   // Local statistics, merged at finish().
   PtvcFormatStats Formats;
+  HotPathStats HotPath;
   size_t CurrentPtvcBytes = 0;
   size_t PeakPtvcBytes = 0;
   uint64_t SharedShadowBytes = 0;

@@ -106,12 +106,11 @@ ClockVal WarpClocks::entryFor(uint32_t Lane, Tid Other,
   } else if (OtherBlock == Block) {
     Structural = F.BlockClock;
   } else {
-    auto It = F.BlockFloors.find(OtherBlock);
-    Structural = It == F.BlockFloors.end() ? 0 : It->second;
+    Structural = F.BlockFloors.lookup(OtherBlock);
   }
 
-  if (auto It = F.Sparse.find(Other); It != F.Sparse.end())
-    Structural = std::max(Structural, It->second);
+  if (const ClockVal *Override = F.Sparse.find(Other))
+    Structural = std::max(Structural, *Override);
   return Structural;
 }
 
@@ -211,15 +210,22 @@ void WarpClocks::barrierJoin(ClockVal BlockMax) {
   F.BlockClock = std::max(F.BlockClock, BlockMax);
   // Entries subsumed by the new block clock can be dropped (the paper's
   // "check for simpler format" step).
-  for (auto It = F.Sparse.begin(); It != F.Sparse.end();) {
-    if (It->second <= F.BlockClock &&
-        Hier.blockOf(It->first) == Block)
-      It = F.Sparse.erase(It);
-    else
-      ++It;
-  }
+  F.Sparse.eraseIf([&](const auto &Entry) {
+    return Entry.second <= F.BlockClock &&
+           Hier.blockOf(Entry.first) == Block;
+  });
   F.raiseWarpLanes(Resident & ~F.Mask, BlockMax);
   compress();
+}
+
+void WarpClocks::crossBlockKnowledge(CompactClock &Into) const {
+  const Frame &F = top();
+  for (const auto &[BlockId, Floor] : F.BlockFloors)
+    if (BlockId != Block)
+      Into.raiseBlockFloor(BlockId, Floor);
+  for (const auto &[Thread, Clock] : F.Sparse)
+    if (Hier.blockOf(Thread) != Block)
+      Into.raiseEntry(Thread, Clock);
 }
 
 void WarpClocks::acquire(const CompactClock &From) {
@@ -265,11 +271,9 @@ void WarpClocks::acquire(const CompactClock &From) {
       }
       continue;
     }
-    ClockVal Structural =
-        OtherBlock == Block
-            ? F.BlockClock
-            : (F.BlockFloors.count(OtherBlock) ? F.BlockFloors[OtherBlock]
-                                               : 0);
+    ClockVal Structural = OtherBlock == Block
+                              ? F.BlockClock
+                              : F.BlockFloors.lookup(OtherBlock);
     if (Clock > Structural) {
       ClockVal &Slot = F.Sparse[Thread];
       Slot = std::max(Slot, Clock);
@@ -352,9 +356,7 @@ size_t WarpClocks::memoryBytes() const {
     Bytes += 16; // the paper's 16-byte stack entry core
     if (F.WarpVc)
       Bytes += sizeof(*F.WarpVc);
-    Bytes += F.Sparse.size() * (sizeof(Tid) + sizeof(ClockVal) + 16);
-    Bytes += F.BlockFloors.size() *
-             (sizeof(uint32_t) + sizeof(ClockVal) + 16);
+    Bytes += F.Sparse.heapBytes() + F.BlockFloors.heapBytes();
   }
   return Bytes;
 }

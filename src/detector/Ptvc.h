@@ -42,10 +42,10 @@
 
 #include "detector/Clock.h"
 #include "sim/LaunchConfig.h"
+#include "support/FlatMap.h"
 #include "trace/Record.h"
 
 #include <array>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -106,6 +106,13 @@ public:
   /// and its knowledge of the whole block becomes \p BlockMax.
   void barrierJoin(ClockVal BlockMax);
 
+  /// Raises \p Into with this warp's knowledge of threads OUTSIDE its
+  /// block (block floors and cross-block sparse overrides). The BAR rule
+  /// joins full vector clocks, so inter-block knowledge one warp
+  /// acquired must reach every warp of the block — the scalar block max
+  /// that barrierJoin broadcasts cannot carry it.
+  void crossBlockKnowledge(CompactClock &Into) const;
+
   /// ACQ*: joins \p From into the active group's clocks.
   void acquire(const CompactClock &From);
 
@@ -130,8 +137,8 @@ private:
     std::unique_ptr<std::array<ClockVal, trace::WarpSize>> WarpVc;
     ClockVal BlockClock = 0;
     ClockVal PendingMax = 0; ///< max final time of completed sibling paths
-    std::map<Tid, ClockVal> Sparse;
-    std::map<uint32_t, ClockVal> BlockFloors;
+    support::FlatMap<Tid, ClockVal, 4> Sparse;
+    support::FlatMap<uint32_t, ClockVal, 2> BlockFloors;
 
     Frame clone() const;
     ClockVal warpEntry(uint32_t Lane) const {

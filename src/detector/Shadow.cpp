@@ -13,11 +13,15 @@ GlobalShadow::~GlobalShadow() {
 
 ShadowCell *GlobalShadow::page(uint64_t Addr) {
   uint64_t PageId = Addr >> PageBits;
-  std::lock_guard<std::mutex> Guard(TableMutex);
-  auto It = Pages.find(PageId);
-  if (It == Pages.end()) {
-    It = Pages.emplace(PageId, std::make_unique<ShadowCell[]>(PageSize))
-             .first;
+  {
+    std::shared_lock<std::shared_mutex> Guard(TableMutex);
+    if (auto It = Pages.find(PageId); It != Pages.end())
+      return It->second.get();
+  }
+  std::unique_lock<std::shared_mutex> Guard(TableMutex);
+  auto [It, Inserted] = Pages.try_emplace(PageId);
+  if (Inserted) {
+    It->second = std::make_unique<ShadowCell[]>(PageSize);
     for (uint64_t I = 0; I != PageSize; ++I)
       It->second[I].set(ShadowCell::FlagGlobalMem);
   }
@@ -25,12 +29,12 @@ ShadowCell *GlobalShadow::page(uint64_t Addr) {
 }
 
 size_t GlobalShadow::pageCount() const {
-  std::lock_guard<std::mutex> Guard(TableMutex);
+  std::shared_lock<std::shared_mutex> Guard(TableMutex);
   return Pages.size();
 }
 
 uint64_t GlobalShadow::shadowBytes() const {
-  std::lock_guard<std::mutex> Guard(TableMutex);
+  std::shared_lock<std::shared_mutex> Guard(TableMutex);
   return static_cast<uint64_t>(Pages.size()) * PageSize *
          sizeof(ShadowCell);
 }

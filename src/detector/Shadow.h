@@ -34,6 +34,7 @@
 #include <cassert>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,20 @@ struct ShadowCell {
   static constexpr uint8_t FlagReadShared = 2;  ///< Readers VC in use
   static constexpr uint8_t FlagSyncLoc = 4;     ///< used as a sync location
   static constexpr uint8_t FlagGlobalMem = 8;   ///< global (vs shared)
+
+  /// Global-memory cells are locked at aligned 8-byte granules: the
+  /// spinlock of the cell shadowing address (Addr & ~7) guards all eight
+  /// cells of that granule. Every accessor of global shadow state must
+  /// follow this protocol (one lock acquire covers a warp's run through
+  /// the granule instead of one per byte). Shadow pages are granule-
+  /// aligned, so a granule never straddles a page.
+  static constexpr uint64_t LockGranuleBytes = 8;
+
+  /// The cell index within \p Page that holds the granule lock for the
+  /// byte at page offset \p Offset.
+  static constexpr uint64_t lockCellIndex(uint64_t Offset) {
+    return Offset & ~(LockGranuleBytes - 1);
+  }
 
   uint32_t WriteClock = 0;
   uint32_t WriteTid = 0;
@@ -126,7 +141,9 @@ public:
   uint64_t shadowBytes() const;
 
 private:
-  mutable std::mutex TableMutex;
+  // Read-mostly: pages are created once and looked up forever after, so
+  // concurrent readers share the lock and only creation writes.
+  mutable std::shared_mutex TableMutex;
   std::unordered_map<uint64_t, std::unique_ptr<ShadowCell[]>> Pages;
 };
 

@@ -1,0 +1,216 @@
+//===- FlatMap.h - sorted small-vector map ----------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted, flat, small-vector-backed map for the detector's clock
+/// containers. PTVC compression keeps the per-warp sparse overrides and
+/// block floors tiny (the 1-4 entry case dominates; see Figure 7), so
+/// node-based hash maps spend more time allocating and chasing pointers
+/// than comparing keys. FlatMap stores entries sorted by key in an
+/// inline array and spills to a heap array only past InlineCapacity;
+/// lookups are a branchy-but-local binary search, iteration is a
+/// contiguous scan in key order (which also makes clock iteration
+/// deterministic), and clearing is O(1).
+///
+/// Keys and values must be trivially copyable — entries are moved with
+/// plain copies, never constructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_FLATMAP_H
+#define BARRACUDA_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace barracuda {
+namespace support {
+
+template <typename KeyT, typename ValueT, unsigned InlineCapacity = 4>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<KeyT> &&
+                    std::is_trivially_copyable_v<ValueT>,
+                "FlatMap entries are relocated with raw copies");
+  static_assert(InlineCapacity >= 1, "inline storage must hold something");
+
+public:
+  /// Pair-compatible entry (first = key, second = value).
+  struct Entry {
+    KeyT first;
+    ValueT second;
+  };
+
+  FlatMap() = default;
+
+  FlatMap(const FlatMap &Other) { copyFrom(Other); }
+
+  FlatMap &operator=(const FlatMap &Other) {
+    if (this != &Other) {
+      Size = 0;
+      copyFrom(Other);
+    }
+    return *this;
+  }
+
+  FlatMap(FlatMap &&Other) noexcept { stealFrom(Other); }
+
+  FlatMap &operator=(FlatMap &&Other) noexcept {
+    if (this != &Other) {
+      if (Data != inlineData())
+        delete[] Data;
+      Data = inlineData();
+      Capacity = InlineCapacity;
+      Size = 0;
+      stealFrom(Other);
+    }
+    return *this;
+  }
+
+  ~FlatMap() {
+    if (Data != inlineData())
+      delete[] Data;
+  }
+
+  Entry *begin() { return Data; }
+  Entry *end() { return Data + Size; }
+  const Entry *begin() const { return Data; }
+  const Entry *end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  void clear() { Size = 0; }
+
+  /// Pointer to the value for \p Key, or null.
+  const ValueT *find(KeyT Key) const {
+    const Entry *It = lowerBound(Key);
+    return (It != end() && It->first == Key) ? &It->second : nullptr;
+  }
+  ValueT *find(KeyT Key) {
+    Entry *It = lowerBound(Key);
+    return (It != end() && It->first == Key) ? &It->second : nullptr;
+  }
+
+  /// The value for \p Key, or \p Default when absent.
+  ValueT lookup(KeyT Key, ValueT Default = ValueT()) const {
+    const ValueT *Found = find(Key);
+    return Found ? *Found : Default;
+  }
+
+  bool contains(KeyT Key) const { return find(Key) != nullptr; }
+
+  /// Finds or default-inserts the entry for \p Key.
+  ValueT &operator[](KeyT Key) {
+    Entry *It = lowerBound(Key);
+    if (It != end() && It->first == Key)
+      return It->second;
+    size_t Index = static_cast<size_t>(It - begin());
+    insertAt(Index, Key, ValueT());
+    return Data[Index].second;
+  }
+
+  /// Removes every entry for which \p Pred(Entry) holds.
+  template <typename PredT> void eraseIf(PredT Pred) {
+    Entry *Out = begin();
+    for (Entry *It = begin(); It != end(); ++It) {
+      if (!Pred(*It)) {
+        if (Out != It)
+          *Out = *It;
+        ++Out;
+      }
+    }
+    Size = static_cast<unsigned>(Out - begin());
+  }
+
+  /// Heap bytes beyond the object itself (0 while inline) — the figure
+  /// the compression stats track.
+  size_t heapBytes() const {
+    return Data == inlineData() ? 0 : Capacity * sizeof(Entry);
+  }
+
+private:
+  Entry *inlineData() {
+    return reinterpret_cast<Entry *>(InlineStorage);
+  }
+  const Entry *inlineData() const {
+    return reinterpret_cast<const Entry *>(InlineStorage);
+  }
+
+  Entry *lowerBound(KeyT Key) {
+    size_t Lo = 0, Hi = Size;
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (Data[Mid].first < Key)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Data + Lo;
+  }
+  const Entry *lowerBound(KeyT Key) const {
+    return const_cast<FlatMap *>(this)->lowerBound(Key);
+  }
+
+  void copyFrom(const FlatMap &Other) {
+    reserve(Other.Size);
+    for (size_t I = 0; I != Other.Size; ++I)
+      Data[I] = Other.Data[I];
+    Size = Other.Size;
+  }
+
+  void stealFrom(FlatMap &Other) {
+    if (Other.Data != Other.inlineData()) {
+      Data = Other.Data;
+      Capacity = Other.Capacity;
+      Size = Other.Size;
+      Other.Data = Other.inlineData();
+      Other.Capacity = InlineCapacity;
+      Other.Size = 0;
+      return;
+    }
+    for (size_t I = 0; I != Other.Size; ++I)
+      Data[I] = Other.Data[I];
+    Size = Other.Size;
+    Other.Size = 0;
+  }
+
+  void reserve(size_t Wanted) {
+    if (Wanted <= Capacity)
+      return;
+    size_t NewCapacity = Capacity * 2;
+    while (NewCapacity < Wanted)
+      NewCapacity *= 2;
+    Entry *NewData = new Entry[NewCapacity];
+    for (size_t I = 0; I != Size; ++I)
+      NewData[I] = Data[I];
+    if (Data != inlineData())
+      delete[] Data;
+    Data = NewData;
+    Capacity = NewCapacity;
+  }
+
+  void insertAt(size_t Index, KeyT Key, ValueT Value) {
+    assert(Index <= Size && "insert position out of range");
+    reserve(Size + 1);
+    for (size_t I = Size; I > Index; --I)
+      Data[I] = Data[I - 1];
+    Data[Index].first = Key;
+    Data[Index].second = Value;
+    ++Size;
+  }
+
+  Entry *Data = inlineData();
+  unsigned Size = 0;
+  unsigned Capacity = InlineCapacity;
+  alignas(Entry) unsigned char InlineStorage[InlineCapacity *
+                                             sizeof(Entry)];
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_FLATMAP_H

@@ -18,6 +18,7 @@
 //                          persistent engine pool is reused across runs
 //     --streams M          spread repeats across M concurrent streams
 //     --native             run natively (no instrumentation/detection)
+//     --legacy-detector    disable the coalescing detector hot path
 //     --stats              print detector statistics
 //     --expect-races       exit 0 iff races were found (for testing)
 //
@@ -47,7 +48,8 @@ void usage() {
       "usage: barracuda-run FILE.ptx [--kernel NAME] [--grid X[,Y[,Z]]]\n"
       "       [--block X[,Y[,Z]]] [--param buf:BYTES | --param val:N]...\n"
       "       [--warp-size N] [--queues N] [--repeat N] [--streams M]\n"
-      "       [--native] [--stats] [--record TRACE.bct] [--expect-races]\n");
+      "       [--native] [--legacy-detector] [--stats]\n"
+      "       [--record TRACE.bct] [--expect-races]\n");
 }
 
 bool parseDim(const char *Text, sim::Dim3 &Out) {
@@ -139,6 +141,8 @@ int main(int ArgCount, char **Args) {
       Options.RecordTracePath = V;
     } else if (Arg == "--native") {
       Options.Instrument = false;
+    } else if (Arg == "--legacy-detector") {
+      Options.DetectorHotPath = false;
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--json") {
@@ -253,6 +257,13 @@ int main(int ArgCount, char **Args) {
                 static_cast<unsigned long long>(Run.MemoryRecords),
                 static_cast<unsigned long long>(Run.SyncRecords),
                 static_cast<unsigned long long>(Run.ControlRecords));
+    std::printf("hot path: %llu fast-path hits, %llu coalesced runs, "
+                "page cache %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(Run.HotPath.FastPathHits),
+                static_cast<unsigned long long>(Run.HotPath.RunsCoalesced),
+                static_cast<unsigned long long>(Run.HotPath.PageCacheHits),
+                static_cast<unsigned long long>(
+                    Run.HotPath.PageCacheMisses));
     std::printf("runtime: %llu queue-full waits, %llu detector-idle "
                 "waits\n",
                 static_cast<unsigned long long>(Run.QueueFullSpins),
