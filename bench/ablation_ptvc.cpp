@@ -64,8 +64,8 @@ Census runProgram(const suite::SuiteProgram &Program) {
     std::fprintf(stderr, "launch failed: %s\n", Launch.Error.c_str());
     std::exit(1);
   }
-  Result.Formats = S.lastRunStats().Formats;
-  Result.PeakPtvcBytes = S.lastRunStats().PeakPtvcBytes;
+  Result.Formats = S.report().Detector.Formats;
+  Result.PeakPtvcBytes = S.report().Detector.PeakPtvcBytes;
   Result.Threads = Launch.ThreadsLaunched;
 
   // Reference detector on the same trace for the uncompressed footprint.
@@ -167,9 +167,10 @@ int main() {
                         {Data})
              .Ok)
       continue;
-    const detector::PtvcFormatStats &Formats = S.lastRunStats().Formats;
+    RunReport Report = S.report();
+    const detector::PtvcFormatStats &Formats = Report.Detector.Formats;
     Aggregate.merge(Formats);
-    TotalPtvc += S.lastRunStats().PeakPtvcBytes;
+    TotalPtvc += Report.Detector.PeakPtvcBytes;
     auto pct = [&](detector::PtvcFormat Format) {
       return formatString("%5.1f%%", 100.0 * Formats.fraction(Format));
     };
@@ -180,7 +181,7 @@ int main() {
                   formatString("%5.1f%%",
                                100.0 *
                                    Formats.warpCompressibleFraction()),
-                  formatBytes(S.lastRunStats().PeakPtvcBytes),
+                  formatBytes(Report.Detector.PeakPtvcBytes),
                   "(not run)"});
   }
   Table.print();

@@ -120,10 +120,12 @@ struct RunResult {
   HotPathStats Stats;
 };
 
-RunResult runScenario(const Scenario &S, bool HotPath) {
+RunResult runScenario(const Scenario &S, bool HotPath,
+                      bool CollectStats = true) {
   DetectorOptions Opts;
   Opts.Hier = hierarchy();
   Opts.HotPath = HotPath;
+  Opts.CollectStats = CollectStats;
   SharedDetectorState State(Opts);
   QueueProcessor Processor(State);
 
@@ -198,5 +200,38 @@ int main() {
 
   std::printf("\nlegacy = per-byte reference loop (HotPath off); both "
               "modes run the same rules and must agree on verdicts.\n");
+
+  // Metrics overhead: the observability layer's promise is that stats
+  // collection stays off the per-record path (processors tally plain
+  // local counters; the registry is touched once per queue at finish).
+  // Compare the hot path with CollectStats on vs off, best-of-3 each to
+  // damp scheduler noise. Smoke mode enforces the bound.
+  {
+    unsigned OverheadCount = Count < 20000 ? 20000 : Count;
+    Scenario S = coalesced(OverheadCount, MemSpace::Global);
+    auto best = [&](bool CollectStats) {
+      double Best = 1e9;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        double Seconds = runScenario(S, true, CollectStats).Seconds;
+        if (Seconds < Best)
+          Best = Seconds;
+      }
+      return Best;
+    };
+    best(true); // warm allocator and shadow pages
+    double On = best(true);
+    double Off = best(false);
+    double OverheadPct = 100.0 * (Off > 0 ? On / Off - 1.0 : 0.0);
+    std::printf("\nmetrics overhead (coalesced-global, %u records, "
+                "best of 3): stats-on %.0f rec/s, stats-off %.0f rec/s "
+                "(%+.1f%%)\n",
+                OverheadCount, OverheadCount / On, OverheadCount / Off,
+                OverheadPct);
+    // Generous bound: the real overhead is ~0, the margin absorbs CI
+    // timer noise.
+    if (Smoke && OverheadPct > 30.0)
+      fail("metrics-overhead",
+           "stats collection slowed the hot path by more than 30%");
+  }
   return 0;
 }

@@ -162,7 +162,7 @@ int runVersion(const char *Label, bool WithSecondBarrier) {
   std::printf("%s:\n  %u of %u elements wrong; %llu records analyzed\n",
               Label, Wrong, N * N,
               static_cast<unsigned long long>(
-                  S.lastRunStats().RecordsProcessed));
+                  S.report().Records.Processed));
   if (S.races().empty())
     std::printf("  no races detected\n\n");
   else

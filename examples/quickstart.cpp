@@ -97,7 +97,7 @@ int main() {
     }
     std::printf("launched 16x64 threads, %llu records analyzed\n",
                 static_cast<unsigned long long>(
-                    S.lastRunStats().RecordsProcessed));
+                    S.report().Records.Processed));
     report("buggy kernel", S);
   }
 

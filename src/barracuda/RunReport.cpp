@@ -1,0 +1,121 @@
+//===- RunReport.cpp - the unified per-run report ---------------------------===//
+
+#include "barracuda/RunReport.h"
+
+#include "detector/Json.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+using namespace barracuda;
+using support::formatBytes;
+using support::json::Writer;
+
+std::string RunReport::toJson() const {
+  Writer W;
+  W.beginObject();
+  W.key("schemaVersion").value(SchemaVersion);
+
+  W.key("launch").beginObject();
+  W.key("kernel").value(Launch.Kernel);
+  W.key("instrumented").value(Launch.Instrumented);
+  W.key("ok").value(Launch.Ok);
+  W.key("error").value(Launch.Error);
+  W.key("threadsLaunched").value(Launch.ThreadsLaunched);
+  W.key("warpInstructions").value(Launch.WarpInstructions);
+  W.key("recordsLogged").value(Launch.RecordsLogged);
+  W.key("recordsPruned").value(Launch.RecordsPruned);
+  W.endObject();
+
+  W.key("records").beginObject();
+  W.key("processed").value(Records.Processed);
+  W.key("memory").value(Records.Memory);
+  W.key("sync").value(Records.Sync);
+  W.key("control").value(Records.Control);
+  W.endObject();
+
+  W.key("detector").beginObject();
+  W.key("hotPathEnabled").value(Detector.HotPathEnabled);
+  W.key("ptvcFormats").beginObject();
+  for (size_t I = 0; I != Detector.Formats.Samples.size(); ++I)
+    W.key(detector::ptvcFormatName(static_cast<detector::PtvcFormat>(I)))
+        .value(Detector.Formats.Samples[I]);
+  W.endObject();
+  W.key("warpCompressibleFraction")
+      .value(Detector.Formats.warpCompressibleFraction());
+  W.key("fastPathHits").value(Detector.HotPath.FastPathHits);
+  W.key("runsCoalesced").value(Detector.HotPath.RunsCoalesced);
+  W.key("pageCacheHits").value(Detector.HotPath.PageCacheHits);
+  W.key("pageCacheMisses").value(Detector.HotPath.PageCacheMisses);
+  W.key("peakPtvcBytes").value(Detector.PeakPtvcBytes);
+  W.key("globalShadowBytes").value(Detector.GlobalShadowBytes);
+  W.key("sharedShadowBytes").value(Detector.SharedShadowBytes);
+  W.key("syncLocations").value(Detector.SyncLocations);
+  W.endObject();
+
+  W.key("engine").beginObject();
+  W.key("numQueues").value(Engine.NumQueues);
+  W.key("queueFullSpins").value(Engine.QueueFullSpins);
+  W.key("commitStalls").value(Engine.CommitStalls);
+  W.key("detectorEmptySpins").value(Engine.DetectorEmptySpins);
+  W.key("parkedNanos").value(Engine.ParkedNanos);
+  W.key("watermarkWaitNanos").value(Engine.WatermarkWaitNanos);
+  W.endObject();
+
+  W.key("instrumentation").beginObject();
+  W.key("staticInsns").value(Static.StaticInsns);
+  W.key("instrumentedUnoptimized").value(Static.InstrumentedUnoptimized);
+  W.key("instrumentedOptimized").value(Static.InstrumentedOptimized);
+  W.key("unoptimizedFraction").value(Static.unoptimizedFraction());
+  W.key("optimizedFraction").value(Static.optimizedFraction());
+  W.endObject();
+
+  detector::writeFindings(W, Races, BarrierErrors);
+
+  if (!MetricsJson.empty())
+    W.key("metrics").raw(MetricsJson);
+
+  W.endObject();
+  return W.take() + "\n";
+}
+
+void RunReport::printText(std::FILE *Out) const {
+  std::fprintf(Out,
+               "\nstatic: %llu insns, %.1f%% instrumented "
+               "(%.1f%% before pruning)\n",
+               static_cast<unsigned long long>(Static.StaticInsns),
+               100.0 * Static.optimizedFraction(),
+               100.0 * Static.unoptimizedFraction());
+  std::fprintf(Out, "pruning: %llu records elided at runtime\n",
+               static_cast<unsigned long long>(Launch.RecordsPruned));
+  std::fprintf(Out,
+               "detector: %llu records; ptvc warp-compressible %.1f%%; "
+               "peak ptvc %s; shadow %s global + %s shared; "
+               "%llu sync locations\n",
+               static_cast<unsigned long long>(Records.Processed),
+               100.0 * Detector.Formats.warpCompressibleFraction(),
+               formatBytes(Detector.PeakPtvcBytes).c_str(),
+               formatBytes(Detector.GlobalShadowBytes).c_str(),
+               formatBytes(Detector.SharedShadowBytes).c_str(),
+               static_cast<unsigned long long>(Detector.SyncLocations));
+  std::fprintf(Out, "records: %llu memory + %llu sync + %llu control\n",
+               static_cast<unsigned long long>(Records.Memory),
+               static_cast<unsigned long long>(Records.Sync),
+               static_cast<unsigned long long>(Records.Control));
+  std::fprintf(Out,
+               "hot path: %llu fast-path hits, %llu coalesced runs, "
+               "page cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(Detector.HotPath.FastPathHits),
+               static_cast<unsigned long long>(Detector.HotPath.RunsCoalesced),
+               static_cast<unsigned long long>(Detector.HotPath.PageCacheHits),
+               static_cast<unsigned long long>(
+                   Detector.HotPath.PageCacheMisses));
+  std::fprintf(Out,
+               "runtime: %llu queue-full waits, %llu commit stalls, "
+               "%llu detector-idle waits; detector lag %.3f ms, "
+               "pool parked %.3f ms\n",
+               static_cast<unsigned long long>(Engine.QueueFullSpins),
+               static_cast<unsigned long long>(Engine.CommitStalls),
+               static_cast<unsigned long long>(Engine.DetectorEmptySpins),
+               static_cast<double>(Engine.WatermarkWaitNanos) / 1e6,
+               static_cast<double>(Engine.ParkedNanos) / 1e6);
+}

@@ -1,0 +1,115 @@
+//===- RunReport.h - the unified per-run report -----------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One versioned report for everything a run produces: launch outcome,
+/// record tallies, detector statistics, engine backpressure, static
+/// instrumentation coverage, the findings themselves, and a raw metric
+/// snapshot. This subsumes the three pre-observability surfaces —
+/// KernelRunStats, the --stats printf block and the bare races/
+/// barrierErrors JSON document — behind a single schema:
+///
+///   RunReport R = Session.report();
+///   R.printText(stdout);              // the old --stats block
+///   puts(R.toJson().c_str());        // {"schemaVersion": 1, ...}
+///
+/// Scalar sections are per-launch (the most recent instrumented launch;
+/// relaunches on a reused engine restart from zero). Findings are
+/// session-cumulative and deduplicated, matching what races() always
+/// returned. The JSON schema is versioned by schemaVersion; additive
+/// changes keep the version, field renames or removals bump it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_BARRACUDA_RUNREPORT_H
+#define BARRACUDA_BARRACUDA_RUNREPORT_H
+
+#include "detector/Detector.h"
+#include "detector/Report.h"
+#include "instrument/Instrumenter.h"
+#include "sim/Machine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+
+/// The unified report for one session run. Produced by Session::report().
+struct RunReport {
+  /// Bumped on any non-additive schema change to the JSON form.
+  static constexpr unsigned SchemaVersion = 1;
+
+  /// Outcome of the most recent launch.
+  struct LaunchSection {
+    std::string Kernel;
+    bool Instrumented = false;
+    bool Ok = true;
+    std::string Error;
+    uint64_t ThreadsLaunched = 0;
+    uint64_t WarpInstructions = 0;
+    uint64_t RecordsLogged = 0;
+    uint64_t RecordsPruned = 0;
+  } Launch;
+
+  /// Record-class tallies for the launch (from the counting sink and the
+  /// detector's drained count).
+  struct RecordsSection {
+    uint64_t Processed = 0;
+    uint64_t Memory = 0;
+    uint64_t Sync = 0;
+    uint64_t Control = 0;
+  } Records;
+
+  /// Detector-side statistics for the launch ("detector.*" metrics).
+  struct DetectorSection {
+    bool HotPathEnabled = true;
+    detector::PtvcFormatStats Formats;
+    detector::HotPathStats HotPath;
+    uint64_t PeakPtvcBytes = 0;
+    uint64_t GlobalShadowBytes = 0;
+    uint64_t SharedShadowBytes = 0;
+    uint64_t SyncLocations = 0;
+  } Detector;
+
+  /// Runtime backpressure/idle numbers for the launch. Spin counts are
+  /// engine-wide deltas, approximate when other streams run concurrently;
+  /// WatermarkWaitNanos is exact (from this launch's lease).
+  struct EngineSection {
+    unsigned NumQueues = 0;
+    uint64_t QueueFullSpins = 0;
+    uint64_t CommitStalls = 0;
+    uint64_t DetectorEmptySpins = 0;
+    uint64_t ParkedNanos = 0;
+    uint64_t WatermarkWaitNanos = 0;
+  } Engine;
+
+  /// Static instrumentation coverage for the loaded module.
+  instrument::InstrumentationStats Static;
+
+  /// Session-cumulative deduplicated findings (what races() returns).
+  std::vector<detector::RaceReport> Races;
+  std::vector<detector::BarrierError> BarrierErrors;
+
+  /// The launch's raw metric snapshot ("detector.*" names), already
+  /// rendered as a JSON object; empty when stats collection is off.
+  std::string MetricsJson;
+
+  bool anyFindings() const {
+    return !Races.empty() || !BarrierErrors.empty();
+  }
+
+  /// The full document: {"schemaVersion": 1, "launch": {...}, ...,
+  /// "races": [...], "barrierErrors": [...], "metrics": {...}}.
+  std::string toJson() const;
+
+  /// Human-readable statistics block (the former --stats output).
+  void printText(std::FILE *Out) const;
+};
+
+} // namespace barracuda
+
+#endif // BARRACUDA_BARRACUDA_RUNREPORT_H

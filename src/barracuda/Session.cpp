@@ -6,17 +6,34 @@
 #include "ptx/Parser.h"
 #include "ptx/Verifier.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "trace/Sink.h"
 #include "trace/TraceFile.h"
 
 using namespace barracuda;
 
+namespace {
+
+/// The machine inherits the session's tracer unless the caller wired its
+/// own into the machine options.
+sim::MachineOptions machineOptions(const SessionOptions &Options) {
+  sim::MachineOptions MachineOpts = Options.Machine;
+  if (!MachineOpts.Tracer)
+    MachineOpts.Tracer = Options.Tracer;
+  return MachineOpts;
+}
+
+} // namespace
+
 Session::Session(SessionOptions Opts)
-    : Options(Opts), Machine(Memory, Opts.Machine) {}
+    : Options(std::move(Opts)), Machine(Memory, machineOptions(Options)) {}
 
 Session::~Session() = default;
 
 bool Session::loadModule(const std::string &PtxText) {
+  obs::TraceRecorder *Tracer = Options.Tracer;
+  uint32_t Track = Tracer ? Tracer->track("session") : 0;
+  obs::Span ParseSpan(Tracer, Track, "parse", "session");
   ptx::Parser Parser(PtxText);
   Mod = Parser.parseModule();
   if (!Mod) {
@@ -37,7 +54,9 @@ bool Session::loadModule(const std::string &PtxText) {
     return false;
   }
   sim::Machine::layoutModuleGlobals(*Mod, Memory);
+  ParseSpan.close();
   if (Options.Instrument) {
+    obs::Span InstrumentSpan(Tracer, Track, "instrument", "session");
     Instr = std::make_unique<instrument::ModuleInstrumentation>(
         instrument::instrumentModule(*Mod, Options.Instrumenter));
     // Re-verify: the predication transform must keep the module valid.
@@ -97,6 +116,7 @@ runtime::Engine &Session::engine() {
     runtime::EngineOptions EngOpts;
     EngOpts.NumQueues = Options.NumQueues;
     EngOpts.QueueCapacity = Options.QueueCapacity;
+    EngOpts.Tracer = Options.Tracer;
     OwnedEngine = std::make_unique<runtime::Engine>(EngOpts);
   }
   return *OwnedEngine;
@@ -106,13 +126,14 @@ sim::LaunchResult
 Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
                       sim::Dim3 Block,
                       const std::vector<uint64_t> &Params) {
-  return runLaunch(KernelName, Grid, Block, Params);
+  return runLaunch(KernelName, Grid, Block, Params, "session");
 }
 
 runtime::Stream &Session::createStream() {
   engine(); // materialize the pool on the caller, not the executor
   std::lock_guard<std::mutex> Lock(StreamsMutex);
-  Streams.push_back(std::make_unique<runtime::Stream>());
+  Streams.push_back(std::make_unique<runtime::Stream>(
+      support::formatString("stream %zu", Streams.size() + 1)));
   return *Streams.back();
 }
 
@@ -121,9 +142,10 @@ Session::launchKernelAsync(runtime::Stream &S,
                            const std::string &KernelName, sim::Dim3 Grid,
                            sim::Dim3 Block,
                            const std::vector<uint64_t> &Params) {
+  std::string Track = S.name();
   auto Task = std::make_shared<std::packaged_task<sim::LaunchResult()>>(
-      [this, KernelName, Grid, Block, Params] {
-        return runLaunch(KernelName, Grid, Block, Params);
+      [this, KernelName, Grid, Block, Params, Track] {
+        return runLaunch(KernelName, Grid, Block, Params, Track);
       });
   std::future<sim::LaunchResult> Result = Task->get_future();
   S.enqueue([Task] { (*Task)(); });
@@ -138,7 +160,8 @@ void Session::synchronize() {
 
 sim::LaunchResult
 Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
-                   sim::Dim3 Block, const std::vector<uint64_t> &Params) {
+                   sim::Dim3 Block, const std::vector<uint64_t> &Params,
+                   const std::string &TraceTrack) {
   if (!Mod)
     return sim::LaunchResult::failure("no module loaded");
   ptx::Kernel *K = Mod->findKernel(KernelName);
@@ -159,9 +182,22 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Config.Block = Block;
   Config.WarpSize = Options.WarpSize;
 
+  obs::TraceRecorder *Tracer = Options.Tracer;
+  uint32_t Track = Tracer ? Tracer->track(TraceTrack) : 0;
+  obs::Span LaunchSpan(Tracer, Track, "launch " + KernelName, "session");
+
   if (!Options.Instrument) {
-    return Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(),
-                          nullptr);
+    sim::LaunchResult Result =
+        Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(), nullptr);
+    std::lock_guard<std::mutex> Lock(ResultsMutex);
+    RunReport Native;
+    Native.Launch.Kernel = KernelName;
+    Native.Launch.Ok = Result.Ok;
+    Native.Launch.Error = Result.Error;
+    Native.Launch.ThreadsLaunched = Result.ThreadsLaunched;
+    Native.Launch.WarpInstructions = Result.WarpInstructions;
+    LastReport = std::move(Native);
+    return Result;
   }
 
   size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
@@ -205,15 +241,54 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   sim::LaunchResult Result =
       Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger);
 
-  Lease->finish();
+  {
+    obs::Span DrainSpan(Tracer, Track, "drain " + KernelName, "session");
+    Lease->finish();
+  }
   runtime::EngineCounters After = Eng.counters();
   if (Recording && !Writer.close() && Result.Ok)
     Result = sim::LaunchResult::failure(
         "I/O error while recording the trace");
 
-  // Accumulate findings and stats for this launch, mapping each race's
-  // pc back to its PTX source line. Launches on concurrent streams land
-  // here from their executor threads, hence the lock.
+  // Assemble the launch's report outside the lock. Every field of every
+  // per-launch section is filled from this launch's own state (a fresh
+  // SharedDetectorState, the lease, engine-counter deltas), so relaunch
+  // runs on a reused engine cannot accumulate stale numbers.
+  RunReport Report;
+  Report.Launch.Kernel = KernelName;
+  Report.Launch.Instrumented = true;
+  Report.Launch.Ok = Result.Ok;
+  Report.Launch.Error = Result.Error;
+  Report.Launch.ThreadsLaunched = Result.ThreadsLaunched;
+  Report.Launch.WarpInstructions = Result.WarpInstructions;
+  Report.Launch.RecordsLogged = Result.RecordsLogged;
+  Report.Launch.RecordsPruned = Result.RecordsPruned;
+  Report.Records.Processed = State.recordsProcessed();
+  Report.Records.Memory = Counts.memoryRecords();
+  Report.Records.Sync = Counts.syncRecords();
+  Report.Records.Control = Counts.controlRecords();
+  Report.Detector.HotPathEnabled = Options.DetectorHotPath;
+  Report.Detector.Formats = State.formatStats();
+  Report.Detector.HotPath = State.hotPathStats();
+  Report.Detector.PeakPtvcBytes = State.peakPtvcBytes();
+  Report.Detector.GlobalShadowBytes = State.GlobalMem.shadowBytes();
+  Report.Detector.SharedShadowBytes = State.sharedShadowBytes();
+  Report.Detector.SyncLocations = State.Syncs.size();
+  Report.Engine.NumQueues = Eng.numQueues();
+  Report.Engine.QueueFullSpins = After.FullSpins - Before.FullSpins;
+  Report.Engine.CommitStalls = After.CommitStalls - Before.CommitStalls;
+  Report.Engine.DetectorEmptySpins = After.EmptySpins - Before.EmptySpins;
+  Report.Engine.ParkedNanos = After.ParkedNanos - Before.ParkedNanos;
+  Report.Engine.WatermarkWaitNanos = Lease->watermarkWaitNanos();
+  if (Options.CollectStats) {
+    support::json::Writer MetricsWriter;
+    State.metrics().writeJson(MetricsWriter);
+    Report.MetricsJson = MetricsWriter.take();
+  }
+
+  // Accumulate findings, mapping each race's pc back to its PTX source
+  // line. Launches on concurrent streams land here from their executor
+  // threads, hence the lock.
   std::lock_guard<std::mutex> Lock(ResultsMutex);
   for (detector::RaceReport Race : State.Reporter.races()) {
     if (Race.Pc < K->Body.size())
@@ -224,20 +299,34 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
        State.Reporter.barrierErrors())
     AllBarrierErrors.push_back(Error);
 
+  // The legacy stats struct is a view over the report.
   LastStats.Launch = Result;
-  LastStats.RecordsProcessed = State.recordsProcessed();
-  LastStats.Formats = State.formatStats();
-  LastStats.HotPath = State.hotPathStats();
-  LastStats.PeakPtvcBytes = State.peakPtvcBytes();
-  LastStats.GlobalShadowBytes = State.GlobalMem.shadowBytes();
-  LastStats.SharedShadowBytes = State.sharedShadowBytes();
-  LastStats.SyncLocations = State.Syncs.size();
-  LastStats.MemoryRecords = Counts.memoryRecords();
-  LastStats.SyncRecords = Counts.syncRecords();
-  LastStats.ControlRecords = Counts.controlRecords();
-  LastStats.QueueFullSpins = After.FullSpins - Before.FullSpins;
-  LastStats.DetectorEmptySpins = After.EmptySpins - Before.EmptySpins;
+  LastStats.RecordsProcessed = Report.Records.Processed;
+  LastStats.Formats = Report.Detector.Formats;
+  LastStats.HotPath = Report.Detector.HotPath;
+  LastStats.PeakPtvcBytes = Report.Detector.PeakPtvcBytes;
+  LastStats.GlobalShadowBytes = Report.Detector.GlobalShadowBytes;
+  LastStats.SharedShadowBytes = Report.Detector.SharedShadowBytes;
+  LastStats.SyncLocations = Report.Detector.SyncLocations;
+  LastStats.MemoryRecords = Report.Records.Memory;
+  LastStats.SyncRecords = Report.Records.Sync;
+  LastStats.ControlRecords = Report.Records.Control;
+  LastStats.QueueFullSpins = Report.Engine.QueueFullSpins;
+  LastStats.DetectorEmptySpins = Report.Engine.DetectorEmptySpins;
+  LastReport = std::move(Report);
   return Result;
+}
+
+RunReport Session::report() const {
+  std::lock_guard<std::mutex> Lock(ResultsMutex);
+  RunReport Report = LastReport;
+  // Findings are session-cumulative and may have grown since the last
+  // launch assembled its report; static coverage is module-level.
+  Report.Races = AllRaces;
+  Report.BarrierErrors = AllBarrierErrors;
+  if (Instr)
+    Report.Static = Instr->totalStats();
+  return Report;
 }
 
 instrument::InstrumentationStats Session::instrumentationStats() const {

@@ -39,8 +39,10 @@
 #ifndef BARRACUDA_BARRACUDA_SESSION_H
 #define BARRACUDA_BARRACUDA_SESSION_H
 
+#include "barracuda/RunReport.h"
 #include "detector/Detector.h"
 #include "instrument/Instrumenter.h"
+#include "obs/Trace.h"
 #include "ptx/Ir.h"
 #include "runtime/Engine.h"
 #include "runtime/Stream.h"
@@ -85,9 +87,20 @@ struct SessionOptions {
   /// short sessions — e.g. the 66-program suite — pay for the detector
   /// pool once.
   runtime::Engine *SharedEngine = nullptr;
+  /// Phase tracer for --trace-json: when set, the session emits spans
+  /// for parse/instrument, each launch, kernel execution ("device"
+  /// track), each stream, each engine worker and each detector lease.
+  /// Must outlive the session (and a SharedEngine, if both are used;
+  /// the engine keeps the tracer it was created with). Null = off.
+  obs::TraceRecorder *Tracer = nullptr;
 };
 
 /// Result of one instrumented kernel launch.
+///
+/// Deprecated compatibility surface: since the observability layer this
+/// struct is a thin view assembled from the RunReport — prefer
+/// Session::report(), which carries the same numbers plus findings,
+/// engine timing and the raw metric snapshot under one schema.
 struct KernelRunStats {
   sim::LaunchResult Launch;
   uint64_t RecordsProcessed = 0;
@@ -198,8 +211,17 @@ public:
   }
   bool anyRaces() const { return !AllRaces.empty(); }
 
+  /// The unified report: per-launch statistics from the most recent
+  /// launch plus session-cumulative findings and the launch's metric
+  /// snapshot. Safe to call from any thread once the launch's future has
+  /// resolved (or synchronize() returned).
+  RunReport report() const;
+
   /// Statistics from the most recent instrumented launch.
-  const KernelRunStats &lastRunStats() const { return LastStats; }
+  [[deprecated("use Session::report()")]] const KernelRunStats &
+  lastRunStats() const {
+    return LastStats;
+  }
 
   /// Static instrumentation statistics for the loaded module.
   instrument::InstrumentationStats instrumentationStats() const;
@@ -207,7 +229,8 @@ public:
 private:
   sim::LaunchResult runLaunch(const std::string &KernelName,
                               sim::Dim3 Grid, sim::Dim3 Block,
-                              const std::vector<uint64_t> &Params);
+                              const std::vector<uint64_t> &Params,
+                              const std::string &TraceTrack);
 
   SessionOptions Options;
   sim::GlobalMemory Memory;
@@ -225,6 +248,9 @@ private:
   std::vector<detector::RaceReport> AllRaces;
   std::vector<detector::BarrierError> AllBarrierErrors;
   KernelRunStats LastStats;
+  /// Rebuilt from scratch every launch, so per-launch sections never
+  /// accumulate across relaunches on a reused engine.
+  RunReport LastReport;
 
   /// Streams declared last: they must drain (their work touches the
   /// machine, the engine and the result vectors) before anything else

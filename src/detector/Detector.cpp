@@ -18,42 +18,63 @@ using trace::WarpSize;
 // SharedDetectorState
 //===----------------------------------------------------------------------===//
 
+SharedDetectorState::SharedDetectorState(DetectorOptions Options)
+    : Options(Options) {
+  for (size_t I = 0; I != FormatCounters.size(); ++I)
+    FormatCounters[I] = &Metrics.counter(
+        std::string("detector.ptvc.") +
+        ptvcFormatName(static_cast<PtvcFormat>(I)));
+  FastPathHits = &Metrics.counter("detector.fastpath_hits");
+  RunsCoalesced = &Metrics.counter("detector.runs_coalesced");
+  PageCacheHits = &Metrics.counter("detector.page_cache_hits");
+  PageCacheMisses = &Metrics.counter("detector.page_cache_misses");
+  PeakPtvcBytes_ = &Metrics.counter("detector.peak_ptvc_bytes");
+  SharedShadowBytes_ = &Metrics.counter("detector.shared_shadow_bytes");
+  Records_ = &Metrics.counter("detector.records_processed");
+}
+
 void SharedDetectorState::mergeStats(const PtvcFormatStats &NewFormats,
                                      uint64_t PeakPtvc,
                                      uint64_t SharedShadow,
                                      uint64_t Records,
                                      const HotPathStats &HotPath) {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  Formats.merge(NewFormats);
-  PeakPtvcBytes_ += PeakPtvc;
-  SharedShadowBytes_ += SharedShadow;
-  Records_ += Records;
-  HotPath_.merge(HotPath);
+  for (size_t I = 0; I != FormatCounters.size(); ++I)
+    FormatCounters[I]->add(NewFormats.Samples[I]);
+  PeakPtvcBytes_->add(PeakPtvc);
+  SharedShadowBytes_->add(SharedShadow);
+  Records_->add(Records);
+  FastPathHits->add(HotPath.FastPathHits);
+  RunsCoalesced->add(HotPath.RunsCoalesced);
+  PageCacheHits->add(HotPath.PageCacheHits);
+  PageCacheMisses->add(HotPath.PageCacheMisses);
 }
 
 PtvcFormatStats SharedDetectorState::formatStats() const {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  return Formats;
+  PtvcFormatStats Stats;
+  for (size_t I = 0; I != FormatCounters.size(); ++I)
+    Stats.Samples[I] = FormatCounters[I]->value();
+  return Stats;
 }
 
 uint64_t SharedDetectorState::peakPtvcBytes() const {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  return PeakPtvcBytes_;
+  return PeakPtvcBytes_->value();
 }
 
 uint64_t SharedDetectorState::sharedShadowBytes() const {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  return SharedShadowBytes_;
+  return SharedShadowBytes_->value();
 }
 
 uint64_t SharedDetectorState::recordsProcessed() const {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  return Records_;
+  return Records_->value();
 }
 
 HotPathStats SharedDetectorState::hotPathStats() const {
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  return HotPath_;
+  HotPathStats Stats;
+  Stats.FastPathHits = FastPathHits->value();
+  Stats.RunsCoalesced = RunsCoalesced->value();
+  Stats.PageCacheHits = PageCacheHits->value();
+  Stats.PageCacheMisses = PageCacheMisses->value();
+  return Stats;
 }
 
 //===----------------------------------------------------------------------===//

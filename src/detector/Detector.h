@@ -27,6 +27,7 @@
 #include "detector/Ptvc.h"
 #include "detector/Report.h"
 #include "detector/Shadow.h"
+#include "obs/Metrics.h"
 #include "sim/LaunchConfig.h"
 #include "trace/Record.h"
 
@@ -107,11 +108,16 @@ struct PtvcFormatStats {
   }
 };
 
-/// State shared across every QueueProcessor of a run.
+/// State shared across every QueueProcessor of a run. Aggregate
+/// statistics live in an obs::Registry ("detector.*" counters) and the
+/// historical accessors (hotPathStats() &c.) are views over it, so the
+/// same numbers feed the ad-hoc structs, the RunReport and any metrics
+/// exporter without a second bookkeeping path. Processors still tally
+/// into their private plain counters on the hot path and merge here once
+/// per queue at finish().
 class SharedDetectorState {
 public:
-  explicit SharedDetectorState(DetectorOptions Options)
-      : Options(Options) {}
+  explicit SharedDetectorState(DetectorOptions Options);
 
   const DetectorOptions &options() const { return Options; }
 
@@ -126,6 +132,13 @@ public:
                   uint64_t SharedShadow, uint64_t Records,
                   const HotPathStats &HotPath);
 
+  /// The run's metric registry. Per-launch by construction: every launch
+  /// builds a fresh SharedDetectorState, so counters never leak across
+  /// launches on a reused engine.
+  obs::Registry &metrics() { return Metrics; }
+  const obs::Registry &metrics() const { return Metrics; }
+
+  // Views over the registry (the pre-observability stats structs).
   PtvcFormatStats formatStats() const;
   uint64_t peakPtvcBytes() const;
   uint64_t sharedShadowBytes() const;
@@ -134,12 +147,17 @@ public:
 
 private:
   DetectorOptions Options;
-  mutable std::mutex StatsMutex;
-  PtvcFormatStats Formats;
-  uint64_t PeakPtvcBytes_ = 0;
-  uint64_t SharedShadowBytes_ = 0;
-  uint64_t Records_ = 0;
-  HotPathStats HotPath_;
+  obs::Registry Metrics;
+  /// Instruments resolved once at construction; mergeStats is plain
+  /// relaxed adds.
+  std::array<obs::Counter *, 4> FormatCounters{};
+  obs::Counter *FastPathHits = nullptr;
+  obs::Counter *RunsCoalesced = nullptr;
+  obs::Counter *PageCacheHits = nullptr;
+  obs::Counter *PageCacheMisses = nullptr;
+  obs::Counter *PeakPtvcBytes_ = nullptr;
+  obs::Counter *SharedShadowBytes_ = nullptr;
+  obs::Counter *Records_ = nullptr;
 };
 
 /// Consumes one queue's records and applies the detection rules.

@@ -3,44 +3,59 @@
 #include "detector/Json.h"
 
 #include "support/Format.h"
+#include "support/Json.h"
 
 using namespace barracuda;
 using namespace barracuda::detector;
 using support::formatString;
+using support::json::Writer;
+
+void detector::writeRace(Writer &W, const RaceReport &Race) {
+  W.beginObject();
+  W.key("pc").value(Race.Pc);
+  W.key("line").value(Race.Line);
+  W.key("current").value(accessKindName(Race.Current));
+  W.key("previous").value(accessKindName(Race.Previous));
+  W.key("space").value(Race.Space == trace::MemSpace::Global ? "global"
+                                                             : "shared");
+  W.key("scope").value(raceScopeName(Race.Scope));
+  W.key("currentTid").value(static_cast<uint64_t>(Race.CurrentTid));
+  W.key("previousTid").value(static_cast<uint64_t>(Race.PreviousTid));
+  W.key("address").value(formatString(
+      "0x%llx", static_cast<unsigned long long>(Race.Address)));
+  W.key("count").value(Race.Count);
+  W.endObject();
+}
+
+void detector::writeBarrierError(Writer &W, const BarrierError &Error) {
+  W.beginObject();
+  W.key("pc").value(Error.Pc);
+  W.key("warp").value(Error.Warp);
+  W.key("activeMask").value(formatString("0x%x", Error.ActiveMask));
+  W.key("residentMask").value(formatString("0x%x", Error.ResidentMask));
+  W.key("count").value(Error.Count);
+  W.endObject();
+}
+
+void detector::writeFindings(Writer &W,
+                             const std::vector<RaceReport> &Races,
+                             const std::vector<BarrierError> &Barriers) {
+  W.key("races").beginArray();
+  for (const RaceReport &Race : Races)
+    writeRace(W, Race);
+  W.endArray();
+  W.key("barrierErrors").beginArray();
+  for (const BarrierError &Error : Barriers)
+    writeBarrierError(W, Error);
+  W.endArray();
+}
 
 std::string
 detector::reportsToJson(const std::vector<RaceReport> &Races,
                         const std::vector<BarrierError> &Barriers) {
-  std::string Out = "{\n  \"races\": [";
-  for (size_t I = 0; I != Races.size(); ++I) {
-    const RaceReport &Race = Races[I];
-    Out += I ? ",\n    " : "\n    ";
-    Out += formatString(
-        "{\"pc\": %u, \"line\": %u, \"current\": \"%s\", "
-        "\"previous\": \"%s\", \"space\": \"%s\", \"scope\": \"%s\", "
-        "\"currentTid\": %llu, \"previousTid\": %llu, "
-        "\"address\": \"0x%llx\", \"count\": %llu}",
-        Race.Pc, Race.Line, accessKindName(Race.Current),
-        accessKindName(Race.Previous),
-        Race.Space == trace::MemSpace::Global ? "global" : "shared",
-        raceScopeName(Race.Scope),
-        static_cast<unsigned long long>(Race.CurrentTid),
-        static_cast<unsigned long long>(Race.PreviousTid),
-        static_cast<unsigned long long>(Race.Address),
-        static_cast<unsigned long long>(Race.Count));
-  }
-  Out += Races.empty() ? "],\n" : "\n  ],\n";
-  Out += "  \"barrierErrors\": [";
-  for (size_t I = 0; I != Barriers.size(); ++I) {
-    const BarrierError &Error = Barriers[I];
-    Out += I ? ",\n    " : "\n    ";
-    Out += formatString("{\"pc\": %u, \"warp\": %u, \"activeMask\": "
-                        "\"0x%x\", \"residentMask\": \"0x%x\", "
-                        "\"count\": %llu}",
-                        Error.Pc, Error.Warp, Error.ActiveMask,
-                        Error.ResidentMask,
-                        static_cast<unsigned long long>(Error.Count));
-  }
-  Out += Barriers.empty() ? "]\n}\n" : "\n  ]\n}\n";
-  return Out;
+  Writer W;
+  W.beginObject();
+  writeFindings(W, Races, Barriers);
+  W.endObject();
+  return W.take() + "\n";
 }

@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// JSON rendering of race and barrier-divergence reports, for CI
-/// integration (`barracuda-run --json`).
+/// JSON rendering of race and barrier-divergence reports, built on the
+/// shared support::json::Writer so the standalone report document and
+/// the RunReport (`barracuda-run --json`) serialize findings
+/// identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +21,27 @@
 #include <vector>
 
 namespace barracuda {
+namespace support {
+namespace json {
+class Writer;
+} // namespace json
+} // namespace support
+
 namespace detector {
 
-/// Renders reports as a JSON document:
+/// Emits one race as a JSON object in value position.
+void writeRace(support::json::Writer &W, const RaceReport &Race);
+
+/// Emits one barrier-divergence error as a JSON object in value position.
+void writeBarrierError(support::json::Writer &W, const BarrierError &Error);
+
+/// Emits "races" and "barrierErrors" members into the currently open
+/// object.
+void writeFindings(support::json::Writer &W,
+                   const std::vector<RaceReport> &Races,
+                   const std::vector<BarrierError> &Barriers);
+
+/// Renders reports as a standalone JSON document:
 /// {"races":[{...}],"barrierErrors":[{...}]}
 std::string reportsToJson(const std::vector<RaceReport> &Races,
                           const std::vector<BarrierError> &Barriers);

@@ -1,0 +1,110 @@
+//===- Metrics.cpp - lightweight metrics registry ---------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<MetricSample> Samples;
+  Samples.reserve(Counters.size() + Gauges.size() + Histograms.size());
+  for (const auto &[Name, C] : Counters) {
+    MetricSample S;
+    S.Name = Name;
+    S.Kind_ = MetricSample::Kind::Counter;
+    S.Value = static_cast<int64_t>(C->value());
+    Samples.push_back(std::move(S));
+  }
+  for (const auto &[Name, G] : Gauges) {
+    MetricSample S;
+    S.Name = Name;
+    S.Kind_ = MetricSample::Kind::Gauge;
+    S.Value = G->value();
+    Samples.push_back(std::move(S));
+  }
+  for (const auto &[Name, H] : Histograms) {
+    MetricSample S;
+    S.Name = Name;
+    S.Kind_ = MetricSample::Kind::Histogram;
+    S.Value = static_cast<int64_t>(H->count());
+    S.Sum = H->sum();
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+      if (uint64_t Count = H->bucketCount(I))
+        S.Buckets.emplace_back(I, Count);
+    Samples.push_back(std::move(S));
+  }
+  // std::map iteration is already name-sorted per kind; interleave kinds
+  // into one global order for stable output.
+  std::sort(Samples.begin(), Samples.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Samples;
+}
+
+void Registry::writeJson(support::json::Writer &W) const {
+  W.beginObject();
+  for (const MetricSample &S : snapshot()) {
+    W.key(S.Name);
+    switch (S.Kind_) {
+    case MetricSample::Kind::Counter:
+      W.value(static_cast<uint64_t>(S.Value));
+      break;
+    case MetricSample::Kind::Gauge:
+      W.value(S.Value);
+      break;
+    case MetricSample::Kind::Histogram:
+      W.beginObject();
+      W.key("count").value(static_cast<uint64_t>(S.Value));
+      W.key("sum").value(S.Sum);
+      W.key("buckets").beginObject();
+      for (const auto &[Bucket, Count] : S.Buckets) {
+        W.key(std::to_string(Histogram::bucketLowerBound(Bucket)));
+        W.value(Count);
+      }
+      W.endObject();
+      W.endObject();
+      break;
+    }
+  }
+  W.endObject();
+}

@@ -1,0 +1,191 @@
+//===- Metrics.h - lightweight metrics registry -----------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: named counters, gauges
+/// and log2-bucket latency/size histograms collected in a Registry.
+///
+/// Design rules, in priority order:
+///
+///   * Hot paths pay only a plain relaxed atomic add — no locks, no
+///     lookups. Components resolve their instruments once (registration
+///     takes a mutex) and keep the returned reference; Counter &c. have
+///     stable addresses for the registry's lifetime.
+///   * Disabled means free. Every wiring site holds a nullable pointer;
+///     a null instrument is one predicted branch. Registry::reset()
+///     re-zeroes instruments between launches without invalidating the
+///     cached pointers.
+///   * One snapshot path. snapshot() returns a consistent-enough copy
+///     (relaxed reads; counters are monotone between resets) which one
+///     shared JSON writer serializes for RunReport and tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_METRICS_H
+#define BARRACUDA_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace support {
+namespace json {
+class Writer;
+} // namespace json
+} // namespace support
+
+namespace obs {
+
+/// A monotone event count. Relaxed increments; readers tolerate small
+/// skews (the watermark protocols that need ordering have their own
+/// acquire/release fences).
+class Counter {
+public:
+  void add(uint64_t Delta = 1) {
+    Value_.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value_.load(std::memory_order_relaxed); }
+  void reset() { Value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value_{0};
+};
+
+/// Incrementing a null counter is a no-op — the disabled-metrics path.
+inline void inc(Counter *C, uint64_t Delta = 1) {
+  if (C)
+    C->add(Delta);
+}
+
+/// A point-in-time level (queue depth, bytes resident). set() overwrites;
+/// updateMax() keeps a high-water mark.
+class Gauge {
+public:
+  void set(int64_t Value) {
+    Value_.store(Value, std::memory_order_relaxed);
+  }
+  void add(int64_t Delta) {
+    Value_.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  void updateMax(int64_t Value) {
+    int64_t Seen = Value_.load(std::memory_order_relaxed);
+    while (Value > Seen &&
+           !Value_.compare_exchange_weak(Seen, Value,
+                                         std::memory_order_relaxed))
+      ;
+  }
+  int64_t value() const { return Value_.load(std::memory_order_relaxed); }
+  void reset() { Value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value_{0};
+};
+
+/// A histogram over fixed log2 buckets: bucket B counts samples whose
+/// value has bit-width B (bucket 0 holds value 0, bucket 1 holds 1,
+/// bucket 2 holds 2-3, bucket 3 holds 4-7, ... bucket 64 holds the top
+/// half of the uint64 range). Fixed buckets keep record() allocation-free
+/// and mergeable; log2 spacing matches the latency/queue-depth ranges we
+/// sample (ns to seconds, empty to full rings).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  void record(uint64_t Value) {
+    Buckets[bucketFor(Value)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for \p Value: its bit width (0 for 0).
+  static unsigned bucketFor(uint64_t Value) {
+    unsigned Width = 0;
+    while (Value) {
+      ++Width;
+      Value >>= 1;
+    }
+    return Width;
+  }
+
+  /// Smallest value landing in bucket \p Index (0, 1, 2, 4, 8, ...).
+  static uint64_t bucketLowerBound(unsigned Index) {
+    return Index == 0 ? 0 : 1ULL << (Index - 1);
+  }
+
+  uint64_t bucketCount(unsigned Index) const {
+    return Buckets[Index].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const {
+    uint64_t Total = 0;
+    for (const auto &Bucket : Buckets)
+      Total += Bucket.load(std::memory_order_relaxed);
+    return Total;
+  }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+
+  void reset() {
+    for (auto &Bucket : Buckets)
+      Bucket.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Sum{0};
+};
+
+inline void record(Histogram *H, uint64_t Value) {
+  if (H)
+    H->record(Value);
+}
+
+/// One instrument's state copied out of a registry.
+struct MetricSample {
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+  std::string Name;
+  Kind Kind_ = Kind::Counter;
+  /// Counter/gauge value; histogram sample count.
+  int64_t Value = 0;
+  /// Histogram only: sum of samples and non-empty (bucket, count) pairs.
+  uint64_t Sum = 0;
+  std::vector<std::pair<unsigned, uint64_t>> Buckets;
+};
+
+/// Owns named instruments. Registration is mutexed and expected at
+/// wiring time only; instruments never move or disappear, so cached
+/// references stay valid for the registry's lifetime.
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Zeroes every instrument (between launches on a reused engine).
+  /// Cached instrument pointers remain valid.
+  void reset();
+
+  /// Name-sorted copy of every instrument's current state.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Serializes snapshot() as one JSON object in value position:
+  /// {"name": value, ..., "hist": {"count": N, "sum": N, "buckets": {...}}}
+  void writeJson(support::json::Writer &W) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_METRICS_H

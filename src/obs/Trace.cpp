@@ -1,0 +1,114 @@
+//===- Trace.cpp - span/phase tracer (Chrome Trace Event Format) ------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+uint32_t TraceRecorder::track(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Tracks.find(Name);
+  if (It != Tracks.end())
+    return It->second;
+  // tid 0 reads as "the process" in some viewers; start at 1.
+  uint32_t Id = static_cast<uint32_t>(Tracks.size()) + 1;
+  Tracks.emplace(Name, Id);
+  return Id;
+}
+
+void TraceRecorder::complete(uint32_t Track, const std::string &Name,
+                             const char *Category, uint64_t StartUs,
+                             uint64_t EndUs) {
+  Event E;
+  E.Track = Track;
+  E.Phase = 'X';
+  E.StartUs = StartUs;
+  E.DurUs = EndUs >= StartUs ? EndUs - StartUs : 0;
+  E.Name = Name;
+  E.Category = Category;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::instant(uint32_t Track, const std::string &Name,
+                            const char *Category) {
+  Event E;
+  E.Track = Track;
+  E.Phase = 'i';
+  E.StartUs = nowUs();
+  E.Name = Name;
+  E.Category = Category;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(E));
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+size_t TraceRecorder::trackCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Tracks.size();
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  support::json::Writer W;
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  // One thread_name metadata event per track makes Perfetto label the
+  // lanes ("engine worker 0", "stream 1", ...).
+  for (const auto &[Name, Id] : Tracks) {
+    W.beginObject();
+    W.key("ph").value("M");
+    W.key("name").value("thread_name");
+    W.key("pid").value(1);
+    W.key("tid").value(Id);
+    W.key("args").beginObject();
+    W.key("name").value(Name);
+    W.endObject();
+    W.endObject();
+  }
+  for (const Event &E : Events) {
+    W.beginObject();
+    W.key("ph").value(std::string(1, E.Phase));
+    W.key("name").value(E.Name);
+    W.key("cat").value(E.Category[0] ? E.Category : "misc");
+    W.key("pid").value(1);
+    W.key("tid").value(E.Track);
+    W.key("ts").value(E.StartUs);
+    if (E.Phase == 'X')
+      W.key("dur").value(E.DurUs);
+    if (E.Phase == 'i')
+      W.key("s").value("t");
+    W.endObject();
+  }
+  W.endArray();
+  W.key("displayTimeUnit").value("ms");
+  W.endObject();
+  return W.take();
+}
+
+bool TraceRecorder::write(const std::string &Path) const {
+  std::string Doc = json();
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), File);
+  bool Ok = Written == Doc.size();
+  return std::fclose(File) == 0 && Ok;
+}

@@ -1,0 +1,127 @@
+//===- Trace.h - span/phase tracer (Chrome Trace Event Format) --*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer: a recorder for timed
+/// spans that serializes to Chrome Trace Event Format JSON, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Every producer gets its own track: the session (parse/instrument
+/// phases), the simulated device (kernel execution), each stream, each
+/// engine worker, and each detector lease. Tracks are named with
+/// thread_name metadata events and map to Perfetto's per-thread lanes;
+/// spans are complete events ("ph":"X") with microsecond timestamps from
+/// one steady clock anchored at recorder construction.
+///
+/// A null TraceRecorder* disables tracing: Span and the record helpers
+/// no-op on null, so wiring sites need no conditionals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_TRACE_H
+#define BARRACUDA_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace obs {
+
+/// Collects trace events; thread-safe. Spans are expected to be coarse
+/// (phases, batches, waits), not per-record, so a mutex per emission is
+/// fine.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// The track id for \p Name, registering it (and its thread_name
+  /// metadata event) on first use.
+  uint32_t track(const std::string &Name);
+
+  /// Microseconds since recorder construction (steady clock).
+  uint64_t nowUs() const;
+
+  /// A complete event on \p Track spanning [StartUs, EndUs].
+  void complete(uint32_t Track, const std::string &Name,
+                const char *Category, uint64_t StartUs, uint64_t EndUs);
+
+  /// A zero-duration instant event on \p Track.
+  void instant(uint32_t Track, const std::string &Name,
+               const char *Category);
+
+  /// Recorded span/instant events (excludes the per-track thread_name
+  /// metadata events json() synthesizes).
+  size_t eventCount() const;
+
+  /// Registered tracks.
+  size_t trackCount() const;
+
+  /// The full document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string json() const;
+
+  /// Writes json() to \p Path; false on I/O failure.
+  bool write(const std::string &Path) const;
+
+private:
+  struct Event {
+    uint32_t Track = 0;
+    char Phase = 'X';
+    uint64_t StartUs = 0;
+    uint64_t DurUs = 0;
+    std::string Name;
+    const char *Category = "";
+  };
+
+  mutable std::mutex Mutex;
+  std::vector<Event> Events;
+  std::map<std::string, uint32_t> Tracks;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII span: opens at construction, records on destruction. Null
+/// recorder = disabled (no clock reads, no events).
+class Span {
+public:
+  Span(TraceRecorder *Recorder, uint32_t Track, std::string Name,
+       const char *Category)
+      : Recorder(Recorder), Track(Track), Name(std::move(Name)),
+        Category(Category) {
+    if (Recorder)
+      StartUs = Recorder->nowUs();
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  ~Span() { close(); }
+
+  /// Ends the span early (idempotent).
+  void close() {
+    if (!Recorder)
+      return;
+    Recorder->complete(Track, Name, Category, StartUs, Recorder->nowUs());
+    Recorder = nullptr;
+  }
+
+private:
+  TraceRecorder *Recorder;
+  uint32_t Track;
+  std::string Name;
+  const char *Category;
+  uint64_t StartUs = 0;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_TRACE_H

@@ -3,11 +3,24 @@
 #include "runtime/Engine.h"
 
 #include "support/Backoff.h"
+#include "support/Format.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace barracuda;
 using namespace barracuda::runtime;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Launch
@@ -19,6 +32,11 @@ Launch::Launch(Engine &Eng, uint32_t Epoch,
   for (unsigned I = 0; I != Eng.numQueues(); ++I)
     Processors.push_back(
         std::make_unique<detector::QueueProcessor>(State));
+  if (obs::TraceRecorder *Tracer = Eng.tracer()) {
+    LeaseTrack = Tracer->track(
+        support::formatString("detector lease e%u", Epoch));
+    LeaseStartUs = Tracer->nowUs();
+  }
 }
 
 Launch::~Launch() { finish(); }
@@ -42,11 +60,23 @@ void Launch::finish() {
   // The release increments in workerMain form a release sequence, so the
   // final acquire load here orders all detector mutations before the
   // statistics flush below.
+  uint64_t WaitStart = nowNanos();
   support::Backoff Wait;
   while (Drained.load(std::memory_order_acquire) != Logged)
     Wait.pause();
+  WatermarkWaitNanos = nowNanos() - WaitStart;
+  Eng.CWatermarkWaitNanos->add(WatermarkWaitNanos);
   for (auto &Processor : Processors)
     Processor->finish();
+  if (obs::TraceRecorder *Tracer = Eng.tracer()) {
+    uint64_t End = Tracer->nowUs();
+    uint64_t WaitUs = WatermarkWaitNanos / 1000;
+    Tracer->complete(LeaseTrack, "watermark wait", "engine",
+                     End >= WaitUs ? End - WaitUs : 0, End);
+    Tracer->complete(LeaseTrack,
+                     support::formatString("lease e%u", Epoch), "engine",
+                     LeaseStartUs, End);
+  }
   Eng.endLaunch(Epoch);
 }
 
@@ -56,6 +86,13 @@ void Launch::finish() {
 
 Engine::Engine(EngineOptions Options)
     : Options(Options), Queues(Options.NumQueues, Options.QueueCapacity) {
+  CEmptySpins = &Metrics.counter("engine.empty_spins");
+  CParkedNanos = &Metrics.counter("engine.parked_ns");
+  CWatermarkWaitNanos = &Metrics.counter("engine.watermark_wait_ns");
+  CLeases = &Metrics.counter("engine.leases");
+  CRecordsDrained = &Metrics.counter("engine.records_drained");
+  HDrainBatch = &Metrics.histogram("engine.drain_batch");
+  HQueueDepth = &Metrics.histogram("engine.queue_depth");
   Threads.reserve(Options.NumQueues);
   for (unsigned I = 0; I != Options.NumQueues; ++I) {
     Threads.emplace_back([this, I] { workerMain(I); });
@@ -79,6 +116,7 @@ std::shared_ptr<Launch>
 Engine::begin(detector::SharedDetectorState &State) {
   uint32_t Epoch = NextEpoch.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<Launch> Handle(new Launch(*this, Epoch, State));
+  CLeases->add(1);
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
     ActiveLaunches.emplace(Epoch, Handle);
@@ -118,8 +156,40 @@ void Engine::workerMain(unsigned QueueIndex) {
   // keeps the Launch alive across the lookup-free hits.
   std::shared_ptr<Launch> Cached;
   support::Backoff Wait;
+  obs::TraceRecorder *Tracer = Options.Tracer;
+  uint32_t Track = 0;
+  if (Tracer)
+    Track = Tracer->track(
+        support::formatString("engine worker %u", QueueIndex));
+  // Per-batch spans would swamp the trace; group contiguous non-empty
+  // drains into one "drain" episode per queue-empty-to-empty stretch.
+  bool EpisodeOpen = false;
+  uint64_t EpisodeStartUs = 0;
+  uint64_t EpisodeRecords = 0;
+  auto closeEpisode = [&] {
+    if (!EpisodeOpen)
+      return;
+    EpisodeOpen = false;
+    Tracer->complete(
+        Track,
+        support::formatString("drain %llu",
+                              static_cast<unsigned long long>(
+                                  EpisodeRecords)),
+        "engine", EpisodeStartUs, Tracer->nowUs());
+    EpisodeRecords = 0;
+  };
   for (;;) {
     size_t Count = Queue.drain(Batch, BatchSize);
+    if (Count) {
+      HDrainBatch->record(Count);
+      HQueueDepth->record(Queue.pendingApprox());
+      CRecordsDrained->add(Count);
+      if (Tracer && !EpisodeOpen) {
+        EpisodeOpen = true;
+        EpisodeStartUs = Tracer->nowUs();
+      }
+      EpisodeRecords += Count;
+    }
     for (size_t I = 0; I != Count; ++I) {
       const trace::LogRecord &Record = Batch[I];
       assert(Record.Epoch != 0 && "unstamped record in engine queue");
@@ -129,6 +199,8 @@ void Engine::workerMain(unsigned QueueIndex) {
       Cached->Drained.fetch_add(1, std::memory_order_release);
     }
     if (Count == 0) {
+      if (Tracer)
+        closeEpisode();
       if (Queue.exhausted())
         break;
       if (ActiveEpochs.load(std::memory_order_acquire) == 0) {
@@ -136,25 +208,41 @@ void Engine::workerMain(unsigned QueueIndex) {
         // and the drained watermark, so empty-queue + zero epochs means
         // there is nothing to miss; begin() wakes us under ParkMutex.
         Cached.reset();
-        std::unique_lock<std::mutex> Lock(ParkMutex);
-        ParkCV.wait(Lock, [this] {
-          return ShuttingDown ||
-                 ActiveEpochs.load(std::memory_order_acquire) != 0;
-        });
+        uint64_t ParkStart = nowNanos();
+        {
+          std::unique_lock<std::mutex> Lock(ParkMutex);
+          ParkCV.wait(Lock, [this] {
+            return ShuttingDown ||
+                   ActiveEpochs.load(std::memory_order_acquire) != 0;
+          });
+        }
+        uint64_t Parked = nowNanos() - ParkStart;
+        CParkedNanos->add(Parked);
+        if (Tracer) {
+          uint64_t End = Tracer->nowUs();
+          uint64_t ParkedUs = Parked / 1000;
+          Tracer->complete(Track, "parked", "engine",
+                           End >= ParkedUs ? End - ParkedUs : 0, End);
+        }
       } else {
         Wait.pause();
       }
     } else if (Wait.waits()) {
-      EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+      CEmptySpins->add(Wait.waits());
       Wait.reset();
     }
   }
-  EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+  if (Tracer)
+    closeEpisode();
+  CEmptySpins->add(Wait.waits());
 }
 
 EngineCounters Engine::counters() const {
   EngineCounters Counters;
-  Counters.EmptySpins = EmptySpins.load(std::memory_order_relaxed);
+  Counters.EmptySpins = CEmptySpins->value();
   Counters.FullSpins = Queues.totalFullSpins();
+  Counters.CommitStalls = Queues.totalCommitStalls();
+  Counters.ParkedNanos = CParkedNanos->value();
+  Counters.WatermarkWaitNanos = CWatermarkWaitNanos->value();
   return Counters;
 }

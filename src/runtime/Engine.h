@@ -31,12 +31,22 @@
 /// back off (spin, yield, short sleeps) between polls otherwise, so a
 /// resident Engine costs nothing between launches.
 ///
+/// Observability: the engine owns a process-lifetime obs::Registry
+/// ("engine.*" counters, drain-batch and queue-depth histograms) and,
+/// when EngineOptions::Tracer is set, emits one trace track per worker
+/// (drain episodes, parked gaps) and one per detector lease (lifetime
+/// plus the watermark wait). Per-launch numbers come from the Launch
+/// handle and the per-launch SharedDetectorState, never from the shared
+/// registry, so relaunches on a reused engine start from zero.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BARRACUDA_RUNTIME_ENGINE_H
 #define BARRACUDA_RUNTIME_ENGINE_H
 
 #include "detector/Detector.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "trace/Queue.h"
 #include "trace/Sink.h"
 
@@ -77,6 +87,10 @@ public:
 
   uint64_t recordsLogged() const { return Logged; }
 
+  /// Nanoseconds finish() spent waiting on the drained-record watermark
+  /// (detector lag behind the device). Valid after finish().
+  uint64_t watermarkWaitNanos() const { return WatermarkWaitNanos; }
+
 private:
   friend class Engine;
 
@@ -106,6 +120,10 @@ private:
   /// Records fully processed by workers. Release increments; finish()
   /// acquires, so all detector mutations are visible at the watermark.
   std::atomic<uint64_t> Drained{0};
+  uint64_t WatermarkWaitNanos = 0;
+  /// Lease track/open timestamp when the engine's tracer is active.
+  uint32_t LeaseTrack = 0;
+  uint64_t LeaseStartUs = 0;
   bool Finished = false;
 };
 
@@ -115,14 +133,25 @@ struct EngineOptions {
   unsigned NumQueues = 4;
   /// Per-queue ring capacity in records; must be a power of two.
   size_t QueueCapacity = 1 << 14;
+  /// When set, workers and leases emit spans here (--trace-json). Must
+  /// outlive the engine. Null = tracing off (no clock reads).
+  obs::TraceRecorder *Tracer = nullptr;
 };
 
-/// Lifetime idle/backpressure counters (see KernelRunStats).
+/// Lifetime idle/backpressure counters, read as before/after deltas for
+/// per-launch reporting (approximate when other streams run
+/// concurrently).
 struct EngineCounters {
   /// Worker backoff pauses taken on empty queues.
   uint64_t EmptySpins = 0;
   /// Producer backoff pauses taken on full rings.
   uint64_t FullSpins = 0;
+  /// Producer waits for an earlier reservation to commit.
+  uint64_t CommitStalls = 0;
+  /// Nanoseconds workers spent parked (no epoch active).
+  uint64_t ParkedNanos = 0;
+  /// Nanoseconds launches spent waiting on the drained-record watermark.
+  uint64_t WatermarkWaitNanos = 0;
 };
 
 /// The persistent runtime: a process-lifetime QueueSet and detector
@@ -157,6 +186,14 @@ public:
 
   EngineCounters counters() const;
 
+  /// Engine-lifetime metrics: "engine.*" counters plus drain-batch-size
+  /// and queue-depth histograms. Cumulative across launches — consumers
+  /// wanting per-launch numbers take deltas (see Session::report()).
+  obs::Registry &metrics() { return Metrics; }
+  const obs::Registry &metrics() const { return Metrics; }
+
+  obs::TraceRecorder *tracer() const { return Options.Tracer; }
+
 private:
   friend class Launch;
 
@@ -182,7 +219,17 @@ private:
 
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> ThreadsStarted{0};
-  std::atomic<uint64_t> EmptySpins{0};
+
+  obs::Registry Metrics;
+  /// Instruments resolved once in the constructor (hot paths use the
+  /// cached pointers, registration never happens on a worker loop).
+  obs::Counter *CEmptySpins = nullptr;
+  obs::Counter *CParkedNanos = nullptr;
+  obs::Counter *CWatermarkWaitNanos = nullptr;
+  obs::Counter *CLeases = nullptr;
+  obs::Counter *CRecordsDrained = nullptr;
+  obs::Histogram *HDrainBatch = nullptr;
+  obs::Histogram *HQueueDepth = nullptr;
 };
 
 } // namespace runtime

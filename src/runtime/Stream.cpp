@@ -5,7 +5,9 @@
 using namespace barracuda;
 using namespace barracuda::runtime;
 
-Stream::Stream() : Executor([this] { executorMain(); }) {}
+Stream::Stream(std::string Name)
+    : Name(Name.empty() ? "stream" : std::move(Name)),
+      Executor([this] { executorMain(); }) {}
 
 Stream::~Stream() {
   {

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace barracuda {
@@ -28,12 +29,16 @@ namespace runtime {
 /// An in-order asynchronous execution lane.
 class Stream {
 public:
-  Stream();
+  /// \p Name labels the stream in traces and reports ("stream 0"); an
+  /// empty name is replaced with "stream".
+  explicit Stream(std::string Name = "stream");
   /// Runs all pending work, then joins the executor.
   ~Stream();
 
   Stream(const Stream &) = delete;
   Stream &operator=(const Stream &) = delete;
+
+  const std::string &name() const { return Name; }
 
   /// Appends \p Work; it runs after everything enqueued before it.
   void enqueue(std::function<void()> Work);
@@ -44,6 +49,7 @@ public:
 private:
   void executorMain();
 
+  std::string Name;
   std::mutex Mutex;
   std::condition_variable WorkCV;
   std::condition_variable IdleCV;

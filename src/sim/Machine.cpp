@@ -1203,6 +1203,9 @@ LaunchResult Machine::launch(const Module &M, const Kernel &K,
                              const std::vector<uint8_t> &ParamBuffer,
                              DeviceLogger *Logger) {
   LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger);
+  obs::Span Execute(Options.Tracer,
+                    Options.Tracer ? Options.Tracer->track("device") : 0,
+                    "execute " + K.Name, "sim");
   return Context.run();
 }
 

@@ -24,6 +24,7 @@
 #define BARRACUDA_SIM_MACHINE_H
 
 #include "instrument/Instrumenter.h"
+#include "obs/Trace.h"
 #include "ptx/Cfg.h"
 #include "ptx/Ir.h"
 #include "sim/LaunchConfig.h"
@@ -52,6 +53,9 @@ struct MachineOptions {
   /// Weak-memory architecture profile (litmus experiments only).
   WeakProfileKind WeakProfile = WeakProfileKind::None;
   uint64_t WeakSeed = 1;
+  /// When set, every launch emits an execute-phase span on the "device"
+  /// track (--trace-json). Must outlive the machine; null = off.
+  obs::TraceRecorder *Tracer = nullptr;
 };
 
 /// Outcome of one kernel launch.

@@ -1,0 +1,145 @@
+//===- Cli.cpp - shared command-line option parser --------------------------===//
+
+#include "support/Cli.h"
+
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace barracuda;
+using namespace barracuda::support;
+using namespace barracuda::support::cli;
+
+Parser::Parser(std::string Program, std::string Positional)
+    : Program(std::move(Program)), PositionalLabel(std::move(Positional)) {}
+
+void Parser::flag(const char *Name, bool &Target, const char *Help) {
+  Option O;
+  O.Name = Name;
+  O.Help = Help;
+  O.Flag = &Target;
+  O.FlagValue = true;
+  Options.push_back(std::move(O));
+}
+
+void Parser::flagOff(const char *Name, bool &Target, const char *Help) {
+  Option O;
+  O.Name = Name;
+  O.Help = Help;
+  O.Flag = &Target;
+  O.FlagValue = false;
+  Options.push_back(std::move(O));
+}
+
+void Parser::option(const char *Name, const char *ValueLabel,
+                    std::function<bool(const char *)> Handler,
+                    const char *Help) {
+  Option O;
+  O.Name = Name;
+  O.ValueLabel = ValueLabel;
+  O.Help = Help;
+  O.Handler = std::move(Handler);
+  Options.push_back(std::move(O));
+}
+
+void Parser::stringOption(const char *Name, const char *ValueLabel,
+                          std::string &Target, const char *Help) {
+  option(Name, ValueLabel,
+         [&Target](const char *Value) {
+           Target = Value;
+           return true;
+         },
+         Help);
+}
+
+void Parser::uintOption(const char *Name, const char *ValueLabel,
+                        unsigned &Target, const char *Help) {
+  option(Name, ValueLabel,
+         [&Target](const char *Value) {
+           char *End = nullptr;
+           unsigned long Parsed = std::strtoul(Value, &End, 10);
+           if (End == Value || *End)
+             return false;
+           Target = static_cast<unsigned>(Parsed);
+           return true;
+         },
+         Help);
+}
+
+void Parser::u64Option(const char *Name, const char *ValueLabel,
+                       uint64_t &Target, const char *Help) {
+  option(Name, ValueLabel,
+         [&Target](const char *Value) {
+           char *End = nullptr;
+           unsigned long long Parsed = std::strtoull(Value, &End, 0);
+           if (End == Value || *End)
+             return false;
+           Target = Parsed;
+           return true;
+         },
+         Help);
+}
+
+void Parser::repeatedOption(const char *Name, const char *ValueLabel,
+                            std::function<bool(const char *)> Handler,
+                            const char *Help) {
+  // Handlers are stateless from the parser's point of view, so repeated
+  // options are just options whose handler accumulates.
+  option(Name, ValueLabel, std::move(Handler), Help);
+}
+
+bool Parser::fail(const std::string &Message) {
+  std::fprintf(stderr, "%s: %s\n", Program.c_str(), Message.c_str());
+  usage(stderr);
+  return false;
+}
+
+bool Parser::parse(int ArgCount, char **Args) {
+  for (int I = 1; I < ArgCount; ++I) {
+    const char *Arg = Args[I];
+    if (Arg[0] != '-') {
+      if (!PositionalLabel.empty() && Positional_.empty()) {
+        Positional_ = Arg;
+        continue;
+      }
+      return fail(formatString("unexpected argument '%s'", Arg));
+    }
+    const Option *Match = nullptr;
+    for (const Option &O : Options)
+      if (O.Name == Arg) {
+        Match = &O;
+        break;
+      }
+    if (!Match)
+      return fail(formatString("unknown option '%s'", Arg));
+    if (Match->Flag) {
+      *Match->Flag = Match->FlagValue;
+      continue;
+    }
+    if (I + 1 >= ArgCount)
+      return fail(formatString("option '%s' expects %s", Arg,
+                               Match->ValueLabel.c_str()));
+    const char *Value = Args[++I];
+    if (!Match->Handler(Value))
+      return fail(
+          formatString("bad value '%s' for option '%s'", Value, Arg));
+  }
+  if (!PositionalLabel.empty() && Positional_.empty())
+    return fail(formatString("missing %s", PositionalLabel.c_str()));
+  return true;
+}
+
+void Parser::usage(std::FILE *Out) const {
+  std::fprintf(Out, "usage: %s%s%s [options]\n", Program.c_str(),
+               PositionalLabel.empty() ? "" : " ",
+               PositionalLabel.c_str());
+  for (const Option &O : Options) {
+    std::string Left = O.Name;
+    if (!O.ValueLabel.empty()) {
+      Left += ' ';
+      Left += O.ValueLabel;
+    }
+    std::fprintf(Out, "  %-22s %s\n", Left.c_str(), O.Help.c_str());
+  }
+}

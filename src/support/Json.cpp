@@ -1,0 +1,173 @@
+//===- Json.cpp - streaming JSON writer ------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace barracuda;
+using namespace barracuda::support;
+using namespace barracuda::support::json;
+
+std::string json::escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void Writer::newline() {
+  Out += '\n';
+  Out.append(Stack.size() * 2, ' ');
+}
+
+void Writer::beforeValue() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (NeedComma)
+    Out += ',';
+  if (!Stack.empty())
+    newline();
+}
+
+Writer &Writer::beginObject() {
+  beforeValue();
+  Out += '{';
+  Stack.push_back(Scope::Object);
+  NeedComma = false;
+  return *this;
+}
+
+Writer &Writer::endObject() {
+  assert(!Stack.empty() && Stack.back() == Scope::Object &&
+         "endObject outside an object");
+  bool Empty = !NeedComma;
+  Stack.pop_back();
+  if (!Empty)
+    newline();
+  Out += '}';
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::beginArray() {
+  beforeValue();
+  Out += '[';
+  Stack.push_back(Scope::Array);
+  NeedComma = false;
+  return *this;
+}
+
+Writer &Writer::endArray() {
+  assert(!Stack.empty() && Stack.back() == Scope::Array &&
+         "endArray outside an array");
+  bool Empty = !NeedComma;
+  Stack.pop_back();
+  if (!Empty)
+    newline();
+  Out += ']';
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::key(const std::string &Name) {
+  assert(!Stack.empty() && Stack.back() == Scope::Object &&
+         "key outside an object");
+  assert(!AfterKey && "two keys in a row");
+  if (NeedComma)
+    Out += ',';
+  newline();
+  Out += '"';
+  Out += escape(Name);
+  Out += "\": ";
+  AfterKey = true;
+  NeedComma = false;
+  return *this;
+}
+
+Writer &Writer::value(const std::string &Text) {
+  beforeValue();
+  Out += '"';
+  Out += escape(Text);
+  Out += '"';
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::value(const char *Text) {
+  return value(std::string(Text));
+}
+
+Writer &Writer::value(uint64_t Number) {
+  beforeValue();
+  Out += formatString("%llu", static_cast<unsigned long long>(Number));
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::value(int64_t Number) {
+  beforeValue();
+  Out += formatString("%lld", static_cast<long long>(Number));
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::value(double Number) {
+  beforeValue();
+  if (!std::isfinite(Number))
+    Number = 0;
+  Out += formatString("%g", Number);
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::value(bool Flag) {
+  beforeValue();
+  Out += Flag ? "true" : "false";
+  NeedComma = true;
+  return *this;
+}
+
+Writer &Writer::raw(const std::string &Json) {
+  beforeValue();
+  Out += Json;
+  NeedComma = true;
+  return *this;
+}
+
+const std::string &Writer::str() const {
+  assert(Stack.empty() && "unbalanced scopes at str()");
+  return Out;
+}
+
+std::string Writer::take() {
+  assert(Stack.empty() && "unbalanced scopes at take()");
+  return std::move(Out);
+}

@@ -1,0 +1,95 @@
+//===- Json.h - streaming JSON writer --------------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One JSON writer for every machine-readable surface of the project:
+/// race/barrier reports (detector::Json), the RunReport document
+/// (`barracuda-run --json`), metric snapshots and the Chrome Trace Event
+/// stream (`--trace-json`). Emits `"key": value` with two-space
+/// indentation so existing consumers that grep the race report keep
+/// working.
+///
+/// Usage:
+/// \code
+///   support::json::Writer W;
+///   W.beginObject();
+///   W.key("schemaVersion").value(1);
+///   W.key("races").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+///   std::string Doc = W.take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_JSON_H
+#define BARRACUDA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace support {
+namespace json {
+
+/// Escapes \p Text for inclusion inside a JSON string literal (quotes
+/// not included).
+std::string escape(const std::string &Text);
+
+/// A streaming writer producing pretty-printed JSON. Scope mismatches
+/// are programming errors (asserted), not runtime conditions.
+class Writer {
+public:
+  Writer &beginObject();
+  Writer &endObject();
+  Writer &beginArray();
+  Writer &endArray();
+
+  /// Emits the member key; must be inside an object and be followed by
+  /// exactly one value (or container).
+  Writer &key(const std::string &Name);
+
+  Writer &value(const std::string &Text);
+  Writer &value(const char *Text);
+  Writer &value(uint64_t Number);
+  Writer &value(int64_t Number);
+  Writer &value(int Number) { return value(static_cast<int64_t>(Number)); }
+  Writer &value(unsigned Number) {
+    return value(static_cast<uint64_t>(Number));
+  }
+  /// Doubles render with six significant digits ("0.934731"); NaN and
+  /// infinities (not representable in JSON) render as 0.
+  Writer &value(double Number);
+  Writer &value(bool Flag);
+
+  /// Splices \p Json — already-rendered JSON — in value position.
+  Writer &raw(const std::string &Json);
+
+  /// The finished document. The writer must be back at top level.
+  const std::string &str() const;
+  std::string take();
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+
+  void beforeValue();
+  void newline();
+
+  std::string Out;
+  std::vector<Scope> Stack;
+  /// True when the next emission at the current depth needs a ',' first.
+  bool NeedComma = false;
+  /// True immediately after key(): the next value continues the line.
+  bool AfterKey = false;
+};
+
+} // namespace json
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_JSON_H

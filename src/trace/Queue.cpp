@@ -38,6 +38,7 @@ void EventQueue::commit(uint64_t Index) {
     support::Backoff Wait;
     while (CommitIndex.load(std::memory_order_acquire) != Index)
       Wait.pause();
+    CommitStalls.fetch_add(Wait.waits(), std::memory_order_relaxed);
   }
   CommitIndex.store(Index + 1, std::memory_order_release);
 }

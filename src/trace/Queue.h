@@ -85,9 +85,16 @@ public:
   }
 
   /// Total producer-side wait iterations on a full ring (backpressure
-  /// observability; see KernelRunStats::QueueFullSpins).
+  /// observability; surfaces in the RunReport's engine section).
   uint64_t fullSpins() const {
     return FullSpins.load(std::memory_order_relaxed);
+  }
+
+  /// Total producer-side wait iterations in commit() for an earlier
+  /// reservation to publish — contention between producers racing to
+  /// commit out of order.
+  uint64_t commitStalls() const {
+    return CommitStalls.load(std::memory_order_relaxed);
   }
 
 private:
@@ -99,6 +106,7 @@ private:
   alignas(64) std::atomic<uint64_t> ReadHead{0};
   alignas(64) std::atomic<bool> Closed{false};
   std::atomic<uint64_t> FullSpins{0};
+  std::atomic<uint64_t> CommitStalls{0};
 };
 
 /// A collection of queues with the paper's block-to-queue routing.
@@ -129,6 +137,14 @@ public:
     uint64_t Sum = 0;
     for (const auto &Queue : Queues)
       Sum += Queue->fullSpins();
+    return Sum;
+  }
+
+  /// Sum of every queue's out-of-order commit waits.
+  uint64_t totalCommitStalls() const {
+    uint64_t Sum = 0;
+    for (const auto &Queue : Queues)
+      Sum += Queue->commitStalls();
     return Sum;
   }
 

@@ -196,7 +196,42 @@ TEST(Engine, TinyQueueBackpressureCompletes) {
   ASSERT_TRUE(Result.Ok) << Result.Error;
   EXPECT_TRUE(S.anyRaces());
   // The counting sink saw the launch's records.
-  EXPECT_GT(S.lastRunStats().MemoryRecords, 0u);
+  EXPECT_GT(S.report().Records.Memory, 0u);
+}
+
+TEST(Engine, RelaunchReportsDoNotAccumulate) {
+  // Regression: per-launch metric state must reset between launches on a
+  // reused engine. The same deterministic kernel launched twice (via
+  // launchKernelAsync, which reuses the session's persistent pool) must
+  // report identical — not doubled — per-launch numbers.
+  SessionOptions Options;
+  Options.NumQueues = 2;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  runtime::Stream &Lane = S.createStream();
+
+  ASSERT_TRUE(S.launchKernelAsync(Lane, "hist_safe", sim::Dim3(4),
+                                  sim::Dim3(64), {Bins})
+                  .get()
+                  .Ok);
+  RunReport First = S.report();
+
+  ASSERT_TRUE(S.launchKernelAsync(Lane, "hist_safe", sim::Dim3(4),
+                                  sim::Dim3(64), {Bins})
+                  .get()
+                  .Ok);
+  RunReport Second = S.report();
+
+  EXPECT_GT(First.Records.Processed, 0u);
+  EXPECT_EQ(First.Records.Processed, Second.Records.Processed);
+  EXPECT_EQ(First.Records.Memory, Second.Records.Memory);
+  EXPECT_EQ(First.Records.Sync, Second.Records.Sync);
+  EXPECT_EQ(First.Records.Control, Second.Records.Control);
+  EXPECT_EQ(First.Launch.RecordsLogged, Second.Launch.RecordsLogged);
+  EXPECT_EQ(First.Detector.Formats.total(),
+            Second.Detector.Formats.total());
+  EXPECT_EQ(S.engine().launchesBegun(), 2u);
 }
 
 TEST(Engine, FullRingWaitsAreCounted) {

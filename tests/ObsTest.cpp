@@ -1,0 +1,497 @@
+//===- ObsTest.cpp - observability layer -----------------------------------===//
+//
+// The observability layer's contract: log2 histogram bucketing at its
+// edges, counters that survive concurrent increments, a registry whose
+// instruments have stable addresses across reset(), trace output that is
+// well-formed Chrome Trace Event JSON, and a RunReport document whose
+// schema round-trips through a parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/RunReport.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Cli.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace barracuda;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser — just enough to verify well-formedness and read
+// back values the writers emitted. Throws std::runtime_error on garbage.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool Bool_ = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<JsonValue> Array;
+  std::map<std::string, JsonValue> Object;
+
+  const JsonValue &at(const std::string &Key) const {
+    auto It = Object.find(Key);
+    if (It == Object.end())
+      throw std::runtime_error("missing key " + Key);
+    return It->second;
+  }
+  bool has(const std::string &Key) const {
+    return Object.count(Key) != 0;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  JsonValue parse() {
+    JsonValue Value = parseValue();
+    skipSpace();
+    if (Pos != Text.size())
+      throw std::runtime_error("trailing content");
+    return Value;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  char peek() {
+    skipSpace();
+    if (Pos >= Text.size())
+      throw std::runtime_error("unexpected end");
+    return Text[Pos];
+  }
+
+  void expect(char C) {
+    if (peek() != C)
+      throw std::runtime_error(std::string("expected ") + C);
+    ++Pos;
+  }
+
+  bool consume(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    char C = peek();
+    JsonValue Value;
+    if (C == '{') {
+      ++Pos;
+      Value.K = JsonValue::Kind::Object;
+      if (peek() == '}') {
+        ++Pos;
+        return Value;
+      }
+      while (true) {
+        std::string Key = parseString();
+        expect(':');
+        Value.Object[Key] = parseValue();
+        if (peek() == ',') {
+          ++Pos;
+          continue;
+        }
+        expect('}');
+        return Value;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Value.K = JsonValue::Kind::Array;
+      if (peek() == ']') {
+        ++Pos;
+        return Value;
+      }
+      while (true) {
+        Value.Array.push_back(parseValue());
+        if (peek() == ',') {
+          ++Pos;
+          continue;
+        }
+        expect(']');
+        return Value;
+      }
+    }
+    if (C == '"') {
+      Value.K = JsonValue::Kind::String;
+      Value.Str = parseString();
+      return Value;
+    }
+    skipSpace();
+    if (consume("true")) {
+      Value.K = JsonValue::Kind::Bool;
+      Value.Bool_ = true;
+      return Value;
+    }
+    if (consume("false")) {
+      Value.K = JsonValue::Kind::Bool;
+      return Value;
+    }
+    if (consume("null"))
+      return Value;
+    // Number.
+    size_t End = Pos;
+    while (End < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+            Text[End] == '-' || Text[End] == '+' || Text[End] == '.' ||
+            Text[End] == 'e' || Text[End] == 'E'))
+      ++End;
+    if (End == Pos)
+      throw std::runtime_error("bad value");
+    Value.K = JsonValue::Kind::Number;
+    Value.Number = std::stod(Text.substr(Pos, End - Pos));
+    Pos = End;
+    return Value;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size())
+        throw std::runtime_error("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          throw std::runtime_error("bad escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u':
+          if (Pos + 4 > Text.size())
+            throw std::runtime_error("bad \\u escape");
+          Pos += 4;
+          Out += '?';
+          break;
+        default:
+          Out += E;
+          break;
+        }
+        continue;
+      }
+      Out += C;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+JsonValue parseJson(const std::string &Text) {
+  return JsonParser(Text).parse();
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucketing
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketEdges) {
+  using obs::Histogram;
+  // Bucket = bit width: 0 is alone, then [2^(k-1), 2^k) shares bucket k.
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(7), 3u);
+  EXPECT_EQ(Histogram::bucketFor(8), 4u);
+  EXPECT_EQ(Histogram::bucketFor((1ULL << 32) - 1), 32u);
+  EXPECT_EQ(Histogram::bucketFor(1ULL << 32), 33u);
+  EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), 64u);
+  static_assert(Histogram::NumBuckets == 65,
+                "one bucket per bit width plus zero");
+
+  // Lower bounds invert bucketFor at every edge.
+  EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::bucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::bucketLowerBound(64), 1ULL << 63);
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketLowerBound(I)), I);
+}
+
+TEST(Histogram, CountsAndSum) {
+  obs::Histogram H;
+  H.record(0);
+  H.record(1);
+  H.record(5);
+  H.record(5);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 11u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(3), 2u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Counters, gauges, registry
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, ConcurrentCounterIncrements) {
+  // Run under the TSan preset too: relaxed atomic adds must neither race
+  // nor lose increments.
+  obs::Registry Registry;
+  obs::Counter &C = Registry.counter("test.hits");
+  obs::Histogram &H = Registry.histogram("test.sizes");
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 100000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&C, &H] {
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        C.add();
+        H.record(I & 1023);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), NumThreads * PerThread);
+  EXPECT_EQ(H.count(), NumThreads * PerThread);
+}
+
+TEST(Metrics, RegistryStableAddressesAcrossReset) {
+  obs::Registry Registry;
+  obs::Counter *C = &Registry.counter("a.counter");
+  obs::Gauge *G = &Registry.gauge("a.gauge");
+  obs::Histogram *H = &Registry.histogram("a.histogram");
+  C->add(7);
+  G->set(-3);
+  H->record(42);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&Registry.counter("a.counter"), C);
+  EXPECT_EQ(&Registry.gauge("a.gauge"), G);
+  EXPECT_EQ(&Registry.histogram("a.histogram"), H);
+  Registry.reset();
+  // Reset zeroes values but cached pointers stay usable.
+  EXPECT_EQ(C->value(), 0u);
+  EXPECT_EQ(G->value(), 0);
+  EXPECT_EQ(H->count(), 0u);
+  C->add(1);
+  EXPECT_EQ(Registry.counter("a.counter").value(), 1u);
+}
+
+TEST(Metrics, GaugeMax) {
+  obs::Gauge G;
+  G.updateMax(5);
+  G.updateMax(3);
+  EXPECT_EQ(G.value(), 5);
+  G.updateMax(9);
+  EXPECT_EQ(G.value(), 9);
+}
+
+TEST(Metrics, SnapshotAndJson) {
+  obs::Registry Registry;
+  Registry.counter("z.last").add(2);
+  Registry.counter("a.first").add(1);
+  Registry.histogram("m.hist").record(10);
+  std::vector<obs::MetricSample> Samples = Registry.snapshot();
+  ASSERT_EQ(Samples.size(), 3u);
+  // Name-sorted.
+  EXPECT_EQ(Samples[0].Name, "a.first");
+  EXPECT_EQ(Samples[2].Name, "z.last");
+
+  support::json::Writer W;
+  Registry.writeJson(W);
+  JsonValue Doc = parseJson(W.take());
+  EXPECT_EQ(Doc.at("a.first").Number, 1.0);
+  EXPECT_EQ(Doc.at("z.last").Number, 2.0);
+  EXPECT_EQ(Doc.at("m.hist").at("count").Number, 1.0);
+  EXPECT_EQ(Doc.at("m.hist").at("sum").Number, 10.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, WellFormedChromeTraceJson) {
+  obs::TraceRecorder Recorder;
+  uint32_t Worker = Recorder.track("engine worker 0");
+  uint32_t Device = Recorder.track("device");
+  EXPECT_NE(Worker, Device);
+  // Track registration dedupes by name.
+  EXPECT_EQ(Recorder.track("device"), Device);
+
+  Recorder.complete(Device, "execute k", "sim", 10, 250);
+  Recorder.complete(Worker, "drain 1", "engine", 20, 40);
+  Recorder.instant(Worker, "wake", "engine");
+  {
+    obs::Span S(&Recorder, Device, "drain k", "session");
+  }
+  EXPECT_EQ(Recorder.eventCount(), 4u);
+
+  JsonValue Doc = parseJson(Recorder.json());
+  const std::vector<JsonValue> &Events = Doc.at("traceEvents").Array;
+  // 2 thread_name metadata events + 4 recorded events.
+  ASSERT_EQ(Events.size(), 6u);
+  unsigned Metadata = 0, Complete = 0, Instant = 0;
+  for (const JsonValue &Event : Events) {
+    const std::string &Phase = Event.at("ph").Str;
+    if (Phase == "M") {
+      ++Metadata;
+      EXPECT_EQ(Event.at("name").Str, "thread_name");
+      EXPECT_TRUE(Event.at("args").has("name"));
+    } else if (Phase == "X") {
+      ++Complete;
+      EXPECT_TRUE(Event.has("dur"));
+      EXPECT_GE(Event.at("dur").Number, 0.0);
+    } else if (Phase == "i") {
+      ++Instant;
+    }
+    EXPECT_TRUE(Event.has("pid"));
+    EXPECT_TRUE(Event.has("tid"));
+  }
+  EXPECT_EQ(Metadata, 2u);
+  EXPECT_EQ(Complete, 3u);
+  EXPECT_EQ(Instant, 1u);
+}
+
+TEST(Trace, NullRecorderSpansAreFree) {
+  // The disabled path: no recorder, no events, no crashes.
+  obs::Span S(nullptr, 0, "nothing", "nowhere");
+  S.close();
+  S.close();
+}
+
+TEST(Trace, NegativeDurationClamped) {
+  obs::TraceRecorder Recorder;
+  uint32_t T = Recorder.track("t");
+  Recorder.complete(T, "backwards", "test", 100, 50);
+  JsonValue Doc = parseJson(Recorder.json());
+  for (const JsonValue &Event : Doc.at("traceEvents").Array)
+    if (Event.at("ph").Str == "X") {
+      EXPECT_EQ(Event.at("dur").Number, 0.0);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// RunReport schema
+//===----------------------------------------------------------------------===//
+
+TEST(RunReportTest, SchemaRoundTrip) {
+  RunReport Report;
+  Report.Launch.Kernel = "k";
+  Report.Launch.Instrumented = true;
+  Report.Launch.ThreadsLaunched = 256;
+  Report.Launch.RecordsLogged = 28;
+  Report.Records.Processed = 28;
+  Report.Records.Memory = 16;
+  Report.Detector.HotPath.FastPathHits = 24;
+  Report.Detector.Formats.Samples[0] = 16;
+  Report.Engine.NumQueues = 4;
+  Report.Engine.WatermarkWaitNanos = 12345;
+  Report.Static.StaticInsns = 13;
+  Report.Static.InstrumentedOptimized = 2;
+  detector::RaceReport Race;
+  Race.Pc = 9;
+  Race.Scope = detector::RaceScopeKind::InterBlock;
+  Race.Count = 768;
+  Report.Races.push_back(Race);
+  support::json::Writer MetricsWriter;
+  obs::Registry Registry;
+  Registry.counter("detector.fastpath_hits").add(24);
+  Registry.writeJson(MetricsWriter);
+  Report.MetricsJson = MetricsWriter.take();
+
+  JsonValue Doc = parseJson(Report.toJson());
+  EXPECT_EQ(Doc.at("schemaVersion").Number,
+            static_cast<double>(RunReport::SchemaVersion));
+  EXPECT_EQ(Doc.at("launch").at("kernel").Str, "k");
+  EXPECT_TRUE(Doc.at("launch").at("instrumented").Bool_);
+  EXPECT_EQ(Doc.at("launch").at("threadsLaunched").Number, 256.0);
+  EXPECT_EQ(Doc.at("records").at("processed").Number, 28.0);
+  EXPECT_EQ(Doc.at("records").at("memory").Number, 16.0);
+  EXPECT_EQ(Doc.at("detector").at("fastPathHits").Number, 24.0);
+  EXPECT_EQ(Doc.at("detector").at("ptvcFormats").at("converged").Number,
+            16.0);
+  EXPECT_EQ(Doc.at("engine").at("numQueues").Number, 4.0);
+  EXPECT_EQ(Doc.at("engine").at("watermarkWaitNanos").Number, 12345.0);
+  EXPECT_EQ(Doc.at("instrumentation").at("staticInsns").Number, 13.0);
+  ASSERT_EQ(Doc.at("races").Array.size(), 1u);
+  EXPECT_EQ(Doc.at("races").Array[0].at("pc").Number, 9.0);
+  EXPECT_EQ(Doc.at("races").Array[0].at("scope").Str, "inter-block");
+  EXPECT_EQ(Doc.at("barrierErrors").Array.size(), 0u);
+  EXPECT_EQ(Doc.at("metrics").at("detector.fastpath_hits").Number, 24.0);
+}
+
+TEST(RunReportTest, TextFormDoesNotCrash) {
+  RunReport Report;
+  Report.printText(stderr);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI parser
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, FlagsOptionsAndPositional) {
+  support::cli::Parser P("tool", "FILE");
+  bool Stats = false, HotPath = true;
+  unsigned Queues = 4;
+  std::string Out;
+  P.flag("--stats", Stats, "stats");
+  P.flagOff("--legacy-detector", HotPath, "legacy");
+  P.uintOption("--queues", "N", Queues, "queues");
+  P.stringOption("--trace-json", "OUT", Out, "trace");
+  const char *Args[] = {"tool",     "input.ptx",       "--stats",
+                        "--queues", "2",               "--trace-json",
+                        "t.json",   "--legacy-detector"};
+  ASSERT_TRUE(P.parse(8, const_cast<char **>(Args)));
+  EXPECT_TRUE(Stats);
+  EXPECT_FALSE(HotPath);
+  EXPECT_EQ(Queues, 2u);
+  EXPECT_EQ(Out, "t.json");
+  EXPECT_EQ(P.positional(), "input.ptx");
+}
+
+TEST(Cli, RejectsUnknownAndMissing) {
+  {
+    support::cli::Parser P("tool", "FILE");
+    const char *Args[] = {"tool", "f", "--nope"};
+    EXPECT_FALSE(P.parse(3, const_cast<char **>(Args)));
+  }
+  {
+    // Missing required positional.
+    support::cli::Parser P("tool", "FILE");
+    const char *Args[] = {"tool"};
+    EXPECT_FALSE(P.parse(1, const_cast<char **>(Args)));
+  }
+  {
+    // Option missing its value.
+    support::cli::Parser P("tool", "FILE");
+    unsigned N = 0;
+    P.uintOption("--queues", "N", N, "queues");
+    const char *Args[] = {"tool", "f", "--queues"};
+    EXPECT_FALSE(P.parse(3, const_cast<char **>(Args)));
+  }
+}
+
+} // namespace

@@ -60,8 +60,8 @@ TEST(Session, CopyKernelEndToEnd) {
   S.copyFromDevice(Output.data(), Dst, 400);
   EXPECT_EQ(Output, Input);
   EXPECT_FALSE(S.anyRaces());
-  EXPECT_GT(S.lastRunStats().RecordsProcessed, 0u);
-  EXPECT_GT(S.lastRunStats().GlobalShadowBytes, 0u);
+  EXPECT_GT(S.report().Records.Processed, 0u);
+  EXPECT_GT(S.report().Detector.GlobalShadowBytes, 0u);
 }
 
 TEST(Session, LaunchErrors) {

@@ -5,41 +5,35 @@
 // instruction's logging action, inferred acquire/release scopes, pruning
 // decisions and reconvergence points, plus the Figure 9 statistics.
 //
-// Usage: barracuda-instrument FILE.ptx [--no-prune]
+// Usage: barracuda-instrument FILE.ptx [--no-prune] [--json]
 //
 //===----------------------------------------------------------------------===//
 
 #include "instrument/Instrumenter.h"
 #include "ptx/Parser.h"
 #include "ptx/Printer.h"
+#include "support/Cli.h"
 #include "support/Format.h"
+#include "support/Json.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 using namespace barracuda;
 
 int main(int ArgCount, char **Args) {
-  std::string File;
   instrument::InstrumenterOptions Options;
-  for (int I = 1; I < ArgCount; ++I) {
-    if (std::strcmp(Args[I], "--no-prune") == 0)
-      Options.PruneRedundantLogging = false;
-    else if (Args[I][0] != '-' && File.empty())
-      File = Args[I];
-    else {
-      std::fprintf(stderr,
-                   "usage: barracuda-instrument FILE.ptx [--no-prune]\n");
-      return 2;
-    }
-  }
-  if (File.empty()) {
-    std::fprintf(stderr,
-                 "usage: barracuda-instrument FILE.ptx [--no-prune]\n");
+  bool Json = false;
+
+  support::cli::Parser Cli("barracuda-instrument", "FILE.ptx");
+  Cli.flagOff("--no-prune", Options.PruneRedundantLogging,
+              "keep redundant logging (disable the pruning pass)");
+  Cli.flag("--json", Json,
+           "print per-kernel instrumentation statistics as JSON");
+  if (!Cli.parse(ArgCount, Args))
     return 2;
-  }
+  std::string File = Cli.positional();
 
   std::ifstream Input(File);
   if (!Input) {
@@ -58,6 +52,29 @@ int main(int ArgCount, char **Args) {
 
   instrument::ModuleInstrumentation Instr =
       instrument::instrumentModule(*Mod, Options);
+
+  if (Json) {
+    support::json::Writer W;
+    W.beginObject();
+    W.key("kernels").beginArray();
+    for (size_t KI = 0; KI != Mod->Kernels.size(); ++KI) {
+      const instrument::InstrumentationStats &Stats =
+          Instr.Kernels[KI].Stats;
+      W.beginObject();
+      W.key("name").value(Mod->Kernels[KI].Name);
+      W.key("staticInsns").value(Stats.StaticInsns);
+      W.key("instrumentedUnoptimized")
+          .value(Stats.InstrumentedUnoptimized);
+      W.key("instrumentedOptimized").value(Stats.InstrumentedOptimized);
+      W.key("unoptimizedFraction").value(Stats.unoptimizedFraction());
+      W.key("optimizedFraction").value(Stats.optimizedFraction());
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
+    return 0;
+  }
 
   for (size_t KI = 0; KI != Mod->Kernels.size(); ++KI) {
     const ptx::Kernel &K = Mod->Kernels[KI];

@@ -2,76 +2,141 @@
 //
 // Race-checks a trace recorded with `barracuda-run --record`. Replaying
 // decouples the execution from the analysis, so a trace captured once
-// can be re-analyzed (e.g. with a different queue count) without
-// re-running the program.
+// can be re-analyzed (e.g. with a different queue count or the legacy
+// detector path) without re-running the program.
 //
-// Usage: barracuda-replay TRACE.bct [--queues N] [--expect-races]
+// Usage:
+//   barracuda-replay TRACE.bct [options]
+//     --queues N           detector queues/processors (default: 4)
+//     --legacy-detector    disable the coalescing detector hot path
+//     --stats              print run statistics (RunReport text form)
+//     --json               print the RunReport document to stdout
+//     --trace-json OUT     write a Chrome Trace Event file (Perfetto)
+//     --expect-races       exit 0 iff races were found (for testing)
 //
 //===----------------------------------------------------------------------===//
 
+#include "barracuda/RunReport.h"
 #include "detector/Host.h"
+#include "obs/Trace.h"
+#include "support/Cli.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "trace/TraceFile.h"
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 using namespace barracuda;
 
 int main(int ArgCount, char **Args) {
-  std::string File;
   unsigned NumQueues = 4;
-  bool ExpectRaces = false;
-  for (int I = 1; I < ArgCount; ++I) {
-    if (std::strcmp(Args[I], "--queues") == 0 && I + 1 < ArgCount)
-      NumQueues = static_cast<unsigned>(std::strtoul(Args[++I], nullptr,
-                                                     10));
-    else if (std::strcmp(Args[I], "--expect-races") == 0)
-      ExpectRaces = true;
-    else if (Args[I][0] != '-' && File.empty())
-      File = Args[I];
-    else {
-      std::fprintf(stderr, "usage: barracuda-replay TRACE.bct "
-                           "[--queues N] [--expect-races]\n");
+  bool ExpectRaces = false, Stats = false, Json = false, HotPath = true;
+  std::string TraceJsonPath;
+
+  support::cli::Parser Cli("barracuda-replay", "TRACE.bct");
+  Cli.uintOption("--queues", "N", NumQueues,
+                 "detector queues/processors");
+  Cli.flagOff("--legacy-detector", HotPath,
+              "disable the coalescing detector hot path");
+  Cli.flag("--stats", Stats, "print run statistics");
+  Cli.flag("--json", Json, "print the RunReport document to stdout");
+  Cli.stringOption("--trace-json", "OUT", TraceJsonPath,
+                   "write a Chrome Trace Event file (Perfetto)");
+  Cli.flag("--expect-races", ExpectRaces,
+           "exit 0 iff races were found (for testing)");
+  if (!Cli.parse(ArgCount, Args))
+    return 2;
+  std::string File = Cli.positional();
+  if (NumQueues == 0)
+    NumQueues = 1;
+
+  obs::TraceRecorder Tracer;
+  obs::TraceRecorder *TracerPtr =
+      TraceJsonPath.empty() ? nullptr : &Tracer;
+  uint32_t Track = TracerPtr ? TracerPtr->track("replay") : 0;
+
+  trace::TraceReader Reader;
+  {
+    obs::Span ReadSpan(TracerPtr, Track, "read " + File, "replay");
+    if (!Reader.read(File)) {
+      std::fprintf(stderr, "error: %s\n", Reader.error().c_str());
       return 2;
     }
   }
-  if (File.empty() || NumQueues == 0) {
-    std::fprintf(stderr, "usage: barracuda-replay TRACE.bct "
-                         "[--queues N] [--expect-races]\n");
-    return 2;
-  }
-
-  trace::TraceReader Reader;
-  if (!Reader.read(File)) {
-    std::fprintf(stderr, "error: %s\n", Reader.error().c_str());
-    return 2;
-  }
+  // --json keeps stdout pure: the RunReport document is the only thing
+  // written there, so the output pipes straight into a JSON parser.
+  std::FILE *Chat = Json ? stderr : stdout;
   const trace::TraceHeader &Header = Reader.header();
-  std::printf("barracuda-replay: %s (kernel '%s', %u threads/block, "
-              "%u warps/block, warp size %u, %zu records)\n",
-              File.c_str(), Header.KernelName.c_str(),
-              Header.ThreadsPerBlock, Header.WarpsPerBlock,
-              Header.WarpSize, Reader.records().size());
+  std::fprintf(Chat,
+               "barracuda-replay: %s (kernel '%s', %u threads/block, "
+               "%u warps/block, warp size %u, %zu records)\n",
+               File.c_str(), Header.KernelName.c_str(),
+               Header.ThreadsPerBlock, Header.WarpsPerBlock,
+               Header.WarpSize, Reader.records().size());
 
   detector::DetectorOptions Options;
   Options.Hier.ThreadsPerBlock = Header.ThreadsPerBlock;
   Options.Hier.WarpsPerBlock = Header.WarpsPerBlock;
   Options.Hier.WarpSize = Header.WarpSize;
+  Options.HotPath = HotPath;
   detector::SharedDetectorState State(Options);
-  detector::processCollected(State, NumQueues, Reader.blockIds(),
-                             Reader.records());
+  {
+    obs::Span DetectSpan(TracerPtr, Track,
+                         "detect " + Header.KernelName, "replay");
+    detector::processCollected(State, NumQueues, Reader.blockIds(),
+                               Reader.records());
+  }
 
-  for (const auto &Race : State.Reporter.races())
-    std::printf("RACE: %s\n", Race.describe().c_str());
-  for (const auto &Error : State.Reporter.barrierErrors())
-    std::printf("BARRIER DIVERGENCE: pc %u warp %u\n", Error.Pc,
-                Error.Warp);
+  // The replay's RunReport: detector sections are fully populated; the
+  // launch happened offline, so execution and engine numbers stay zero.
+  RunReport Report;
+  Report.Launch.Kernel = Header.KernelName;
+  Report.Launch.Instrumented = true;
+  Report.Launch.RecordsLogged = Reader.records().size();
+  Report.Records.Processed = State.recordsProcessed();
+  Report.Detector.HotPathEnabled = HotPath;
+  Report.Detector.Formats = State.formatStats();
+  Report.Detector.HotPath = State.hotPathStats();
+  Report.Detector.PeakPtvcBytes = State.peakPtvcBytes();
+  Report.Detector.GlobalShadowBytes = State.GlobalMem.shadowBytes();
+  Report.Detector.SharedShadowBytes = State.sharedShadowBytes();
+  Report.Detector.SyncLocations = State.Syncs.size();
+  Report.Engine.NumQueues = NumQueues;
+  Report.Races = State.Reporter.races();
+  Report.BarrierErrors = State.Reporter.barrierErrors();
+  {
+    support::json::Writer MetricsWriter;
+    State.metrics().writeJson(MetricsWriter);
+    Report.MetricsJson = MetricsWriter.take();
+  }
 
-  bool Found = State.Reporter.anyRaces() ||
-               !State.Reporter.barrierErrors().empty();
-  if (!Found)
+  if (Json) {
+    std::fputs(Report.toJson().c_str(), stdout);
+  } else {
+    for (const auto &Race : Report.Races)
+      std::printf("RACE: %s\n", Race.describe().c_str());
+    for (const auto &Error : Report.BarrierErrors)
+      std::printf("BARRIER DIVERGENCE: pc %u warp %u\n", Error.Pc,
+                  Error.Warp);
+  }
+
+  if (Stats)
+    Report.printText(Chat);
+
+  if (!TraceJsonPath.empty()) {
+    if (!Tracer.write(TraceJsonPath)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   TraceJsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(Chat, "trace written to %s (%zu events on %zu tracks)\n",
+                 TraceJsonPath.c_str(), Tracer.eventCount(),
+                 Tracer.trackCount());
+  }
+
+  bool Found = Report.anyFindings();
+  if (!Found && !Json)
     std::printf("no races detected\n");
   if (ExpectRaces)
     return Found ? 0 : 1;

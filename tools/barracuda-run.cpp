@@ -19,7 +19,10 @@
 //     --streams M          spread repeats across M concurrent streams
 //     --native             run natively (no instrumentation/detection)
 //     --legacy-detector    disable the coalescing detector hot path
-//     --stats              print detector statistics
+//     --stats              print run statistics (RunReport text form)
+//     --json               print the RunReport document to stdout
+//     --trace-json OUT     write a Chrome Trace Event file (Perfetto)
+//     --record TRACE.bct   record the trace for barracuda-replay
 //     --expect-races       exit 0 iff races were found (for testing)
 //
 // Exit code: 0 = clean (or expected races found), 1 = races/errors
@@ -28,7 +31,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "barracuda/Session.h"
-#include "detector/Json.h"
+#include "obs/Trace.h"
+#include "support/Cli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -41,16 +45,6 @@
 using namespace barracuda;
 
 namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: barracuda-run FILE.ptx [--kernel NAME] [--grid X[,Y[,Z]]]\n"
-      "       [--block X[,Y[,Z]]] [--param buf:BYTES | --param val:N]...\n"
-      "       [--warp-size N] [--queues N] [--repeat N] [--streams M]\n"
-      "       [--native] [--legacy-detector] [--stats]\n"
-      "       [--record TRACE.bct] [--expect-races]\n");
-}
 
 bool parseDim(const char *Text, sim::Dim3 &Out) {
   unsigned X = 1, Y = 1, Z = 1;
@@ -69,95 +63,68 @@ struct ParamArg {
 } // namespace
 
 int main(int ArgCount, char **Args) {
-  std::string File, KernelName;
+  std::string KernelName, TraceJsonPath;
   sim::Dim3 Grid(1), Block(32);
   std::vector<ParamArg> Params;
   SessionOptions Options;
   bool Stats = false, ExpectRaces = false, Json = false;
   unsigned Repeat = 1, NumStreams = 1;
 
-  for (int I = 1; I < ArgCount; ++I) {
-    std::string Arg = Args[I];
-    auto value = [&]() -> const char * {
-      return I + 1 < ArgCount ? Args[++I] : nullptr;
-    };
-    if (Arg == "--kernel") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      KernelName = V;
-    } else if (Arg == "--grid") {
-      const char *V = value();
-      if (!V || !parseDim(V, Grid))
-        return usage(), 2;
-    } else if (Arg == "--block") {
-      const char *V = value();
-      if (!V || !parseDim(V, Block))
-        return usage(), 2;
-    } else if (Arg == "--param") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      ParamArg Param;
-      if (std::strncmp(V, "buf:", 4) == 0) {
-        Param.IsBuffer = true;
+  support::cli::Parser Cli("barracuda-run", "FILE.ptx");
+  Cli.stringOption("--kernel", "NAME", KernelName,
+                   "kernel to launch (default: first in module)");
+  Cli.option(
+      "--grid", "X[,Y[,Z]]",
+      [&](const char *V) { return parseDim(V, Grid); }, "grid dimensions");
+  Cli.option(
+      "--block", "X[,Y[,Z]]",
+      [&](const char *V) { return parseDim(V, Block); },
+      "block dimensions");
+  Cli.repeatedOption(
+      "--param", "buf:BYTES|val:N",
+      [&](const char *V) {
+        ParamArg Param;
+        if (std::strncmp(V, "buf:", 4) == 0)
+          Param.IsBuffer = true;
+        else if (std::strncmp(V, "val:", 4) != 0)
+          return false;
         Param.Value = std::strtoull(V + 4, nullptr, 0);
-      } else if (std::strncmp(V, "val:", 4) == 0) {
-        Param.Value = std::strtoull(V + 4, nullptr, 0);
-      } else {
-        std::fprintf(stderr, "bad --param '%s' (use buf:N or val:N)\n", V);
-        return 2;
-      }
-      Params.push_back(Param);
-    } else if (Arg == "--warp-size") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      Options.WarpSize = static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
-    } else if (Arg == "--queues") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      Options.NumQueues =
-          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    } else if (Arg == "--repeat") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      Repeat = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-      if (Repeat == 0)
-        Repeat = 1;
-    } else if (Arg == "--streams") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      NumStreams = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-      if (NumStreams == 0)
-        NumStreams = 1;
-    } else if (Arg == "--record") {
-      const char *V = value();
-      if (!V)
-        return usage(), 2;
-      Options.RecordTracePath = V;
-    } else if (Arg == "--native") {
-      Options.Instrument = false;
-    } else if (Arg == "--legacy-detector") {
-      Options.DetectorHotPath = false;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (Arg == "--json") {
-      Json = true;
-    } else if (Arg == "--expect-races") {
-      ExpectRaces = true;
-    } else if (!Arg.empty() && Arg[0] != '-' && File.empty()) {
-      File = Arg;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
-      return usage(), 2;
-    }
-  }
-  if (File.empty())
-    return usage(), 2;
+        Params.push_back(Param);
+        return true;
+      },
+      "device buffer or scalar kernel parameter");
+  Cli.option(
+      "--warp-size", "N",
+      [&](const char *V) {
+        Options.WarpSize =
+            static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+        return Options.WarpSize != 0;
+      },
+      "simulated warp width");
+  Cli.uintOption("--queues", "N", Options.NumQueues,
+                 "device-to-host queues");
+  Cli.uintOption("--repeat", "N", Repeat, "launch the kernel N times");
+  Cli.uintOption("--streams", "M", NumStreams,
+                 "spread repeats across M concurrent streams");
+  Cli.stringOption("--record", "TRACE.bct", Options.RecordTracePath,
+                   "record the trace for barracuda-replay");
+  Cli.flagOff("--native", Options.Instrument,
+              "run natively (no instrumentation/detection)");
+  Cli.flagOff("--legacy-detector", Options.DetectorHotPath,
+              "disable the coalescing detector hot path");
+  Cli.flag("--stats", Stats, "print run statistics");
+  Cli.flag("--json", Json, "print the RunReport document to stdout");
+  Cli.stringOption("--trace-json", "OUT", TraceJsonPath,
+                   "write a Chrome Trace Event file (Perfetto)");
+  Cli.flag("--expect-races", ExpectRaces,
+           "exit 0 iff races were found (for testing)");
+  if (!Cli.parse(ArgCount, Args))
+    return 2;
+  std::string File = Cli.positional();
+  if (Repeat == 0)
+    Repeat = 1;
+  if (NumStreams == 0)
+    NumStreams = 1;
 
   std::ifstream Input(File);
   if (!Input) {
@@ -166,6 +133,10 @@ int main(int ArgCount, char **Args) {
   }
   std::ostringstream Buffer;
   Buffer << Input.rdbuf();
+
+  obs::TraceRecorder Tracer;
+  if (!TraceJsonPath.empty())
+    Options.Tracer = &Tracer;
 
   Session S(Options);
   if (!S.loadModule(Buffer.str())) {
@@ -180,13 +151,16 @@ int main(int ArgCount, char **Args) {
     LaunchParams.push_back(Param.IsBuffer ? S.alloc(Param.Value)
                                           : Param.Value);
 
-  std::printf("barracuda-run: %s::%s <<<(%u,%u,%u),(%u,%u,%u)>>>%s\n",
-              File.c_str(), KernelName.c_str(), Grid.X, Grid.Y, Grid.Z,
-              Block.X, Block.Y, Block.Z,
-              Options.Instrument ? "" : " [native]");
+  // --json keeps stdout pure: the RunReport document is the only thing
+  // written there, so the output pipes straight into a JSON parser.
+  std::FILE *Chat = Json ? stderr : stdout;
+  std::fprintf(Chat, "barracuda-run: %s::%s <<<(%u,%u,%u),(%u,%u,%u)>>>%s\n",
+               File.c_str(), KernelName.c_str(), Grid.X, Grid.Y, Grid.Z,
+               Block.X, Block.Y, Block.Z,
+               Options.Instrument ? "" : " [native]");
   if (Repeat > 1)
-    std::printf("repeating %u launches on %u stream%s\n", Repeat,
-                NumStreams, NumStreams == 1 ? "" : "s");
+    std::fprintf(Chat, "repeating %u launches on %u stream%s\n", Repeat,
+                 NumStreams, NumStreams == 1 ? "" : "s");
 
   sim::LaunchResult Result;
   if (NumStreams > 1 && Options.Instrument) {
@@ -213,19 +187,19 @@ int main(int ArgCount, char **Args) {
     std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
     return 2;
   }
-  std::printf("%llu threads, %llu warp instructions, %llu records\n",
-              static_cast<unsigned long long>(Result.ThreadsLaunched),
-              static_cast<unsigned long long>(Result.WarpInstructions),
-              static_cast<unsigned long long>(Result.RecordsLogged));
+  std::fprintf(Chat, "%llu threads, %llu warp instructions, %llu records\n",
+               static_cast<unsigned long long>(Result.ThreadsLaunched),
+               static_cast<unsigned long long>(Result.WarpInstructions),
+               static_cast<unsigned long long>(Result.RecordsLogged));
+
+  RunReport Report = S.report();
 
   if (Json) {
-    std::fputs(
-        detector::reportsToJson(S.races(), S.barrierErrors()).c_str(),
-        stdout);
+    std::fputs(Report.toJson().c_str(), stdout);
   } else {
-    for (const auto &Race : S.races())
+    for (const auto &Race : Report.Races)
       std::printf("RACE: %s\n", Race.describe().c_str());
-    for (const auto &Error : S.barrierErrors())
+    for (const auto &Error : Report.BarrierErrors)
       std::printf(
           "BARRIER DIVERGENCE: pc %u warp %u active 0x%x of 0x%x "
           "(%llu occurrences)\n",
@@ -233,44 +207,22 @@ int main(int ArgCount, char **Args) {
           static_cast<unsigned long long>(Error.Count));
   }
 
-  if (Stats && Options.Instrument) {
-    const KernelRunStats &Run = S.lastRunStats();
-    instrument::InstrumentationStats Static = S.instrumentationStats();
-    std::printf("\nstatic: %llu insns, %.1f%% instrumented "
-                "(%.1f%% before pruning)\n",
-                static_cast<unsigned long long>(Static.StaticInsns),
-                100.0 * Static.optimizedFraction(),
-                100.0 * Static.unoptimizedFraction());
-    std::printf("pruning: %llu records elided at runtime\n",
-                static_cast<unsigned long long>(
-                    S.lastRunStats().Launch.RecordsPruned));
-    std::printf("detector: %llu records; ptvc warp-compressible %.1f%%; "
-                "peak ptvc %s; shadow %s global + %s shared; "
-                "%llu sync locations\n",
-                static_cast<unsigned long long>(Run.RecordsProcessed),
-                100.0 * Run.Formats.warpCompressibleFraction(),
-                support::formatBytes(Run.PeakPtvcBytes).c_str(),
-                support::formatBytes(Run.GlobalShadowBytes).c_str(),
-                support::formatBytes(Run.SharedShadowBytes).c_str(),
-                static_cast<unsigned long long>(Run.SyncLocations));
-    std::printf("records: %llu memory + %llu sync + %llu control\n",
-                static_cast<unsigned long long>(Run.MemoryRecords),
-                static_cast<unsigned long long>(Run.SyncRecords),
-                static_cast<unsigned long long>(Run.ControlRecords));
-    std::printf("hot path: %llu fast-path hits, %llu coalesced runs, "
-                "page cache %llu hits / %llu misses\n",
-                static_cast<unsigned long long>(Run.HotPath.FastPathHits),
-                static_cast<unsigned long long>(Run.HotPath.RunsCoalesced),
-                static_cast<unsigned long long>(Run.HotPath.PageCacheHits),
-                static_cast<unsigned long long>(
-                    Run.HotPath.PageCacheMisses));
-    std::printf("runtime: %llu queue-full waits, %llu detector-idle "
-                "waits\n",
-                static_cast<unsigned long long>(Run.QueueFullSpins),
-                static_cast<unsigned long long>(Run.DetectorEmptySpins));
+  if (Stats && Options.Instrument)
+    Report.printText(Chat);
+
+  if (!TraceJsonPath.empty()) {
+    if (!Tracer.write(TraceJsonPath)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   TraceJsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(Chat, "trace written to %s (%zu events on %zu tracks; "
+                 "load in ui.perfetto.dev)\n",
+                 TraceJsonPath.c_str(), Tracer.eventCount(),
+                 Tracer.trackCount());
   }
 
-  bool Found = S.anyRaces() || !S.barrierErrors().empty();
+  bool Found = Report.anyFindings();
   if (!Found && !Json)
     std::printf("no races detected\n");
   if (ExpectRaces)
