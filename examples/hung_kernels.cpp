@@ -1,0 +1,119 @@
+//===- hung_kernels.cpp - watchdog demo: hangs become structured errors -----===//
+//
+// Two kernels that would wedge a naive interpreter forever:
+//
+//   spin_forever    an unreleased spin loop — the classic "flag never
+//                   set by anyone" livelock
+//   divergent_bar   warp 0 parks at bar.sync while warp 1 waits on a
+//                   flag nobody sets, so the barrier is never satisfied
+//                   but the machine keeps "making progress"
+//
+// With an instruction watchdog both convert to LaunchResult failures
+// carrying ErrorCode::KernelHang and the blocking pc — the resilient
+// pipeline's contract that a hung kernel costs a bounded amount of time
+// and yields a debuggable report instead of a stuck process.
+//
+// Exits 0 iff both kernels fail with KernelHang.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+
+#include <cstdio>
+
+using namespace barracuda;
+
+namespace {
+
+const char SpinPtx[] = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry spin_forever(
+    .param .u64 flag
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<3>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [flag];
+WAIT:
+    ld.volatile.global.u32 %r1, [%rd1];
+    setp.eq.u32 %p1, %r1, 0;
+    @%p1 bra WAIT;
+    ret;
+}
+)";
+
+const char DivergentBarPtx[] = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry divergent_bar(
+    .param .u64 flag
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [flag];
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 32;
+    @%p1 bra SYNC;
+WAIT:
+    ld.volatile.global.u32 %r2, [%rd1];
+    setp.eq.u32 %p2, %r2, 0;
+    @%p2 bra WAIT;
+SYNC:
+    bar.sync 0;
+    ret;
+}
+)";
+
+/// Runs one hung kernel under a small watchdog budget and reports the
+/// structured failure. Returns true iff the hang was diagnosed.
+bool demonstrate(const char *Ptx, const char *Kernel, sim::Dim3 Block) {
+  SessionOptions Options;
+  // 20k warp instructions instead of the 500M default: a hang demo
+  // should fail in milliseconds, not minutes.
+  Options.Machine.MaxWarpInstructions = 20000;
+  Session S(Options);
+  if (!S.loadModule(Ptx)) {
+    std::fprintf(stderr, "error: %s\n", S.error().c_str());
+    return false;
+  }
+  uint64_t Flag = S.alloc(64); // zeroed — the wait can never end
+  std::printf("launching %s (block %u, watchdog %llu)...\n", Kernel,
+              Block.X,
+              static_cast<unsigned long long>(
+                  Options.Machine.MaxWarpInstructions));
+  sim::LaunchResult Result =
+      S.launchKernel(Kernel, sim::Dim3(1), Block, {Flag});
+  if (Result.Ok) {
+    std::printf("  unexpectedly completed\n");
+    return false;
+  }
+  std::printf("  failed as expected: %s\n",
+              Result.status().describe().c_str());
+  if (Result.FailPc != sim::LaunchResult::InvalidPc)
+    std::printf("  blocked at pc %u\n", Result.FailPc);
+  RunReport Report = S.report();
+  std::printf("  report: errorCode=%s watchdogTrips=%llu\n",
+              support::errorCodeName(Report.Launch.Code),
+              static_cast<unsigned long long>(
+                  Report.Resilience.WatchdogTrips));
+  return Result.Code == support::ErrorCode::KernelHang;
+}
+
+} // namespace
+
+int main() {
+  bool SpinOk = demonstrate(SpinPtx, "spin_forever", sim::Dim3(32));
+  bool BarOk = demonstrate(DivergentBarPtx, "divergent_bar", sim::Dim3(64));
+  if (SpinOk && BarOk) {
+    std::printf("both hangs diagnosed as KernelHang — watchdog works\n");
+    return 0;
+  }
+  std::fprintf(stderr, "hang diagnosis failed\n");
+  return 1;
+}

@@ -20,6 +20,9 @@ std::string RunReport::toJson() const {
   W.key("instrumented").value(Launch.Instrumented);
   W.key("ok").value(Launch.Ok);
   W.key("error").value(Launch.Error);
+  W.key("errorCode").value(std::string(support::errorCodeName(Launch.Code)));
+  if (Launch.FailPc != sim::LaunchResult::InvalidPc)
+    W.key("failPc").value(static_cast<uint64_t>(Launch.FailPc));
   W.key("threadsLaunched").value(Launch.ThreadsLaunched);
   W.key("warpInstructions").value(Launch.WarpInstructions);
   W.key("recordsLogged").value(Launch.RecordsLogged);
@@ -59,6 +62,21 @@ std::string RunReport::toJson() const {
   W.key("detectorEmptySpins").value(Engine.DetectorEmptySpins);
   W.key("parkedNanos").value(Engine.ParkedNanos);
   W.key("watermarkWaitNanos").value(Engine.WatermarkWaitNanos);
+  W.endObject();
+
+  W.key("resilience").beginObject();
+  W.key("degraded").value(Resilience.Degraded);
+  W.key("recordsDropped").value(Resilience.RecordsDropped);
+  W.key("recordsRejected").value(Resilience.RecordsRejected);
+  W.key("recordsCorrupted").value(Resilience.RecordsCorrupted);
+  W.key("recordsResynced").value(Resilience.RecordsResynced);
+  W.key("workerFailures").value(Resilience.WorkerFailures);
+  W.key("queuesQuarantined").value(Resilience.QueuesQuarantined);
+  W.key("queuesAbandoned").value(Resilience.QueuesAbandoned);
+  W.key("watchdogTrips").value(Resilience.WatchdogTrips);
+  W.key("faultsInjected").value(Resilience.FaultsInjected);
+  W.key("faultsHit").value(Resilience.FaultsHit);
+  W.key("firstError").value(Resilience.FirstError);
   W.endObject();
 
   W.key("instrumentation").beginObject();
@@ -118,4 +136,25 @@ void RunReport::printText(std::FILE *Out) const {
                static_cast<unsigned long long>(Engine.DetectorEmptySpins),
                static_cast<double>(Engine.WatermarkWaitNanos) / 1e6,
                static_cast<double>(Engine.ParkedNanos) / 1e6);
+  if (Resilience.Degraded || Resilience.FaultsInjected ||
+      Resilience.RecordsResynced || Resilience.WatchdogTrips)
+    std::fprintf(
+        Out,
+        "resilience: %s; %llu dropped + %llu rejected records, "
+        "%llu corrupted / %llu resynced, %llu worker failures, "
+        "%llu queues quarantined, %llu abandoned, %llu watchdog trips; "
+        "faults %llu/%llu hit%s%s\n",
+        Resilience.Degraded ? "DEGRADED" : "clean",
+        static_cast<unsigned long long>(Resilience.RecordsDropped),
+        static_cast<unsigned long long>(Resilience.RecordsRejected),
+        static_cast<unsigned long long>(Resilience.RecordsCorrupted),
+        static_cast<unsigned long long>(Resilience.RecordsResynced),
+        static_cast<unsigned long long>(Resilience.WorkerFailures),
+        static_cast<unsigned long long>(Resilience.QueuesQuarantined),
+        static_cast<unsigned long long>(Resilience.QueuesAbandoned),
+        static_cast<unsigned long long>(Resilience.WatchdogTrips),
+        static_cast<unsigned long long>(Resilience.FaultsHit),
+        static_cast<unsigned long long>(Resilience.FaultsInjected),
+        Resilience.FirstError.empty() ? "" : "; first error: ",
+        Resilience.FirstError.c_str());
 }

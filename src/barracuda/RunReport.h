@@ -31,6 +31,7 @@
 #include "detector/Report.h"
 #include "instrument/Instrumenter.h"
 #include "sim/Machine.h"
+#include "support/Error.h"
 
 #include <cstdio>
 #include <string>
@@ -49,6 +50,12 @@ struct RunReport {
     bool Instrumented = false;
     bool Ok = true;
     std::string Error;
+    /// Structured failure code ("Ok" when the launch succeeded);
+    /// serialized by name so the schema is toolchain-stable.
+    support::ErrorCode Code = support::ErrorCode::Ok;
+    /// PC the kernel was blocked at when a KernelHang fired;
+    /// LaunchResult::InvalidPc when not applicable.
+    uint32_t FailPc = sim::LaunchResult::InvalidPc;
     uint64_t ThreadsLaunched = 0;
     uint64_t WarpInstructions = 0;
     uint64_t RecordsLogged = 0;
@@ -86,6 +93,41 @@ struct RunReport {
     uint64_t ParkedNanos = 0;
     uint64_t WatermarkWaitNanos = 0;
   } Engine;
+
+  /// Fault-and-recovery accounting for the launch (or replay). A
+  /// degraded run completed — every record is accounted for — but some
+  /// were dropped rather than processed, so findings are best-effort.
+  /// The ledger always balances: Records.Processed + RecordsDropped +
+  /// RecordsRejected == Launch.RecordsLogged.
+  struct ResilienceSection {
+    /// Any records lost, any worker failure, any queue abandoned.
+    bool Degraded = false;
+    /// Records drained in drop mode (quarantined slice or abandoned
+    /// queue) — never processed by the detector.
+    uint64_t RecordsDropped = 0;
+    /// Producer operations refused at abandoned queues: emitted by the
+    /// device (so part of Launch.RecordsLogged) but refused before
+    /// entering the ring, hence never processable.
+    uint64_t RecordsRejected = 0;
+    /// Trace-file entries deliberately corrupted by fault injection
+    /// (writer side) or recovered by skip-and-resync (reader side).
+    uint64_t RecordsCorrupted = 0;
+    uint64_t RecordsResynced = 0;
+    /// Detector worker exceptions caught and quarantined.
+    uint64_t WorkerFailures = 0;
+    /// Per-launch processor slices quarantined after a failure.
+    uint64_t QueuesQuarantined = 0;
+    /// Queues closed with an error by a dying consumer.
+    uint64_t QueuesAbandoned = 0;
+    /// Machine watchdog / barrier-deadlock trips this launch (0 or 1).
+    uint64_t WatchdogTrips = 0;
+    /// Fault-plan accounting: specs armed vs. specs that fired.
+    uint64_t FaultsInjected = 0;
+    uint64_t FaultsHit = 0;
+    /// First structured error observed ("[Code] message"); empty when
+    /// the run was clean.
+    std::string FirstError;
+  } Resilience;
 
   /// Static instrumentation coverage for the loaded module.
   instrument::InstrumentationStats Static;

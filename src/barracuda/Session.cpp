@@ -14,19 +14,32 @@ using namespace barracuda;
 
 namespace {
 
-/// The machine inherits the session's tracer unless the caller wired its
-/// own into the machine options.
-sim::MachineOptions machineOptions(const SessionOptions &Options) {
+/// The machine inherits the session's tracer and fault injector unless
+/// the caller wired its own into the machine options.
+sim::MachineOptions machineOptions(const SessionOptions &Options,
+                                   fault::FaultInjector *Injector) {
   sim::MachineOptions MachineOpts = Options.Machine;
   if (!MachineOpts.Tracer)
     MachineOpts.Tracer = Options.Tracer;
+  if (!MachineOpts.Faults)
+    MachineOpts.Faults = Injector;
   return MachineOpts;
+}
+
+/// Null when the plan is empty so the hardened hot paths skip their
+/// injection polls entirely.
+std::unique_ptr<fault::FaultInjector>
+makeInjector(const SessionOptions &Options) {
+  if (Options.Faults.empty())
+    return nullptr;
+  return std::make_unique<fault::FaultInjector>(Options.Faults);
 }
 
 } // namespace
 
 Session::Session(SessionOptions Opts)
-    : Options(std::move(Opts)), Machine(Memory, machineOptions(Options)) {}
+    : Options(std::move(Opts)), Injector(makeInjector(Options)),
+      Machine(Memory, machineOptions(Options, Injector.get())) {}
 
 Session::~Session() = default;
 
@@ -117,6 +130,7 @@ runtime::Engine &Session::engine() {
     EngOpts.NumQueues = Options.NumQueues;
     EngOpts.QueueCapacity = Options.QueueCapacity;
     EngOpts.Tracer = Options.Tracer;
+    EngOpts.Faults = Injector.get();
     OwnedEngine = std::make_unique<runtime::Engine>(EngOpts);
   }
   return *OwnedEngine;
@@ -194,6 +208,8 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Native.Launch.Kernel = KernelName;
     Native.Launch.Ok = Result.Ok;
     Native.Launch.Error = Result.Error;
+    Native.Launch.Code = Result.Code;
+    Native.Launch.FailPc = Result.FailPc;
     Native.Launch.ThreadsLaunched = Result.ThreadsLaunched;
     Native.Launch.WarpInstructions = Result.WarpInstructions;
     LastReport = std::move(Native);
@@ -209,6 +225,7 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   // Optional trace recording: the sink chain tees every record into the
   // trace file before publishing it to the engine's queues.
   trace::TraceWriter Writer;
+  Writer.setFaultInjector(Injector.get());
   bool Recording = !Options.RecordTracePath.empty();
   if (Recording) {
     trace::TraceHeader Header;
@@ -216,9 +233,14 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Header.WarpsPerBlock = Config.warpsPerBlock();
     Header.WarpSize = Config.WarpSize;
     Header.KernelName = KernelName;
-    if (!Writer.open(Options.RecordTracePath, Header))
-      return sim::LaunchResult::failure(support::formatString(
-          "cannot write trace '%s'", Options.RecordTracePath.c_str()));
+    support::Status Opened = Writer.open(Options.RecordTracePath, Header);
+    if (!Opened.ok())
+      return sim::LaunchResult::failure(
+          support::ErrorCode::TraceIo,
+          Opened
+              .withContext(support::formatString(
+                  "cannot write trace '%s'", Options.RecordTracePath.c_str()))
+              .message());
   }
 
   detector::DetectorOptions DetOpts;
@@ -246,9 +268,14 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Lease->finish();
   }
   runtime::EngineCounters After = Eng.counters();
-  if (Recording && !Writer.close() && Result.Ok)
-    Result = sim::LaunchResult::failure(
-        "I/O error while recording the trace");
+  runtime::LaunchResilience Leased = Lease->resilience();
+  if (Recording) {
+    support::Status Closed = Writer.close();
+    if (!Closed.ok() && Result.Ok)
+      Result = sim::LaunchResult::failure(
+          support::ErrorCode::TraceIo,
+          Closed.withContext("while recording the trace").message());
+  }
 
   // Assemble the launch's report outside the lock. Every field of every
   // per-launch section is filled from this launch's own state (a fresh
@@ -259,6 +286,8 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Report.Launch.Instrumented = true;
   Report.Launch.Ok = Result.Ok;
   Report.Launch.Error = Result.Error;
+  Report.Launch.Code = Result.Code;
+  Report.Launch.FailPc = Result.FailPc;
   Report.Launch.ThreadsLaunched = Result.ThreadsLaunched;
   Report.Launch.WarpInstructions = Result.WarpInstructions;
   Report.Launch.RecordsLogged = Result.RecordsLogged;
@@ -280,6 +309,28 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Report.Engine.DetectorEmptySpins = After.EmptySpins - Before.EmptySpins;
   Report.Engine.ParkedNanos = After.ParkedNanos - Before.ParkedNanos;
   Report.Engine.WatermarkWaitNanos = Lease->watermarkWaitNanos();
+  Report.Resilience.RecordsDropped = Leased.RecordsDropped;
+  Report.Resilience.RecordsRejected = Leased.RecordsRejected;
+  Report.Resilience.RecordsCorrupted = Writer.recordsCorrupted();
+  Report.Resilience.WorkerFailures = Leased.WorkerFailures;
+  Report.Resilience.QueuesQuarantined = Leased.QueuesQuarantined;
+  // Absolute, not a delta: abandonment is permanent engine state (an
+  // injected death can precede the lease), and a queue abandoned at any
+  // point degrades every launch that would have used it.
+  Report.Resilience.QueuesAbandoned = After.QueuesAbandoned;
+  Report.Resilience.WatchdogTrips =
+      Result.Code == support::ErrorCode::KernelHang ? 1 : 0;
+  if (Injector) {
+    Report.Resilience.FaultsInjected = Injector->faultsInjected();
+    Report.Resilience.FaultsHit = Injector->faultsHit();
+  }
+  Report.Resilience.Degraded =
+      Leased.Degraded || Report.Resilience.RecordsCorrupted != 0 ||
+      Report.Resilience.QueuesAbandoned != 0;
+  if (!Leased.FirstError.ok())
+    Report.Resilience.FirstError = Leased.FirstError.describe();
+  else if (!Result.Ok)
+    Report.Resilience.FirstError = Result.status().describe();
   if (Options.CollectStats) {
     support::json::Writer MetricsWriter;
     State.metrics().writeJson(MetricsWriter);

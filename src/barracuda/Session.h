@@ -41,6 +41,7 @@
 
 #include "barracuda/RunReport.h"
 #include "detector/Detector.h"
+#include "fault/Fault.h"
 #include "instrument/Instrumenter.h"
 #include "obs/Trace.h"
 #include "ptx/Ir.h"
@@ -93,6 +94,12 @@ struct SessionOptions {
   /// Must outlive the session (and a SharedEngine, if both are used;
   /// the engine keeps the tracer it was created with). Null = off.
   obs::TraceRecorder *Tracer = nullptr;
+  /// Deterministic fault plan (barracuda-run --inject). The session
+  /// builds one FaultInjector from it and threads it through the
+  /// machine, the trace writer and its owned engine. A SharedEngine
+  /// keeps whatever injector it was created with — machine- and
+  /// trace-side faults still apply.
+  fault::FaultPlan Faults;
 };
 
 /// Result of one instrumented kernel launch.
@@ -233,6 +240,9 @@ private:
                               const std::string &TraceTrack);
 
   SessionOptions Options;
+  /// Built from Options.Faults; referenced by the machine, the trace
+  /// writer and the owned engine, so it is declared before all of them.
+  std::unique_ptr<fault::FaultInjector> Injector;
   sim::GlobalMemory Memory;
   sim::Machine Machine;
   std::unique_ptr<ptx::Module> Mod;

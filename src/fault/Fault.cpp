@@ -1,0 +1,125 @@
+//===- Fault.cpp - deterministic fault injection ----------------------------===//
+
+#include "fault/Fault.h"
+
+#include <cstdlib>
+
+using namespace barracuda;
+using namespace barracuda::fault;
+
+const char *fault::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::KernelSpin:
+    return "kernel-spin";
+  case FaultKind::BarrierHang:
+    return "barrier-hang";
+  case FaultKind::QueueStall:
+    return "queue-stall";
+  case FaultKind::ConsumerDeath:
+    return "consumer-death";
+  case FaultKind::WorkerThrow:
+    return "worker-throw";
+  case FaultKind::RecordBitFlip:
+    return "bitflip";
+  case FaultKind::RecordTruncate:
+    return "truncate";
+  }
+  return "unknown";
+}
+
+static bool parseKind(const std::string &Name, FaultKind &Out) {
+  for (FaultKind Kind :
+       {FaultKind::KernelSpin, FaultKind::BarrierHang, FaultKind::QueueStall,
+        FaultKind::ConsumerDeath, FaultKind::WorkerThrow,
+        FaultKind::RecordBitFlip, FaultKind::RecordTruncate}) {
+    if (Name == faultKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+support::Status FaultPlan::add(const std::string &Text) {
+  auto malformed = [&] {
+    return support::Status(
+        support::ErrorCode::InvalidLaunch,
+        "bad fault spec '" + Text + "' (want kind[@N][:q=Q], e.g. "
+        "'worker-throw@100', 'bitflip@5', 'consumer-death:q=1')");
+  };
+
+  std::string Body = Text;
+  FaultSpec Spec;
+
+  size_t Colon = Body.find(':');
+  if (Colon != std::string::npos) {
+    std::string Opt = Body.substr(Colon + 1);
+    Body.resize(Colon);
+    if (Opt.compare(0, 2, "q=") != 0 || Opt.size() == 2)
+      return malformed();
+    char *End = nullptr;
+    Spec.Queue = static_cast<unsigned>(
+        std::strtoul(Opt.c_str() + 2, &End, 10));
+    if (*End)
+      return malformed();
+  }
+
+  size_t AtPos = Body.find('@');
+  if (AtPos != std::string::npos) {
+    std::string At = Body.substr(AtPos + 1);
+    Body.resize(AtPos);
+    if (At.empty())
+      return malformed();
+    char *End = nullptr;
+    Spec.At = std::strtoull(At.c_str(), &End, 10);
+    if (*End)
+      return malformed();
+  }
+
+  if (!parseKind(Body, Spec.Kind))
+    return malformed();
+  Specs.push_back(Spec);
+  return support::Status();
+}
+
+FaultInjector::FaultInjector(const FaultPlan &Plan) {
+  for (const FaultSpec &Spec : Plan.specs()) {
+    auto S = std::make_unique<Slot>();
+    S->Spec = Spec;
+    Slots.push_back(std::move(S));
+  }
+}
+
+const FaultSpec *FaultInjector::fire(FaultKind Kind, uint64_t Index,
+                                     unsigned Queue) {
+  for (auto &S : Slots) {
+    if (S->Spec.Kind != Kind || S->Spec.At > Index)
+      continue;
+    if (S->Spec.Queue != AnyQueue && Queue != AnyQueue &&
+        S->Spec.Queue != Queue)
+      continue;
+    bool Expected = false;
+    // Exactly-once: the first thread to flip Hit owns the firing.
+    if (S->Hit.compare_exchange_strong(Expected, true,
+                                       std::memory_order_acq_rel))
+      return &S->Spec;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::sticky(FaultKind Kind) {
+  for (auto &S : Slots) {
+    if (S->Spec.Kind != Kind)
+      continue;
+    S->Hit.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::faultsHit() const {
+  uint64_t Count = 0;
+  for (const auto &S : Slots)
+    Count += S->Hit.load(std::memory_order_relaxed) ? 1 : 0;
+  return Count;
+}

@@ -1,0 +1,133 @@
+//===- Fault.h - deterministic fault injection ------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the resilience layer. A FaultPlan
+/// is a list of FaultSpecs parsed from `--inject` strings; a
+/// FaultInjector is the thread-safe runtime armed with a plan, polled
+/// from the hardened points of the pipeline:
+///
+///   kernel-spin      sim::Machine — warp 0 of block 0 spins forever
+///                    (the watchdog budget must stop it)
+///   barrier-hang     sim::Machine — warp 0 of block 0 freezes, so its
+///                    block can never finish or satisfy a barrier
+///   queue-stall      runtime::Engine — the worker sleeps between
+///                    drains, forcing producer backpressure (lossless)
+///   consumer-death   runtime::Engine — the worker abandons its queue
+///                    (closeWithError) and drops what it drains
+///   worker-throw     runtime::Engine — the worker throws while
+///                    processing the Nth record it drains
+///   bitflip          trace::TraceWriter — flips one bit of the Nth
+///                    serialized entry after checksumming
+///   truncate         trace::TraceWriter — writes only half of the Nth
+///                    entry (a crash mid-record)
+///
+/// Spec grammar (one spec per --inject flag):
+///   kind[@N][:q=Q]   e.g. "worker-throw@100", "bitflip@5",
+///                    "consumer-death:q=1", "kernel-spin"
+/// @N = fire at the Nth matching event (default 0, the first);
+/// :q=Q pins engine faults to queue Q (default: any queue).
+///
+/// Every spec fires at most once (atomically claimed), so runs are
+/// reproducible and `faultsHit() == faultsInjected()` is a meaningful
+/// accounting check. Injection counters surface in
+/// RunReport.resilience.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_FAULT_FAULT_H
+#define BARRACUDA_FAULT_FAULT_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace fault {
+
+/// Every injection point the pipeline exposes.
+enum class FaultKind : uint8_t {
+  KernelSpin,
+  BarrierHang,
+  QueueStall,
+  ConsumerDeath,
+  WorkerThrow,
+  RecordBitFlip,
+  RecordTruncate,
+};
+
+const char *faultKindName(FaultKind Kind);
+
+/// Matches any queue when a spec carries no ":q=".
+constexpr unsigned AnyQueue = ~0u;
+
+/// One armed fault.
+struct FaultSpec {
+  FaultKind Kind = FaultKind::KernelSpin;
+  /// Fire at the Nth matching event (record index, drain iteration...).
+  uint64_t At = 0;
+  /// Engine faults only: restrict to this queue index.
+  unsigned Queue = AnyQueue;
+  /// Seeds the deterministic corruption (which bit flips).
+  uint64_t Seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// An ordered list of specs; parse failures return a Status naming the
+/// offending spec.
+class FaultPlan {
+public:
+  /// Parses one "kind[@N][:q=Q]" spec and appends it.
+  support::Status add(const std::string &Spec);
+
+  bool empty() const { return Specs.empty(); }
+  const std::vector<FaultSpec> &specs() const { return Specs; }
+
+private:
+  std::vector<FaultSpec> Specs;
+};
+
+/// The thread-safe runtime for a plan. One injector serves a whole
+/// session (machine, engine workers and the trace writer poll it
+/// concurrently); each spec fires exactly once.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  /// Event-indexed firing: claims and returns the first unfired spec of
+  /// \p Kind whose At <= \p Index and whose queue matches \p Queue.
+  /// Null when nothing fires. The returned spec stays valid for the
+  /// injector's lifetime.
+  const FaultSpec *fire(FaultKind Kind, uint64_t Index,
+                        unsigned Queue = AnyQueue);
+
+  /// Sticky faults (kernel-spin / barrier-hang): true while a spec of
+  /// \p Kind is armed; marks it hit on first call without unarming it,
+  /// because the hang persists until the watchdog intervenes.
+  bool sticky(FaultKind Kind);
+
+  /// Accounting for RunReport.resilience.
+  uint64_t faultsInjected() const { return Slots.size(); }
+  uint64_t faultsHit() const;
+
+private:
+  struct Slot {
+    FaultSpec Spec;
+    std::atomic<bool> Hit{false};
+  };
+  std::vector<std::unique_ptr<Slot>> Slots;
+};
+
+} // namespace fault
+} // namespace barracuda
+
+#endif // BARRACUDA_FAULT_FAULT_H

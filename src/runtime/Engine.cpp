@@ -2,11 +2,13 @@
 
 #include "runtime/Engine.h"
 
+#include "fault/Fault.h"
 #include "support/Backoff.h"
 #include "support/Format.h"
 
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 
 using namespace barracuda;
 using namespace barracuda::runtime;
@@ -28,7 +30,7 @@ uint64_t nowNanos() {
 
 Launch::Launch(Engine &Eng, uint32_t Epoch,
                detector::SharedDetectorState &State)
-    : Eng(Eng), Epoch(Epoch), State(State) {
+    : Eng(Eng), Epoch(Epoch), State(State), Quarantined(Eng.numQueues()) {
   for (unsigned I = 0; I != Eng.numQueues(); ++I)
     Processors.push_back(
         std::make_unique<detector::QueueProcessor>(State));
@@ -45,11 +47,20 @@ void Launch::EpochQueueSink::accept(uint32_t BlockId,
                                     const trace::LogRecord &Record) {
   trace::EventQueue &Queue = Owner.Eng.Queues.queueForBlock(BlockId);
   uint64_t Index = Queue.reserve();
+  if (Index == trace::EventQueue::InvalidIndex) {
+    // Abandoned queue (its consumer died): the record is rejected, not
+    // logged, so the watermark stays exact — the launch just completes
+    // degraded with the loss on the books.
+    Owner.Rejected.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   trace::LogRecord &Slot = Queue.slot(Index);
   Slot = Record;
   Slot.Epoch = Owner.Epoch;
-  Queue.commit(Index);
-  ++Owner.Logged;
+  if (Queue.commit(Index))
+    ++Owner.Logged;
+  else
+    Owner.Rejected.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Launch::finish() {
@@ -80,6 +91,22 @@ void Launch::finish() {
   Eng.endLaunch(Epoch);
 }
 
+LaunchResilience Launch::resilience() const {
+  LaunchResilience R;
+  R.RecordsDropped = Dropped.load(std::memory_order_relaxed);
+  R.RecordsRejected = Rejected.load(std::memory_order_relaxed);
+  R.WorkerFailures = WorkerFailures.load(std::memory_order_relaxed);
+  for (const auto &Flag : Quarantined)
+    R.QueuesQuarantined += Flag.load(std::memory_order_relaxed) ? 1 : 0;
+  R.Degraded = R.RecordsDropped != 0 || R.RecordsRejected != 0 ||
+               R.WorkerFailures != 0;
+  {
+    std::lock_guard<std::mutex> Lock(FirstErrorMutex);
+    R.FirstError = FirstWorkerError;
+  }
+  return R;
+}
+
 //===----------------------------------------------------------------------===//
 // Engine
 //===----------------------------------------------------------------------===//
@@ -91,6 +118,9 @@ Engine::Engine(EngineOptions Options)
   CWatermarkWaitNanos = &Metrics.counter("engine.watermark_wait_ns");
   CLeases = &Metrics.counter("engine.leases");
   CRecordsDrained = &Metrics.counter("engine.records_drained");
+  CWorkerFailures = &Metrics.counter("engine.worker_failures");
+  CRecordsDropped = &Metrics.counter("engine.records_dropped");
+  CQueuesAbandoned = &Metrics.counter("engine.queues_abandoned");
   HDrainBatch = &Metrics.histogram("engine.drain_batch");
   HQueueDepth = &Metrics.histogram("engine.queue_depth");
   Threads.reserve(Options.NumQueues);
@@ -104,7 +134,7 @@ Engine::~Engine() {
   assert(ActiveLaunches.empty() && "engine destroyed with live launches");
   {
     std::lock_guard<std::mutex> Lock(ParkMutex);
-    ShuttingDown = true;
+    ShuttingDown.store(true, std::memory_order_release);
   }
   Queues.closeAll();
   ParkCV.notify_all();
@@ -156,6 +186,14 @@ void Engine::workerMain(unsigned QueueIndex) {
   // keeps the Launch alive across the lookup-free hits.
   std::shared_ptr<Launch> Cached;
   support::Backoff Wait;
+  fault::FaultInjector *Faults = Options.Faults;
+  // Set once this worker abandoned its queue (injected consumer death):
+  // it keeps draining so every launch's watermark still completes, but
+  // records go to the drop ledger instead of the detector.
+  bool Abandoned = false;
+  // Records this worker has drained — the index base for engine fault
+  // specs ("worker-throw@100" = the 100th record drained here).
+  uint64_t DrainedHere = 0;
   obs::TraceRecorder *Tracer = Options.Tracer;
   uint32_t Track = 0;
   if (Tracer)
@@ -179,6 +217,29 @@ void Engine::workerMain(unsigned QueueIndex) {
     EpisodeRecords = 0;
   };
   for (;;) {
+    if (Faults) {
+      if (!Abandoned &&
+          Faults->fire(fault::FaultKind::ConsumerDeath, DrainedHere,
+                       QueueIndex)) {
+        // The consumer "dies": producers blocked on this ring unblock
+        // with QueueAbandoned and new records are refused. The thread
+        // itself survives in drain-and-drop mode so nothing already
+        // committed can stall a watermark.
+        Queue.closeWithError(support::Status(
+            support::ErrorCode::QueueAbandoned,
+            support::formatString(
+                "injected consumer death on queue %u", QueueIndex)));
+        Abandoned = true;
+        CQueuesAbandoned->add(1);
+      }
+      if (Faults->fire(fault::FaultKind::QueueStall, DrainedHere,
+                       QueueIndex)) {
+        // Backpressure only: producers wait out the stall on the full
+        // ring's backoff ladder. Lossless — the fault is hit but no
+        // record is dropped.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
     size_t Count = Queue.drain(Batch, BatchSize);
     if (Count) {
       HDrainBatch->record(Count);
@@ -195,13 +256,54 @@ void Engine::workerMain(unsigned QueueIndex) {
       assert(Record.Epoch != 0 && "unstamped record in engine queue");
       if (!Cached || Cached->epoch() != Record.Epoch)
         Cached = lookupEpoch(Record.Epoch);
-      Cached->Processors[QueueIndex]->process(Record);
+      bool Drop = Abandoned || Cached->quarantined(QueueIndex);
+      if (!Drop) {
+        // A throwing processor must never take the pool down: the
+        // exception quarantines this launch's slice of the queue and
+        // the worker keeps serving (other launches get a fresh
+        // processor — the failure does not outlive its lease).
+        try {
+          if (Faults && Faults->fire(fault::FaultKind::WorkerThrow,
+                                     DrainedHere, QueueIndex))
+            throw std::runtime_error(
+                "injected detector worker exception");
+          Cached->Processors[QueueIndex]->process(Record);
+        } catch (const std::exception &E) {
+          Cached->quarantine(
+              QueueIndex,
+              support::Status(support::ErrorCode::WorkerFailed, E.what())
+                  .withContext(support::formatString(
+                      "detector worker %u", QueueIndex)));
+          CWorkerFailures->add(1);
+          Drop = true;
+        } catch (...) {
+          Cached->quarantine(
+              QueueIndex,
+              support::Status(support::ErrorCode::WorkerFailed,
+                              support::formatString(
+                                  "detector worker %u: unknown exception",
+                                  QueueIndex)));
+          CWorkerFailures->add(1);
+          Drop = true;
+        }
+      }
+      if (Drop) {
+        Cached->Dropped.fetch_add(1, std::memory_order_relaxed);
+        CRecordsDropped->add(1);
+      }
+      ++DrainedHere;
       Cached->Drained.fetch_add(1, std::memory_order_release);
     }
     if (Count == 0) {
       if (Tracer)
         closeEpisode();
-      if (Queue.exhausted())
+      // An abandoned queue reads as exhausted immediately (it was
+      // closed at the moment of death), but this worker must stay
+      // resident in drain-and-drop mode: a producer that had already
+      // reserved a slot may still publish a record, and only the pool
+      // can retire it from the watermark. It leaves at shutdown.
+      if (Queue.exhausted() &&
+          (!Abandoned || ShuttingDown.load(std::memory_order_acquire)))
         break;
       if (ActiveEpochs.load(std::memory_order_acquire) == 0) {
         // Nothing in flight: park. Records only exist between begin()
@@ -212,7 +314,7 @@ void Engine::workerMain(unsigned QueueIndex) {
         {
           std::unique_lock<std::mutex> Lock(ParkMutex);
           ParkCV.wait(Lock, [this] {
-            return ShuttingDown ||
+            return ShuttingDown.load(std::memory_order_acquire) ||
                    ActiveEpochs.load(std::memory_order_acquire) != 0;
           });
         }
@@ -244,5 +346,9 @@ EngineCounters Engine::counters() const {
   Counters.CommitStalls = Queues.totalCommitStalls();
   Counters.ParkedNanos = CParkedNanos->value();
   Counters.WatermarkWaitNanos = CWatermarkWaitNanos->value();
+  Counters.WorkerFailures = CWorkerFailures->value();
+  Counters.RecordsDropped = CRecordsDropped->value();
+  Counters.RecordsRejected = Queues.totalRejected();
+  Counters.QueuesAbandoned = CQueuesAbandoned->value();
   return Counters;
 }

@@ -47,6 +47,7 @@
 #include "detector/Detector.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Error.h"
 #include "trace/Queue.h"
 #include "trace/Sink.h"
 
@@ -60,9 +61,35 @@
 #include <vector>
 
 namespace barracuda {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace runtime {
 
 class Engine;
+
+/// Degradation accounting for one launch, read after finish(). A
+/// degraded launch completed — the watermark was reached and every
+/// record is accounted for — but some records were dropped instead of
+/// processed, so the detector's answer may be incomplete (never wrong
+/// about what it did see).
+struct LaunchResilience {
+  /// Any records lost: the detector result is best-effort.
+  bool Degraded = false;
+  /// Records drained but not processed (quarantined or abandoned
+  /// queues). Processed + Dropped == Logged at the watermark.
+  uint64_t RecordsDropped = 0;
+  /// Records refused at abandoned queues before entering the ring
+  /// (these never count toward Logged).
+  uint64_t RecordsRejected = 0;
+  /// Worker exceptions caught while processing this launch.
+  uint64_t WorkerFailures = 0;
+  /// Queues whose processor slice was quarantined after a failure.
+  uint64_t QueuesQuarantined = 0;
+  /// The first worker failure, context-chained (Ok when clean).
+  support::Status FirstError;
+};
 
 /// One kernel launch's lease on the engine: an epoch id, the launch's
 /// detector state, and one QueueProcessor per engine queue. Obtained
@@ -90,6 +117,15 @@ public:
   /// Nanoseconds finish() spent waiting on the drained-record watermark
   /// (detector lag behind the device). Valid after finish().
   uint64_t watermarkWaitNanos() const { return WatermarkWaitNanos; }
+
+  /// Degradation accounting for this launch. Valid after finish().
+  LaunchResilience resilience() const;
+
+  /// True once any record of this launch was dropped or rejected.
+  bool degraded() const {
+    return Dropped.load(std::memory_order_relaxed) != 0 ||
+           Rejected.load(std::memory_order_relaxed) != 0;
+  }
 
 private:
   friend class Engine;
@@ -119,8 +155,36 @@ private:
   uint64_t Logged = 0;
   /// Records fully processed by workers. Release increments; finish()
   /// acquires, so all detector mutations are visible at the watermark.
+  /// Drained counts drop-mode records too — degradation must never
+  /// stall the watermark, only mark the result lossy.
   std::atomic<uint64_t> Drained{0};
   uint64_t WatermarkWaitNanos = 0;
+
+  // --- resilience (written by workers, read after finish) -------------
+  /// True for queue \p I once a worker failure quarantined this
+  /// launch's processor slice there; later records for (epoch, queue)
+  /// are drained and dropped instead of processed.
+  std::vector<std::atomic<uint8_t>> Quarantined;
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint64_t> Rejected{0};
+  std::atomic<uint64_t> WorkerFailures{0};
+  mutable std::mutex FirstErrorMutex;
+  support::Status FirstWorkerError;
+
+  bool quarantined(unsigned Queue) const {
+    return Quarantined[Queue].load(std::memory_order_acquire) != 0;
+  }
+
+  /// Marks (this launch, \p Queue) failed with \p Why; first error wins.
+  void quarantine(unsigned Queue, const support::Status &Why) {
+    {
+      std::lock_guard<std::mutex> Lock(FirstErrorMutex);
+      if (FirstWorkerError.ok())
+        FirstWorkerError = Why;
+    }
+    WorkerFailures.fetch_add(1, std::memory_order_relaxed);
+    Quarantined[Queue].store(1, std::memory_order_release);
+  }
   /// Lease track/open timestamp when the engine's tracer is active.
   uint32_t LeaseTrack = 0;
   uint64_t LeaseStartUs = 0;
@@ -136,6 +200,9 @@ struct EngineOptions {
   /// When set, workers and leases emit spans here (--trace-json). Must
   /// outlive the engine. Null = tracing off (no clock reads).
   obs::TraceRecorder *Tracer = nullptr;
+  /// Engine-side fault injection (queue-stall / consumer-death /
+  /// worker-throw specs). Must outlive the engine; null = off.
+  fault::FaultInjector *Faults = nullptr;
 };
 
 /// Lifetime idle/backpressure counters, read as before/after deltas for
@@ -152,6 +219,14 @@ struct EngineCounters {
   uint64_t ParkedNanos = 0;
   /// Nanoseconds launches spent waiting on the drained-record watermark.
   uint64_t WatermarkWaitNanos = 0;
+  /// Worker exceptions caught (the worker recovers and keeps serving).
+  uint64_t WorkerFailures = 0;
+  /// Records drained in drop mode (quarantined/abandoned slices).
+  uint64_t RecordsDropped = 0;
+  /// Producer operations refused on abandoned queues.
+  uint64_t RecordsRejected = 0;
+  /// Queues abandoned by a dying consumer (closeWithError).
+  uint64_t QueuesAbandoned = 0;
 };
 
 /// The persistent runtime: a process-lifetime QueueSet and detector
@@ -215,7 +290,8 @@ private:
   std::mutex ParkMutex;
   std::condition_variable ParkCV;
   std::atomic<uint32_t> ActiveEpochs{0};
-  bool ShuttingDown = false;
+  /// Atomic: an abandoned-queue worker polls it outside ParkMutex.
+  std::atomic<bool> ShuttingDown{false};
 
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> ThreadsStarted{0};
@@ -228,6 +304,9 @@ private:
   obs::Counter *CWatermarkWaitNanos = nullptr;
   obs::Counter *CLeases = nullptr;
   obs::Counter *CRecordsDrained = nullptr;
+  obs::Counter *CWorkerFailures = nullptr;
+  obs::Counter *CRecordsDropped = nullptr;
+  obs::Counter *CQueuesAbandoned = nullptr;
   obs::Histogram *HDrainBatch = nullptr;
   obs::Histogram *HQueueDepth = nullptr;
 };

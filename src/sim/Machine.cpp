@@ -2,6 +2,7 @@
 
 #include "sim/Machine.h"
 
+#include "fault/Fault.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -141,6 +142,9 @@ private:
     uint32_t WarpInBlock = 0;
     bool AtBarrier = false;
     bool Done = false;
+    /// The bar.sync pc this warp is parked at (valid while AtBarrier);
+    /// names the blocker when a divergent barrier hangs the launch.
+    uint32_t BarrierPc = 0;
   };
 
   struct BlockExec {
@@ -155,8 +159,16 @@ private:
 
   // --- failure plumbing (no exceptions) -------------------------------
   void failLaunch(const std::string &Message) {
+    failLaunch(support::ErrorCode::DeviceFault, Message,
+               LaunchResult::InvalidPc);
+  }
+
+  void failLaunch(support::ErrorCode Code, const std::string &Message,
+                  uint32_t Pc) {
     if (!Failed) {
       Failed = true;
+      FailCode = Code;
+      FailPc = Pc;
       FirstError = support::formatString("kernel '%s': %s", K.Name.c_str(),
                                          Message.c_str());
     }
@@ -497,6 +509,8 @@ private:
   uint32_t SyncTicket = 0;
   bool Failed = false;
   std::string FirstError;
+  support::ErrorCode FailCode = support::ErrorCode::Internal;
+  uint32_t FailPc = LaunchResult::InvalidPc;
 
   static constexpr uint32_t NoReconv = ~0u;
 };
@@ -1056,6 +1070,7 @@ bool Machine::LaunchContext::stepWarp(BlockExec &B, WarpExec &W) {
       if (annotation(Pc))
         emitControl(B, W, RecordOp::Bar, Pc, Exec);
       W.AtBarrier = true;
+      W.BarrierPc = Pc;
     }
     Top.NextPc = Pc + 1;
     cleanupStack(B, W);
@@ -1109,6 +1124,27 @@ LaunchResult Machine::LaunchContext::run() {
       initBlock(Blocks[I], WaveBase + I);
 
     uint32_t LiveBlocks = WaveCount;
+
+    // Names the pc the launch is stuck at when a hang is diagnosed: a
+    // warp parked at a barrier is the most informative blocker (the
+    // divergent-barrier case), else the first live warp's next pc (the
+    // spin-loop case).
+    auto hangPc = [&]() -> uint32_t {
+      uint32_t FirstLive = LaunchResult::InvalidPc;
+      for (uint32_t I = 0; I != WaveCount; ++I) {
+        for (const WarpExec &W : Blocks[I].Warps) {
+          if (Blocks[I].Done || W.Done)
+            continue;
+          if (W.AtBarrier)
+            return W.BarrierPc;
+          if (FirstLive == LaunchResult::InvalidPc && !W.Stack.empty())
+            FirstLive = W.Stack.back().NextPc;
+        }
+      }
+      return FirstLive;
+    };
+
+    fault::FaultInjector *Faults = Mach.Options.Faults;
     while (LiveBlocks && !Failed) {
       bool Progress = false;
       for (uint32_t I = 0; I != WaveCount && !Failed; ++I) {
@@ -1118,6 +1154,21 @@ LaunchResult Machine::LaunchContext::run() {
         for (WarpExec &W : B.Warps) {
           if (W.Done || W.AtBarrier)
             continue;
+          if (Faults && B.BlockId == 0 && W.WarpInBlock == 0) {
+            // kernel-spin: the warp burns instructions without ever
+            // advancing, exactly like an unreleased spin loop — only
+            // the watchdog budget can stop it.
+            if (Faults->sticky(fault::FaultKind::KernelSpin)) {
+              ++Executed;
+              Progress = true;
+              continue;
+            }
+            // barrier-hang: the warp freezes without arriving at any
+            // barrier, so its block can never finish; once every other
+            // warp is done or parked, the no-progress check fires.
+            if (Faults->sticky(fault::FaultKind::BarrierHang))
+              continue;
+          }
           Progress |= stepWarp(B, W);
           if (Failed)
             break;
@@ -1150,13 +1201,26 @@ LaunchResult Machine::LaunchContext::run() {
       if (Weak.enabled())
         Weak.tick();
       if (Executed > Mach.Options.MaxWarpInstructions) {
-        failLaunch("watchdog: instruction budget exhausted "
-                   "(livelock or unreleased spin loop?)");
+        uint32_t Pc = hangPc();
+        failLaunch(
+            support::ErrorCode::KernelHang,
+            support::formatString(
+                "watchdog: instruction budget (%llu) exhausted — "
+                "livelock, unreleased spin loop or divergent barrier; "
+                "blocked at pc %u",
+                static_cast<unsigned long long>(
+                    Mach.Options.MaxWarpInstructions),
+                Pc),
+            Pc);
         break;
       }
       if (!Progress && LiveBlocks) {
-        failLaunch("device deadlock: all live warps are blocked at a "
-                   "barrier that cannot be satisfied");
+        uint32_t Pc = hangPc();
+        failLaunch(support::ErrorCode::KernelHang,
+                   support::formatString(
+                       "device deadlock: all live warps are blocked at "
+                       "a barrier that cannot be satisfied (pc %u)", Pc),
+                   Pc);
         break;
       }
     }
@@ -1165,8 +1229,13 @@ LaunchResult Machine::LaunchContext::run() {
   if (Weak.enabled())
     Weak.drainAll();
 
-  if (Failed)
-    return LaunchResult::failure(FirstError);
+  if (Failed) {
+    LaunchResult Result = LaunchResult::failure(FailCode, FirstError, FailPc);
+    Result.WarpInstructions = Executed;
+    Result.RecordsLogged = RecordsLogged;
+    Result.RecordsPruned = RecordsPruned;
+    return Result;
+  }
   LaunchResult Result;
   Result.WarpInstructions = Executed;
   Result.RecordsLogged = RecordsLogged;

@@ -31,6 +31,7 @@
 #include "sim/Logger.h"
 #include "sim/Memory.h"
 #include "sim/WeakMemory.h"
+#include "support/Error.h"
 
 #include <atomic>
 #include <memory>
@@ -38,11 +39,18 @@
 #include <vector>
 
 namespace barracuda {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace sim {
 
 /// Tunables for the machine.
 struct MachineOptions {
   /// Watchdog: abort the launch after this many warp instructions.
+  /// Trips convert hung kernels (infinite loops, spins on flags that
+  /// will never be set, divergent barriers with live peers) into
+  /// KernelHang launch failures naming the blocking pc.
   uint64_t MaxWarpInstructions = 500000000;
   /// Maximum thread blocks resident (co-scheduled) at once.
   uint32_t MaxResidentBlocks = 2048;
@@ -56,12 +64,25 @@ struct MachineOptions {
   /// When set, every launch emits an execute-phase span on the "device"
   /// track (--trace-json). Must outlive the machine; null = off.
   obs::TraceRecorder *Tracer = nullptr;
+  /// Device-side fault injection (kernel-spin / barrier-hang specs).
+  /// Must outlive the machine; null = off.
+  fault::FaultInjector *Faults = nullptr;
 };
 
 /// Outcome of one kernel launch.
 struct LaunchResult {
+  /// "No pc" sentinel for FailPc.
+  static constexpr uint32_t InvalidPc = 0xFFFFFFFFu;
+
   bool Ok = true;
   std::string Error;
+  /// Structured failure class (support::errorCodeName serializes it);
+  /// ErrorCode::Ok on success. Error keeps the human message.
+  support::ErrorCode Code = support::ErrorCode::Ok;
+  /// For KernelHang/DeviceFault: the pc the failing/blocked warp was at
+  /// (a barrier's pc for a divergent-barrier hang). InvalidPc when the
+  /// failure has no program location.
+  uint32_t FailPc = InvalidPc;
   uint64_t WarpInstructions = 0;
   uint64_t RecordsLogged = 0;
   /// Records the redundant-logging optimization elided at runtime.
@@ -69,10 +90,22 @@ struct LaunchResult {
   uint64_t ThreadsLaunched = 0;
 
   static LaunchResult failure(std::string Message) {
+    return failure(support::ErrorCode::InvalidLaunch, std::move(Message));
+  }
+
+  static LaunchResult failure(support::ErrorCode Code, std::string Message,
+                              uint32_t FailPc = InvalidPc) {
     LaunchResult Result;
     Result.Ok = false;
+    Result.Code = Code;
     Result.Error = std::move(Message);
+    Result.FailPc = FailPc;
     return Result;
+  }
+
+  /// The launch's outcome as a Status ("[KernelHang] ..." on failure).
+  support::Status status() const {
+    return Ok ? support::Status() : support::Status(Code, Error);
   }
 };
 

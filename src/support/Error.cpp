@@ -1,0 +1,31 @@
+//===- Error.cpp - structured error taxonomy --------------------------------===//
+
+#include "support/Error.h"
+
+using namespace barracuda;
+
+const char *support::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "Ok";
+  case ErrorCode::KernelHang:
+    return "KernelHang";
+  case ErrorCode::QueueAbandoned:
+    return "QueueAbandoned";
+  case ErrorCode::RecordCorrupt:
+    return "RecordCorrupt";
+  case ErrorCode::WorkerFailed:
+    return "WorkerFailed";
+  case ErrorCode::TraceIo:
+    return "TraceIo";
+  case ErrorCode::InvalidLaunch:
+    return "InvalidLaunch";
+  case ErrorCode::DeviceFault:
+    return "DeviceFault";
+  case ErrorCode::FaultInjected:
+    return "FaultInjected";
+  case ErrorCode::Internal:
+    return "Internal";
+  }
+  return "Unknown";
+}

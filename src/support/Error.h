@@ -1,0 +1,132 @@
+//===- Error.h - structured error taxonomy ----------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured error taxonomy for the launch/drain/replay paths. A
+/// Status pairs a stable machine-readable ErrorCode with a human message
+/// and supports context chaining (`Status.withContext("replaying t.bct")`)
+/// so a failure surfacing three layers up still names where it started.
+/// Result<T> carries a value or a Status.
+///
+/// Codes are the contract: tools and tests match on the code (and the
+/// RunReport serializes its name), never on message text. See
+/// docs/ERRORS.md for the code -> meaning -> recovery table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_ERROR_H
+#define BARRACUDA_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace barracuda {
+namespace support {
+
+/// Stable failure classes for every error-returning path in the
+/// pipeline. Append-only: tools match on these names.
+enum class ErrorCode : uint8_t {
+  Ok = 0,
+  /// The kernel exceeded its dynamic-instruction watchdog budget or
+  /// deadlocked on a barrier (sim::Machine; FailPc names the blocker).
+  KernelHang,
+  /// An event queue's consumer died; producers were unblocked with this
+  /// error and further records are rejected (trace::EventQueue).
+  QueueAbandoned,
+  /// A trace record failed its checksum or framing and was skipped
+  /// (trace::TraceReader resync path).
+  RecordCorrupt,
+  /// A detector worker threw while processing; its (epoch, queue) lease
+  /// slice is quarantined and the launch completes degraded.
+  WorkerFailed,
+  /// Trace file I/O failed (open/write/close/short read).
+  TraceIo,
+  /// Launch preconditions violated (unknown kernel, bad config, missing
+  /// module, parameter mismatch).
+  InvalidLaunch,
+  /// Execution fault inside the kernel (out-of-bounds access, invalid
+  /// operand, unhandled opcode).
+  DeviceFault,
+  /// A fault-injection plan deliberately triggered this failure.
+  FaultInjected,
+  /// Invariant violation in the pipeline itself.
+  Internal,
+};
+
+/// The stable name of \p Code ("KernelHang", ...). Never changes once
+/// shipped; serialized into RunReport JSON.
+const char *errorCodeName(ErrorCode Code);
+
+/// An error code plus a human-readable message with layered context.
+/// Cheap to return by value; the Ok status carries no string.
+class Status {
+public:
+  Status() = default;
+  Status(ErrorCode Code, std::string Message)
+      : Code_(Code), Message_(std::move(Message)) {
+    assert(Code != ErrorCode::Ok && "Ok status must not carry a message");
+  }
+
+  bool ok() const { return Code_ == ErrorCode::Ok; }
+  ErrorCode code() const { return Code_; }
+
+  /// The message with any chained context, outermost first:
+  /// "replaying 't.bct': record 17: checksum mismatch".
+  const std::string &message() const { return Message_; }
+
+  /// "[KernelHang] watchdog: ..." — the standard display form.
+  std::string describe() const {
+    if (ok())
+      return "ok";
+    return std::string("[") + errorCodeName(Code_) + "] " + Message_;
+  }
+
+  /// Returns a copy with \p Context prepended, preserving the code.
+  /// No-op on Ok.
+  Status withContext(const std::string &Context) const {
+    if (ok())
+      return *this;
+    return Status(Code_, Context + ": " + Message_);
+  }
+
+private:
+  ErrorCode Code_ = ErrorCode::Ok;
+  std::string Message_;
+};
+
+/// A value or a Status. No exceptions: callers branch on ok().
+template <typename T> class Result {
+public:
+  Result(T Value) : Value_(std::move(Value)) {}
+  Result(Status Error) : Error_(std::move(Error)) {
+    assert(!Error_.ok() && "Result error must carry a failure code");
+  }
+
+  bool ok() const { return Error_.ok(); }
+  const Status &status() const { return Error_; }
+
+  T &value() {
+    assert(ok() && "value() on a failed Result");
+    return Value_;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Result");
+    return Value_;
+  }
+
+  /// The value, or \p Fallback on error.
+  T valueOr(T Fallback) const { return ok() ? Value_ : Fallback; }
+
+private:
+  T Value_{};
+  Status Error_;
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_ERROR_H

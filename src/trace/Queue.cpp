@@ -14,39 +14,81 @@ EventQueue::EventQueue(size_t CapacityPow2)
 }
 
 uint64_t EventQueue::reserve() {
+  if (abandoned()) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return InvalidIndex;
+  }
   uint64_t Index = WriteHead.fetch_add(1, std::memory_order_relaxed);
   // Wait for the consumer if the ring has wrapped onto unread entries.
   // Long waits (a parked or busy detector thread) escalate from spinning
   // through yields to short sleeps instead of burning the producer core.
+  // Abandonment breaks the wait: a dead consumer will never free a slot,
+  // so the producer bails with InvalidIndex instead of livelocking. The
+  // skipped virtual index leaves a permanent hole in the commit chain,
+  // which is fine — every later commit() waiter also checks abandoned().
   if (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size()) {
     support::Backoff Wait;
-    while (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size())
+    while (Index - ReadHead.load(std::memory_order_acquire) >= Ring.size()) {
+      if (abandoned()) {
+        FullSpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+        Rejected.fetch_add(1, std::memory_order_relaxed);
+        return InvalidIndex;
+      }
       Wait.pause();
+    }
     FullSpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
   }
   return Index;
 }
 
-void EventQueue::commit(uint64_t Index) {
+bool EventQueue::commit(uint64_t Index) {
   // Publication happens in virtual-index order so the consumer can treat
   // everything below CommitIndex as complete. (On the GPU this ordering
   // is enforced with system-scope fences; std::atomic release/acquire
   // plays that role here.) An earlier reservation may itself be stuck in
   // reserve() on a full ring, so this wait gets the full backoff ladder
-  // too.
+  // too — and, post-abandonment, the earlier reservation may have bailed
+  // out entirely, so the wait also gives up once the queue is abandoned.
   if (CommitIndex.load(std::memory_order_acquire) != Index) {
     support::Backoff Wait;
-    while (CommitIndex.load(std::memory_order_acquire) != Index)
+    while (CommitIndex.load(std::memory_order_acquire) != Index) {
+      if (abandoned()) {
+        CommitStalls.fetch_add(Wait.waits(), std::memory_order_relaxed);
+        Rejected.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       Wait.pause();
+    }
     CommitStalls.fetch_add(Wait.waits(), std::memory_order_relaxed);
   }
   CommitIndex.store(Index + 1, std::memory_order_release);
+  return true;
 }
 
-void EventQueue::push(const LogRecord &Record) {
+bool EventQueue::push(const LogRecord &Record) {
   uint64_t Index = reserve();
+  if (Index == InvalidIndex)
+    return false;
   slot(Index) = Record;
-  commit(Index);
+  return commit(Index);
+}
+
+void EventQueue::closeWithError(support::Status Reason) {
+  assert(!Reason.ok() && "closeWithError needs a failure status");
+  {
+    std::lock_guard<std::mutex> Lock(AbandonMutex);
+    if (!AbandonedFlag.load(std::memory_order_relaxed))
+      AbandonReason = std::move(Reason);
+  }
+  AbandonedFlag.store(true, std::memory_order_release);
+  close();
+}
+
+support::Status EventQueue::status() const {
+  if (!abandoned())
+    return support::Status();
+  std::lock_guard<std::mutex> Lock(AbandonMutex);
+  return AbandonReason;
 }
 
 bool EventQueue::pop(LogRecord &Out) {

@@ -25,12 +25,14 @@
 #ifndef BARRACUDA_TRACE_QUEUE_H
 #define BARRACUDA_TRACE_QUEUE_H
 
+#include "support/Error.h"
 #include "trace/Record.h"
 
 #include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace barracuda {
@@ -47,9 +49,16 @@ public:
 
   size_t capacity() const { return Ring.size(); }
 
+  /// reserve()'s failure sentinel: the queue was abandoned and no slot
+  /// was handed out.
+  static constexpr uint64_t InvalidIndex = ~0ull;
+
   /// Producer: reserves the next slot, waiting (spin, then yield, then
   /// short sleeps) while the queue is full. Returns the virtual index of
-  /// the reserved slot.
+  /// the reserved slot, or InvalidIndex if the queue has been abandoned
+  /// (closeWithError) — the wait loop re-checks, so a producer blocked
+  /// on a full ring unblocks the moment the consumer declares death
+  /// instead of spinning forever.
   uint64_t reserve();
 
   /// Producer: the physical record backing virtual index \p Index.
@@ -57,10 +66,14 @@ public:
 
   /// Producer: publishes slot \p Index. Publication is in virtual-index
   /// order: commits wait for all earlier reservations to commit first.
-  void commit(uint64_t Index);
+  /// Returns false (record not published) when the queue was abandoned
+  /// while waiting — an earlier reservation may have bailed out of
+  /// reserve(), so the ordering chain can never complete.
+  bool commit(uint64_t Index);
 
-  /// Convenience: reserve + copy + commit.
-  void push(const LogRecord &Record);
+  /// Convenience: reserve + copy + commit. False if the record was
+  /// rejected because the queue is abandoned.
+  bool push(const LogRecord &Record);
 
   /// Consumer: pops one committed record. Returns false if none is ready.
   bool pop(LogRecord &Out);
@@ -77,6 +90,25 @@ public:
   /// Marks the producer side closed; consumers drain what remains.
   void close() { Closed.store(true, std::memory_order_release); }
   bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+  /// Consumer-side death notice: closes the queue AND fails all current
+  /// and future producer operations with \p Reason. Committed records
+  /// may still be drained (drain-and-drop accounting), but nothing new
+  /// is accepted. Idempotent; the first reason wins.
+  void closeWithError(support::Status Reason);
+
+  /// True once closeWithError has been called.
+  bool abandoned() const {
+    return AbandonedFlag.load(std::memory_order_acquire);
+  }
+
+  /// The abandonment reason (Ok when not abandoned).
+  support::Status status() const;
+
+  /// Producer operations refused because the queue was abandoned.
+  uint64_t rejected() const {
+    return Rejected.load(std::memory_order_relaxed);
+  }
 
   /// True when closed and fully drained.
   bool exhausted() const {
@@ -105,8 +137,14 @@ private:
   alignas(64) std::atomic<uint64_t> CommitIndex{0};
   alignas(64) std::atomic<uint64_t> ReadHead{0};
   alignas(64) std::atomic<bool> Closed{false};
+  std::atomic<bool> AbandonedFlag{false};
   std::atomic<uint64_t> FullSpins{0};
   std::atomic<uint64_t> CommitStalls{0};
+  std::atomic<uint64_t> Rejected{0};
+  /// Guards AbandonReason; written once before AbandonedFlag's release
+  /// store, read only after its acquire load.
+  mutable std::mutex AbandonMutex;
+  support::Status AbandonReason;
 };
 
 /// A collection of queues with the paper's block-to-queue routing.
@@ -130,6 +168,14 @@ public:
   void closeAll() {
     for (auto &Queue : Queues)
       Queue->close();
+  }
+
+  /// Sum of producer operations refused on abandoned queues.
+  uint64_t totalRejected() const {
+    uint64_t Sum = 0;
+    for (const auto &Queue : Queues)
+      Sum += Queue->rejected();
+    return Sum;
   }
 
   /// Sum of every queue's full-ring producer waits.

@@ -2,98 +2,222 @@
 
 #include "trace/TraceFile.h"
 
+#include "fault/Fault.h"
+
 #include <cstring>
 
 using namespace barracuda;
 using namespace barracuda::trace;
 
 static const char Magic[4] = {'B', 'C', 'U', 'D'};
-static constexpr uint32_t FormatVersion = 1;
+static constexpr uint32_t FormatVersion = 2;
+
+/// Frames every entry; the resync scan looks for this word. A corrupt
+/// payload cannot fake one undetected: the CRC still has to match.
+static constexpr uint32_t MarkerWord = 0x5A3CC35Au;
+
+static constexpr size_t EntrySize = 12 + sizeof(LogRecord);
+
+namespace {
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+struct CrcTable {
+  uint32_t Entries[256];
+  CrcTable() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t Crc = I;
+      for (int Bit = 0; Bit != 8; ++Bit)
+        Crc = (Crc >> 1) ^ (0xEDB88320u & (0u - (Crc & 1)));
+      Entries[I] = Crc;
+    }
+  }
+};
+
+/// CRC over the two checksummed spans of an entry (block id + record —
+/// the stored CRC word between them is excluded).
+uint32_t entryCrc(const uint8_t *BlockId, const uint8_t *Record,
+                  size_t RecordSize) {
+  static const CrcTable Table;
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I != 4; ++I)
+    Crc = (Crc >> 8) ^ Table.Entries[(Crc ^ BlockId[I]) & 0xFF];
+  for (size_t I = 0; I != RecordSize; ++I)
+    Crc = (Crc >> 8) ^ Table.Entries[(Crc ^ Record[I]) & 0xFF];
+  return Crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t loadU32(const uint8_t *At) {
+  uint32_t Value;
+  std::memcpy(&Value, At, 4);
+  return Value;
+}
+
+} // namespace
 
 TraceWriter::~TraceWriter() {
   if (Out)
     std::fclose(Out);
 }
 
-bool TraceWriter::open(const std::string &Path, const TraceHeader &Header) {
+support::Status TraceWriter::open(const std::string &Path,
+                                  const TraceHeader &Header) {
   Out = std::fopen(Path.c_str(), "wb");
-  if (!Out)
-    return false;
+  if (!Out) {
+    Error = support::Status(support::ErrorCode::TraceIo,
+                            "cannot open '" + Path + "' for writing");
+    return Error;
+  }
   uint32_t NameLen = static_cast<uint32_t>(Header.KernelName.size());
-  Failed = std::fwrite(Magic, 1, 4, Out) != 4 ||
-           std::fwrite(&FormatVersion, 4, 1, Out) != 1 ||
-           std::fwrite(&Header.ThreadsPerBlock, 4, 1, Out) != 1 ||
-           std::fwrite(&Header.WarpsPerBlock, 4, 1, Out) != 1 ||
-           std::fwrite(&Header.WarpSize, 4, 1, Out) != 1 ||
-           std::fwrite(&NameLen, 4, 1, Out) != 1 ||
-           (NameLen &&
-            std::fwrite(Header.KernelName.data(), 1, NameLen, Out) !=
-                NameLen);
-  return !Failed;
+  bool Failed =
+      std::fwrite(Magic, 1, 4, Out) != 4 ||
+      std::fwrite(&FormatVersion, 4, 1, Out) != 1 ||
+      std::fwrite(&Header.ThreadsPerBlock, 4, 1, Out) != 1 ||
+      std::fwrite(&Header.WarpsPerBlock, 4, 1, Out) != 1 ||
+      std::fwrite(&Header.WarpSize, 4, 1, Out) != 1 ||
+      std::fwrite(&NameLen, 4, 1, Out) != 1 ||
+      (NameLen &&
+       std::fwrite(Header.KernelName.data(), 1, NameLen, Out) != NameLen);
+  if (Failed)
+    Error = support::Status(support::ErrorCode::TraceIo,
+                            "short write in trace header of '" + Path + "'");
+  return Error;
 }
 
 bool TraceWriter::append(uint32_t BlockId, const LogRecord &Record) {
-  if (!Out || Failed)
+  if (!Out || !Error.ok())
     return false;
-  Failed = std::fwrite(&BlockId, 4, 1, Out) != 1 ||
-           std::fwrite(&Record, sizeof(Record), 1, Out) != 1;
-  if (!Failed)
-    ++Records;
-  return !Failed;
-}
 
-bool TraceWriter::close() {
-  if (!Out)
-    return !Failed;
-  bool Ok = std::fclose(Out) == 0 && !Failed;
-  Out = nullptr;
-  return Ok;
-}
+  uint8_t Entry[EntrySize];
+  std::memcpy(Entry, &MarkerWord, 4);
+  std::memcpy(Entry + 4, &BlockId, 4);
+  std::memcpy(Entry + 12, &Record, sizeof(Record));
+  // The CRC covers block id + record; framing corruption is caught by
+  // the marker, payload corruption by the checksum.
+  uint32_t Crc = entryCrc(Entry + 4, Entry + 12, sizeof(Record));
+  std::memcpy(Entry + 8, &Crc, 4);
 
-bool TraceReader::read(const std::string &Path) {
-  std::FILE *In = std::fopen(Path.c_str(), "rb");
-  if (!In) {
-    ErrorMessage = "cannot open '" + Path + "'";
-    return false;
-  }
-
-  char FileMagic[4];
-  uint32_t Version = 0, NameLen = 0;
-  bool HeaderOk =
-      std::fread(FileMagic, 1, 4, In) == 4 &&
-      std::memcmp(FileMagic, Magic, 4) == 0 &&
-      std::fread(&Version, 4, 1, In) == 1 && Version == FormatVersion &&
-      std::fread(&Header.ThreadsPerBlock, 4, 1, In) == 1 &&
-      std::fread(&Header.WarpsPerBlock, 4, 1, In) == 1 &&
-      std::fread(&Header.WarpSize, 4, 1, In) == 1 &&
-      std::fread(&NameLen, 4, 1, In) == 1 && NameLen < 4096;
-  if (!HeaderOk) {
-    ErrorMessage = "not a BARRACUDA trace (bad header)";
-    std::fclose(In);
-    return false;
-  }
-  Header.KernelName.resize(NameLen);
-  if (NameLen &&
-      std::fread(Header.KernelName.data(), 1, NameLen, In) != NameLen) {
-    ErrorMessage = "truncated header";
-    std::fclose(In);
-    return false;
-  }
-
-  for (;;) {
-    uint32_t BlockId;
-    size_t Got = std::fread(&BlockId, 4, 1, In);
-    if (Got != 1)
-      break; // clean EOF
-    LogRecord Record;
-    if (std::fread(&Record, sizeof(Record), 1, In) != 1) {
-      ErrorMessage = "truncated record stream";
-      std::fclose(In);
-      return false;
+  size_t WriteLen = EntrySize;
+  if (Faults) {
+    // Storage damage is simulated after checksumming, so the reader's
+    // verification sees exactly what a real flipped bit would produce.
+    if (const fault::FaultSpec *Spec =
+            Faults->fire(fault::FaultKind::RecordBitFlip, Records)) {
+      uint64_t Hash = Spec->Seed * 0x2545F4914F6CDD1Dull + Records;
+      Entry[Hash % EntrySize] ^=
+          static_cast<uint8_t>(1u << ((Hash >> 8) % 8));
+      ++Corrupted;
+    } else if (Faults->fire(fault::FaultKind::RecordTruncate, Records)) {
+      WriteLen = EntrySize / 2;
+      ++Corrupted;
     }
-    BlockIds.push_back(BlockId);
-    Records.push_back(Record);
   }
-  std::fclose(In);
+
+  if (std::fwrite(Entry, 1, WriteLen, Out) != WriteLen) {
+    Error = support::Status(support::ErrorCode::TraceIo,
+                            "short write in trace record stream");
+    return false;
+  }
+  ++Records;
   return true;
+}
+
+support::Status TraceWriter::close() {
+  if (!Out)
+    return Error;
+  if (std::fclose(Out) != 0 && Error.ok())
+    Error = support::Status(support::ErrorCode::TraceIo,
+                            "error closing trace file");
+  Out = nullptr;
+  return Error;
+}
+
+support::Status TraceReader::read(const std::string &Path) {
+  auto fail = [&](support::ErrorCode Code, const std::string &Message) {
+    ErrorMessage = Message;
+    return support::Status(Code, Message);
+  };
+
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return fail(support::ErrorCode::TraceIo, "cannot open '" + Path + "'");
+
+  // Buffer the whole file: the resync scan needs random access, and
+  // traces are bounded by what one launch logs.
+  std::vector<uint8_t> Bytes;
+  {
+    uint8_t Chunk[1 << 16];
+    size_t Got;
+    while ((Got = std::fread(Chunk, 1, sizeof(Chunk), In)) != 0)
+      Bytes.insert(Bytes.end(), Chunk, Chunk + Got);
+    bool ReadError = std::ferror(In) != 0;
+    std::fclose(In);
+    if (ReadError)
+      return fail(support::ErrorCode::TraceIo,
+                  "read error in '" + Path + "'");
+  }
+
+  // Header. Field corruption here is fatal — without a trustworthy
+  // hierarchy no record can be interpreted — but it fails with a
+  // structured status, never by crashing downstream on absurd values.
+  uint32_t Version = 0, NameLen = 0;
+  size_t Pos = 24;
+  bool HeaderOk = Bytes.size() >= 24 &&
+                  std::memcmp(Bytes.data(), Magic, 4) == 0 &&
+                  (Version = loadU32(Bytes.data() + 4)) == FormatVersion;
+  if (HeaderOk) {
+    Header.ThreadsPerBlock = loadU32(Bytes.data() + 8);
+    Header.WarpsPerBlock = loadU32(Bytes.data() + 12);
+    Header.WarpSize = loadU32(Bytes.data() + 16);
+    NameLen = loadU32(Bytes.data() + 20);
+    HeaderOk = Header.ThreadsPerBlock >= 1 &&
+               Header.ThreadsPerBlock <= 1024 && Header.WarpSize >= 1 &&
+               Header.WarpSize <= 32 && Header.WarpsPerBlock >= 1 &&
+               Header.WarpsPerBlock <= 1024 && NameLen < 4096 &&
+               Bytes.size() >= Pos + NameLen;
+  }
+  if (!HeaderOk)
+    return fail(support::ErrorCode::RecordCorrupt,
+                "not a BARRACUDA trace (bad header)");
+  Header.KernelName.assign(reinterpret_cast<const char *>(Bytes.data()) +
+                               Pos,
+                           NameLen);
+  Pos += NameLen;
+
+  // Entry stream with skip-and-resync: a checksum failure drops one
+  // entry; lost framing scans forward to the next marker, charging the
+  // skipped span at one dropped record per entry-size worth of bytes.
+  const size_t Size = Bytes.size();
+  while (Pos < Size) {
+    if (Pos + 4 > Size || loadU32(Bytes.data() + Pos) != MarkerWord) {
+      ++Resyncs;
+      size_t Next = Size;
+      for (size_t Scan = Pos + 1; Scan + 4 <= Size; ++Scan) {
+        if (loadU32(Bytes.data() + Scan) == MarkerWord) {
+          Next = Scan;
+          break;
+        }
+      }
+      Dropped += (Next - Pos + EntrySize - 1) / EntrySize;
+      Pos = Next;
+      continue;
+    }
+    if (Pos + EntrySize > Size) {
+      // Truncated tail: a crash mid-record. Count it and stop.
+      ++Dropped;
+      break;
+    }
+    const uint8_t *Entry = Bytes.data() + Pos;
+    uint32_t Stored = loadU32(Entry + 8);
+    if (entryCrc(Entry + 4, Entry + 12, sizeof(LogRecord)) != Stored) {
+      ++Dropped;
+      Pos += EntrySize;
+      continue;
+    }
+    LogRecord Record;
+    std::memcpy(&Record, Entry + 12, sizeof(Record));
+    BlockIds.push_back(loadU32(Entry + 4));
+    Records.push_back(Record);
+    Pos += EntrySize;
+  }
+  return support::Status();
 }

@@ -13,16 +13,24 @@
 /// writes a trace, `barracuda-replay` race-checks it offline, possibly
 /// many times with different detector settings.
 ///
-/// Format (native-endian):
+/// Format (native-endian), version 2:
 ///   magic "BCUD" | u32 version | u32 threadsPerBlock
 ///   | u32 warpsPerBlock | u32 warpSize | u32 nameLen | name bytes
-///   | { u32 blockId | LogRecord } *
+///   | { u32 marker | u32 blockId | u32 crc32 | LogRecord } *
+///
+/// Every entry is framed by a fixed marker and covered by a CRC32 over
+/// blockId + record bytes. A corrupt entry (bit flip, torn write,
+/// truncated tail) fails its checksum or framing; the reader drops it,
+/// scans forward to the next marker and resumes — corruption costs the
+/// damaged records, never the replay. Drop/resync counts surface in
+/// RunReport.resilience.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef BARRACUDA_TRACE_TRACEFILE_H
 #define BARRACUDA_TRACE_TRACEFILE_H
 
+#include "support/Error.h"
 #include "trace/Record.h"
 
 #include <cstdint>
@@ -31,6 +39,10 @@
 #include <vector>
 
 namespace barracuda {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace trace {
 
 /// Launch metadata carried in the trace header.
@@ -50,39 +62,61 @@ public:
   TraceWriter(const TraceWriter &) = delete;
   TraceWriter &operator=(const TraceWriter &) = delete;
 
-  /// Opens \p Path and writes the header. False on I/O failure.
-  bool open(const std::string &Path, const TraceHeader &Header);
+  /// Storage-corruption injection (bitflip/truncate specs): applied to
+  /// serialized entries after checksumming, simulating disk damage.
+  void setFaultInjector(fault::FaultInjector *Injector) {
+    Faults = Injector;
+  }
 
-  /// Appends one record. False on I/O failure.
+  /// Opens \p Path and writes the header.
+  support::Status open(const std::string &Path, const TraceHeader &Header);
+
+  /// Appends one record. False on I/O failure (see status()).
   bool append(uint32_t BlockId, const LogRecord &Record);
 
-  /// Flushes and closes. False if any write failed.
-  bool close();
+  /// Flushes and closes; fails if any write failed.
+  support::Status close();
 
   uint64_t recordsWritten() const { return Records; }
+
+  /// Entries deliberately damaged by the fault injector.
+  uint64_t recordsCorrupted() const { return Corrupted; }
 
 private:
   std::FILE *Out = nullptr;
   uint64_t Records = 0;
-  bool Failed = false;
+  uint64_t Corrupted = 0;
+  fault::FaultInjector *Faults = nullptr;
+  support::Status Error;
 };
 
-/// Loads a whole trace into memory.
+/// Loads a whole trace into memory, skipping corrupt entries.
 class TraceReader {
 public:
-  /// Reads \p Path. False on I/O or format error; see error().
-  bool read(const std::string &Path);
+  /// Reads \p Path. Fails only on I/O errors or an unusable header;
+  /// record-level corruption is recovered by resyncing to the next
+  /// entry marker and counted in recordsDropped()/resyncs().
+  support::Status read(const std::string &Path);
 
   const std::string &error() const { return ErrorMessage; }
   const TraceHeader &header() const { return Header; }
   const std::vector<uint32_t> &blockIds() const { return BlockIds; }
   const std::vector<LogRecord> &records() const { return Records; }
 
+  /// Entries lost to corruption (checksum/framing failures and any
+  /// truncated tail), measured against the file's entry capacity.
+  uint64_t recordsDropped() const { return Dropped; }
+
+  /// Forward scans performed to re-find an entry marker.
+  uint64_t resyncs() const { return Resyncs; }
+
 private:
   TraceHeader Header;
   std::vector<uint32_t> BlockIds;
   std::vector<LogRecord> Records;
   std::string ErrorMessage;
+  uint64_t Dropped = 0;
+  uint64_t Resyncs = 0;
 };
 
 } // namespace trace

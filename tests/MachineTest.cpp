@@ -467,6 +467,60 @@ SPIN:
                                        Config, Builder.bytes(), nullptr);
   EXPECT_FALSE(Result.Ok);
   EXPECT_NE(Result.Error.find("watchdog"), std::string::npos);
+  EXPECT_EQ(Result.Code, support::ErrorCode::KernelHang);
+  EXPECT_NE(Result.FailPc, LaunchResult::InvalidPc);
+}
+
+TEST(Machine, DivergentBarrierHangTripsWatchdog) {
+  // Warp 0 reaches bar.sync while warp 1 spins on a flag that is never
+  // set: the barrier can never be satisfied, yet the spinning warp
+  // keeps the machine "making progress". Only the watchdog can end
+  // this, and it must surface a structured KernelHang naming the
+  // barrier pc the stuck warp is parked at — not loop forever and not
+  // report a generic failure.
+  const char *Ptx = R"(
+.version 4.3
+.target sm_35
+.visible .entry k(
+    .param .u64 flag
+)
+{
+    .reg .u64 %rd<2>;
+    .reg .u32 %r<4>;
+    .reg .pred %p<3>;
+    ld.param.u64 %rd1, [flag];
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 32;
+    @%p1 bra SYNC;
+WAIT:
+    ld.volatile.global.u32 %r2, [%rd1];
+    setp.eq.u32 %p2, %r2, 0;
+    @%p2 bra WAIT;
+SYNC:
+    bar.sync 0;
+    ret;
+}
+)";
+  GlobalMemory Memory;
+  MachineOptions Options;
+  Options.MaxWarpInstructions = 20000;
+  auto Mod = ptx::parseOrDie(Ptx);
+  sim::Machine Machine(Memory, Options);
+  uint64_t Flag = Memory.allocate(64); // zeroed: the wait never ends
+  ParamBuilder Builder(Mod->Kernels[0]);
+  Builder.set(0, Flag);
+  LaunchConfig Config;
+  Config.Grid = Dim3(1);
+  Config.Block = Dim3(64); // two warps: one at the barrier, one waiting
+  LaunchResult Result = Machine.launch(*Mod, Mod->Kernels[0], nullptr,
+                                       Config, Builder.bytes(), nullptr);
+  ASSERT_FALSE(Result.Ok);
+  EXPECT_EQ(Result.Code, support::ErrorCode::KernelHang);
+  // The reported pc is the blocked barrier, the most useful place to
+  // start debugging a divergent bar.sync.
+  const ptx::Kernel &K = Mod->Kernels[0];
+  ASSERT_LT(Result.FailPc, K.Body.size());
+  EXPECT_EQ(K.Body[Result.FailPc].Op, ptx::Opcode::Bar);
 }
 
 TEST(Machine, SharedOutOfBoundsFailsCleanly) {

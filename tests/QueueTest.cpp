@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -140,6 +142,70 @@ TEST(Queue, MultipleProducersCommitInOrder) {
     EXPECT_EQ(Counts[P], PerProducer);
   for (std::thread &Thread : Threads)
     Thread.join();
+}
+
+//===--- abandonment (closeWithError) -----------------------------------===//
+
+TEST(Queue, AbandonedQueueRejectsProducers) {
+  EventQueue Queue(8);
+  Queue.closeWithError(support::Status(support::ErrorCode::QueueAbandoned,
+                                       "consumer died"));
+  EXPECT_TRUE(Queue.abandoned());
+  EXPECT_EQ(Queue.reserve(), EventQueue::InvalidIndex);
+  EXPECT_FALSE(Queue.push(makeRecord(0, 1)));
+  EXPECT_EQ(Queue.rejected(), 2u);
+  EXPECT_EQ(Queue.status().code(), support::ErrorCode::QueueAbandoned);
+}
+
+TEST(Queue, CloseWithErrorUnblocksFullRingProducer) {
+  // Regression: a producer spinning on a full ring whose consumer died
+  // must get a structured error back, not livelock forever.
+  EventQueue Queue(4);
+  for (int I = 0; I != 4; ++I)
+    ASSERT_TRUE(Queue.push(makeRecord(0, I)));
+
+  std::atomic<bool> Returned{false};
+  std::thread Producer([&] {
+    // Ring is full and nobody will ever pop: only abandonment can
+    // release this reserve().
+    uint64_t Index = Queue.reserve();
+    EXPECT_EQ(Index, EventQueue::InvalidIndex);
+    Returned.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Returned.load());
+  Queue.closeWithError(support::Status(support::ErrorCode::QueueAbandoned,
+                                       "injected consumer death"));
+  Producer.join();
+  EXPECT_TRUE(Returned.load());
+  EXPECT_TRUE(Queue.abandoned());
+}
+
+TEST(Queue, CloseWithErrorKeepsFirstReason) {
+  EventQueue Queue(8);
+  Queue.closeWithError(
+      support::Status(support::ErrorCode::WorkerFailed, "first"));
+  Queue.closeWithError(
+      support::Status(support::ErrorCode::QueueAbandoned, "second"));
+  EXPECT_EQ(Queue.status().code(), support::ErrorCode::WorkerFailed);
+  EXPECT_EQ(Queue.status().message(), "first");
+}
+
+TEST(Queue, AbandonedQueueStillDrains) {
+  // Records committed before the death stay readable (drain-and-drop).
+  EventQueue Queue(8);
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Queue.push(makeRecord(0, I)));
+  Queue.closeWithError(support::Status(support::ErrorCode::QueueAbandoned,
+                                       "late death"));
+  LogRecord Out;
+  for (uint64_t I = 0; I != 3; ++I) {
+    ASSERT_TRUE(Queue.pop(Out));
+    EXPECT_EQ(Out.Addr[0], I);
+  }
+  EXPECT_FALSE(Queue.pop(Out));
+  EXPECT_TRUE(Queue.exhausted());
 }
 
 TEST(QueueSet, BlockRouting) {

@@ -27,7 +27,7 @@ TEST(TraceFile, RoundTripsHeaderAndRecords) {
   Header.KernelName = "roundtrip_kernel";
 
   TraceWriter Writer;
-  ASSERT_TRUE(Writer.open(Path, Header));
+  ASSERT_TRUE(Writer.open(Path, Header).ok());
   for (uint32_t I = 0; I != 100; ++I) {
     LogRecord Record = makeMemRecord(RecordOp::Write, I % 7, I,
                                      MemSpace::Global, 4, 0xFF);
@@ -35,10 +35,10 @@ TEST(TraceFile, RoundTripsHeaderAndRecords) {
     ASSERT_TRUE(Writer.append(I % 3, Record));
   }
   EXPECT_EQ(Writer.recordsWritten(), 100u);
-  ASSERT_TRUE(Writer.close());
+  ASSERT_TRUE(Writer.close().ok());
 
   TraceReader Reader;
-  ASSERT_TRUE(Reader.read(Path)) << Reader.error();
+  ASSERT_TRUE(Reader.read(Path).ok()) << Reader.error();
   EXPECT_EQ(Reader.header().ThreadsPerBlock, 96u);
   EXPECT_EQ(Reader.header().WarpsPerBlock, 3u);
   EXPECT_EQ(Reader.header().KernelName, "roundtrip_kernel");
@@ -53,13 +53,13 @@ TEST(TraceFile, RoundTripsHeaderAndRecords) {
 
 TEST(TraceFile, RejectsGarbageAndMissing) {
   TraceReader Reader;
-  EXPECT_FALSE(Reader.read("/nonexistent/path.bct"));
+  EXPECT_FALSE(Reader.read("/nonexistent/path.bct").ok());
   std::string Path = tempPath("garbage");
   std::FILE *Out = std::fopen(Path.c_str(), "wb");
   std::fputs("definitely not a trace", Out);
   std::fclose(Out);
   TraceReader Reader2;
-  EXPECT_FALSE(Reader2.read(Path));
+  EXPECT_FALSE(Reader2.read(Path).ok());
   EXPECT_NE(Reader2.error().find("bad header"), std::string::npos);
   std::remove(Path.c_str());
 }
@@ -83,7 +83,7 @@ TEST(TraceFile, ReplayMatchesLiveDetection) {
   ASSERT_TRUE(S.anyRaces());
 
   TraceReader Reader;
-  ASSERT_TRUE(Reader.read(Path)) << Reader.error();
+  ASSERT_TRUE(Reader.read(Path).ok()) << Reader.error();
   EXPECT_EQ(Reader.header().KernelName, Program->KernelName);
   detector::DetectorOptions DetOpts;
   DetOpts.Hier.ThreadsPerBlock = Reader.header().ThreadsPerBlock;

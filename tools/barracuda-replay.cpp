@@ -59,8 +59,9 @@ int main(int ArgCount, char **Args) {
   trace::TraceReader Reader;
   {
     obs::Span ReadSpan(TracerPtr, Track, "read " + File, "replay");
-    if (!Reader.read(File)) {
-      std::fprintf(stderr, "error: %s\n", Reader.error().c_str());
+    support::Status Read = Reader.read(File);
+    if (!Read.ok()) {
+      std::fprintf(stderr, "error: %s\n", Read.describe().c_str());
       return 2;
     }
   }
@@ -74,6 +75,14 @@ int main(int ArgCount, char **Args) {
                File.c_str(), Header.KernelName.c_str(),
                Header.ThreadsPerBlock, Header.WarpsPerBlock,
                Header.WarpSize, Reader.records().size());
+  if (Reader.recordsDropped())
+    std::fprintf(Chat,
+                 "warning: %llu corrupt record%s skipped "
+                 "(%llu resync%s) — findings are best-effort\n",
+                 static_cast<unsigned long long>(Reader.recordsDropped()),
+                 Reader.recordsDropped() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(Reader.resyncs()),
+                 Reader.resyncs() == 1 ? "" : "s");
 
   detector::DetectorOptions Options;
   Options.Hier.ThreadsPerBlock = Header.ThreadsPerBlock;
@@ -103,6 +112,14 @@ int main(int ArgCount, char **Args) {
   Report.Detector.SharedShadowBytes = State.sharedShadowBytes();
   Report.Detector.SyncLocations = State.Syncs.size();
   Report.Engine.NumQueues = NumQueues;
+  Report.Resilience.RecordsDropped = Reader.recordsDropped();
+  Report.Resilience.RecordsResynced = Reader.resyncs();
+  Report.Resilience.Degraded = Reader.recordsDropped() != 0;
+  if (Report.Resilience.Degraded)
+    Report.Resilience.FirstError =
+        support::Status(support::ErrorCode::RecordCorrupt,
+                        "corrupt trace entries skipped during replay")
+            .describe();
   Report.Races = State.Reporter.races();
   Report.BarrierErrors = State.Reporter.barrierErrors();
   {

@@ -23,6 +23,12 @@
 //     --json               print the RunReport document to stdout
 //     --trace-json OUT     write a Chrome Trace Event file (Perfetto)
 //     --record TRACE.bct   record the trace for barracuda-replay
+//     --inject SPEC        arm a deterministic fault: kind[@N][:q=Q]
+//                          (kernel-spin, barrier-hang, queue-stall,
+//                          consumer-death, worker-throw, bitflip,
+//                          truncate); repeatable
+//     --watchdog N         abort a hung kernel after N warp
+//                          instructions (default: 500M)
 //     --expect-races       exit 0 iff races were found (for testing)
 //
 // Exit code: 0 = clean (or expected races found), 1 = races/errors
@@ -108,6 +114,24 @@ int main(int ArgCount, char **Args) {
                  "spread repeats across M concurrent streams");
   Cli.stringOption("--record", "TRACE.bct", Options.RecordTracePath,
                    "record the trace for barracuda-replay");
+  Cli.repeatedOption(
+      "--inject", "KIND[@N][:q=Q]",
+      [&](const char *V) {
+        support::Status Added = Options.Faults.add(V);
+        if (!Added.ok())
+          std::fprintf(stderr, "error: %s\n", Added.describe().c_str());
+        return Added.ok();
+      },
+      "arm a deterministic fault (kernel-spin, barrier-hang, "
+      "queue-stall, consumer-death, worker-throw, bitflip, truncate)");
+  Cli.option(
+      "--watchdog", "N",
+      [&](const char *V) {
+        Options.Machine.MaxWarpInstructions =
+            std::strtoull(V, nullptr, 0);
+        return Options.Machine.MaxWarpInstructions != 0;
+      },
+      "abort a hung kernel after N warp instructions");
   Cli.flagOff("--native", Options.Instrument,
               "run natively (no instrumentation/detection)");
   Cli.flagOff("--legacy-detector", Options.DetectorHotPath,
@@ -184,7 +208,14 @@ int main(int ArgCount, char **Args) {
       Result = S.launchKernel(KernelName, Grid, Block, LaunchParams);
   }
   if (!Result.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+    if (Result.FailPc != sim::LaunchResult::InvalidPc)
+      std::fprintf(stderr, "launch failed: %s (pc %u)\n",
+                   Result.status().describe().c_str(), Result.FailPc);
+    else
+      std::fprintf(stderr, "launch failed: %s\n",
+                   Result.status().describe().c_str());
+    if (Json) // still emit the structured document for tooling
+      std::fputs(S.report().toJson().c_str(), stdout);
     return 2;
   }
   std::fprintf(Chat, "%llu threads, %llu warp instructions, %llu records\n",
