@@ -79,6 +79,50 @@ std::string RunReport::toJson() const {
   W.key("firstError").value(Resilience.FirstError);
   W.endObject();
 
+  if (Profile.Enabled) {
+    W.key("profile").beginObject();
+    W.key("attributedFraction").value(Profile.attributedFraction());
+    W.key("kernels").beginArray();
+    for (const obs::KernelProfile &Kernel : Profile.Kernels) {
+      W.beginObject();
+      W.key("kernel").value(Kernel.Kernel);
+      W.key("totalDynamic").value(Kernel.TotalDynamic);
+      W.key("attributed").value(Kernel.totalAttributed());
+      W.key("hotPcs").beginArray();
+      std::vector<uint32_t> Pcs = Kernel.hotPcs();
+      constexpr size_t MaxPcs = 32; // bound the document, not the data
+      for (size_t I = 0; I != Pcs.size() && I != MaxPcs; ++I) {
+        uint32_t Pc = Pcs[I];
+        W.beginObject();
+        W.key("pc").value(static_cast<uint64_t>(Pc));
+        W.key("line").value(static_cast<uint64_t>(Kernel.Lines[Pc]));
+        W.key("executed").value(Kernel.Executed[Pc]);
+        W.key("memoryOps").value(Kernel.MemoryOps[Pc]);
+        W.key("divergences").value(Kernel.Divergences[Pc]);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    W.key("rules").beginArray();
+    for (const ProfileSection::RuleLatency &Rule : Profile.Rules) {
+      W.beginObject();
+      W.key("kind").value(Rule.Kind);
+      W.key("records").value(Rule.Records);
+      W.key("samples").value(Rule.Samples);
+      W.key("sampledNs").value(Rule.SampledNs);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("phases").beginObject();
+    W.key("drainNs").value(Profile.DrainNanos);
+    W.key("parkedNs").value(Profile.ParkedNanos);
+    W.key("watermarkWaitNs").value(Profile.WatermarkWaitNanos);
+    W.endObject();
+    W.endObject();
+  }
+
   W.key("instrumentation").beginObject();
   W.key("staticInsns").value(Static.StaticInsns);
   W.key("instrumentedUnoptimized").value(Static.InstrumentedUnoptimized);
@@ -157,4 +201,54 @@ void RunReport::printText(std::FILE *Out) const {
         static_cast<unsigned long long>(Resilience.FaultsInjected),
         Resilience.FirstError.empty() ? "" : "; first error: ",
         Resilience.FirstError.c_str());
+  if (Profile.Enabled) {
+    std::fprintf(Out,
+                 "profile: %.1f%% of warp instructions attributed; "
+                 "engine drain %.3f ms, parked %.3f ms\n",
+                 100.0 * Profile.attributedFraction(),
+                 static_cast<double>(Profile.DrainNanos) / 1e6,
+                 static_cast<double>(Profile.ParkedNanos) / 1e6);
+    constexpr size_t TopN = 5;
+    for (const obs::KernelProfile &Kernel : Profile.Kernels) {
+      std::vector<uint32_t> Pcs = Kernel.hotPcs();
+      if (Pcs.empty())
+        continue;
+      std::fprintf(Out, "  hot pcs of %s:\n", Kernel.Kernel.c_str());
+      std::fprintf(Out, "    %6s %6s %12s %10s %10s\n", "pc", "line",
+                   "executed", "mem", "div");
+      for (size_t I = 0; I != Pcs.size() && I != TopN; ++I) {
+        uint32_t Pc = Pcs[I];
+        std::fprintf(Out, "    %6u %6u %12llu %10llu %10llu\n", Pc,
+                     Kernel.Lines[Pc],
+                     static_cast<unsigned long long>(Kernel.Executed[Pc]),
+                     static_cast<unsigned long long>(Kernel.MemoryOps[Pc]),
+                     static_cast<unsigned long long>(
+                         Kernel.Divergences[Pc]));
+      }
+    }
+    for (const ProfileSection::RuleLatency &Rule : Profile.Rules)
+      std::fprintf(Out,
+                   "  rule %-8s %12llu records, mean sampled latency "
+                   "%llu ns\n",
+                   Rule.Kind.c_str(),
+                   static_cast<unsigned long long>(Rule.Records),
+                   static_cast<unsigned long long>(
+                       Rule.Samples ? Rule.SampledNs / Rule.Samples : 0));
+  }
+}
+
+std::string RunReport::foldedStacks() const {
+  std::string Out;
+  for (const obs::KernelProfile &Kernel : Profile.Kernels) {
+    for (uint32_t Pc = 0; Pc != Kernel.Executed.size(); ++Pc) {
+      if (!Kernel.Executed[Pc])
+        continue;
+      Out += Kernel.Kernel;
+      Out += support::formatString(";pc_%u_line_%u %llu\n", Pc,
+                                   Kernel.Lines[Pc],
+                                   static_cast<unsigned long long>(
+                                       Kernel.Executed[Pc]));
+    }
+  }
+  return Out;
 }

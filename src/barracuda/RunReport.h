@@ -14,7 +14,7 @@
 ///
 ///   RunReport R = Session.report();
 ///   R.printText(stdout);              // the old --stats block
-///   puts(R.toJson().c_str());        // {"schemaVersion": 1, ...}
+///   puts(R.toJson().c_str());        // {"schemaVersion": 2, ...}
 ///
 /// Scalar sections are per-launch (the most recent instrumented launch;
 /// relaunches on a reused engine restart from zero). Findings are
@@ -30,6 +30,7 @@
 #include "detector/Detector.h"
 #include "detector/Report.h"
 #include "instrument/Instrumenter.h"
+#include "obs/Profiler.h"
 #include "sim/Machine.h"
 #include "support/Error.h"
 
@@ -42,7 +43,9 @@ namespace barracuda {
 /// The unified report for one session run. Produced by Session::report().
 struct RunReport {
   /// Bumped on any non-additive schema change to the JSON form.
-  static constexpr unsigned SchemaVersion = 1;
+  /// v2: added the "profile" section (continuous profiling) and made
+  /// consumers version-check rather than assume v1.
+  static constexpr unsigned SchemaVersion = 2;
 
   /// Outcome of the most recent launch.
   struct LaunchSection {
@@ -129,6 +132,47 @@ struct RunReport {
     std::string FirstError;
   } Resilience;
 
+  /// Continuous-profiling attribution for the launch (schemaVersion 2).
+  /// Where the run's time and instructions went: per-PC kernel profiles
+  /// from the interpreter, per-rule latency attribution from the
+  /// detector, and per-phase wall time from the engine.
+  struct ProfileSection {
+    bool Enabled = false;
+
+    /// Per-kernel per-PC profiles (reset at launch start, so per-launch
+    /// like every other scalar section).
+    std::vector<obs::KernelProfile> Kernels;
+
+    /// One detector rule's latency attribution. SampledNs sums every
+    /// 1-in-64 sampled dispatch; Records is the exact per-kind count.
+    struct RuleLatency {
+      std::string Kind;
+      uint64_t Records = 0;
+      uint64_t Samples = 0;
+      uint64_t SampledNs = 0;
+    };
+    std::vector<RuleLatency> Rules;
+
+    /// Engine phase wall-time attribution (engine-wide deltas for the
+    /// launch, like EngineSection's spin counts).
+    uint64_t DrainNanos = 0;
+    uint64_t ParkedNanos = 0;
+    uint64_t WatermarkWaitNanos = 0;
+
+    /// Fraction of dynamic warp instructions attributed to pcs across
+    /// every kernel (1.0 when nothing executed).
+    double attributedFraction() const {
+      uint64_t Total = 0, Attributed = 0;
+      for (const obs::KernelProfile &Profile : Kernels) {
+        Total += Profile.TotalDynamic;
+        Attributed += Profile.totalAttributed();
+      }
+      return Total ? static_cast<double>(Attributed) /
+                         static_cast<double>(Total)
+                   : 1.0;
+    }
+  } Profile;
+
   /// Static instrumentation coverage for the loaded module.
   instrument::InstrumentationStats Static;
 
@@ -144,12 +188,18 @@ struct RunReport {
     return !Races.empty() || !BarrierErrors.empty();
   }
 
-  /// The full document: {"schemaVersion": 1, "launch": {...}, ...,
+  /// The full document: {"schemaVersion": 2, "launch": {...}, ...,
   /// "races": [...], "barrierErrors": [...], "metrics": {...}}.
   std::string toJson() const;
 
-  /// Human-readable statistics block (the former --stats output).
+  /// Human-readable statistics block (the former --stats output),
+  /// including a top-N hot-PC table when the profile section is on.
   void printText(std::FILE *Out) const;
+
+  /// Flamegraph-compatible folded stacks, one line per hot pc:
+  /// "kernel;pc_<pc>_line_<line> <executed>\n". Feed straight into
+  /// flamegraph.pl. Empty when profiling was off or nothing executed.
+  std::string foldedStacks() const;
 };
 
 } // namespace barracuda

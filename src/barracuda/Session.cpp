@@ -14,16 +14,40 @@ using namespace barracuda;
 
 namespace {
 
-/// The machine inherits the session's tracer and fault injector unless
-/// the caller wired its own into the machine options.
+/// The machine inherits the session's tracer, fault injector and
+/// profiler unless the caller wired its own into the machine options.
 sim::MachineOptions machineOptions(const SessionOptions &Options,
-                                   fault::FaultInjector *Injector) {
+                                   fault::FaultInjector *Injector,
+                                   obs::Profiler *Profiler) {
   sim::MachineOptions MachineOpts = Options.Machine;
   if (!MachineOpts.Tracer)
     MachineOpts.Tracer = Options.Tracer;
   if (!MachineOpts.Faults)
     MachineOpts.Faults = Injector;
+  if (!MachineOpts.Profiler && Options.Profile)
+    MachineOpts.Profiler = Profiler;
   return MachineOpts;
+}
+
+/// The deprecated KernelRunStats surface is derived from the report in
+/// exactly one place so the two can never drift.
+KernelRunStats legacyStatsView(const sim::LaunchResult &Result,
+                               const RunReport &Report) {
+  KernelRunStats Stats;
+  Stats.Launch = Result;
+  Stats.RecordsProcessed = Report.Records.Processed;
+  Stats.Formats = Report.Detector.Formats;
+  Stats.HotPath = Report.Detector.HotPath;
+  Stats.PeakPtvcBytes = Report.Detector.PeakPtvcBytes;
+  Stats.GlobalShadowBytes = Report.Detector.GlobalShadowBytes;
+  Stats.SharedShadowBytes = Report.Detector.SharedShadowBytes;
+  Stats.SyncLocations = Report.Detector.SyncLocations;
+  Stats.MemoryRecords = Report.Records.Memory;
+  Stats.SyncRecords = Report.Records.Sync;
+  Stats.ControlRecords = Report.Records.Control;
+  Stats.QueueFullSpins = Report.Engine.QueueFullSpins;
+  Stats.DetectorEmptySpins = Report.Engine.DetectorEmptySpins;
+  return Stats;
 }
 
 /// Null when the plan is empty so the hardened hot paths skip their
@@ -39,7 +63,8 @@ makeInjector(const SessionOptions &Options) {
 
 Session::Session(SessionOptions Opts)
     : Options(std::move(Opts)), Injector(makeInjector(Options)),
-      Machine(Memory, machineOptions(Options, Injector.get())) {}
+      Machine(Memory,
+              machineOptions(Options, Injector.get(), &Profiler_)) {}
 
 Session::~Session() = default;
 
@@ -200,6 +225,14 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   uint32_t Track = Tracer ? Tracer->track(TraceTrack) : 0;
   obs::Span LaunchSpan(Tracer, Track, "launch " + KernelName, "session");
 
+  // Per-launch profile semantics: the profiler accumulates across
+  // launches by design (continuous profiling), the report resets it so
+  // each launch's section stands alone. Approximate when concurrent
+  // streams launch simultaneously — the same caveat as the engine-wide
+  // spin deltas below.
+  if (Options.Profile)
+    Profiler_.reset();
+
   if (!Options.Instrument) {
     sim::LaunchResult Result =
         Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(), nullptr);
@@ -212,6 +245,10 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Native.Launch.FailPc = Result.FailPc;
     Native.Launch.ThreadsLaunched = Result.ThreadsLaunched;
     Native.Launch.WarpInstructions = Result.WarpInstructions;
+    if (Options.Profile) {
+      Native.Profile.Enabled = true;
+      Native.Profile.Kernels = Profiler_.profiles();
+    }
     LastReport = std::move(Native);
     return Result;
   }
@@ -247,7 +284,10 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   DetOpts.Hier = sim::ThreadHierarchy(Config);
   DetOpts.CollectStats = Options.CollectStats;
   DetOpts.HotPath = Options.DetectorHotPath;
+  DetOpts.ProfileRules = Options.Profile;
   detector::SharedDetectorState State(DetOpts);
+
+  ensureExporter(Eng);
 
   runtime::EngineCounters Before = Eng.counters();
   std::shared_ptr<runtime::Launch> Lease = Eng.begin(State);
@@ -336,6 +376,32 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     State.metrics().writeJson(MetricsWriter);
     Report.MetricsJson = MetricsWriter.take();
   }
+  if (Options.Profile) {
+    Report.Profile.Enabled = true;
+    Report.Profile.Kernels = Profiler_.profiles();
+    // Rule attribution: each kind's exact count and its sampled-latency
+    // histogram live in the launch registry as detector.rule.<kind>.*.
+    for (unsigned Kind = 0; Kind != detector::RuleProfile::NumKinds;
+         ++Kind) {
+      const char *Name =
+          trace::recordOpName(static_cast<trace::RecordOp>(Kind));
+      obs::Counter &Count = State.metrics().counter(
+          std::string("detector.rule.") + Name + ".records");
+      if (!Count.value())
+        continue;
+      obs::Histogram &Ns = State.metrics().histogram(
+          std::string("detector.rule.") + Name + ".ns");
+      RunReport::ProfileSection::RuleLatency Rule;
+      Rule.Kind = Name;
+      Rule.Records = Count.value();
+      Rule.Samples = Ns.count();
+      Rule.SampledNs = Ns.sum();
+      Report.Profile.Rules.push_back(std::move(Rule));
+    }
+    Report.Profile.DrainNanos = After.DrainNanos - Before.DrainNanos;
+    Report.Profile.ParkedNanos = Report.Engine.ParkedNanos;
+    Report.Profile.WatermarkWaitNanos = Report.Engine.WatermarkWaitNanos;
+  }
 
   // Accumulate findings, mapping each race's pc back to its PTX source
   // line. Launches on concurrent streams land here from their executor
@@ -351,21 +417,89 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     AllBarrierErrors.push_back(Error);
 
   // The legacy stats struct is a view over the report.
-  LastStats.Launch = Result;
-  LastStats.RecordsProcessed = Report.Records.Processed;
-  LastStats.Formats = Report.Detector.Formats;
-  LastStats.HotPath = Report.Detector.HotPath;
-  LastStats.PeakPtvcBytes = Report.Detector.PeakPtvcBytes;
-  LastStats.GlobalShadowBytes = Report.Detector.GlobalShadowBytes;
-  LastStats.SharedShadowBytes = Report.Detector.SharedShadowBytes;
-  LastStats.SyncLocations = Report.Detector.SyncLocations;
-  LastStats.MemoryRecords = Report.Records.Memory;
-  LastStats.SyncRecords = Report.Records.Sync;
-  LastStats.ControlRecords = Report.Records.Control;
-  LastStats.QueueFullSpins = Report.Engine.QueueFullSpins;
-  LastStats.DetectorEmptySpins = Report.Engine.DetectorEmptySpins;
+  LastStats = legacyStatsView(Result, Report);
   LastReport = std::move(Report);
   return Result;
+}
+
+void Session::ensureExporter(runtime::Engine &Eng) {
+  if (Options.MetricsOutDir.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(EngineMutex);
+  if (Exporter_)
+    return;
+
+  obs::ExporterOptions ExpOpts;
+  ExpOpts.Dir = Options.MetricsOutDir;
+  ExpOpts.IntervalMs = Options.MetricsIntervalMs;
+  auto Exp = std::make_unique<obs::Exporter>(std::move(ExpOpts));
+  Exp->addRegistry(&Eng.metrics());
+
+  // Live engine gauges. The sample buffer and the exporter-side
+  // high-watermarks live in shared_ptrs captured by the callback; the
+  // engine itself outlives the exporter (member declaration order, and
+  // a SharedEngine outlives the session by contract).
+  auto Live = std::make_shared<runtime::EngineLiveSample>();
+  auto HighWater = std::make_shared<std::vector<uint64_t>>();
+  runtime::Engine *EngPtr = &Eng;
+  Exp->addSource([EngPtr, Live,
+                  HighWater](std::vector<obs::Exporter::Sample> &Out) {
+    EngPtr->sampleLive(*Live);
+    HighWater->resize(Live->QueueDepths.size(), 0);
+    for (size_t I = 0; I != Live->QueueDepths.size(); ++I) {
+      uint64_t Depth = Live->QueueDepths[I];
+      if (Depth > (*HighWater)[I])
+        (*HighWater)[I] = Depth;
+      std::string Label =
+          support::formatString("queue=\"%zu\"", I);
+      // "live" prefix: the registry already owns an engine.queue_depth
+      // *histogram* family; a same-named gauge would clash in the
+      // exposition's TYPE table.
+      Out.push_back({"engine.live.queue_depth", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Depth)});
+      Out.push_back({"engine.live.queue_high_watermark", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>((*HighWater)[I])});
+    }
+    Out.push_back({"engine.watermark_lag", "",
+                   obs::MetricSample::Kind::Gauge,
+                   static_cast<int64_t>(Live->WatermarkLag)});
+    Out.push_back({"engine.leases_in_flight", "",
+                   obs::MetricSample::Kind::Gauge,
+                   static_cast<int64_t>(Live->LeasesInFlight)});
+  });
+
+  // Hottest pc of every kernel profiled so far, labelled with its
+  // source line — enough for barracuda-top to name the busy spot
+  // without shipping whole profiles each tick.
+  if (Options.Profile) {
+    const obs::Profiler *Prof = &Profiler_;
+    Exp->addSource([Prof](std::vector<obs::Exporter::Sample> &Out) {
+      for (const obs::KernelProfile &P : Prof->profiles()) {
+        std::vector<uint32_t> Hot = P.hotPcs();
+        if (Hot.empty())
+          continue;
+        uint32_t Pc = Hot.front();
+        Out.push_back({"profile.hottest_pc_executed",
+                       support::formatString(
+                           "kernel=\"%s\",pc=\"%u\",line=\"%u\"",
+                           obs::Exporter::escapeLabelValue(P.Kernel)
+                               .c_str(),
+                           Pc, P.Lines[Pc]),
+                       obs::MetricSample::Kind::Gauge,
+                       static_cast<int64_t>(P.Executed[Pc])});
+      }
+    });
+  }
+
+  support::Status Started = Exp->start();
+  if (!Started.ok()) {
+    // Telemetry must never fail the launch; remember why it is off.
+    ErrorMessage = Started.withContext("metrics exporter").message();
+    return;
+  }
+  Exporter_ = std::move(Exp);
 }
 
 RunReport Session::report() const {

@@ -43,6 +43,8 @@
 #include "detector/Detector.h"
 #include "fault/Fault.h"
 #include "instrument/Instrumenter.h"
+#include "obs/Exporter.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "ptx/Ir.h"
 #include "runtime/Engine.h"
@@ -72,6 +74,19 @@ struct SessionOptions {
   size_t QueueCapacity = 1 << 14;
   /// Collect PTVC format/memory statistics.
   bool CollectStats = true;
+  /// Continuous profiling: per-PC kernel profiles from the interpreter,
+  /// per-rule latency attribution from the detector and per-phase wall
+  /// time from the engine (RunReport's "profile" section,
+  /// --profile-folded). Off removes every profiling hook — zero added
+  /// atomics on the detector hot path, one dead branch in the
+  /// interpreter.
+  bool Profile = true;
+  /// When non-empty, a background obs::Exporter writes Prometheus
+  /// text-exposition snapshots of the engine's live state (queue depths,
+  /// watermark lag, leases, resilience counters, hot PCs) into this
+  /// directory every MetricsIntervalMs while launches run.
+  std::string MetricsOutDir;
+  unsigned MetricsIntervalMs = 1000;
   /// Use the coalescing detector hot path (same-epoch fast paths, run
   /// coalescing, page cache). Off = rule-per-byte legacy path; reports
   /// are identical either way.
@@ -233,16 +248,31 @@ public:
   /// Static instrumentation statistics for the loaded module.
   instrument::InstrumentationStats instrumentationStats() const;
 
+  /// The session's continuous profiler (per-PC kernel profiles). Reset
+  /// at the start of every launch so report() stays per-launch;
+  /// meaningful only while SessionOptions::Profile is on.
+  const obs::Profiler &profiler() const { return Profiler_; }
+
+  /// The live metrics exporter, when MetricsOutDir is set and at least
+  /// one instrumented launch ran. Null otherwise.
+  obs::Exporter *exporter() { return Exporter_.get(); }
+
 private:
   sim::LaunchResult runLaunch(const std::string &KernelName,
                               sim::Dim3 Grid, sim::Dim3 Block,
                               const std::vector<uint64_t> &Params,
                               const std::string &TraceTrack);
 
+  /// Starts the background exporter over \p Eng once (no-op when
+  /// MetricsOutDir is empty or it is already running).
+  void ensureExporter(runtime::Engine &Eng);
+
   SessionOptions Options;
   /// Built from Options.Faults; referenced by the machine, the trace
   /// writer and the owned engine, so it is declared before all of them.
   std::unique_ptr<fault::FaultInjector> Injector;
+  /// Declared before the machine, which holds a pointer to it.
+  obs::Profiler Profiler_;
   sim::GlobalMemory Memory;
   sim::Machine Machine;
   std::unique_ptr<ptx::Module> Mod;
@@ -252,6 +282,9 @@ private:
   /// Lazily created when no SharedEngine was supplied.
   std::mutex EngineMutex;
   std::unique_ptr<runtime::Engine> OwnedEngine;
+  /// Declared after OwnedEngine: the sampler must stop (member
+  /// destruction is reverse order) before the engine it reads dies.
+  std::unique_ptr<obs::Exporter> Exporter_;
 
   /// Results may be appended from stream executor threads.
   mutable std::mutex ResultsMutex;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 using namespace barracuda;
@@ -68,6 +69,18 @@ uint64_t SharedDetectorState::recordsProcessed() const {
   return Records_->value();
 }
 
+void SharedDetectorState::mergeRules(const RuleProfile &Rules) {
+  for (unsigned Kind = 0; Kind != RuleProfile::NumKinds; ++Kind) {
+    if (!Rules.Seen[Kind])
+      continue;
+    const char *Name = trace::recordOpName(static_cast<RecordOp>(Kind));
+    Metrics.counter(std::string("detector.rule.") + Name + ".records")
+        .add(Rules.Seen[Kind]);
+    Metrics.histogram(std::string("detector.rule.") + Name + ".ns")
+        .merge(Rules.Ns[Kind]);
+  }
+}
+
 HotPathStats SharedDetectorState::hotPathStats() const {
   HotPathStats Stats;
   Stats.FastPathHits = FastPathHits->value();
@@ -101,7 +114,10 @@ ShadowCell *QueueProcessor::LocalShadow::pageFor(uint64_t Addr) {
 //===----------------------------------------------------------------------===//
 
 QueueProcessor::QueueProcessor(SharedDetectorState &Shared)
-    : Shared(Shared), Opts(Shared.options()) {}
+    : Shared(Shared), Opts(Shared.options()) {
+  if (Opts.ProfileRules)
+    Rules = std::make_unique<RuleProfile>();
+}
 
 QueueProcessor::~QueueProcessor() = default;
 
@@ -194,6 +210,23 @@ void QueueProcessor::finishTicket(uint32_t Ticket) {
 }
 
 void QueueProcessor::process(const LogRecord &Record) {
+  if (Rules) {
+    unsigned Kind = static_cast<unsigned>(Record.op());
+    if (Kind < RuleProfile::NumKinds &&
+        ++Rules->Seen[Kind] % RuleProfile::SampleEvery == 0) {
+      auto Start = std::chrono::steady_clock::now();
+      processImpl(Record);
+      auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+      Rules->Ns[Kind].record(static_cast<uint64_t>(Ns));
+      return;
+    }
+  }
+  processImpl(Record);
+}
+
+void QueueProcessor::processImpl(const LogRecord &Record) {
   ++Records;
   uint32_t BlockId = Record.Warp / Opts.Hier.WarpsPerBlock;
   BlockState &BS = blockState(BlockId);
@@ -660,4 +693,6 @@ void QueueProcessor::finish() {
     SharedShadowBytes += BS.Shared.bytes();
   Shared.mergeStats(Formats, PeakPtvcBytes, SharedShadowBytes, Records,
                     HotPath);
+  if (Rules)
+    Shared.mergeRules(*Rules);
 }

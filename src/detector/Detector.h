@@ -50,6 +50,24 @@ struct DetectorOptions {
   /// to the per-byte reference loop — same verdicts, no fast paths —
   /// which the microbench uses for before/after comparison.
   bool HotPath = true;
+  /// Collect per-rule (record-kind) latency histograms. Sampled: every
+  /// 64th record of each kind is timed, so the overhead stays within the
+  /// profiling budget. Off (the default) adds one predicted branch per
+  /// record and zero atomics.
+  bool ProfileRules = false;
+};
+
+/// Per-rule latency attribution: one histogram of sampled dispatch
+/// latencies (ns) plus an exact record count per RecordOp kind.
+/// Processor-private (plain counters, local histograms); merged into the
+/// shared registry once per queue at finish() as
+/// "detector.rule.<kind>.ns" / "detector.rule.<kind>.records".
+struct RuleProfile {
+  static constexpr unsigned NumKinds = 13; ///< RecordOp enumerators
+  static constexpr unsigned SampleEvery = 64;
+
+  std::array<uint64_t, NumKinds> Seen = {};
+  std::array<obs::Histogram, NumKinds> Ns;
 };
 
 /// Counters for the detector hot path. All monotone; merged per queue.
@@ -132,6 +150,11 @@ public:
                   uint64_t SharedShadow, uint64_t Records,
                   const HotPathStats &HotPath);
 
+  /// Folds one processor's rule-latency profile into the registry
+  /// ("detector.rule.*"). Cold path (finish only); registers the
+  /// instruments on first use.
+  void mergeRules(const RuleProfile &Rules);
+
   /// The run's metric registry. Per-launch by construction: every launch
   /// builds a fresh SharedDetectorState, so counters never leak across
   /// launches on a reused engine.
@@ -166,7 +189,9 @@ public:
   explicit QueueProcessor(SharedDetectorState &Shared);
   ~QueueProcessor();
 
-  /// Processes one record (records of one queue, in order).
+  /// Processes one record (records of one queue, in order). With
+  /// ProfileRules on, every RuleProfile::SampleEvery-th record of each
+  /// kind is timed into the processor-local rule profile.
   void process(const trace::LogRecord &Record);
 
   /// Flushes statistics into the shared state. Call once, at end.
@@ -223,6 +248,9 @@ private:
     unsigned FirstLane = 0;  ///< lane issuing the first Size bytes
     unsigned LaneCount = 0;  ///< consecutive active lanes in the run
   };
+
+  /// The record dispatch proper (process() adds the sampling wrapper).
+  void processImpl(const trace::LogRecord &Record);
 
   BlockState &blockState(uint32_t BlockId);
   WarpEntry &warpEntry(BlockState &BS, uint32_t GlobalWarp);
@@ -293,6 +321,8 @@ private:
   // Local statistics, merged at finish().
   PtvcFormatStats Formats;
   HotPathStats HotPath;
+  /// Allocated iff DetectorOptions::ProfileRules; null = detached.
+  std::unique_ptr<RuleProfile> Rules;
   size_t CurrentPtvcBytes = 0;
   size_t PeakPtvcBytes = 0;
   uint64_t SharedShadowBytes = 0;

@@ -1,0 +1,301 @@
+//===- Exporter.cpp - Prometheus-style live metrics exporter ----------------===//
+
+#include "obs/Exporter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// mkdir -p: creates \p Path and its parents; EEXIST is success.
+support::Status makeDirs(const std::string &Path) {
+  std::string Partial;
+  size_t Pos = 0;
+  while (Pos <= Path.size()) {
+    size_t Slash = Path.find('/', Pos);
+    if (Slash == std::string::npos)
+      Slash = Path.size();
+    Partial.assign(Path, 0, Slash);
+    Pos = Slash + 1;
+    if (Partial.empty() || Partial == ".")
+      continue;
+    if (::mkdir(Partial.c_str(), 0777) != 0 && errno != EEXIST)
+      return support::Status(
+          support::ErrorCode::TraceIo,
+          support::formatString("cannot create metrics directory '%s': %s",
+                                Partial.c_str(), std::strerror(errno)));
+  }
+  return support::Status();
+}
+
+/// Inclusive upper bound of log2 bucket \p Index (see
+/// Histogram::bucketFor): 0, 1, 3, 7, ..., 2^63, then all-ones.
+uint64_t bucketUpperBound(unsigned Index) {
+  if (Index == 0)
+    return 0;
+  if (Index >= 64)
+    return ~0ULL;
+  return (1ULL << Index) - 1;
+}
+
+} // namespace
+
+Exporter::Exporter(ExporterOptions Options) : Options(std::move(Options)) {}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::addRegistry(const Registry *R) {
+  RegistrySlot Slot;
+  Slot.Source = R;
+  Registries.push_back(std::move(Slot));
+}
+
+void Exporter::addSource(Source Fn) { Sources.push_back(std::move(Fn)); }
+
+std::string Exporter::sanitizeMetricName(const std::string &Dotted) {
+  std::string Out = "barracuda_";
+  Out.reserve(Out.size() + Dotted.size());
+  for (char C : Dotted) {
+    bool Valid = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out.push_back(Valid ? C : '_');
+  }
+  return Out;
+}
+
+std::string Exporter::escapeLabelValue(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+uint64_t Exporter::monotone(const std::string &Key, uint64_t Raw) {
+  auto &[Base, Last] = Monotone[Key];
+  if (Raw < Last)
+    Base += Last; // the underlying registry was reset; fold it in
+  Last = Raw;
+  return Base + Raw;
+}
+
+std::string Exporter::renderExposition() {
+  std::string Out;
+  std::set<std::string> TypedFamilies;
+  auto typeLine = [&](const std::string &Family, const char *Type) {
+    if (TypedFamilies.insert(Family).second)
+      Out += "# TYPE " + Family + " " + Type + "\n";
+  };
+
+  // Registries first (counters/gauges/histograms), via the reuse
+  // snapshots so a stable instrument set never takes a mutex.
+  for (RegistrySlot &Slot : Registries) {
+    Slot.Source->snapshotInto(Slot.Buffer);
+    for (const MetricSample &S : Slot.Buffer.samples()) {
+      std::string Name = sanitizeMetricName(S.Name);
+      switch (S.Kind_) {
+      case MetricSample::Kind::Counter: {
+        typeLine(Name, "counter");
+        uint64_t Value = monotone(Name, static_cast<uint64_t>(S.Value));
+        Out += Name + " " + std::to_string(Value) + "\n";
+        break;
+      }
+      case MetricSample::Kind::Gauge:
+        typeLine(Name, "gauge");
+        Out += Name + " " + std::to_string(S.Value) + "\n";
+        break;
+      case MetricSample::Kind::Histogram: {
+        typeLine(Name, "histogram");
+        uint64_t Cumulative = 0;
+        for (const auto &[Bucket, Count] : S.Buckets) {
+          Cumulative +=
+              monotone(Name + "#b" + std::to_string(Bucket), Count);
+          Out += Name + "_bucket{le=\"" +
+                 std::to_string(bucketUpperBound(Bucket)) + "\"} " +
+                 std::to_string(Cumulative) + "\n";
+        }
+        uint64_t Count =
+            monotone(Name + "#count", static_cast<uint64_t>(S.Value));
+        Out += Name + "_bucket{le=\"+Inf\"} " + std::to_string(Count) +
+               "\n";
+        Out += Name + "_sum " +
+               std::to_string(monotone(Name + "#sum", S.Sum)) + "\n";
+        Out += Name + "_count " + std::to_string(Count) + "\n";
+        break;
+      }
+      }
+    }
+  }
+
+  // Live sources (queue depths, watermark lag, leases, hot PCs, ...).
+  // Grouped by family before rendering: the exposition format requires
+  // all samples of one metric to be contiguous, and sources interleave
+  // families freely (e.g. depth and high-watermark per queue).
+  LiveSamples.clear();
+  for (Source &Fn : Sources)
+    Fn(LiveSamples);
+  std::stable_sort(LiveSamples.begin(), LiveSamples.end(),
+                   [](const Sample &A, const Sample &B) {
+                     return A.Name < B.Name;
+                   });
+  for (const Sample &S : LiveSamples) {
+    std::string Name = sanitizeMetricName(S.Name);
+    bool IsCounter = S.Kind_ == MetricSample::Kind::Counter;
+    typeLine(Name, IsCounter ? "counter" : "gauge");
+    std::string Series =
+        S.Labels.empty() ? Name : Name + "{" + S.Labels + "}";
+    int64_t Value = S.Value;
+    if (IsCounter)
+      Value = static_cast<int64_t>(
+          monotone(Series, static_cast<uint64_t>(S.Value)));
+    Out += Series + " " + std::to_string(Value) + "\n";
+  }
+
+  // Derived rate gauges over the previous scrape.
+  uint64_t Now = nowNanos();
+  for (const std::string &Dotted : Options.RateCounters) {
+    std::string Name = sanitizeMetricName(Dotted);
+    auto It = Monotone.find(Name);
+    if (It == Monotone.end())
+      continue; // counter not attached
+    uint64_t Value = It->second.first + It->second.second;
+    RateState &Rate = Rates[Name];
+    if (Rate.LastNs && Now > Rate.LastNs && Value >= Rate.LastValue)
+      Rate.PerSecond = static_cast<int64_t>(
+          (Value - Rate.LastValue) * 1000000000.0 /
+          static_cast<double>(Now - Rate.LastNs));
+    Rate.LastValue = Value;
+    Rate.LastNs = Now;
+    std::string RateName = Name + "_per_second";
+    typeLine(RateName, "gauge");
+    Out += RateName + " " + std::to_string(Rate.PerSecond) + "\n";
+  }
+
+  // Terminator: a reader that does not see this line caught a torn
+  // write, which the rename protocol is meant to rule out.
+  Out += "# EOF\n";
+  return Out;
+}
+
+support::Status Exporter::writeFile(const std::string &Path,
+                                    const std::string &Text) {
+  std::string Tmp = Options.Dir + "/.exposition.tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return support::Status(
+        support::ErrorCode::TraceIo,
+        support::formatString("cannot open '%s': %s", Tmp.c_str(),
+                              std::strerror(errno)));
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    return support::Status(
+        support::ErrorCode::TraceIo,
+        support::formatString("short write to '%s'", Tmp.c_str()));
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return support::Status(
+        support::ErrorCode::TraceIo,
+        support::formatString("cannot rename '%s' to '%s': %s",
+                              Tmp.c_str(), Path.c_str(),
+                              std::strerror(errno)));
+  return support::Status();
+}
+
+support::Status Exporter::writeOnce() {
+  std::string Text = renderExposition();
+  std::string Numbered =
+      Options.Dir +
+      support::formatString("/metrics-%06llu.prom",
+                            static_cast<unsigned long long>(
+                                NextSnapshotId));
+  if (support::Status S = writeFile(Numbered, Text); !S.ok())
+    return S;
+  if (support::Status S = writeFile(Options.Dir + "/" + Options.LatestName,
+                                    Text);
+      !S.ok())
+    return S;
+  ++NextSnapshotId;
+  History.push_back(Numbered);
+  while (History.size() > Options.KeepSnapshots) {
+    std::remove(History.front().c_str());
+    History.pop_front();
+  }
+  Written.fetch_add(1, std::memory_order_relaxed);
+  return support::Status();
+}
+
+support::Status Exporter::start() {
+  if (running())
+    return support::Status();
+  if (support::Status S = makeDirs(Options.Dir); !S.ok())
+    return S.withContext("metrics exporter");
+  if (support::Status S = writeOnce(); !S.ok())
+    return S.withContext("metrics exporter");
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+    StopRequested = false;
+  }
+  Running.store(true, std::memory_order_release);
+  Sampler = std::thread([this] { samplerMain(); });
+  return support::Status();
+}
+
+void Exporter::stop() {
+  if (!Sampler.joinable()) {
+    Running.store(false, std::memory_order_release);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+    StopRequested = true;
+  }
+  StopCV.notify_all();
+  Sampler.join();
+  // Final snapshot: even a run shorter than one interval leaves two
+  // snapshots behind (the start() one plus this).
+  writeOnce();
+  Running.store(false, std::memory_order_release);
+}
+
+void Exporter::samplerMain() {
+  std::unique_lock<std::mutex> Lock(StopMutex);
+  for (;;) {
+    if (StopCV.wait_for(Lock, std::chrono::milliseconds(Options.IntervalMs),
+                        [this] { return StopRequested; }))
+      return;
+    Lock.unlock();
+    writeOnce();
+    Lock.lock();
+  }
+}

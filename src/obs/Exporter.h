@@ -1,0 +1,170 @@
+//===- Exporter.h - Prometheus-style live metrics exporter ------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live-telemetry half of the observability layer: a background
+/// sampler thread that periodically renders every attached Registry and
+/// live-gauge source into Prometheus text-exposition snapshots on disk,
+/// so a hung or quarantined run is diagnosable while it is stuck.
+///
+/// File protocol: each tick renders one exposition document and writes
+/// it twice through an atomic temp-file + rename — once as a numbered
+/// history snapshot (metrics-NNNNNN.prom, bounded retention) and once as
+/// the stable latest file (barracuda.prom) that scrapers and
+/// barracuda-top tail. Every document ends with a "# EOF" line; a reader
+/// that does not see it caught a file that was never fully renamed in,
+/// which the atomic protocol makes impossible — the test suite asserts
+/// exactly that.
+///
+/// Counters are exported monotone across obs::Registry::reset(): the
+/// exporter remembers a per-series base and folds resets into it, so a
+/// scraper's rate() never sees the counter go backwards even though the
+/// session zeroes per-launch registries.
+///
+/// Sampling never contends with instrument registration: registries are
+/// read through Registry::snapshotInto() reuse buffers (lock-free once
+/// the instrument set is stable) and live sources are plain callbacks
+/// over atomics (e.g. runtime::Engine::sampleLive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_EXPORTER_H
+#define BARRACUDA_OBS_EXPORTER_H
+
+#include "obs/Metrics.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace barracuda {
+namespace obs {
+
+/// Exporter tunables.
+struct ExporterOptions {
+  /// Output directory (created, parents included, at start()).
+  std::string Dir;
+  /// Sampling period; the sampler also writes once at start() and once
+  /// at stop(), so even a sub-interval run yields two snapshots.
+  unsigned IntervalMs = 1000;
+  /// Stable name of the latest snapshot inside Dir.
+  std::string LatestName = "barracuda.prom";
+  /// Numbered history snapshots retained (older ones are unlinked).
+  unsigned KeepSnapshots = 8;
+  /// Counters to derive live <name>_per_second gauges from (rate over
+  /// the previous scrape).
+  std::vector<std::string> RateCounters = {"engine.records_drained"};
+};
+
+/// Periodic Prometheus text-exposition writer. Attach registries and
+/// live-gauge sources before start(); stop() (or destruction) joins the
+/// sampler and leaves a final snapshot behind.
+class Exporter {
+public:
+  /// One exposition time series produced by a live source.
+  struct Sample {
+    std::string Name;   ///< dotted metric name ("engine.queue_depth")
+    std::string Labels; ///< rendered label body ('queue="0"'), may be empty
+    MetricSample::Kind Kind_ = MetricSample::Kind::Gauge;
+    int64_t Value = 0;
+  };
+
+  /// Appends live samples; called on the sampler thread each tick. Must
+  /// only read data that is safe from any thread (atomics, own state).
+  using Source = std::function<void(std::vector<Sample> &)>;
+
+  explicit Exporter(ExporterOptions Options);
+  ~Exporter();
+
+  Exporter(const Exporter &) = delete;
+  Exporter &operator=(const Exporter &) = delete;
+
+  /// Attaches \p R (must outlive the exporter). Call before start().
+  void addRegistry(const Registry *R);
+  /// Attaches a live-gauge source. Call before start().
+  void addSource(Source Fn);
+
+  /// Creates the directory, writes the first snapshot and spawns the
+  /// sampler. Idempotent while running.
+  support::Status start();
+
+  /// Joins the sampler and writes a final snapshot. Idempotent; safe
+  /// when never started.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// Renders and writes one snapshot pair (numbered + latest) now.
+  support::Status writeOnce();
+
+  /// Snapshot pairs successfully written so far.
+  uint64_t snapshotsWritten() const {
+    return Written.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the current exposition document (for tests; writeOnce()
+  /// uses the same path).
+  std::string renderExposition();
+
+  /// "barracuda_" + \p Dotted with every character outside the
+  /// Prometheus name grammar [a-zA-Z0-9_:] replaced by '_'.
+  static std::string sanitizeMetricName(const std::string &Dotted);
+
+  /// Escapes backslash, double-quote and newline for a label value.
+  static std::string escapeLabelValue(const std::string &Value);
+
+private:
+  void samplerMain();
+  /// Monotone-corrected value for counter series \p Key (folds
+  /// Registry::reset() into a per-series base).
+  uint64_t monotone(const std::string &Key, uint64_t Raw);
+  support::Status writeFile(const std::string &Path,
+                            const std::string &Text);
+
+  ExporterOptions Options;
+
+  // Attached inputs (fixed after start()).
+  struct RegistrySlot {
+    const Registry *Source = nullptr;
+    Snapshot Buffer;
+  };
+  std::vector<RegistrySlot> Registries;
+  std::vector<Source> Sources;
+  std::vector<Sample> LiveSamples; ///< reused scratch per tick
+
+  // Monotone-counter bases and rate state (sampler thread only).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> Monotone;
+  struct RateState {
+    uint64_t LastValue = 0;
+    uint64_t LastNs = 0;
+    int64_t PerSecond = 0;
+  };
+  std::map<std::string, RateState> Rates;
+
+  // History retention (sampler thread only).
+  std::deque<std::string> History;
+  uint64_t NextSnapshotId = 1;
+
+  std::atomic<bool> Running{false};
+  std::atomic<uint64_t> Written{0};
+  std::thread Sampler;
+  std::mutex StopMutex;
+  std::condition_variable StopCV;
+  bool StopRequested = false;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_EXPORTER_H

@@ -12,24 +12,30 @@ using namespace barracuda::obs;
 Counter &Registry::counter(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = Counters[Name];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<Counter>();
+    Version.fetch_add(1, std::memory_order_release);
+  }
   return *Slot;
 }
 
 Gauge &Registry::gauge(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = Gauges[Name];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<Gauge>();
+    Version.fetch_add(1, std::memory_order_release);
+  }
   return *Slot;
 }
 
 Histogram &Registry::histogram(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = Histograms[Name];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<Histogram>();
+    Version.fetch_add(1, std::memory_order_release);
+  }
   return *Slot;
 }
 
@@ -43,42 +49,82 @@ void Registry::reset() {
     H->reset();
 }
 
-std::vector<MetricSample> Registry::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  std::vector<MetricSample> Samples;
-  Samples.reserve(Counters.size() + Gauges.size() + Histograms.size());
-  for (const auto &[Name, C] : Counters) {
-    MetricSample S;
-    S.Name = Name;
-    S.Kind_ = MetricSample::Kind::Counter;
-    S.Value = static_cast<int64_t>(C->value());
-    Samples.push_back(std::move(S));
-  }
-  for (const auto &[Name, G] : Gauges) {
-    MetricSample S;
-    S.Name = Name;
-    S.Kind_ = MetricSample::Kind::Gauge;
-    S.Value = G->value();
-    Samples.push_back(std::move(S));
-  }
-  for (const auto &[Name, H] : Histograms) {
-    MetricSample S;
-    S.Name = Name;
-    S.Kind_ = MetricSample::Kind::Histogram;
-    S.Value = static_cast<int64_t>(H->count());
-    S.Sum = H->sum();
+void Registry::readEntry(const Snapshot::Entry &E, MetricSample &S) {
+  if (E.C) {
+    S.Value = static_cast<int64_t>(E.C->value());
+  } else if (E.G) {
+    S.Value = E.G->value();
+  } else {
+    S.Value = 0;
+    S.Sum = E.H->sum();
+    S.Buckets.clear();
     for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
-      if (uint64_t Count = H->bucketCount(I))
+      if (uint64_t Count = E.H->bucketCount(I)) {
         S.Buckets.emplace_back(I, Count);
-    Samples.push_back(std::move(S));
+        S.Value += static_cast<int64_t>(Count);
+      }
   }
-  // std::map iteration is already name-sorted per kind; interleave kinds
-  // into one global order for stable output.
-  std::sort(Samples.begin(), Samples.end(),
-            [](const MetricSample &A, const MetricSample &B) {
-              return A.Name < B.Name;
-            });
-  return Samples;
+}
+
+void Registry::snapshotInto(Snapshot &Out) const {
+  // Fast path: the index is current — read values through the cached
+  // stable pointers without touching the registration mutex.
+  uint64_t Now = Version.load(std::memory_order_acquire);
+  if (Out.Source == this && Out.Version == Now) {
+    for (size_t I = 0; I != Out.Instruments.size(); ++I)
+      readEntry(Out.Instruments[I], Out.Samples[I]);
+    return;
+  }
+
+  // Rebuild the index under the mutex (new instruments appeared, or the
+  // snapshot is fresh / borrowed from another registry).
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out.Source = this;
+  Out.Version = Version.load(std::memory_order_relaxed);
+  Out.Instruments.clear();
+  Out.Samples.clear();
+  size_t Total = Counters.size() + Gauges.size() + Histograms.size();
+  Out.Instruments.reserve(Total);
+  Out.Samples.reserve(Total);
+  // Merge the three name-sorted maps into one globally sorted sequence.
+  auto CI = Counters.begin();
+  auto GI = Gauges.begin();
+  auto HI = Histograms.begin();
+  while (CI != Counters.end() || GI != Gauges.end() ||
+         HI != Histograms.end()) {
+    const std::string *Next = nullptr;
+    if (CI != Counters.end())
+      Next = &CI->first;
+    if (GI != Gauges.end() && (!Next || GI->first < *Next))
+      Next = &GI->first;
+    if (HI != Histograms.end() && (!Next || HI->first < *Next))
+      Next = &HI->first;
+    MetricSample S;
+    Snapshot::Entry E;
+    S.Name = *Next;
+    if (CI != Counters.end() && &CI->first == Next) {
+      S.Kind_ = MetricSample::Kind::Counter;
+      E.C = CI->second.get();
+      ++CI;
+    } else if (GI != Gauges.end() && &GI->first == Next) {
+      S.Kind_ = MetricSample::Kind::Gauge;
+      E.G = GI->second.get();
+      ++GI;
+    } else {
+      S.Kind_ = MetricSample::Kind::Histogram;
+      E.H = HI->second.get();
+      ++HI;
+    }
+    readEntry(E, S);
+    Out.Instruments.push_back(E);
+    Out.Samples.push_back(std::move(S));
+  }
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  Snapshot S;
+  snapshotInto(S);
+  return std::move(S.Samples);
 }
 
 void Registry::writeJson(support::json::Writer &W) const {

@@ -122,6 +122,15 @@ public:
   uint64_t bucketCount(unsigned Index) const {
     return Buckets[Index].load(std::memory_order_relaxed);
   }
+  /// Adds every bucket and the sum of \p Other into this histogram.
+  /// Relaxed adds, so concurrent record()s on either side stay safe;
+  /// used to fold processor-local histograms into a shared registry.
+  void merge(const Histogram &Other) {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      if (uint64_t Count = Other.bucketCount(I))
+        Buckets[I].fetch_add(Count, std::memory_order_relaxed);
+    Sum.fetch_add(Other.sum(), std::memory_order_relaxed);
+  }
   uint64_t count() const {
     uint64_t Total = 0;
     for (const auto &Bucket : Buckets)
@@ -158,6 +167,37 @@ struct MetricSample {
   std::vector<std::pair<unsigned, uint64_t>> Buckets;
 };
 
+class Registry;
+
+/// A reusable snapshot buffer for Registry::snapshotInto(). Besides the
+/// samples it caches the instrument index (names, kinds and stable
+/// pointers), so a periodic sampler re-reads values lock-free: the
+/// registration mutex is taken only when the registry has grown since
+/// the snapshot was last (re)built.
+class Snapshot {
+public:
+  const std::vector<MetricSample> &samples() const { return Samples; }
+  size_t size() const { return Samples.size(); }
+
+private:
+  friend class Registry;
+
+  /// Exactly one pointer per entry is non-null (matches the sample's
+  /// kind). Instruments have stable addresses for the registry's
+  /// lifetime, so the cache never dangles while the registry lives.
+  struct Entry {
+    const Counter *C = nullptr;
+    const Gauge *G = nullptr;
+    const Histogram *H = nullptr;
+  };
+
+  /// Registry::Version this index was built against; ~0 = never built.
+  uint64_t Version = ~0ULL;
+  const Registry *Source = nullptr;
+  std::vector<Entry> Instruments; ///< parallel to Samples
+  std::vector<MetricSample> Samples;
+};
+
 /// Owns named instruments. Registration is mutexed and expected at
 /// wiring time only; instruments never move or disappear, so cached
 /// references stay valid for the registry's lifetime.
@@ -174,15 +214,28 @@ public:
   /// Name-sorted copy of every instrument's current state.
   std::vector<MetricSample> snapshot() const;
 
+  /// Refreshes \p Out in place. When the registry has not grown since
+  /// \p Out was last filled from this registry, no mutex is taken and no
+  /// allocation happens (bucket vectors reuse their capacity) — the
+  /// periodic-sampler path, which must never contend with registration.
+  void snapshotInto(Snapshot &Out) const;
+
   /// Serializes snapshot() as one JSON object in value position:
   /// {"name": value, ..., "hist": {"count": N, "sum": N, "buckets": {...}}}
   void writeJson(support::json::Writer &W) const;
 
 private:
+  /// Fills Samples[I] from Instruments[I] (values only; name/kind are
+  /// set when the index is built).
+  static void readEntry(const Snapshot::Entry &E, MetricSample &S);
+
   mutable std::mutex Mutex;
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  /// Bumped under Mutex whenever an instrument is created; snapshots
+  /// cache their index against it.
+  std::atomic<uint64_t> Version{0};
 };
 
 } // namespace obs

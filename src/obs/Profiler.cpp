@@ -1,0 +1,63 @@
+//===- Profiler.cpp - continuous per-PC kernel profiling --------------------===//
+
+#include "obs/Profiler.h"
+
+#include <algorithm>
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+std::vector<uint32_t> KernelProfile::hotPcs() const {
+  std::vector<uint32_t> Pcs;
+  for (uint32_t Pc = 0; Pc != Executed.size(); ++Pc)
+    if (Executed[Pc])
+      Pcs.push_back(Pc);
+  std::sort(Pcs.begin(), Pcs.end(), [this](uint32_t A, uint32_t B) {
+    if (Executed[A] != Executed[B])
+      return Executed[A] > Executed[B];
+    return A < B;
+  });
+  return Pcs;
+}
+
+void Profiler::mergeKernel(const std::string &Kernel, size_t BodySize,
+                           const uint64_t *Executed,
+                           const uint64_t *MemoryOps,
+                           const uint64_t *Divergences,
+                           const uint32_t *Lines, uint64_t TotalDynamic) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  KernelProfile &Profile = Kernels[Kernel];
+  if (Profile.Executed.size() < BodySize) {
+    Profile.Kernel = Kernel;
+    Profile.Executed.resize(BodySize, 0);
+    Profile.MemoryOps.resize(BodySize, 0);
+    Profile.Divergences.resize(BodySize, 0);
+    Profile.Lines.assign(Lines, Lines + BodySize);
+  }
+  for (size_t Pc = 0; Pc != BodySize; ++Pc) {
+    Profile.Executed[Pc] += Executed[Pc];
+    Profile.MemoryOps[Pc] += MemoryOps[Pc];
+    Profile.Divergences[Pc] += Divergences[Pc];
+  }
+  Profile.TotalDynamic += TotalDynamic;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Kernels.clear();
+}
+
+std::vector<KernelProfile> Profiler::profiles() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<KernelProfile> Out;
+  Out.reserve(Kernels.size());
+  for (const auto &[Name, Profile] : Kernels)
+    Out.push_back(Profile);
+  return Out;
+}
+
+KernelProfile Profiler::profileFor(const std::string &Kernel) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Kernels.find(Kernel);
+  return It == Kernels.end() ? KernelProfile() : It->second;
+}

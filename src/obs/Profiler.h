@@ -1,0 +1,98 @@
+//===- Profiler.h - continuous per-PC kernel profiling ----------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The continuous-profiling half of the observability layer: per-PC
+/// dynamic execution profiles of simulated kernels.
+///
+/// The profiler follows the metrics layer's hot-path rules: a null
+/// Profiler* on sim::MachineOptions means detached — the interpreter
+/// takes no counters at all. When attached, every launch tallies into
+/// launch-local plain arrays (one slot per static instruction) and the
+/// machine merges them here exactly once at the end of the run, so the
+/// per-instruction cost is one predicted branch plus one array
+/// increment, with zero atomics.
+///
+/// Profiles accumulate per kernel name across launches (continuous
+/// profiling over --repeat / long sessions); Session resets them at the
+/// start of each launch so RunReport's profile section keeps the
+/// per-launch semantics of the other scalar sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_PROFILER_H
+#define BARRACUDA_OBS_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace obs {
+
+/// Per-PC execution profile of one kernel, indexed by static
+/// instruction position (pc) in the kernel body.
+struct KernelProfile {
+  std::string Kernel;
+  /// Dynamic warp-level instructions executed at each pc.
+  std::vector<uint64_t> Executed;
+  /// Warp-level memory operations (ld/st/atom with live lanes) per pc.
+  std::vector<uint64_t> MemoryOps;
+  /// Divergent branches (the warp split into then/else masks) per pc.
+  std::vector<uint64_t> Divergences;
+  /// 1-based PTX source line per pc (0 = unknown).
+  std::vector<uint32_t> Lines;
+  /// Total dynamic warp instructions the machine counted, including any
+  /// that carry no pc (e.g. injected kernel-spin faults burn budget
+  /// without a program location). totalAttributed() <= TotalDynamic.
+  uint64_t TotalDynamic = 0;
+
+  /// Sum of Executed[] — the instructions the profile attributes to pcs.
+  uint64_t totalAttributed() const {
+    uint64_t Sum = 0;
+    for (uint64_t Count : Executed)
+      Sum += Count;
+    return Sum;
+  }
+
+  /// Pc indices with Executed > 0, descending by count (ties by pc).
+  std::vector<uint32_t> hotPcs() const;
+};
+
+/// Thread-safe store of per-kernel profiles. One per Session; the
+/// machine merges a launch's local arrays in once per launch (coarse
+/// mutex, never on the interpreter's instruction path).
+class Profiler {
+public:
+  /// Accumulates one launch's per-PC arrays into \p Kernel's profile
+  /// (arrays are Body-sized and parallel). \p Lines carries the source
+  /// line per pc and is copied on first merge for the kernel.
+  void mergeKernel(const std::string &Kernel, size_t BodySize,
+                   const uint64_t *Executed, const uint64_t *MemoryOps,
+                   const uint64_t *Divergences, const uint32_t *Lines,
+                   uint64_t TotalDynamic);
+
+  /// Drops every accumulated profile (start of a launch when per-launch
+  /// reporting is wanted).
+  void reset();
+
+  /// Copy of every kernel's profile, sorted by kernel name.
+  std::vector<KernelProfile> profiles() const;
+
+  /// Copy of one kernel's profile (empty profile when never merged).
+  KernelProfile profileFor(const std::string &Kernel) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, KernelProfile> Kernels;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_PROFILER_H

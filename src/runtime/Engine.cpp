@@ -118,6 +118,7 @@ Engine::Engine(EngineOptions Options)
   CWatermarkWaitNanos = &Metrics.counter("engine.watermark_wait_ns");
   CLeases = &Metrics.counter("engine.leases");
   CRecordsDrained = &Metrics.counter("engine.records_drained");
+  CDrainNanos = &Metrics.counter("engine.drain_ns");
   CWorkerFailures = &Metrics.counter("engine.worker_failures");
   CRecordsDropped = &Metrics.counter("engine.records_dropped");
   CQueuesAbandoned = &Metrics.counter("engine.queues_abandoned");
@@ -194,6 +195,11 @@ void Engine::workerMain(unsigned QueueIndex) {
   // Records this worker has drained — the index base for engine fault
   // specs ("worker-throw@100" = the 100th record drained here).
   uint64_t DrainedHere = 0;
+  // Drain-phase wall time, accumulated locally per batch and flushed to
+  // the engine.drain_ns counter at empty-queue boundaries so trickling
+  // queues don't pay an atomic per batch.
+  uint64_t BatchStartNs = 0;
+  uint64_t DrainNsLocal = 0;
   obs::TraceRecorder *Tracer = Options.Tracer;
   uint32_t Track = 0;
   if (Tracer)
@@ -231,12 +237,17 @@ void Engine::workerMain(unsigned QueueIndex) {
                 "injected consumer death on queue %u", QueueIndex)));
         Abandoned = true;
         CQueuesAbandoned->add(1);
+        if (Tracer)
+          Tracer->instant(Track, "fault: consumer death (queue abandoned)",
+                          "resilience");
       }
       if (Faults->fire(fault::FaultKind::QueueStall, DrainedHere,
                        QueueIndex)) {
         // Backpressure only: producers wait out the stall on the full
         // ring's backoff ladder. Lossless — the fault is hit but no
         // record is dropped.
+        if (Tracer)
+          Tracer->instant(Track, "fault: queue stall", "resilience");
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
     }
@@ -250,6 +261,7 @@ void Engine::workerMain(unsigned QueueIndex) {
         EpisodeStartUs = Tracer->nowUs();
       }
       EpisodeRecords += Count;
+      BatchStartNs = nowNanos();
     }
     for (size_t I = 0; I != Count; ++I) {
       const trace::LogRecord &Record = Batch[I];
@@ -275,6 +287,9 @@ void Engine::workerMain(unsigned QueueIndex) {
                   .withContext(support::formatString(
                       "detector worker %u", QueueIndex)));
           CWorkerFailures->add(1);
+          if (Tracer)
+            Tracer->instant(Track, "worker failure: queue quarantined",
+                            "resilience");
           Drop = true;
         } catch (...) {
           Cached->quarantine(
@@ -284,6 +299,9 @@ void Engine::workerMain(unsigned QueueIndex) {
                                   "detector worker %u: unknown exception",
                                   QueueIndex)));
           CWorkerFailures->add(1);
+          if (Tracer)
+            Tracer->instant(Track, "worker failure: queue quarantined",
+                            "resilience");
           Drop = true;
         }
       }
@@ -294,7 +312,13 @@ void Engine::workerMain(unsigned QueueIndex) {
       ++DrainedHere;
       Cached->Drained.fetch_add(1, std::memory_order_release);
     }
+    if (Count)
+      DrainNsLocal += nowNanos() - BatchStartNs;
     if (Count == 0) {
+      if (DrainNsLocal) {
+        CDrainNanos->add(DrainNsLocal);
+        DrainNsLocal = 0;
+      }
       if (Tracer)
         closeEpisode();
       // An abandoned queue reads as exhausted immediately (it was
@@ -336,7 +360,24 @@ void Engine::workerMain(unsigned QueueIndex) {
   }
   if (Tracer)
     closeEpisode();
+  if (DrainNsLocal)
+    CDrainNanos->add(DrainNsLocal);
   CEmptySpins->add(Wait.waits());
+}
+
+void Engine::sampleLive(EngineLiveSample &Out) const {
+  Out.QueueDepths.resize(Queues.size());
+  Out.WatermarkLag = 0;
+  for (unsigned I = 0; I != Queues.size(); ++I) {
+    uint64_t Depth = Queues.queue(I).pendingApprox();
+    Out.QueueDepths[I] = Depth;
+    Out.WatermarkLag += Depth;
+  }
+  Out.LeasesInFlight = ActiveEpochs.load(std::memory_order_relaxed);
+  Out.RecordsDrained = CRecordsDrained->value();
+  Out.RecordsDropped = CRecordsDropped->value();
+  Out.WorkerFailures = CWorkerFailures->value();
+  Out.QueuesAbandoned = CQueuesAbandoned->value();
 }
 
 EngineCounters Engine::counters() const {
@@ -345,6 +386,7 @@ EngineCounters Engine::counters() const {
   Counters.FullSpins = Queues.totalFullSpins();
   Counters.CommitStalls = Queues.totalCommitStalls();
   Counters.ParkedNanos = CParkedNanos->value();
+  Counters.DrainNanos = CDrainNanos->value();
   Counters.WatermarkWaitNanos = CWatermarkWaitNanos->value();
   Counters.WorkerFailures = CWorkerFailures->value();
   Counters.RecordsDropped = CRecordsDropped->value();

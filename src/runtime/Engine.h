@@ -217,6 +217,8 @@ struct EngineCounters {
   uint64_t CommitStalls = 0;
   /// Nanoseconds workers spent parked (no epoch active).
   uint64_t ParkedNanos = 0;
+  /// Nanoseconds workers spent inside record processing (drain phase).
+  uint64_t DrainNanos = 0;
   /// Nanoseconds launches spent waiting on the drained-record watermark.
   uint64_t WatermarkWaitNanos = 0;
   /// Worker exceptions caught (the worker recovers and keeps serving).
@@ -226,6 +228,23 @@ struct EngineCounters {
   /// Producer operations refused on abandoned queues.
   uint64_t RecordsRejected = 0;
   /// Queues abandoned by a dying consumer (closeWithError).
+  uint64_t QueuesAbandoned = 0;
+};
+
+/// A point-in-time view of the engine for live telemetry samplers
+/// (obs::Exporter). Everything it is filled from reads atomics or
+/// counters — safe from any thread while the engine lives, no locks.
+struct EngineLiveSample {
+  /// Records committed but not yet drained, per queue (pendingApprox).
+  std::vector<uint64_t> QueueDepths;
+  /// Sum of QueueDepths: records logged but not yet processed — the
+  /// live distance a finish() watermark wait would have to cover.
+  uint64_t WatermarkLag = 0;
+  /// Launch epochs currently open (detector-pool leases in flight).
+  uint32_t LeasesInFlight = 0;
+  uint64_t RecordsDrained = 0;
+  uint64_t RecordsDropped = 0;
+  uint64_t WorkerFailures = 0;
   uint64_t QueuesAbandoned = 0;
 };
 
@@ -260,6 +279,11 @@ public:
   }
 
   EngineCounters counters() const;
+
+  /// Fills \p Out with the engine's live state (queue depths, watermark
+  /// lag, leases in flight). Lock-free; QueueDepths reuses its capacity,
+  /// so a periodic sampler allocates only on its first call.
+  void sampleLive(EngineLiveSample &Out) const;
 
   /// Engine-lifetime metrics: "engine.*" counters plus drain-batch-size
   /// and queue-depth histograms. Cumulative across launches — consumers
@@ -304,6 +328,10 @@ private:
   obs::Counter *CWatermarkWaitNanos = nullptr;
   obs::Counter *CLeases = nullptr;
   obs::Counter *CRecordsDrained = nullptr;
+  /// Wall time workers spent inside record processing (the drain phase
+  /// proper, excluding parked/backoff gaps) — the engine's slice of the
+  /// per-phase attribution in RunReport's profile section.
+  obs::Counter *CDrainNanos = nullptr;
   obs::Counter *CWorkerFailures = nullptr;
   obs::Counter *CRecordsDropped = nullptr;
   obs::Counter *CQueuesAbandoned = nullptr;

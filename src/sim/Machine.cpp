@@ -126,6 +126,12 @@ public:
                  0x9E3779B97F4A7C15ULL * ++Mach.LaunchSeq) {
     if (!Instr)
       OwnCfg = std::make_unique<ptx::Cfg>(K);
+    if (Mach.Options.Profiler) {
+      Profiling = true;
+      PcExecuted.resize(K.Body.size(), 0);
+      PcMemOps.resize(K.Body.size(), 0);
+      PcDivergences.resize(K.Body.size(), 0);
+    }
   }
 
   LaunchResult run();
@@ -476,6 +482,8 @@ private:
     uint32_t Reconv = reconvergencePoint(Pc);
     uint32_t TakenMask = Exec;
     uint32_t FallMask = Active & ~Exec;
+    if (Profiling)
+      ++PcDivergences[Pc];
     Top.NextPc = Reconv;
     W.Stack.push_back(StackEntry{Reconv, Target, TakenMask});
     W.Stack.push_back(StackEntry{Reconv, Pc + 1, FallMask});
@@ -490,6 +498,27 @@ private:
   bool stepWarp(BlockExec &B, WarpExec &W);
 
   void initBlock(BlockExec &B, uint32_t BlockId);
+
+  /// Merges the launch-local per-PC arrays into the session profiler
+  /// exactly once, tagging each pc with its PTX source line.
+  void publishProfile() {
+    if (!Profiling)
+      return;
+    std::vector<uint32_t> Lines(K.Body.size(), 0);
+    for (size_t Pc = 0; Pc != K.Body.size(); ++Pc)
+      Lines[Pc] = K.Body[Pc].Line;
+    Mach.Options.Profiler->mergeKernel(K.Name, K.Body.size(),
+                                       PcExecuted.data(), PcMemOps.data(),
+                                       PcDivergences.data(), Lines.data(),
+                                       Executed);
+  }
+
+  /// Marks a resilience milestone (fault claim, watchdog trip, deadlock)
+  /// on the device track so degraded runs are visible in --trace-json.
+  void resilienceInstant(const std::string &Name) {
+    if (obs::TraceRecorder *Tracer = Mach.Options.Tracer)
+      Tracer->instant(Tracer->track("device"), Name, "resilience");
+  }
 
   // --- members -----------------------------------------------------------
   Machine &Mach;
@@ -506,7 +535,19 @@ private:
   uint64_t Executed = 0;
   uint64_t RecordsLogged = 0;
   uint64_t RecordsPruned = 0;
+  /// Launch-local per-PC profile (continuous profiling): plain arrays,
+  /// merged into Mach.Options.Profiler once at the end of run(). When
+  /// detached (Profiling false) the interpreter pays one predicted
+  /// branch per site and no memory traffic.
+  bool Profiling = false;
+  std::vector<uint64_t> PcExecuted;
+  std::vector<uint64_t> PcMemOps;
+  std::vector<uint64_t> PcDivergences;
   uint32_t SyncTicket = 0;
+  /// One trace instant per sticky-fault claim (the faults fire on every
+  /// scheduler pass once claimed).
+  bool SpinClaimed = false;
+  bool HangClaimed = false;
   bool Failed = false;
   std::string FirstError;
   support::ErrorCode FailCode = support::ErrorCode::Internal;
@@ -1050,6 +1091,8 @@ bool Machine::LaunchContext::stepWarp(BlockExec &B, WarpExec &W) {
   if (Insn.isGuarded() && !Insn.isBranch())
     Exec &= guardMask(B, W, Insn);
   ++Executed;
+  if (Profiling)
+    ++PcExecuted[Pc];
 
   switch (Insn.Op) {
   case Opcode::Bra: {
@@ -1085,8 +1128,11 @@ bool Machine::LaunchContext::stepWarp(BlockExec &B, WarpExec &W) {
   case Opcode::Ld:
   case Opcode::St:
   case Opcode::Atom:
-    if (Exec)
+    if (Exec) {
+      if (Profiling)
+        ++PcMemOps[Pc];
       executeMemory(B, W, Insn, Pc, Exec);
+    }
     Top.NextPc = Pc + 1;
     cleanupStack(B, W);
     return true;
@@ -1159,6 +1205,10 @@ LaunchResult Machine::LaunchContext::run() {
             // advancing, exactly like an unreleased spin loop — only
             // the watchdog budget can stop it.
             if (Faults->sticky(fault::FaultKind::KernelSpin)) {
+              if (!SpinClaimed) {
+                SpinClaimed = true;
+                resilienceInstant("fault: kernel-spin claimed");
+              }
               ++Executed;
               Progress = true;
               continue;
@@ -1166,8 +1216,13 @@ LaunchResult Machine::LaunchContext::run() {
             // barrier-hang: the warp freezes without arriving at any
             // barrier, so its block can never finish; once every other
             // warp is done or parked, the no-progress check fires.
-            if (Faults->sticky(fault::FaultKind::BarrierHang))
+            if (Faults->sticky(fault::FaultKind::BarrierHang)) {
+              if (!HangClaimed) {
+                HangClaimed = true;
+                resilienceInstant("fault: barrier-hang claimed");
+              }
               continue;
+            }
           }
           Progress |= stepWarp(B, W);
           if (Failed)
@@ -1202,6 +1257,7 @@ LaunchResult Machine::LaunchContext::run() {
         Weak.tick();
       if (Executed > Mach.Options.MaxWarpInstructions) {
         uint32_t Pc = hangPc();
+        resilienceInstant("watchdog: instruction budget exhausted");
         failLaunch(
             support::ErrorCode::KernelHang,
             support::formatString(
@@ -1216,6 +1272,7 @@ LaunchResult Machine::LaunchContext::run() {
       }
       if (!Progress && LiveBlocks) {
         uint32_t Pc = hangPc();
+        resilienceInstant("deadlock: warps blocked at barrier");
         failLaunch(support::ErrorCode::KernelHang,
                    support::formatString(
                        "device deadlock: all live warps are blocked at "
@@ -1228,6 +1285,8 @@ LaunchResult Machine::LaunchContext::run() {
 
   if (Weak.enabled())
     Weak.drainAll();
+
+  publishProfile();
 
   if (Failed) {
     LaunchResult Result = LaunchResult::failure(FailCode, FirstError, FailPc);

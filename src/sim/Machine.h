@@ -24,6 +24,7 @@
 #define BARRACUDA_SIM_MACHINE_H
 
 #include "instrument/Instrumenter.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "ptx/Cfg.h"
 #include "ptx/Ir.h"
@@ -64,6 +65,11 @@ struct MachineOptions {
   /// When set, every launch emits an execute-phase span on the "device"
   /// track (--trace-json). Must outlive the machine; null = off.
   obs::TraceRecorder *Tracer = nullptr;
+  /// Continuous profiling sink: per-PC dynamic instruction, memory-op
+  /// and divergence counts tallied launch-locally and merged once at the
+  /// end of the run. Must outlive the machine; null = detached (the
+  /// interpreter takes no per-PC counters at all).
+  obs::Profiler *Profiler = nullptr;
   /// Device-side fault injection (kernel-spin / barrier-hang specs).
   /// Must outlive the machine; null = off.
   fault::FaultInjector *Faults = nullptr;

@@ -155,6 +155,7 @@ public:
   unsigned size() const { return static_cast<unsigned>(Queues.size()); }
 
   EventQueue &queue(unsigned Index) { return *Queues[Index]; }
+  const EventQueue &queue(unsigned Index) const { return *Queues[Index]; }
 
   /// Every thread block sends all its events to a single queue.
   unsigned queueIndexForBlock(uint32_t BlockId) const {

@@ -3,6 +3,7 @@
 #include "trace/TraceFile.h"
 
 #include "fault/Fault.h"
+#include "obs/Trace.h"
 
 #include <cstring>
 
@@ -190,6 +191,10 @@ support::Status TraceReader::read(const std::string &Path) {
   while (Pos < Size) {
     if (Pos + 4 > Size || loadU32(Bytes.data() + Pos) != MarkerWord) {
       ++Resyncs;
+      if (Tracer)
+        Tracer->instant(Tracer->track("replay"),
+                        "fault: corrupt entry (skip-and-resync)",
+                        "resilience");
       size_t Next = Size;
       for (size_t Scan = Pos + 1; Scan + 4 <= Size; ++Scan) {
         if (loadU32(Bytes.data() + Scan) == MarkerWord) {

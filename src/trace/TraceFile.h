@@ -42,6 +42,9 @@ namespace barracuda {
 namespace fault {
 class FaultInjector;
 } // namespace fault
+namespace obs {
+class TraceRecorder;
+} // namespace obs
 
 namespace trace {
 
@@ -98,6 +101,10 @@ public:
   /// entry marker and counted in recordsDropped()/resyncs().
   support::Status read(const std::string &Path);
 
+  /// Optional phase tracer: each skip-and-resync emits a "resilience"
+  /// instant so corruption recovery shows up on the replay timeline.
+  void setTracer(obs::TraceRecorder *T) { Tracer = T; }
+
   const std::string &error() const { return ErrorMessage; }
   const TraceHeader &header() const { return Header; }
   const std::vector<uint32_t> &blockIds() const { return BlockIds; }
@@ -117,6 +124,7 @@ private:
   std::string ErrorMessage;
   uint64_t Dropped = 0;
   uint64_t Resyncs = 0;
+  obs::TraceRecorder *Tracer = nullptr;
 };
 
 } // namespace trace

@@ -6,6 +6,11 @@
 // decisions and reconvergence points, plus the Figure 9 statistics.
 //
 // Usage: barracuda-instrument FILE.ptx [--no-prune] [--json]
+//                                      [--line-table]
+//
+// --line-table dumps the pc -> PTX source line map per kernel — the
+// key for joining profiler output (--profile-folded, hot-PC tables)
+// back to the source text.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,13 +29,15 @@ using namespace barracuda;
 
 int main(int ArgCount, char **Args) {
   instrument::InstrumenterOptions Options;
-  bool Json = false;
+  bool Json = false, LineTable = false;
 
   support::cli::Parser Cli("barracuda-instrument", "FILE.ptx");
   Cli.flagOff("--no-prune", Options.PruneRedundantLogging,
               "keep redundant logging (disable the pruning pass)");
   Cli.flag("--json", Json,
            "print per-kernel instrumentation statistics as JSON");
+  Cli.flag("--line-table", LineTable,
+           "dump the pc -> PTX source line map per kernel");
   if (!Cli.parse(ArgCount, Args))
     return 2;
   std::string File = Cli.positional();
@@ -52,6 +59,15 @@ int main(int ArgCount, char **Args) {
 
   instrument::ModuleInstrumentation Instr =
       instrument::instrumentModule(*Mod, Options);
+
+  if (LineTable) {
+    for (const ptx::Kernel &K : Mod->Kernels) {
+      std::printf("# kernel %s\n", K.Name.c_str());
+      for (size_t Pc = 0; Pc != K.Body.size(); ++Pc)
+        std::printf("%zu %u\n", Pc, K.Body[Pc].Line);
+    }
+    return 0;
+  }
 
   if (Json) {
     support::json::Writer W;

@@ -9,6 +9,7 @@
 //   barracuda-replay TRACE.bct [options]
 //     --queues N           detector queues/processors (default: 4)
 //     --legacy-detector    disable the coalescing detector hot path
+//     --no-profile         disable detector rule-latency attribution
 //     --stats              print run statistics (RunReport text form)
 //     --json               print the RunReport document to stdout
 //     --trace-json OUT     write a Chrome Trace Event file (Perfetto)
@@ -32,6 +33,7 @@ using namespace barracuda;
 int main(int ArgCount, char **Args) {
   unsigned NumQueues = 4;
   bool ExpectRaces = false, Stats = false, Json = false, HotPath = true;
+  bool Profile = true;
   std::string TraceJsonPath;
 
   support::cli::Parser Cli("barracuda-replay", "TRACE.bct");
@@ -39,6 +41,8 @@ int main(int ArgCount, char **Args) {
                  "detector queues/processors");
   Cli.flagOff("--legacy-detector", HotPath,
               "disable the coalescing detector hot path");
+  Cli.flagOff("--no-profile", Profile,
+              "disable detector rule-latency attribution");
   Cli.flag("--stats", Stats, "print run statistics");
   Cli.flag("--json", Json, "print the RunReport document to stdout");
   Cli.stringOption("--trace-json", "OUT", TraceJsonPath,
@@ -57,6 +61,7 @@ int main(int ArgCount, char **Args) {
   uint32_t Track = TracerPtr ? TracerPtr->track("replay") : 0;
 
   trace::TraceReader Reader;
+  Reader.setTracer(TracerPtr);
   {
     obs::Span ReadSpan(TracerPtr, Track, "read " + File, "replay");
     support::Status Read = Reader.read(File);
@@ -89,6 +94,7 @@ int main(int ArgCount, char **Args) {
   Options.Hier.WarpsPerBlock = Header.WarpsPerBlock;
   Options.Hier.WarpSize = Header.WarpSize;
   Options.HotPath = HotPath;
+  Options.ProfileRules = Profile;
   detector::SharedDetectorState State(Options);
   {
     obs::Span DetectSpan(TracerPtr, Track,
@@ -126,6 +132,28 @@ int main(int ArgCount, char **Args) {
     support::json::Writer MetricsWriter;
     State.metrics().writeJson(MetricsWriter);
     Report.MetricsJson = MetricsWriter.take();
+  }
+  if (Profile) {
+    // Offline replay has no kernel execution profile; the detector's
+    // per-rule attribution is still meaningful and fills the section.
+    Report.Profile.Enabled = true;
+    for (unsigned Kind = 0; Kind != detector::RuleProfile::NumKinds;
+         ++Kind) {
+      const char *Name =
+          trace::recordOpName(static_cast<trace::RecordOp>(Kind));
+      obs::Counter &Count = State.metrics().counter(
+          std::string("detector.rule.") + Name + ".records");
+      if (!Count.value())
+        continue;
+      obs::Histogram &Ns = State.metrics().histogram(
+          std::string("detector.rule.") + Name + ".ns");
+      RunReport::ProfileSection::RuleLatency Rule;
+      Rule.Kind = Name;
+      Rule.Records = Count.value();
+      Rule.Samples = Ns.count();
+      Rule.SampledNs = Ns.sum();
+      Report.Profile.Rules.push_back(std::move(Rule));
+    }
   }
 
   if (Json) {

@@ -19,9 +19,15 @@
 //     --streams M          spread repeats across M concurrent streams
 //     --native             run natively (no instrumentation/detection)
 //     --legacy-detector    disable the coalescing detector hot path
-//     --stats              print run statistics (RunReport text form)
+//     --stats              print run statistics (RunReport text form,
+//                          including the hot-PC profile tables)
 //     --json               print the RunReport document to stdout
 //     --trace-json OUT     write a Chrome Trace Event file (Perfetto)
+//     --profile-folded OUT write folded stacks (flamegraph.pl input)
+//     --no-profile         disable continuous profiling entirely
+//     --metrics-out DIR    write live Prometheus snapshots into DIR
+//     --metrics-interval MS  sampling period for --metrics-out
+//                          (default: 1000)
 //     --record TRACE.bct   record the trace for barracuda-replay
 //     --inject SPEC        arm a deterministic fault: kind[@N][:q=Q]
 //                          (kernel-spin, barrier-hang, queue-stall,
@@ -69,7 +75,7 @@ struct ParamArg {
 } // namespace
 
 int main(int ArgCount, char **Args) {
-  std::string KernelName, TraceJsonPath;
+  std::string KernelName, TraceJsonPath, FoldedPath;
   sim::Dim3 Grid(1), Block(32);
   std::vector<ParamArg> Params;
   SessionOptions Options;
@@ -140,6 +146,14 @@ int main(int ArgCount, char **Args) {
   Cli.flag("--json", Json, "print the RunReport document to stdout");
   Cli.stringOption("--trace-json", "OUT", TraceJsonPath,
                    "write a Chrome Trace Event file (Perfetto)");
+  Cli.stringOption("--profile-folded", "OUT", FoldedPath,
+                   "write folded stacks (flamegraph.pl input)");
+  Cli.flagOff("--no-profile", Options.Profile,
+              "disable continuous profiling entirely");
+  Cli.stringOption("--metrics-out", "DIR", Options.MetricsOutDir,
+                   "write live Prometheus snapshots into DIR");
+  Cli.uintOption("--metrics-interval", "MS", Options.MetricsIntervalMs,
+                 "sampling period for --metrics-out (ms)");
   Cli.flag("--expect-races", ExpectRaces,
            "exit 0 iff races were found (for testing)");
   if (!Cli.parse(ArgCount, Args))
@@ -251,6 +265,19 @@ int main(int ArgCount, char **Args) {
                  "load in ui.perfetto.dev)\n",
                  TraceJsonPath.c_str(), Tracer.eventCount(),
                  Tracer.trackCount());
+  }
+
+  if (!FoldedPath.empty()) {
+    std::ofstream Folded(FoldedPath);
+    if (!Folded) {
+      std::fprintf(stderr, "error: cannot write folded stacks '%s'\n",
+                   FoldedPath.c_str());
+      return 2;
+    }
+    Folded << Report.foldedStacks();
+    std::fprintf(Chat,
+                 "folded stacks written to %s (pipe into flamegraph.pl)\n",
+                 FoldedPath.c_str());
   }
 
   bool Found = Report.anyFindings();

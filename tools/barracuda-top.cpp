@@ -1,0 +1,206 @@
+//===- barracuda-top.cpp - live telemetry viewer ----------------------------===//
+//
+// Tails the Prometheus exposition directory written by
+// `barracuda-run --metrics-out DIR` and renders a refreshing one-screen
+// summary of the detection runtime: drain rate, queue depths and
+// high-watermarks, watermark lag, leases in flight, resilience counters
+// and the hottest profiled pcs.
+//
+// Usage:
+//   barracuda-top DIR [options]
+//     --interval MS        refresh period (default: 1000)
+//     --once               render a single frame and exit (scripting)
+//     --frames N           exit after N frames (0 = until interrupted)
+//
+// The viewer only ever reads the stable latest file (barracuda.prom);
+// the exporter's atomic-rename protocol guarantees every read sees a
+// complete document (terminated by "# EOF").
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cli.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(_WIN32)
+#include <io.h>
+#define BARRACUDA_ISATTY _isatty
+#define BARRACUDA_FILENO _fileno
+#else
+#include <unistd.h>
+#define BARRACUDA_ISATTY isatty
+#define BARRACUDA_FILENO fileno
+#endif
+
+using namespace barracuda;
+
+namespace {
+
+/// One parsed exposition sample.
+struct Series {
+  std::string Name;
+  std::string Labels; ///< raw label body without braces, may be empty
+  double Value = 0;
+};
+
+/// Parses a text-exposition document. Returns false when the document
+/// is not complete (missing the "# EOF" terminator).
+bool parseExposition(const std::string &Text, std::vector<Series> &Out) {
+  Out.clear();
+  bool SawEof = false;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("# EOF", 0) == 0) {
+      SawEof = true;
+      continue;
+    }
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    // name[{labels}] value
+    size_t NameEnd = Line.find_first_of("{ ");
+    if (NameEnd == std::string::npos)
+      continue;
+    Series S;
+    S.Name = Line.substr(0, NameEnd);
+    size_t ValueStart = NameEnd;
+    if (Line[NameEnd] == '{') {
+      size_t Close = Line.find('}', NameEnd);
+      if (Close == std::string::npos)
+        continue;
+      S.Labels = Line.substr(NameEnd + 1, Close - NameEnd - 1);
+      ValueStart = Close + 1;
+    }
+    S.Value = std::strtod(Line.c_str() + ValueStart, nullptr);
+    Out.push_back(std::move(S));
+  }
+  return SawEof;
+}
+
+/// Value of the label \p Key inside a raw label body, or "".
+std::string labelValue(const std::string &Labels, const char *Key) {
+  std::string Needle = std::string(Key) + "=\"";
+  size_t Pos = Labels.find(Needle);
+  if (Pos == std::string::npos)
+    return "";
+  Pos += Needle.size();
+  size_t End = Labels.find('"', Pos);
+  if (End == std::string::npos)
+    return "";
+  return Labels.substr(Pos, Pos > End ? 0 : End - Pos);
+}
+
+double findValue(const std::vector<Series> &All, const char *Name) {
+  for (const Series &S : All)
+    if (S.Name == Name)
+      return S.Value;
+  return 0;
+}
+
+void renderFrame(const std::string &Path, const std::vector<Series> &All,
+                 uint64_t Frame) {
+  std::printf("barracuda-top — %s (frame %llu)\n", Path.c_str(),
+              static_cast<unsigned long long>(Frame));
+
+  double Drained = findValue(All, "barracuda_engine_records_drained");
+  double Rate =
+      findValue(All, "barracuda_engine_records_drained_per_second");
+  std::printf("  records drained  %.0f  (%.0f/s)\n", Drained, Rate);
+  std::printf("  watermark lag    %.0f   leases in flight %.0f\n",
+              findValue(All, "barracuda_engine_watermark_lag"),
+              findValue(All, "barracuda_engine_leases_in_flight"));
+  std::printf("  dropped %.0f   worker failures %.0f   "
+              "queues abandoned %.0f\n",
+              findValue(All, "barracuda_engine_records_dropped"),
+              findValue(All, "barracuda_engine_worker_failures"),
+              findValue(All, "barracuda_engine_queues_abandoned"));
+
+  // Per-queue depth table, keyed by the queue label.
+  std::map<std::string, std::pair<double, double>> Queues;
+  for (const Series &S : All) {
+    if (S.Name == "barracuda_engine_live_queue_depth")
+      Queues[labelValue(S.Labels, "queue")].first = S.Value;
+    else if (S.Name == "barracuda_engine_live_queue_high_watermark")
+      Queues[labelValue(S.Labels, "queue")].second = S.Value;
+  }
+  if (!Queues.empty()) {
+    std::printf("  queue   depth   high-water\n");
+    for (const auto &Entry : Queues)
+      std::printf("  %5s  %6.0f   %10.0f\n", Entry.first.c_str(),
+                  Entry.second.first, Entry.second.second);
+  }
+
+  bool Header = false;
+  for (const Series &S : All) {
+    if (S.Name != "barracuda_profile_hottest_pc_executed")
+      continue;
+    if (!Header) {
+      std::printf("  hottest pcs:\n");
+      Header = true;
+    }
+    std::printf("    %s: pc %s (line %s) %.0fx\n",
+                labelValue(S.Labels, "kernel").c_str(),
+                labelValue(S.Labels, "pc").c_str(),
+                labelValue(S.Labels, "line").c_str(), S.Value);
+  }
+}
+
+} // namespace
+
+int main(int ArgCount, char **Args) {
+  unsigned IntervalMs = 1000, Frames = 0;
+  bool Once = false;
+
+  support::cli::Parser Cli("barracuda-top", "DIR");
+  Cli.uintOption("--interval", "MS", IntervalMs, "refresh period (ms)");
+  Cli.flag("--once", Once, "render a single frame and exit");
+  Cli.uintOption("--frames", "N", Frames,
+                 "exit after N frames (0 = until interrupted)");
+  if (!Cli.parse(ArgCount, Args))
+    return 2;
+  std::string Path = Cli.positional() + "/barracuda.prom";
+  if (Once)
+    Frames = 1;
+  if (IntervalMs == 0)
+    IntervalMs = 1;
+
+  bool Tty = BARRACUDA_ISATTY(BARRACUDA_FILENO(stdout)) != 0;
+  uint64_t Frame = 0;
+  std::vector<Series> All;
+  while (true) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    // An incomplete document (no "# EOF") would mean the atomic-rename
+    // protocol was violated; treat it as corruption rather than
+    // rendering garbage.
+    if (!parseExposition(Buffer.str(), All)) {
+      std::fprintf(stderr, "error: '%s' is truncated (no # EOF)\n",
+                   Path.c_str());
+      return 2;
+    }
+    ++Frame;
+    if (Tty && Frames != 1)
+      std::fputs("\x1b[2J\x1b[H", stdout); // clear + home
+    renderFrame(Path, All, Frame);
+    std::fflush(stdout);
+    if (Frames != 0 && Frame >= Frames)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  return 0;
+}
