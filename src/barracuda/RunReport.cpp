@@ -27,6 +27,7 @@ std::string RunReport::toJson() const {
   W.key("warpInstructions").value(Launch.WarpInstructions);
   W.key("recordsLogged").value(Launch.RecordsLogged);
   W.key("recordsPruned").value(Launch.RecordsPruned);
+  W.key("simLowered").value(Launch.SimLowered);
   W.endObject();
 
   W.key("records").beginObject();
@@ -129,6 +130,7 @@ std::string RunReport::toJson() const {
   W.key("instrumentedOptimized").value(Static.InstrumentedOptimized);
   W.key("unoptimizedFraction").value(Static.unoptimizedFraction());
   W.key("optimizedFraction").value(Static.optimizedFraction());
+  W.key("parseNanos").value(ParseNanos);
   W.endObject();
 
   detector::writeFindings(W, Races, BarrierErrors);

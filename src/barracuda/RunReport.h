@@ -63,6 +63,9 @@ struct RunReport {
     uint64_t WarpInstructions = 0;
     uint64_t RecordsLogged = 0;
     uint64_t RecordsPruned = 0;
+    /// True when the launch ran on the pre-lowered micro-op dispatch
+    /// loop rather than the legacy per-instruction interpreter.
+    bool SimLowered = false;
   } Launch;
 
   /// Record-class tallies for the launch (from the counting sink and the
@@ -175,6 +178,11 @@ struct RunReport {
 
   /// Static instrumentation coverage for the loaded module.
   instrument::InstrumentationStats Static;
+
+  /// Wall time loadModule spent in the PTX front end (parse only), in
+  /// nanoseconds. Serialized as "parseNanos" in the "instrumentation"
+  /// section; the module-load microbench bounds it against regressions.
+  uint64_t ParseNanos = 0;
 
   /// Session-cumulative deduplicated findings (what races() returns).
   std::vector<detector::RaceReport> Races;

@@ -10,6 +10,8 @@
 #include "trace/Sink.h"
 #include "trace/TraceFile.h"
 
+#include <chrono>
+
 using namespace barracuda;
 
 namespace {
@@ -72,8 +74,17 @@ bool Session::loadModule(const std::string &PtxText) {
   obs::TraceRecorder *Tracer = Options.Tracer;
   uint32_t Track = Tracer ? Tracer->track("session") : 0;
   obs::Span ParseSpan(Tracer, Track, "parse", "session");
+  {
+    std::lock_guard<std::mutex> Lock(LowerMutex);
+    Lowered.clear(); // lowerings are per-module
+  }
+  auto ParseStart = std::chrono::steady_clock::now();
   ptx::Parser Parser(PtxText);
   Mod = Parser.parseModule();
+  ParseNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ParseStart)
+          .count());
   if (!Mod) {
     ErrorMessage = Parser.error();
     return false;
@@ -161,6 +172,18 @@ runtime::Engine &Session::engine() {
   return *OwnedEngine;
 }
 
+const sim::LoweredKernel *
+Session::loweredFor(const ptx::Kernel &K,
+                    const instrument::KernelInstrumentation *KI) {
+  if (!Options.SimLowered)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(LowerMutex);
+  auto It = Lowered.find(&K);
+  if (It == Lowered.end())
+    It = Lowered.emplace(&K, sim::lowerKernel(*Mod, K, KI)).first;
+  return It->second.get();
+}
+
 sim::LaunchResult
 Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
                       sim::Dim3 Block,
@@ -234,11 +257,14 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Profiler_.reset();
 
   if (!Options.Instrument) {
-    sim::LaunchResult Result =
-        Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(), nullptr);
+    const sim::LoweredKernel *Low = loweredFor(*K, nullptr);
+    sim::LaunchResult Result = Machine.launch(*Mod, *K, nullptr, Config,
+                                              Builder.bytes(), nullptr, Low);
     std::lock_guard<std::mutex> Lock(ResultsMutex);
     RunReport Native;
     Native.Launch.Kernel = KernelName;
+    Native.Launch.SimLowered = Low != nullptr;
+    Native.ParseNanos = ParseNanos;
     Native.Launch.Ok = Result.Ok;
     Native.Launch.Error = Result.Error;
     Native.Launch.Code = Result.Code;
@@ -300,8 +326,9 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Sinks.add(&Lease->sink());
 
   sim::SinkLogger Logger(Sinks);
+  const sim::LoweredKernel *Low = loweredFor(*K, &KI);
   sim::LaunchResult Result =
-      Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger);
+      Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger, Low);
 
   {
     obs::Span DrainSpan(Tracer, Track, "drain " + KernelName, "session");
@@ -324,6 +351,8 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   RunReport Report;
   Report.Launch.Kernel = KernelName;
   Report.Launch.Instrumented = true;
+  Report.Launch.SimLowered = Low != nullptr;
+  Report.ParseNanos = ParseNanos;
   Report.Launch.Ok = Result.Ok;
   Report.Launch.Error = Result.Error;
   Report.Launch.Code = Result.Code;

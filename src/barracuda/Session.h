@@ -49,6 +49,7 @@
 #include "ptx/Ir.h"
 #include "runtime/Engine.h"
 #include "runtime/Stream.h"
+#include "sim/Lower.h"
 #include "sim/Machine.h"
 #include "trace/Queue.h"
 
@@ -56,6 +57,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace barracuda {
@@ -91,6 +93,11 @@ struct SessionOptions {
   /// coalescing, page cache). Off = rule-per-byte legacy path; reports
   /// are identical either way.
   bool DetectorHotPath = true;
+  /// Pre-lower each kernel to micro-ops at first launch and run the
+  /// block dispatch loop (sim/Lower.h). Off (--legacy-sim) = the
+  /// per-instruction decode/switch interpreter; traces, races and
+  /// launch results are identical either way.
+  bool SimLowered = true;
   /// Simulated warp width (32 = real hardware). Smaller values expose
   /// latent warp-synchronous bugs, per the paper's Section 3.1 note.
   uint32_t WarpSize = trace::WarpSize;
@@ -263,6 +270,15 @@ private:
                               const std::vector<uint64_t> &Params,
                               const std::string &TraceTrack);
 
+  /// The kernel pre-lowered to micro-ops, lowering it on first use
+  /// (null when SimLowered is off or the kernel is un-lowerable). \p KI
+  /// must be the kernel's instrumentation, or null for native sessions —
+  /// the cached lowering is mode-specific, and the session's mode is
+  /// fixed, so one cache entry per kernel suffices.
+  const sim::LoweredKernel *
+  loweredFor(const ptx::Kernel &K,
+             const instrument::KernelInstrumentation *KI);
+
   /// Starts the background exporter over \p Eng once (no-op when
   /// MetricsOutDir is empty or it is already running).
   void ensureExporter(runtime::Engine &Eng);
@@ -278,6 +294,17 @@ private:
   std::unique_ptr<ptx::Module> Mod;
   std::unique_ptr<instrument::ModuleInstrumentation> Instr;
   std::string ErrorMessage;
+  /// Wall time the front end spent parsing the current module (ns);
+  /// surfaced as RunReport::ParseNanos.
+  uint64_t ParseNanos = 0;
+
+  /// Per-kernel lowering cache (keyed by kernel identity; cleared on
+  /// loadModule). Entries may hold null: the kernel was found
+  /// un-lowerable once and runs legacy without re-trying every launch.
+  std::mutex LowerMutex;
+  std::unordered_map<const ptx::Kernel *,
+                     std::unique_ptr<sim::LoweredKernel>>
+      Lowered;
 
   /// Lazily created when no SharedEngine was supplied.
   std::mutex EngineMutex;

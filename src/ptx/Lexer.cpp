@@ -58,10 +58,12 @@ void Lexer::skipWhitespaceAndComments() {
   }
 }
 
-Token Lexer::makeError(const std::string &Message) {
+Token Lexer::makeError(std::string Message) {
+  // lexAll stops at the first Error token, so one storage slot suffices.
+  ErrorStorage = std::move(Message);
   Token Tok;
   Tok.Kind = TokenKind::Error;
-  Tok.Text = Message;
+  Tok.Text = ErrorStorage;
   Tok.Line = Line;
   return Tok;
 }
@@ -147,8 +149,10 @@ Token Lexer::lexIdent() {
   Token Tok;
   Tok.Line = Line;
   Tok.Kind = TokenKind::Ident;
+  size_t Start = Pos;
   while (isIdentChar(peek()))
-    Tok.Text.push_back(advance());
+    advance();
+  Tok.Text = std::string_view(Source.data() + Start, Pos - Start);
   return Tok;
 }
 
@@ -159,9 +163,11 @@ Token Lexer::lexRegister() {
   advance(); // '%'
   // Register names may embed dots for special registers (%tid.x), so we
   // greedily consume ident chars and dotted suffixes.
+  size_t Start = Pos;
   while (isIdentChar(peek()) ||
          (peek() == '.' && isIdentChar(peek(1))))
-    Tok.Text.push_back(advance());
+    advance();
+  Tok.Text = std::string_view(Source.data() + Start, Pos - Start);
   if (Tok.Text.empty())
     return makeError("expected register name after '%'");
   return Tok;

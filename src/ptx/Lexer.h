@@ -16,7 +16,9 @@
 #define BARRACUDA_PTX_LEXER_H
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace barracuda {
@@ -48,9 +50,12 @@ enum class TokenKind : uint8_t {
   Error, ///< lexing error; Text holds the message
 };
 
+/// Tokens do not own their text: Text is a view into the Lexer's retained
+/// source buffer (or, for the single Error token, into the Lexer's error
+/// storage), so the Lexer must outlive every token it produced.
 struct Token {
   TokenKind Kind = TokenKind::Eof;
-  std::string Text;
+  std::string_view Text;
   int64_t IntValue = 0;
   double FloatValue = 0.0;
   uint32_t Line = 0;
@@ -61,7 +66,9 @@ struct Token {
   }
 };
 
-/// Tokenizes a whole PTX source buffer up front.
+/// Tokenizes a whole PTX source buffer up front. Identifier and register
+/// tokens are zero-copy slices of the source; the buffer is retained by
+/// the Lexer so the views stay valid.
 class Lexer {
 public:
   explicit Lexer(std::string Source);
@@ -75,12 +82,13 @@ private:
   char advance();
   bool atEnd() const { return Pos >= Source.size(); }
   void skipWhitespaceAndComments();
-  Token makeError(const std::string &Message);
+  Token makeError(std::string Message);
   Token lexNumber(bool Negative);
   Token lexIdent();
   Token lexRegister();
 
   std::string Source;
+  std::string ErrorStorage; ///< backs the Error token's message view
   size_t Pos = 0;
   uint32_t Line = 1;
 };

@@ -11,16 +11,36 @@ using namespace barracuda;
 using namespace barracuda::ptx;
 using support::formatString;
 
-Parser::Parser(std::string Source) {
-  Lexer Lex(std::move(Source));
+static std::string str(std::string_view S) { return std::string(S); }
+
+Parser::Parser(std::string Source) : Lex(std::move(Source)) {
   Tokens = Lex.lexAll();
 }
 
-static int findLocalVar(const Kernel &K, const std::string &Name) {
-  for (size_t I = 0; I != K.LocalVars.size(); ++I)
-    if (K.LocalVars[I].Name == Name)
-      return static_cast<int>(I);
-  return -1;
+Parser::Binding &Parser::bindingFor(std::string_view Name) {
+  uint32_t Id = Idents.intern(Name);
+  if (Id >= ByIdent.size())
+    ByIdent.resize(Id + 1);
+  // Recording every touched id (even global-only ones) keeps the reset in
+  // beginKernelScope O(touched); clearing kernel fields that are already
+  // -1 is harmless.
+  KernelIds.push_back(Id);
+  return ByIdent[Id];
+}
+
+const Parser::Binding *Parser::lookupBinding(std::string_view Name) const {
+  uint32_t Id = Idents.lookup(Name);
+  if (Id == support::StringInterner::None || Id >= ByIdent.size())
+    return nullptr;
+  return &ByIdent[Id];
+}
+
+void Parser::beginKernelScope() {
+  for (uint32_t Id : KernelIds) {
+    Binding &B = ByIdent[Id];
+    B.Reg = B.Param = B.Shared = B.Local = -1;
+  }
+  KernelIds.clear();
 }
 
 bool Parser::fail(const std::string &Message) {
@@ -38,7 +58,7 @@ bool Parser::expect(TokenKind Kind, const char *What) {
 std::unique_ptr<Module> Parser::parseModule() {
   if (!Tokens.empty() && Tokens.back().is(TokenKind::Error)) {
     ErrorMessage = formatString("line %u: %s", Tokens.back().Line,
-                                Tokens.back().Text.c_str());
+                                str(Tokens.back().Text).c_str());
     return nullptr;
   }
 
@@ -57,7 +77,7 @@ bool Parser::parseTopLevel(Module &M) {
     return false;
   if (!cur().is(TokenKind::Ident))
     return fail("expected directive name after '.'");
-  std::string Directive = cur().Text;
+  std::string_view Directive = cur().Text;
   next();
 
   if (Directive == "version") {
@@ -73,7 +93,7 @@ bool Parser::parseTopLevel(Module &M) {
   if (Directive == "target") {
     if (!cur().is(TokenKind::Ident))
       return fail("expected target name");
-    M.Target = cur().Text;
+    M.Target = str(cur().Text);
     next();
     while (accept(TokenKind::Comma)) {
       if (!cur().is(TokenKind::Ident))
@@ -101,7 +121,8 @@ bool Parser::parseTopLevel(Module &M) {
   if (Directive == "global" || Directive == "const")
     return parseModuleVariable(M, Directive == "global" ? StateSpace::Global
                                                         : StateSpace::Const);
-  return fail(formatString("unsupported directive '.%s'", Directive.c_str()));
+  return fail(formatString("unsupported directive '.%s'",
+                           str(Directive).c_str()));
 }
 
 /// Parses "[.align N] .<type> name[ [count] ];" after the space directive.
@@ -119,7 +140,7 @@ bool Parser::parseVarSuffix(SymbolInfo &Var) {
       return fail("expected variable type");
     Var.ElemTy = parseTypeName(cur().Text);
     if (Var.ElemTy == Type::None)
-      return fail(formatString("unknown type '%s'", cur().Text.c_str()));
+      return fail(formatString("unknown type '%s'", str(cur().Text).c_str()));
     next();
   } else {
     return fail("expected '.' before variable type");
@@ -127,7 +148,7 @@ bool Parser::parseVarSuffix(SymbolInfo &Var) {
 
   if (!cur().is(TokenKind::Ident))
     return fail("expected variable name");
-  Var.Name = cur().Text;
+  Var.Name = str(cur().Text);
   next();
 
   uint64_t Count = 1;
@@ -154,8 +175,10 @@ bool Parser::parseModuleVariable(Module &M, StateSpace Space) {
   Var.Align = 0;
   if (!parseVarSuffix(Var))
     return false;
-  if (M.findGlobal(Var.Name) >= 0)
+  Binding &B = bindingFor(Var.Name);
+  if (B.Global >= 0)
     return fail(formatString("duplicate global '%s'", Var.Name.c_str()));
+  B.Global = static_cast<int32_t>(M.Globals.size());
   M.Globals.push_back(std::move(Var));
   return true;
 }
@@ -176,18 +199,22 @@ bool Parser::parseKernelParams(Kernel &K) {
       return fail("expected param type");
     Type Ty = parseTypeName(cur().Text);
     if (Ty == Type::None || Ty == Type::Pred)
-      return fail(formatString("invalid param type '%s'", cur().Text.c_str()));
+      return fail(formatString("invalid param type '%s'",
+                               str(cur().Text).c_str()));
     next();
     if (!cur().is(TokenKind::Ident))
       return fail("expected param name");
     ParamInfo Param;
-    Param.Name = cur().Text;
+    Param.Name = str(cur().Text);
     Param.Ty = Ty;
     next();
     unsigned Size = sizeOfType(Ty);
     K.ParamBytes = (K.ParamBytes + Size - 1) & ~(Size - 1);
     Param.Offset = K.ParamBytes;
     K.ParamBytes += Size;
+    Binding &B = bindingFor(Param.Name);
+    if (B.Param < 0) // first declaration wins, matching findParam
+      B.Param = static_cast<int32_t>(K.Params.size());
     K.Params.push_back(std::move(Param));
   } while (accept(TokenKind::Comma));
   return expect(TokenKind::RParen, "')' after kernel params");
@@ -202,12 +229,12 @@ bool Parser::parseRegDecl(Kernel &K) {
   Type Ty = parseTypeName(cur().Text);
   if (Ty == Type::None)
     return fail(formatString("unknown register type '%s'",
-                             cur().Text.c_str()));
+                             str(cur().Text).c_str()));
   next();
   do {
     if (!cur().is(TokenKind::Reg))
       return fail("expected register name");
-    std::string Name = cur().Text;
+    std::string Name(cur().Text);
     next();
     if (accept(TokenKind::Lt)) {
       if (!cur().is(TokenKind::Int))
@@ -218,14 +245,16 @@ bool Parser::parseRegDecl(Kernel &K) {
         return false;
       for (int64_t I = 0; I < Count; ++I) {
         std::string Full = Name + std::to_string(I);
-        if (K.findReg(Full) >= 0)
+        Binding &B = bindingFor(Full);
+        if (B.Reg >= 0)
           return fail(formatString("duplicate register '%%%s'", Full.c_str()));
-        K.addReg(Full, Ty);
+        B.Reg = K.addReg(Full, Ty);
       }
     } else {
-      if (K.findReg(Name) >= 0)
+      Binding &B = bindingFor(Name);
+      if (B.Reg >= 0)
         return fail(formatString("duplicate register '%%%s'", Name.c_str()));
-      K.addReg(Name, Ty);
+      B.Reg = K.addReg(Name, Ty);
     }
   } while (accept(TokenKind::Comma));
   return expect(TokenKind::Semi, "';' after register declaration");
@@ -237,11 +266,15 @@ bool Parser::parseKernelVariable(Kernel &K, StateSpace Space) {
   Var.Align = 0;
   if (!parseVarSuffix(Var))
     return false;
+  Binding &B = bindingFor(Var.Name);
   if (Space == StateSpace::Shared) {
-    if (K.findSharedVar(Var.Name) >= 0)
+    if (B.Shared >= 0)
       return fail(formatString("duplicate shared var '%s'", Var.Name.c_str()));
+    B.Shared = static_cast<int32_t>(K.SharedVars.size());
     K.SharedVars.push_back(std::move(Var));
   } else {
+    if (B.Local < 0) // first declaration wins, matching the old linear scan
+      B.Local = static_cast<int32_t>(K.LocalVars.size());
     K.LocalVars.push_back(std::move(Var));
   }
   return true;
@@ -258,18 +291,22 @@ bool Parser::parseFuncFormal(Kernel &F, std::vector<int32_t> &Out) {
     return fail("expected formal type");
   Type Ty = parseTypeName(cur().Text);
   if (Ty == Type::None)
-    return fail(formatString("unknown type '%s'", cur().Text.c_str()));
+    return fail(formatString("unknown type '%s'", str(cur().Text).c_str()));
   next();
   if (!cur().is(TokenKind::Reg))
     return fail("expected formal register name");
-  if (F.findReg(cur().Text) >= 0)
-    return fail(formatString("duplicate formal '%%%s'", cur().Text.c_str()));
-  Out.push_back(F.addReg(cur().Text, Ty));
+  Binding &B = bindingFor(cur().Text);
+  if (B.Reg >= 0)
+    return fail(formatString("duplicate formal '%%%s'",
+                             str(cur().Text).c_str()));
+  B.Reg = F.addReg(str(cur().Text), Ty);
+  Out.push_back(B.Reg);
   next();
   return true;
 }
 
 bool Parser::parseFunction(Module &M) {
+  beginKernelScope();
   Kernel F;
   F.IsFunction = true;
 
@@ -282,7 +319,7 @@ bool Parser::parseFunction(Module &M) {
   }
   if (!cur().is(TokenKind::Ident))
     return fail("expected function name");
-  F.Name = cur().Text;
+  F.Name = str(cur().Text);
   next();
   if (!expect(TokenKind::LParen, "'(' after function name"))
     return false;
@@ -309,10 +346,11 @@ bool Parser::parseFunction(Module &M) {
 }
 
 bool Parser::parseKernel(Module &M) {
+  beginKernelScope();
   if (!cur().is(TokenKind::Ident))
     return fail("expected kernel name");
   Kernel K;
-  K.Name = cur().Text;
+  K.Name = str(cur().Text);
   next();
   if (!parseKernelParams(K))
     return false;
@@ -337,7 +375,7 @@ bool Parser::parseKernelBody(Module &M, Kernel &K) {
       next();
       if (!cur().is(TokenKind::Ident))
         return fail("expected directive name");
-      std::string Directive = cur().Text;
+      std::string_view Directive = cur().Text;
       next();
       if (Directive == "reg") {
         if (!parseRegDecl(K))
@@ -351,14 +389,14 @@ bool Parser::parseKernelBody(Module &M, Kernel &K) {
       } else {
         return fail(
             formatString("unsupported body directive '.%s'",
-                         Directive.c_str()));
+                         str(Directive).c_str()));
       }
       continue;
     }
 
     // Label?
     if (cur().is(TokenKind::Ident) && peek().is(TokenKind::Colon)) {
-      std::string Label = cur().Text;
+      std::string Label(cur().Text);
       next();
       next();
       if (K.Labels.count(Label))
@@ -374,7 +412,7 @@ bool Parser::parseKernelBody(Module &M, Kernel &K) {
   return true;
 }
 
-bool Parser::applyModifier(Instruction &Insn, const std::string &Mod,
+bool Parser::applyModifier(Instruction &Insn, std::string_view Mod,
                            std::vector<Type> &TypesSeen) {
   Type Ty = parseTypeName(Mod);
   if (Ty != Type::None) {
@@ -456,10 +494,10 @@ bool Parser::applyModifier(Instruction &Insn, const std::string &Mod,
     return true;
   }
   return fail(formatString("unknown instruction modifier '.%s'",
-                           Mod.c_str()));
+                           str(Mod).c_str()));
 }
 
-static Opcode rootOpcode(const std::string &Name, bool &IsRed) {
+static Opcode rootOpcode(std::string_view Name, bool &IsRed) {
   IsRed = false;
   static const struct {
     const char *Name;
@@ -502,22 +540,22 @@ bool Parser::parseInstruction(Module &M, Kernel &K) {
     Insn.GuardNegated = accept(TokenKind::Bang);
     if (!cur().is(TokenKind::Reg))
       return fail("expected predicate register after '@'");
-    int RegId = K.findReg(cur().Text);
-    if (RegId < 0)
+    const Binding *B = lookupBinding(cur().Text);
+    if (!B || B->Reg < 0)
       return fail(formatString("unknown predicate register '%%%s'",
-                               cur().Text.c_str()));
-    Insn.GuardPred = RegId;
+                               str(cur().Text).c_str()));
+    Insn.GuardPred = B->Reg;
     next();
   }
 
   if (!cur().is(TokenKind::Ident))
     return fail("expected instruction mnemonic");
-  std::string Root = cur().Text;
+  std::string_view Root = cur().Text;
   bool IsRed = false;
   Insn.Op = rootOpcode(Root, IsRed);
   Insn.NoDest = IsRed;
   if (Insn.Op == Opcode::Nop && Root != "nop")
-    return fail(formatString("unknown instruction '%s'", Root.c_str()));
+    return fail(formatString("unknown instruction '%s'", str(Root).c_str()));
   next();
 
   // Modifiers.
@@ -526,7 +564,7 @@ bool Parser::parseInstruction(Module &M, Kernel &K) {
     next();
     if (!cur().is(TokenKind::Ident))
       return fail("expected modifier after '.'");
-    std::string Mod = cur().Text;
+    std::string_view Mod = cur().Text;
     next();
     if (!applyModifier(Insn, Mod, TypesSeen))
       return false;
@@ -571,16 +609,17 @@ bool Parser::parseInstruction(Module &M, Kernel &K) {
 }
 
 bool Parser::parseCallOperands(Kernel &K, Instruction &Insn) {
+  (void)K;
   // Optional return-value list.
   if (accept(TokenKind::LParen)) {
     do {
       if (!cur().is(TokenKind::Reg))
         return fail("expected return register in call");
-      int RegId = K.findReg(cur().Text);
-      if (RegId < 0)
+      const Binding *B = lookupBinding(cur().Text);
+      if (!B || B->Reg < 0)
         return fail(formatString("unknown register '%%%s'",
-                                 cur().Text.c_str()));
-      Insn.Ops.push_back(Operand::makeReg(RegId));
+                                 str(cur().Text).c_str()));
+      Insn.Ops.push_back(Operand::makeReg(B->Reg));
       next();
     } while (accept(TokenKind::Comma));
     if (!expect(TokenKind::RParen, "')' after call returns"))
@@ -591,7 +630,7 @@ bool Parser::parseCallOperands(Kernel &K, Instruction &Insn) {
   }
   if (!cur().is(TokenKind::Ident))
     return fail("expected callee name");
-  Insn.CalleeName = cur().Text;
+  Insn.CalleeName = str(cur().Text);
   next();
   // Optional argument list.
   if (accept(TokenKind::Comma)) {
@@ -603,11 +642,11 @@ bool Parser::parseCallOperands(Kernel &K, Instruction &Insn) {
         if (parseSpecialRegName(cur().Text, Special)) {
           Insn.Ops.push_back(Operand::makeSpecial(Special));
         } else {
-          int RegId = K.findReg(cur().Text);
-          if (RegId < 0)
+          const Binding *B = lookupBinding(cur().Text);
+          if (!B || B->Reg < 0)
             return fail(formatString("unknown register '%%%s'",
-                                     cur().Text.c_str()));
-          Insn.Ops.push_back(Operand::makeReg(RegId));
+                                     str(cur().Text).c_str()));
+          Insn.Ops.push_back(Operand::makeReg(B->Reg));
         }
         next();
       } else if (cur().is(TokenKind::Int)) {
@@ -624,6 +663,8 @@ bool Parser::parseCallOperands(Kernel &K, Instruction &Insn) {
 }
 
 bool Parser::parseAddressOperand(Module &M, Kernel &K, Instruction &Insn) {
+  (void)M;
+  (void)K;
   // '[' already consumed.
   int32_t BaseReg = -1;
   int32_t BaseSym = -1;
@@ -631,27 +672,30 @@ bool Parser::parseAddressOperand(Module &M, Kernel &K, Instruction &Insn) {
   int64_t Offset = 0;
 
   if (cur().is(TokenKind::Reg)) {
-    BaseReg = K.findReg(cur().Text);
-    if (BaseReg < 0)
-      return fail(formatString("unknown register '%%%s'", cur().Text.c_str()));
+    const Binding *B = lookupBinding(cur().Text);
+    if (!B || B->Reg < 0)
+      return fail(formatString("unknown register '%%%s'",
+                               str(cur().Text).c_str()));
+    BaseReg = B->Reg;
     next();
   } else if (cur().is(TokenKind::Ident)) {
-    std::string Name = cur().Text;
+    std::string_view Name = cur().Text;
     next();
-    if (const ParamInfo *Param = K.findParam(Name)) {
-      BaseSym = static_cast<int32_t>(Param - K.Params.data());
+    const Binding *B = lookupBinding(Name);
+    if (B && B->Param >= 0) {
+      BaseSym = B->Param;
       SymSpace = StateSpace::Param;
-    } else if (int SharedIdx = K.findSharedVar(Name); SharedIdx >= 0) {
-      BaseSym = SharedIdx;
+    } else if (B && B->Shared >= 0) {
+      BaseSym = B->Shared;
       SymSpace = StateSpace::Shared;
-    } else if (int LocalIdx = findLocalVar(K, Name); LocalIdx >= 0) {
-      BaseSym = LocalIdx;
+    } else if (B && B->Local >= 0) {
+      BaseSym = B->Local;
       SymSpace = StateSpace::Local;
-    } else if (int GlobalIdx = M.findGlobal(Name); GlobalIdx >= 0) {
-      BaseSym = GlobalIdx;
+    } else if (B && B->Global >= 0) {
+      BaseSym = B->Global;
       SymSpace = StateSpace::Global;
     } else {
-      return fail(formatString("unknown symbol '%s'", Name.c_str()));
+      return fail(formatString("unknown symbol '%s'", str(Name).c_str()));
     }
   } else if (cur().is(TokenKind::Int)) {
     Offset = cur().IntValue;
@@ -695,11 +739,11 @@ bool Parser::parseOperand(Module &M, Kernel &K, Instruction &Insn) {
     do {
       if (!cur().is(TokenKind::Reg))
         return fail("expected register in vector operand");
-      int RegId = K.findReg(cur().Text);
-      if (RegId < 0)
+      const Binding *B = lookupBinding(cur().Text);
+      if (!B || B->Reg < 0)
         return fail(formatString("unknown register '%%%s'",
-                                 cur().Text.c_str()));
-      Op.VecRegs.push_back(RegId);
+                                 str(cur().Text).c_str()));
+      Op.VecRegs.push_back(B->Reg);
       next();
     } while (accept(TokenKind::Comma));
     if (!expect(TokenKind::RBrace, "'}' after vector operand"))
@@ -716,10 +760,11 @@ bool Parser::parseOperand(Module &M, Kernel &K, Instruction &Insn) {
       next();
       return true;
     }
-    int RegId = K.findReg(cur().Text);
-    if (RegId < 0)
-      return fail(formatString("unknown register '%%%s'", cur().Text.c_str()));
-    Insn.Ops.push_back(Operand::makeReg(RegId));
+    const Binding *B = lookupBinding(cur().Text);
+    if (!B || B->Reg < 0)
+      return fail(formatString("unknown register '%%%s'",
+                               str(cur().Text).c_str()));
+    Insn.Ops.push_back(Operand::makeReg(B->Reg));
     next();
     return true;
   }
@@ -737,36 +782,38 @@ bool Parser::parseOperand(Module &M, Kernel &K, Instruction &Insn) {
   }
 
   if (cur().is(TokenKind::Ident)) {
-    std::string Name = cur().Text;
+    std::string_view Name = cur().Text;
     if (Insn.Op == Opcode::Bra) {
-      Insn.Ops.push_back(Operand::makeLabel(Name));
+      Insn.Ops.push_back(Operand::makeLabel(str(Name)));
       next();
       return true;
     }
     // A symbol used as a value (its address): shared/local var or module
     // global.
-    if (int SharedIdx = K.findSharedVar(Name); SharedIdx >= 0) {
-      Operand Op = Operand::makeSymbol(SharedIdx);
+    const Binding *B = lookupBinding(Name);
+    if (B && B->Shared >= 0) {
+      Operand Op = Operand::makeSymbol(B->Shared);
       Op.SymSpace = StateSpace::Shared;
       Insn.Ops.push_back(std::move(Op));
       next();
       return true;
     }
-    if (int LocalIdx = findLocalVar(K, Name); LocalIdx >= 0) {
-      Operand Op = Operand::makeSymbol(LocalIdx);
+    if (B && B->Local >= 0) {
+      Operand Op = Operand::makeSymbol(B->Local);
       Op.SymSpace = StateSpace::Local;
       Insn.Ops.push_back(std::move(Op));
       next();
       return true;
     }
-    if (int GlobalIdx = M.findGlobal(Name); GlobalIdx >= 0) {
-      Operand Op = Operand::makeSymbol(GlobalIdx);
+    if (B && B->Global >= 0) {
+      Operand Op = Operand::makeSymbol(B->Global);
       Op.SymSpace = StateSpace::Global;
       Insn.Ops.push_back(std::move(Op));
       next();
       return true;
     }
-    return fail(formatString("unknown operand symbol '%s'", Name.c_str()));
+    return fail(formatString("unknown operand symbol '%s'",
+                             str(Name).c_str()));
   }
 
   return fail("expected operand");

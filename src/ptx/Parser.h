@@ -10,6 +10,12 @@
 /// instrumentation pipeline: the text that would be pulled out of
 /// __cudaRegisterFatBinary is parsed here instead.
 ///
+/// Name resolution is interner-backed: every identifier is interned to a
+/// dense id exactly once, and a per-id Binding table resolves registers,
+/// params, shared/local vars and module globals in O(1) instead of the
+/// linear scans the public Kernel/Module lookup API performs. Kernel-scoped
+/// bindings are reset between kernels via a touched-id list.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BARRACUDA_PTX_PARSER_H
@@ -17,9 +23,11 @@
 
 #include "ptx/Ir.h"
 #include "ptx/Lexer.h"
+#include "support/Arena.h"
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace barracuda {
 namespace ptx {
@@ -36,6 +44,16 @@ public:
   const std::string &error() const { return ErrorMessage; }
 
 private:
+  /// What a parsed identifier resolves to. Reg/Param/Shared/Local are
+  /// kernel-scoped (reset per kernel); Global lives for the module.
+  struct Binding {
+    int32_t Reg = -1;
+    int32_t Param = -1;
+    int32_t Shared = -1;
+    int32_t Local = -1;
+    int32_t Global = -1;
+  };
+
   // Token access.
   const Token &cur() const { return Tokens[Index]; }
   const Token &peek(unsigned Ahead = 1) const {
@@ -60,6 +78,11 @@ private:
     return true;
   }
 
+  // Identifier bindings.
+  Binding &bindingFor(std::string_view Name);
+  const Binding *lookupBinding(std::string_view Name) const;
+  void beginKernelScope();
+
   // Error reporting. All fail() overloads return false for tail-calls.
   bool fail(const std::string &Message);
 
@@ -77,13 +100,18 @@ private:
   bool parseInstruction(Module &M, Kernel &K);
   bool parseOperand(Module &M, Kernel &K, Instruction &Insn);
   bool parseAddressOperand(Module &M, Kernel &K, Instruction &Insn);
-  bool applyModifier(Instruction &Insn, const std::string &Mod,
+  bool applyModifier(Instruction &Insn, std::string_view Mod,
                      std::vector<Type> &TypesSeen);
   bool parseVarSuffix(SymbolInfo &Var);
 
+  // Declaration order matters: Tokens hold string_views into Lex's source.
+  Lexer Lex;
   std::vector<Token> Tokens;
   size_t Index = 0;
   std::string ErrorMessage;
+  support::StringInterner Idents;
+  std::vector<Binding> ByIdent;    ///< indexed by interned id
+  std::vector<uint32_t> KernelIds; ///< ids touched by the current kernel
 };
 
 /// Convenience wrapper: parses \p Source, aborting the process with a

@@ -89,7 +89,7 @@ const char *ptx::typeName(Type Ty) {
   return "none";
 }
 
-Type ptx::parseTypeName(const std::string &Name) {
+Type ptx::parseTypeName(std::string_view Name) {
   static const struct {
     const char *Name;
     Type Ty;
@@ -226,7 +226,7 @@ const char *ptx::atomOpName(AtomOpKind Op) {
   return "none";
 }
 
-AtomOpKind ptx::parseAtomOpName(const std::string &Name) {
+AtomOpKind ptx::parseAtomOpName(std::string_view Name) {
   static const struct {
     const char *Name;
     AtomOpKind Op;
@@ -263,7 +263,7 @@ const char *ptx::cmpOpName(CmpOpKind Op) {
   return "none";
 }
 
-CmpOpKind ptx::parseCmpOpName(const std::string &Name) {
+CmpOpKind ptx::parseCmpOpName(std::string_view Name) {
   static const struct {
     const char *Name;
     CmpOpKind Op;
@@ -326,7 +326,7 @@ const char *ptx::specialRegName(SpecialReg Reg) {
   return "tid.x";
 }
 
-bool ptx::parseSpecialRegName(const std::string &Name, SpecialReg &Out) {
+bool ptx::parseSpecialRegName(std::string_view Name, SpecialReg &Out) {
   static const struct {
     const char *Name;
     SpecialReg Reg;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace barracuda {
 namespace ptx {
@@ -57,7 +58,7 @@ bool isFloatType(Type Ty);
 const char *typeName(Type Ty);
 
 /// Parses a type suffix spelling ("u32"); returns Type::None on failure.
-Type parseTypeName(const std::string &Name);
+Type parseTypeName(std::string_view Name);
 
 /// PTX state spaces for memory operations and variable declarations.
 enum class StateSpace : uint8_t {
@@ -127,7 +128,7 @@ enum class AtomOpKind : uint8_t {
 };
 
 const char *atomOpName(AtomOpKind Op);
-AtomOpKind parseAtomOpName(const std::string &Name);
+AtomOpKind parseAtomOpName(std::string_view Name);
 
 /// Comparison operators for setp.
 enum class CmpOpKind : uint8_t {
@@ -141,7 +142,7 @@ enum class CmpOpKind : uint8_t {
 };
 
 const char *cmpOpName(CmpOpKind Op);
-CmpOpKind parseCmpOpName(const std::string &Name);
+CmpOpKind parseCmpOpName(std::string_view Name);
 
 /// Memory fence scopes: membar.cta / membar.gl / membar.sys.
 enum class FenceScopeKind : uint8_t {
@@ -181,7 +182,7 @@ enum class SpecialReg : uint8_t {
 const char *specialRegName(SpecialReg Reg);
 
 /// Parses "%tid.x"-style names (without the '%'); returns true on success.
-bool parseSpecialRegName(const std::string &Name, SpecialReg &Out);
+bool parseSpecialRegName(std::string_view Name, SpecialReg &Out);
 
 } // namespace ptx
 } // namespace barracuda

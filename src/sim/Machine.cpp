@@ -3,6 +3,7 @@
 #include "sim/Machine.h"
 
 #include "fault/Fault.h"
+#include "sim/Lower.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -118,13 +119,15 @@ public:
                 const instrument::KernelInstrumentation *Instr,
                 const LaunchConfig &Config,
                 const std::vector<uint8_t> &ParamBuffer,
-                DeviceLogger *Logger)
-      : Mach(Mach), M(M), K(K), Instr(Instr), Config(Config),
+                DeviceLogger *Logger, const LoweredKernel *Low)
+      : Mach(Mach), M(M), K(K), Instr(Instr), Low(Low), Config(Config),
         Params(ParamBuffer), Logger(Logger),
         Weak(Mach.Options.WeakProfile, Mach.Memory,
              Mach.Options.WeakSeed +
                  0x9E3779B97F4A7C15ULL * ++Mach.LaunchSeq) {
-    if (!Instr)
+    // The lowered path bakes reconvergence points into the uops; only the
+    // legacy native path needs a CFG of its own.
+    if (!Instr && !Low)
       OwnCfg = std::make_unique<ptx::Cfg>(K);
     if (Mach.Options.Profiler) {
       Profiling = true;
@@ -148,6 +151,11 @@ private:
     uint32_t WarpInBlock = 0;
     bool AtBarrier = false;
     bool Done = false;
+    /// Set when a fused uop pair executed both halves in one dispatch:
+    /// the warp skips exactly one scheduler slot so that every memory
+    /// access and trace record still lands in the same slot as under the
+    /// legacy one-instruction-per-pass interpreter.
+    bool Stall = false;
     /// The bar.sync pc this warp is parked at (valid while AtBarrier);
     /// names the blocker when a divergent barrier hangs the launch.
     uint32_t BarrierPc = 0;
@@ -497,6 +505,232 @@ private:
 
   bool stepWarp(BlockExec &B, WarpExec &W);
 
+  // --- lowered (micro-op) fast path -------------------------------------
+
+  uint64_t readUopSrc(BlockExec &B, uint32_t Thread, const UopSrc &S) {
+    switch (static_cast<UopSrcKind>(S.Kind)) {
+    case UopSrcKind::Reg:
+      return reg(B, Thread, S.Reg);
+    case UopSrcKind::Imm:
+      return S.Imm;
+    default:
+      return specialValue(B, Thread, static_cast<SpecialReg>(S.Special));
+    }
+  }
+
+  /// storeToReg with the destination width pre-resolved at lowering time.
+  void storeUopDst(BlockExec &B, uint32_t Thread, const Uop &U,
+                   uint64_t Value) {
+    if (U.Flags & UF_DstPred)
+      Value = Value ? 1 : 0;
+    else
+      Value = maskToWidth(Value, U.DstBytes);
+    reg(B, Thread, U.Dst) = Value;
+  }
+
+  uint32_t guardMaskLowered(BlockExec &B, const WarpExec &W, const Uop &U) {
+    uint32_t Mask = 0;
+    uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+    bool Neg = (U.Flags & UF_GuardNeg) != 0;
+    for (unsigned Lane = 0; Lane != Config.WarpSize; ++Lane) {
+      uint32_t Thread = BaseThread + Lane;
+      if (Thread >= Config.threadsPerBlock())
+        break;
+      bool Pred = reg(B, Thread, U.Guard) != 0;
+      if (Pred != Neg)
+        Mask |= 1u << Lane;
+    }
+    return Mask;
+  }
+
+  static StateSpace resolveSpaceLowered(StateSpace Static, uint64_t &Addr) {
+    if (Static == StateSpace::Generic) {
+      if (isGenericSharedAddress(Addr)) {
+        Addr -= GenericSharedBase;
+        return StateSpace::Shared;
+      }
+      return StateSpace::Global;
+    }
+    if (Static == StateSpace::Shared) {
+      if (isGenericSharedAddress(Addr))
+        Addr -= GenericSharedBase;
+      return StateSpace::Shared;
+    }
+    return Static;
+  }
+
+  /// Direct-mapped per-launch page cache: global-memory accesses skip the
+  /// page table's reader lock on a hit. Page pointers are stable once
+  /// materialized, and the cache dies with the launch, so stale entries
+  /// are impossible within a launch.
+  uint8_t *cachedPage(uint64_t Addr) {
+    uint64_t PageId = Addr >> GlobalMemory::PageBits;
+    PageSlot &Slot = PageCache[PageId & (PageCacheSize - 1)];
+    if (Slot.PageId != PageId) {
+      Slot.Ptr = Mach.Memory.page(Addr);
+      Slot.PageId = PageId;
+    }
+    return Slot.Ptr;
+  }
+
+  /// loadFrom with the page cache on the global fast path. Identical
+  /// observable behavior (including error strings) to loadFrom.
+  uint64_t loadLowered(BlockExec &B, uint32_t ThreadInBlock,
+                       StateSpace Space, uint64_t Addr, unsigned Size) {
+    switch (Space) {
+    case StateSpace::Global:
+    case StateSpace::Const: {
+      if (Weak.enabled())
+        return Weak.load(B.BlockId, Addr, Size);
+      uint64_t Offset = Addr & (GlobalMemory::PageSize - 1);
+      if (Offset + Size <= GlobalMemory::PageSize) {
+        uint64_t Value = 0;
+        std::memcpy(&Value, cachedPage(Addr) + Offset, Size);
+        return Value;
+      }
+      return Mach.Memory.read(Addr, Size);
+    }
+    case StateSpace::Shared: {
+      if (Addr + Size > B.Shared.size()) {
+        failLaunch(support::formatString(
+            "shared load out of bounds (addr %llu, size %u, shared %zu)",
+            static_cast<unsigned long long>(Addr), Size, B.Shared.size()));
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, B.Shared.data() + Addr, Size);
+      return Value;
+    }
+    case StateSpace::Local: {
+      uint64_t Offset =
+          static_cast<uint64_t>(ThreadInBlock) * K.LocalBytes + Addr;
+      if (Addr + Size > K.LocalBytes) {
+        failLaunch("local load out of bounds");
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, B.Local.data() + Offset, Size);
+      return Value;
+    }
+    case StateSpace::Param: {
+      if (Addr + Size > Params.size()) {
+        failLaunch("param load out of bounds");
+        return 0;
+      }
+      uint64_t Value = 0;
+      std::memcpy(&Value, Params.data() + Addr, Size);
+      return Value;
+    }
+    case StateSpace::Generic:
+      break;
+    }
+    failLaunch("load from unresolved generic space");
+    return 0;
+  }
+
+  /// storeTo with the page cache on the global fast path.
+  void storeLowered(BlockExec &B, uint32_t ThreadInBlock, StateSpace Space,
+                    uint64_t Addr, unsigned Size, uint64_t Value) {
+    switch (Space) {
+    case StateSpace::Global: {
+      if (Weak.enabled()) {
+        Weak.store(B.BlockId, Addr, Size, Value);
+        return;
+      }
+      uint64_t Offset = Addr & (GlobalMemory::PageSize - 1);
+      if (Offset + Size <= GlobalMemory::PageSize) {
+        std::memcpy(cachedPage(Addr) + Offset, &Value, Size);
+        return;
+      }
+      Mach.Memory.write(Addr, Size, Value);
+      return;
+    }
+    case StateSpace::Shared:
+      if (Addr + Size > B.Shared.size()) {
+        failLaunch(support::formatString(
+            "shared store out of bounds (addr %llu, size %u, shared %zu)",
+            static_cast<unsigned long long>(Addr), Size, B.Shared.size()));
+        return;
+      }
+      std::memcpy(B.Shared.data() + Addr, &Value, Size);
+      return;
+    case StateSpace::Local: {
+      if (Addr + Size > K.LocalBytes) {
+        failLaunch("local store out of bounds");
+        return;
+      }
+      uint64_t Offset =
+          static_cast<uint64_t>(ThreadInBlock) * K.LocalBytes + Addr;
+      std::memcpy(B.Local.data() + Offset, &Value, Size);
+      return;
+    }
+    default:
+      failLaunch("store to invalid state space");
+      return;
+    }
+  }
+
+  /// executeBranch over a pre-lowered branch uop (target and
+  /// reconvergence point baked at lowering time).
+  void executeBranchLowered(BlockExec &B, WarpExec &W, const Uop &U,
+                            uint32_t Pc, uint32_t Active, uint32_t Exec) {
+    StackEntry &Top = W.Stack.back();
+    if (!(U.Flags & UF_Guarded) || Exec == Active) {
+      Top.NextPc = U.Target;
+      return;
+    }
+    if (Exec == 0) {
+      Top.NextPc = Pc + 1;
+      return;
+    }
+    uint32_t Reconv = U.Reconv;
+    uint32_t TakenMask = Exec;
+    uint32_t FallMask = Active & ~Exec;
+    if (Profiling)
+      ++PcDivergences[Pc];
+    Top.NextPc = Reconv;
+    W.Stack.push_back(StackEntry{Reconv, U.Target, TakenMask});
+    W.Stack.push_back(StackEntry{Reconv, Pc + 1, FallMask});
+    emitControl(B, W, RecordOp::If, Pc, FallMask, TakenMask);
+  }
+
+  void emitMemRecordsLowered(BlockExec &B, WarpExec &W, const Uop &U,
+                             const uint64_t *LaneAddr,
+                             const uint64_t *LaneValue, uint32_t GlobalMask,
+                             uint32_t SharedMask);
+
+  // Micro-op executors (one per UopExec value the handler table covers).
+  void uopLegacyLanes(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopLegacyMem(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopNop(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopMov(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntAdd(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntSub(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntMul(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntMad(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntMin(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntMax(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntAnd(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntOr(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntXor(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntNot(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntShl(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopIntShr(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopSetp(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopSelp(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopCvt(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopCvta(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopFltBin(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopLd(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopSt(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+  void uopAtom(BlockExec &B, WarpExec &W, const Uop &U, uint32_t Exec);
+
+  using UopHandler = void (LaunchContext::*)(BlockExec &, WarpExec &,
+                                             const Uop &, uint32_t);
+  static const UopHandler UopHandlers[];
+
+  bool stepWarpLowered(BlockExec &B, WarpExec &W);
+
   void initBlock(BlockExec &B, uint32_t BlockId);
 
   /// Merges the launch-local per-PC arrays into the session profiler
@@ -525,11 +759,21 @@ private:
   const Module &M;
   const Kernel &K;
   const instrument::KernelInstrumentation *Instr;
+  const LoweredKernel *Low;
   LaunchConfig Config;
   const std::vector<uint8_t> &Params;
   DeviceLogger *Logger;
   StoreBufferModel Weak;
   std::unique_ptr<ptx::Cfg> OwnCfg;
+
+  /// Per-launch direct-mapped cache over GlobalMemory's page table
+  /// (lowered path only; bypassed when the weak model is active).
+  struct PageSlot {
+    uint64_t PageId = ~0ull;
+    uint8_t *Ptr = nullptr;
+  };
+  static constexpr unsigned PageCacheSize = 64;
+  PageSlot PageCache[PageCacheSize];
 
   size_t RegCount = 0;
   uint64_t Executed = 0;
@@ -1145,6 +1389,703 @@ bool Machine::LaunchContext::stepWarp(BlockExec &B, WarpExec &W) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Lowered (micro-op) dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename T> bool applyCmp(CmpOpKind Cmp, T A, T B) {
+  switch (Cmp) {
+  case CmpOpKind::CO_Eq:
+    return A == B;
+  case CmpOpKind::CO_Ne:
+    return A != B;
+  case CmpOpKind::CO_Lt:
+    return A < B;
+  case CmpOpKind::CO_Le:
+    return A <= B;
+  case CmpOpKind::CO_Gt:
+    return A > B;
+  case CmpOpKind::CO_Ge:
+    return A >= B;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void Machine::LaunchContext::uopLegacyLanes(BlockExec &B, WarpExec &W,
+                                            const Uop &U, uint32_t Exec) {
+  executeLanes(B, W, K.Body[U.Pc], Exec);
+}
+
+void Machine::LaunchContext::uopLegacyMem(BlockExec &B, WarpExec &W,
+                                          const Uop &U, uint32_t Exec) {
+  if (Profiling)
+    ++PcMemOps[U.Pc];
+  executeMemory(B, W, K.Body[U.Pc], U.Pc, Exec);
+}
+
+void Machine::LaunchContext::uopNop(BlockExec &, WarpExec &, const Uop &,
+                                    uint32_t) {}
+
+void Machine::LaunchContext::uopMov(BlockExec &B, WarpExec &W, const Uop &U,
+                                    uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    storeUopDst(B, Thread, U, readUopSrc(B, Thread, U.Srcs[0]));
+  }
+}
+
+void Machine::LaunchContext::uopIntAdd(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U, maskToWidth(A + C, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntSub(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U, maskToWidth(A - C, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntMul(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  bool Signed = (U.Flags & UF_SignExt) != 0;
+  MulModeKind Mode = static_cast<MulModeKind>(U.MulMode);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t Out;
+    if (Mode == MulModeKind::MM_Lo) {
+      Out = maskToWidth(A * C, Bytes);
+    } else if (Mode == MulModeKind::MM_Wide) {
+      uint64_t Product =
+          Signed ? static_cast<uint64_t>(signExtend(A, Bytes) *
+                                         signExtend(C, Bytes))
+                 : maskToWidth(A, Bytes) * maskToWidth(C, Bytes);
+      Out = maskToWidth(Product, Bytes * 2);
+    } else { // .hi
+      if (Signed) {
+        __int128 Product = static_cast<__int128>(signExtend(A, Bytes)) *
+                           static_cast<__int128>(signExtend(C, Bytes));
+        Out = maskToWidth(static_cast<uint64_t>(Product >> (Bytes * 8)),
+                          Bytes);
+      } else {
+        unsigned __int128 Product =
+            static_cast<unsigned __int128>(maskToWidth(A, Bytes)) *
+            static_cast<unsigned __int128>(maskToWidth(C, Bytes));
+        Out = maskToWidth(static_cast<uint64_t>(Product >> (Bytes * 8)),
+                          Bytes);
+      }
+    }
+    storeUopDst(B, Thread, U, Out);
+  }
+}
+
+void Machine::LaunchContext::uopIntMad(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  bool Signed = (U.Flags & UF_SignExt) != 0;
+  bool Wide = static_cast<MulModeKind>(U.MulMode) == MulModeKind::MM_Wide;
+  unsigned OutBytes = Wide ? Bytes * 2 : Bytes;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t D = readUopSrc(B, Thread, U.Srcs[2]);
+    uint64_t Product;
+    if (Wide)
+      Product = Signed ? static_cast<uint64_t>(signExtend(A, Bytes) *
+                                               signExtend(C, Bytes))
+                       : maskToWidth(A, Bytes) * maskToWidth(C, Bytes);
+    else
+      Product = A * C;
+    storeUopDst(B, Thread, U, maskToWidth(Product + D, OutBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntMin(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  bool Signed = (U.Flags & UF_SignExt) != 0;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t Out =
+        Signed ? maskToWidth(static_cast<uint64_t>(std::min(
+                                 signExtend(A, Bytes), signExtend(C, Bytes))),
+                             Bytes)
+               : std::min(maskToWidth(A, Bytes), maskToWidth(C, Bytes));
+    storeUopDst(B, Thread, U, Out);
+  }
+}
+
+void Machine::LaunchContext::uopIntMax(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  bool Signed = (U.Flags & UF_SignExt) != 0;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t Out =
+        Signed ? maskToWidth(static_cast<uint64_t>(std::max(
+                                 signExtend(A, Bytes), signExtend(C, Bytes))),
+                             Bytes)
+               : std::max(maskToWidth(A, Bytes), maskToWidth(C, Bytes));
+    storeUopDst(B, Thread, U, Out);
+  }
+}
+
+void Machine::LaunchContext::uopIntAnd(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U, maskToWidth(A & C, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntOr(BlockExec &B, WarpExec &W, const Uop &U,
+                                      uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U, maskToWidth(A | C, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntXor(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U, maskToWidth(A ^ C, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntNot(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  bool IsPred = static_cast<Type>(U.Ty) == Type::Pred;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    storeUopDst(B, Thread, U,
+                IsPred ? (A ? 0 : 1) : maskToWidth(~A, U.AluBytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntShl(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t Amount = readUopSrc(B, Thread, U.Srcs[1]);
+    storeUopDst(B, Thread, U,
+                Amount >= Bytes * 8 ? 0 : maskToWidth(A << Amount, Bytes));
+  }
+}
+
+void Machine::LaunchContext::uopIntShr(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  bool Signed = (U.Flags & UF_SignExt) != 0;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t Amount = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t Out;
+    if (Signed) {
+      int64_t Value = signExtend(A, Bytes);
+      if (Amount >= Bytes * 8)
+        Amount = Bytes * 8 - 1;
+      Out = maskToWidth(static_cast<uint64_t>(Value >> Amount), Bytes);
+    } else {
+      Out = Amount >= Bytes * 8
+                ? 0
+                : maskToWidth(maskToWidth(A, Bytes) >> Amount, Bytes);
+    }
+    storeUopDst(B, Thread, U, Out);
+  }
+}
+
+void Machine::LaunchContext::uopSetp(BlockExec &B, WarpExec &W, const Uop &U,
+                                     uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Bytes = U.AluBytes;
+  CmpOpKind Cmp = static_cast<CmpOpKind>(U.Cmp);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t A = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t C = readUopSrc(B, Thread, U.Srcs[1]);
+    bool Result;
+    if (U.CmpClass == 2)
+      Result = applyCmp(Cmp, bitsToFloat(A, static_cast<Type>(U.Ty)),
+                        bitsToFloat(C, static_cast<Type>(U.Ty)));
+    else if (U.CmpClass == 1)
+      Result = applyCmp(Cmp, signExtend(A, Bytes), signExtend(C, Bytes));
+    else
+      Result = applyCmp(Cmp, maskToWidth(A, Bytes), maskToWidth(C, Bytes));
+    storeUopDst(B, Thread, U, Result ? 1 : 0);
+  }
+}
+
+void Machine::LaunchContext::uopSelp(BlockExec &B, WarpExec &W, const Uop &U,
+                                     uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    bool Pick = reg(B, Thread, U.Srcs[2].Reg) != 0;
+    storeUopDst(B, Thread, U,
+                readUopSrc(B, Thread, Pick ? U.Srcs[0] : U.Srcs[1]));
+  }
+}
+
+void Machine::LaunchContext::uopCvt(BlockExec &B, WarpExec &W, const Uop &U,
+                                    uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  Type From = static_cast<Type>(U.SrcTy);
+  Type To = static_cast<Type>(U.Ty);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Raw = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t Out;
+    if (isFloatType(From) && isFloatType(To))
+      Out = floatToBits(bitsToFloat(Raw, From), To);
+    else if (isFloatType(From))
+      Out = isSignedType(To)
+                ? maskToWidth(static_cast<uint64_t>(static_cast<int64_t>(
+                                  bitsToFloat(Raw, From))),
+                              sizeOfType(To))
+                : maskToWidth(static_cast<uint64_t>(bitsToFloat(Raw, From)),
+                              sizeOfType(To));
+    else if (isFloatType(To))
+      Out = isSignedType(From)
+                ? floatToBits(
+                      static_cast<double>(signExtend(Raw, sizeOfType(From))),
+                      To)
+                : floatToBits(
+                      static_cast<double>(maskToWidth(Raw, sizeOfType(From))),
+                      To);
+    else if (isSignedType(From))
+      Out = maskToWidth(
+          static_cast<uint64_t>(signExtend(Raw, sizeOfType(From))),
+          sizeOfType(To));
+    else
+      Out = maskToWidth(maskToWidth(Raw, sizeOfType(From)), sizeOfType(To));
+    storeUopDst(B, Thread, U, Out);
+  }
+}
+
+void Machine::LaunchContext::uopCvta(BlockExec &B, WarpExec &W, const Uop &U,
+                                     uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  bool Shared = static_cast<StateSpace>(U.Space) == StateSpace::Shared;
+  bool To = (U.Flags & UF_CvtaTo) != 0;
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Addr = readUopSrc(B, Thread, U.Srcs[0]);
+    if (Shared)
+      Addr = To ? Addr - GenericSharedBase : Addr + GenericSharedBase;
+    storeUopDst(B, Thread, U, Addr);
+  }
+}
+
+void Machine::LaunchContext::uopFltBin(BlockExec &B, WarpExec &W,
+                                       const Uop &U, uint32_t Exec) {
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  Type Ty = static_cast<Type>(U.Ty);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    double A = bitsToFloat(readUopSrc(B, Thread, U.Srcs[0]), Ty);
+    double C = bitsToFloat(readUopSrc(B, Thread, U.Srcs[1]), Ty);
+    double R;
+    switch (U.Cmp) {
+    case FB_Add:
+      R = A + C;
+      break;
+    case FB_Sub:
+      R = A - C;
+      break;
+    case FB_Mul:
+      R = A * C;
+      break;
+    case FB_Div:
+      R = A / C;
+      break;
+    case FB_Min:
+      R = std::min(A, C);
+      break;
+    case FB_Max:
+      R = std::max(A, C);
+      break;
+    default: // FB_Mad
+      R = A * C + bitsToFloat(readUopSrc(B, Thread, U.Srcs[2]), Ty);
+      break;
+    }
+    storeUopDst(B, Thread, U, floatToBits(R, Ty));
+  }
+}
+
+void Machine::LaunchContext::uopLd(BlockExec &B, WarpExec &W, const Uop &U,
+                                   uint32_t Exec) {
+  if (Profiling)
+    ++PcMemOps[U.Pc];
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Size = U.MemSize;
+  uint64_t LaneAddr[WarpSize] = {};
+  uint32_t SharedMask = 0, GlobalMask = 0;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Addr =
+        (U.AddrReg >= 0 ? reg(B, Thread, U.AddrReg) : 0) + U.AddrDisp;
+    StateSpace Space =
+        resolveSpaceLowered(static_cast<StateSpace>(U.Space), Addr);
+    LaneAddr[Lane] = Addr;
+    if (Space == StateSpace::Shared)
+      SharedMask |= 1u << Lane;
+    else
+      GlobalMask |= 1u << Lane;
+
+    uint64_t Raw = loadLowered(B, Thread, Space, Addr, Size);
+    if (U.Flags & UF_SignExt)
+      Raw = static_cast<uint64_t>(signExtend(Raw, Size));
+    storeUopDst(B, Thread, U, Raw);
+    if (Failed)
+      return;
+  }
+
+  emitMemRecordsLowered(B, W, U, LaneAddr, nullptr, GlobalMask, SharedMask);
+}
+
+void Machine::LaunchContext::uopSt(BlockExec &B, WarpExec &W, const Uop &U,
+                                   uint32_t Exec) {
+  if (Profiling)
+    ++PcMemOps[U.Pc];
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Size = U.MemSize;
+  uint64_t LaneAddr[WarpSize] = {};
+  uint64_t LaneValue[WarpSize] = {};
+  uint32_t SharedMask = 0, GlobalMask = 0;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Addr =
+        (U.AddrReg >= 0 ? reg(B, Thread, U.AddrReg) : 0) + U.AddrDisp;
+    StateSpace Space =
+        resolveSpaceLowered(static_cast<StateSpace>(U.Space), Addr);
+    LaneAddr[Lane] = Addr;
+    if (Space == StateSpace::Shared)
+      SharedMask |= 1u << Lane;
+    else
+      GlobalMask |= 1u << Lane;
+
+    uint64_t Value = maskToWidth(readUopSrc(B, Thread, U.Srcs[0]), Size);
+    LaneValue[Lane] = Value;
+    storeLowered(B, Thread, Space, Addr, Size, Value);
+    if (Failed)
+      return;
+  }
+
+  emitMemRecordsLowered(B, W, U, LaneAddr, LaneValue, GlobalMask, SharedMask);
+}
+
+void Machine::LaunchContext::uopAtom(BlockExec &B, WarpExec &W, const Uop &U,
+                                     uint32_t Exec) {
+  if (Profiling)
+    ++PcMemOps[U.Pc];
+  uint32_t BaseThread = W.WarpInBlock * Config.WarpSize;
+  unsigned Size = U.MemSize;
+  uint64_t LaneAddr[WarpSize] = {};
+  uint32_t SharedMask = 0, GlobalMask = 0;
+
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    if (!((Exec >> Lane) & 1))
+      continue;
+    uint32_t Thread = BaseThread + Lane;
+    uint64_t Addr =
+        (U.AddrReg >= 0 ? reg(B, Thread, U.AddrReg) : 0) + U.AddrDisp;
+    StateSpace Space =
+        resolveSpaceLowered(static_cast<StateSpace>(U.Space), Addr);
+    LaneAddr[Lane] = Addr;
+    if (Space == StateSpace::Shared)
+      SharedMask |= 1u << Lane;
+    else
+      GlobalMask |= 1u << Lane;
+
+    if (Weak.enabled() && Space == StateSpace::Global)
+      Weak.beforeAtomic(B.BlockId);
+    uint64_t Old = loadLowered(B, Thread, Space, Addr, Size);
+    uint64_t OperandB = readUopSrc(B, Thread, U.Srcs[0]);
+    uint64_t OperandC = readUopSrc(B, Thread, U.Srcs[1]);
+    uint64_t New =
+        applyAtomOp(static_cast<AtomOpKind>(U.AtomOp),
+                    static_cast<Type>(U.Ty), maskToWidth(Old, Size), OperandB,
+                    OperandC);
+    storeLowered(B, Thread, Space, Addr, Size, New);
+    if (U.Dst >= 0)
+      storeUopDst(B, Thread, U, Old);
+    if (Failed)
+      return;
+  }
+
+  emitMemRecordsLowered(B, W, U, LaneAddr, nullptr, GlobalMask, SharedMask);
+}
+
+void Machine::LaunchContext::emitMemRecordsLowered(
+    BlockExec &B, WarpExec &W, const Uop &U, const uint64_t *LaneAddr,
+    const uint64_t *LaneValue, uint32_t GlobalMask, uint32_t SharedMask) {
+  if ((U.Flags & UF_Pruned) && Logger)
+    ++RecordsPruned; // the unoptimized instrumentation would log here
+  if (!U.LogOp || !Logger)
+    return;
+
+  RecordOp Op = static_cast<RecordOp>(U.LogOp);
+  auto emitGroup = [&](uint32_t Mask, trace::MemSpace Space) {
+    if (!Mask)
+      return;
+    if (Op == RecordOp::Write && Mach.Options.FilterSameValueWrites &&
+        LaneValue) {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!((Mask >> Lane) & 1))
+          continue;
+        for (unsigned Later = Lane + 1; Later != WarpSize; ++Later) {
+          if (!((Mask >> Later) & 1))
+            continue;
+          if (LaneAddr[Later] == LaneAddr[Lane] &&
+              LaneValue[Later] == LaneValue[Lane])
+            Mask &= ~(1u << Later);
+        }
+      }
+    }
+    LogRecord Record = trace::makeMemRecord(
+        Op, Config.globalWarp(B.BlockId, W.WarpInBlock), U.Pc, Space,
+        static_cast<uint16_t>(U.MemSize), Mask);
+    if (U.Flags & UF_LogSync) {
+      Record.setScope(static_cast<trace::SyncScope>(U.LogScope));
+      Record.SyncSeq = ++SyncTicket;
+    }
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+      if ((Mask >> Lane) & 1)
+        Record.Addr[Lane] = LaneAddr[Lane];
+    emit(B, Record);
+  };
+
+  emitGroup(GlobalMask, trace::MemSpace::Global);
+  emitGroup(SharedMask, trace::MemSpace::Shared);
+}
+
+// Indexed by UopExec; control uops are handled inline by the dispatch
+// loop and never reach the table.
+const Machine::LaunchContext::UopHandler
+    Machine::LaunchContext::UopHandlers[] = {
+        &Machine::LaunchContext::uopLegacyLanes, // LegacyLanes
+        &Machine::LaunchContext::uopLegacyMem,   // LegacyMem
+        &Machine::LaunchContext::uopNop,         // Nop
+        &Machine::LaunchContext::uopMov,         // Mov
+        &Machine::LaunchContext::uopIntAdd,      // IntAdd
+        &Machine::LaunchContext::uopIntSub,      // IntSub
+        &Machine::LaunchContext::uopIntMul,      // IntMul
+        &Machine::LaunchContext::uopIntMad,      // IntMad
+        &Machine::LaunchContext::uopIntMin,      // IntMin
+        &Machine::LaunchContext::uopIntMax,      // IntMax
+        &Machine::LaunchContext::uopIntAnd,      // IntAnd
+        &Machine::LaunchContext::uopIntOr,       // IntOr
+        &Machine::LaunchContext::uopIntXor,      // IntXor
+        &Machine::LaunchContext::uopIntNot,      // IntNot
+        &Machine::LaunchContext::uopIntShl,      // IntShl
+        &Machine::LaunchContext::uopIntShr,      // IntShr
+        &Machine::LaunchContext::uopSetp,        // Setp
+        &Machine::LaunchContext::uopSelp,        // Selp
+        &Machine::LaunchContext::uopCvt,         // Cvt
+        &Machine::LaunchContext::uopCvta,        // Cvta
+        &Machine::LaunchContext::uopFltBin,      // FltBin
+        &Machine::LaunchContext::uopLd,          // Ld
+        &Machine::LaunchContext::uopSt,          // St
+        &Machine::LaunchContext::uopAtom,        // Atom
+        nullptr,                                 // Bra (inline)
+        nullptr,                                 // RetExit (inline)
+        nullptr,                                 // Bar (inline)
+        nullptr,                                 // Membar (inline)
+        nullptr,                                 // SetpBra (inline)
+};
+
+/// One scheduler slot of a warp on the pre-lowered kernel: identical
+/// observable behavior to stepWarp, but dispatching pre-decoded micro-ops
+/// and running stack cleanup only at basic-block boundaries (mid-block
+/// cleanups are provably no-ops). Fused pairs execute both halves here
+/// and set W.Stall so the warp skips the next slot, keeping every
+/// cross-warp-visible effect in the same slot as the legacy interpreter.
+bool Machine::LaunchContext::stepWarpLowered(BlockExec &B, WarpExec &W) {
+  static_assert(sizeof(UopHandlers) / sizeof(UopHandlers[0]) ==
+                    static_cast<size_t>(UopExec::Count),
+                "handler table must cover every UopExec");
+  assert(!W.Stack.empty() && "stepping a finished warp");
+  StackEntry &Top = W.Stack.back();
+  uint32_t Pc = Top.NextPc;
+
+  if (Pc >= Low->Uops.size()) {
+    // Implicit exit at the end of the body.
+    retireLanes(B, W, Top.Mask);
+    cleanupStack(B, W);
+    return true;
+  }
+
+  const Uop &U = Low->Uops[Pc];
+  uint32_t Active = Top.Mask;
+  uint32_t Exec = Active;
+  if ((U.Flags & UF_Guarded) && static_cast<UopExec>(U.Exec) != UopExec::Bra)
+    Exec &= guardMaskLowered(B, W, U);
+  ++Executed;
+  if (Profiling)
+    ++PcExecuted[Pc];
+
+  switch (static_cast<UopExec>(U.Exec)) {
+  case UopExec::Bra: {
+    uint32_t Guard = (U.Flags & UF_Guarded)
+                         ? (guardMaskLowered(B, W, U) & Active)
+                         : Active;
+    executeBranchLowered(B, W, U, Pc, Active, Guard);
+    cleanupStack(B, W);
+    return true;
+  }
+  case UopExec::SetpBra: {
+    // Fused compare-and-branch (native launches only): the setp executes
+    // now, the branch executes in the same slot, and the warp stalls one
+    // slot to stay pass-aligned with the legacy interpreter.
+    uopSetp(B, W, U, Exec);
+    const Uop &Br = Low->Uops[Pc + 1];
+    ++Executed;
+    if (Profiling)
+      ++PcExecuted[Pc + 1];
+    uint32_t Guard = guardMaskLowered(B, W, Br) & Active;
+    executeBranchLowered(B, W, Br, Pc + 1, Active, Guard);
+    W.Stall = true;
+    cleanupStack(B, W);
+    return true;
+  }
+  case UopExec::RetExit:
+    Top.NextPc = Pc + 1;
+    retireLanes(B, W, Exec);
+    cleanupStack(B, W);
+    return true;
+  case UopExec::Bar:
+    if (Exec) {
+      if (U.LogOp && Logger)
+        emitControl(B, W, RecordOp::Bar, Pc, Exec);
+      W.AtBarrier = true;
+      W.BarrierPc = Pc;
+    }
+    Top.NextPc = Pc + 1;
+    if (U.Flags & UF_EndsBlock)
+      cleanupStack(B, W);
+    return true;
+  case UopExec::Membar:
+    if (Weak.enabled() && Exec)
+      Weak.fence(B.BlockId, (U.Flags & UF_FenceGlobal) != 0);
+    Top.NextPc = Pc + 1;
+    if (U.Flags & UF_EndsBlock)
+      cleanupStack(B, W);
+    return true;
+  default: {
+    if (Exec)
+      (this->*UopHandlers[U.Exec])(B, W, U, Exec);
+    Top.NextPc = Pc + 1;
+    if (U.Flags & UF_EndsBlock) {
+      cleanupStack(B, W);
+      return true;
+    }
+    if ((U.Flags & UF_FuseNext) && !Failed) {
+      // Fused pair: the second op is unguarded pure-ALU, so executing it
+      // early is unobservable to other warps; the stall keeps the warp's
+      // slot count identical to the legacy interpreter's.
+      const Uop &Next = Low->Uops[Pc + 1];
+      ++Executed;
+      if (Profiling)
+        ++PcExecuted[Pc + 1];
+      (this->*UopHandlers[Next.Exec])(B, W, Next, Active);
+      Top.NextPc = Pc + 2;
+      W.Stall = true;
+      if (Next.Flags & UF_EndsBlock)
+        cleanupStack(B, W);
+    }
+    return true;
+  }
+  }
+}
+
 LaunchResult Machine::LaunchContext::run() {
   if (Config.threadsPerBlock() == 0 || Config.blockCount() == 0)
     return LaunchResult::failure("empty launch configuration");
@@ -1200,6 +2141,14 @@ LaunchResult Machine::LaunchContext::run() {
         for (WarpExec &W : B.Warps) {
           if (W.Done || W.AtBarrier)
             continue;
+          if (W.Stall) {
+            // Second half of a fused uop pair already executed last
+            // slot; burn this slot so cross-warp interleaving matches
+            // the legacy one-instruction-per-pass interpreter.
+            W.Stall = false;
+            Progress = true;
+            continue;
+          }
           if (Faults && B.BlockId == 0 && W.WarpInBlock == 0) {
             // kernel-spin: the warp burns instructions without ever
             // advancing, exactly like an unreleased spin loop — only
@@ -1224,7 +2173,7 @@ LaunchResult Machine::LaunchContext::run() {
               continue;
             }
           }
-          Progress |= stepWarp(B, W);
+          Progress |= Low ? stepWarpLowered(B, W) : stepWarp(B, W);
           if (Failed)
             break;
         }
@@ -1329,8 +2278,14 @@ LaunchResult Machine::launch(const Module &M, const Kernel &K,
                              const instrument::KernelInstrumentation *Instr,
                              const LaunchConfig &Config,
                              const std::vector<uint8_t> &ParamBuffer,
-                             DeviceLogger *Logger) {
-  LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger);
+                             DeviceLogger *Logger, const LoweredKernel *Low) {
+  // A lowered kernel is only usable if it matches this body and was
+  // lowered for the same mode (native vs instrumented); otherwise run
+  // the legacy interpreter.
+  if (Low && (Low->Uops.size() != K.Body.size() ||
+              Low->Instrumented != (Instr != nullptr)))
+    Low = nullptr;
+  LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger, Low);
   obs::Span Execute(Options.Tracer,
                     Options.Tracer ? Options.Tracer->track("device") : 0,
                     "execute " + K.Name, "sim");

@@ -46,6 +46,8 @@ class FaultInjector;
 
 namespace sim {
 
+struct LoweredKernel;
+
 /// Tunables for the machine.
 struct MachineOptions {
   /// Watchdog: abort the launch after this many warp instructions.
@@ -134,11 +136,17 @@ public:
   ///        kernel runs native (no logging) and the machine derives
   ///        reconvergence points itself.
   /// \param Logger destination for log records; may be null (native).
+  /// \param Low the kernel pre-lowered to micro-ops (see sim/Lower.h);
+  ///        when non-null the machine runs the block dispatch loop over
+  ///        the uop array instead of re-decoding instructions. Must have
+  ///        been lowered with the same \p Instr value (native vs
+  ///        instrumented); mismatches fall back to the legacy path.
   LaunchResult launch(const ptx::Module &M, const ptx::Kernel &K,
                       const instrument::KernelInstrumentation *Instr,
                       const LaunchConfig &Config,
                       const std::vector<uint8_t> &ParamBuffer,
-                      DeviceLogger *Logger);
+                      DeviceLogger *Logger,
+                      const LoweredKernel *Low = nullptr);
 
   GlobalMemory &memory() { return Memory; }
   const MachineOptions &options() const { return Options; }

@@ -81,6 +81,11 @@ public:
   /// Number of materialized pages.
   size_t pageCount() const;
 
+  /// The backing page containing \p Addr, materializing it if needed.
+  /// Page pointers are stable once materialized (see class comment); the
+  /// machine's per-launch page cache depends on that stability.
+  uint8_t *page(uint64_t Addr) { return pageFor(Addr); }
+
   void reset();
 
 private:

@@ -1,0 +1,131 @@
+//===- Arena.h - bump allocation and string interning ----------------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slab bump allocator and a string interner built on it, in the
+/// BumpPtrAllocator / IdentifierInterner mold. The PTX front end uses
+/// them to make module load allocation-free on the hot path: lexer
+/// tokens are string_views into the retained source, and the parser
+/// resolves identifiers to dense interned ids exactly once, so every
+/// later lookup (register operands, param/shared/local/global symbols)
+/// is a vector index instead of a string hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_ARENA_H
+#define BARRACUDA_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace support {
+
+/// Slab bump allocator. Allocations are never individually freed; all
+/// memory is released when the arena is destroyed (or reset). Slabs
+/// double in size up to a cap so big modules do not thrash.
+class BumpAllocator {
+public:
+  explicit BumpAllocator(size_t FirstSlabBytes = 4096)
+      : NextSlabBytes(FirstSlabBytes) {}
+
+  BumpAllocator(const BumpAllocator &) = delete;
+  BumpAllocator &operator=(const BumpAllocator &) = delete;
+
+  /// Allocates \p Bytes with \p Align (power of two).
+  void *allocate(size_t Bytes, size_t Align = 8) {
+    uintptr_t P = (Cur + (Align - 1)) & ~(uintptr_t(Align) - 1);
+    if (P + Bytes > End) {
+      newSlab(Bytes + Align);
+      P = (Cur + (Align - 1)) & ~(uintptr_t(Align) - 1);
+    }
+    Cur = P + Bytes;
+    TotalUsed += Bytes;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Copies \p Text into the arena; the returned view is stable for the
+  /// arena's lifetime.
+  std::string_view copyString(std::string_view Text) {
+    if (Text.empty())
+      return std::string_view();
+    char *P = static_cast<char *>(allocate(Text.size(), 1));
+    std::memcpy(P, Text.data(), Text.size());
+    return std::string_view(P, Text.size());
+  }
+
+  size_t bytesUsed() const { return TotalUsed; }
+  size_t slabCount() const { return Slabs.size(); }
+
+  void reset() {
+    Slabs.clear();
+    Cur = End = 0;
+    TotalUsed = 0;
+  }
+
+private:
+  void newSlab(size_t AtLeast) {
+    size_t Bytes = NextSlabBytes;
+    if (Bytes < AtLeast)
+      Bytes = AtLeast;
+    if (NextSlabBytes < MaxSlabBytes)
+      NextSlabBytes *= 2;
+    Slabs.push_back(std::make_unique<uint8_t[]>(Bytes));
+    Cur = reinterpret_cast<uintptr_t>(Slabs.back().get());
+    End = Cur + Bytes;
+  }
+
+  static constexpr size_t MaxSlabBytes = 1u << 20;
+
+  std::vector<std::unique_ptr<uint8_t[]>> Slabs;
+  uintptr_t Cur = 0, End = 0;
+  size_t NextSlabBytes;
+  size_t TotalUsed = 0;
+};
+
+/// Interns strings to dense ids (0, 1, 2, ...). The interned text lives
+/// in the arena, so views returned by text() outlive the sources they
+/// were interned from.
+class StringInterner {
+public:
+  static constexpr uint32_t None = ~0u;
+
+  /// Interns \p Text, returning its dense id (allocating on first use).
+  uint32_t intern(std::string_view Text) {
+    auto It = Ids.find(Text);
+    if (It != Ids.end())
+      return It->second;
+    std::string_view Stable = Arena.copyString(Text);
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.push_back(Stable);
+    Ids.emplace(Stable, Id);
+    return Id;
+  }
+
+  /// Looks up \p Text without interning (None if absent).
+  uint32_t lookup(std::string_view Text) const {
+    auto It = Ids.find(Text);
+    return It == Ids.end() ? None : It->second;
+  }
+
+  std::string_view text(uint32_t Id) const { return Strings[Id]; }
+  size_t size() const { return Strings.size(); }
+
+private:
+  BumpAllocator Arena;
+  std::vector<std::string_view> Strings;
+  std::unordered_map<std::string_view, uint32_t> Ids;
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_ARENA_H

@@ -321,6 +321,36 @@ TEST(Profiler, FoldedStacksCoverEveryExecutedPc) {
   EXPECT_EQ(Sum, Profile.totalAttributed());
 }
 
+TEST(Profiler, FoldedStacksIdenticalUnderLowering) {
+  // The micro-op path keeps uop indices == original PTX PCs, so hot-PC
+  // attribution — and therefore the folded flamegraph output — must be
+  // byte-identical with the legacy interpreter, at full attribution.
+  auto RunFolded = [](bool SimLowered, bool &WasLowered,
+                      double &Fraction) {
+    SessionOptions Options;
+    Options.SimLowered = SimLowered;
+    Session S(Options);
+    EXPECT_TRUE(S.loadModule(ProfiledKernel)) << S.error();
+    uint64_t Buf = S.alloc(4096);
+    EXPECT_TRUE(S.launchKernel("profiled", sim::Dim3(4), sim::Dim3(64),
+                               {Buf, 200})
+                    .Ok);
+    RunReport Report = S.report();
+    WasLowered = Report.Launch.SimLowered;
+    Fraction = Report.Profile.attributedFraction();
+    return Report.foldedStacks();
+  };
+  bool LoweredRan = false, LegacyRan = true;
+  double LoweredFraction = 0.0, LegacyFraction = 0.0;
+  std::string Lowered = RunFolded(true, LoweredRan, LoweredFraction);
+  std::string Legacy = RunFolded(false, LegacyRan, LegacyFraction);
+  EXPECT_TRUE(LoweredRan) << "kernel did not take the micro-op path";
+  EXPECT_FALSE(LegacyRan);
+  EXPECT_EQ(Lowered, Legacy);
+  EXPECT_GE(LoweredFraction, 0.95);
+  EXPECT_DOUBLE_EQ(LoweredFraction, LegacyFraction);
+}
+
 TEST(Profiler, DetachedSessionsCarryNoProfile) {
   SessionOptions Options;
   Options.Profile = false;

@@ -1,0 +1,438 @@
+//===- LowerTest.cpp - lowered vs legacy simulator differential ------------===//
+//
+// The pre-lowered micro-op path must be observationally identical to the
+// per-instruction legacy interpreter: byte-identical trace records, the
+// same race findings, the same LaunchResult codes (including the
+// watchdog and divergent-barrier deadlock paths), and the same memory
+// output. We sweep the full 66-program concurrency suite and a batch of
+// random generator seeds through both paths, at the Machine level
+// (records, memory) and the Session level (end-to-end findings), and
+// lock in the arena determinism the resume/memcmp story depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+
+#include "barracuda/Session.h"
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "runtime/Engine.h"
+#include "sim/Lower.h"
+#include "sim/Machine.h"
+#include "suite/Suite.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace barracuda;
+using barracuda::tests::RandomProgram;
+
+namespace {
+
+/// Everything observable about one Machine-level execution.
+struct Observed {
+  sim::LaunchResult Result;
+  std::vector<uint32_t> Blocks;
+  std::vector<trace::LogRecord> Records;
+  /// Post-run contents of every buffer parameter, in parameter order.
+  std::vector<std::vector<uint8_t>> Buffers;
+  /// Whether the run actually used a lowered kernel.
+  bool UsedLowered = false;
+};
+
+/// Executes \p Ptx once on a fresh machine. \p Lowered selects the
+/// micro-op path (when the kernel lowers), \p Instrument the full
+/// logging pipeline; \p Watchdog overrides MaxWarpInstructions when
+/// non-zero. The allocation sequence is deterministic, so two calls
+/// observe identical address layouts.
+Observed runOnce(const std::string &Ptx, const std::string &KernelName,
+                 sim::Dim3 Grid, sim::Dim3 Block,
+                 const std::vector<suite::ParamSpec> &Params, bool Lowered,
+                 bool Instrument, uint64_t Watchdog = 0) {
+  Observed Out;
+  std::unique_ptr<ptx::Module> Mod = ptx::parseOrDie(Ptx);
+  const ptx::Kernel *K = Mod->findKernel(KernelName);
+  if (!K) {
+    Out.Result = sim::LaunchResult::failure("missing kernel");
+    return Out;
+  }
+  size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
+
+  instrument::ModuleInstrumentation Instrumented;
+  const instrument::KernelInstrumentation *KI = nullptr;
+  if (Instrument) {
+    Instrumented = instrument::instrumentModule(
+        *Mod, instrument::InstrumenterOptions());
+    KI = &Instrumented.Kernels[KernelIndex];
+  }
+
+  sim::GlobalMemory Memory;
+  sim::Machine::layoutModuleGlobals(*Mod, Memory);
+  sim::MachineOptions Options;
+  if (Watchdog)
+    Options.MaxWarpInstructions = Watchdog;
+  sim::Machine Machine(Memory, Options);
+
+  sim::ParamBuilder Builder(*K);
+  std::vector<std::pair<uint64_t, uint64_t>> BufferSpans;
+  size_t Index = 0;
+  for (const suite::ParamSpec &Spec : Params) {
+    if (Spec.K == suite::ParamSpec::Kind::Value) {
+      Builder.set(Index++, Spec.Value);
+      continue;
+    }
+    uint64_t Addr = Memory.allocate(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      Memory.write(Addr, 4, Spec.InitWord);
+    BufferSpans.emplace_back(Addr, Spec.BufferBytes);
+    Builder.set(Index++, Addr);
+  }
+
+  std::unique_ptr<sim::LoweredKernel> Low;
+  if (Lowered) {
+    Low = sim::lowerKernel(*Mod, *K, KI);
+    Out.UsedLowered = Low != nullptr;
+  }
+
+  sim::LaunchConfig Config;
+  Config.Grid = Grid;
+  Config.Block = Block;
+  sim::CollectingLogger Logger;
+  Out.Result =
+      Machine.launch(*Mod, *K, KI, Config, Builder.bytes(),
+                     Instrument ? &Logger : nullptr, Low.get());
+  Out.Blocks = std::move(Logger.Blocks);
+  Out.Records = std::move(Logger.Records);
+  for (const auto &Span : BufferSpans) {
+    std::vector<uint8_t> Bytes(Span.second);
+    for (uint64_t I = 0; I != Span.second; ++I)
+      Bytes[I] =
+          static_cast<uint8_t>(Memory.read(Span.first + I, 1));
+    Out.Buffers.push_back(std::move(Bytes));
+  }
+  return Out;
+}
+
+/// Finds the first record index where two streams differ (SIZE_MAX when
+/// equal), for readable failure output.
+size_t firstRecordDivergence(const Observed &A, const Observed &B) {
+  size_t Limit = std::min(A.Records.size(), B.Records.size());
+  for (size_t I = 0; I != Limit; ++I)
+    if (std::memcmp(&A.Records[I], &B.Records[I],
+                    sizeof(trace::LogRecord)) != 0)
+      return I;
+  return A.Records.size() == B.Records.size() ? SIZE_MAX : Limit;
+}
+
+std::string describeRecord(const Observed &O, size_t I) {
+  if (I >= O.Records.size())
+    return "(end of stream)";
+  const trace::LogRecord &R = O.Records[I];
+  return support::formatString(
+      "op=%s pc=%u warp=%u mask=0x%x size=%u space=%u seq=%u",
+      trace::recordOpName(R.op()), R.Pc, R.Warp, R.ActiveMask,
+      R.AccessSize, static_cast<unsigned>(R.space()), R.SyncSeq);
+}
+
+/// The differential oracle. Successful runs must match exactly —
+/// records, counters, memory. Failed runs compare the structured error
+/// code only: fusion retires both halves of a pair in one scheduler
+/// slot, so a watchdog threshold can trip one pass earlier and shift
+/// FailPc/WarpInstructions without changing the verdict.
+void expectSameOutcome(const Observed &Lowered, const Observed &Legacy,
+                       const std::string &Context) {
+  ASSERT_EQ(Lowered.Result.Ok, Legacy.Result.Ok)
+      << Context << "\nlowered: " << Lowered.Result.Error
+      << "\nlegacy: " << Legacy.Result.Error;
+  if (!Legacy.Result.Ok) {
+    EXPECT_EQ(Lowered.Result.Code, Legacy.Result.Code) << Context;
+    return;
+  }
+  EXPECT_EQ(Lowered.Result.ThreadsLaunched,
+            Legacy.Result.ThreadsLaunched)
+      << Context;
+  EXPECT_EQ(Lowered.Result.WarpInstructions,
+            Legacy.Result.WarpInstructions)
+      << Context;
+  EXPECT_EQ(Lowered.Result.RecordsLogged, Legacy.Result.RecordsLogged)
+      << Context;
+  EXPECT_EQ(Lowered.Result.RecordsPruned, Legacy.Result.RecordsPruned)
+      << Context;
+
+  size_t Diff = firstRecordDivergence(Lowered, Legacy);
+  EXPECT_EQ(Diff, SIZE_MAX)
+      << Context << "\nfirst divergent record at index " << Diff
+      << "\nlowered: " << describeRecord(Lowered, Diff)
+      << "\nlegacy:  " << describeRecord(Legacy, Diff);
+  EXPECT_EQ(Lowered.Blocks, Legacy.Blocks) << Context;
+
+  ASSERT_EQ(Lowered.Buffers.size(), Legacy.Buffers.size()) << Context;
+  for (size_t I = 0; I != Lowered.Buffers.size(); ++I)
+    EXPECT_EQ(Lowered.Buffers[I], Legacy.Buffers[I])
+        << Context << "\nbuffer parameter " << I << " differs";
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-level differential: the 66-program suite.
+//===----------------------------------------------------------------------===//
+
+class SuiteLoweredDifferential
+    : public ::testing::TestWithParam<suite::SuiteProgram> {};
+
+TEST_P(SuiteLoweredDifferential, InstrumentedTraceIdentical) {
+  const suite::SuiteProgram &Program = GetParam();
+  Observed Lowered =
+      runOnce(Program.Ptx, Program.KernelName, Program.Grid,
+              Program.Block, Program.Params, /*Lowered=*/true,
+              /*Instrument=*/true);
+  Observed Legacy =
+      runOnce(Program.Ptx, Program.KernelName, Program.Grid,
+              Program.Block, Program.Params, /*Lowered=*/false,
+              /*Instrument=*/true);
+  expectSameOutcome(Lowered, Legacy, "program: " + Program.Name);
+}
+
+TEST_P(SuiteLoweredDifferential, NativeMemoryIdentical) {
+  const suite::SuiteProgram &Program = GetParam();
+  Observed Lowered =
+      runOnce(Program.Ptx, Program.KernelName, Program.Grid,
+              Program.Block, Program.Params, /*Lowered=*/true,
+              /*Instrument=*/false);
+  Observed Legacy =
+      runOnce(Program.Ptx, Program.KernelName, Program.Grid,
+              Program.Block, Program.Params, /*Lowered=*/false,
+              /*Instrument=*/false);
+  expectSameOutcome(Lowered, Legacy,
+                    "program: " + Program.Name + " (native)");
+}
+
+std::string suiteName(
+    const ::testing::TestParamInfo<suite::SuiteProgram> &Info) {
+  return Info.param.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite66, SuiteLoweredDifferential,
+                         ::testing::ValuesIn(suite::concurrencySuite()),
+                         suiteName);
+
+//===----------------------------------------------------------------------===//
+// Machine-level differential: random generator seeds.
+//===----------------------------------------------------------------------===//
+
+class RandomLoweredDifferential
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomLoweredDifferential, InstrumentedTraceIdentical) {
+  RandomProgram Program(GetParam());
+  std::vector<suite::ParamSpec> Params = {
+      suite::ParamSpec::buffer(4096)};
+  sim::Dim3 Grid(Program.Blocks), Block(Program.ThreadsPerBlock);
+  Observed Lowered = runOnce(Program.Ptx, "rand", Grid, Block, Params,
+                             /*Lowered=*/true, /*Instrument=*/true);
+  Observed Legacy = runOnce(Program.Ptx, "rand", Grid, Block, Params,
+                            /*Lowered=*/false, /*Instrument=*/true);
+  // The generator only emits opcodes the lowerer accepts: if the fast
+  // path silently stopped engaging, this differential would be vacuous.
+  EXPECT_TRUE(Lowered.UsedLowered)
+      << "seed " << GetParam() << " did not lower\n" << Program.Ptx;
+  expectSameOutcome(Lowered, Legacy,
+                    support::formatString("seed %llu",
+                                          static_cast<unsigned long long>(
+                                              GetParam())) +
+                        "\n" + Program.Ptx);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, RandomLoweredDifferential,
+                         ::testing::Range<uint64_t>(1, 46));
+
+//===----------------------------------------------------------------------===//
+// Failure paths: watchdog and divergent-barrier deadlock.
+//===----------------------------------------------------------------------===//
+
+TEST(LoweredFailurePaths, WatchdogCodeMatches) {
+  std::string Ptx = suite::makeTestKernel("spin", ".param .u64 p0", R"(
+    ld.param.u64 %rd1, [p0];
+loop:
+    bra loop;
+)");
+  std::vector<suite::ParamSpec> Params = {suite::ParamSpec::buffer(64)};
+  Observed Lowered =
+      runOnce(Ptx, "spin", sim::Dim3(1), sim::Dim3(32), Params,
+              /*Lowered=*/true, /*Instrument=*/true, /*Watchdog=*/2000);
+  Observed Legacy =
+      runOnce(Ptx, "spin", sim::Dim3(1), sim::Dim3(32), Params,
+              /*Lowered=*/false, /*Instrument=*/true, /*Watchdog=*/2000);
+  EXPECT_FALSE(Lowered.Result.Ok);
+  expectSameOutcome(Lowered, Legacy, "watchdog spin kernel");
+}
+
+TEST(LoweredFailurePaths, DivergentBarrierDeadlockCodeMatches) {
+  // Two warps: warp 0 branches around the barrier, warp 1 arrives at
+  // it. The block can never release, and both execution paths must
+  // classify the hang identically.
+  std::string Ptx = suite::makeTestKernel("halfbar", ".param .u64 p0", R"(
+    ld.param.u64 %rd1, [p0];
+    mov.u32 %r1, %tid.x;
+    setp.lt.u32 %p1, %r1, 32;
+    @%p1 bra skip;
+    bar.sync 0;
+skip:
+    ret;
+)");
+  std::vector<suite::ParamSpec> Params = {suite::ParamSpec::buffer(64)};
+  Observed Lowered =
+      runOnce(Ptx, "halfbar", sim::Dim3(1), sim::Dim3(64), Params,
+              /*Lowered=*/true, /*Instrument=*/true);
+  Observed Legacy =
+      runOnce(Ptx, "halfbar", sim::Dim3(1), sim::Dim3(64), Params,
+              /*Lowered=*/false, /*Instrument=*/true);
+  expectSameOutcome(Lowered, Legacy, "divergent barrier kernel");
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering determinism and fusion coverage.
+//===----------------------------------------------------------------------===//
+
+TEST(LowerDeterminism, ByteIdenticalArenas) {
+  for (const suite::SuiteProgram &Program : suite::concurrencySuite()) {
+    std::unique_ptr<ptx::Module> Mod = ptx::parseOrDie(Program.Ptx);
+    const ptx::Kernel *K = Mod->findKernel(Program.KernelName);
+    ASSERT_NE(K, nullptr) << Program.Name;
+    size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
+    instrument::ModuleInstrumentation Instr = instrument::instrumentModule(
+        *Mod, instrument::InstrumenterOptions());
+
+    const instrument::KernelInstrumentation *Variants[] = {
+        nullptr, &Instr.Kernels[KernelIndex]};
+    for (const instrument::KernelInstrumentation *KI : Variants) {
+      std::unique_ptr<sim::LoweredKernel> First =
+          sim::lowerKernel(*Mod, *K, KI);
+      std::unique_ptr<sim::LoweredKernel> Second =
+          sim::lowerKernel(*Mod, *K, KI);
+      ASSERT_EQ(First != nullptr, Second != nullptr) << Program.Name;
+      if (!First)
+        continue;
+      ASSERT_EQ(First->Uops.size(), Second->Uops.size()) << Program.Name;
+      EXPECT_EQ(std::memcmp(First->Uops.data(), Second->Uops.data(),
+                            First->byteSize()),
+                0)
+          << "lowering " << Program.Name << " twice differs";
+      EXPECT_EQ(First->BlockStarts, Second->BlockStarts) << Program.Name;
+      EXPECT_EQ(First->FusedPairs, Second->FusedPairs) << Program.Name;
+      EXPECT_EQ(First->FusedBranches, Second->FusedBranches)
+          << Program.Name;
+    }
+  }
+}
+
+TEST(LowerCoverage, IdentityPcMapAndFusion) {
+  uint64_t LoweredKernels = 0, FusedPairs = 0, FusedBranches = 0;
+  for (const suite::SuiteProgram &Program : suite::concurrencySuite()) {
+    std::unique_ptr<ptx::Module> Mod = ptx::parseOrDie(Program.Ptx);
+    const ptx::Kernel *K = Mod->findKernel(Program.KernelName);
+    ASSERT_NE(K, nullptr) << Program.Name;
+    std::unique_ptr<sim::LoweredKernel> Low =
+        sim::lowerKernel(*Mod, *K, nullptr);
+    if (!Low)
+      continue;
+    ++LoweredKernels;
+    FusedPairs += Low->FusedPairs;
+    FusedBranches += Low->FusedBranches;
+    // The identity PC map is what lets branch targets, profiler arrays
+    // and trace records skip translation entirely.
+    ASSERT_EQ(Low->Uops.size(), K->Body.size()) << Program.Name;
+    for (size_t Pc = 0; Pc != Low->Uops.size(); ++Pc)
+      ASSERT_EQ(Low->Uops[Pc].Pc, Pc) << Program.Name;
+    ASSERT_FALSE(Low->BlockStarts.empty()) << Program.Name;
+    EXPECT_EQ(Low->BlockStarts.front(), 0u) << Program.Name;
+  }
+  // The micro-op path must actually engage on the suite, and both
+  // fusion kinds must fire somewhere in it.
+  EXPECT_GE(LoweredKernels, 33u);
+  EXPECT_GT(FusedPairs, 0u);
+  EXPECT_GT(FusedBranches, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Session-level differential: end-to-end findings with the full
+// pipeline (engine, queues, detector) in the loop.
+//===----------------------------------------------------------------------===//
+
+runtime::Engine &lowerTestEngine() {
+  static runtime::Engine Engine;
+  return Engine;
+}
+
+struct SessionOutcome {
+  bool Ok = false;
+  support::ErrorCode Code = support::ErrorCode::Ok;
+  bool SimLowered = false;
+  std::vector<std::string> Races;
+  size_t BarrierErrors = 0;
+};
+
+SessionOutcome runSession(const suite::SuiteProgram &Program,
+                          bool SimLowered) {
+  SessionOutcome Out;
+  SessionOptions Opts;
+  Opts.SharedEngine = &lowerTestEngine();
+  Opts.SimLowered = SimLowered;
+  Session S(Opts);
+  if (!S.loadModule(Program.Ptx))
+    return Out;
+  std::vector<uint64_t> Params;
+  for (const suite::ParamSpec &Spec : Program.Params) {
+    if (Spec.K == suite::ParamSpec::Kind::Value) {
+      Params.push_back(Spec.Value);
+      continue;
+    }
+    uint64_t Addr = S.alloc(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      S.writeU32(Addr, Spec.InitWord);
+    Params.push_back(Addr);
+  }
+  sim::LaunchResult Result = S.launchKernel(
+      Program.KernelName, Program.Grid, Program.Block, Params);
+  Out.Ok = Result.Ok;
+  Out.Code = Result.Code;
+  Out.SimLowered = S.report().Launch.SimLowered;
+  for (const detector::RaceReport &Race : S.races())
+    Out.Races.push_back(Race.describe());
+  Out.BarrierErrors = S.barrierErrors().size();
+  return Out;
+}
+
+TEST(LowerSession, SuiteVerdictsMatchEndToEnd) {
+  // The full pipeline's race *attribution* (which thread pair and pc a
+  // race is first pinned to, occurrence counts) depends on detector
+  // worker interleaving and varies run to run even within one mode, so
+  // the end-to-end differential compares at verdict granularity — the
+  // record streams themselves are compared byte-for-byte in the
+  // Machine-level differential above, where execution is deterministic.
+  uint64_t LoweredRuns = 0;
+  for (const suite::SuiteProgram &Program : suite::concurrencySuite()) {
+    SessionOutcome Lowered = runSession(Program, /*SimLowered=*/true);
+    SessionOutcome Legacy = runSession(Program, /*SimLowered=*/false);
+    ASSERT_EQ(Lowered.Ok, Legacy.Ok) << Program.Name;
+    EXPECT_EQ(Lowered.Code, Legacy.Code) << Program.Name;
+    EXPECT_EQ(Lowered.Races.empty(), Legacy.Races.empty())
+        << Program.Name;
+    EXPECT_EQ(Lowered.BarrierErrors != 0, Legacy.BarrierErrors != 0)
+        << Program.Name;
+    bool LoweredProblem =
+        !Lowered.Races.empty() || Lowered.BarrierErrors != 0;
+    EXPECT_EQ(LoweredProblem, Program.expectProblem()) << Program.Name;
+    // --legacy-sim must really disable the fast path.
+    EXPECT_FALSE(Legacy.SimLowered) << Program.Name;
+    if (Lowered.SimLowered)
+      ++LoweredRuns;
+  }
+  EXPECT_GE(LoweredRuns, 33u);
+}
+
+} // namespace

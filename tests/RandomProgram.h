@@ -1,0 +1,185 @@
+//===- RandomProgram.h - random terminating CUDA kernel generator ----------===//
+//
+// Shared between PropertyTest (detector equivalence) and LowerTest
+// (lowered-vs-legacy simulator differential): generates a random,
+// terminating kernel exercising straight-line global/shared accesses,
+// nested divergence, barriers, atomics and fence bundles.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_TESTS_RANDOMPROGRAM_H
+#define BARRACUDA_TESTS_RANDOMPROGRAM_H
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace barracuda {
+namespace tests {
+
+/// Generates a random, terminating kernel: straight-line global/shared
+/// accesses, nested divergence, barriers, atomics and fence bundles.
+class RandomProgram {
+public:
+  explicit RandomProgram(uint64_t Seed) : Rng(Seed) {
+    Blocks = Rng.chance(1, 2) ? 1 : 2;
+    ThreadsPerBlock = Rng.chance(1, 2) ? 32 : 64;
+    Body = prolog();
+    unsigned Statements = 6 + static_cast<unsigned>(Rng.nextBelow(10));
+    for (unsigned I = 0; I != Statements; ++I)
+      emitStatement(/*Depth=*/0);
+    Body += "    ret;\n";
+    Ptx = ".version 4.3\n.target sm_35\n.address_size 64\n\n"
+          ".visible .entry rand(\n    .param .u64 p0\n)\n{\n"
+          "    .reg .u64 %rd<10>;\n    .reg .u32 %r<12>;\n"
+          "    .reg .pred %p<6>;\n"
+          "    .shared .align 4 .b8 tile[256];\n" +
+          Body + "}\n";
+  }
+
+  std::string Ptx;
+  uint32_t Blocks;
+  uint32_t ThreadsPerBlock;
+
+private:
+  std::string prolog() {
+    return "    ld.param.u64 %rd1, [p0];\n"
+           "    mov.u32 %r1, %tid.x;\n"
+           "    mov.u32 %r2, %ctaid.x;\n"
+           "    mov.u32 %r3, %ntid.x;\n"
+           "    mad.lo.u32 %r4, %r2, %r3, %r1;\n"
+           "    mov.u64 %rd5, tile;\n";
+  }
+
+  /// Emits address computation into %rd4 (global) or %rd6 (shared).
+  void emitGlobalAddr() {
+    switch (Rng.nextBelow(4)) {
+    case 0: // own gid slot
+      Body += "    cvt.u64.u32 %rd3, %r4;\n"
+              "    shl.b64 %rd3, %rd3, 2;\n"
+              "    add.u64 %rd4, %rd1, %rd3;\n";
+      break;
+    case 1: // gid % 4 (conflicting)
+      Body += "    and.b32 %r8, %r4, 3;\n"
+              "    cvt.u64.u32 %rd3, %r8;\n"
+              "    shl.b64 %rd3, %rd3, 2;\n"
+              "    add.u64 %rd4, %rd1, %rd3;\n";
+      break;
+    default: // a fixed hot slot
+      Body += support::formatString(
+          "    add.u64 %%rd4, %%rd1, %u;\n",
+          1024 + 4 * static_cast<unsigned>(Rng.nextBelow(3)));
+      break;
+    }
+  }
+
+  void emitSharedAddr() {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Body += "    cvt.u64.u32 %rd3, %r1;\n"
+              "    shl.b64 %rd3, %rd3, 2;\n"
+              "    add.u64 %rd6, %rd5, %rd3;\n";
+      break;
+    case 1:
+      Body += "    and.b32 %r8, %r1, 3;\n"
+              "    cvt.u64.u32 %rd3, %r8;\n"
+              "    shl.b64 %rd3, %rd3, 2;\n"
+              "    add.u64 %rd6, %rd5, %rd3;\n";
+      break;
+    default:
+      Body += support::formatString(
+          "    add.u64 %%rd6, %%rd5, %u;\n",
+          128 + 4 * static_cast<unsigned>(Rng.nextBelow(3)));
+      break;
+    }
+  }
+
+  void emitStatement(unsigned Depth) {
+    uint64_t Pick = Rng.nextBelow(Depth == 0 ? 12 : 9);
+    switch (Pick) {
+    case 0: // global store
+      emitGlobalAddr();
+      Body += "    st.global.u32 [%rd4], %r4;\n";
+      break;
+    case 1: // global load
+      emitGlobalAddr();
+      Body += "    ld.global.u32 %r9, [%rd4];\n";
+      break;
+    case 2: // shared store
+      emitSharedAddr();
+      Body += "    st.shared.u32 [%rd6], %r1;\n";
+      break;
+    case 3: // shared load
+      emitSharedAddr();
+      Body += "    ld.shared.u32 %r9, [%rd6];\n";
+      break;
+    case 4: // atomic (global or shared)
+      if (Rng.chance(1, 2)) {
+        emitGlobalAddr();
+        Body += "    atom.global.add.u32 %r9, [%rd4], 1;\n";
+      } else {
+        emitSharedAddr();
+        Body += "    atom.shared.add.u32 %r9, [%rd6], 1;\n";
+      }
+      break;
+    case 5: { // release bundle to a sync slot
+      const char *Fence = Rng.chance(1, 2) ? "membar.gl" : "membar.cta";
+      Body += support::formatString(
+          "    add.u64 %%rd4, %%rd1, %u;\n",
+          2048 + 4 * static_cast<unsigned>(Rng.nextBelow(2)));
+      Body += support::formatString(
+          "    %s;\n    st.global.u32 [%%rd4], 1;\n", Fence);
+      break;
+    }
+    case 6: { // acquire bundle from a sync slot
+      const char *Fence = Rng.chance(1, 2) ? "membar.gl" : "membar.cta";
+      Body += support::formatString(
+          "    add.u64 %%rd4, %%rd1, %u;\n",
+          2048 + 4 * static_cast<unsigned>(Rng.nextBelow(2)));
+      Body += support::formatString(
+          "    ld.global.u32 %%r9, [%%rd4];\n    %s;\n", Fence);
+      break;
+    }
+    case 7: // lone fence
+      Body += Rng.chance(1, 2) ? "    membar.gl;\n" : "    membar.cta;\n";
+      break;
+    case 8: { // divergence (possibly nested)
+      if (Depth >= 2) {
+        Body += "    add.u32 %r9, %r4, 1;\n";
+        break;
+      }
+      unsigned Split = 1 + static_cast<unsigned>(Rng.nextBelow(31));
+      unsigned ThenLabel = LabelCounter++;
+      unsigned JoinLabel = LabelCounter++;
+      Body += support::formatString("    setp.lt.u32 %%p%u, %%r1, %u;\n",
+                                    1 + Depth, Split);
+      Body += support::formatString("    @%%p%u bra T%u;\n", 1 + Depth,
+                                    ThenLabel);
+      unsigned ElseCount = 1 + static_cast<unsigned>(Rng.nextBelow(2));
+      for (unsigned I = 0; I != ElseCount; ++I)
+        emitStatement(Depth + 1);
+      Body += support::formatString("    bra.uni J%u;\nT%u:\n", JoinLabel,
+                                    ThenLabel);
+      unsigned ThenCount = 1 + static_cast<unsigned>(Rng.nextBelow(2));
+      for (unsigned I = 0; I != ThenCount; ++I)
+        emitStatement(Depth + 1);
+      Body += support::formatString("J%u:\n", JoinLabel);
+      break;
+    }
+    default: // top level only: barrier
+      Body += "    bar.sync 0;\n";
+      break;
+    }
+  }
+
+  support::Rng Rng;
+  std::string Body;
+  unsigned LabelCounter = 0;
+};
+
+} // namespace tests
+} // namespace barracuda
+
+#endif // BARRACUDA_TESTS_RANDOMPROGRAM_H
