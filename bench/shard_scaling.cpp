@@ -1,0 +1,378 @@
+//===- shard_scaling.cpp - sharded detector core-scaling bench -------------===//
+//
+// Measures end-to-end detector throughput (queue transport included)
+// as worker count and shard count sweep 1 -> 16, on two workload
+// families:
+//
+//   shard-friendly    : full-warp coalesced 4-byte accesses, each warp
+//                       sweeping its own 64 KB shadow page — posts
+//                       spread evenly over shards, runs never straddle
+//                       a page, no sync traffic. The workload the
+//                       sharded design is built for.
+//   shard-adversarial : page-boundary-straddling runs (every run splits
+//                       into two pieces for two different shards),
+//                       atomic-heavy hot addresses funnelling posts
+//                       into one shard, overlapping racy writes, and
+//                       periodic release operations whose ticket
+//                       markers fan out to every shard and serialize
+//                       the owners.
+//
+// Each worker-count W runs one HostDetector over W pre-routed queues
+// with W shards (shards default to the worker count, as in the
+// session). W = 1 with one shard is the single-table inline oracle —
+// the same code path the unsharded detector runs.
+//
+// Invariants enforced every run:
+//   - shard-friendly finds no races at any configuration;
+//   - shard-adversarial at 1 worker matches the inline oracle's race
+//     reports exactly (both orders are deterministic) and finds races
+//     at every worker count;
+//   - with >= 8 hardware cores (and not in smoke mode), 8 workers must
+//     reach >= 3x the 1-worker throughput on the friendly family;
+//   - in smoke mode, the 1-worker 1-shard configuration must stay
+//     within a noise-padded bound of the direct processor loop (the
+//     <= 3% no-regression target for --shadow-shards=1; the smoke
+//     bound is padded for CI timer noise and queue transport).
+//
+// Writes BENCH_shard_scaling.json (one fresh document per run) into
+// the working directory.
+//
+// Environment:
+//   BARRACUDA_SHARD_RECORDS  records per family (default 100000)
+//   BARRACUDA_BENCH_SMOKE=1  few records, invariant checks only
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Detector.h"
+#include "detector/Host.h"
+#include "detector/Shadow.h"
+#include "support/Json.h"
+#include "trace/Queue.h"
+#include "trace/Record.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace barracuda;
+using namespace barracuda::detector;
+using trace::LogRecord;
+using trace::MemSpace;
+using trace::RecordOp;
+using trace::WarpSize;
+
+namespace {
+
+constexpr uint32_t WarpsPerBlock = 2;
+constexpr uint32_t NumBlocks = 16;
+constexpr uint32_t NumWarps = NumBlocks * WarpsPerBlock;
+constexpr uint64_t PageSize = GlobalShadow::PageSize;
+constexpr uint64_t GlobalBase = 0x100000; // page-aligned
+
+sim::ThreadHierarchy hierarchy() {
+  sim::ThreadHierarchy Hier;
+  Hier.ThreadsPerBlock = WarpsPerBlock * WarpSize;
+  Hier.WarpsPerBlock = WarpsPerBlock;
+  return Hier;
+}
+
+LogRecord memRecord(RecordOp Op, uint32_t Warp, uint32_t Pc,
+                    uint64_t Base, uint64_t LaneStride) {
+  LogRecord Record = trace::makeMemRecord(Op, Warp, Pc, MemSpace::Global,
+                                          4, /*ActiveMask=*/~0u);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+    Record.Addr[Lane] = Base + Lane * LaneStride;
+  return Record;
+}
+
+struct Workload {
+  const char *Name;
+  std::vector<LogRecord> Records;
+  std::vector<uint32_t> BlockIds;
+
+  void push(const LogRecord &Record) {
+    Records.push_back(Record);
+    BlockIds.push_back(Record.Warp / WarpsPerBlock);
+  }
+};
+
+/// Every warp sweeps its own shadow page with coalesced read/write
+/// pairs: the posts distribute 1:1 over shards and nothing races.
+Workload friendly(unsigned Count) {
+  Workload W;
+  W.Name = "shard-friendly";
+  constexpr uint64_t Sweep = PageSize / (WarpSize * 4);
+  for (unsigned I = 0; I != Count; ++I) {
+    uint32_t Warp = I % NumWarps;
+    uint64_t Base = GlobalBase + Warp * PageSize +
+                    (I / NumWarps % Sweep) * WarpSize * 4;
+    RecordOp Op = (I / NumWarps) % 2 ? RecordOp::Read : RecordOp::Write;
+    W.push(memRecord(Op, Warp, /*Pc=*/1, Base, 4));
+  }
+  return W;
+}
+
+/// Boundary-straddling runs, one hot atomic granule, overlapping racy
+/// writes in a single page, and periodic releases (ticket markers fan
+/// out to every shard).
+Workload adversarial(unsigned Count) {
+  Workload W;
+  W.Name = "shard-adversarial";
+  uint32_t Ticket = 0;
+  for (unsigned I = 0; I != Count; ++I) {
+    uint32_t Warp = I % NumWarps;
+    if (I % 96 == 95) {
+      // A release whose marker every shard must consume in order.
+      LogRecord Rel = memRecord(RecordOp::Rel, Warp, /*Pc=*/9,
+                                GlobalBase + 8 * PageSize, 0);
+      Rel.setScope(trace::SyncScope::Global);
+      Rel.SyncSeq = ++Ticket;
+      W.push(Rel);
+      continue;
+    }
+    switch ((I / NumWarps) % 3) {
+    case 0: // run straddling a page boundary: splits into two shards
+      W.push(memRecord(RecordOp::Write, Warp, /*Pc=*/2,
+                       GlobalBase + ((Warp % 4) + 1) * PageSize - 64, 4));
+      break;
+    case 1: // every lane of every warp bumps one hot counter
+      W.push(memRecord(RecordOp::Atom, Warp, /*Pc=*/3,
+                       GlobalBase + 0x40, 0));
+      break;
+    default: // overlapping racy writes crammed into one page
+      W.push(memRecord(RecordOp::Write, Warp, /*Pc=*/4,
+                       GlobalBase + (I % 8) * 128, 4));
+      break;
+    }
+  }
+  return W;
+}
+
+using RaceKey = std::tuple<uint32_t, AccessKind, AccessKind, MemSpace,
+                           RaceScopeKind, uint64_t>;
+
+std::vector<RaceKey> keysOf(const RaceReporter &Reporter) {
+  std::vector<RaceKey> Keys;
+  for (const RaceReport &Race : Reporter.races())
+    Keys.emplace_back(Race.Pc, Race.Current, Race.Previous, Race.Space,
+                      Race.Scope, Race.Count);
+  return Keys;
+}
+
+struct RunResult {
+  double Seconds = 0;
+  std::vector<RaceKey> Races;
+};
+
+/// The inline oracle: one QueueProcessor, no queues, no shards.
+RunResult runInline(const Workload &W) {
+  DetectorOptions Opts;
+  Opts.Hier = hierarchy();
+  SharedDetectorState State(Opts);
+  QueueProcessor Processor(State);
+  auto Start = std::chrono::steady_clock::now();
+  for (const LogRecord &Record : W.Records)
+    Processor.process(Record);
+  RunResult Result;
+  Result.Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  Processor.finish();
+  Result.Races = keysOf(State.Reporter);
+  return Result;
+}
+
+/// One HostDetector over \p Workers pre-routed queues with \p Shards
+/// shadow shards; per-queue producer threads feed the rings while the
+/// workers drain, so the measurement includes the full transport.
+RunResult runSharded(const Workload &W, unsigned Workers,
+                     unsigned Shards) {
+  DetectorOptions Opts;
+  Opts.Hier = hierarchy();
+  Opts.ShadowShards = Shards;
+  Opts.NumQueues = Workers;
+  SharedDetectorState State(Opts);
+
+  // Pre-route each record to its block's queue so producer threads
+  // don't contend on a shared cursor.
+  std::vector<std::vector<const LogRecord *>> PerQueue(Workers);
+  for (size_t I = 0; I != W.Records.size(); ++I)
+    PerQueue[W.BlockIds[I] % Workers].push_back(&W.Records[I]);
+
+  trace::QueueSet Queues(Workers, /*CapacityPow2=*/1 << 12);
+  HostDetector Detector(Queues, State);
+
+  auto Start = std::chrono::steady_clock::now();
+  Detector.start();
+  std::vector<std::thread> Producers;
+  for (unsigned Q = 0; Q != Workers; ++Q)
+    Producers.emplace_back([&, Q] {
+      for (const LogRecord *Record : PerQueue[Q])
+        Queues.queue(Q).push(*Record);
+      Queues.queue(Q).close();
+    });
+  for (std::thread &Producer : Producers)
+    Producer.join();
+  Detector.join();
+  RunResult Result;
+  Result.Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  Result.Races = keysOf(State.Reporter);
+  return Result;
+}
+
+void fail(const char *Family, const char *What) {
+  std::fprintf(stderr, "FAIL [%s]: %s\n", Family, What);
+  std::exit(1);
+}
+
+double bestOf(unsigned Reps, const std::function<double()> &Run) {
+  double Best = 1e18;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep)
+    Best = std::min(Best, Run());
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  bool Smoke = false;
+  if (const char *Env = std::getenv("BARRACUDA_BENCH_SMOKE"))
+    Smoke = *Env && std::strcmp(Env, "0") != 0;
+  unsigned Count = Smoke ? 3000 : 100000;
+  if (const char *Env = std::getenv("BARRACUDA_SHARD_RECORDS"))
+    Count = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  unsigned Reps = Smoke ? 1 : 3;
+  unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::printf("Sharded detector core scaling: %u warp records/family, "
+              "%u host cores%s\n\n",
+              Count, HostCores, Smoke ? " [smoke]" : "");
+
+  const unsigned WorkerCounts[] = {1, 2, 4, 8, 16};
+
+  support::json::Writer Json;
+  Json.beginObject();
+  Json.key("bench").value(std::string("shard_scaling"));
+  Json.key("description")
+      .value(std::string(
+          "HostDetector throughput over pre-routed queues, workers = "
+          "queues = shards sweeping 1..16 (records/sec)"));
+  Json.key("units").value(std::string("records/sec"));
+  Json.key("hostCores").value(static_cast<uint64_t>(HostCores));
+  Json.key("recordsPerFamily").value(static_cast<uint64_t>(Count));
+  Json.key("smoke").value(Smoke);
+  Json.key("families").beginObject();
+
+  double FriendlyRate1 = 0, FriendlyRate8 = 0;
+  for (bool Friendly : {true, false}) {
+    Workload W = Friendly ? friendly(Count) : adversarial(Count);
+
+    RunResult Oracle = runInline(W);
+    double InlineBest =
+        bestOf(Reps, [&] { return runInline(W).Seconds; });
+    if (Friendly && !Oracle.Races.empty())
+      fail(W.Name, "friendly workload must be race-free");
+    if (!Friendly && Oracle.Races.empty())
+      fail(W.Name, "adversarial workload must race");
+
+    std::printf("%s (inline oracle %.0f rec/s, %zu distinct races)\n",
+                W.Name, Count / InlineBest, Oracle.Races.size());
+    std::printf("  %8s %8s %14s %9s\n", "workers", "shards", "rec/s",
+                "vs 1");
+
+    Json.key(W.Name).beginObject();
+    Json.key("inlineRecPerSec")
+        .value(static_cast<uint64_t>(Count / InlineBest));
+    Json.key("points").beginArray();
+
+    double Rate1 = 0;
+    for (unsigned Workers : WorkerCounts) {
+      RunResult First = runSharded(W, Workers, Workers);
+      if (Friendly && !First.Races.empty())
+        fail(W.Name, "sharded run reported races on race-free input");
+      if (!Friendly && First.Races.empty())
+        fail(W.Name, "sharded run missed the adversarial races");
+      if (!Friendly && Workers == 1 && First.Races != Oracle.Races)
+        fail(W.Name,
+             "1-worker sharded verdicts differ from the inline oracle");
+
+      double Best = First.Seconds;
+      for (unsigned Rep = 1; Rep < Reps; ++Rep)
+        Best = std::min(Best, runSharded(W, Workers, Workers).Seconds);
+      double Rate = Count / Best;
+      if (Workers == 1)
+        Rate1 = Rate;
+      if (Friendly && Workers == 1)
+        FriendlyRate1 = Rate;
+      if (Friendly && Workers == 8)
+        FriendlyRate8 = Rate;
+      std::printf("  %8u %8u %14.0f %8.2fx\n", Workers, Workers, Rate,
+                  Rate / Rate1);
+
+      Json.beginObject();
+      Json.key("workers").value(static_cast<uint64_t>(Workers));
+      Json.key("shards").value(static_cast<uint64_t>(Workers));
+      Json.key("recPerSec").value(static_cast<uint64_t>(Rate));
+      Json.key("speedupVs1").value(Rate / Rate1);
+      Json.endObject();
+    }
+    Json.endArray();
+    Json.endObject();
+    std::printf("\n");
+  }
+  Json.endObject();
+
+  // The <= 3% no-regression target for --shadow-shards=1: the 1-worker
+  // 1-shard configuration runs the inline code path (no ShardSet is
+  // created), so any gap against the direct processor loop is queue
+  // transport plus timer noise. The smoke gate pads the bound the same
+  // way the hot-path bench's overhead gates do.
+  {
+    Workload W = friendly(Count);
+    double Inline = bestOf(7, [&] { return runInline(W).Seconds; });
+    double Single =
+        bestOf(7, [&] { return runSharded(W, 1, 1).Seconds; });
+    double OverheadPct = 100.0 * (Inline > 0 ? Single / Inline - 1.0 : 0);
+    std::printf("shards=1 overhead vs direct processor loop "
+                "(best of 7): inline %.0f rec/s, 1-worker/1-shard "
+                "%.0f rec/s (%+.1f%%)\n",
+                Count / Inline, Count / Single, OverheadPct);
+    Json.key("singleShardOverheadPct").value(OverheadPct);
+    if (Smoke && OverheadPct > 35.0)
+      fail("shards=1",
+           "single-shard configuration regressed more than the "
+           "noise-padded bound over the direct loop");
+  }
+
+  // Scaling acceptance: >= 3x at 8 workers on the friendly family.
+  // Only meaningful with real cores to scale onto.
+  if (!Smoke && HostCores >= 8 && FriendlyRate1 > 0) {
+    double Speedup = FriendlyRate8 / FriendlyRate1;
+    std::printf("scaling: 8 workers = %.2fx of 1 worker "
+                "(shard-friendly)\n",
+                Speedup);
+    if (Speedup < 3.0)
+      fail("shard-friendly",
+           "8 workers below 3x single-worker throughput");
+  } else {
+    std::printf("scaling gate skipped (%s)\n",
+                Smoke ? "smoke mode" : "fewer than 8 host cores");
+  }
+
+  Json.endObject();
+  std::FILE *Out = std::fopen("BENCH_shard_scaling.json", "w");
+  if (Out) {
+    std::string Doc = Json.take() + "\n";
+    std::fwrite(Doc.data(), 1, Doc.size(), Out);
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_shard_scaling.json\n");
+  }
+  return 0;
+}

@@ -54,6 +54,25 @@ std::string RunReport::toJson() const {
   W.key("globalShadowBytes").value(Detector.GlobalShadowBytes);
   W.key("sharedShadowBytes").value(Detector.SharedShadowBytes);
   W.key("syncLocations").value(Detector.SyncLocations);
+  if (!Detector.Shards.empty()) {
+    W.key("shards").beginArray();
+    for (const DetectorSection::ShardStats &Shard : Detector.Shards) {
+      W.beginObject();
+      W.key("index").value(static_cast<uint64_t>(Shard.Index));
+      W.key("posted").value(Shard.Posted);
+      W.key("applied").value(Shard.Applied);
+      W.key("runPieces").value(Shard.RunPieces);
+      W.key("syncMarks").value(Shard.SyncMarks);
+      W.key("markers").value(Shard.Markers);
+      W.key("pages").value(Shard.Pages);
+      W.key("shadowBytes").value(Shard.ShadowBytes);
+      W.key("producerStalls").value(Shard.ProducerStalls);
+      W.key("ticketStalls").value(Shard.TicketStalls);
+      W.key("fastPathHits").value(Shard.FastPathHits);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
 
   W.key("engine").beginObject();
@@ -173,6 +192,24 @@ void RunReport::printText(std::FILE *Out) const {
                static_cast<unsigned long long>(Detector.HotPath.PageCacheHits),
                static_cast<unsigned long long>(
                    Detector.HotPath.PageCacheMisses));
+  if (!Detector.Shards.empty()) {
+    uint64_t Posted = 0, Pieces = 0, ProducerStalls = 0, TicketStalls = 0;
+    for (const DetectorSection::ShardStats &Shard : Detector.Shards) {
+      Posted += Shard.Posted;
+      Pieces += Shard.RunPieces;
+      ProducerStalls += Shard.ProducerStalls;
+      TicketStalls += Shard.TicketStalls;
+    }
+    std::fprintf(Out,
+                 "shards: %zu address-range shards; %llu messages posted, "
+                 "%llu run pieces, %llu producer stalls, "
+                 "%llu ticket stalls\n",
+                 Detector.Shards.size(),
+                 static_cast<unsigned long long>(Posted),
+                 static_cast<unsigned long long>(Pieces),
+                 static_cast<unsigned long long>(ProducerStalls),
+                 static_cast<unsigned long long>(TicketStalls));
+  }
   std::fprintf(Out,
                "runtime: %llu queue-full waits, %llu commit stalls, "
                "%llu detector-idle waits; detector lag %.3f ms, "

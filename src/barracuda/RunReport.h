@@ -86,6 +86,24 @@ struct RunReport {
     uint64_t GlobalShadowBytes = 0;
     uint64_t SharedShadowBytes = 0;
     uint64_t SyncLocations = 0;
+
+    /// One address-range shard's counters (--shadow-shards > 1 only;
+    /// empty when the detector ran single-table). Serialized as the
+    /// "shards" array; additive, so the schema version is unchanged.
+    struct ShardStats {
+      unsigned Index = 0;
+      uint64_t Posted = 0;
+      uint64_t Applied = 0;
+      uint64_t RunPieces = 0;
+      uint64_t SyncMarks = 0;
+      uint64_t Markers = 0;
+      uint64_t Pages = 0;
+      uint64_t ShadowBytes = 0;
+      uint64_t ProducerStalls = 0;
+      uint64_t TicketStalls = 0;
+      uint64_t FastPathHits = 0;
+    };
+    std::vector<ShardStats> Shards;
   } Detector;
 
   /// Runtime backpressure/idle numbers for the launch. Spin counts are

@@ -311,7 +311,18 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   DetOpts.CollectStats = Options.CollectStats;
   DetOpts.HotPath = Options.DetectorHotPath;
   DetOpts.ProfileRules = Options.Profile;
+  DetOpts.NumQueues = Eng.numQueues();
+  // 0 = one shard per detector worker; 1 = the single-table oracle.
+  DetOpts.ShadowShards =
+      Options.ShadowShards ? Options.ShadowShards : Eng.numQueues();
   detector::SharedDetectorState State(DetOpts);
+  if (State.shards()) {
+    // Publish the shard set to the live exporter. The shared_ptr keeps
+    // the counters alive after the launch ends (sampling post-launch
+    // touches only the set's own atomics).
+    std::lock_guard<std::mutex> ShardLock(ShardsMutex);
+    LiveShards = State.shards();
+  }
 
   ensureExporter(Eng);
 
@@ -372,6 +383,27 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Report.Detector.GlobalShadowBytes = State.GlobalMem.shadowBytes();
   Report.Detector.SharedShadowBytes = State.sharedShadowBytes();
   Report.Detector.SyncLocations = State.Syncs.size();
+  if (const std::shared_ptr<detector::ShardSet> &Shards = State.shards()) {
+    // Shard-owned pages live outside GlobalShadow; fold them in so the
+    // reported footprint is the whole global shadow either way.
+    Report.Detector.GlobalShadowBytes += Shards->shadowBytes();
+    std::vector<detector::ShardSet::Sample> Samples = Shards->sample();
+    for (size_t I = 0; I != Samples.size(); ++I) {
+      RunReport::DetectorSection::ShardStats Stats;
+      Stats.Index = static_cast<unsigned>(I);
+      Stats.Posted = Samples[I].Posted;
+      Stats.Applied = Samples[I].Applied;
+      Stats.RunPieces = Samples[I].RunPieces;
+      Stats.SyncMarks = Samples[I].SyncMarks;
+      Stats.Markers = Samples[I].Markers;
+      Stats.Pages = Samples[I].Pages;
+      Stats.ShadowBytes = Samples[I].ShadowBytes;
+      Stats.ProducerStalls = Samples[I].ProducerStalls;
+      Stats.TicketStalls = Samples[I].TicketStalls;
+      Stats.FastPathHits = Samples[I].FastPathHits;
+      Report.Detector.Shards.push_back(Stats);
+    }
+  }
   Report.Engine.NumQueues = Eng.numQueues();
   Report.Engine.QueueFullSpins = After.FullSpins - Before.FullSpins;
   Report.Engine.CommitStalls = After.CommitStalls - Before.CommitStalls;
@@ -497,6 +529,36 @@ void Session::ensureExporter(runtime::Engine &Eng) {
     Out.push_back({"engine.leases_in_flight", "",
                    obs::MetricSample::Kind::Gauge,
                    static_cast<int64_t>(Live->LeasesInFlight)});
+  });
+
+  // Per-shard gauges from the most recent sharded launch (the shared_ptr
+  // keeps the counters alive between launches). "this" is safe: the
+  // exporter is declared after ShardsMutex/LiveShards, so the sampler
+  // stops before they die.
+  Exp->addSource([this](std::vector<obs::Exporter::Sample> &Out) {
+    std::shared_ptr<detector::ShardSet> Shards;
+    {
+      std::lock_guard<std::mutex> ShardLock(ShardsMutex);
+      Shards = LiveShards;
+    }
+    if (!Shards)
+      return;
+    std::vector<detector::ShardSet::Sample> Samples = Shards->sample();
+    for (size_t I = 0; I != Samples.size(); ++I) {
+      std::string Label = support::formatString("shard=\"%zu\"", I);
+      Out.push_back({"engine.live.shard_backlog", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Samples[I].Backlog)});
+      Out.push_back({"engine.live.shard_applied", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Samples[I].Applied)});
+      Out.push_back({"engine.live.shard_shadow_bytes", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Samples[I].ShadowBytes)});
+      Out.push_back({"engine.live.shard_producer_stalls", Label,
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Samples[I].ProducerStalls)});
+    }
   });
 
   // Hottest pc of every kernel profiled so far, labelled with its

@@ -93,6 +93,13 @@ struct SessionOptions {
   /// coalescing, page cache). Off = rule-per-byte legacy path; reports
   /// are identical either way.
   bool DetectorHotPath = true;
+  /// Address-range shards for global shadow state (--shadow-shards).
+  /// 0 = one shard per detector worker; 1 = the single-table oracle
+  /// path (no mailboxes). Each shard is exclusively owned by one
+  /// worker, so its hot path takes no granule locks and no table
+  /// mutex; verdicts are identical at any count. Requires
+  /// DetectorHotPath; ignored (single-table) when the hot path is off.
+  unsigned ShadowShards = 0;
   /// Pre-lower each kernel to micro-ops at first launch and run the
   /// block dispatch loop (sim/Lower.h). Off (--legacy-sim) = the
   /// per-instruction decode/switch interpreter; traces, races and
@@ -305,6 +312,13 @@ private:
   std::unordered_map<const ptx::Kernel *,
                      std::unique_ptr<sim::LoweredKernel>>
       Lowered;
+
+  /// Latest instrumented launch's shard set, retained for the live
+  /// exporter's per-shard gauges (engine.live.shard_*). Null when
+  /// sharding is off. Declared before Exporter_: the sampler must stop
+  /// before the handle dies.
+  mutable std::mutex ShardsMutex;
+  std::shared_ptr<detector::ShardSet> LiveShards;
 
   /// Lazily created when no SharedEngine was supplied.
   std::mutex EngineMutex;

@@ -2,6 +2,7 @@
 
 #include "detector/Detector.h"
 
+#include "detector/Rules.h"
 #include "support/Backoff.h"
 
 #include <algorithm>
@@ -21,6 +22,13 @@ using trace::WarpSize;
 
 SharedDetectorState::SharedDetectorState(DetectorOptions Options)
     : Options(Options) {
+  // The sharded detector needs the coalesced run machinery (pieces are
+  // runs split at page boundaries); without HotPath fall back to the
+  // single locked table.
+  if (Options.ShadowShards > 1 && Options.HotPath)
+    Shards_ = std::make_shared<ShardSet>(Options.ShadowShards,
+                                         std::max(1u, Options.NumQueues),
+                                         Options.Hier, Reporter);
   for (size_t I = 0; I != FormatCounters.size(); ++I)
     FormatCounters[I] = &Metrics.counter(
         std::string("detector.ptvc.") +
@@ -113,8 +121,10 @@ ShadowCell *QueueProcessor::LocalShadow::pageFor(uint64_t Addr) {
 // QueueProcessor
 //===----------------------------------------------------------------------===//
 
-QueueProcessor::QueueProcessor(SharedDetectorState &Shared)
-    : Shared(Shared), Opts(Shared.options()) {
+QueueProcessor::QueueProcessor(SharedDetectorState &Shared,
+                               unsigned QueueIndex)
+    : Shared(Shared), Opts(Shared.options()), QueueIndex(QueueIndex),
+      Shards(Shared.shards().get()) {
   if (Opts.ProfileRules)
     Rules = std::make_unique<RuleProfile>();
 }
@@ -201,8 +211,19 @@ void QueueProcessor::waitForTicket(uint32_t Ticket) {
   support::Backoff Wait(/*SpinPauses=*/64, /*YieldPauses=*/64,
                         /*MaxSleepMicros=*/64);
   while (Shared.SyncProcessed.load(std::memory_order_acquire) !=
-         Ticket - 1)
+         Ticket - 1) {
+    // The ticket holder may itself be blocked posting into a mailbox one
+    // of our shards owns; keep our consumers live while we wait.
+    if (stallService())
+      continue;
     Wait.pause();
+  }
+}
+
+bool QueueProcessor::stallService() {
+  if (StallHook)
+    return StallHook();
+  return Shards && Shards->serviceOwned(QueueIndex);
 }
 
 void QueueProcessor::finishTicket(uint32_t Ticket) {
@@ -275,111 +296,44 @@ void QueueProcessor::processImpl(const LogRecord &Record) {
   }
 }
 
+/// Binds the processor's live clock state to the shared rule templates
+/// (Rules.h): epochs and entries come from the warp's live WarpClocks
+/// through the processor's per-record memo, counters are the
+/// processor-private plain tallies.
+struct QueueProcessor::RuleCtx {
+  QueueProcessor &P;
+  WarpClocks &W;
+
+  Epoch epochOf(unsigned Lane) const { return W.epochOf(Lane); }
+  ClockVal entryFor(unsigned Lane, Tid Other) {
+    return P.cachedEntryFor(W, Lane, Other);
+  }
+  const sim::ThreadHierarchy &hier() const { return P.Opts.Hier; }
+  void reportRace(uint32_t Pc, AccessKind Current, AccessKind Previous,
+                  trace::MemSpace Space, RaceScopeKind Scope, Tid Me,
+                  Tid Other, uint64_t Addr) {
+    P.Shared.Reporter.reportRace(Pc, Current, Previous, Space, Scope, Me,
+                                 Other, Addr);
+  }
+  bool fastPathEnabled() const { return P.Opts.HotPath; }
+  void countFastPath() { ++P.HotPath.FastPathHits; }
+};
+
 bool QueueProcessor::accessCell(ShadowCell &Cell, AccessKind Kind,
                                 WarpClocks &W, uint32_t Lane, uint32_t Pc,
                                 trace::MemSpace Space, uint64_t Addr) {
-  Epoch E = W.epochOf(Lane);
-  Tid Me = E.Thread;
+  RuleCtx Ctx{*this, W};
+  return applyAccess(Ctx, Cell, Kind, Lane, Pc, Space, Addr);
+}
 
-  // Same-epoch fast paths (the FastTrack O(1) common case, Section 3.3):
-  // when the cell already records this thread at this very epoch, the
-  // full rules would re-derive the exact state the cell holds, so skip
-  // them before taking any clock lookups.
-  if (Opts.HotPath) {
-    if (Kind == AccessKind::Read) {
-      // READ SAME EPOCH: our own exclusive read at this epoch. Writes
-      // clear read metadata, so the write epoch cannot have changed
-      // since that read checked it — an exact no-op.
-      if (!Cell.has(ShadowCell::FlagReadShared) &&
-          Cell.ReadClock == E.Clock &&
-          Cell.ReadTid == static_cast<uint32_t>(Me)) {
-        ++HotPath.FastPathHits;
-        return false;
-      }
-    } else {
-      // WRITE SAME EPOCH: our own write at this epoch with bottom read
-      // state and a matching atomic flag — the write rule would store
-      // identical state.
-      if (Cell.WriteClock == E.Clock &&
-          Cell.WriteTid == static_cast<uint32_t>(Me) &&
-          !Cell.has(ShadowCell::FlagReadShared) && Cell.ReadClock == 0 &&
-          Cell.has(ShadowCell::FlagAtomic) ==
-              (Kind == AccessKind::Atomic)) {
-        ++HotPath.FastPathHits;
-        return false;
-      }
-    }
+const std::shared_ptr<const WarpKnowledge> &
+QueueProcessor::knowledgeFor(WarpEntry &WE) {
+  uint64_t Version = WE.Clocks.knowledgeVersion();
+  if (!WE.Pub || WE.PubVersion != Version) {
+    WE.Pub = WE.Clocks.publishKnowledge();
+    WE.PubVersion = Version;
   }
-
-  bool Raced = false;
-  auto orderedBefore = [&](uint32_t Clock, Tid Other) {
-    if (Clock == 0 || Other == Me)
-      return true;
-    return Clock <= cachedEntryFor(W, Lane, Other);
-  };
-  auto classify = [&](Tid Other) {
-    if (Opts.Hier.warpOf(Other) == Opts.Hier.warpOf(Me))
-      return RaceScopeKind::IntraWarp;
-    if (Opts.Hier.blockOf(Other) == Opts.Hier.blockOf(Me))
-      return RaceScopeKind::IntraBlock;
-    return RaceScopeKind::InterBlock;
-  };
-  auto race = [&](AccessKind PrevKind, Tid Other) {
-    Raced = true;
-    Shared.Reporter.reportRace(Pc, Kind, PrevKind, Space, classify(Other),
-                               Me, Other, Addr);
-  };
-
-  AccessKind PrevWriteKind =
-      Cell.has(ShadowCell::FlagAtomic) ? AccessKind::Atomic
-                                       : AccessKind::Write;
-
-  switch (Kind) {
-  case AccessKind::Read: {
-    // READ*: check the last write, then record the read.
-    if (!orderedBefore(Cell.WriteClock, Cell.WriteTid))
-      race(PrevWriteKind, Cell.WriteTid);
-    if (Cell.has(ShadowCell::FlagReadShared)) {
-      Cell.Readers->raiseEntry(Me, E.Clock); // READSHARED
-    } else if (orderedBefore(Cell.ReadClock, Cell.ReadTid)) {
-      Cell.ReadClock = E.Clock; // READEXCL
-      Cell.ReadTid = static_cast<uint32_t>(Me);
-    } else {
-      auto *Readers = new CompactClock(); // READINFLATE
-      Readers->raiseEntry(Cell.ReadTid, Cell.ReadClock);
-      Readers->raiseEntry(Me, E.Clock);
-      Cell.Readers = Readers;
-      Cell.set(ShadowCell::FlagReadShared);
-    }
-    break;
-  }
-  case AccessKind::Write:
-  case AccessKind::Atomic: {
-    // WRITE* / INITATOM* / ATOM*: atomics elide the check against a
-    // previous atomic write (atomics do not race with each other, nor
-    // synchronize).
-    bool SkipWriteCheck =
-        Kind == AccessKind::Atomic && Cell.has(ShadowCell::FlagAtomic);
-    if (!SkipWriteCheck && !orderedBefore(Cell.WriteClock, Cell.WriteTid))
-      race(PrevWriteKind, Cell.WriteTid);
-    if (Cell.has(ShadowCell::FlagReadShared)) {
-      for (const auto &[Other, Clock] : Cell.Readers->entries())
-        if (Other != Me && Clock > cachedEntryFor(W, Lane, Other))
-          race(AccessKind::Read, Other);
-    } else if (!orderedBefore(Cell.ReadClock, Cell.ReadTid)) {
-      race(AccessKind::Read, Cell.ReadTid);
-    }
-    Cell.clearReads();
-    Cell.WriteClock = E.Clock;
-    Cell.WriteTid = static_cast<uint32_t>(Me);
-    if (Kind == AccessKind::Atomic)
-      Cell.set(ShadowCell::FlagAtomic);
-    else
-      Cell.clearFlag(ShadowCell::FlagAtomic);
-    break;
-  }
-  }
-  return Raced;
+  return WE.Pub;
 }
 
 void QueueProcessor::handleMemory(BlockState &BS, WarpEntry &WE,
@@ -428,12 +382,12 @@ void QueueProcessor::handleMemory(BlockState &BS, WarpEntry &WE,
       continue;
     }
     if (Open)
-      processRun(BS, WE.Clocks, Run, Kind, Size, Record.Pc, IsShared);
+      processRun(BS, WE, Run, Kind, Size, Record.Pc, IsShared);
     Run = AccessRun{Addr, Lane, 1};
     Open = true;
   }
   if (Open)
-    processRun(BS, WE.Clocks, Run, Kind, Size, Record.Pc, IsShared);
+    processRun(BS, WE, Run, Kind, Size, Record.Pc, IsShared);
 
   WE.Clocks.endInsn();
   afterClockChange(BS, WE);
@@ -467,7 +421,7 @@ void QueueProcessor::handleMemoryLegacy(BlockState &BS, WarpEntry &WE,
   }
 }
 
-void QueueProcessor::processRun(BlockState &BS, WarpClocks &W,
+void QueueProcessor::processRun(BlockState &BS, WarpEntry &WE,
                                 const AccessRun &Run, AccessKind Kind,
                                 unsigned Size, uint32_t Pc,
                                 bool IsShared) {
@@ -477,88 +431,44 @@ void QueueProcessor::processRun(BlockState &BS, WarpClocks &W,
       (IsShared ? LocalShadow::PageSize : GlobalShadow::PageSize) - 1;
   uint64_t SpanEnd =
       Run.Start + static_cast<uint64_t>(Run.LaneCount) * Size;
-  // Broadcasting needs lanes to corroborate each other; a singleton run
-  // (uncoalesced or conflicting access) always takes the full rules.
-  bool MultiLane = Run.LaneCount >= 2;
-  if (MultiLane)
+  if (Run.LaneCount >= 2)
     ++HotPath.RunsCoalesced;
 
-  ShadowCell *Page = nullptr;
-  uint64_t PageBase = ~0ULL;
-
-  // Walk the run granule by granule (granules never straddle a page).
-  uint64_t GranuleBase = Run.Start & ~(ShadowCell::LockGranuleBytes - 1);
-  for (uint64_t G = GranuleBase; G < SpanEnd;
-       G += ShadowCell::LockGranuleBytes) {
-    uint64_t ChunkStart = std::max(G, Run.Start);
-    uint64_t ChunkEnd =
-        std::min(G + ShadowCell::LockGranuleBytes, SpanEnd);
-    if ((ChunkStart & ~PageMask) != PageBase) {
-      PageBase = ChunkStart & ~PageMask;
-      Page = IsShared ? BS.Shared.pageFor(ChunkStart)
-                      : globalPage(ChunkStart);
+  // Split the run at shadow-page boundaries and walk (or post) one piece
+  // per page. Pages are also the sharding unit, so a piece always lands
+  // wholly inside one shard, and the sharded and inline detectors walk
+  // identical pieces in identical per-cell order. Shared memory is
+  // processor-private and always applied inline.
+  bool Posting = Shards && !IsShared;
+  RuleCtx Ctx{*this, WE.Clocks};
+  uint64_t PieceStart = Run.Start;
+  while (PieceStart < SpanEnd) {
+    uint64_t PieceEnd =
+        std::min(SpanEnd, (PieceStart & ~PageMask) + PageMask + 1);
+    if (Posting) {
+      ShardMsg Msg;
+      Msg.MsgKind = ShardMsg::Kind::RunPiece;
+      Msg.Access = Kind;
+      Msg.Size = static_cast<uint8_t>(Size);
+      Msg.FirstLane = static_cast<uint8_t>(Run.FirstLane);
+      Msg.LaneCount = static_cast<uint8_t>(Run.LaneCount);
+      Msg.Pc = Pc;
+      Msg.SelfClock = WE.Clocks.selfClock();
+      Msg.RunStart = Run.Start;
+      Msg.PieceStart = PieceStart;
+      Msg.PieceEnd = PieceEnd;
+      Msg.Know = knowledgeFor(WE);
+      Shards->post(QueueIndex, Shards->shardOf(PieceStart),
+                   std::move(Msg),
+                   [this] { stallService(); });
+    } else {
+      ShadowCell *Page = IsShared ? BS.Shared.pageFor(PieceStart)
+                                  : globalPage(PieceStart);
+      walkRunPiece(Ctx, Page, PageMask, Run.Start, Run.FirstLane,
+                   Run.LaneCount, Size, PieceStart, PieceEnd, Kind, Pc,
+                   Space, /*Locked=*/!IsShared);
     }
-
-    // One spinlock acquire covers every byte of the granule (shared
-    // memory is processor-private and needs none).
-    CellGuard Guard(Page[ShadowCell::lockCellIndex(ChunkStart & PageMask)],
-                    /*Locked=*/!IsShared);
-
-    // Split the chunk into per-lane segments: broadcast is only valid
-    // among bytes written by the same thread (the stored tid differs
-    // across lanes even when everything else matches).
-    uint64_t A = ChunkStart;
-    while (A < ChunkEnd) {
-      unsigned Lane =
-          Run.FirstLane + static_cast<unsigned>((A - Run.Start) / Size);
-      uint64_t LaneEnd = Run.Start +
-                         static_cast<uint64_t>(Lane - Run.FirstLane + 1) *
-                             Size;
-      uint64_t SegEnd = std::min(LaneEnd, ChunkEnd);
-      unsigned SegLen = static_cast<unsigned>(SegEnd - A);
-      ShadowCell *Cells = Page + (A & PageMask);
-
-      if (!MultiLane || SegLen < 2) {
-        for (unsigned B = 0; B != SegLen; ++B)
-          accessCell(Cells[B], Kind, W, Lane, Pc, Space, A + B);
-        A = SegEnd;
-        continue;
-      }
-
-      // Leader byte runs the full rules; followers whose prior state
-      // matches the leader's prior state would take the exact same
-      // transition, so the leader's post state is broadcast instead.
-      // Three conditions keep this an exact replay of the per-byte
-      // rules: the leader must not have raced (followers must emit the
-      // same report sequence, i.e. none), and neither prior nor post
-      // state may hold a shared-readers clock (broadcasting would alias
-      // the owned CompactClock; prior-flag equality then guarantees the
-      // followers' Readers pointers are null too).
-      ShadowCell &Leader = Cells[0];
-      uint32_t PW = Leader.WriteClock, PWT = Leader.WriteTid;
-      uint32_t PR = Leader.ReadClock, PRT = Leader.ReadTid;
-      uint8_t PF = Leader.Flags;
-      bool PriorShared = (PF & ShadowCell::FlagReadShared) != 0;
-      bool Raced = accessCell(Leader, Kind, W, Lane, Pc, Space, A);
-      bool CanBroadcast = !Raced && !PriorShared &&
-                          !Leader.has(ShadowCell::FlagReadShared);
-      for (unsigned B = 1; B != SegLen; ++B) {
-        ShadowCell &Cell = Cells[B];
-        if (CanBroadcast && Cell.WriteClock == PW &&
-            Cell.WriteTid == PWT && Cell.ReadClock == PR &&
-            Cell.ReadTid == PRT && Cell.Flags == PF) {
-          Cell.WriteClock = Leader.WriteClock;
-          Cell.WriteTid = Leader.WriteTid;
-          Cell.ReadClock = Leader.ReadClock;
-          Cell.ReadTid = Leader.ReadTid;
-          Cell.Flags = Leader.Flags;
-          ++HotPath.FastPathHits;
-        } else {
-          accessCell(Cell, Kind, W, Lane, Pc, Space, A + B);
-        }
-      }
-      A = SegEnd;
-    }
+    PieceStart = PieceEnd;
   }
 }
 
@@ -598,8 +508,16 @@ void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
     SyncKey Key{Record.space(), IsShared ? BS.BlockId : 0, Addr};
 
     // Mark the location in shadow memory for statistics/diagnostics.
+    // With shards active the cell belongs to its owner, so the mark is
+    // posted like any other mutation of that page.
     if (IsShared) {
       BS.Shared.cell(Addr).set(ShadowCell::FlagSyncLoc);
+    } else if (Shards) {
+      ShardMsg Msg;
+      Msg.MsgKind = ShardMsg::Kind::MarkSyncLoc;
+      Msg.PieceStart = Addr;
+      Shards->post(QueueIndex, Shards->shardOf(Addr), std::move(Msg),
+                   [this] { stallService(); });
     } else {
       ShadowCell *Page = globalPage(Addr);
       uint64_t Off = Addr & (GlobalShadow::PageSize - 1);
@@ -626,6 +544,13 @@ void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
   if (Op != RecordOp::Acq)
     WE.Clocks.endInsn();
   afterClockChange(BS, WE);
+  // Fence every shard on this ticket while we still hold it: markers
+  // land in each mailbox in global ticket order, which (with per-mailbox
+  // FIFO) keeps each shard's application order happens-before
+  // equivalent to the single-table order.
+  if (Shards)
+    Shards->postMarkerAll(QueueIndex, Record.SyncSeq,
+                          [this] { stallService(); });
   finishTicket(Record.SyncSeq);
 }
 

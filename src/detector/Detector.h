@@ -27,12 +27,14 @@
 #include "detector/Ptvc.h"
 #include "detector/Report.h"
 #include "detector/Shadow.h"
+#include "detector/Shard.h"
 #include "obs/Metrics.h"
 #include "sim/LaunchConfig.h"
 #include "trace/Record.h"
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -55,6 +57,13 @@ struct DetectorOptions {
   /// profiling budget. Off (the default) adds one predicted branch per
   /// record and zero atomics.
   bool ProfileRules = false;
+  /// Address-range shards for the global-memory shadow. 1 = the single
+  /// locked GlobalShadow table (the oracle); >1 activates the sharded
+  /// detector (requires HotPath). See Shard.h.
+  unsigned ShadowShards = 1;
+  /// Number of record queues feeding the run (producers per mailbox
+  /// row). Must match the trace layout when sharding is active.
+  unsigned NumQueues = 1;
 };
 
 /// Per-rule latency attribution: one histogram of sampled dispatch
@@ -145,6 +154,12 @@ public:
   /// Count of synchronization tickets fully processed.
   std::atomic<uint32_t> SyncProcessed{0};
 
+  /// The shard partition, present iff ShadowShards > 1 && HotPath. Held
+  /// by shared_ptr so an engine launch can keep the mailboxes alive for
+  /// idle workers that outlast this state (they only touch mailbox
+  /// atomics once quiescent).
+  const std::shared_ptr<ShardSet> &shards() const { return Shards_; }
+
   /// Aggregated statistics (merged in by QueueProcessor::finish()).
   void mergeStats(const PtvcFormatStats &Formats, uint64_t PeakPtvc,
                   uint64_t SharedShadow, uint64_t Records,
@@ -170,6 +185,7 @@ public:
 
 private:
   DetectorOptions Options;
+  std::shared_ptr<ShardSet> Shards_;
   obs::Registry Metrics;
   /// Instruments resolved once at construction; mergeStats is plain
   /// relaxed adds.
@@ -186,7 +202,11 @@ private:
 /// Consumes one queue's records and applies the detection rules.
 class QueueProcessor {
 public:
-  explicit QueueProcessor(SharedDetectorState &Shared);
+  /// \p QueueIndex identifies this processor's queue within the run's
+  /// layout; the sharded detector uses it as the mailbox row and the
+  /// worker identity for servicing owned shards.
+  explicit QueueProcessor(SharedDetectorState &Shared,
+                          unsigned QueueIndex = 0);
   ~QueueProcessor();
 
   /// Processes one record (records of one queue, in order). With
@@ -196,6 +216,17 @@ public:
 
   /// Flushes statistics into the shared state. Call once, at end.
   void finish();
+
+  /// Installs the stall-time service hook, invoked while this processor
+  /// spins (full shard mailbox, sync-ticket wait). It must drain every
+  /// shard this processor's worker owns and return whether any message
+  /// was applied. An engine multiplexing several launches over one pool
+  /// must service ALL live launches' shards here, or cross-launch
+  /// mailbox cycles can deadlock; the default services this detector
+  /// state's own shards.
+  void setStallHook(std::function<bool()> Hook) {
+    StallHook = std::move(Hook);
+  }
 
   uint64_t recordsProcessed() const { return Records; }
 
@@ -225,6 +256,10 @@ private:
   struct WarpEntry {
     WarpClocks Clocks;
     size_t LastBytes = 0;
+    /// Cached clock publication for shard fan-out, rebuilt lazily when
+    /// the warp's knowledge version moves (see WarpKnowledge).
+    std::shared_ptr<const WarpKnowledge> Pub;
+    uint64_t PubVersion = ~0ULL;
 
     WarpEntry(uint32_t GlobalWarp, uint32_t Resident,
               const sim::ThreadHierarchy &Hier)
@@ -264,11 +299,15 @@ private:
   void handleMemoryLegacy(BlockState &BS, WarpEntry &WE,
                           const trace::LogRecord &Record, AccessKind Kind,
                           bool IsShared, unsigned Size);
-  /// Applies one coalesced run (page resolution, granule locking,
-  /// leader-check + broadcast).
-  void processRun(BlockState &BS, WarpClocks &W, const AccessRun &Run,
+  /// Applies one coalesced run, split at shadow-page boundaries: each
+  /// piece is walked inline (page resolution, granule locking,
+  /// leader-check + broadcast) or posted to its owning shard.
+  void processRun(BlockState &BS, WarpEntry &WE, const AccessRun &Run,
                   AccessKind Kind, unsigned Size, uint32_t Pc,
                   bool IsShared);
+  /// WE's clock publication, republished if knowledge moved.
+  const std::shared_ptr<const WarpKnowledge> &
+  knowledgeFor(WarpEntry &WE);
   void handleSync(BlockState &BS, WarpEntry &WE,
                   const trace::LogRecord &Record);
   void handleBarrier(BlockState &BS, WarpEntry &WE,
@@ -293,9 +332,21 @@ private:
   void afterClockChange(BlockState &BS, WarpEntry &WE);
   void waitForTicket(uint32_t Ticket);
   void finishTicket(uint32_t Ticket);
+  /// Services the worker's shard consumers while spinning (see
+  /// setStallHook). Returns true if any message was applied.
+  bool stallService();
+
+  /// Binds this processor's live clock state to the shared rule
+  /// templates (Rules.h); defined in the .cpp.
+  struct RuleCtx;
+  friend struct RuleCtx;
 
   SharedDetectorState &Shared;
   const DetectorOptions &Opts;
+  unsigned QueueIndex;
+  /// The run's shard partition, or null when detection is inline.
+  ShardSet *Shards;
+  std::function<bool()> StallHook;
   std::unordered_map<uint32_t, BlockState> Blocks;
 
   // Direct-mapped cache of recently-touched global shadow pages

@@ -13,7 +13,7 @@ HostDetector::HostDetector(trace::QueueSet &Queues,
                            SharedDetectorState &State)
     : Queues(Queues), State(State) {
   for (unsigned I = 0; I != Queues.size(); ++I)
-    Processors.push_back(std::make_unique<QueueProcessor>(State));
+    Processors.push_back(std::make_unique<QueueProcessor>(State, I));
 }
 
 HostDetector::~HostDetector() {
@@ -33,6 +33,7 @@ void HostDetector::start() {
 void HostDetector::workerMain(unsigned QueueIndex) {
   trace::EventQueue &Queue = Queues.queue(QueueIndex);
   QueueProcessor &Processor = *Processors[QueueIndex];
+  ShardSet *Shards = State.shards().get();
   constexpr size_t BatchSize = 64;
   trace::LogRecord Batch[BatchSize];
   support::Backoff Wait;
@@ -40,6 +41,10 @@ void HostDetector::workerMain(unsigned QueueIndex) {
     size_t Count = Queue.drain(Batch, BatchSize);
     for (size_t I = 0; I != Count; ++I)
       Processor.process(Batch[I]);
+    // Batch boundary: drain whatever the other queues posted into our
+    // shards while we were producing.
+    if (Shards)
+      Shards->serviceOwned(QueueIndex);
     if (Count == 0) {
       if (Queue.exhausted())
         break;
@@ -50,6 +55,19 @@ void HostDetector::workerMain(unsigned QueueIndex) {
     }
   }
   EmptySpins.fetch_add(Wait.waits(), std::memory_order_relaxed);
+  if (Shards) {
+    // This producer is done posting; keep consuming our shards until
+    // every producer is done and every posted message is applied.
+    Shards->producerDone();
+    support::Backoff Drain;
+    while (!Shards->done()) {
+      if (Shards->serviceOwned(QueueIndex)) {
+        Drain.reset();
+        continue;
+      }
+      Drain.pause();
+    }
+  }
   Processor.finish();
 }
 
@@ -61,6 +79,8 @@ void HostDetector::join() {
   for (std::thread &Thread : Threads)
     Thread.join();
   Threads.clear();
+  if (const auto &Shards = State.shards())
+    Shards->mergeFinalInto(State);
 }
 
 uint64_t HostDetector::recordsProcessed() const {
@@ -78,10 +98,20 @@ void detector::processCollected(
          "mismatched collected streams");
   std::vector<std::unique_ptr<QueueProcessor>> Processors;
   for (unsigned I = 0; I != NumQueues; ++I)
-    Processors.push_back(std::make_unique<QueueProcessor>(State));
+    Processors.push_back(std::make_unique<QueueProcessor>(State, I));
+  ShardSet *Shards = State.shards().get();
   for (size_t I = 0; I != Records.size(); ++I) {
     unsigned Queue = BlockIds[I] % NumQueues;
     Processors[Queue]->process(Records[I]);
+    // Lockstep: applying each record's postings before the next record
+    // makes the per-cell application order identical to the inline
+    // detector's, so verdicts (and repeat counts) match byte for byte.
+    if (Shards)
+      Shards->drainAll();
+  }
+  if (Shards) {
+    Shards->drainAll();
+    Shards->mergeFinalInto(State);
   }
   for (auto &Processor : Processors)
     Processor->finish();

@@ -146,6 +146,7 @@ void WarpClocks::branchIf(uint32_t ThenMask, uint32_t ElseMask) {
   Parent.PendingMax = 0;
   Stack.push_back(std::move(ElseFrame));
   Stack.push_back(std::move(ThenFrame));
+  ++KnowledgeVersion;
 }
 
 void WarpClocks::mergeCompletedPath(Frame &Parent, const Frame &Done) {
@@ -184,6 +185,7 @@ void WarpClocks::branchElse(uint32_t Mask) {
   Frame &ElseFrame = top();
   ElseFrame.Mask = Mask;
   ++ElseFrame.Self;
+  ++KnowledgeVersion;
 }
 
 void WarpClocks::branchFi(uint32_t Mask) {
@@ -201,6 +203,7 @@ void WarpClocks::branchFi(uint32_t Mask) {
   Parent.Mask = Mask;
   Parent.PendingMax = 0;
   compress();
+  ++KnowledgeVersion;
 }
 
 void WarpClocks::barrierJoin(ClockVal BlockMax) {
@@ -216,6 +219,7 @@ void WarpClocks::barrierJoin(ClockVal BlockMax) {
   });
   F.raiseWarpLanes(Resident & ~F.Mask, BlockMax);
   compress();
+  ++KnowledgeVersion;
 }
 
 void WarpClocks::crossBlockKnowledge(CompactClock &Into) const {
@@ -279,6 +283,24 @@ void WarpClocks::acquire(const CompactClock &From) {
       Slot = std::max(Slot, Clock);
     }
   }
+  ++KnowledgeVersion;
+}
+
+std::shared_ptr<const WarpKnowledge> WarpClocks::publishKnowledge() const {
+  const Frame &F = top();
+  auto Know = std::make_shared<WarpKnowledge>();
+  Know->GlobalWarp = GlobalWarp;
+  Know->Block = Block;
+  Know->Mask = F.Mask;
+  Know->WarpScalar = F.WarpScalar;
+  if (F.WarpVc)
+    Know->WarpVc =
+        std::make_unique<std::array<ClockVal, WarpSize>>(*F.WarpVc);
+  Know->BlockClock = F.BlockClock;
+  Know->Sparse = F.Sparse;
+  Know->BlockFloors = F.BlockFloors;
+  Know->Hier = Hier;
+  return Know;
 }
 
 void WarpClocks::releaseSnapshot(uint32_t Lane, CompactClock &Into) const {

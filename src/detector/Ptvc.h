@@ -62,6 +62,62 @@ enum class PtvcFormat : uint8_t {
 
 const char *ptvcFormatName(PtvcFormat Format);
 
+/// An immutable snapshot of one warp's knowledge of everyone else — the
+/// clock publication shipped to shadow shards. It captures the top
+/// divergence frame's factored knowledge (warp view, block clock, block
+/// floors, sparse overrides); the active group's own time advances with
+/// every instruction boundary without changing knowledge, so SelfClock
+/// is carried per message (epoch stamp), not in the snapshot. With that
+/// parameterization entryFor() reproduces WarpClocks::entryFor exactly:
+/// only branchIf/branchElse/branchFi/barrierJoin/acquire change
+/// knowledge, and each bumps the owning warp's knowledge version so the
+/// queue processor republishes lazily.
+struct WarpKnowledge {
+  uint32_t GlobalWarp = 0;
+  uint32_t Block = 0;
+  uint32_t Mask = 0; ///< active mask of the publishing frame
+  ClockVal WarpScalar = 0;
+  std::unique_ptr<std::array<ClockVal, trace::WarpSize>> WarpVc;
+  ClockVal BlockClock = 0;
+  support::FlatMap<Tid, ClockVal, 4> Sparse;
+  support::FlatMap<uint32_t, ClockVal, 2> BlockFloors;
+  sim::ThreadHierarchy Hier;
+
+  Tid tidOfLane(uint32_t Lane) const {
+    return Hier.tidOfLane(GlobalWarp, Lane);
+  }
+
+  /// E(t) for the active thread in \p Lane at epoch stamp \p SelfClock.
+  Epoch epochOf(ClockVal SelfClock, uint32_t Lane) const {
+    return Epoch{SelfClock, tidOfLane(Lane)};
+  }
+
+  ClockVal warpEntry(uint32_t Lane) const {
+    return WarpVc ? (*WarpVc)[Lane] : WarpScalar;
+  }
+
+  /// C_t(Other) replica of WarpClocks::entryFor with the frame's Self
+  /// taken from the carried epoch stamp.
+  ClockVal entryFor(ClockVal SelfClock, uint32_t Lane, Tid Other,
+                    uint32_t OtherBlock) const {
+    if (Other == tidOfLane(Lane))
+      return SelfClock;
+    ClockVal Structural;
+    if (OtherBlock == Block && Hier.warpOf(Other) == GlobalWarp) {
+      uint32_t OtherLane = Hier.laneOf(Other);
+      Structural = (Mask >> OtherLane) & 1 ? SelfClock - 1
+                                           : warpEntry(OtherLane);
+    } else if (OtherBlock == Block) {
+      Structural = BlockClock;
+    } else {
+      Structural = BlockFloors.lookup(OtherBlock);
+    }
+    if (const ClockVal *Override = Sparse.find(Other))
+      Structural = std::max(Structural, *Override);
+    return Structural;
+  }
+};
+
 /// Compressed clocks for all threads of one warp.
 class WarpClocks {
 public:
@@ -120,6 +176,14 @@ public:
   /// into \p Into (which the caller has cleared; the REL rules assign).
   void releaseSnapshot(uint32_t Lane, CompactClock &Into) const;
 
+  /// Monotone counter bumped by every knowledge-changing transition
+  /// (branch, reconvergence, barrier, acquire). endInsn() does not bump:
+  /// it advances time, not knowledge.
+  uint64_t knowledgeVersion() const { return KnowledgeVersion; }
+
+  /// Snapshots the top frame's knowledge for shard fan-out.
+  std::shared_ptr<const WarpKnowledge> publishKnowledge() const;
+
   /// Current format, for the compression ablation.
   PtvcFormat format() const;
 
@@ -164,6 +228,7 @@ private:
   uint32_t Resident;
   sim::ThreadHierarchy Hier;
   std::vector<Frame> Stack;
+  uint64_t KnowledgeVersion = 0;
 };
 
 } // namespace detector

@@ -24,17 +24,7 @@ ShadowCell *GlobalShadow::page(uint64_t Addr) {
     It->second = std::make_unique<ShadowCell[]>(PageSize);
     for (uint64_t I = 0; I != PageSize; ++I)
       It->second[I].set(ShadowCell::FlagGlobalMem);
+    NumPages.fetch_add(1, std::memory_order_relaxed);
   }
   return It->second.get();
-}
-
-size_t GlobalShadow::pageCount() const {
-  std::shared_lock<std::shared_mutex> Guard(TableMutex);
-  return Pages.size();
-}
-
-uint64_t GlobalShadow::shadowBytes() const {
-  std::shared_lock<std::shared_mutex> Guard(TableMutex);
-  return static_cast<uint64_t>(Pages.size()) * PageSize *
-         sizeof(ShadowCell);
 }

@@ -135,16 +135,25 @@ public:
 
   uint64_t pageId(uint64_t Addr) const { return Addr >> PageBits; }
 
-  size_t pageCount() const;
+  // Stats never touch TableMutex: reports and live exporters poll these
+  // while detector workers are mid-drain, so they read a relaxed counter
+  // maintained at page allocation instead of contending with the table.
+  size_t pageCount() const {
+    return NumPages.load(std::memory_order_relaxed);
+  }
 
   /// Host memory consumed by global shadow cells.
-  uint64_t shadowBytes() const;
+  uint64_t shadowBytes() const {
+    return NumPages.load(std::memory_order_relaxed) * PageSize *
+           sizeof(ShadowCell);
+  }
 
 private:
   // Read-mostly: pages are created once and looked up forever after, so
   // concurrent readers share the lock and only creation writes.
   mutable std::shared_mutex TableMutex;
   std::unordered_map<uint64_t, std::unique_ptr<ShadowCell[]>> Pages;
+  std::atomic<uint64_t> NumPages{0};
 };
 
 /// Identity of a synchronization location.

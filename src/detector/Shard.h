@@ -1,0 +1,373 @@
+//===- Shard.h - address-range-sharded global shadow state -----------------===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Address-range sharding of the global-memory shadow. The single
+/// GlobalShadow table caps detector scaling at the trace's queue layout:
+/// every worker contends on the table mutex and per-granule spinlocks.
+/// A ShardSet partitions global shadow state into N shards by page
+/// (shard = (Addr >> PageBits) % N); each shard is owned exclusively by
+/// one detector worker (owner = shard % queues) so *no* granule locks
+/// and no table mutex are taken inside a shard's hot path.
+///
+/// Queue processors route coalesced warp runs to the owning shard
+/// through per-(queue, shard) bounded SPSC mailboxes. A run piece
+/// carries an immutable WarpKnowledge clock publication plus its epoch
+/// stamp, so the shard can evaluate the full FastTrack rules without
+/// touching the publisher's live clocks. Synchronization records fan a
+/// ticket marker out to every shard between waitForTicket and
+/// finishTicket; a shard consumes markers in global ticket order and a
+/// mailbox whose head is a future marker blocks until the shard's ticket
+/// cursor reaches it. Together with per-mailbox FIFO this makes the
+/// happens-before state each shard observes equivalent to the
+/// single-table order: every access posted after an acquire of ticket T
+/// is applied after every access posted before the matching release.
+///
+/// Deadlock freedom: every spin state of a worker (full mailbox, ticket
+/// wait, idle queue) services the worker's own shards, so all shards
+/// always progress. Completion is two-staged: the launch watermark
+/// guarantees all posts have happened, then ShardSet::quiescent()
+/// (posted == completed) guarantees all pieces were applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_DETECTOR_SHARD_H
+#define BARRACUDA_DETECTOR_SHARD_H
+
+#include "detector/Ptvc.h"
+#include "detector/Report.h"
+#include "detector/Shadow.h"
+#include "sim/LaunchConfig.h"
+#include "support/Backoff.h"
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace barracuda {
+namespace detector {
+
+class SharedDetectorState;
+
+/// One mailbox message. Run pieces never straddle a shadow page (the
+/// queue processor splits runs at page boundaries), so a piece always
+/// lands wholly inside one shard.
+struct ShardMsg {
+  enum class Kind : uint8_t {
+    RunPiece,    ///< apply [PieceStart, PieceEnd) of a coalesced run
+    SyncMarker,  ///< ticket fence: consume in global ticket order
+    MarkSyncLoc, ///< set FlagSyncLoc on the cell at PieceStart
+  };
+
+  Kind MsgKind = Kind::RunPiece;
+  AccessKind Access = AccessKind::Read;
+  uint8_t Size = 1;           ///< per-lane access size in bytes
+  uint8_t FirstLane = 0;      ///< lane issuing the first Size bytes
+  uint8_t LaneCount = 0;      ///< consecutive active lanes in the run
+  uint32_t Pc = 0;
+  uint32_t Ticket = 0;        ///< SyncMarker only
+  ClockVal SelfClock = 0;     ///< epoch stamp of the publishing group
+  uint64_t RunStart = 0;      ///< first byte of the whole run (lane math)
+  uint64_t PieceStart = 0;
+  uint64_t PieceEnd = 0;
+  std::shared_ptr<const WarpKnowledge> Know;
+};
+
+/// Bounded single-producer single-consumer mailbox. One per
+/// (queue, shard) pair; the queue's worker is the only producer and the
+/// shard's owner the only consumer. front()/popFront() are split so the
+/// consumer can peek a marker without consuming it.
+class ShardMailbox {
+public:
+  static constexpr size_t Capacity = 1024; // power of two
+
+  ShardMailbox() : Ring(Capacity) {}
+
+  /// Producer side. False when full (caller spins with a stall hook).
+  bool tryPush(ShardMsg &&Msg) {
+    uint64_t T = Tail.load(std::memory_order_relaxed);
+    if (T - Head.load(std::memory_order_acquire) == Capacity)
+      return false;
+    Ring[T & (Capacity - 1)] = std::move(Msg);
+    Tail.store(T + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer peek; null when empty.
+  ShardMsg *front() {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == Tail.load(std::memory_order_acquire))
+      return nullptr;
+    return &Ring[H & (Capacity - 1)];
+  }
+
+  /// Consumer pop. Releases the slot's knowledge reference before
+  /// publishing it back to the producer.
+  void popFront() {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Ring[H & (Capacity - 1)] = ShardMsg{};
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  size_t depth() const {
+    uint64_t T = Tail.load(std::memory_order_acquire);
+    uint64_t H = Head.load(std::memory_order_acquire);
+    return static_cast<size_t>(T - H);
+  }
+
+private:
+  std::vector<ShardMsg> Ring;
+  alignas(64) std::atomic<uint64_t> Tail{0}; ///< producer cursor
+  alignas(64) std::atomic<uint64_t> Head{0}; ///< consumer cursor
+};
+
+/// Per-shard monotone counters. Relaxed atomics so the live exporter and
+/// the run report can poll them while the owner is mid-drain.
+struct ShardCounters {
+  std::atomic<uint64_t> Posted{0};         ///< messages posted (all kinds)
+  std::atomic<uint64_t> Applied{0};        ///< messages consumed
+  std::atomic<uint64_t> RunPieces{0};      ///< run pieces applied
+  std::atomic<uint64_t> SyncMarks{0};      ///< FlagSyncLoc marks applied
+  std::atomic<uint64_t> Markers{0};        ///< ticket markers consumed
+  std::atomic<uint64_t> Pages{0};          ///< shadow pages allocated
+  std::atomic<uint64_t> ProducerStalls{0}; ///< full-mailbox spin rounds
+  std::atomic<uint64_t> TicketStalls{0};   ///< marker-blocked drain passes
+  std::atomic<uint64_t> FastPathHits{0};
+  std::atomic<uint64_t> PageCacheHits{0};
+  std::atomic<uint64_t> PageCacheMisses{0};
+};
+
+/// One shadow shard: a private, unlocked page table plus the mailboxes
+/// feeding it. All mutation happens on the owning worker.
+class Shard {
+public:
+  Shard(unsigned Index, unsigned NumQueues,
+        const sim::ThreadHierarchy &Hier, RaceReporter &Reporter,
+        std::atomic<uint64_t> &CompletedTotal,
+        const std::atomic<bool> &Degraded);
+  ~Shard();
+  Shard(const Shard &) = delete;
+  Shard &operator=(const Shard &) = delete;
+
+  ShardMailbox &mailbox(unsigned QueueIndex) {
+    return Mailboxes[QueueIndex];
+  }
+
+  /// Drains every mailbox until no further progress (empty, or blocked
+  /// on a future ticket marker). Owner-only. Returns true if any message
+  /// was consumed.
+  bool service();
+
+  const ShardCounters &counters() const { return Counters; }
+  ShardCounters &counters() { return Counters; }
+
+  uint64_t shadowBytes() const {
+    return Counters.Pages.load(std::memory_order_relaxed) *
+           GlobalShadow::PageSize * sizeof(ShadowCell);
+  }
+
+  size_t backlog() const {
+    size_t Depth = 0;
+    for (const ShardMailbox &Mail : Mailboxes)
+      Depth += Mail.depth();
+    return Depth;
+  }
+
+private:
+  struct RuleCtx;
+  friend struct RuleCtx;
+
+  ShadowCell *pageFor(uint64_t Addr);
+  void apply(const ShardMsg &Msg);
+
+  unsigned Index;
+  std::vector<ShardMailbox> Mailboxes; ///< one per queue
+  std::unordered_map<uint64_t, std::unique_ptr<ShadowCell[]>> Pages;
+
+  static constexpr unsigned PageCacheSlots = 8;
+  struct PageCacheEntry {
+    uint64_t PageId = ~0ULL;
+    ShadowCell *Page = nullptr;
+  };
+  std::array<PageCacheEntry, PageCacheSlots> PageCache;
+
+  // Per-message entryFor memo (same contract as the queue processor's:
+  // knowledge and epoch stamp are frozen for the message, and entryFor
+  // is lane-independent for Other != self).
+  static constexpr unsigned EntryMemoSlots = 8;
+  struct EntryMemoSlot {
+    Tid Other = 0;
+    ClockVal Value = 0;
+  };
+  std::array<EntryMemoSlot, EntryMemoSlots> EntryMemo;
+  unsigned EntryMemoCount = 0;
+  unsigned EntryMemoNext = 0;
+
+  uint32_t NextTicket = 1; ///< next sync ticket this shard may consume
+
+  sim::ThreadHierarchy Hier;
+  RaceReporter &Reporter;
+  std::atomic<uint64_t> &CompletedTotal;
+  const std::atomic<bool> &Degraded;
+  ShardCounters Counters;
+};
+
+/// The full shard partition for one run: shards, ownership mapping,
+/// producer API with stall hooks, and the completion protocol.
+class ShardSet {
+public:
+  ShardSet(unsigned NumShards, unsigned NumQueues,
+           const sim::ThreadHierarchy &Hier, RaceReporter &Reporter);
+
+  unsigned numShards() const {
+    return static_cast<unsigned>(Shards_.size());
+  }
+  unsigned numQueues() const { return NumQueues_; }
+
+  unsigned shardOf(uint64_t Addr) const {
+    return static_cast<unsigned>((Addr >> GlobalShadow::PageBits) %
+                                 Shards_.size());
+  }
+  /// The worker that owns (exclusively drains) a shard.
+  unsigned ownerOf(unsigned ShardIndex) const {
+    return ShardIndex % NumQueues_;
+  }
+
+  Shard &shard(unsigned Index) { return *Shards_[Index]; }
+  const Shard &shard(unsigned Index) const { return *Shards_[Index]; }
+
+  /// Posts one message from \p QueueIndex's worker, spinning with
+  /// \p Stall (which must service the *caller's* own shards, keeping
+  /// every worker's consumers live) while the mailbox is full.
+  template <typename StallFnT>
+  void post(unsigned QueueIndex, unsigned ShardIndex, ShardMsg &&Msg,
+            StallFnT &&Stall) {
+    PostedTotal.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = *Shards_[ShardIndex];
+    S.counters().Posted.fetch_add(1, std::memory_order_relaxed);
+    ShardMailbox &Mail = S.mailbox(QueueIndex);
+    if (Mail.tryPush(std::move(Msg)))
+      return;
+    support::Backoff Wait(/*SpinPauses=*/64, /*YieldPauses=*/64,
+                          /*MaxSleepMicros=*/64);
+    for (;;) {
+      S.counters().ProducerStalls.fetch_add(1, std::memory_order_relaxed);
+      Stall();
+      if (Mail.tryPush(std::move(Msg)))
+        return;
+      Wait.pause();
+    }
+  }
+
+  /// Fans a sync-ticket marker out to every shard. Must be called
+  /// between waitForTicket and finishTicket so markers reach each
+  /// mailbox in global ticket order.
+  template <typename StallFnT>
+  void postMarkerAll(unsigned QueueIndex, uint32_t Ticket,
+                     StallFnT &&Stall) {
+    for (unsigned S = 0; S != numShards(); ++S) {
+      ShardMsg Msg;
+      Msg.MsgKind = ShardMsg::Kind::SyncMarker;
+      Msg.Ticket = Ticket;
+      post(QueueIndex, S, std::move(Msg), Stall);
+    }
+  }
+
+  /// Services every shard owned by \p WorkerIndex. Must only be called
+  /// from that worker (single-consumer discipline).
+  bool serviceOwned(unsigned WorkerIndex) {
+    bool Any = false;
+    for (unsigned S = WorkerIndex % NumQueues_; S < numShards();
+         S += NumQueues_)
+      Any |= Shards_[S]->service();
+    return Any;
+  }
+
+  /// Lockstep drain: services every shard until quiescent. Only valid
+  /// when no other thread produces or consumes (the synchronous
+  /// processCollected path), where it makes per-cell application order
+  /// identical to the inline detector's.
+  void drainAll() {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (auto &S : Shards_)
+        Progress |= S->service();
+    }
+    assert(quiescent() && "lockstep drain left messages behind");
+  }
+
+  /// True when every posted message has been applied. With all producers
+  /// past the watermark, this is the launch's shard-completion barrier.
+  bool quiescent() const {
+    return CompletedTotal.load(std::memory_order_acquire) ==
+           PostedTotal.load(std::memory_order_acquire);
+  }
+
+  /// Producer-side completion for self-terminating drains
+  /// (HostDetector): workers call producerDone() once after their queue
+  /// is exhausted and keep servicing until done() holds.
+  void producerDone() {
+    DoneProducers.fetch_add(1, std::memory_order_release);
+  }
+  bool done() const {
+    return DoneProducers.load(std::memory_order_acquire) == NumQueues_ &&
+           quiescent();
+  }
+
+  /// Dropped records may have swallowed sync tickets; relax the marker
+  /// gate so shards cannot wait forever (mirrors the engine's degraded
+  /// watermark).
+  void setDegraded() { Degraded_.store(true, std::memory_order_release); }
+  bool degraded() const {
+    return Degraded_.load(std::memory_order_acquire);
+  }
+
+  uint64_t shadowBytes() const {
+    uint64_t Bytes = 0;
+    for (const auto &S : Shards_)
+      Bytes += S->shadowBytes();
+    return Bytes;
+  }
+
+  /// Folds shard-side hot-path counters into the shared registry. Call
+  /// once, after quiescence; idempotent.
+  void mergeFinalInto(SharedDetectorState &State);
+
+  /// A point-in-time copy of one shard's counters, for the report and
+  /// the live exporter.
+  struct Sample {
+    uint64_t Posted = 0;
+    uint64_t Applied = 0;
+    uint64_t RunPieces = 0;
+    uint64_t SyncMarks = 0;
+    uint64_t Markers = 0;
+    uint64_t Pages = 0;
+    uint64_t ShadowBytes = 0;
+    uint64_t ProducerStalls = 0;
+    uint64_t TicketStalls = 0;
+    uint64_t FastPathHits = 0;
+    uint64_t Backlog = 0;
+  };
+  std::vector<Sample> sample() const;
+
+private:
+  unsigned NumQueues_;
+  std::vector<std::unique_ptr<Shard>> Shards_;
+  std::atomic<uint64_t> PostedTotal{0};
+  std::atomic<uint64_t> CompletedTotal{0};
+  std::atomic<unsigned> DoneProducers{0};
+  std::atomic<bool> Degraded_{false};
+  std::atomic<bool> Merged{false};
+};
+
+} // namespace detector
+} // namespace barracuda
+
+#endif // BARRACUDA_DETECTOR_SHARD_H

@@ -30,10 +30,16 @@ uint64_t nowNanos() {
 
 Launch::Launch(Engine &Eng, uint32_t Epoch,
                detector::SharedDetectorState &State)
-    : Eng(Eng), Epoch(Epoch), State(State), Quarantined(Eng.numQueues()) {
-  for (unsigned I = 0; I != Eng.numQueues(); ++I)
+    : Eng(Eng), Epoch(Epoch), State(State), Shards(State.shards()),
+      Quarantined(Eng.numQueues()) {
+  for (unsigned I = 0; I != Eng.numQueues(); ++I) {
     Processors.push_back(
-        std::make_unique<detector::QueueProcessor>(State));
+        std::make_unique<detector::QueueProcessor>(State, I));
+    // Stall-time servicing must cover every launch multiplexed over the
+    // pool, not just this one (see Engine::serviceShardsFor).
+    Processors.back()->setStallHook(
+        [&EngRef = Eng, I] { return EngRef.serviceShardsFor(I); });
+  }
   if (obs::TraceRecorder *Tracer = Eng.tracer()) {
     LeaseTrack = Tracer->track(
         support::formatString("detector lease e%u", Epoch));
@@ -75,6 +81,19 @@ void Launch::finish() {
   support::Backoff Wait;
   while (Drained.load(std::memory_order_acquire) != Logged)
     Wait.pause();
+  if (Shards) {
+    // Stage two: the watermark says every record was processed, i.e.
+    // every shard posting has happened; now wait for the owners (idle
+    // workers service shards of active launches) to apply them all.
+    // Degradation is latched first: dropped records may have swallowed
+    // sync tickets, and a gated marker would otherwise never unblock.
+    if (degraded())
+      Shards->setDegraded();
+    support::Backoff ShardWait;
+    while (!Shards->quiescent())
+      ShardWait.pause();
+    Shards->mergeFinalInto(State);
+  }
   WatermarkWaitNanos = nowNanos() - WaitStart;
   Eng.CWatermarkWaitNanos->add(WatermarkWaitNanos);
   for (auto &Processor : Processors)
@@ -168,6 +187,24 @@ void Engine::endLaunch(uint32_t Epoch) {
     ActiveLaunches.erase(Epoch);
   }
   ActiveEpochs.fetch_sub(1, std::memory_order_release);
+}
+
+bool Engine::serviceShardsFor(unsigned WorkerIndex) {
+  // Snapshot the shard sets under the registry lock, service outside it
+  // (applying messages reports races and can briefly spin; holding the
+  // lock would serialize epoch lookups behind that).
+  std::vector<std::shared_ptr<detector::ShardSet>> Sets;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Sets.reserve(ActiveLaunches.size());
+    for (const auto &[Epoch, Handle] : ActiveLaunches)
+      if (Handle->Shards)
+        Sets.push_back(Handle->Shards);
+  }
+  bool Any = false;
+  for (const auto &Shards : Sets)
+    Any |= Shards->serviceOwned(WorkerIndex);
+  return Any;
 }
 
 std::shared_ptr<Launch> Engine::lookupEpoch(uint32_t Epoch) {
@@ -308,10 +345,19 @@ void Engine::workerMain(unsigned QueueIndex) {
       if (Drop) {
         Cached->Dropped.fetch_add(1, std::memory_order_relaxed);
         CRecordsDropped->add(1);
+        // Dropped records may have carried sync tickets whose shard
+        // markers will now never be posted; relax the marker gate so no
+        // shard waits forever on a hole in the ticket sequence.
+        if (Cached->Shards)
+          Cached->Shards->setDegraded();
       }
       ++DrainedHere;
       Cached->Drained.fetch_add(1, std::memory_order_release);
     }
+    // Batch boundary: drain what other queues posted into this worker's
+    // shards of the launch just served.
+    if (Count && Cached && Cached->Shards)
+      Cached->Shards->serviceOwned(QueueIndex);
     if (Count)
       DrainNsLocal += nowNanos() - BatchStartNs;
     if (Count == 0) {
@@ -351,7 +397,13 @@ void Engine::workerMain(unsigned QueueIndex) {
                            End >= ParkedUs ? End - ParkedUs : 0, End);
         }
       } else {
-        Wait.pause();
+        // Epochs are active but our queue is idle: other queues may be
+        // filling this worker's shards (a finishing launch spins on
+        // shard quiescence here), so service them before backing off.
+        if (serviceShardsFor(QueueIndex))
+          Wait.reset();
+        else
+          Wait.pause();
       }
     } else if (Wait.waits()) {
       CEmptySpins->add(Wait.waits());

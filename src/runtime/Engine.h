@@ -151,6 +151,11 @@ private:
   /// One processor per engine queue; processor I is touched only by
   /// worker I, preserving the queue-private detector state invariant.
   std::vector<std::unique_ptr<detector::QueueProcessor>> Processors;
+  /// The launch's shadow-shard partition (null when detection is
+  /// inline). A copy of the state's shared_ptr: idle workers service
+  /// shards through the launch handle, and the mailboxes must outlive
+  /// the stack-owned detector state they were filled from.
+  std::shared_ptr<detector::ShardSet> Shards;
   /// Records pushed through the sink. Written by the launch thread only.
   uint64_t Logged = 0;
   /// Records fully processed by workers. Release increments; finish()
@@ -299,6 +304,11 @@ private:
   void workerMain(unsigned QueueIndex);
   std::shared_ptr<Launch> lookupEpoch(uint32_t Epoch);
   void endLaunch(uint32_t Epoch);
+  /// Services worker \p WorkerIndex's shards across every live launch
+  /// (stall hook + idle path). Cross-launch coverage matters: a worker
+  /// stalled on launch A's mailbox may be the owner launch B's producer
+  /// is stalled on, so servicing only one launch's shards can cycle.
+  bool serviceShardsFor(unsigned WorkerIndex);
 
   EngineOptions Options;
   trace::QueueSet Queues;

@@ -290,6 +290,119 @@ TEST(HotPathCounters, LegacyModeNeverCounts) {
 // Race report addressing (multi-byte accesses)
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// Page-boundary straddling runs (the page is the sharding unit, so
+// these are exactly the runs the sharded detector must split into
+// per-shard pieces)
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> blockIdsOf(const std::vector<LogRecord> &Records) {
+  std::vector<uint32_t> Ids;
+  for (const LogRecord &Record : Records)
+    Ids.push_back(Record.Warp / WarpsPerBlock);
+  return Ids;
+}
+
+std::vector<RaceKey> shardedKeys(const std::vector<LogRecord> &Records,
+                                 unsigned Shards) {
+  DetectorOptions Options;
+  Options.Hier = hierarchy();
+  Options.HotPath = true;
+  Options.ShadowShards = Shards;
+  Options.NumQueues = 1;
+  SharedDetectorState State(Options);
+  processCollected(State, 1, blockIdsOf(Records), Records);
+  return keysOf(State.Reporter);
+}
+
+TEST(PageBoundary, StraddlingRunSplitsAcrossShards) {
+  // 32 lanes x 4 coalesced bytes starting 64 bytes below a page
+  // boundary: the run covers [P-64, P+64), so its first and last byte
+  // land on different pages — and, at any shard count > 1 where the
+  // pages map differently, in different shards.
+  constexpr uint64_t PageSize = GlobalShadow::PageSize;
+  uint64_t Base = PageSize - 64;
+  LogRecord First =
+      trace::makeMemRecord(RecordOp::Write, 0, 1, MemSpace::Global, 4, ~0u);
+  LogRecord Second =
+      trace::makeMemRecord(RecordOp::Write, 2, 2, MemSpace::Global, 4, ~0u);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+    First.Addr[Lane] = Base + Lane * 4;
+    Second.Addr[Lane] = Base + Lane * 4;
+  }
+  std::vector<LogRecord> Records{First, Second};
+
+  baseline::ReferenceDetector Reference{hierarchy()};
+  Reference.processAll(Records);
+  std::vector<RaceKey> Expected = keysOf(Reference.reporter());
+  ASSERT_FALSE(Expected.empty());
+
+  for (unsigned Shards : {1u, 2u, 3u, 16u})
+    EXPECT_EQ(shardedKeys(Records, Shards), Expected)
+        << Shards << " shards";
+}
+
+TEST(PageBoundary, SingleAccessStraddlingPageBoundary) {
+  // One lane's 8-byte access covers the last four bytes of one page and
+  // the first four of the next: the piece split point falls in the
+  // middle of a single lane's access, and the conflicting-byte address
+  // must survive the split.
+  constexpr uint64_t PageSize = GlobalShadow::PageSize;
+  LogRecord First =
+      trace::makeMemRecord(RecordOp::Write, 0, 1, MemSpace::Global, 8, 1u);
+  First.Addr[0] = PageSize - 4;
+  LogRecord Second =
+      trace::makeMemRecord(RecordOp::Write, 2, 2, MemSpace::Global, 8, 1u);
+  Second.Addr[0] = PageSize - 4;
+  std::vector<LogRecord> Records{First, Second};
+
+  baseline::ReferenceDetector Reference{hierarchy()};
+  Reference.processAll(Records);
+  std::vector<RaceKey> Expected = keysOf(Reference.reporter());
+  ASSERT_FALSE(Expected.empty());
+
+  for (unsigned Shards : {1u, 2u, 7u}) {
+    DetectorOptions Options;
+    Options.Hier = hierarchy();
+    Options.HotPath = true;
+    Options.ShadowShards = Shards;
+    Options.NumQueues = 1;
+    SharedDetectorState State(Options);
+    processCollected(State, 1, blockIdsOf(Records), Records);
+    EXPECT_EQ(keysOf(State.Reporter), Expected) << Shards << " shards";
+    ASSERT_EQ(State.Reporter.races().size(), 1u);
+    EXPECT_EQ(State.Reporter.races()[0].Address, PageSize - 4)
+        << Shards << " shards";
+  }
+}
+
+TEST(PageBoundary, PiecesRouteToTheirOwningShards) {
+  // A straddling run at two shards: pages P0 and P1 hash to shards 0
+  // and 1, so each shard must apply exactly one piece of the run.
+  constexpr uint64_t PageSize = GlobalShadow::PageSize;
+  LogRecord Run =
+      trace::makeMemRecord(RecordOp::Write, 0, 1, MemSpace::Global, 4, ~0u);
+  for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+    Run.Addr[Lane] = PageSize - 64 + Lane * 4;
+  std::vector<LogRecord> Records{Run};
+
+  DetectorOptions Options;
+  Options.Hier = hierarchy();
+  Options.HotPath = true;
+  Options.ShadowShards = 2;
+  Options.NumQueues = 1;
+  SharedDetectorState State(Options);
+  processCollected(State, 1, blockIdsOf(Records), Records);
+
+  ASSERT_TRUE(State.shards());
+  std::vector<ShardSet::Sample> Samples = State.shards()->sample();
+  ASSERT_EQ(Samples.size(), 2u);
+  EXPECT_EQ(Samples[0].RunPieces, 1u);
+  EXPECT_EQ(Samples[1].RunPieces, 1u);
+  EXPECT_EQ(Samples[0].Pages, 1u);
+  EXPECT_EQ(Samples[1].Pages, 1u);
+}
+
 TEST(HotPathReports, RaceAddressIsTheConflictingByte) {
   // Thread 0 writes [0x1002, 0x1006); a thread in the other block then
   // writes [0x1000, 0x1004). The conflict is at bytes 0x1002-0x1003, and

@@ -1,0 +1,232 @@
+//===- ShardTest.cpp - sharded vs single-table detector differential -------===//
+//
+// The address-range-sharded detector must be an exact replay of the
+// single-table detector: byte-identical race reports — including dynamic
+// occurrence counts — and identical barrier verdicts, at every shard
+// count and queue layout. These tests sweep the full 66-program
+// concurrency suite and a batch of random-generator seeds through the
+// lockstep (deterministic) drain at shards {1, 2, 7, 16} x queues
+// {1, 2}, all compared against the single-shard single-queue oracle, and
+// then re-run the suite through threaded engine sessions so the mailbox,
+// ticket-marker and completion protocols execute under real concurrency
+// (the TSan/ASan presets build this file too).
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+
+#include "barracuda/Session.h"
+#include "detector/Detector.h"
+#include "detector/Host.h"
+#include "instrument/Instrumenter.h"
+#include "ptx/Parser.h"
+#include "sim/Machine.h"
+#include "suite/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+using namespace barracuda;
+using barracuda::tests::RandomProgram;
+
+namespace {
+
+using RaceKey = std::tuple<uint32_t, detector::AccessKind,
+                           detector::AccessKind, trace::MemSpace,
+                           detector::RaceScopeKind, uint64_t>;
+
+std::vector<RaceKey> keysOf(const detector::RaceReporter &Reporter) {
+  std::vector<RaceKey> Keys;
+  for (const detector::RaceReport &Race : Reporter.races())
+    Keys.emplace_back(Race.Pc, Race.Current, Race.Previous, Race.Space,
+                      Race.Scope, Race.Count);
+  return Keys;
+}
+
+std::string describeAll(const detector::RaceReporter &Reporter) {
+  std::string Out;
+  for (const detector::RaceReport &Race : Reporter.races())
+    Out += "  " + Race.describe() + "\n";
+  return Out.empty() ? "  (none)\n" : Out;
+}
+
+/// One executed trace, ready to replay through detector configs.
+struct Collected {
+  std::vector<uint32_t> Blocks;
+  std::vector<trace::LogRecord> Records;
+  sim::ThreadHierarchy Hier;
+};
+
+/// Executes the kernel once on a fresh machine and collects its trace.
+/// A failed launch (e.g. a deliberate barrier deadlock) still yields the
+/// partial trace — the differential holds for those too.
+Collected collect(const std::string &Ptx, const std::string &KernelName,
+                  sim::Dim3 Grid, sim::Dim3 Block,
+                  const std::vector<suite::ParamSpec> &Params) {
+  Collected Out;
+  std::unique_ptr<ptx::Module> Mod = ptx::parseOrDie(Ptx);
+  const ptx::Kernel *K = Mod->findKernel(KernelName);
+  if (!K) {
+    ADD_FAILURE() << "missing kernel " << KernelName;
+    return Out;
+  }
+  size_t KernelIndex = static_cast<size_t>(K - Mod->Kernels.data());
+  instrument::ModuleInstrumentation Instr = instrument::instrumentModule(
+      *Mod, instrument::InstrumenterOptions());
+
+  sim::GlobalMemory Memory;
+  sim::Machine::layoutModuleGlobals(*Mod, Memory);
+  sim::Machine Machine(Memory);
+  sim::ParamBuilder Builder(*K);
+  size_t Index = 0;
+  for (const suite::ParamSpec &Spec : Params) {
+    if (Spec.K == suite::ParamSpec::Kind::Value) {
+      Builder.set(Index++, Spec.Value);
+      continue;
+    }
+    uint64_t Addr = Memory.allocate(Spec.BufferBytes);
+    if (Spec.HasInitWord)
+      Memory.write(Addr, 4, Spec.InitWord);
+    Builder.set(Index++, Addr);
+  }
+
+  sim::LaunchConfig Config;
+  Config.Grid = Grid;
+  Config.Block = Block;
+  sim::CollectingLogger Logger;
+  Machine.launch(*Mod, *K, &Instr.Kernels[KernelIndex], Config,
+                 Builder.bytes(), &Logger);
+  Out.Blocks = std::move(Logger.Blocks);
+  Out.Records = std::move(Logger.Records);
+  Out.Hier = sim::ThreadHierarchy(Config);
+  return Out;
+}
+
+/// Replays \p Trace through the lockstep drain at one shard/queue
+/// config and returns the verdicts.
+std::pair<std::vector<RaceKey>, size_t>
+replay(const Collected &Trace, unsigned Shards, unsigned Queues,
+       std::string *Detail = nullptr) {
+  detector::DetectorOptions Options;
+  Options.Hier = Trace.Hier;
+  Options.ShadowShards = Shards;
+  Options.NumQueues = Queues;
+  detector::SharedDetectorState State(Options);
+  detector::processCollected(State, Queues, Trace.Blocks, Trace.Records);
+  if (Detail)
+    *Detail = describeAll(State.Reporter);
+  return {keysOf(State.Reporter), State.Reporter.barrierErrors().size()};
+}
+
+/// Asserts every shard/queue config reproduces the single-shard
+/// single-queue oracle byte for byte.
+void expectShardEquivalence(const Collected &Trace,
+                            const std::string &Label) {
+  std::string OracleDetail;
+  std::pair<std::vector<RaceKey>, size_t> Oracle =
+      replay(Trace, /*Shards=*/1, /*Queues=*/1, &OracleDetail);
+  for (unsigned Shards : {1u, 2u, 7u, 16u}) {
+    for (unsigned Queues : {1u, 2u}) {
+      std::string Detail;
+      std::pair<std::vector<RaceKey>, size_t> Got =
+          replay(Trace, Shards, Queues, &Detail);
+      EXPECT_EQ(Got.first, Oracle.first)
+          << Label << ": " << Shards << " shards, " << Queues
+          << " queues\nsharded:\n"
+          << Detail << "single-table:\n"
+          << OracleDetail;
+      EXPECT_EQ(Got.second, Oracle.second)
+          << Label << ": " << Shards << " shards, " << Queues
+          << " queues (barrier errors)";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lockstep differential: the 66-program suite
+//===----------------------------------------------------------------------===//
+
+class ShardSuiteDifferential
+    : public ::testing::TestWithParam<suite::SuiteProgram> {};
+
+TEST_P(ShardSuiteDifferential, MatchesSingleShard) {
+  const suite::SuiteProgram &Program = GetParam();
+  Collected Trace =
+      collect(Program.Ptx, Program.KernelName, Program.Grid,
+              Program.Block, Program.Params);
+  expectShardEquivalence(Trace, Program.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite66, ShardSuiteDifferential,
+                         ::testing::ValuesIn(suite::concurrencySuite()));
+
+//===----------------------------------------------------------------------===//
+// Lockstep differential: random programs
+//===----------------------------------------------------------------------===//
+
+class ShardRandomDifferential : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ShardRandomDifferential, MatchesSingleShard) {
+  RandomProgram Program(GetParam());
+  Collected Trace = collect(
+      Program.Ptx, "rand", sim::Dim3(Program.Blocks),
+      sim::Dim3(Program.ThreadsPerBlock), {suite::ParamSpec::buffer(4096)});
+  expectShardEquivalence(Trace,
+                         "seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, ShardRandomDifferential,
+                         ::testing::Range<uint64_t>(1, 46));
+
+//===----------------------------------------------------------------------===//
+// Threaded engine sessions: the mailbox/marker/completion protocols run
+// under real concurrency. Occurrence counts can vary with cross-queue
+// interleaving (they do for the unsharded engine too), so this layer
+// compares the verdict booleans — which the suite's ground truth pins.
+//===----------------------------------------------------------------------===//
+
+class ShardedSession
+    : public ::testing::TestWithParam<suite::SuiteProgram> {};
+
+TEST_P(ShardedSession, ThreadedVerdictsMatchSingleShard) {
+  const suite::SuiteProgram &Program = GetParam();
+
+  auto verdict = [&](unsigned Shards) {
+    SessionOptions Options;
+    Options.NumQueues = 2;
+    Options.ShadowShards = Shards;
+    Options.Profile = false;
+    Session S(Options);
+    EXPECT_TRUE(S.loadModule(Program.Ptx)) << S.error();
+    std::vector<uint64_t> Params;
+    for (const suite::ParamSpec &Spec : Program.Params) {
+      if (Spec.K == suite::ParamSpec::Kind::Value) {
+        Params.push_back(Spec.Value);
+        continue;
+      }
+      uint64_t Addr = S.alloc(Spec.BufferBytes);
+      if (Spec.HasInitWord)
+        S.writeU32(Addr, Spec.InitWord);
+      Params.push_back(Addr);
+    }
+    S.launchKernel(Program.KernelName, Program.Grid, Program.Block,
+                   Params);
+    return std::make_pair(S.anyRaces(), !S.barrierErrors().empty());
+  };
+
+  std::pair<bool, bool> Single = verdict(1);
+  for (unsigned Shards : {2u, 7u})
+    EXPECT_EQ(verdict(Shards), Single)
+        << Program.Name << " at " << Shards << " shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite66, ShardedSession,
+                         ::testing::ValuesIn(suite::concurrencySuite()));
+
+} // namespace

@@ -14,6 +14,8 @@
 //     --param val:N        pass a scalar parameter
 //     --warp-size N        simulate a smaller warp (default: 32)
 //     --queues N           device-to-host queues (default: 4)
+//     --shadow-shards N    address-range shadow shards (default 0 =
+//                          one per detector worker; 1 = single-table)
 //     --repeat N           launch the kernel N times (default: 1); the
 //                          persistent engine pool is reused across runs
 //     --streams M          spread repeats across M concurrent streams
@@ -117,6 +119,9 @@ int main(int ArgCount, char **Args) {
       "simulated warp width");
   Cli.uintOption("--queues", "N", Options.NumQueues,
                  "device-to-host queues");
+  Cli.uintOption("--shadow-shards", "N", Options.ShadowShards,
+                 "address-range shadow shards (0 = one per worker, "
+                 "1 = single-table)");
   Cli.uintOption("--repeat", "N", Repeat, "launch the kernel N times");
   Cli.uintOption("--streams", "M", NumStreams,
                  "spread repeats across M concurrent streams");
