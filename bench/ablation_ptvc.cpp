@@ -57,16 +57,16 @@ Census runProgram(const suite::SuiteProgram &Program) {
       S.writeU32(Addr, Spec.InitWord);
     Params.push_back(Addr);
   }
-  sim::LaunchResult Launch = S.launchKernel(Program.KernelName,
+  support::Result<sim::LaunchResult> Launch = S.launchKernel(Program.KernelName,
                                             Program.Grid, Program.Block,
                                             Params);
-  if (!Launch.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Launch.Error.c_str());
+  if (!Launch.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", Launch.status().message().c_str());
     std::exit(1);
   }
   Result.Formats = S.report().Detector.Formats;
   Result.PeakPtvcBytes = S.report().Detector.PeakPtvcBytes;
-  Result.Threads = Launch.ThreadsLaunched;
+  Result.Threads = Launch.value().ThreadsLaunched;
 
   // Reference detector on the same trace for the uncompressed footprint.
   {
@@ -165,7 +165,7 @@ int main() {
     uint64_t Data = S.alloc(Bench.DataBytes);
     if (!S.launchKernel(Bench.KernelName, Bench.MeasureGrid, Bench.Block,
                         {Data})
-             .Ok)
+             .ok())
       continue;
     RunReport Report = S.report();
     const detector::PtvcFormatStats &Formats = Report.Detector.Formats;

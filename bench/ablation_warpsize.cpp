@@ -44,10 +44,10 @@ Outcome runAt(const suite::SuiteProgram &Program, uint32_t WarpSize) {
       S.writeU32(Addr, Spec.InitWord);
     Params.push_back(Addr);
   }
-  sim::LaunchResult Launch = S.launchKernel(Program.KernelName,
+  support::Result<sim::LaunchResult> Launch = S.launchKernel(Program.KernelName,
                                             Program.Grid, Program.Block,
                                             Params);
-  Result.Ok = Launch.Ok;
+  Result.Ok = Launch.ok();
   Result.Races = S.races().size() + S.barrierErrors().size();
   return Result;
 }

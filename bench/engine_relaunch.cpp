@@ -129,10 +129,10 @@ double runPersistentPool(unsigned Launches) {
 
   auto Start = std::chrono::steady_clock::now();
   for (unsigned I = 0; I != Launches; ++I) {
-    sim::LaunchResult Result =
+    support::Result<sim::LaunchResult> Result =
         S.launchKernel("histogram", Grid, Block, {Bins});
-    if (!Result.Ok) {
-      std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+    if (!Result.ok()) {
+      std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
       std::exit(1);
     }
   }

@@ -51,11 +51,11 @@ double runOnce(const GeneratedBenchmark &Bench, bool Instrumented) {
   }
   uint64_t Data = S.alloc(Bench.DataBytes);
   auto Start = std::chrono::steady_clock::now();
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
   auto End = std::chrono::steady_clock::now();
-  if (!Result.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+  if (!Result.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
     std::exit(1);
   }
   return std::chrono::duration<double>(End - Start).count();

@@ -110,10 +110,10 @@ uint64_t runConfig(sim::WeakProfileKind Profile, const char *Fence1,
     S.writeU32(Out + 4, 0);
     uint64_t Delay0 = Rng.nextBelow(8);
     uint64_t Delay1 = Rng.nextBelow(24);
-    sim::LaunchResult Result = S.launchKernel(
+    support::Result<sim::LaunchResult> Result = S.launchKernel(
         "mp", sim::Dim3(2), sim::Dim3(1), {X, Y, Out, Delay0, Delay1});
-    if (!Result.Ok) {
-      std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+    if (!Result.ok()) {
+      std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
       std::exit(1);
     }
     uint32_t R1 = S.readU32(Out);

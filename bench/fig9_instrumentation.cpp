@@ -52,13 +52,13 @@ int main() {
     std::string DynSaved = "-";
     if (S.loadModule(Bench.Ptx)) {
       uint64_t Data = S.alloc(Bench.DataBytes);
-      sim::LaunchResult Run = S.launchKernel(
+      support::Result<sim::LaunchResult> Run = S.launchKernel(
           Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
-      if (Run.Ok && Run.RecordsLogged + Run.RecordsPruned)
+      if (Run.ok() && Run.value().RecordsLogged + Run.value().RecordsPruned)
         DynSaved = formatString(
-            "%.1f%%", 100.0 * static_cast<double>(Run.RecordsPruned) /
-                          static_cast<double>(Run.RecordsLogged +
-                                              Run.RecordsPruned));
+            "%.1f%%", 100.0 * static_cast<double>(Run.value().RecordsPruned) /
+                          static_cast<double>(Run.value().RecordsLogged +
+                                              Run.value().RecordsPruned));
     }
 
     std::string Bars(static_cast<size_t>(Opt), '#');

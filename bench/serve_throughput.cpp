@@ -1,0 +1,270 @@
+//===- serve_throughput.cpp - detection-as-a-service throughput -------------===//
+//
+// Drives an in-process barracuda-serve Server over its real unix socket
+// with N concurrent clients (one tenant each), all blocking-launching
+// the safe histogram kernel, and reports launches/sec plus p50/p99
+// request latency per client count. The protocol, connection threads,
+// tenant locking and the shared engine's epoch multiplexing are all on
+// the measured path — this is the serving layer's end-to-end cost, not
+// the detector's.
+//
+// Writes BENCH_serve_throughput.json (one fresh document per run) into
+// the current directory.
+//
+// Env:
+//   BARRACUDA_BENCH_SMOKE=1   few rounds, invariant checks only
+//   BARRACUDA_SERVE_ROUNDS=N  override launches per client
+//
+// Invariants enforced in every mode: every launch completes ok and
+// undegraded, the safe kernel stays race-free for every tenant, and a
+// racy control launch still produces races through the full stack.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace barracuda;
+using support::json::Value;
+
+namespace {
+
+const char *HistogramModule = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry hist_racy(
+    .param .u64 bins
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [bins];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+    and.b32 %r5, %r4, 7;
+    cvt.u64.u32 %rd2, %r5;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r6, [%rd3];
+    add.u32 %r6, %r6, 1;
+    st.global.u32 [%rd3], %r6;
+    ret;
+}
+
+.visible .entry hist_safe(
+    .param .u64 bins
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [bins];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+    and.b32 %r5, %r4, 7;
+    cvt.u64.u32 %rd2, %r5;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    atom.global.add.u32 %r6, [%rd3], 1;
+    ret;
+}
+)";
+
+void fail(const char *What) {
+  std::fprintf(stderr, "FAIL: %s\n", What);
+  std::exit(1);
+}
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t percentileMicros(std::vector<double> &SecondsSorted, double Q) {
+  if (SecondsSorted.empty())
+    return 0;
+  size_t Index = static_cast<size_t>(
+      Q * static_cast<double>(SecondsSorted.size() - 1) + 0.5);
+  return static_cast<uint64_t>(SecondsSorted[Index] * 1e6);
+}
+
+struct Point {
+  unsigned Clients = 0;
+  double LaunchesPerSec = 0;
+  double RecordsPerSec = 0;
+  uint64_t P50Micros = 0;
+  uint64_t P99Micros = 0;
+};
+
+} // namespace
+
+int main() {
+  bool Smoke = false;
+  if (const char *Env = std::getenv("BARRACUDA_BENCH_SMOKE"))
+    Smoke = *Env && std::strcmp(Env, "0") != 0;
+  unsigned Rounds = Smoke ? 20 : 200;
+  if (const char *Env = std::getenv("BARRACUDA_SERVE_ROUNDS"))
+    Rounds = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  unsigned HostCores = std::thread::hardware_concurrency();
+
+  serve::ServerOptions Options;
+  Options.SocketPath = support::formatString(
+      "/tmp/barracuda-serve-bench-%d.sock", static_cast<int>(getpid()));
+  Options.NumQueues = 4;
+  Options.Tenant.MaxInFlight = 0; // blocking clients self-limit
+  serve::Server Server(std::move(Options));
+  if (!Server.start().ok())
+    fail("server did not start");
+
+  std::printf("serve throughput: %u launches/client over %s, %u host "
+              "cores%s\n\n",
+              Rounds, Server.socketPath().c_str(), HostCores,
+              Smoke ? " [smoke]" : "");
+
+  // Control: the full stack still detects races (not measured).
+  {
+    serve::Client C;
+    if (!C.connect(Server.socketPath()).ok() ||
+        !C.loadModule("control", HistogramModule).ok())
+      fail("control tenant setup");
+    uint64_t Bins = C.alloc("control", 64).valueOr(0);
+    support::Result<Value> Racy = C.launch(
+        "control", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+    if (!Racy.ok() || !Racy.value().getBool("ok"))
+      fail("control launch");
+    if (!Racy.value().getU64("racesTotal"))
+      fail("racy control launch found no races through the daemon");
+  }
+
+  const unsigned ClientCounts[] = {1, 2, 4, 8};
+  std::vector<Point> Points;
+  std::printf("  %8s %14s %14s %10s %10s\n", "clients", "launches/s",
+              "records/s", "p50 us", "p99 us");
+
+  for (unsigned Clients : ClientCounts) {
+    if (Smoke && Clients > 4)
+      continue;
+    std::vector<std::vector<double>> Latencies(Clients);
+    std::vector<uint64_t> Records(Clients, 0);
+    std::vector<std::string> Errors(Clients);
+
+    double Begin = nowSeconds();
+    std::vector<std::thread> Drivers;
+    for (unsigned I = 0; I != Clients; ++I)
+      Drivers.emplace_back([&, I, Clients] {
+        std::string Tenant =
+            support::formatString("bench-%u-%u", Clients, I);
+        serve::Client C;
+        if (!C.connect(Server.socketPath()).ok() ||
+            !C.loadModule(Tenant, HistogramModule).ok()) {
+          Errors[I] = "setup failed";
+          return;
+        }
+        uint64_t Bins = C.alloc(Tenant, 64).valueOr(0);
+        Latencies[I].reserve(Rounds);
+        for (unsigned Round = 0; Round != Rounds; ++Round) {
+          double Start = nowSeconds();
+          support::Result<Value> Launch = C.launch(
+              Tenant, "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+          Latencies[I].push_back(nowSeconds() - Start);
+          if (!Launch.ok() || !Launch.value().getBool("ok")) {
+            Errors[I] = "launch failed: " + Launch.status().describe();
+            return;
+          }
+          if (Launch.value().getBool("degraded")) {
+            Errors[I] = "launch degraded";
+            return;
+          }
+          if (Launch.value().getU64("racesTotal")) {
+            Errors[I] = "safe kernel raced";
+            return;
+          }
+          Records[I] += Launch.value().getU64("recordsLogged");
+        }
+      });
+    for (std::thread &T : Drivers)
+      T.join();
+    double Elapsed = nowSeconds() - Begin;
+
+    for (unsigned I = 0; I != Clients; ++I)
+      if (!Errors[I].empty()) {
+        std::fprintf(stderr, "FAIL [clients=%u, %u]: %s\n", Clients, I,
+                     Errors[I].c_str());
+        std::exit(1);
+      }
+
+    std::vector<double> All;
+    uint64_t TotalRecords = 0;
+    for (unsigned I = 0; I != Clients; ++I) {
+      All.insert(All.end(), Latencies[I].begin(), Latencies[I].end());
+      TotalRecords += Records[I];
+    }
+    std::sort(All.begin(), All.end());
+
+    Point P;
+    P.Clients = Clients;
+    P.LaunchesPerSec =
+        static_cast<double>(Clients) * Rounds / Elapsed;
+    P.RecordsPerSec = static_cast<double>(TotalRecords) / Elapsed;
+    P.P50Micros = percentileMicros(All, 0.50);
+    P.P99Micros = percentileMicros(All, 0.99);
+    Points.push_back(P);
+    std::printf("  %8u %14.0f %14.0f %10llu %10llu\n", Clients,
+                P.LaunchesPerSec, P.RecordsPerSec,
+                static_cast<unsigned long long>(P.P50Micros),
+                static_cast<unsigned long long>(P.P99Micros));
+  }
+
+  Server.stop();
+
+  support::json::Writer Json;
+  Json.beginObject();
+  Json.key("bench").value(std::string("serve_throughput"));
+  Json.key("description")
+      .value(std::string(
+          "barracuda-serve end-to-end over its unix socket: concurrent "
+          "blocking clients, one tenant each, safe histogram launches"));
+  Json.key("units").value(std::string("launches/sec"));
+  Json.key("hostCores").value(static_cast<uint64_t>(HostCores));
+  Json.key("roundsPerClient").value(static_cast<uint64_t>(Rounds));
+  Json.key("smoke").value(Smoke);
+  Json.key("points").beginArray();
+  for (const Point &P : Points) {
+    Json.beginObject();
+    Json.key("clients").value(static_cast<uint64_t>(P.Clients));
+    Json.key("launchesPerSec").value(P.LaunchesPerSec);
+    Json.key("recordsPerSec").value(P.RecordsPerSec);
+    Json.key("p50Micros").value(P.P50Micros);
+    Json.key("p99Micros").value(P.P99Micros);
+    Json.endObject();
+  }
+  Json.endArray();
+  Json.endObject();
+
+  std::FILE *Out = std::fopen("BENCH_serve_throughput.json", "w");
+  if (Out) {
+    std::fputs(Json.str().c_str(), Out);
+    std::fputc('\n', Out);
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_serve_throughput.json\n");
+  }
+  return 0;
+}

@@ -330,7 +330,7 @@ int main() {
       uint64_t Buf = S.alloc(1 << 16);
       if (!S.launchKernel("compute_heavy", sim::Dim3(1), sim::Dim3(32),
                           {Buf})
-               .Ok)
+               .ok())
         fail("module-load", "launch failed");
       uint64_t Nanos = S.report().ParseNanos;
       if (Nanos == 0)

@@ -49,11 +49,11 @@ int main() {
     if (Bench.FootprintMB)
       S.alloc(Bench.FootprintMB * 1024 * 1024);
 
-    sim::LaunchResult Result = S.launchKernel(
+    support::Result<sim::LaunchResult> Result = S.launchKernel(
         Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
-    if (!Result.Ok) {
+    if (!Result.ok()) {
       std::fprintf(stderr, "%s: launch failed: %s\n", Spec.Name.c_str(),
-                   Result.Error.c_str());
+                   Result.status().message().c_str());
       return 1;
     }
 

@@ -137,11 +137,11 @@ int runVersion(const char *Label, bool Fixed) {
 
   // Two blocks of 8 threads each cover node 0..9 plus idle threads, so
   // node 9's relaxations come from two different blocks.
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       "bfs_step", sim::Dim3(2), sim::Dim3(8),
       {Rows, Nbrs, Dist, Flag, NodeCount});
-  if (!Result.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+  if (!Result.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
     return 1;
   }
 

@@ -85,10 +85,10 @@ int runVersion(const char *Label, bool Fixed) {
   }
   uint64_t Buckets = S.alloc(4 * 4);
   uint64_t Locks = S.alloc(4 * 4);
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       "hashtable_insert", sim::Dim3(16), sim::Dim3(32), {Buckets, Locks});
-  if (!Result.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+  if (!Result.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
     return 1;
   }
 

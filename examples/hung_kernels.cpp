@@ -87,22 +87,24 @@ bool demonstrate(const char *Ptx, const char *Kernel, sim::Dim3 Block) {
               Block.X,
               static_cast<unsigned long long>(
                   Options.Machine.MaxWarpInstructions));
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel(Kernel, sim::Dim3(1), Block, {Flag});
-  if (Result.Ok) {
+  if (Result.ok()) {
     std::printf("  unexpectedly completed\n");
     return false;
   }
+  // The Status folds the blocking pc into its message; the structured
+  // pc stays available as Report.Launch.FailPc.
   std::printf("  failed as expected: %s\n",
               Result.status().describe().c_str());
-  if (Result.FailPc != sim::LaunchResult::InvalidPc)
-    std::printf("  blocked at pc %u\n", Result.FailPc);
   RunReport Report = S.report();
+  if (Report.Launch.FailPc != sim::LaunchResult::InvalidPc)
+    std::printf("  blocked at pc %u\n", Report.Launch.FailPc);
   std::printf("  report: errorCode=%s watchdogTrips=%llu\n",
               support::errorCodeName(Report.Launch.Code),
               static_cast<unsigned long long>(
                   Report.Resilience.WatchdogTrips));
-  return Result.Code == support::ErrorCode::KernelHang;
+  return Result.status().code() == support::ErrorCode::KernelHang;
 }
 
 } // namespace

@@ -108,11 +108,11 @@ void explore(sim::WeakProfileKind Profile, const char *Fence1,
   for (uint64_t Run = 0; Run != Runs; ++Run) {
     S.writeU32(X, 0);
     S.writeU32(Y, 0);
-    sim::LaunchResult Result = S.launchKernel(
+    support::Result<sim::LaunchResult> Result = S.launchKernel(
         "mp", sim::Dim3(2), sim::Dim3(1),
         {X, Y, Out, Rng.nextBelow(8), Rng.nextBelow(24)});
-    if (!Result.Ok) {
-      std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+    if (!Result.ok()) {
+      std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
       std::exit(1);
     }
     uint32_t R1 = S.readU32(Out) ? 1 : 0;

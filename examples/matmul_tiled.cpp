@@ -139,11 +139,11 @@ int runVersion(const char *Label, bool WithSecondBarrier) {
   S.copyToDevice(DevA, A.data(), 4 * N * N);
   S.copyToDevice(DevB, B.data(), 4 * N * N);
 
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       "matmul", sim::Dim3(N / Tile, N / Tile), sim::Dim3(Tile, Tile),
       {DevA, DevB, DevC, N});
-  if (!Result.Ok) {
-    std::fprintf(stderr, "launch failed: %s\n", Result.Error.c_str());
+  if (!Result.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", Result.status().message().c_str());
     return 1;
   }
 

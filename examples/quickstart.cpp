@@ -89,10 +89,10 @@ int main() {
       return 1;
     }
     uint64_t Result = S.alloc(4 * 64);
-    sim::LaunchResult Launch = S.launchKernel(
+    support::Result<sim::LaunchResult> Launch = S.launchKernel(
         "reduce_max_buggy", sim::Dim3(16), sim::Dim3(64), {Result});
-    if (!Launch.Ok) {
-      std::fprintf(stderr, "launch failed: %s\n", Launch.Error.c_str());
+    if (!Launch.ok()) {
+      std::fprintf(stderr, "launch failed: %s\n", Launch.status().message().c_str());
       return 1;
     }
     std::printf("launched 16x64 threads, %llu records analyzed\n",
@@ -110,10 +110,10 @@ int main() {
       return 1;
     }
     uint64_t Result = S.alloc(4 * 64);
-    sim::LaunchResult Launch = S.launchKernel(
+    support::Result<sim::LaunchResult> Launch = S.launchKernel(
         "reduce_max_fixed", sim::Dim3(16), sim::Dim3(64), {Result});
-    if (!Launch.Ok) {
-      std::fprintf(stderr, "launch failed: %s\n", Launch.Error.c_str());
+    if (!Launch.ok()) {
+      std::fprintf(stderr, "launch failed: %s\n", Launch.status().message().c_str());
       return 1;
     }
     report("fixed kernel", S);

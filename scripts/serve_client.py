@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Reference client for the barracuda-serve line protocol.
+
+The daemon (tools/barracuda-serve.cpp) speaks schemaVersion-1
+line-delimited JSON over a unix domain socket: one request object per
+'\n'-terminated line, one response object per line back, answered in
+order per connection. See docs/SERVE.md for the full schema.
+
+Usable as a library:
+
+    with ServeClient("/tmp/barracuda-serve.sock") as c:
+        kernels = c.load_module("tenant-a", ptx_text)
+        buf = c.alloc("tenant-a", 64)
+        result = c.launch("tenant-a", "histogram", grid=4, block=64,
+                          params=[buf])
+        print(result["racesTotal"], "distinct races")
+
+or as a smoke driver (used by CI):
+
+    serve_client.py --socket /tmp/barracuda-serve.sock --ptx file.ptx \
+        --kernel histogram --grid 4 --block 64 --alloc 64 --expect-races
+
+Typed failures raise ServeError carrying the server's status code
+("Overloaded", "InvalidLaunch", "ModuleInvalid", ...), so callers can
+back off on Overloaded instead of treating it as a protocol failure.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+SCHEMA_VERSION = 1
+
+
+class ServeError(RuntimeError):
+    """A typed error response ("status" != "Ok")."""
+
+    def __init__(self, op, code, message):
+        super().__init__(f"{op}: {code}: {message}")
+        self.op = op
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One connection to the daemon. Not thread-safe; one per thread."""
+
+    def __init__(self, socket_path, timeout=60.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(socket_path)
+        self.buffer = b""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        if self.sock is not None:
+            self.sock.close()
+            self.sock = None
+
+    def call(self, op, tenant=None, **fields):
+        """Sends one request and returns the Ok response envelope."""
+        request = {"schemaVersion": SCHEMA_VERSION, "op": op}
+        if tenant is not None:
+            request["tenant"] = tenant
+        request.update(fields)
+        self.sock.sendall(json.dumps(request).encode() + b"\n")
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        line, _, self.buffer = self.buffer.partition(b"\n")
+        response = json.loads(line)
+        if response.get("schemaVersion") != SCHEMA_VERSION:
+            raise ServeError(op, "ProtocolError",
+                             f"unexpected schemaVersion in {response}")
+        if response.get("status") != "Ok":
+            raise ServeError(op, response.get("status", "Internal"),
+                             response.get("error", "(no message)"))
+        return response
+
+    # --- one wrapper per op -------------------------------------------
+    def hello(self):
+        return self.call("hello")
+
+    def load_module(self, tenant, ptx, faults=None, watchdog=0):
+        fields = {"ptx": ptx}
+        if faults:
+            fields["faults"] = list(faults)
+        if watchdog:
+            fields["watchdogInstructions"] = watchdog
+        return self.call("load_module", tenant, **fields)["kernels"]
+
+    def alloc(self, tenant, nbytes, align=8):
+        return self.call("alloc", tenant, bytes=nbytes, align=align)["addr"]
+
+    def fill(self, tenant, addr, nbytes, value=0):
+        self.call("fill", tenant, addr=addr, bytes=nbytes, value=value)
+
+    def write_u32(self, tenant, addr, value):
+        self.call("write_u32", tenant, addr=addr, value=value)
+
+    def read_u32(self, tenant, addr):
+        return self.call("read_u32", tenant, addr=addr)["value"]
+
+    def launch(self, tenant, kernel, grid, block, params=None,
+               want_report=False):
+        """Blocking launch; returns the completed-launch payload."""
+        return self.call("launch", tenant, kernel=kernel, grid=grid,
+                         block=block, params=params or [],
+                         report=want_report)
+
+    def launch_async(self, tenant, kernel, grid, block, params=None):
+        """Returns a ticket for poll()."""
+        return self.call("launch", tenant, kernel=kernel, grid=grid,
+                         block=block, params=params or [],
+                         **{"async": True})["ticket"]
+
+    def poll(self, tenant, ticket, want_report=False):
+        return self.call("poll", tenant, ticket=ticket, report=want_report)
+
+    def poll_until_done(self, tenant, ticket, want_report=False,
+                        interval=0.0002):
+        while True:
+            response = self.poll(tenant, ticket, want_report)
+            if response["done"]:
+                return response
+            time.sleep(interval)
+
+    def report(self, tenant):
+        """The tenant's full RunReport document (schemaVersion 2)."""
+        return self.call("report", tenant)["report"]
+
+    def stats(self):
+        return self.call("stats")
+
+    def shutdown(self):
+        return self.call("shutdown")
+
+
+def check(condition, what):
+    if not condition:
+        print("FAIL:", what, file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="smoke-drive a running barracuda-serve daemon")
+    parser.add_argument("--socket", default="/tmp/barracuda-serve.sock")
+    parser.add_argument("--tenant", default="smoke")
+    parser.add_argument("--ptx", required=True,
+                        help="PTX file to load and launch")
+    parser.add_argument("--kernel", default=None,
+                        help="kernel name (default: first in the module)")
+    parser.add_argument("--grid", type=int, default=4)
+    parser.add_argument("--block", type=int, default=64)
+    parser.add_argument("--alloc", type=int, default=64,
+                        help="bytes to allocate and pass as the only param")
+    parser.add_argument("--expect-races", action="store_true")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="stop the daemon after the checks")
+    args = parser.parse_args()
+
+    with open(args.ptx) as handle:
+        ptx = handle.read()
+
+    with ServeClient(args.socket) as client:
+        hello = client.hello()
+        check(hello["server"] == "barracuda-serve", hello)
+
+        kernels = client.load_module(args.tenant, ptx)
+        check(kernels, "module exports no kernels")
+        kernel = args.kernel or kernels[0]
+        check(kernel in kernels, f"{kernel} not in {kernels}")
+
+        buf = client.alloc(args.tenant, args.alloc)
+        check(buf != 0, "alloc returned null")
+        client.write_u32(args.tenant, buf, 0)
+        check(client.read_u32(args.tenant, buf) == 0, "readback mismatch")
+
+        result = client.launch(args.tenant, kernel, args.grid, args.block,
+                               [buf], want_report=True)
+        check(result["ok"], result)
+        check(not result["degraded"], "launch degraded")
+        check(result["recordsLogged"] > 0, "no records logged")
+
+        # The embedded per-request report is the schema-2 document.
+        report = result["report"]
+        check(report["schemaVersion"] == 2, report.get("schemaVersion"))
+        races = report["races"]
+        if args.expect_races:
+            check(result["racesTotal"] > 0 and races,
+                  "expected races, found none")
+        else:
+            check(result["racesTotal"] == 0 and not races,
+                  f"unexpected races: {races}")
+
+        # Async path: same kernel through ticket + poll.
+        ticket = client.launch_async(args.tenant, kernel, args.grid,
+                                     args.block, [buf])
+        done = client.poll_until_done(args.tenant, ticket)
+        check(done["ok"] and done["kernel"] == kernel, done)
+
+        stats = client.stats()
+        check(stats["tenants"] >= 1, stats)
+        check(stats["launches"] >= 2, stats)
+
+        print(f"ok: {kernel} <<<{args.grid},{args.block}>>> "
+              f"{result['recordsLogged']} records, "
+              f"{result['racesTotal']} races, "
+              f"{stats['tenants']} tenant(s)")
+
+        if args.shutdown:
+            client.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -93,6 +93,7 @@ std::string RunReport::toJson() const {
   W.key("workerFailures").value(Resilience.WorkerFailures);
   W.key("queuesQuarantined").value(Resilience.QueuesQuarantined);
   W.key("queuesAbandoned").value(Resilience.QueuesAbandoned);
+  W.key("queuesRerouted").value(Resilience.QueuesRerouted);
   W.key("watchdogTrips").value(Resilience.WatchdogTrips);
   W.key("faultsInjected").value(Resilience.FaultsInjected);
   W.key("faultsHit").value(Resilience.FaultsHit);
@@ -225,8 +226,8 @@ void RunReport::printText(std::FILE *Out) const {
         Out,
         "resilience: %s; %llu dropped + %llu rejected records, "
         "%llu corrupted / %llu resynced, %llu worker failures, "
-        "%llu queues quarantined, %llu abandoned, %llu watchdog trips; "
-        "faults %llu/%llu hit%s%s\n",
+        "%llu queues quarantined, %llu abandoned, %llu rerouted, "
+        "%llu watchdog trips; faults %llu/%llu hit%s%s\n",
         Resilience.Degraded ? "DEGRADED" : "clean",
         static_cast<unsigned long long>(Resilience.RecordsDropped),
         static_cast<unsigned long long>(Resilience.RecordsRejected),
@@ -235,6 +236,7 @@ void RunReport::printText(std::FILE *Out) const {
         static_cast<unsigned long long>(Resilience.WorkerFailures),
         static_cast<unsigned long long>(Resilience.QueuesQuarantined),
         static_cast<unsigned long long>(Resilience.QueuesAbandoned),
+        static_cast<unsigned long long>(Resilience.QueuesRerouted),
         static_cast<unsigned long long>(Resilience.WatchdogTrips),
         static_cast<unsigned long long>(Resilience.FaultsHit),
         static_cast<unsigned long long>(Resilience.FaultsInjected),

@@ -124,7 +124,10 @@ struct RunReport {
   /// The ledger always balances: Records.Processed + RecordsDropped +
   /// RecordsRejected == Launch.RecordsLogged.
   struct ResilienceSection {
-    /// Any records lost, any worker failure, any queue abandoned.
+    /// Any records lost by THIS launch (dropped, rejected or corrupted)
+    /// or any worker failure while processing it. Per-launch truth: a
+    /// launch that routed around a previously abandoned queue and lost
+    /// nothing is clean, whatever the engine suffered earlier.
     bool Degraded = false;
     /// Records drained in drop mode (quarantined slice or abandoned
     /// queue) — never processed by the detector.
@@ -141,8 +144,14 @@ struct RunReport {
     uint64_t WorkerFailures = 0;
     /// Per-launch processor slices quarantined after a failure.
     uint64_t QueuesQuarantined = 0;
-    /// Queues closed with an error by a dying consumer.
+    /// Queues closed with an error by a dying consumer. Absolute engine
+    /// state, not a per-launch delta: abandonment is permanent, and the
+    /// count tells an operator the pool is running short. It no longer
+    /// implies Degraded — new launches route around dead queues.
     uint64_t QueuesAbandoned = 0;
+    /// Queues this launch routed around because their consumer had died
+    /// before it began (lossless; the launch stays clean).
+    uint64_t QueuesRerouted = 0;
     /// Machine watchdog / barrier-deadlock trips this launch (0 or 1).
     uint64_t WatchdogTrips = 0;
     /// Fault-plan accounting: specs armed vs. specs that fired.

@@ -31,27 +31,6 @@ sim::MachineOptions machineOptions(const SessionOptions &Options,
   return MachineOpts;
 }
 
-/// The deprecated KernelRunStats surface is derived from the report in
-/// exactly one place so the two can never drift.
-KernelRunStats legacyStatsView(const sim::LaunchResult &Result,
-                               const RunReport &Report) {
-  KernelRunStats Stats;
-  Stats.Launch = Result;
-  Stats.RecordsProcessed = Report.Records.Processed;
-  Stats.Formats = Report.Detector.Formats;
-  Stats.HotPath = Report.Detector.HotPath;
-  Stats.PeakPtvcBytes = Report.Detector.PeakPtvcBytes;
-  Stats.GlobalShadowBytes = Report.Detector.GlobalShadowBytes;
-  Stats.SharedShadowBytes = Report.Detector.SharedShadowBytes;
-  Stats.SyncLocations = Report.Detector.SyncLocations;
-  Stats.MemoryRecords = Report.Records.Memory;
-  Stats.SyncRecords = Report.Records.Sync;
-  Stats.ControlRecords = Report.Records.Control;
-  Stats.QueueFullSpins = Report.Engine.QueueFullSpins;
-  Stats.DetectorEmptySpins = Report.Engine.DetectorEmptySpins;
-  return Stats;
-}
-
 /// Null when the plan is empty so the hardened hot paths skip their
 /// injection polls entirely.
 std::unique_ptr<fault::FaultInjector>
@@ -70,7 +49,15 @@ Session::Session(SessionOptions Opts)
 
 Session::~Session() = default;
 
-bool Session::loadModule(const std::string &PtxText) {
+support::Result<ModuleInfo>
+Session::loadModule(const std::string &PtxText) {
+  // Failures keep the legacy error() message AND return a typed status,
+  // so both the serve protocol and the old tools print the same thing.
+  auto reject = [this](std::string Message) -> support::Result<ModuleInfo> {
+    ErrorMessage = std::move(Message);
+    return support::Status(support::ErrorCode::ModuleInvalid,
+                           ErrorMessage);
+  };
   obs::TraceRecorder *Tracer = Options.Tracer;
   uint32_t Track = Tracer ? Tracer->track("session") : 0;
   obs::Span ParseSpan(Tracer, Track, "parse", "session");
@@ -85,22 +72,19 @@ bool Session::loadModule(const std::string &PtxText) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - ParseStart)
           .count());
-  if (!Mod) {
-    ErrorMessage = Parser.error();
-    return false;
-  }
+  if (!Mod)
+    return reject(Parser.error());
   std::vector<std::string> Diags = ptx::verifyModule(*Mod);
   if (!Diags.empty()) {
-    ErrorMessage = Diags.front();
     Mod.reset();
-    return false;
+    return reject(Diags.front());
   }
   // Device functions are inlined into their call sites before anything
   // else sees the kernels (the paper's trace model inlines calls).
-  ErrorMessage = ptx::inlineFunctions(*Mod);
-  if (!ErrorMessage.empty()) {
+  std::string InlineError = ptx::inlineFunctions(*Mod);
+  if (!InlineError.empty()) {
     Mod.reset();
-    return false;
+    return reject(std::move(InlineError));
   }
   sim::Machine::layoutModuleGlobals(*Mod, Memory);
   ParseSpan.close();
@@ -111,13 +95,18 @@ bool Session::loadModule(const std::string &PtxText) {
     // Re-verify: the predication transform must keep the module valid.
     Diags = ptx::verifyModule(*Mod);
     if (!Diags.empty()) {
-      ErrorMessage = "after instrumentation: " + Diags.front();
       Mod.reset();
       Instr.reset();
-      return false;
+      return reject("after instrumentation: " + Diags.front());
     }
   }
-  return true;
+  ErrorMessage.clear();
+  ModuleInfo Info;
+  Info.ParseNanos = ParseNanos;
+  Info.Kernels.reserve(Mod->Kernels.size());
+  for (const ptx::Kernel &K : Mod->Kernels)
+    Info.Kernels.push_back(K.Name);
+  return Info;
 }
 
 uint64_t Session::alloc(uint64_t Bytes, uint64_t Align) {
@@ -184,7 +173,7 @@ Session::loweredFor(const ptx::Kernel &K,
   return It->second.get();
 }
 
-sim::LaunchResult
+support::Result<sim::LaunchResult>
 Session::launchKernel(const std::string &KernelName, sim::Dim3 Grid,
                       sim::Dim3 Block,
                       const std::vector<uint64_t> &Params) {
@@ -199,17 +188,19 @@ runtime::Stream &Session::createStream() {
   return *Streams.back();
 }
 
-std::future<sim::LaunchResult>
+std::future<support::Result<sim::LaunchResult>>
 Session::launchKernelAsync(runtime::Stream &S,
                            const std::string &KernelName, sim::Dim3 Grid,
                            sim::Dim3 Block,
                            const std::vector<uint64_t> &Params) {
   std::string Track = S.name();
-  auto Task = std::make_shared<std::packaged_task<sim::LaunchResult()>>(
+  auto Task = std::make_shared<
+      std::packaged_task<support::Result<sim::LaunchResult>()>>(
       [this, KernelName, Grid, Block, Params, Track] {
         return runLaunch(KernelName, Grid, Block, Params, Track);
       });
-  std::future<sim::LaunchResult> Result = Task->get_future();
+  std::future<support::Result<sim::LaunchResult>> Result =
+      Task->get_future();
   S.enqueue([Task] { (*Task)(); });
   return Result;
 }
@@ -220,20 +211,24 @@ void Session::synchronize() {
     S->synchronize();
 }
 
-sim::LaunchResult
+support::Result<sim::LaunchResult>
 Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
                    sim::Dim3 Block, const std::vector<uint64_t> &Params,
                    const std::string &TraceTrack) {
   if (!Mod)
-    return sim::LaunchResult::failure("no module loaded");
+    return support::Status(support::ErrorCode::InvalidLaunch,
+                           "no module loaded");
   ptx::Kernel *K = Mod->findKernel(KernelName);
   if (!K)
-    return sim::LaunchResult::failure(
+    return support::Status(
+        support::ErrorCode::InvalidLaunch,
         support::formatString("unknown kernel '%s'", KernelName.c_str()));
   if (Params.size() != K->Params.size())
-    return sim::LaunchResult::failure(support::formatString(
-        "kernel '%s' expects %zu params, got %zu", KernelName.c_str(),
-        K->Params.size(), Params.size()));
+    return support::Status(
+        support::ErrorCode::InvalidLaunch,
+        support::formatString("kernel '%s' expects %zu params, got %zu",
+                              KernelName.c_str(), K->Params.size(),
+                              Params.size()));
 
   sim::ParamBuilder Builder(*K);
   for (size_t I = 0; I != Params.size(); ++I)
@@ -276,6 +271,8 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
       Native.Profile.Kernels = Profiler_.profiles();
     }
     LastReport = std::move(Native);
+    if (!Result.Ok)
+      return Result.status();
     return Result;
   }
 
@@ -298,12 +295,8 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Header.KernelName = KernelName;
     support::Status Opened = Writer.open(Options.RecordTracePath, Header);
     if (!Opened.ok())
-      return sim::LaunchResult::failure(
-          support::ErrorCode::TraceIo,
-          Opened
-              .withContext(support::formatString(
-                  "cannot write trace '%s'", Options.RecordTracePath.c_str()))
-              .message());
+      return Opened.withContext(support::formatString(
+          "cannot write trace '%s'", Options.RecordTracePath.c_str()));
   }
 
   detector::DetectorOptions DetOpts;
@@ -327,7 +320,22 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   ensureExporter(Eng);
 
   runtime::EngineCounters Before = Eng.counters();
-  std::shared_ptr<runtime::Launch> Lease = Eng.begin(State);
+  // Admission control: a refused launch runs nothing and enqueues
+  // nothing — the typed Overloaded bubbles straight out (the serve
+  // daemon maps it onto a retryable response; batch callers just see
+  // the failure).
+  runtime::Admission Limits;
+  Limits.MaxLeasesInFlight = Options.MaxLeasesInFlight;
+  Limits.MaxWatermarkLag = Options.MaxWatermarkLag;
+  support::Result<std::shared_ptr<runtime::Launch>> Admitted =
+      Eng.tryBegin(State, Limits);
+  if (!Admitted.ok()) {
+    if (Recording)
+      Writer.close();
+    return Admitted.status().withContext(
+        support::formatString("launch '%s'", KernelName.c_str()));
+  }
+  std::shared_ptr<runtime::Launch> Lease = std::move(Admitted.value());
 
   trace::TraceFileSink FileSink(Writer);
   trace::CountingSink Counts;
@@ -416,9 +424,11 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Report.Resilience.WorkerFailures = Leased.WorkerFailures;
   Report.Resilience.QueuesQuarantined = Leased.QueuesQuarantined;
   // Absolute, not a delta: abandonment is permanent engine state (an
-  // injected death can precede the lease), and a queue abandoned at any
-  // point degrades every launch that would have used it.
+  // injected death can precede the lease). It is observability, not a
+  // verdict — launches route around dead queues, so only this launch's
+  // own losses (the lease's ledger) decide Degraded below.
   Report.Resilience.QueuesAbandoned = After.QueuesAbandoned;
+  Report.Resilience.QueuesRerouted = Leased.QueuesRerouted;
   Report.Resilience.WatchdogTrips =
       Result.Code == support::ErrorCode::KernelHang ? 1 : 0;
   if (Injector) {
@@ -426,8 +436,7 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Report.Resilience.FaultsHit = Injector->faultsHit();
   }
   Report.Resilience.Degraded =
-      Leased.Degraded || Report.Resilience.RecordsCorrupted != 0 ||
-      Report.Resilience.QueuesAbandoned != 0;
+      Leased.Degraded || Report.Resilience.RecordsCorrupted != 0;
   if (!Leased.FirstError.ok())
     Report.Resilience.FirstError = Leased.FirstError.describe();
   else if (!Result.Ok)
@@ -477,9 +486,19 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
        State.Reporter.barrierErrors())
     AllBarrierErrors.push_back(Error);
 
-  // The legacy stats struct is a view over the report.
-  LastStats = legacyStatsView(Result, Report);
   LastReport = std::move(Report);
+  if (!Result.Ok) {
+    // Execution failures surface as the machine's own code; the failing
+    // PC folds into the message (and stays structured in
+    // report().Launch.FailPc).
+    support::Status Failed = Result.status();
+    if (Result.FailPc != sim::LaunchResult::InvalidPc)
+      Failed = support::Status(
+          Failed.code(),
+          Failed.message() +
+              support::formatString(" (pc %u)", Result.FailPc));
+    return Failed;
+  }
   return Result;
 }
 

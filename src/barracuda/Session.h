@@ -62,18 +62,15 @@
 
 namespace barracuda {
 
-/// Session configuration.
-struct SessionOptions {
+/// Detector and simulator knobs for one run. Everything here is safe to
+/// vary per request on a shared engine — the serve daemon keeps one of
+/// these per tenant while the pool stays process-wide.
+struct DetectOptions {
   /// Instrument kernels and run the race detector. When false the
   /// session executes natively.
   bool Instrument = true;
   instrument::InstrumenterOptions Instrumenter;
   sim::MachineOptions Machine;
-  /// Number of device-to-host queues (the paper found ~1.1-1.5 queues
-  /// per SM optimal; each gets one persistent detector thread).
-  unsigned NumQueues = 4;
-  /// Per-queue capacity in records (power of two).
-  size_t QueueCapacity = 1 << 14;
   /// Collect PTVC format/memory statistics.
   bool CollectStats = true;
   /// Continuous profiling: per-PC kernel profiles from the interpreter,
@@ -83,12 +80,6 @@ struct SessionOptions {
   /// atomics on the detector hot path, one dead branch in the
   /// interpreter.
   bool Profile = true;
-  /// When non-empty, a background obs::Exporter writes Prometheus
-  /// text-exposition snapshots of the engine's live state (queue depths,
-  /// watermark lag, leases, resilience counters, hot PCs) into this
-  /// directory every MetricsIntervalMs while launches run.
-  std::string MetricsOutDir;
-  unsigned MetricsIntervalMs = 1000;
   /// Use the coalescing detector hot path (same-epoch fast paths, run
   /// coalescing, page cache). Off = rule-per-byte legacy path; reports
   /// are identical either way.
@@ -111,6 +102,30 @@ struct SessionOptions {
   /// When non-empty, every launch also records its trace to this file
   /// (replayable offline with barracuda-replay).
   std::string RecordTracePath;
+  /// Deterministic fault plan (barracuda-run --inject). The session
+  /// builds one FaultInjector from it and threads it through the
+  /// machine, the trace writer and its owned engine. A SharedEngine
+  /// keeps whatever injector it was created with — machine- and
+  /// trace-side faults still apply.
+  fault::FaultPlan Faults;
+};
+
+/// Process-lifetime knobs: the detector pool's shape, telemetry and
+/// admission limits. One of these per engine (or per serve daemon), not
+/// per request. Distinct from runtime::EngineOptions, which is the
+/// engine's own lower-level config this one maps onto.
+struct EngineOptions {
+  /// Number of device-to-host queues (the paper found ~1.1-1.5 queues
+  /// per SM optimal; each gets one persistent detector thread).
+  unsigned NumQueues = 4;
+  /// Per-queue capacity in records (power of two).
+  size_t QueueCapacity = 1 << 14;
+  /// When non-empty, a background obs::Exporter writes Prometheus
+  /// text-exposition snapshots of the engine's live state (queue depths,
+  /// watermark lag, leases, resilience counters, hot PCs) into this
+  /// directory every MetricsIntervalMs while launches run.
+  std::string MetricsOutDir;
+  unsigned MetricsIntervalMs = 1000;
   /// Use this process-wide Engine instead of creating one per session
   /// (NumQueues/QueueCapacity are then the engine's, not the session's).
   /// The engine must outlive the session. Lets a driver running many
@@ -123,39 +138,26 @@ struct SessionOptions {
   /// Must outlive the session (and a SharedEngine, if both are used;
   /// the engine keeps the tracer it was created with). Null = off.
   obs::TraceRecorder *Tracer = nullptr;
-  /// Deterministic fault plan (barracuda-run --inject). The session
-  /// builds one FaultInjector from it and threads it through the
-  /// machine, the trace writer and its owned engine. A SharedEngine
-  /// keeps whatever injector it was created with — machine- and
-  /// trace-side faults still apply.
-  fault::FaultPlan Faults;
+  /// Admission control applied to every instrumented launch (0 =
+  /// unlimited): refuse — typed Overloaded, never a stall — while this
+  /// many detector leases are already open...
+  uint32_t MaxLeasesInFlight = 0;
+  /// ...or while this many records sit in the queues undrained.
+  uint64_t MaxWatermarkLag = 0;
 };
 
-/// Result of one instrumented kernel launch.
-///
-/// Deprecated compatibility surface: since the observability layer this
-/// struct is a thin view assembled from the RunReport — prefer
-/// Session::report(), which carries the same numbers plus findings,
-/// engine timing and the raw metric snapshot under one schema.
-struct KernelRunStats {
-  sim::LaunchResult Launch;
-  uint64_t RecordsProcessed = 0;
-  detector::PtvcFormatStats Formats;
-  detector::HotPathStats HotPath;
-  uint64_t PeakPtvcBytes = 0;
-  uint64_t GlobalShadowBytes = 0;
-  uint64_t SharedShadowBytes = 0;
-  uint64_t SyncLocations = 0;
-  /// Record-class tallies from the launch's counting sink.
-  uint64_t MemoryRecords = 0;
-  uint64_t SyncRecords = 0;
-  uint64_t ControlRecords = 0;
-  /// Producer waits on full rings during this launch (engine-wide delta;
-  /// approximate when other streams run concurrently).
-  uint64_t QueueFullSpins = 0;
-  /// Detector-worker waits on empty queues during this launch (same
-  /// caveat).
-  uint64_t DetectorEmptySpins = 0;
+/// Session configuration: the per-run detector knobs plus the
+/// process-lifetime engine knobs, flattened so existing call sites keep
+/// writing `Options.NumQueues` next to `Options.Instrument`. APIs that
+/// want only one half (the serve daemon) take the halves directly.
+struct SessionOptions : DetectOptions, EngineOptions {};
+
+/// What loadModule learned about the module it accepted.
+struct ModuleInfo {
+  /// Kernel names in declaration order.
+  std::vector<std::string> Kernels;
+  /// Wall time spent in the PTX front end (parse only), nanoseconds.
+  uint64_t ParseNanos = 0;
 };
 
 /// An end-to-end BARRACUDA pipeline over one simulated device.
@@ -168,9 +170,16 @@ public:
   Session &operator=(const Session &) = delete;
 
   /// Parses, verifies and (if enabled) instruments a PTX module, and
-  /// lays out its module-level globals in device memory. Returns false
-  /// and sets error() on failure.
-  bool loadModule(const std::string &PtxText);
+  /// lays out its module-level globals in device memory. On success the
+  /// ModuleInfo names the kernels now launchable; failures carry
+  /// ErrorCode::ModuleInvalid (error() keeps the message too).
+  support::Result<ModuleInfo> loadModule(const std::string &PtxText);
+
+  /// Deprecated bool shim for the pre-Result surface; gone next release.
+  [[deprecated("use loadModule(), which returns Result<ModuleInfo>")]]
+  bool loadModuleOk(const std::string &PtxText) {
+    return loadModule(PtxText).ok();
+  }
 
   const std::string &error() const { return ErrorMessage; }
 
@@ -214,9 +223,17 @@ public:
   /// (one value per declared parameter) and blocks until the detector
   /// has drained the launch. On instrumented sessions findings
   /// accumulate in races().
-  sim::LaunchResult launchKernel(const std::string &KernelName,
-                                 sim::Dim3 Grid, sim::Dim3 Block,
-                                 const std::vector<uint64_t> &Params = {});
+  ///
+  /// Any failure is the Status, coded from the ErrorCode taxonomy:
+  /// precondition violations (InvalidLaunch), admission refusals
+  /// (Overloaded — nothing ran, retry later), trace I/O (TraceIo) and
+  /// execution faults (KernelHang/DeviceFault/..., with the failing PC
+  /// folded into the message and still available as report().Launch
+  /// .FailPc). The value is the successful LaunchResult — Ok is always
+  /// true there; detection findings land in races()/report().
+  support::Result<sim::LaunchResult>
+  launchKernel(const std::string &KernelName, sim::Dim3 Grid,
+               sim::Dim3 Block, const std::vector<uint64_t> &Params = {});
 
   /// A new stream owned by the session. Launches on different streams
   /// run concurrently over the one engine; launches on one stream run
@@ -224,11 +241,12 @@ public:
   runtime::Stream &createStream();
 
   /// Enqueues a launch on \p S and returns immediately. The future
-  /// resolves when the launch and its detection complete. Note the
-  /// simulated device executes interpreter atomics non-atomically
-  /// across streams, so concurrent kernels should work on disjoint
-  /// buffers (or be tolerant of torn cross-kernel atomics).
-  std::future<sim::LaunchResult>
+  /// resolves when the launch and its detection complete, with the same
+  /// Result semantics as launchKernel. Note the simulated device
+  /// executes interpreter atomics non-atomically across streams, so
+  /// concurrent kernels should work on disjoint buffers (or be tolerant
+  /// of torn cross-kernel atomics).
+  std::future<support::Result<sim::LaunchResult>>
   launchKernelAsync(runtime::Stream &S, const std::string &KernelName,
                     sim::Dim3 Grid, sim::Dim3 Block,
                     const std::vector<uint64_t> &Params = {});
@@ -253,12 +271,6 @@ public:
   /// resolved (or synchronize() returned).
   RunReport report() const;
 
-  /// Statistics from the most recent instrumented launch.
-  [[deprecated("use Session::report()")]] const KernelRunStats &
-  lastRunStats() const {
-    return LastStats;
-  }
-
   /// Static instrumentation statistics for the loaded module.
   instrument::InstrumentationStats instrumentationStats() const;
 
@@ -272,10 +284,10 @@ public:
   obs::Exporter *exporter() { return Exporter_.get(); }
 
 private:
-  sim::LaunchResult runLaunch(const std::string &KernelName,
-                              sim::Dim3 Grid, sim::Dim3 Block,
-                              const std::vector<uint64_t> &Params,
-                              const std::string &TraceTrack);
+  support::Result<sim::LaunchResult>
+  runLaunch(const std::string &KernelName, sim::Dim3 Grid,
+            sim::Dim3 Block, const std::vector<uint64_t> &Params,
+            const std::string &TraceTrack);
 
   /// The kernel pre-lowered to micro-ops, lowering it on first use
   /// (null when SimLowered is off or the kernel is un-lowerable). \p KI
@@ -331,7 +343,6 @@ private:
   mutable std::mutex ResultsMutex;
   std::vector<detector::RaceReport> AllRaces;
   std::vector<detector::BarrierError> AllBarrierErrors;
-  KernelRunStats LastStats;
   /// Rebuilt from scratch every launch, so per-launch sections never
   /// accumulate across relaunches on a reused engine.
   RunReport LastReport;

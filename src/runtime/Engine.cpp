@@ -32,6 +32,26 @@ Launch::Launch(Engine &Eng, uint32_t Epoch,
                detector::SharedDetectorState &State)
     : Eng(Eng), Epoch(Epoch), State(State), Shards(State.shards()),
       Quarantined(Eng.numQueues()) {
+  // Fix the block->queue routes for the whole launch: identity when the
+  // nominal queue's consumer is alive, else the next live queue. A pool
+  // that lost a consumer keeps serving new launches Clean (the records
+  // never meet the dead ring); only when every queue is dead do we fall
+  // through to the nominal queue and take the reject path.
+  unsigned N = Eng.numQueues();
+  Routes.resize(N);
+  for (unsigned Q = 0; Q != N; ++Q) {
+    Routes[Q] = Q;
+    if (!Eng.Queues.queue(Q).abandoned())
+      continue;
+    for (unsigned Step = 1; Step != N; ++Step) {
+      unsigned Alt = (Q + Step) % N;
+      if (!Eng.Queues.queue(Alt).abandoned()) {
+        Routes[Q] = Alt;
+        ++Rerouted;
+        break;
+      }
+    }
+  }
   for (unsigned I = 0; I != Eng.numQueues(); ++I) {
     Processors.push_back(
         std::make_unique<detector::QueueProcessor>(State, I));
@@ -51,7 +71,8 @@ Launch::~Launch() { finish(); }
 
 void Launch::EpochQueueSink::accept(uint32_t BlockId,
                                     const trace::LogRecord &Record) {
-  trace::EventQueue &Queue = Owner.Eng.Queues.queueForBlock(BlockId);
+  unsigned Nominal = BlockId % Owner.Eng.numQueues();
+  trace::EventQueue &Queue = Owner.Eng.Queues.queue(Owner.Routes[Nominal]);
   uint64_t Index = Queue.reserve();
   if (Index == trace::EventQueue::InvalidIndex) {
     // Abandoned queue (its consumer died): the record is rejected, not
@@ -117,6 +138,7 @@ LaunchResilience Launch::resilience() const {
   R.WorkerFailures = WorkerFailures.load(std::memory_order_relaxed);
   for (const auto &Flag : Quarantined)
     R.QueuesQuarantined += Flag.load(std::memory_order_relaxed) ? 1 : 0;
+  R.QueuesRerouted = Rerouted;
   R.Degraded = R.RecordsDropped != 0 || R.RecordsRejected != 0 ||
                R.WorkerFailures != 0;
   {
@@ -148,6 +170,15 @@ Engine::Engine(EngineOptions Options)
     Threads.emplace_back([this, I] { workerMain(I); });
     ThreadsStarted.fetch_add(1, std::memory_order_relaxed);
   }
+  // Wait for every worker's first fault poll before returning. A plan
+  // like consumer-death@0 then deterministically abandons its queue
+  // before the first launch fixes its routes — pre-launch death means
+  // rerouted-and-Clean, never a race between poll and route.
+  std::unique_lock<std::mutex> Lock(ParkMutex);
+  ParkCV.wait(Lock, [this] {
+    return ReadyWorkers.load(std::memory_order_acquire) ==
+           this->Options.NumQueues;
+  });
 }
 
 Engine::~Engine() {
@@ -164,6 +195,43 @@ Engine::~Engine() {
 
 std::shared_ptr<Launch>
 Engine::begin(detector::SharedDetectorState &State) {
+  // Unlimited admission never refuses.
+  return tryBegin(State, Admission{}).value();
+}
+
+support::Result<std::shared_ptr<Launch>>
+Engine::tryBegin(detector::SharedDetectorState &State,
+                 const Admission &Limits) {
+  {
+    // Admission check and the epoch-count reservation share ParkMutex
+    // (where every ActiveEpochs transition happens), so the in-flight
+    // bound is exact: two racing tryBegins cannot both pass one free
+    // slot. Raising the count here — before the queues see records —
+    // also keeps a worker that just saw an empty queue from parking
+    // past this launch.
+    std::lock_guard<std::mutex> Lock(ParkMutex);
+    uint32_t InFlight = ActiveEpochs.load(std::memory_order_relaxed);
+    if (Limits.MaxLeasesInFlight &&
+        InFlight >= Limits.MaxLeasesInFlight)
+      return support::Status(
+          support::ErrorCode::Overloaded,
+          support::formatString("%u launches in flight (limit %u)",
+                                InFlight, Limits.MaxLeasesInFlight));
+    if (Limits.MaxWatermarkLag) {
+      uint64_t Lag = 0;
+      for (unsigned I = 0; I != Queues.size(); ++I)
+        Lag += Queues.queue(I).pendingApprox();
+      if (Lag >= Limits.MaxWatermarkLag)
+        return support::Status(
+            support::ErrorCode::Overloaded,
+            support::formatString(
+                "%llu records queued behind the detector (limit %llu)",
+                static_cast<unsigned long long>(Lag),
+                static_cast<unsigned long long>(Limits.MaxWatermarkLag)));
+    }
+    ActiveEpochs.fetch_add(1, std::memory_order_release);
+  }
+  ParkCV.notify_all();
   uint32_t Epoch = NextEpoch.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<Launch> Handle(new Launch(*this, Epoch, State));
   CLeases->add(1);
@@ -171,13 +239,6 @@ Engine::begin(detector::SharedDetectorState &State) {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
     ActiveLaunches.emplace(Epoch, Handle);
   }
-  {
-    // Raise the active count under ParkMutex so a worker that just saw
-    // an empty queue cannot park past this launch's records.
-    std::lock_guard<std::mutex> Lock(ParkMutex);
-    ActiveEpochs.fetch_add(1, std::memory_order_release);
-  }
-  ParkCV.notify_all();
   return Handle;
 }
 
@@ -229,6 +290,9 @@ void Engine::workerMain(unsigned QueueIndex) {
   // it keeps draining so every launch's watermark still completes, but
   // records go to the drop ledger instead of the detector.
   bool Abandoned = false;
+  // Ready handshake with the constructor (see ReadyWorkers): signalled
+  // once, after the first fault poll below.
+  bool SignaledReady = false;
   // Records this worker has drained — the index base for engine fault
   // specs ("worker-throw@100" = the 100th record drained here).
   uint64_t DrainedHere = 0;
@@ -287,6 +351,14 @@ void Engine::workerMain(unsigned QueueIndex) {
           Tracer->instant(Track, "fault: queue stall", "resilience");
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
+    }
+    if (!SignaledReady) {
+      SignaledReady = true;
+      {
+        std::lock_guard<std::mutex> Lock(ParkMutex);
+        ReadyWorkers.fetch_add(1, std::memory_order_release);
+      }
+      ParkCV.notify_all();
     }
     size_t Count = Queue.drain(Batch, BatchSize);
     if (Count) {

@@ -87,6 +87,11 @@ struct LaunchResilience {
   uint64_t WorkerFailures = 0;
   /// Queues whose processor slice was quarantined after a failure.
   uint64_t QueuesQuarantined = 0;
+  /// Queues this launch routed around because their consumer had died
+  /// before the launch began. Routing is lossless — a rerouted launch
+  /// is NOT degraded — but the number is reported so operators see a
+  /// pool running on fewer queues than configured.
+  uint64_t QueuesRerouted = 0;
   /// The first worker failure, context-chained (Ok when clean).
   support::Status FirstError;
 };
@@ -148,6 +153,16 @@ private:
   uint32_t Epoch;
   detector::SharedDetectorState &State;
   EpochQueueSink Sink{*this};
+  /// Per-launch block routing: nominal queue (BlockId % numQueues) ->
+  /// the queue actually used. Identity while every consumer is alive;
+  /// when a queue was abandoned before this launch began, its blocks
+  /// route to the next live queue instead, so new launches keep
+  /// completing Clean on a pool that lost consumers. Fixed at begin()
+  /// — every record of a block goes to ONE queue within a launch,
+  /// preserving the shared-memory shadow-state locality invariant.
+  std::vector<unsigned> Routes;
+  /// Entries of Routes where Routes[q] != q.
+  unsigned Rerouted = 0;
   /// One processor per engine queue; processor I is touched only by
   /// worker I, preserving the queue-private detector state invariant.
   std::vector<std::unique_ptr<detector::QueueProcessor>> Processors;
@@ -208,6 +223,17 @@ struct EngineOptions {
   /// Engine-side fault injection (queue-stall / consumer-death /
   /// worker-throw specs). Must outlive the engine; null = off.
   fault::FaultInjector *Faults = nullptr;
+};
+
+/// Admission limits for Engine::tryBegin. Zero means unlimited. Checks
+/// run under the park lock, so MaxLeasesInFlight is exact; the
+/// watermark-lag bound reads pendingApprox and is approximate.
+struct Admission {
+  /// Refuse a new lease while this many epochs are already open.
+  uint32_t MaxLeasesInFlight = 0;
+  /// Refuse a new lease while the summed queue backlog (records
+  /// committed but not drained) is at or above this many records.
+  uint64_t MaxWatermarkLag = 0;
 };
 
 /// Lifetime idle/backpressure counters, read as before/after deltas for
@@ -271,6 +297,12 @@ public:
   /// finish() returns.
   std::shared_ptr<Launch> begin(detector::SharedDetectorState &State);
 
+  /// begin() with admission control: refuses the lease with a typed
+  /// Overloaded status — never blocks — when \p Limits is exceeded.
+  /// Nothing is enqueued on refusal; the caller retries later.
+  support::Result<std::shared_ptr<Launch>>
+  tryBegin(detector::SharedDetectorState &State, const Admission &Limits);
+
   /// Worker threads created over the engine's lifetime. Stays equal to
   /// numQueues() however many launches run — the pool is reused, never
   /// rebuilt.
@@ -324,6 +356,10 @@ private:
   std::mutex ParkMutex;
   std::condition_variable ParkCV;
   std::atomic<uint32_t> ActiveEpochs{0};
+  /// Workers that have passed their first fault poll. The constructor
+  /// waits for all of them, so a consumer-death@0 plan deterministically
+  /// abandons its queue before any launch computes routes.
+  std::atomic<uint32_t> ReadyWorkers{0};
   /// Atomic: an abandoned-queue worker polls it outside ParkMutex.
   std::atomic<bool> ShuttingDown{false};
 

@@ -1,0 +1,255 @@
+//===- Client.cpp - serve protocol client -----------------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace barracuda;
+using namespace barracuda::serve;
+using support::json::Value;
+
+namespace {
+
+support::Status ioError(const std::string &What) {
+  return support::Status(support::ErrorCode::TraceIo,
+                         What + ": " + std::strerror(errno));
+}
+
+Value dimValue(sim::Dim3 Dim) {
+  Value Out = Value::array();
+  Out.push(Value::number(static_cast<uint64_t>(Dim.X)));
+  Out.push(Value::number(static_cast<uint64_t>(Dim.Y)));
+  Out.push(Value::number(static_cast<uint64_t>(Dim.Z)));
+  return Out;
+}
+
+} // namespace
+
+Client::~Client() { close(); }
+
+support::Status Client::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return support::Status(support::ErrorCode::TraceIo,
+                           "socket path exceeds the AF_UNIX limit");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioError("socket");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    support::Status Failed = ioError("connect '" + SocketPath + "'");
+    close();
+    return Failed;
+  }
+  return support::Status();
+}
+
+void Client::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  Buffer.clear();
+}
+
+support::Result<std::string> Client::readFrame() {
+  char Chunk[4096];
+  while (true) {
+    size_t Newline = Buffer.find('\n');
+    if (Newline != std::string::npos) {
+      std::string Frame = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      return Frame;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      return support::Status(support::ErrorCode::TraceIo,
+                             "server closed the connection");
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+support::Result<Value> Client::call(const Value &Request) {
+  if (Fd < 0)
+    return support::Status(support::ErrorCode::TraceIo, "not connected");
+  Value Framed = Value::object();
+  Framed.set("schemaVersion", Value::number(SchemaVersion));
+  for (const auto &[Key, Member] : Request.members())
+    if (Key != "schemaVersion")
+      Framed.set(Key, Member);
+  std::string Line = Framed.dump() + "\n";
+  size_t Sent = 0;
+  while (Sent != Line.size()) {
+    ssize_t N = ::send(Fd, Line.data() + Sent, Line.size() - Sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0)
+      return ioError("send");
+    Sent += static_cast<size_t>(N);
+  }
+  support::Result<std::string> Frame = readFrame();
+  if (!Frame.ok())
+    return Frame.status();
+  return parseResponse(Frame.value());
+}
+
+support::Result<Value> Client::hello() {
+  Value Req = Value::object();
+  Req.set("op", Value::string("hello"));
+  return call(Req);
+}
+
+support::Result<std::vector<std::string>>
+Client::loadModule(const std::string &Tenant, const std::string &Ptx,
+                   const std::vector<std::string> &Faults,
+                   uint64_t WatchdogInstructions) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("load_module"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("ptx", Value::string(Ptx));
+  if (!Faults.empty()) {
+    Value Specs = Value::array();
+    for (const std::string &Spec : Faults)
+      Specs.push(Value::string(Spec));
+    Req.set("faults", std::move(Specs));
+  }
+  if (WatchdogInstructions)
+    Req.set("watchdogInstructions", Value::number(WatchdogInstructions));
+  support::Result<Value> Response = call(Req);
+  if (!Response.ok())
+    return Response.status();
+  std::vector<std::string> Kernels;
+  if (const Value *Names = Response.value().get("kernels"))
+    for (const Value &Name : Names->items())
+      Kernels.push_back(Name.asString());
+  return Kernels;
+}
+
+support::Result<uint64_t> Client::alloc(const std::string &Tenant,
+                                        uint64_t Bytes) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("alloc"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("bytes", Value::number(Bytes));
+  support::Result<Value> Response = call(Req);
+  if (!Response.ok())
+    return Response.status();
+  return Response.value().getU64("addr");
+}
+
+support::Status Client::writeU32(const std::string &Tenant, uint64_t Addr,
+                                 uint32_t Word) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("write_u32"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("addr", Value::number(Addr));
+  Req.set("value", Value::number(static_cast<uint64_t>(Word)));
+  return call(Req).status();
+}
+
+support::Result<uint32_t> Client::readU32(const std::string &Tenant,
+                                          uint64_t Addr) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("read_u32"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("addr", Value::number(Addr));
+  support::Result<Value> Response = call(Req);
+  if (!Response.ok())
+    return Response.status();
+  return static_cast<uint32_t>(Response.value().getU64("value"));
+}
+
+Value Client::launchBody(const std::string &Tenant,
+                         const std::string &Kernel, sim::Dim3 Grid,
+                         sim::Dim3 Block,
+                         const std::vector<uint64_t> &Params) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("launch"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("kernel", Value::string(Kernel));
+  Req.set("grid", dimValue(Grid));
+  Req.set("block", dimValue(Block));
+  Value Args = Value::array();
+  for (uint64_t Param : Params)
+    Args.push(Value::number(Param));
+  Req.set("params", std::move(Args));
+  return Req;
+}
+
+support::Result<Value> Client::launch(const std::string &Tenant,
+                                      const std::string &Kernel,
+                                      sim::Dim3 Grid, sim::Dim3 Block,
+                                      const std::vector<uint64_t> &Params,
+                                      bool WantReport) {
+  Value Req = launchBody(Tenant, Kernel, Grid, Block, Params);
+  if (WantReport)
+    Req.set("report", Value::boolean(true));
+  return call(Req);
+}
+
+support::Result<uint64_t>
+Client::launchAsync(const std::string &Tenant, const std::string &Kernel,
+                    sim::Dim3 Grid, sim::Dim3 Block,
+                    const std::vector<uint64_t> &Params) {
+  Value Req = launchBody(Tenant, Kernel, Grid, Block, Params);
+  Req.set("async", Value::boolean(true));
+  support::Result<Value> Response = call(Req);
+  if (!Response.ok())
+    return Response.status();
+  return Response.value().getU64("ticket");
+}
+
+support::Result<Value> Client::poll(const std::string &Tenant,
+                                    uint64_t Ticket, bool WantReport) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("poll"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("ticket", Value::number(Ticket));
+  if (WantReport)
+    Req.set("report", Value::boolean(true));
+  return call(Req);
+}
+
+support::Result<Value> Client::pollUntilDone(const std::string &Tenant,
+                                             uint64_t Ticket,
+                                             bool WantReport) {
+  while (true) {
+    support::Result<Value> Round = poll(Tenant, Ticket, WantReport);
+    if (!Round.ok() || Round.value().getBool("done"))
+      return Round;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+support::Result<Value> Client::report(const std::string &Tenant) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("report"));
+  Req.set("tenant", Value::string(Tenant));
+  return call(Req);
+}
+
+support::Result<Value> Client::stats() {
+  Value Req = Value::object();
+  Req.set("op", Value::string("stats"));
+  return call(Req);
+}
+
+support::Status Client::shutdown() {
+  Value Req = Value::object();
+  Req.set("op", Value::string("shutdown"));
+  return call(Req).status();
+}

@@ -1,0 +1,111 @@
+//===- Client.h - serve protocol client -------------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A blocking client for the barracuda-serve protocol, used by the test
+/// suite and the throughput bench (external consumers can speak the
+/// line protocol from any language — scripts/serve_client.py is the
+/// reference). One Client is one connection; it is not thread-safe, so
+/// give each driving thread its own.
+///
+/// \code
+///   serve::Client C;
+///   C.connect("/tmp/barracuda-serve.sock");
+///   auto Kernels = C.loadModule("a", PtxText);
+///   uint64_t Buf = C.alloc("a", 64).valueOr(0);
+///   auto Launch = C.launch("a", "kernel", {4}, {64}, {Buf});
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SERVE_CLIENT_H
+#define BARRACUDA_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "sim/Machine.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace serve {
+
+/// One connection speaking the line protocol.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon's unix socket. TraceIo on failure.
+  support::Status connect(const std::string &SocketPath);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request frame and blocks for its response. \p Request
+  /// must be an object; schemaVersion is filled in. Failures surface
+  /// the server's typed Status (or TraceIo when the connection died).
+  support::Result<support::json::Value>
+  call(const support::json::Value &Request);
+
+  // --- convenience wrappers (one op each) ----------------------------
+  support::Result<support::json::Value> hello();
+  /// Returns the kernel-name list on success.
+  support::Result<std::vector<std::string>>
+  loadModule(const std::string &Tenant, const std::string &Ptx,
+             const std::vector<std::string> &Faults = {},
+             uint64_t WatchdogInstructions = 0);
+  support::Result<uint64_t> alloc(const std::string &Tenant,
+                                  uint64_t Bytes);
+  support::Status writeU32(const std::string &Tenant, uint64_t Addr,
+                           uint32_t Word);
+  support::Result<uint32_t> readU32(const std::string &Tenant,
+                                    uint64_t Addr);
+  /// Blocking launch: the payload object of the response ("ok",
+  /// "recordsLogged", "racesTotal", "degraded", ...).
+  support::Result<support::json::Value>
+  launch(const std::string &Tenant, const std::string &Kernel,
+         sim::Dim3 Grid, sim::Dim3 Block,
+         const std::vector<uint64_t> &Params = {},
+         bool WantReport = false);
+  /// Async launch: the ticket to poll.
+  support::Result<uint64_t>
+  launchAsync(const std::string &Tenant, const std::string &Kernel,
+              sim::Dim3 Grid, sim::Dim3 Block,
+              const std::vector<uint64_t> &Params = {});
+  /// One poll round; "done" is false while the launch runs.
+  support::Result<support::json::Value> poll(const std::string &Tenant,
+                                             uint64_t Ticket,
+                                             bool WantReport = false);
+  /// Polls until done (microsleeping between rounds) and returns the
+  /// completed payload.
+  support::Result<support::json::Value>
+  pollUntilDone(const std::string &Tenant, uint64_t Ticket,
+                bool WantReport = false);
+  support::Result<support::json::Value> report(const std::string &Tenant);
+  support::Result<support::json::Value> stats();
+  support::Status shutdown();
+
+private:
+  support::Result<std::string> readFrame();
+  static support::json::Value
+  launchBody(const std::string &Tenant, const std::string &Kernel,
+             sim::Dim3 Grid, sim::Dim3 Block,
+             const std::vector<uint64_t> &Params);
+
+  int Fd = -1;
+  std::string Buffer;
+};
+
+} // namespace serve
+} // namespace barracuda
+
+#endif // BARRACUDA_SERVE_CLIENT_H

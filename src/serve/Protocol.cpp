@@ -1,0 +1,130 @@
+//===- Protocol.cpp - serve wire protocol -----------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "support/Format.h"
+
+using namespace barracuda;
+using namespace barracuda::serve;
+using support::json::Value;
+
+const char *serve::opName(Op O) {
+  switch (O) {
+  case Op::Hello:
+    return "hello";
+  case Op::LoadModule:
+    return "load_module";
+  case Op::Alloc:
+    return "alloc";
+  case Op::Fill:
+    return "fill";
+  case Op::WriteU32:
+    return "write_u32";
+  case Op::WriteU64:
+    return "write_u64";
+  case Op::ReadU32:
+    return "read_u32";
+  case Op::ReadU64:
+    return "read_u64";
+  case Op::Launch:
+    return "launch";
+  case Op::Poll:
+    return "poll";
+  case Op::Report:
+    return "report";
+  case Op::Stats:
+    return "stats";
+  case Op::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+static support::Status protocolError(std::string Message) {
+  return support::Status(support::ErrorCode::ProtocolError,
+                         std::move(Message));
+}
+
+support::Result<Request> serve::parseRequest(const std::string &Frame) {
+  if (Frame.size() > MaxFrameBytes)
+    return protocolError(support::formatString(
+        "frame of %zu bytes exceeds the %zu-byte cap", Frame.size(),
+        MaxFrameBytes));
+  support::Result<Value> Parsed = support::json::parse(Frame);
+  if (!Parsed.ok())
+    return Parsed.status().withContext("request frame");
+  const Value &Body = Parsed.value();
+  if (!Body.isObject())
+    return protocolError("request frame must be a JSON object");
+  const Value *Version = Body.get("schemaVersion");
+  if (!Version || !Version->isNumber() ||
+      Version->asU64() != SchemaVersion)
+    return protocolError(support::formatString(
+        "unsupported schemaVersion (this server speaks %llu)",
+        static_cast<unsigned long long>(SchemaVersion)));
+  std::string Name = Body.getString("op");
+  if (Name.empty())
+    return protocolError("missing \"op\"");
+
+  static const Op All[] = {Op::Hello,    Op::LoadModule, Op::Alloc,
+                           Op::Fill,     Op::WriteU32,   Op::WriteU64,
+                           Op::ReadU32,  Op::ReadU64,    Op::Launch,
+                           Op::Poll,     Op::Report,     Op::Stats,
+                           Op::Shutdown};
+  Request Out;
+  bool Known = false;
+  for (Op O : All)
+    if (Name == opName(O)) {
+      Out.O = O;
+      Known = true;
+      break;
+    }
+  if (!Known)
+    return protocolError("unknown op '" + Name + "'");
+
+  Out.Tenant = Body.getString("tenant");
+  bool NeedsTenant = Out.O != Op::Hello && Out.O != Op::Stats &&
+                     Out.O != Op::Shutdown;
+  if (NeedsTenant && Out.Tenant.empty())
+    return protocolError(std::string("op '") + opName(Out.O) +
+                         "' requires a \"tenant\"");
+  Out.Body = Parsed.value();
+  return Out;
+}
+
+std::string serve::okResponse(Op O, const Value &Payload) {
+  Value Envelope = Value::object();
+  Envelope.set("schemaVersion", Value::number(SchemaVersion));
+  Envelope.set("op", Value::string(opName(O)));
+  Envelope.set("status", Value::string("Ok"));
+  for (const auto &[Key, Member] : Payload.members())
+    Envelope.set(Key, Member);
+  return Envelope.dump();
+}
+
+std::string serve::errorResponse(const char *OpName,
+                                 const support::Status &Error) {
+  Value Envelope = Value::object();
+  Envelope.set("schemaVersion", Value::number(SchemaVersion));
+  Envelope.set("op", Value::string(OpName));
+  Envelope.set("status",
+               Value::string(support::errorCodeName(Error.code())));
+  Envelope.set("error", Value::string(Error.message()));
+  return Envelope.dump();
+}
+
+support::Result<Value> serve::parseResponse(const std::string &Frame) {
+  support::Result<Value> Parsed = support::json::parse(Frame);
+  if (!Parsed.ok())
+    return Parsed.status().withContext("response frame");
+  const Value &Body = Parsed.value();
+  if (!Body.isObject())
+    return protocolError("response frame must be a JSON object");
+  std::string StatusName = Body.getString("status");
+  if (StatusName.empty())
+    return protocolError("response frame carries no \"status\"");
+  if (StatusName == "Ok")
+    return Parsed.value();
+  return support::Status(support::errorCodeFromName(StatusName),
+                         Body.getString("error", "(no message)"));
+}

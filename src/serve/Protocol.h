@@ -1,0 +1,112 @@
+//===- Protocol.h - serve wire protocol -------------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The barracuda-serve wire protocol: line-delimited JSON over a unix
+/// domain socket. One request is one '\n'-terminated frame; the server
+/// answers every frame with exactly one response frame, in order, so a
+/// client may pipeline.
+///
+/// Request envelope (schemaVersion is mandatory):
+/// \code
+///   {"schemaVersion":1,"op":"launch","tenant":"a","kernel":"k",
+///    "grid":[4,1,1],"block":[64,1,1],"params":[140737488355328],
+///    "async":true}
+/// \endcode
+///
+/// Response envelope: `status` is "Ok" or a stable ErrorCode name from
+/// the support::ErrorCode taxonomy, `error` carries the human message on
+/// failure, and every success payload is flattened into the envelope:
+/// \code
+///   {"schemaVersion":1,"op":"launch","status":"Ok","ticket":7}
+///   {"schemaVersion":1,"op":"launch","status":"Overloaded",
+///    "error":"tenant 'a': 8 launches already in flight"}
+/// \endcode
+///
+/// Malformed frames (bad JSON, wrong/missing schemaVersion, unknown op,
+/// oversized line) are ProtocolError responses — typed, never a dropped
+/// connection, except for the oversized frame, which also closes the
+/// connection because line framing is lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SERVE_PROTOCOL_H
+#define BARRACUDA_SERVE_PROTOCOL_H
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace barracuda {
+namespace serve {
+
+/// Wire schema version. Bump on any incompatible envelope change; the
+/// server rejects every other version with ProtocolError so clients
+/// never misparse a reply.
+constexpr uint64_t SchemaVersion = 1;
+
+/// Hard per-frame byte cap (the PTX module is the largest payload; 4 MiB
+/// is ~100x the biggest module in the repo). An overlong line is
+/// answered with ProtocolError and the connection is closed.
+constexpr size_t MaxFrameBytes = 4u << 20;
+
+/// Every operation a frame can request.
+enum class Op : uint8_t {
+  Hello,      ///< handshake: server identity and limits
+  LoadModule, ///< parse + instrument a PTX module ("ptx")
+  Alloc,      ///< device malloc ("bytes", optional "align") -> "addr"
+  Fill,       ///< memset ("addr", "bytes", "value")
+  WriteU32,   ///< poke a word ("addr", "value")
+  WriteU64,
+  ReadU32,    ///< peek a word ("addr") -> "value"
+  ReadU64,
+  Launch,     ///< launch "kernel" with "grid"/"block"/"params";
+              ///< "async":true returns a "ticket" instead of blocking
+  Poll,       ///< resolve an async "ticket" -> "done" (+ result)
+  Report,     ///< the tenant's latest RunReport document
+  Stats,      ///< server-wide counters (tenants, in-flight, launches)
+  Shutdown,   ///< stop the server after acking
+};
+
+/// The stable wire name of \p O ("load_module", ...).
+const char *opName(Op O);
+
+/// A decoded request frame.
+struct Request {
+  Op O = Op::Hello;
+  /// The tenant the operation targets; empty for tenant-less ops
+  /// (hello/stats/shutdown).
+  std::string Tenant;
+  /// The full parsed frame, for op-specific fields.
+  support::json::Value Body;
+};
+
+/// Decodes one frame. Failures are ProtocolError Statuses whose message
+/// names the offending part (parse offset, version, op).
+support::Result<Request> parseRequest(const std::string &Frame);
+
+/// Renders the success envelope for \p O, splicing \p Payload's members
+/// into it. \p Payload must be an object (pass json::Value::object()
+/// when there is nothing to add).
+std::string okResponse(Op O, const support::json::Value &Payload);
+
+/// Renders the failure envelope: status = the code's stable name. The
+/// op is a string so frames that failed before op decoding can answer
+/// with "unknown".
+std::string errorResponse(const char *OpName, const support::Status &Error);
+
+/// Decodes a response frame back into a Result: Ok responses yield the
+/// parsed envelope object, failures reconstruct the Status from the
+/// "status"/"error" members. Client-side half of the protocol.
+support::Result<support::json::Value>
+parseResponse(const std::string &Frame);
+
+} // namespace serve
+} // namespace barracuda
+
+#endif // BARRACUDA_SERVE_PROTOCOL_H

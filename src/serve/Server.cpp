@@ -1,0 +1,278 @@
+//===- Server.cpp - detection-as-a-service daemon core ----------------------===//
+
+#include "serve/Server.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace barracuda;
+using namespace barracuda::serve;
+using support::json::Value;
+
+namespace {
+
+runtime::EngineOptions engineOptionsFor(const ServerOptions &Options,
+                                        fault::FaultInjector *Injector) {
+  runtime::EngineOptions Out;
+  Out.NumQueues = Options.NumQueues;
+  Out.QueueCapacity = Options.QueueCapacity;
+  Out.Faults = Injector;
+  return Out;
+}
+
+/// Writes all of \p Text to \p Fd, retrying short writes. False when
+/// the peer is gone.
+bool sendAll(int Fd, const std::string &Text) {
+  size_t Sent = 0;
+  while (Sent != Text.size()) {
+    ssize_t N = ::send(Fd, Text.data() + Sent, Text.size() - Sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0)
+      return false;
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts)
+    : Options(std::move(Opts)),
+      Injector(Options.EngineFaults.specs().empty()
+                   ? nullptr
+                   : std::make_unique<fault::FaultInjector>(
+                         Options.EngineFaults)),
+      Engine_(std::make_unique<runtime::Engine>(
+          engineOptionsFor(Options, Injector.get()))),
+      Registry(*Engine_, Options.Tenant) {}
+
+Server::~Server() { stop(); }
+
+support::Status Server::start() {
+  if (Running.load(std::memory_order_acquire))
+    return support::Status();
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Options.SocketPath.size() >= sizeof(Addr.sun_path))
+    return support::Status(
+        support::ErrorCode::TraceIo,
+        support::formatString("socket path '%s' exceeds the %zu-byte "
+                              "AF_UNIX limit",
+                              Options.SocketPath.c_str(),
+                              sizeof(Addr.sun_path) - 1));
+  std::memcpy(Addr.sun_path, Options.SocketPath.c_str(),
+              Options.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return support::Status(support::ErrorCode::TraceIo,
+                           std::string("socket: ") + std::strerror(errno));
+  ::unlink(Options.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    support::Status Failed(
+        support::ErrorCode::TraceIo,
+        support::formatString("bind '%s': %s", Options.SocketPath.c_str(),
+                              std::strerror(errno)));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Failed;
+  }
+
+  Running.store(true, std::memory_order_release);
+  Acceptor = std::thread(&Server::acceptLoop, this);
+  return support::Status();
+}
+
+void Server::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped): still wake any waiter.
+    ShutdownCv.notify_all();
+    return;
+  }
+  // Unblock the acceptor, then every connection reader.
+  int Listener = ListenFd.exchange(-1, std::memory_order_acq_rel);
+  if (Listener >= 0) {
+    ::shutdown(Listener, SHUT_RDWR);
+    ::close(Listener);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  std::vector<std::thread> Readers;
+  {
+    std::lock_guard<std::mutex> Lock(ConnectionsMu);
+    for (int Fd : OpenFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    Readers.swap(Connections);
+  }
+  for (std::thread &Reader : Readers)
+    if (Reader.joinable())
+      Reader.join();
+  ::unlink(Options.SocketPath.c_str());
+  ShutdownCv.notify_all();
+}
+
+void Server::waitForShutdown() {
+  std::unique_lock<std::mutex> Lock(ShutdownMu);
+  ShutdownCv.wait(Lock, [this] {
+    return ShutdownRequested.load(std::memory_order_acquire) ||
+           !Running.load(std::memory_order_acquire);
+  });
+}
+
+void Server::acceptLoop() {
+  while (Running.load(std::memory_order_acquire)) {
+    int Fd = ::accept(ListenFd.load(std::memory_order_acquire), nullptr,
+                      nullptr);
+    if (Fd < 0) {
+      if (!Running.load(std::memory_order_acquire))
+        break;
+      continue; // transient (EINTR)
+    }
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ConnectionsMu);
+    OpenFds.push_back(Fd);
+    Connections.emplace_back(&Server::serveConnection, this, Fd);
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  std::string Buffer;
+  char Chunk[4096];
+  bool Close = false;
+  while (!Close) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+
+    size_t Newline;
+    while (!Close && (Newline = Buffer.find('\n')) != std::string::npos) {
+      std::string Frame = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      if (!Frame.empty() && Frame.back() == '\r')
+        Frame.pop_back();
+      if (Frame.empty())
+        continue;
+      Frames.fetch_add(1, std::memory_order_relaxed);
+      std::string Response = handleFrame(Frame, Close);
+      if (!sendAll(Fd, Response + "\n"))
+        Close = true;
+    }
+
+    // A line that outgrew the cap can never complete: answer typed and
+    // drop the connection, since framing is lost.
+    if (Buffer.size() > Options.MaxFrameBytes) {
+      sendAll(Fd, errorResponse(
+                      "unknown",
+                      support::Status(
+                          support::ErrorCode::ProtocolError,
+                          support::formatString(
+                              "frame exceeds the %zu-byte cap",
+                              Options.MaxFrameBytes))) +
+                      "\n");
+      break;
+    }
+  }
+  ::close(Fd);
+}
+
+std::string Server::handleFrame(const std::string &Frame,
+                                bool &CloseAfter) {
+  support::Result<Request> Decoded = parseRequest(Frame);
+  if (!Decoded.ok())
+    return errorResponse("unknown", Decoded.status());
+  const Request &Req = Decoded.value();
+
+  switch (Req.O) {
+  case Op::Hello: {
+    Value Payload = Value::object();
+    Payload.set("server", Value::string("barracuda-serve"));
+    Payload.set("queues",
+                Value::number(static_cast<uint64_t>(Engine_->numQueues())));
+    Payload.set("maxFrameBytes",
+                Value::number(
+                    static_cast<uint64_t>(Options.MaxFrameBytes)));
+    Payload.set("tenantQuota",
+                Value::number(
+                    static_cast<uint64_t>(Options.Tenant.MaxInFlight)));
+    return okResponse(Op::Hello, Payload);
+  }
+  case Op::Stats: {
+    Value Payload = Registry.stats();
+    Payload.set("launchesBegun", Value::number(Engine_->launchesBegun()));
+    Payload.set("connections",
+                Value::number(Accepted.load(std::memory_order_relaxed)));
+    Payload.set("frames",
+                Value::number(Frames.load(std::memory_order_relaxed)));
+    return okResponse(Op::Stats, Payload);
+  }
+  case Op::Shutdown: {
+    // Ack, wake waitForShutdown(), and end this conversation; the
+    // owner (the CLI main loop, or a test) then runs stop().
+    ShutdownRequested.store(true, std::memory_order_release);
+    ShutdownCv.notify_all();
+    CloseAfter = true;
+    Value Payload = Value::object();
+    Payload.set("stopping", Value::boolean(true));
+    return okResponse(Op::Shutdown, Payload);
+  }
+  default:
+    break;
+  }
+
+  Tenant &T = Registry.acquire(Req.Tenant);
+  support::Result<Value> Outcome = [&]() -> support::Result<Value> {
+    switch (Req.O) {
+    case Op::LoadModule:
+      return T.loadModule(Req.Body);
+    case Op::Alloc:
+      return T.alloc(Req.Body);
+    case Op::Fill:
+      return T.fill(Req.Body);
+    case Op::WriteU32:
+      return T.writeWord(Req.Body, /*Wide=*/false);
+    case Op::WriteU64:
+      return T.writeWord(Req.Body, /*Wide=*/true);
+    case Op::ReadU32:
+      return T.readWord(Req.Body, /*Wide=*/false);
+    case Op::ReadU64:
+      return T.readWord(Req.Body, /*Wide=*/true);
+    case Op::Launch:
+      return T.launch(Req.Body);
+    case Op::Poll:
+      return T.poll(Req.Body);
+    case Op::Report:
+      return T.report();
+    default:
+      return support::Status(support::ErrorCode::Internal,
+                             "unhandled op");
+    }
+  }();
+  if (!Outcome.ok())
+    return errorResponse(opName(Req.O), Outcome.status());
+  return okResponse(Req.O, Outcome.value());
+}
+
+void Server::sample(std::vector<obs::Exporter::Sample> &Out) {
+  Registry.sample(Out);
+  Out.push_back({"serve.connections", "",
+                 obs::MetricSample::Kind::Counter,
+                 static_cast<int64_t>(
+                     Accepted.load(std::memory_order_relaxed))});
+  Out.push_back({"serve.frames", "", obs::MetricSample::Kind::Counter,
+                 static_cast<int64_t>(
+                     Frames.load(std::memory_order_relaxed))});
+}

@@ -1,0 +1,141 @@
+//===- Server.h - detection-as-a-service daemon core ------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The barracuda-serve daemon core: one process-lifetime
+/// runtime::Engine fronted by a unix-domain-socket listener speaking
+/// the line-delimited JSON protocol (serve/Protocol.h). Every accepted
+/// connection gets a reader thread; frames on one connection are
+/// answered in order, tenants are multiplexed freely across
+/// connections, and all launches lease epochs from the one shared
+/// detector pool.
+///
+/// Embeddable: tests construct a Server in-process and drive it with
+/// serve::Client; tools/barracuda-serve.cpp wraps it in a CLI with
+/// signal handling and a live metrics exporter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SERVE_SERVER_H
+#define BARRACUDA_SERVE_SERVER_H
+
+#include "runtime/Engine.h"
+#include "serve/Protocol.h"
+#include "serve/Tenant.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace barracuda {
+namespace serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Filesystem path of the unix socket. A stale file from a previous
+  /// run is unlinked at start().
+  std::string SocketPath = "/tmp/barracuda-serve.sock";
+  /// Per-tenant template: quota plus the detector/simulator knobs every
+  /// new tenant session starts from. Engine admission limits
+  /// (MaxLeasesInFlight/MaxWatermarkLag) also live here, on the
+  /// EngineOptions half.
+  TenantOptions Tenant;
+  /// The shared engine's shape.
+  unsigned NumQueues = 4;
+  size_t QueueCapacity = 1 << 14;
+  /// Engine-side fault plan (--inject consumer-death and friends),
+  /// applied to the one shared engine for soak testing. Machine- and
+  /// trace-side specs belong in Tenant.Detect.Faults (or a tenant's own
+  /// "faults" field) instead.
+  fault::FaultPlan EngineFaults;
+  /// Per-frame byte cap; an overlong line answers ProtocolError and
+  /// closes the connection.
+  size_t MaxFrameBytes = serve::MaxFrameBytes;
+};
+
+/// The daemon: listener, connection threads, tenant registry, engine.
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and spawns the accept loop. TraceIo on bind
+  /// failures.
+  support::Status start();
+
+  /// Closes the listener, joins every connection thread and stops
+  /// accepting. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Blocks until a shutdown frame arrives or stop() is called.
+  void waitForShutdown();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  /// True once a shutdown frame has been acked.
+  bool shutdownRequested() const {
+    return ShutdownRequested.load(std::memory_order_acquire);
+  }
+  const std::string &socketPath() const { return Options.SocketPath; }
+
+  runtime::Engine &engine() { return *Engine_; }
+  TenantRegistry &tenants() { return Registry; }
+
+  uint64_t connectionsAccepted() const {
+    return Accepted.load(std::memory_order_relaxed);
+  }
+  uint64_t framesServed() const {
+    return Frames.load(std::memory_order_relaxed);
+  }
+
+  /// obs::Exporter live source covering the serve layer (tenants,
+  /// in-flight, per-tenant rates) and the connection counters.
+  void sample(std::vector<obs::Exporter::Sample> &Out);
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+  /// Dispatches one frame to its handler; returns the response line
+  /// (without the trailing newline) and sets \p CloseAfter for frames
+  /// that end the conversation.
+  std::string handleFrame(const std::string &Frame, bool &CloseAfter);
+
+  ServerOptions Options;
+  /// Built from Options.EngineFaults; referenced by the engine, so it
+  /// is declared first.
+  std::unique_ptr<fault::FaultInjector> Injector;
+  std::unique_ptr<runtime::Engine> Engine_;
+  TenantRegistry Registry;
+
+  std::atomic<bool> Running{false};
+  std::atomic<bool> ShutdownRequested{false};
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Frames{0};
+  /// Atomic because stop() invalidates it while the acceptor reads it.
+  std::atomic<int> ListenFd{-1};
+  std::thread Acceptor;
+
+  std::mutex ConnectionsMu;
+  std::vector<std::thread> Connections;
+  /// Accepted fds, shut down on stop() to unblock their readers.
+  std::vector<int> OpenFds;
+
+  std::mutex ShutdownMu;
+  std::condition_variable ShutdownCv;
+};
+
+} // namespace serve
+} // namespace barracuda
+
+#endif // BARRACUDA_SERVE_SERVER_H

@@ -1,0 +1,400 @@
+//===- Tenant.cpp - per-tenant session state --------------------------------===//
+
+#include "serve/Tenant.h"
+
+#include "support/Format.h"
+
+#include <chrono>
+
+using namespace barracuda;
+using namespace barracuda::serve;
+using support::json::Value;
+
+namespace {
+
+support::Status protocolError(std::string Message) {
+  return support::Status(support::ErrorCode::ProtocolError,
+                         std::move(Message));
+}
+
+support::Status noModule(const std::string &Tenant) {
+  return support::Status(
+      support::ErrorCode::InvalidLaunch,
+      support::formatString("tenant '%s' has no module loaded",
+                            Tenant.c_str()));
+}
+
+/// Decodes a launch dimension: a number ("grid":4) or an array of one
+/// to three extents ("grid":[4,2,1]). Absent = (1,1,1).
+support::Result<sim::Dim3> parseDim(const Value &Body, const char *Key) {
+  const Value *Member = Body.get(Key);
+  if (!Member)
+    return sim::Dim3(1);
+  if (Member->isNumber())
+    return sim::Dim3(static_cast<uint32_t>(Member->asU64()));
+  if (!Member->isArray() || Member->items().empty() ||
+      Member->items().size() > 3)
+    return protocolError(support::formatString(
+        "\"%s\" must be a number or an array of 1-3 extents", Key));
+  uint32_t Extents[3] = {1, 1, 1};
+  for (size_t I = 0; I != Member->items().size(); ++I) {
+    const Value &Item = Member->items()[I];
+    if (!Item.isNumber())
+      return protocolError(
+          support::formatString("\"%s\" extents must be numbers", Key));
+    Extents[I] = static_cast<uint32_t>(Item.asU64());
+  }
+  return sim::Dim3(Extents[0], Extents[1], Extents[2]);
+}
+
+/// Nanoseconds on a steady clock, for the per-tenant rate gauges.
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+Tenant::Tenant(std::string Name, runtime::Engine &Engine,
+               TenantOptions Options)
+    : Name(std::move(Name)), Engine(Engine), Options(std::move(Options)) {}
+
+support::Result<Value> Tenant::loadModule(const Value &Body) {
+  std::string Ptx = Body.getString("ptx");
+  if (Ptx.empty())
+    return protocolError("load_module requires a non-empty \"ptx\"");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (InFlight != 0)
+    return support::Status(
+        support::ErrorCode::InvalidLaunch,
+        support::formatString(
+            "tenant '%s': cannot load a module with %u launches in flight",
+            Name.c_str(), InFlight));
+  if (!Sess) {
+    // The session-creating load may still shape the tenant: a private
+    // fault plan (soak tests) and a watchdog budget. Later loads reuse
+    // the session, so these fields are only honored here.
+    TenantOptions Opts = Options;
+    if (const Value *Faults = Body.get("faults")) {
+      if (!Faults->isArray())
+        return protocolError("\"faults\" must be an array of spec strings");
+      for (const Value &Spec : Faults->items()) {
+        if (!Spec.isString())
+          return protocolError("\"faults\" must be an array of spec strings");
+        support::Status Added = Opts.Detect.Faults.add(Spec.asString());
+        if (!Added.ok())
+          return Added;
+      }
+    }
+    if (uint64_t Watchdog = Body.getU64("watchdogInstructions"))
+      Opts.Detect.Machine.MaxWarpInstructions = Watchdog;
+    SessionOptions SessOpts;
+    static_cast<DetectOptions &>(SessOpts) = Opts.Detect;
+    static_cast<EngineOptions &>(SessOpts) = Opts.Engine;
+    SessOpts.SharedEngine = &Engine;
+    Sess = std::make_unique<Session>(SessOpts);
+    Lane = &Sess->createStream();
+  }
+
+  support::Result<ModuleInfo> Info = Sess->loadModule(Ptx);
+  if (!Info.ok())
+    return Info.status();
+
+  Value Kernels = Value::array();
+  for (const std::string &Kernel : Info.value().Kernels)
+    Kernels.push(Value::string(Kernel));
+  Value Payload = Value::object();
+  Payload.set("kernels", std::move(Kernels));
+  Payload.set("parseNanos", Value::number(Info.value().ParseNanos));
+  return Payload;
+}
+
+support::Result<Value> Tenant::alloc(const Value &Body) {
+  uint64_t Bytes = Body.getU64("bytes");
+  if (!Bytes)
+    return protocolError("alloc requires a non-zero \"bytes\"");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Sess)
+    return noModule(Name);
+  Value Payload = Value::object();
+  Payload.set("addr",
+              Value::number(Sess->alloc(Bytes, Body.getU64("align", 8))));
+  return Payload;
+}
+
+support::Result<Value> Tenant::fill(const Value &Body) {
+  uint64_t Bytes = Body.getU64("bytes");
+  if (!Bytes)
+    return protocolError("fill requires a non-zero \"bytes\"");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Sess)
+    return noModule(Name);
+  Sess->fillDevice(Body.getU64("addr"), Bytes,
+                   static_cast<uint8_t>(Body.getU64("value")));
+  return Value::object();
+}
+
+support::Result<Value> Tenant::writeWord(const Value &Body, bool Wide) {
+  if (!Body.get("addr") || !Body.get("value"))
+    return protocolError("write requires \"addr\" and \"value\"");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Sess)
+    return noModule(Name);
+  if (Wide)
+    Sess->writeU64(Body.getU64("addr"), Body.getU64("value"));
+  else
+    Sess->writeU32(Body.getU64("addr"),
+                   static_cast<uint32_t>(Body.getU64("value")));
+  return Value::object();
+}
+
+support::Result<Value> Tenant::readWord(const Value &Body, bool Wide) {
+  if (!Body.get("addr"))
+    return protocolError("read requires \"addr\"");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Sess)
+    return noModule(Name);
+  uint64_t Word = Wide ? Sess->readU64(Body.getU64("addr"))
+                       : Sess->readU32(Body.getU64("addr"));
+  Value Payload = Value::object();
+  Payload.set("value", Value::number(Word));
+  return Payload;
+}
+
+Value Tenant::reapLocked(const support::Result<sim::LaunchResult> &Result,
+                         bool WantReport) {
+  assert(InFlight && "reaping a launch that was never admitted");
+  --InFlight;
+  Value Payload = Value::object();
+  if (!Result.ok()) {
+    ++Completed;
+    Payload.set("ok", Value::boolean(false));
+    Payload.set("launchStatus",
+                Value::string(support::errorCodeName(
+                    Result.status().code())));
+    Payload.set("error", Value::string(Result.status().message()));
+    return Payload;
+  }
+  const sim::LaunchResult &Launch = Result.value();
+  ++Completed;
+  Records += Launch.RecordsLogged;
+  RunReport Report = Sess->report();
+  Payload.set("ok", Value::boolean(true));
+  Payload.set("threads", Value::number(Launch.ThreadsLaunched));
+  Payload.set("warpInstructions", Value::number(Launch.WarpInstructions));
+  Payload.set("recordsLogged", Value::number(Launch.RecordsLogged));
+  Payload.set("racesTotal",
+              Value::number(static_cast<uint64_t>(Sess->races().size())));
+  Payload.set("barrierErrorsTotal",
+              Value::number(
+                  static_cast<uint64_t>(Sess->barrierErrors().size())));
+  Payload.set("degraded", Value::boolean(Report.Resilience.Degraded));
+  Payload.set("queuesRerouted",
+              Value::number(Report.Resilience.QueuesRerouted));
+  if (WantReport) {
+    // RunReport renders pretty-printed; re-parse into the DOM so the
+    // frame stays a single line.
+    support::Result<Value> Doc = support::json::parse(Report.toJson());
+    if (Doc.ok())
+      Payload.set("report", std::move(Doc.value()));
+  }
+  return Payload;
+}
+
+support::Result<Value> Tenant::launch(const Value &Body) {
+  std::string Kernel = Body.getString("kernel");
+  if (Kernel.empty())
+    return protocolError("launch requires a \"kernel\"");
+  support::Result<sim::Dim3> Grid = parseDim(Body, "grid");
+  if (!Grid.ok())
+    return Grid.status();
+  support::Result<sim::Dim3> Block = parseDim(Body, "block");
+  if (!Block.ok())
+    return Block.status();
+  std::vector<uint64_t> Params;
+  if (const Value *Args = Body.get("params")) {
+    if (!Args->isArray())
+      return protocolError("\"params\" must be an array of numbers");
+    for (const Value &Arg : Args->items()) {
+      if (!Arg.isNumber())
+        return protocolError("\"params\" must be an array of numbers");
+      Params.push_back(Arg.asU64());
+    }
+  }
+  bool Async = Body.getBool("async");
+  bool WantReport = Body.getBool("report");
+
+  std::future<support::Result<sim::LaunchResult>> Future;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Sess)
+      return noModule(Name);
+    // Tenant-level admission: refuse, never stall, past the quota of
+    // submitted-but-unreaped launches. The engine applies its own
+    // lease/watermark admission when the launch actually begins.
+    if (Options.MaxInFlight && InFlight >= Options.MaxInFlight) {
+      ++Refused;
+      return support::Status(
+          support::ErrorCode::Overloaded,
+          support::formatString(
+              "tenant '%s': %u launches already in flight (quota %u)",
+              Name.c_str(), InFlight, Options.MaxInFlight));
+    }
+    ++InFlight;
+    Future = Sess->launchKernelAsync(*Lane, Kernel, Grid.value(),
+                                     Block.value(), Params);
+    if (Async) {
+      uint64_t Ticket = NextTicket++;
+      Tickets.emplace(Ticket, PendingLaunch{std::move(Future), Kernel});
+      Value Payload = Value::object();
+      Payload.set("ticket", Value::number(Ticket));
+      return Payload;
+    }
+  }
+
+  // Blocking form: wait with the tenant unlocked so other connections
+  // keep allocating and polling meanwhile.
+  support::Result<sim::LaunchResult> Result = Future.get();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Value Payload = reapLocked(Result, WantReport);
+  if (!Result.ok())
+    return Result.status();
+  return Payload;
+}
+
+support::Result<Value> Tenant::poll(const Value &Body) {
+  if (!Body.get("ticket"))
+    return protocolError("poll requires a \"ticket\"");
+  uint64_t Ticket = Body.getU64("ticket");
+  bool WantReport = Body.getBool("report");
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Tickets.find(Ticket);
+  if (It == Tickets.end())
+    return support::Status(
+        support::ErrorCode::InvalidLaunch,
+        support::formatString("tenant '%s': unknown ticket %llu",
+                              Name.c_str(),
+                              static_cast<unsigned long long>(Ticket)));
+  if (It->second.Future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    Value Payload = Value::object();
+    Payload.set("ticket", Value::number(Ticket));
+    Payload.set("done", Value::boolean(false));
+    return Payload;
+  }
+  support::Result<sim::LaunchResult> Result = It->second.Future.get();
+  std::string Kernel = std::move(It->second.Kernel);
+  Tickets.erase(It);
+  Value Reaped = reapLocked(Result, WantReport);
+  Value Payload = Value::object();
+  Payload.set("ticket", Value::number(Ticket));
+  Payload.set("done", Value::boolean(true));
+  Payload.set("kernel", Value::string(std::move(Kernel)));
+  for (const auto &[Key, Member] : Reaped.members())
+    Payload.set(Key, Member);
+  return Payload;
+}
+
+support::Result<Value> Tenant::report() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Sess)
+    return noModule(Name);
+  support::Result<Value> Doc = support::json::parse(Sess->report().toJson());
+  if (!Doc.ok())
+    return Doc.status().withContext("rendering report");
+  Value Payload = Value::object();
+  Payload.set("report", std::move(Doc.value()));
+  return Payload;
+}
+
+uint32_t Tenant::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return InFlight;
+}
+
+uint64_t Tenant::launchesCompleted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Completed;
+}
+
+uint64_t Tenant::launchesRefused() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Refused;
+}
+
+uint64_t Tenant::recordsLogged() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Records;
+}
+
+Tenant &TenantRegistry::acquire(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Tenant> &Slot = Tenants[Name];
+  if (!Slot)
+    Slot = std::make_unique<Tenant>(Name, Engine, Template);
+  return *Slot;
+}
+
+support::json::Value TenantRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t InFlight = 0, Completed = 0, Refused = 0, Records = 0;
+  for (const auto &[Name, T] : Tenants) {
+    InFlight += T->inFlight();
+    Completed += T->launchesCompleted();
+    Refused += T->launchesRefused();
+    Records += T->recordsLogged();
+  }
+  Value Payload = Value::object();
+  Payload.set("tenants",
+              Value::number(static_cast<uint64_t>(Tenants.size())));
+  Payload.set("inflight", Value::number(InFlight));
+  Payload.set("launches", Value::number(Completed));
+  Payload.set("refused", Value::number(Refused));
+  Payload.set("records", Value::number(Records));
+  return Payload;
+}
+
+size_t TenantRegistry::tenantCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Tenants.size();
+}
+
+void TenantRegistry::sample(std::vector<obs::Exporter::Sample> &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Now = nowNanos();
+  int64_t TotalInFlight = 0;
+  for (const auto &[Name, T] : Tenants) {
+    std::string Label = "tenant=\"" + Name + "\"";
+    uint32_t InFlight = T->inFlight();
+    TotalInFlight += InFlight;
+    Out.push_back({"serve.tenant.inflight", Label,
+                   obs::MetricSample::Kind::Gauge,
+                   static_cast<int64_t>(InFlight)});
+    Out.push_back({"serve.tenant.launches", Label,
+                   obs::MetricSample::Kind::Counter,
+                   static_cast<int64_t>(T->launchesCompleted())});
+    Out.push_back({"serve.tenant.refused", Label,
+                   obs::MetricSample::Kind::Counter,
+                   static_cast<int64_t>(T->launchesRefused())});
+    uint64_t Records = T->recordsLogged();
+    Out.push_back({"serve.tenant.records", Label,
+                   obs::MetricSample::Kind::Counter,
+                   static_cast<int64_t>(Records)});
+    RateState &Rate = Rates[Name];
+    if (Rate.LastNs && Now > Rate.LastNs && Records >= Rate.LastRecords)
+      Rate.PerSecond = static_cast<int64_t>(
+          (Records - Rate.LastRecords) * 1000000000.0 /
+          static_cast<double>(Now - Rate.LastNs));
+    Rate.LastRecords = Records;
+    Rate.LastNs = Now;
+    Out.push_back({"serve.tenant.records_per_second", Label,
+                   obs::MetricSample::Kind::Gauge, Rate.PerSecond});
+  }
+  Out.push_back({"serve.tenants", "", obs::MetricSample::Kind::Gauge,
+                 static_cast<int64_t>(Tenants.size())});
+  Out.push_back({"serve.inflight", "", obs::MetricSample::Kind::Gauge,
+                 TotalInFlight});
+}

@@ -1,0 +1,168 @@
+//===- Tenant.h - per-tenant session state ----------------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-tenant half of barracuda-serve: every tenant name maps to
+/// one Tenant, which owns a barracuda::Session bound to the server's
+/// one shared runtime::Engine plus a dedicated stream, so concurrent
+/// tenants multiplex onto the process-wide detector pool as epochs —
+/// launches interleave in the queues, verdicts never bleed between
+/// tenants (that is the engine's epoch contract), and a tenant's own
+/// faults (an injected kernel hang, a module that fails to verify)
+/// degrade only its own launches.
+///
+/// Admission is layered: each tenant refuses its own submissions past
+/// MaxInFlight (typed Overloaded, nothing enqueued), and every launch
+/// still passes the engine's lease/watermark admission from
+/// EngineOptions, which bounds the whole daemon. Neither layer ever
+/// blocks the caller.
+///
+/// Thread model: any number of connection threads may drive one tenant;
+/// a per-tenant mutex serializes session access. Launch execution runs
+/// on the tenant's stream executor, never on a connection thread —
+/// blocking launches wait on the future with the lock released, async
+/// launches park the future in a ticket table for poll.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SERVE_TENANT_H
+#define BARRACUDA_SERVE_TENANT_H
+
+#include "barracuda/Session.h"
+#include "obs/Exporter.h"
+#include "serve/Protocol.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace barracuda {
+namespace serve {
+
+/// Per-tenant admission and session template.
+struct TenantOptions {
+  /// Launches a tenant may have submitted-but-unreaped at once; one
+  /// more is refused with Overloaded. 0 = unlimited.
+  uint32_t MaxInFlight = 8;
+  /// Detector/simulator template for the tenant's session. A tenant's
+  /// first load_module may override Faults ("faults") and the watchdog
+  /// ("watchdogInstructions").
+  DetectOptions Detect;
+  /// Engine half for the tenant's session; SharedEngine is filled in by
+  /// the registry, admission limits apply per launch.
+  EngineOptions Engine;
+};
+
+/// One tenant: a session, a stream, a ticket table and quota state.
+class Tenant {
+public:
+  Tenant(std::string Name, runtime::Engine &Engine, TenantOptions Options);
+
+  const std::string &name() const { return Name; }
+
+  // Each handler consumes a decoded request body and produces the
+  // response payload (flattened into the Ok envelope) or a typed error.
+  support::Result<support::json::Value>
+  loadModule(const support::json::Value &Body);
+  support::Result<support::json::Value>
+  alloc(const support::json::Value &Body);
+  support::Result<support::json::Value>
+  fill(const support::json::Value &Body);
+  support::Result<support::json::Value>
+  writeWord(const support::json::Value &Body, bool Wide);
+  support::Result<support::json::Value>
+  readWord(const support::json::Value &Body, bool Wide);
+  support::Result<support::json::Value>
+  launch(const support::json::Value &Body);
+  support::Result<support::json::Value>
+  poll(const support::json::Value &Body);
+  support::Result<support::json::Value> report();
+
+  // --- telemetry (any thread) ----------------------------------------
+  uint32_t inFlight() const;
+  uint64_t launchesCompleted() const;
+  uint64_t launchesRefused() const;
+  uint64_t recordsLogged() const;
+
+private:
+  /// The session, or an InvalidLaunch status while no module is loaded.
+  support::Result<Session *> session();
+  /// Reaps one resolved launch future under the lock: quota release,
+  /// counter accumulation, and the response payload.
+  support::json::Value
+  reapLocked(const support::Result<sim::LaunchResult> &Result,
+             bool WantReport);
+
+  const std::string Name;
+  runtime::Engine &Engine;
+  TenantOptions Options;
+
+  mutable std::mutex Mu;
+  /// Created by the first load_module (which may still override faults
+  /// and the watchdog); null before that.
+  std::unique_ptr<Session> Sess;
+  /// The tenant's launch lane on the shared engine; owned by Sess.
+  runtime::Stream *Lane = nullptr;
+
+  struct PendingLaunch {
+    std::future<support::Result<sim::LaunchResult>> Future;
+    std::string Kernel;
+  };
+  std::map<uint64_t, PendingLaunch> Tickets;
+  uint64_t NextTicket = 1;
+
+  uint32_t InFlight = 0;
+  uint64_t Completed = 0;
+  uint64_t Refused = 0;
+  uint64_t Records = 0;
+};
+
+/// Name -> Tenant map with create-on-first-use semantics and live
+/// telemetry over all tenants.
+class TenantRegistry {
+public:
+  TenantRegistry(runtime::Engine &Engine, TenantOptions Template)
+      : Engine(Engine), Template(std::move(Template)) {}
+
+  /// The named tenant, created on first use from the template.
+  Tenant &acquire(const std::string &Name);
+
+  /// Totals for the stats op.
+  support::json::Value stats() const;
+
+  /// obs::Exporter live source: serve.tenants / serve.inflight gauges
+  /// plus per-tenant launches/records counters and a records/sec gauge
+  /// rated over the previous scrape.
+  void sample(std::vector<obs::Exporter::Sample> &Out);
+
+  size_t tenantCount() const;
+
+private:
+  runtime::Engine &Engine;
+  TenantOptions Template;
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Tenant>> Tenants;
+
+  /// Per-tenant rate state for records/sec (sampler thread only).
+  struct RateState {
+    uint64_t LastRecords = 0;
+    uint64_t LastNs = 0;
+    int64_t PerSecond = 0;
+  };
+  std::map<std::string, RateState> Rates;
+};
+
+} // namespace serve
+} // namespace barracuda
+
+#endif // BARRACUDA_SERVE_TENANT_H

@@ -93,12 +93,12 @@ ToolVerdict suite::runBarracuda(const SuiteProgram &Program) {
     return Verdict;
   }
   std::vector<uint64_t> Params = materializeParams(S, Program);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel(Program.KernelName, Program.Grid, Program.Block,
                      Params);
-  if (!Result.Ok) {
+  if (!Result.ok()) {
     Verdict.Completed = false;
-    Verdict.Detail = "launch failed: " + Result.Error;
+    Verdict.Detail = "launch failed: " + Result.status().message();
     return Verdict;
   }
   Verdict.ReportedProblem = S.anyRaces() || !S.barrierErrors().empty();

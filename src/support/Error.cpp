@@ -26,6 +26,28 @@ const char *support::errorCodeName(ErrorCode Code) {
     return "FaultInjected";
   case ErrorCode::Internal:
     return "Internal";
+  case ErrorCode::ModuleInvalid:
+    return "ModuleInvalid";
+  case ErrorCode::Overloaded:
+    return "Overloaded";
+  case ErrorCode::ProtocolError:
+    return "ProtocolError";
   }
   return "Unknown";
+}
+
+support::ErrorCode support::errorCodeFromName(const std::string &Name) {
+  static const ErrorCode All[] = {
+      ErrorCode::Ok,           ErrorCode::KernelHang,
+      ErrorCode::QueueAbandoned, ErrorCode::RecordCorrupt,
+      ErrorCode::WorkerFailed, ErrorCode::TraceIo,
+      ErrorCode::InvalidLaunch, ErrorCode::DeviceFault,
+      ErrorCode::FaultInjected, ErrorCode::Internal,
+      ErrorCode::ModuleInvalid, ErrorCode::Overloaded,
+      ErrorCode::ProtocolError,
+  };
+  for (ErrorCode Code : All)
+    if (Name == errorCodeName(Code))
+      return Code;
+  return ErrorCode::Internal;
 }

@@ -55,11 +55,24 @@ enum class ErrorCode : uint8_t {
   FaultInjected,
   /// Invariant violation in the pipeline itself.
   Internal,
+  /// The PTX module failed to parse, verify or inline (Session::loadModule).
+  ModuleInvalid,
+  /// Admission control refused the work: a quota or backpressure limit
+  /// was hit. Retry later; nothing was enqueued or stalled.
+  Overloaded,
+  /// A serve-protocol frame was malformed: bad JSON, an unsupported
+  /// schemaVersion, an unknown op, a missing field or an oversized frame.
+  ProtocolError,
 };
 
 /// The stable name of \p Code ("KernelHang", ...). Never changes once
 /// shipped; serialized into RunReport JSON.
 const char *errorCodeName(ErrorCode Code);
+
+/// The inverse mapping, for wire protocols that ship the name: returns
+/// the code for a stable name, or Internal for an unknown one (a newer
+/// peer may know codes this build does not).
+ErrorCode errorCodeFromName(const std::string &Name);
 
 /// An error code plus a human-readable message with layered context.
 /// Cheap to return by value; the Ok status carries no string.
@@ -107,6 +120,8 @@ public:
   }
 
   bool ok() const { return Error_.ok(); }
+  /// Boolean contexts test success: `if (auto Info = S.loadModule(P))`.
+  explicit operator bool() const { return ok(); }
   const Status &status() const { return Error_; }
 
   T &value() {

@@ -6,6 +6,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 
 using namespace barracuda;
 using namespace barracuda::support;
@@ -170,4 +172,343 @@ const std::string &Writer::str() const {
 std::string Writer::take() {
   assert(Stack.empty() && "unbalanced scopes at take()");
   return std::move(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent JSON parser over a borrowed string. All failures
+/// flow through fail(), which formats "offset N: <what>" so the serve
+/// layer can report exactly where a client frame went wrong.
+class Parser {
+public:
+  Parser(const std::string &Text, unsigned MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
+
+  Result<Value> run() {
+    skipSpace();
+    Value Root;
+    if (Status S = parseValue(Root); !S.ok())
+      return S;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing garbage after document");
+    return Root;
+  }
+
+private:
+  Status fail(const std::string &What) const {
+    return Status(ErrorCode::ProtocolError,
+                  formatString("offset %zu: ", Pos) + What);
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipSpace() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        return;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  Status expectWord(const char *Word) {
+    for (const char *P = Word; *P; ++P)
+      if (atEnd() || Text[Pos++] != *P)
+        return fail(std::string("expected '") + Word + "'");
+    return Status();
+  }
+
+  Status parseValue(Value &Out) {
+    if (Depth >= MaxDepth)
+      return fail("nesting too deep");
+    if (atEnd())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string Str;
+      if (Status S = parseString(Str); !S.ok())
+        return S;
+      Out = Value::string(std::move(Str));
+      return Status();
+    }
+    case 't':
+      Out = Value::boolean(true);
+      return expectWord("true");
+    case 'f':
+      Out = Value::boolean(false);
+      return expectWord("false");
+    case 'n':
+      Out = Value::null();
+      return expectWord("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  Status parseObject(Value &Out) {
+    ++Pos; // '{'
+    ++Depth;
+    Out = Value::object();
+    skipSpace();
+    if (consume('}')) {
+      --Depth;
+      return Status();
+    }
+    while (true) {
+      skipSpace();
+      if (atEnd() || peek() != '"')
+        return fail("expected '\"' to start object key");
+      std::string Key;
+      if (Status S = parseString(Key); !S.ok())
+        return S;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipSpace();
+      Value Member;
+      if (Status S = parseValue(Member); !S.ok())
+        return S;
+      Out.set(std::move(Key), std::move(Member));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}')) {
+        --Depth;
+        return Status();
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parseArray(Value &Out) {
+    ++Pos; // '['
+    ++Depth;
+    Out = Value::array();
+    skipSpace();
+    if (consume(']')) {
+      --Depth;
+      return Status();
+    }
+    while (true) {
+      skipSpace();
+      Value Item;
+      if (Status S = parseValue(Item); !S.ok())
+        return S;
+      Out.push(std::move(Item));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']')) {
+        --Depth;
+        return Status();
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return Status();
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (atEnd())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          if (atEnd())
+            return fail("truncated \\u escape");
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the code point. Surrogate pairs are not combined
+        // (the protocol is ASCII plus escaped control characters); lone
+        // surrogates encode as-is rather than erroring.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+  }
+
+  Status parseNumber(Value &Out) {
+    size_t Start = Pos;
+    bool Negative = consume('-');
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return fail("expected a value");
+    while (!atEnd() && peek() >= '0' && peek() <= '9')
+      ++Pos;
+    bool Integral = true;
+    if (consume('.')) {
+      Integral = false;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("expected digits after decimal point");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("expected digits in exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    std::string Lexeme = Text.substr(Start, Pos - Start);
+    if (Integral && !Negative) {
+      // Exact u64 path so device addresses survive the round trip.
+      uint64_t UInt = 0;
+      bool Overflow = Lexeme.size() > 20;
+      for (char D : Lexeme) {
+        if (UInt > (UINT64_MAX - static_cast<uint64_t>(D - '0')) / 10) {
+          Overflow = true;
+          break;
+        }
+        UInt = UInt * 10 + static_cast<uint64_t>(D - '0');
+      }
+      if (!Overflow) {
+        Out = Value::number(UInt);
+        return Status();
+      }
+    }
+    Out = Value::number(std::strtod(Lexeme.c_str(), nullptr));
+    return Status();
+  }
+
+  const std::string &Text;
+  unsigned MaxDepth;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+Result<Value> json::parse(const std::string &Text, unsigned MaxDepth) {
+  return Parser(Text, MaxDepth).run();
+}
+
+static void dumpInto(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::Kind::Number:
+    if (V.isU64())
+      Out += formatString("%llu",
+                          static_cast<unsigned long long>(V.asU64()));
+    else
+      Out += formatString("%g", V.asDouble());
+    break;
+  case Value::Kind::String:
+    Out += "\"" + json::escape(V.asString()) + "\"";
+    break;
+  case Value::Kind::Array: {
+    Out += "[";
+    bool First = true;
+    for (const Value &Item : V.items()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      dumpInto(Item, Out);
+    }
+    Out += "]";
+    break;
+  }
+  case Value::Kind::Object: {
+    Out += "{";
+    bool First = true;
+    for (const auto &[Key, Member] : V.members()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\"" + json::escape(Key) + "\":";
+      dumpInto(Member, Out);
+    }
+    Out += "}";
+    break;
+  }
+  }
+}
+
+std::string Value::dump() const {
+  std::string Out;
+  dumpInto(*this, Out);
+  return Out;
 }

@@ -29,8 +29,12 @@
 #ifndef BARRACUDA_SUPPORT_JSON_H
 #define BARRACUDA_SUPPORT_JSON_H
 
+#include "support/Error.h"
+
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace barracuda {
@@ -87,6 +91,130 @@ private:
   /// True immediately after key(): the next value continues the line.
   bool AfterKey = false;
 };
+
+/// A parsed JSON value — the read side of the serve protocol (every
+/// other surface only writes). A small recursive-descent DOM: objects
+/// keep member order, numbers remember whether they were written as
+/// unsigned integers so 64-bit device addresses round-trip exactly.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Flag; }
+  /// The numeric value as a double (integers are exact up to 2^53).
+  double asDouble() const { return Num; }
+  /// The numeric value as u64. Exact when the input was a non-negative
+  /// integer literal; otherwise truncates the double form.
+  uint64_t asU64() const {
+    return IsUInt ? UInt : static_cast<uint64_t>(Num);
+  }
+  /// True when the number was a non-negative integer literal (no '.',
+  /// 'e' or '-'), i.e. asU64() is exact.
+  bool isU64() const { return IsUInt; }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, Member] : Members)
+      if (Name == Key)
+        return &Member;
+    return nullptr;
+  }
+
+  // --- typed member accessors with defaults (serve request decoding) ---
+  bool getBool(const std::string &Key, bool Default = false) const {
+    const Value *Member = get(Key);
+    return Member && Member->isBool() ? Member->asBool() : Default;
+  }
+  uint64_t getU64(const std::string &Key, uint64_t Default = 0) const {
+    const Value *Member = get(Key);
+    return Member && Member->isNumber() ? Member->asU64() : Default;
+  }
+  std::string getString(const std::string &Key,
+                        const std::string &Default = std::string()) const {
+    const Value *Member = get(Key);
+    return Member && Member->isString() ? Member->asString() : Default;
+  }
+
+  static Value null() { return Value(); }
+  static Value boolean(bool Flag) {
+    Value V;
+    V.K = Kind::Bool;
+    V.Flag = Flag;
+    return V;
+  }
+  static Value number(double Num) {
+    Value V;
+    V.K = Kind::Number;
+    V.Num = Num;
+    return V;
+  }
+  static Value number(uint64_t UInt) {
+    Value V;
+    V.K = Kind::Number;
+    V.UInt = UInt;
+    V.Num = static_cast<double>(UInt);
+    V.IsUInt = true;
+    return V;
+  }
+  static Value string(std::string Text) {
+    Value V;
+    V.K = Kind::String;
+    V.Str = std::move(Text);
+    return V;
+  }
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  void push(Value Item) { Items.push_back(std::move(Item)); }
+  void set(std::string Key, Value Member) {
+    Members.emplace_back(std::move(Key), std::move(Member));
+  }
+
+  /// Renders this value as compact single-line JSON — the serve wire
+  /// format, where one frame is one '\n'-terminated line (Writer stays
+  /// the pretty-printing surface for reports).
+  std::string dump() const;
+
+private:
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Num = 0;
+  uint64_t UInt = 0;
+  bool IsUInt = false;
+  std::string Str;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Failures return ProtocolError with the
+/// byte offset: "offset 17: expected ':' after object key". \p MaxDepth
+/// bounds nesting so a hostile frame cannot blow the stack.
+Result<Value> parse(const std::string &Text, unsigned MaxDepth = 64);
 
 } // namespace json
 } // namespace support

@@ -67,9 +67,9 @@ TEST(Concurrency, ManyQueuesAndManyBlocks) {
   Session S(Options);
   ASSERT_TRUE(S.loadModule(Base->Ptx)) << S.error();
   uint64_t Data = S.alloc(64), Lock = S.alloc(64);
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       Base->KernelName, sim::Dim3(96), sim::Dim3(32), {Data, Lock});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   EXPECT_FALSE(S.anyRaces())
       << (S.races().empty() ? std::string() : S.races()[0].describe());
   EXPECT_EQ(S.readU32(Data), 96u); // one increment per block
@@ -88,9 +88,9 @@ TEST(Concurrency, TicketOrderingSurvivesSmallQueues) {
   Session S(Options);
   ASSERT_TRUE(S.loadModule(Program->Ptx)) << S.error();
   uint64_t Data = S.alloc(64), Flag = S.alloc(64);
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       Program->KernelName, Program->Grid, Program->Block, {Data, Flag});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   EXPECT_FALSE(S.anyRaces());
 }
 
@@ -107,7 +107,7 @@ TEST(Concurrency, DistinctRaceKeysStableAcrossThreadedRuns) {
     uint64_t Buf = S.alloc(4 * 256);
     ASSERT_TRUE(S.launchKernel(Program->KernelName, Program->Grid,
                                Program->Block, {Buf, 256})
-                    .Ok);
+                    .ok());
     std::set<std::tuple<uint32_t, int, int, int, int>> Keys;
     for (const auto &Race : S.races())
       Keys.insert({Race.Pc, static_cast<int>(Race.Current),

@@ -54,9 +54,9 @@ TEST(EndToEnd, InterBlockWriteRaceDetected) {
   Session S;
   ASSERT_TRUE(S.loadModule(RacyKernel)) << S.error();
   uint64_t Out = S.alloc(64);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("racy", sim::Dim3(4), sim::Dim3(32), {Out});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   ASSERT_TRUE(S.anyRaces());
   bool SawInterBlock = false;
   for (const auto &Race : S.races())
@@ -72,9 +72,9 @@ TEST(EndToEnd, SameValueIntraWarpWritesFiltered) {
   Session S;
   ASSERT_TRUE(S.loadModule(RacyKernel)) << S.error();
   uint64_t Out = S.alloc(64);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("racy", sim::Dim3(1), sim::Dim3(32), {Out});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   // One warp, one block, identical values: no race at all.
   EXPECT_FALSE(S.anyRaces()) << S.races()[0].describe();
 }
@@ -83,9 +83,9 @@ TEST(EndToEnd, RaceFreeKernelIsQuiet) {
   Session S;
   ASSERT_TRUE(S.loadModule(RaceFreeKernel)) << S.error();
   uint64_t Out = S.alloc(4 * 32 * 8);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("ok", sim::Dim3(8), sim::Dim3(32), {Out});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   EXPECT_FALSE(S.anyRaces()) << S.races()[0].describe();
   // The kernel actually ran: out[i] == i.
   EXPECT_EQ(S.readU32(Out + 0), 0u);
@@ -99,10 +99,10 @@ TEST(EndToEnd, NativeSessionRunsWithoutDetection) {
   Session S(Options);
   ASSERT_TRUE(S.loadModule(RaceFreeKernel)) << S.error();
   uint64_t Out = S.alloc(4 * 64);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("ok", sim::Dim3(2), sim::Dim3(32), {Out});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
-  EXPECT_EQ(Result.RecordsLogged, 0u);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  EXPECT_EQ(Result.value().RecordsLogged, 0u);
   EXPECT_EQ(S.readU32(Out + 4 * 63), 63u);
 }
 

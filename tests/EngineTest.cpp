@@ -94,9 +94,9 @@ TEST(Engine, PoolReusedAcrossSequentialLaunches) {
   uint64_t Bins = S.alloc(64);
   constexpr unsigned Launches = 10;
   for (unsigned I = 0; I != Launches; ++I) {
-    sim::LaunchResult Result =
+    support::Result<sim::LaunchResult> Result =
         S.launchKernel("hist_racy", sim::Dim3(4), sim::Dim3(64), {Bins});
-    ASSERT_TRUE(Result.Ok) << Result.Error;
+    ASSERT_TRUE(Result.ok()) << Result.status().message();
   }
   EXPECT_TRUE(S.anyRaces());
   // The pool was built once and leased to every launch: no per-launch
@@ -136,10 +136,10 @@ TEST(Engine, ConcurrentStreamsMatchSerialRaces) {
     uint64_t RacyBins = S.alloc(64), SafeBins = S.alloc(64);
     ASSERT_TRUE(
         S.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {RacyBins})
-            .Ok);
+            .ok());
     ASSERT_TRUE(
         S.launchKernel("hist_safe", sim::Dim3(4), sim::Dim3(64), {SafeBins})
-            .Ok);
+            .ok());
     Serial = raceKeys(S);
   }
   ASSERT_FALSE(Serial.empty());
@@ -157,8 +157,8 @@ TEST(Engine, ConcurrentStreamsMatchSerialRaces) {
                                           sim::Dim3(64), {RacyBins});
     auto SafeResult = S.launchKernelAsync(B, "hist_safe", sim::Dim3(4),
                                           sim::Dim3(64), {SafeBins});
-    ASSERT_TRUE(RacyResult.get().Ok);
-    ASSERT_TRUE(SafeResult.get().Ok);
+    ASSERT_TRUE(RacyResult.get().ok());
+    ASSERT_TRUE(SafeResult.get().ok());
     S.synchronize();
     EXPECT_EQ(raceKeys(S), Serial) << "run " << Run;
     // The safe kernel's atomic increments survive concurrency intact.
@@ -191,9 +191,9 @@ TEST(Engine, TinyQueueBackpressureCompletes) {
   Session S(Options);
   ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
   uint64_t Bins = S.alloc(64);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("hist_racy", sim::Dim3(4), sim::Dim3(64), {Bins});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   EXPECT_TRUE(S.anyRaces());
   // The counting sink saw the launch's records.
   EXPECT_GT(S.report().Records.Memory, 0u);
@@ -214,13 +214,13 @@ TEST(Engine, RelaunchReportsDoNotAccumulate) {
   ASSERT_TRUE(S.launchKernelAsync(Lane, "hist_safe", sim::Dim3(4),
                                   sim::Dim3(64), {Bins})
                   .get()
-                  .Ok);
+                  .ok());
   RunReport First = S.report();
 
   ASSERT_TRUE(S.launchKernelAsync(Lane, "hist_safe", sim::Dim3(4),
                                   sim::Dim3(64), {Bins})
                   .get()
-                  .Ok);
+                  .ok());
   RunReport Second = S.report();
 
   EXPECT_GT(First.Records.Processed, 0u);
@@ -267,8 +267,8 @@ TEST(Engine, TinyQueueBackpressureWithConcurrentStreams) {
                                 sim::Dim3(64), {BinsA});
   auto RB = S.launchKernelAsync(B, "hist_racy", sim::Dim3(4),
                                 sim::Dim3(64), {BinsB});
-  ASSERT_TRUE(RA.get().Ok);
-  ASSERT_TRUE(RB.get().Ok);
+  ASSERT_TRUE(RA.get().ok());
+  ASSERT_TRUE(RB.get().ok());
   S.synchronize();
   EXPECT_TRUE(S.anyRaces());
 }

@@ -250,9 +250,9 @@ TEST(Profiler, AttributesDynamicInstructionsExactly) {
   Session S(Options);
   ASSERT_TRUE(S.loadModule(ProfiledKernel)) << S.error();
   uint64_t Buf = S.alloc(4096);
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       "profiled", sim::Dim3(4), sim::Dim3(64), {Buf, 200});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
 
   RunReport Report = S.report();
   ASSERT_TRUE(Report.Profile.Enabled);
@@ -262,8 +262,8 @@ TEST(Profiler, AttributesDynamicInstructionsExactly) {
 
   // Every dynamic warp instruction the machine counted carries a pc, so
   // attribution is exact (and trivially >= the 95% acceptance bar).
-  EXPECT_EQ(Profile.TotalDynamic, Result.WarpInstructions);
-  EXPECT_EQ(Profile.totalAttributed(), Result.WarpInstructions);
+  EXPECT_EQ(Profile.TotalDynamic, Result.value().WarpInstructions);
+  EXPECT_EQ(Profile.totalAttributed(), Result.value().WarpInstructions);
   EXPECT_DOUBLE_EQ(Report.Profile.attributedFraction(), 1.0);
 
   // The guarded store ran with live lanes -> memory ops recorded; the
@@ -278,9 +278,9 @@ TEST(Profiler, AttributesDynamicInstructionsExactly) {
 
   // Determinism: an identical launch reproduces identical counters
   // (the report resets the profiler per launch).
-  sim::LaunchResult Again = S.launchKernel(
+  support::Result<sim::LaunchResult> Again = S.launchKernel(
       "profiled", sim::Dim3(4), sim::Dim3(64), {Buf, 200});
-  ASSERT_TRUE(Again.Ok) << Again.Error;
+  ASSERT_TRUE(Again.ok()) << Again.status().message();
   RunReport Second = S.report();
   ASSERT_EQ(Second.Profile.Kernels.size(), 1u);
   EXPECT_EQ(Second.Profile.Kernels.front().Executed, Profile.Executed);
@@ -294,7 +294,7 @@ TEST(Profiler, FoldedStacksCoverEveryExecutedPc) {
   uint64_t Buf = S.alloc(4096);
   ASSERT_TRUE(S.launchKernel("profiled", sim::Dim3(2), sim::Dim3(32),
                              {Buf, 64})
-                  .Ok);
+                  .ok());
 
   RunReport Report = S.report();
   std::string Folded = Report.foldedStacks();
@@ -334,7 +334,7 @@ TEST(Profiler, FoldedStacksIdenticalUnderLowering) {
     uint64_t Buf = S.alloc(4096);
     EXPECT_TRUE(S.launchKernel("profiled", sim::Dim3(4), sim::Dim3(64),
                                {Buf, 200})
-                    .Ok);
+                    .ok());
     RunReport Report = S.report();
     WasLowered = Report.Launch.SimLowered;
     Fraction = Report.Profile.attributedFraction();
@@ -359,7 +359,7 @@ TEST(Profiler, DetachedSessionsCarryNoProfile) {
   uint64_t Buf = S.alloc(4096);
   ASSERT_TRUE(S.launchKernel("profiled", sim::Dim3(2), sim::Dim3(32),
                              {Buf, 64})
-                  .Ok);
+                  .ok());
   RunReport Report = S.report();
   EXPECT_FALSE(Report.Profile.Enabled);
   EXPECT_TRUE(Report.Profile.Kernels.empty());
@@ -373,7 +373,7 @@ TEST(Profiler, RuleLatencySectionNamesKinds) {
   uint64_t Buf = S.alloc(4096);
   ASSERT_TRUE(S.launchKernel("profiled", sim::Dim3(4), sim::Dim3(64),
                              {Buf, 256})
-                  .Ok);
+                  .ok());
   RunReport Report = S.report();
   ASSERT_TRUE(Report.Profile.Enabled);
   ASSERT_FALSE(Report.Profile.Rules.empty());
@@ -395,7 +395,7 @@ TEST(Session, ExporterWritesLiveSnapshots) {
   for (int I = 0; I != 5; ++I)
     ASSERT_TRUE(S.launchKernel("profiled", sim::Dim3(4), sim::Dim3(64),
                                {Buf, 200})
-                    .Ok);
+                    .ok());
   obs::Exporter *Exporter = S.exporter();
   ASSERT_NE(Exporter, nullptr);
   EXPECT_TRUE(Exporter->running());

@@ -56,7 +56,8 @@ LOOP:
 )";
 
 struct RunOutcome {
-  sim::LaunchResult Result;
+  bool Ok = false;
+  support::Status Error;
   RunReport Report;
 };
 
@@ -73,8 +74,10 @@ RunOutcome runRacy(SessionOptions Options,
     return Out;
   }
   uint64_t Buf = S.alloc(64);
-  Out.Result = S.launchKernel("fault_racy", sim::Dim3(8), sim::Dim3(64),
-                              {Buf});
+  support::Result<sim::LaunchResult> Result =
+      S.launchKernel("fault_racy", sim::Dim3(8), sim::Dim3(64), {Buf});
+  Out.Ok = Result.ok();
+  Out.Error = Result.status();
   Out.Report = S.report();
   return Out;
 }
@@ -94,7 +97,7 @@ void expectExactAccounting(const RunOutcome &Out) {
 
 TEST(FaultMatrix, CleanBaseline) {
   RunOutcome Out = runRacy(SessionOptions(), {});
-  ASSERT_TRUE(Out.Result.Ok) << Out.Result.Error;
+  ASSERT_TRUE(Out.Ok) << Out.Error.message();
   EXPECT_FALSE(Out.Report.Resilience.Degraded);
   EXPECT_EQ(Out.Report.Resilience.RecordsDropped, 0u);
   EXPECT_FALSE(Out.Report.Races.empty());
@@ -102,8 +105,8 @@ TEST(FaultMatrix, CleanBaseline) {
 }
 
 TEST(FaultMatrix, EngineFaults) {
-  // Engine faults never fail the launch: the pipeline degrades, the
-  // watermark completes, and the books balance exactly.
+  // Engine faults never fail the launch: the pipeline routes around or
+  // degrades, the watermark completes, and the books balance exactly.
   for (const char *Kind : {"queue-stall", "consumer-death", "worker-throw"})
     for (uint64_t At : {uint64_t(0), uint64_t(50)})
       for (unsigned Queues : {1u, 2u}) {
@@ -113,7 +116,7 @@ TEST(FaultMatrix, EngineFaults) {
         SessionOptions Options;
         Options.NumQueues = Queues;
         RunOutcome Out = runRacy(Options, {Spec});
-        ASSERT_TRUE(Out.Result.Ok) << Out.Result.Error;
+        ASSERT_TRUE(Out.Ok) << Out.Error.message();
         expectExactAccounting(Out);
         const RunReport::ResilienceSection &R = Out.Report.Resilience;
         EXPECT_EQ(R.FaultsInjected, 1u);
@@ -135,23 +138,42 @@ TEST(FaultMatrix, EngineFaults) {
         }
         if (std::string(Kind) == "consumer-death" && At == 0) {
           EXPECT_EQ(R.FaultsHit, 1u);
-          EXPECT_TRUE(R.Degraded);
           EXPECT_GE(R.QueuesAbandoned, 1u);
+          if (Queues == 1) {
+            // No live queue to route around: records are rejected at
+            // the producer and the launch degrades.
+            EXPECT_TRUE(R.Degraded);
+          } else {
+            // The queue died before the launch began, so the route
+            // table steered every block to the surviving queue:
+            // lossless, clean, findings intact.
+            EXPECT_FALSE(R.Degraded);
+            EXPECT_GE(R.QueuesRerouted, 1u);
+            EXPECT_EQ(R.RecordsDropped, 0u);
+            EXPECT_EQ(R.RecordsRejected, 0u);
+            EXPECT_FALSE(Out.Report.Races.empty());
+          }
         }
       }
 }
 
 TEST(FaultMatrix, ConsumerDeathPinnedToQueue) {
-  // ":q=1" pins the death to the second queue; the first keeps serving.
+  // ":q=1" pins the death to the second queue before the launch begins;
+  // the route table steers queue 1's blocks to queue 0, so the launch
+  // stays lossless and clean.
   SessionOptions Options;
   Options.NumQueues = 2;
   RunOutcome Out = runRacy(Options, {"consumer-death:q=1"});
-  ASSERT_TRUE(Out.Result.Ok) << Out.Result.Error;
+  ASSERT_TRUE(Out.Ok) << Out.Error.message();
   expectExactAccounting(Out);
   EXPECT_EQ(Out.Report.Resilience.QueuesAbandoned, 1u);
-  EXPECT_TRUE(Out.Report.Resilience.Degraded);
-  // Blocks routed to queue 0 were still detected.
-  EXPECT_GE(Out.Report.Records.Processed, 1u);
+  EXPECT_EQ(Out.Report.Resilience.QueuesRerouted, 1u);
+  EXPECT_FALSE(Out.Report.Resilience.Degraded);
+  EXPECT_EQ(Out.Report.Resilience.RecordsDropped, 0u);
+  EXPECT_EQ(Out.Report.Resilience.RecordsRejected, 0u);
+  // Every record still reached the detector through queue 0.
+  EXPECT_EQ(Out.Report.Records.Processed, Out.Report.Launch.RecordsLogged);
+  EXPECT_FALSE(Out.Report.Races.empty());
 }
 
 TEST(FaultMatrix, MachineFaultsConvertToKernelHang) {
@@ -164,9 +186,9 @@ TEST(FaultMatrix, MachineFaultsConvertToKernelHang) {
       Options.NumQueues = Queues;
       Options.Machine.MaxWarpInstructions = 20000;
       RunOutcome Out = runRacy(Options, {Kind});
-      ASSERT_FALSE(Out.Result.Ok);
-      EXPECT_EQ(Out.Result.Code, support::ErrorCode::KernelHang);
-      EXPECT_NE(Out.Result.FailPc, sim::LaunchResult::InvalidPc);
+      ASSERT_FALSE(Out.Ok);
+      EXPECT_EQ(Out.Error.code(), support::ErrorCode::KernelHang);
+      EXPECT_NE(Out.Report.Launch.FailPc, sim::LaunchResult::InvalidPc);
       EXPECT_EQ(Out.Report.Launch.Code, support::ErrorCode::KernelHang);
       EXPECT_EQ(Out.Report.Resilience.WatchdogTrips, 1u);
       EXPECT_EQ(Out.Report.Resilience.FaultsHit, 1u);
@@ -191,7 +213,7 @@ TEST(FaultMatrix, WriterFaultsAreCaughtOnReplay) {
       SessionOptions Options;
       Options.RecordTracePath = Path;
       RunOutcome Out = runRacy(Options, {Spec});
-      ASSERT_TRUE(Out.Result.Ok) << Out.Result.Error;
+      ASSERT_TRUE(Out.Ok) << Out.Error.message();
       EXPECT_EQ(Out.Report.Resilience.RecordsCorrupted, 1u);
       EXPECT_TRUE(Out.Report.Resilience.Degraded);
       EXPECT_EQ(Out.Report.Resilience.FaultsHit, 1u);

@@ -67,7 +67,7 @@ TEST(Inliner, InlinesAndComputesCorrectly) {
   for (const Instruction &Insn : S.module().Kernels[0].Body)
     EXPECT_NE(Insn.Op, Opcode::Call);
   uint64_t Out = S.alloc(4 * 32);
-  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).ok());
   for (uint32_t Tid = 0; Tid != 32; ++Tid) {
     uint32_t First = Tid * 3 + 7;        // scale_add(tid, 7)
     uint32_t Second = First * 3 + Tid;   // scale_add(first, tid)
@@ -111,7 +111,7 @@ KEEP:
   Session S;
   ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
   uint64_t Out = S.alloc(4 * 32);
-  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out}).ok());
   for (uint32_t Tid = 0; Tid != 32; ++Tid)
     EXPECT_EQ(S.readU32(Out + 4 * Tid), std::min(Tid, 10u));
 }
@@ -148,7 +148,7 @@ TEST(Inliner, NestedCallsInlineTransitively) {
   Session S;
   ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
   uint64_t Out = S.alloc(64);
-  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(1), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(1), sim::Dim3(1), {Out}).ok());
   EXPECT_EQ(S.readU32(Out), 20u);
 }
 
@@ -179,7 +179,7 @@ TEST(Inliner, RacesInsideDeviceFunctionsDetected) {
   Session S;
   ASSERT_TRUE(S.loadModule(Ptx)) << S.error();
   uint64_t Out = S.alloc(64);
-  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("k", sim::Dim3(2), sim::Dim3(32), {Out}).ok());
   EXPECT_TRUE(S.anyRaces());
 }
 

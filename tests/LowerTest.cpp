@@ -396,10 +396,10 @@ SessionOutcome runSession(const suite::SuiteProgram &Program,
       S.writeU32(Addr, Spec.InitWord);
     Params.push_back(Addr);
   }
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       Program.KernelName, Program.Grid, Program.Block, Params);
-  Out.Ok = Result.Ok;
-  Out.Code = Result.Code;
+  Out.Ok = Result.ok();
+  Out.Code = Result.status().code();
   Out.SimLowered = S.report().Launch.SimLowered;
   for (const detector::RaceReport &Race : S.races())
     Out.Races.push_back(Race.describe());

@@ -1,0 +1,590 @@
+//===- ServeTest.cpp - detection-as-a-service daemon -----------------------===//
+//
+// The serving layer's contract: the line protocol answers every
+// malformed frame with a typed error (never a hang, never a silent
+// close mid-frame), concurrent tenants multiplexed onto the one shared
+// engine get exactly the verdicts a standalone Session would produce,
+// admission refuses typed Overloaded at both the tenant quota and the
+// engine lease layer, and one tenant's injected faults never leak into
+// another tenant's reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "barracuda/Session.h"
+#include "runtime/Engine.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Format.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unistd.h>
+#include <vector>
+
+using namespace barracuda;
+using support::json::Value;
+
+namespace {
+
+// Same module as EngineTest: hist_racy is a deterministic race set when
+// run as one block (all records land in one queue), hist_safe is atomic
+// and race-free.
+const char *HistogramModule = R"(
+.version 4.3
+.target sm_35
+.address_size 64
+
+.visible .entry hist_racy(
+    .param .u64 bins
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [bins];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+    and.b32 %r5, %r4, 7;
+    cvt.u64.u32 %rd2, %r5;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r6, [%rd3];
+    add.u32 %r6, %r6, 1;
+    st.global.u32 [%rd3], %r6;
+    ret;
+}
+
+.visible .entry hist_safe(
+    .param .u64 bins
+)
+{
+    .reg .u64 %rd<4>;
+    .reg .u32 %r<8>;
+    ld.param.u64 %rd1, [bins];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mad.lo.u32 %r4, %r2, %r3, %r1;
+    and.b32 %r5, %r4, 7;
+    cvt.u64.u32 %rd2, %r5;
+    shl.b64 %rd2, %rd2, 2;
+    add.u64 %rd3, %rd1, %rd2;
+    atom.global.add.u32 %r6, [%rd3], 1;
+    ret;
+}
+)";
+
+/// A fresh socket path per test so parallel ctest runs never collide.
+std::string testSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  return support::formatString(
+      "/tmp/barracuda-serve-test-%d-%u.sock", static_cast<int>(getpid()),
+      Counter.fetch_add(1));
+}
+
+/// Distinct race identity as rendered in the RunReport JSON document:
+/// (pc, current, previous, space, scope). Counts and thread ids
+/// legitimately vary with interleaving; the key set must not.
+using DocRaceKey =
+    std::tuple<uint64_t, std::string, std::string, std::string,
+               std::string>;
+
+std::set<DocRaceKey> docRaceKeys(const Value &ReportDoc) {
+  std::set<DocRaceKey> Keys;
+  const Value *Races = ReportDoc.get("races");
+  if (!Races || !Races->isArray())
+    return Keys;
+  for (const Value &Race : Races->items())
+    Keys.insert({Race.getU64("pc"), Race.getString("current"),
+                 Race.getString("previous"), Race.getString("space"),
+                 Race.getString("scope")});
+  return Keys;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol framing: every malformed frame decodes to a typed error.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, MalformedFramesAreTypedErrors) {
+  struct Case {
+    const char *Frame;
+    const char *ExpectInMessage;
+  } Cases[] = {
+      {"{\"op\": \"hello\"", "offset"},                 // truncated JSON
+      {"[1, 2, 3]", "must be a JSON object"},            // non-object
+      {"{\"op\": \"hello\"}", "schemaVersion"},         // missing version
+      {"{\"schemaVersion\": 99, \"op\": \"hello\"}",
+       "unsupported schemaVersion"},                      // future version
+      {"{\"schemaVersion\": 1}", "missing \"op\""},     // no op
+      {"{\"schemaVersion\": 1, \"op\": \"divide\"}",
+       "unknown op"},                                     // unknown op
+      {"{\"schemaVersion\": 1, \"op\": \"launch\"}",
+       "requires a \"tenant\""},                          // tenant-less op
+  };
+  for (const Case &C : Cases) {
+    support::Result<serve::Request> Decoded = serve::parseRequest(C.Frame);
+    ASSERT_FALSE(Decoded.ok()) << C.Frame;
+    EXPECT_EQ(Decoded.status().code(), support::ErrorCode::ProtocolError)
+        << C.Frame;
+    EXPECT_NE(Decoded.status().message().find(C.ExpectInMessage),
+              std::string::npos)
+        << C.Frame << " -> " << Decoded.status().message();
+  }
+}
+
+TEST(ServeProtocol, OversizedFrameRefused) {
+  std::string Huge = "{\"schemaVersion\": 1, \"op\": \"hello\", \"pad\": \"";
+  Huge.append(serve::MaxFrameBytes, 'x');
+  Huge += "\"}";
+  support::Result<serve::Request> Decoded = serve::parseRequest(Huge);
+  ASSERT_FALSE(Decoded.ok());
+  EXPECT_EQ(Decoded.status().code(), support::ErrorCode::ProtocolError);
+  EXPECT_NE(Decoded.status().message().find("cap"), std::string::npos);
+}
+
+TEST(ServeProtocol, TenantlessOpsAndFieldPassthrough) {
+  support::Result<serve::Request> Hello =
+      serve::parseRequest("{\"schemaVersion\": 1, \"op\": \"stats\"}");
+  ASSERT_TRUE(Hello.ok()) << Hello.status().describe();
+  EXPECT_EQ(Hello.value().O, serve::Op::Stats);
+
+  support::Result<serve::Request> Launch = serve::parseRequest(
+      "{\"schemaVersion\": 1, \"op\": \"launch\", \"tenant\": \"a\", "
+      "\"kernel\": \"k\", \"grid\": [2, 1, 1], \"block\": 64}");
+  ASSERT_TRUE(Launch.ok()) << Launch.status().describe();
+  EXPECT_EQ(Launch.value().O, serve::Op::Launch);
+  EXPECT_EQ(Launch.value().Tenant, "a");
+  EXPECT_EQ(Launch.value().Body.getString("kernel"), "k");
+}
+
+TEST(ServeProtocol, ResponseRoundTrip) {
+  Value Payload = Value::object();
+  Payload.set("addr", Value::number(static_cast<uint64_t>(1) << 40));
+  std::string Ok = serve::okResponse(serve::Op::Alloc, Payload);
+  // Wire frames are single lines.
+  EXPECT_EQ(Ok.find('\n'), std::string::npos);
+  support::Result<Value> Decoded = serve::parseResponse(Ok);
+  ASSERT_TRUE(Decoded.ok()) << Decoded.status().describe();
+  EXPECT_EQ(Decoded.value().getString("op"), "alloc");
+  // 64-bit addresses survive the round trip exactly.
+  EXPECT_EQ(Decoded.value().getU64("addr"), static_cast<uint64_t>(1) << 40);
+
+  std::string Err = serve::errorResponse(
+      "launch", support::Status(support::ErrorCode::Overloaded,
+                                "8 launches already in flight"));
+  support::Result<Value> Refused = serve::parseResponse(Err);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), support::ErrorCode::Overloaded);
+  EXPECT_EQ(Refused.status().message(), "8 launches already in flight");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end over the socket.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, HelloMemoryOpsAndBlockingLaunch) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 2;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+
+  support::Result<Value> Hello = C.hello();
+  ASSERT_TRUE(Hello.ok()) << Hello.status().describe();
+  EXPECT_EQ(Hello.value().getString("server"), "barracuda-serve");
+  EXPECT_EQ(Hello.value().getU64("queues"), 2u);
+
+  support::Result<std::vector<std::string>> Kernels =
+      C.loadModule("t0", HistogramModule);
+  ASSERT_TRUE(Kernels.ok()) << Kernels.status().describe();
+  EXPECT_EQ(Kernels.value(),
+            (std::vector<std::string>{"hist_racy", "hist_safe"}));
+
+  support::Result<uint64_t> Bins = C.alloc("t0", 64);
+  ASSERT_TRUE(Bins.ok()) << Bins.status().describe();
+  ASSERT_NE(Bins.value(), 0u);
+  EXPECT_TRUE(C.writeU32("t0", Bins.value(), 41).ok());
+  support::Result<uint32_t> Word = C.readU32("t0", Bins.value());
+  ASSERT_TRUE(Word.ok());
+  EXPECT_EQ(Word.value(), 41u);
+
+  support::Result<Value> Launch =
+      C.launch("t0", "hist_racy", sim::Dim3(1), sim::Dim3(64),
+               {Bins.value()}, /*WantReport=*/true);
+  ASSERT_TRUE(Launch.ok()) << Launch.status().describe();
+  EXPECT_TRUE(Launch.value().getBool("ok"));
+  EXPECT_EQ(Launch.value().getU64("threads"), 64u);
+  EXPECT_GT(Launch.value().getU64("recordsLogged"), 0u);
+  EXPECT_GT(Launch.value().getU64("racesTotal"), 0u);
+  EXPECT_FALSE(Launch.value().getBool("degraded"));
+  // The embedded per-request RunReport is the full schema-2 document.
+  const Value *Doc = Launch.value().get("report");
+  ASSERT_NE(Doc, nullptr);
+  EXPECT_EQ(Doc->getU64("schemaVersion"), 2u);
+  EXPECT_FALSE(docRaceKeys(*Doc).empty());
+
+  // The report op returns the same document shape.
+  support::Result<Value> Report = C.report("t0");
+  ASSERT_TRUE(Report.ok()) << Report.status().describe();
+  const Value *ReportDoc = Report.value().get("report");
+  ASSERT_NE(ReportDoc, nullptr);
+  EXPECT_EQ(docRaceKeys(*ReportDoc), docRaceKeys(*Doc));
+
+  support::Result<Value> Stats = C.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats.value().getU64("tenants"), 1u);
+  EXPECT_GE(Stats.value().getU64("launchesBegun"), 1u);
+
+  EXPECT_TRUE(C.shutdown().ok());
+  Server.stop();
+  EXPECT_TRUE(Server.shutdownRequested());
+}
+
+TEST(ServeServer, TypedErrorsOverTheSocket) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+
+  // Launch before any module: InvalidLaunch, connection stays usable.
+  support::Result<Value> NoModule =
+      C.launch("t0", "hist_racy", sim::Dim3(1), sim::Dim3(32));
+  ASSERT_FALSE(NoModule.ok());
+  EXPECT_EQ(NoModule.status().code(), support::ErrorCode::InvalidLaunch);
+
+  // A module that does not verify: ModuleInvalid.
+  support::Result<std::vector<std::string>> Bad =
+      C.loadModule("t0", ".version 4.3\n.target sm_35\nGARBAGE");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), support::ErrorCode::ModuleInvalid);
+
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  support::Result<Value> Unknown =
+      C.launch("t0", "no_such_kernel", sim::Dim3(1), sim::Dim3(32));
+  ASSERT_FALSE(Unknown.ok());
+  EXPECT_EQ(Unknown.status().code(), support::ErrorCode::InvalidLaunch);
+
+  // Unknown poll ticket: typed, not a hang.
+  support::Result<Value> Poll = C.poll("t0", 999);
+  ASSERT_FALSE(Poll.ok());
+  EXPECT_EQ(Poll.status().code(), support::ErrorCode::InvalidLaunch);
+
+  // The connection survived every typed refusal above.
+  support::Result<uint64_t> Bins = C.alloc("t0", 64);
+  ASSERT_TRUE(Bins.ok());
+  support::Result<Value> Launch =
+      C.launch("t0", "hist_safe", sim::Dim3(2), sim::Dim3(64),
+               {Bins.value()});
+  ASSERT_TRUE(Launch.ok()) << Launch.status().describe();
+  EXPECT_TRUE(Launch.value().getBool("ok"));
+  EXPECT_EQ(Launch.value().getU64("racesTotal"), 0u);
+  Server.stop();
+}
+
+TEST(ServeServer, OversizedFrameAnswersTypedAndCloses) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.MaxFrameBytes = 1024;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  // A frame that outgrows the cap before its newline arrives (larger
+  // than one recv chunk) can never be framed: the server answers
+  // ProtocolError and drops the connection.
+  Value Big = Value::object();
+  Big.set("op", Value::string("hello"));
+  Big.set("pad", Value::string(std::string(8192, 'x')));
+  support::Result<Value> Refused = C.call(Big);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), support::ErrorCode::ProtocolError);
+  // Framing is lost, so the connection is gone; a fresh one works.
+  EXPECT_FALSE(C.hello().ok());
+  serve::Client Fresh;
+  ASSERT_TRUE(Fresh.connect(Server.socketPath()).ok());
+  EXPECT_TRUE(Fresh.hello().ok());
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent tenants: byte-identical verdicts vs standalone Sessions.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ConcurrentTenantsMatchStandaloneSession) {
+  // Serial reference: a standalone Session running the same two
+  // launches (racy as one block for a deterministic race set, safe as
+  // four blocks for real queue overlap).
+  std::set<DocRaceKey> Reference;
+  {
+    Session S;
+    ASSERT_TRUE(S.loadModule(HistogramModule).ok()) << S.error();
+    uint64_t RacyBins = S.alloc(64), SafeBins = S.alloc(64);
+    ASSERT_TRUE(
+        S.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {RacyBins})
+            .ok());
+    ASSERT_TRUE(
+        S.launchKernel("hist_safe", sim::Dim3(4), sim::Dim3(64), {SafeBins})
+            .ok());
+    support::Result<Value> Doc = support::json::parse(S.report().toJson());
+    ASSERT_TRUE(Doc.ok()) << Doc.status().describe();
+    Reference = docRaceKeys(Doc.value());
+    ASSERT_FALSE(Reference.empty());
+  }
+
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 4;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  constexpr unsigned NumTenants = 4;
+  std::vector<std::set<DocRaceKey>> Verdicts(NumTenants);
+  std::vector<std::string> Failures(NumTenants);
+  std::vector<std::thread> Drivers;
+  for (unsigned I = 0; I != NumTenants; ++I)
+    Drivers.emplace_back([&, I] {
+      std::string Tenant = support::formatString("tenant-%u", I);
+      serve::Client C;
+      support::Status Connected = C.connect(Server.socketPath());
+      if (!Connected.ok()) {
+        Failures[I] = Connected.describe();
+        return;
+      }
+      if (!C.loadModule(Tenant, HistogramModule).ok()) {
+        Failures[I] = "load_module failed";
+        return;
+      }
+      uint64_t RacyBins = C.alloc(Tenant, 64).valueOr(0);
+      uint64_t SafeBins = C.alloc(Tenant, 64).valueOr(0);
+      support::Result<Value> Racy = C.launch(
+          Tenant, "hist_racy", sim::Dim3(1), sim::Dim3(64), {RacyBins});
+      if (!Racy.ok() || !Racy.value().getBool("ok")) {
+        Failures[I] = "racy launch failed: " + Racy.status().describe();
+        return;
+      }
+      support::Result<Value> Safe = C.launch(
+          Tenant, "hist_safe", sim::Dim3(4), sim::Dim3(64), {SafeBins});
+      if (!Safe.ok() || !Safe.value().getBool("ok")) {
+        Failures[I] = "safe launch failed: " + Safe.status().describe();
+        return;
+      }
+      if (Safe.value().getBool("degraded")) {
+        Failures[I] = "launch degraded under multiplexing";
+        return;
+      }
+      support::Result<Value> Report = C.report(Tenant);
+      const Value *Doc = Report.ok() ? Report.value().get("report") : nullptr;
+      if (!Doc) {
+        Failures[I] = "report failed: " + Report.status().describe();
+        return;
+      }
+      Verdicts[I] = docRaceKeys(*Doc);
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+
+  for (unsigned I = 0; I != NumTenants; ++I) {
+    EXPECT_TRUE(Failures[I].empty()) << "tenant " << I << ": " << Failures[I];
+    // Every tenant's verdict set equals the standalone Session's: the
+    // epochs multiplexed onto the shared pool never bled into each
+    // other and never lost a record.
+    EXPECT_EQ(Verdicts[I], Reference) << "tenant " << I;
+  }
+  EXPECT_EQ(Server.tenants().tenantCount(), NumTenants);
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Admission: tenant quota and engine leases both refuse typed.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, TenantQuotaRefusesTypedOverloaded) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.Tenant.MaxInFlight = 2;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  // Two async launches stay in flight until reaped by poll, so the
+  // third is deterministically over quota however fast they execute.
+  support::Result<uint64_t> T1 =
+      C.launchAsync("t0", "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+  support::Result<uint64_t> T2 =
+      C.launchAsync("t0", "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(T1.ok() && T2.ok());
+
+  support::Result<uint64_t> Third =
+      C.launchAsync("t0", "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+  ASSERT_FALSE(Third.ok());
+  EXPECT_EQ(Third.status().code(), support::ErrorCode::Overloaded);
+  EXPECT_NE(Third.status().message().find("quota"), std::string::npos);
+
+  // Reaping releases quota; the next launch is admitted again.
+  support::Result<Value> Done1 = C.pollUntilDone("t0", T1.value());
+  support::Result<Value> Done2 = C.pollUntilDone("t0", T2.value());
+  ASSERT_TRUE(Done1.ok() && Done2.ok());
+  EXPECT_TRUE(Done1.value().getBool("ok"));
+  EXPECT_TRUE(Done2.value().getBool("ok"));
+  support::Result<Value> Fourth =
+      C.launch("t0", "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Fourth.ok()) << Fourth.status().describe();
+  EXPECT_TRUE(Fourth.value().getBool("ok"));
+
+  // The refusal was counted, and nothing leaked into in-flight.
+  EXPECT_EQ(Server.tenants().acquire("t0").launchesRefused(), 1u);
+  EXPECT_EQ(Server.tenants().acquire("t0").inFlight(), 0u);
+  Server.stop();
+}
+
+TEST(ServeAdmission, EngineLeaseLimitRefusesTyped) {
+  // The engine-level half of admission, deterministic: hold one lease
+  // open and tryBegin a second under MaxLeasesInFlight=1.
+  runtime::Engine Engine;
+  detector::DetectorOptions DetOpts;
+  DetOpts.Hier = sim::ThreadHierarchy(
+      sim::LaunchConfig{sim::Dim3(1), sim::Dim3(32)});
+  runtime::Admission Limits;
+  Limits.MaxLeasesInFlight = 1;
+
+  detector::SharedDetectorState First(DetOpts);
+  std::shared_ptr<runtime::Launch> Held = Engine.begin(First);
+
+  detector::SharedDetectorState Second(DetOpts);
+  support::Result<std::shared_ptr<runtime::Launch>> Refused =
+      Engine.tryBegin(Second, Limits);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), support::ErrorCode::Overloaded);
+
+  Held->finish();
+  support::Result<std::shared_ptr<runtime::Launch>> Admitted =
+      Engine.tryBegin(Second, Limits);
+  ASSERT_TRUE(Admitted.ok()) << Admitted.status().describe();
+  Admitted.value()->finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Fault soak and per-tenant isolation.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ConsumerDeathSoakStaysClean) {
+  // An engine-side consumer death abandons one of the four queues; the
+  // route-around keeps every tenant's launches lossless, so the soak
+  // must end with zero degraded launches and full verdicts.
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 4;
+  ASSERT_TRUE(Options.EngineFaults.add("consumer-death").ok());
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  constexpr unsigned NumTenants = 2, Rounds = 5;
+  std::vector<std::string> Failures(NumTenants);
+  std::vector<std::thread> Drivers;
+  for (unsigned I = 0; I != NumTenants; ++I)
+    Drivers.emplace_back([&, I] {
+      std::string Tenant = support::formatString("soak-%u", I);
+      serve::Client C;
+      if (!C.connect(Server.socketPath()).ok() ||
+          !C.loadModule(Tenant, HistogramModule).ok()) {
+        Failures[I] = "setup failed";
+        return;
+      }
+      uint64_t Bins = C.alloc(Tenant, 64).valueOr(0);
+      for (unsigned Round = 0; Round != Rounds; ++Round) {
+        support::Result<Value> Launch = C.launch(
+            Tenant, "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+        if (!Launch.ok() || !Launch.value().getBool("ok")) {
+          Failures[I] = "round " + std::to_string(Round) +
+                        " failed: " + Launch.status().describe();
+          return;
+        }
+        if (Launch.value().getBool("degraded")) {
+          Failures[I] = "round " + std::to_string(Round) + " degraded";
+          return;
+        }
+        if (!Launch.value().getU64("racesTotal")) {
+          Failures[I] = "round " + std::to_string(Round) + " lost races";
+          return;
+        }
+        if (!Launch.value().getU64("queuesRerouted")) {
+          Failures[I] =
+              "round " + std::to_string(Round) + " did not reroute";
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+  for (unsigned I = 0; I != NumTenants; ++I)
+    EXPECT_TRUE(Failures[I].empty()) << "tenant " << I << ": " << Failures[I];
+  // The fault really fired: a queue was abandoned, yet nothing above
+  // was dropped or degraded.
+  EXPECT_GE(Server.engine().counters().QueuesAbandoned, 1u);
+  Server.stop();
+}
+
+TEST(ServeServer, TenantFaultIsolation) {
+  // Tenant "hung" loads its module with an injected kernel spin and a
+  // watchdog; its launches fail typed KernelHang. Tenant "clean" shares
+  // the same engine and must stay pristine.
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client Hung, Clean;
+  ASSERT_TRUE(Hung.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(Clean.connect(Server.socketPath()).ok());
+
+  ASSERT_TRUE(Hung.loadModule("hung", HistogramModule, {"kernel-spin"},
+                              /*WatchdogInstructions=*/20000)
+                  .ok());
+  ASSERT_TRUE(Clean.loadModule("clean", HistogramModule).ok());
+
+  uint64_t HungBins = Hung.alloc("hung", 64).valueOr(0);
+  uint64_t CleanBins = Clean.alloc("clean", 64).valueOr(0);
+
+  support::Result<Value> Spun = Hung.launch("hung", "hist_racy", sim::Dim3(1),
+                                            sim::Dim3(64), {HungBins});
+  ASSERT_FALSE(Spun.ok());
+  EXPECT_EQ(Spun.status().code(), support::ErrorCode::KernelHang);
+
+  support::Result<Value> Fine = Clean.launch(
+      "clean", "hist_racy", sim::Dim3(1), sim::Dim3(64), {CleanBins});
+  ASSERT_TRUE(Fine.ok()) << Fine.status().describe();
+  EXPECT_TRUE(Fine.value().getBool("ok"));
+  EXPECT_FALSE(Fine.value().getBool("degraded"));
+  EXPECT_GT(Fine.value().getU64("racesTotal"), 0u);
+
+  // The hang released its quota slot; the hung tenant's report is its
+  // own failure, not the clean tenant's verdict.
+  EXPECT_EQ(Server.tenants().acquire("hung").inFlight(), 0u);
+  support::Result<Value> CleanReport = Clean.report("clean");
+  ASSERT_TRUE(CleanReport.ok());
+  const Value *Doc = CleanReport.value().get("report");
+  ASSERT_NE(Doc, nullptr);
+  EXPECT_FALSE(docRaceKeys(*Doc).empty());
+  Server.stop();
+}

@@ -53,9 +53,9 @@ TEST(Session, CopyKernelEndToEnd) {
     Input[I] = I * 3 + 1;
   uint64_t Src = S.alloc(400), Dst = S.alloc(400);
   S.copyToDevice(Src, Input.data(), 400);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("copy", sim::Dim3(4), sim::Dim3(32), {Dst, Src, 100});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   std::vector<uint32_t> Output(100);
   S.copyFromDevice(Output.data(), Dst, 400);
   EXPECT_EQ(Output, Input);
@@ -66,15 +66,15 @@ TEST(Session, CopyKernelEndToEnd) {
 
 TEST(Session, LaunchErrors) {
   Session S;
-  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).Ok);
+  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).ok());
   ASSERT_TRUE(S.loadModule(CopyKernel)) << S.error();
   // Unknown kernel.
-  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).Ok);
+  EXPECT_FALSE(S.launchKernel("nope", sim::Dim3(1), sim::Dim3(1)).ok());
   // Wrong parameter count.
-  EXPECT_FALSE(S.launchKernel("copy", sim::Dim3(1), sim::Dim3(1), {}).Ok);
+  EXPECT_FALSE(S.launchKernel("copy", sim::Dim3(1), sim::Dim3(1), {}).ok());
   // Over-large block.
   EXPECT_FALSE(
-      S.launchKernel("copy", sim::Dim3(1), sim::Dim3(2048), {1, 2, 3}).Ok);
+      S.launchKernel("copy", sim::Dim3(1), sim::Dim3(2048), {1, 2, 3}).ok());
 }
 
 TEST(Session, ParseErrorsSurface) {
@@ -102,10 +102,10 @@ TEST(Session, RacesAccumulateAcrossLaunches) {
   Session S;
   ASSERT_TRUE(S.loadModule(Racy)) << S.error();
   uint64_t Out = S.alloc(64);
-  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).ok());
   size_t AfterFirst = S.races().size();
   EXPECT_GE(AfterFirst, 1u);
-  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).ok());
   EXPECT_GE(S.races().size(), AfterFirst * 2);
 }
 
@@ -160,7 +160,7 @@ TEST(Session, RaceReportsCarrySourceLines) {
   Session S;
   ASSERT_TRUE(S.loadModule(Racy)) << S.error();
   uint64_t Out = S.alloc(64);
-  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).Ok);
+  ASSERT_TRUE(S.launchKernel("racy", sim::Dim3(2), sim::Dim3(32), {Out}).ok());
   ASSERT_TRUE(S.anyRaces());
   // The racing store is on source line 12 of the module text above.
   EXPECT_EQ(S.races()[0].Line, 12u);
@@ -187,12 +187,12 @@ TEST(Session, DynamicPruningCounted) {
   Session S;
   ASSERT_TRUE(S.loadModule(Redundant)) << S.error();
   uint64_t Out = S.alloc(64);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("k", sim::Dim3(1), sim::Dim3(32), {Out});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   // The second and third loads are statically pruned: one warp executes
   // them once each.
-  EXPECT_EQ(Result.RecordsPruned, 2u);
+  EXPECT_EQ(Result.value().RecordsPruned, 2u);
   instrument::InstrumentationStats Stats = S.instrumentationStats();
   EXPECT_EQ(Stats.InstrumentedUnoptimized - Stats.InstrumentedOptimized,
             2u);

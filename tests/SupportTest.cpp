@@ -2,7 +2,9 @@
 
 #include "ptx/Parser.h"
 #include "ptx/Verifier.h"
+#include "support/Error.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/TableWriter.h"
 
@@ -118,6 +120,103 @@ TEST(Verifier, RejectsAtomWithoutOperation) {
   auto M = P.parseModule();
   ASSERT_NE(M, nullptr) << P.error();
   EXPECT_FALSE(ptx::verifyModule(*M).empty());
+}
+
+TEST(JsonParse, Scalars) {
+  auto R = support::json::parse("  42  ");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.value().isNumber());
+  EXPECT_TRUE(R.value().isU64());
+  EXPECT_EQ(R.value().asU64(), 42u);
+
+  EXPECT_TRUE(support::json::parse("true").value().asBool());
+  EXPECT_FALSE(support::json::parse("false").value().asBool());
+  EXPECT_TRUE(support::json::parse("null").value().isNull());
+  EXPECT_EQ(support::json::parse("\"hi\"").value().asString(), "hi");
+
+  auto Neg = support::json::parse("-3.5");
+  ASSERT_TRUE(Neg.ok());
+  EXPECT_FALSE(Neg.value().isU64());
+  EXPECT_DOUBLE_EQ(Neg.value().asDouble(), -3.5);
+
+  auto Exp = support::json::parse("1e3");
+  ASSERT_TRUE(Exp.ok());
+  EXPECT_DOUBLE_EQ(Exp.value().asDouble(), 1000.0);
+}
+
+TEST(JsonParse, U64AddressesAreExact) {
+  // Device addresses exceed 2^53; the double path would round them.
+  auto R = support::json::parse("18446744073709551615");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.value().isU64());
+  EXPECT_EQ(R.value().asU64(), UINT64_MAX);
+}
+
+TEST(JsonParse, ObjectsAndArrays) {
+  auto R = support::json::parse(
+      R"({"op": "launch", "grid": [4, 1, 1], "async": true, "addr": 140737488355328})");
+  ASSERT_TRUE(R.ok()) << R.status().describe();
+  const auto &V = R.value();
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.getString("op"), "launch");
+  EXPECT_TRUE(V.getBool("async"));
+  EXPECT_EQ(V.getU64("addr"), 140737488355328ull);
+  EXPECT_EQ(V.getU64("missing", 7), 7u);
+  EXPECT_EQ(V.get("nothere"), nullptr);
+  const support::json::Value *Grid = V.get("grid");
+  ASSERT_TRUE(Grid && Grid->isArray());
+  ASSERT_EQ(Grid->items().size(), 3u);
+  EXPECT_EQ(Grid->items()[0].asU64(), 4u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto R = support::json::parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value().asString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonParse, WriterRoundTrip) {
+  support::json::Writer W;
+  W.beginObject();
+  W.key("name").value("k\"ern\nel");
+  W.key("count").value(uint64_t(1) << 60);
+  W.key("nested").beginArray().value(1).value(true).endArray();
+  W.endObject();
+  auto R = support::json::parse(W.take());
+  ASSERT_TRUE(R.ok()) << R.status().describe();
+  EXPECT_EQ(R.value().getString("name"), "k\"ern\nel");
+  EXPECT_EQ(R.value().getU64("count"), uint64_t(1) << 60);
+}
+
+TEST(JsonParse, TypedErrorsWithOffsets) {
+  auto expectError = [](const std::string &Text) {
+    auto R = support::json::parse(Text);
+    ASSERT_FALSE(R.ok()) << Text;
+    EXPECT_EQ(R.status().code(), support::ErrorCode::ProtocolError);
+    EXPECT_NE(R.status().message().find("offset"), std::string::npos);
+  };
+  expectError("");
+  expectError("{");
+  expectError("{\"a\" 1}");
+  expectError("{\"a\": 1,}");
+  expectError("[1 2]");
+  expectError("\"unterminated");
+  expectError("tru");
+  expectError("01x");
+  expectError("{} trailing");
+  expectError("\"bad\\qescape\"");
+  expectError("12.");
+  expectError("1e");
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  auto R = support::json::parse(Deep, /*MaxDepth=*/64);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), support::ErrorCode::ProtocolError);
+  // Within the limit the same shape parses.
+  EXPECT_TRUE(support::json::parse(Deep, 128).ok());
 }
 
 TEST(Verifier, RejectsImmediateStoreTarget) {

@@ -79,7 +79,7 @@ TEST(TraceFile, ReplayMatchesLiveDetection) {
   uint64_t Buf = S.alloc(256);
   ASSERT_TRUE(S.launchKernel(Program->KernelName, Program->Grid,
                              Program->Block, {Buf})
-                  .Ok);
+                  .ok());
   ASSERT_TRUE(S.anyRaces());
 
   TraceReader Reader;

@@ -88,9 +88,9 @@ size_t racesAtWarpSize(const char *Ptx, uint32_t WarpSize) {
   Session S(Options);
   EXPECT_TRUE(S.loadModule(Ptx)) << S.error();
   uint64_t Out = S.alloc(4 * 32);
-  sim::LaunchResult Result =
+  support::Result<sim::LaunchResult> Result =
       S.launchKernel("exchange", sim::Dim3(1), sim::Dim3(32), {Out});
-  EXPECT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.ok()) << Result.status().message();
   return S.races().size();
 }
 
@@ -169,9 +169,9 @@ TEST_P(WidthRobustSuite, VerdictHoldsAtNarrowWidths) {
         S.writeU32(Addr, Spec.InitWord);
       Params.push_back(Addr);
     }
-    sim::LaunchResult Result = S.launchKernel(
+    support::Result<sim::LaunchResult> Result = S.launchKernel(
         Program->KernelName, Program->Grid, Program->Block, Params);
-    ASSERT_TRUE(Result.Ok) << Result.Error;
+    ASSERT_TRUE(Result.ok()) << Result.status().message();
     bool Problem = S.anyRaces() || !S.barrierErrors().empty();
     EXPECT_EQ(Problem, Program->expectProblem())
         << GetParam() << " at warp size " << WarpSize
@@ -205,7 +205,7 @@ TEST(WarpSize, InvalidWidthRejected) {
   ASSERT_TRUE(S.loadModule(WarpSynchronous));
   uint64_t Out = S.alloc(128);
   EXPECT_FALSE(
-      S.launchKernel("exchange", sim::Dim3(1), sim::Dim3(32), {Out}).Ok);
+      S.launchKernel("exchange", sim::Dim3(1), sim::Dim3(32), {Out}).ok());
 }
 
 } // namespace

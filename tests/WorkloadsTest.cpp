@@ -62,9 +62,9 @@ TEST(Generator, PlantedRacesAreFound) {
     Session S;
     ASSERT_TRUE(S.loadModule(Bench.Ptx)) << S.error();
     uint64_t Data = S.alloc(Bench.DataBytes);
-    sim::LaunchResult Result = S.launchKernel(
+    support::Result<sim::LaunchResult> Result = S.launchKernel(
         Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
-    ASSERT_TRUE(Result.Ok) << Result.Error;
+    ASSERT_TRUE(Result.ok()) << Result.status().message();
     EXPECT_EQ(S.races().size(), Bench.ExpectedRaces) << Name;
   }
 }
@@ -76,9 +76,9 @@ TEST(Generator, RaceFreeBenchmarksAreQuiet) {
   Session S;
   ASSERT_TRUE(S.loadModule(Bench.Ptx)) << S.error();
   uint64_t Data = S.alloc(Bench.DataBytes);
-  sim::LaunchResult Result = S.launchKernel(
+  support::Result<sim::LaunchResult> Result = S.launchKernel(
       Bench.KernelName, Bench.MeasureGrid, Bench.Block, {Data});
-  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
   EXPECT_TRUE(S.races().empty());
 }
 

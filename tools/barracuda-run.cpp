@@ -209,42 +209,48 @@ int main(int ArgCount, char **Args) {
     std::fprintf(Chat, "repeating %u launches on %u stream%s\n", Repeat,
                  NumStreams, NumStreams == 1 ? "" : "s");
 
-  sim::LaunchResult Result;
+  sim::LaunchResult Last;
+  support::Status LaunchError;
   if (NumStreams > 1 && Options.Instrument) {
     // Round-robin the repeats over concurrent streams; every launch
     // leases an epoch from the session's one persistent engine.
     std::vector<runtime::Stream *> Lanes;
     for (unsigned I = 0; I != NumStreams; ++I)
       Lanes.push_back(&S.createStream());
-    std::vector<std::future<sim::LaunchResult>> Futures;
+    std::vector<std::future<support::Result<sim::LaunchResult>>> Futures;
     for (unsigned I = 0; I != Repeat; ++I)
       Futures.push_back(S.launchKernelAsync(*Lanes[I % NumStreams],
                                             KernelName, Grid, Block,
                                             LaunchParams));
     for (auto &Future : Futures) {
-      sim::LaunchResult One = Future.get();
-      if (!One.Ok || Result.Ok)
-        Result = One;
+      support::Result<sim::LaunchResult> One = Future.get();
+      if (One.ok())
+        Last = One.value();
+      else if (LaunchError.ok())
+        LaunchError = One.status();
     }
   } else {
-    for (unsigned I = 0; I != Repeat && (I == 0 || Result.Ok); ++I)
-      Result = S.launchKernel(KernelName, Grid, Block, LaunchParams);
+    for (unsigned I = 0; I != Repeat && LaunchError.ok(); ++I) {
+      support::Result<sim::LaunchResult> One =
+          S.launchKernel(KernelName, Grid, Block, LaunchParams);
+      if (One.ok())
+        Last = One.value();
+      else
+        LaunchError = One.status();
+    }
   }
-  if (!Result.Ok) {
-    if (Result.FailPc != sim::LaunchResult::InvalidPc)
-      std::fprintf(stderr, "launch failed: %s (pc %u)\n",
-                   Result.status().describe().c_str(), Result.FailPc);
-    else
-      std::fprintf(stderr, "launch failed: %s\n",
-                   Result.status().describe().c_str());
+  if (!LaunchError.ok()) {
+    // Execution failures fold the faulting pc into the message.
+    std::fprintf(stderr, "launch failed: %s\n",
+                 LaunchError.describe().c_str());
     if (Json) // still emit the structured document for tooling
       std::fputs(S.report().toJson().c_str(), stdout);
     return 2;
   }
   std::fprintf(Chat, "%llu threads, %llu warp instructions, %llu records\n",
-               static_cast<unsigned long long>(Result.ThreadsLaunched),
-               static_cast<unsigned long long>(Result.WarpInstructions),
-               static_cast<unsigned long long>(Result.RecordsLogged));
+               static_cast<unsigned long long>(Last.ThreadsLaunched),
+               static_cast<unsigned long long>(Last.WarpInstructions),
+               static_cast<unsigned long long>(Last.RecordsLogged));
 
   RunReport Report = S.report();
 

@@ -1,0 +1,148 @@
+//===- barracuda-serve.cpp - detection-as-a-service daemon ------------------===//
+//
+// Long-lived multi-tenant detection daemon: one persistent
+// runtime::Engine serving every tenant's launches as epochs, fronted by
+// a line-delimited JSON protocol over a unix domain socket (see
+// docs/SERVE.md and scripts/serve_client.py for the wire format).
+//
+// Usage:
+//   barracuda-serve [options]
+//     --socket PATH        unix socket path
+//                          (default: /tmp/barracuda-serve.sock)
+//     --queues N           device-to-host queues / detector workers
+//     --queue-capacity N   per-queue ring capacity (power of two)
+//     --quota N            per-tenant launches in flight before typed
+//                          Overloaded (default: 8; 0 = unlimited)
+//     --max-leases N       engine-wide lease admission (0 = unlimited)
+//     --max-lag N          engine-wide watermark-lag admission in
+//                          records (0 = unlimited)
+//     --warp-size N        simulated warp width for tenant sessions
+//     --metrics-out DIR    live Prometheus snapshots (serve.* gauges
+//                          plus the engine series) into DIR
+//     --metrics-interval MS  sampling period (default: 1000)
+//     --inject SPEC        engine-side fault for soak testing
+//                          (consumer-death, worker-throw, queue-stall);
+//                          repeatable. Tenants inject machine-side
+//                          faults per load_module instead.
+//
+// Runs until SIGINT/SIGTERM or a shutdown frame. Prints
+// "listening on PATH" once accepting, so drivers can wait on it.
+//
+// Exit code: 0 clean shutdown, 2 startup failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Exporter.h"
+#include "serve/Server.h"
+#include "support/Cli.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+using namespace barracuda;
+
+namespace {
+
+std::atomic<bool> SignalStop{false};
+
+void onSignal(int) { SignalStop.store(true, std::memory_order_release); }
+
+} // namespace
+
+int main(int ArgCount, char **Args) {
+  serve::ServerOptions Options;
+  std::string MetricsOutDir;
+  unsigned MetricsIntervalMs = 1000;
+  unsigned QueueCapacity = 1 << 14;
+  unsigned Quota = 8;
+  unsigned MaxLeases = 0;
+  uint64_t MaxLag = 0;
+  unsigned WarpSize = 0;
+
+  support::cli::Parser Cli("barracuda-serve", "");
+  Cli.stringOption("--socket", "PATH", Options.SocketPath,
+                   "unix socket path");
+  Cli.uintOption("--queues", "N", Options.NumQueues,
+                 "device-to-host queues (detector workers)");
+  Cli.uintOption("--queue-capacity", "N", QueueCapacity,
+                 "per-queue ring capacity (power of two)");
+  Cli.uintOption("--quota", "N", Quota,
+                 "per-tenant launches in flight (0 = unlimited)");
+  Cli.uintOption("--max-leases", "N", MaxLeases,
+                 "engine-wide lease admission (0 = unlimited)");
+  Cli.u64Option("--max-lag", "N", MaxLag,
+                "engine-wide watermark-lag admission (0 = unlimited)");
+  Cli.uintOption("--warp-size", "N", WarpSize,
+                 "simulated warp width for tenant sessions");
+  Cli.stringOption("--metrics-out", "DIR", MetricsOutDir,
+                   "write live Prometheus snapshots into DIR");
+  Cli.uintOption("--metrics-interval", "MS", MetricsIntervalMs,
+                 "sampling period for --metrics-out");
+  Cli.repeatedOption(
+      "--inject", "SPEC",
+      [&](const char *V) {
+        return Options.EngineFaults.add(V).ok();
+      },
+      "engine-side fault spec (repeatable)");
+  if (!Cli.parse(ArgCount, Args))
+    return 2;
+
+  Options.QueueCapacity = QueueCapacity;
+  Options.Tenant.MaxInFlight = Quota;
+  Options.Tenant.Engine.MaxLeasesInFlight = MaxLeases;
+  Options.Tenant.Engine.MaxWatermarkLag = MaxLag;
+  if (WarpSize)
+    Options.Tenant.Detect.WarpSize = WarpSize;
+
+  serve::Server Server(std::move(Options));
+
+  std::unique_ptr<obs::Exporter> Exporter;
+  if (!MetricsOutDir.empty()) {
+    obs::ExporterOptions ExpOpts;
+    ExpOpts.Dir = MetricsOutDir;
+    ExpOpts.IntervalMs = MetricsIntervalMs;
+    Exporter = std::make_unique<obs::Exporter>(ExpOpts);
+    Exporter->addRegistry(&Server.engine().metrics());
+    Exporter->addSource([&Server](std::vector<obs::Exporter::Sample> &Out) {
+      Server.sample(Out);
+      runtime::EngineLiveSample Live;
+      Server.engine().sampleLive(Live);
+      Out.push_back({"engine.watermark_lag", "",
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Live.WatermarkLag)});
+      Out.push_back({"engine.leases_in_flight", "",
+                     obs::MetricSample::Kind::Gauge,
+                     static_cast<int64_t>(Live.LeasesInFlight)});
+    });
+    support::Status Started = Exporter->start();
+    if (!Started.ok())
+      std::fprintf(stderr, "warning: metrics exporter: %s\n",
+                   Started.describe().c_str());
+  }
+
+  support::Status Started = Server.start();
+  if (!Started.ok()) {
+    std::fprintf(stderr, "error: %s\n", Started.describe().c_str());
+    return 2;
+  }
+  std::printf("listening on %s\n", Server.socketPath().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  // Wait for a shutdown frame or a signal; both funnel into stop().
+  while (!SignalStop.load(std::memory_order_acquire) &&
+         !Server.shutdownRequested() && Server.running())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Server.stop();
+  if (Exporter)
+    Exporter->stop();
+  std::printf("stopped\n");
+  return 0;
+}
