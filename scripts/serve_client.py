@@ -27,11 +27,42 @@ back off on Overloaded instead of treating it as a protocol failure.
 
 import argparse
 import json
+import random
 import socket
 import sys
 import time
 
 SCHEMA_VERSION = 1
+
+
+class RetryPolicy:
+    """Jittered, capped exponential backoff for transient refusals.
+
+    Mirrors serve::RetryOptions / support::RetryBackoff on the C++ side:
+    Overloaded is always retried while attempts remain; Draining only
+    when retry_draining is set (a draining server will never accept, so
+    that flavor is for callers that fail over between attempts). The
+    delay for attempt N is equal-jittered around base * 2**N, capped at
+    max_delay. Deadline-aware: the loop never sleeps past deadline_ms.
+    """
+
+    def __init__(self, max_attempts=1, base_delay_ms=10,
+                 max_delay_ms=2000, retry_draining=False, seed=None):
+        self.max_attempts = max(1, max_attempts)
+        self.base_delay_ms = base_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.retry_draining = retry_draining
+        self.rng = random.Random(seed)
+
+    def retryable(self, code):
+        return code == "Overloaded" or (self.retry_draining
+                                        and code == "Draining")
+
+    def next_delay_ms(self, attempt):
+        exp = min(self.max_delay_ms,
+                  self.base_delay_ms * (2 ** min(attempt, 32)))
+        half = max(1, exp // 2)
+        return half + self.rng.randrange(exp - half + 1)
 
 
 class ServeError(RuntimeError):
@@ -47,11 +78,12 @@ class ServeError(RuntimeError):
 class ServeClient:
     """One connection to the daemon. Not thread-safe; one per thread."""
 
-    def __init__(self, socket_path, timeout=60.0):
+    def __init__(self, socket_path, timeout=60.0, retry=None):
         self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self.sock.settimeout(timeout)
         self.sock.connect(socket_path)
         self.buffer = b""
+        self.retry = retry or RetryPolicy()
 
     def __enter__(self):
         return self
@@ -86,6 +118,28 @@ class ServeClient:
                              response.get("error", "(no message)"))
         return response
 
+    def call_with_retry(self, op, tenant=None, deadline_ms=0, **fields):
+        """call() under the client's RetryPolicy.
+
+        Transient refusals back off with jitter and try again; when
+        deadline_ms is nonzero the loop never sleeps past it — the last
+        typed refusal is raised instead of overrunning the budget.
+        """
+        start = time.monotonic()
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return self.call(op, tenant, **fields)
+            except ServeError as error:
+                last_chance = attempt + 1 == self.retry.max_attempts
+                if not self.retry.retryable(error.code) or last_chance:
+                    raise
+                delay_ms = self.retry.next_delay_ms(attempt)
+                if deadline_ms:
+                    elapsed_ms = (time.monotonic() - start) * 1000.0
+                    if elapsed_ms + delay_ms >= deadline_ms:
+                        raise
+                time.sleep(delay_ms / 1000.0)
+
     # --- one wrapper per op -------------------------------------------
     def hello(self):
         return self.call("hello")
@@ -111,20 +165,42 @@ class ServeClient:
         return self.call("read_u32", tenant, addr=addr)["value"]
 
     def launch(self, tenant, kernel, grid, block, params=None,
-               want_report=False):
-        """Blocking launch; returns the completed-launch payload."""
-        return self.call("launch", tenant, kernel=kernel, grid=grid,
-                         block=block, params=params or [],
-                         report=want_report)
+               want_report=False, deadline_ms=0):
+        """Blocking launch; returns the completed-launch payload.
 
-    def launch_async(self, tenant, kernel, grid, block, params=None):
-        """Returns a ticket for poll()."""
-        return self.call("launch", tenant, kernel=kernel, grid=grid,
-                         block=block, params=params or [],
-                         **{"async": True})["ticket"]
+        A nonzero deadline_ms rides the frame (the server bounds the
+        launch's wall clock with a typed DeadlineExceeded) and also caps
+        the client-side retry loop.
+        """
+        fields = {"kernel": kernel, "grid": grid, "block": block,
+                  "params": params or [], "report": want_report}
+        if deadline_ms:
+            fields["deadlineMs"] = deadline_ms
+        return self.call_with_retry("launch", tenant,
+                                    deadline_ms=deadline_ms, **fields)
+
+    def launch_async(self, tenant, kernel, grid, block, params=None,
+                     deadline_ms=0):
+        """Returns a ticket for poll() (revocable with cancel())."""
+        fields = {"kernel": kernel, "grid": grid, "block": block,
+                  "params": params or [], "async": True}
+        if deadline_ms:
+            fields["deadlineMs"] = deadline_ms
+        return self.call_with_retry("launch", tenant,
+                                    deadline_ms=deadline_ms,
+                                    **fields)["ticket"]
 
     def poll(self, tenant, ticket, want_report=False):
         return self.call("poll", tenant, ticket=ticket, report=want_report)
+
+    def cancel(self, tenant, ticket):
+        """Revokes an async ticket.
+
+        The response's "cancelled" is true when the revoke was
+        delivered, false when the launch had already completed (a
+        harmless no-op). Unknown tickets raise typed ProtocolError.
+        """
+        return self.call("cancel", tenant, ticket=ticket)
 
     def poll_until_done(self, tenant, ticket, want_report=False,
                         interval=0.0002):
@@ -165,6 +241,9 @@ def main():
     parser.add_argument("--alloc", type=int, default=64,
                         help="bytes to allocate and pass as the only param")
     parser.add_argument("--expect-races", action="store_true")
+    parser.add_argument("--deadline-ms", type=int, default=0,
+                        help="wall-clock deadline for every launch "
+                             "(0 = none)")
     parser.add_argument("--shutdown", action="store_true",
                         help="stop the daemon after the checks")
     args = parser.parse_args()
@@ -187,7 +266,8 @@ def main():
         check(client.read_u32(args.tenant, buf) == 0, "readback mismatch")
 
         result = client.launch(args.tenant, kernel, args.grid, args.block,
-                               [buf], want_report=True)
+                               [buf], want_report=True,
+                               deadline_ms=args.deadline_ms)
         check(result["ok"], result)
         check(not result["degraded"], "launch degraded")
         check(result["recordsLogged"] > 0, "no records logged")
@@ -208,6 +288,27 @@ def main():
                                      args.block, [buf])
         done = client.poll_until_done(args.tenant, ticket)
         check(done["ok"] and done["kernel"] == kernel, done)
+
+        # Lifecycle: cancelling an async ticket always resolves it to a
+        # terminal state — either the revoke landed (typed Cancelled)
+        # or the launch beat it (the documented no-op) — and cancelling
+        # an unknown ticket is typed ProtocolError, not a hang.
+        ticket = client.launch_async(args.tenant, kernel, args.grid,
+                                     args.block, [buf])
+        cancelled = client.cancel(args.tenant, ticket)
+        check(cancelled["ticket"] == ticket, cancelled)
+        done = client.poll_until_done(args.tenant, ticket)
+        check(done["done"], done)
+        if cancelled["cancelled"]:
+            check(not done["ok"] and done["launchStatus"] == "Cancelled",
+                  done)
+        else:
+            check(done["ok"], done)
+        try:
+            client.cancel(args.tenant, 999999)
+            check(False, "cancel of an unknown ticket did not raise")
+        except ServeError as error:
+            check(error.code == "ProtocolError", error)
 
         stats = client.stats()
         check(stats["tenants"] >= 1, stats)

@@ -91,6 +91,7 @@ std::string RunReport::toJson() const {
   W.key("recordsCorrupted").value(Resilience.RecordsCorrupted);
   W.key("recordsResynced").value(Resilience.RecordsResynced);
   W.key("workerFailures").value(Resilience.WorkerFailures);
+  W.key("workersRespawned").value(Resilience.WorkersRespawned);
   W.key("queuesQuarantined").value(Resilience.QueuesQuarantined);
   W.key("queuesAbandoned").value(Resilience.QueuesAbandoned);
   W.key("queuesRerouted").value(Resilience.QueuesRerouted);
@@ -225,7 +226,8 @@ void RunReport::printText(std::FILE *Out) const {
     std::fprintf(
         Out,
         "resilience: %s; %llu dropped + %llu rejected records, "
-        "%llu corrupted / %llu resynced, %llu worker failures, "
+        "%llu corrupted / %llu resynced, %llu worker failures "
+        "(%llu respawned), "
         "%llu queues quarantined, %llu abandoned, %llu rerouted, "
         "%llu watchdog trips; faults %llu/%llu hit%s%s\n",
         Resilience.Degraded ? "DEGRADED" : "clean",
@@ -234,6 +236,7 @@ void RunReport::printText(std::FILE *Out) const {
         static_cast<unsigned long long>(Resilience.RecordsCorrupted),
         static_cast<unsigned long long>(Resilience.RecordsResynced),
         static_cast<unsigned long long>(Resilience.WorkerFailures),
+        static_cast<unsigned long long>(Resilience.WorkersRespawned),
         static_cast<unsigned long long>(Resilience.QueuesQuarantined),
         static_cast<unsigned long long>(Resilience.QueuesAbandoned),
         static_cast<unsigned long long>(Resilience.QueuesRerouted),

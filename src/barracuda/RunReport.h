@@ -142,6 +142,11 @@ struct RunReport {
     uint64_t RecordsResynced = 0;
     /// Detector worker exceptions caught and quarantined.
     uint64_t WorkerFailures = 0;
+    /// Replacement workers the self-healing supervisor spawned for
+    /// failed queue slices while this launch was admitted or drained
+    /// (an engine-wide delta, like the spin counts — the heal repairs
+    /// damage from an earlier launch on this engine).
+    uint64_t WorkersRespawned = 0;
     /// Per-launch processor slices quarantined after a failure.
     uint64_t QueuesQuarantined = 0;
     /// Queues closed with an error by a dying consumer. Absolute engine

@@ -193,16 +193,33 @@ Session::launchKernelAsync(runtime::Stream &S,
                            const std::string &KernelName, sim::Dim3 Grid,
                            sim::Dim3 Block,
                            const std::vector<uint64_t> &Params) {
+  return submitKernel(S, KernelName, Grid, Block, Params).Future;
+}
+
+Session::AsyncLaunch
+Session::submitKernel(runtime::Stream &S, const std::string &KernelName,
+                      sim::Dim3 Grid, sim::Dim3 Block,
+                      const std::vector<uint64_t> &Params,
+                      uint64_t DeadlineMs) {
+  // The deadline clock starts now, not when the stream gets around to
+  // executing — queue wait is the caller's wall time too. An already
+  // expired token simply trips at the first scheduling boundary.
+  auto Token = std::make_shared<support::CancelToken>();
+  Token->armDeadline(DeadlineMs ? DeadlineMs : Options.DeadlineMs);
+
   std::string Track = S.name();
   auto Task = std::make_shared<
       std::packaged_task<support::Result<sim::LaunchResult>()>>(
-      [this, KernelName, Grid, Block, Params, Track] {
-        return runLaunch(KernelName, Grid, Block, Params, Track);
+      [this, KernelName, Grid, Block, Params, Track, Token] {
+        return runLaunch(KernelName, Grid, Block, Params, Track, Token);
       });
-  std::future<support::Result<sim::LaunchResult>> Result =
-      Task->get_future();
+
+  AsyncLaunch Handle;
+  Handle.Future = Task->get_future();
+  Handle.Token = Token;
+  Handle.Ticket = S.registerCancel(Token);
   S.enqueue([Task] { (*Task)(); });
-  return Result;
+  return Handle;
 }
 
 void Session::synchronize() {
@@ -214,7 +231,17 @@ void Session::synchronize() {
 support::Result<sim::LaunchResult>
 Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
                    sim::Dim3 Block, const std::vector<uint64_t> &Params,
-                   const std::string &TraceTrack) {
+                   const std::string &TraceTrack,
+                   std::shared_ptr<support::CancelToken> Token) {
+  // Synchronous launches with a session-wide deadline get a token of
+  // their own, armed here (submitKernel arms at submission instead, so
+  // stream queue wait counts). armDeadline is first-arm-wins, so a
+  // token that arrived already armed keeps its earlier deadline.
+  if (!Token && Options.DeadlineMs)
+    Token = std::make_shared<support::CancelToken>();
+  if (Token)
+    Token->armDeadline(Options.DeadlineMs);
+
   if (!Mod)
     return support::Status(support::ErrorCode::InvalidLaunch,
                            "no module loaded");
@@ -253,8 +280,9 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
 
   if (!Options.Instrument) {
     const sim::LoweredKernel *Low = loweredFor(*K, nullptr);
-    sim::LaunchResult Result = Machine.launch(*Mod, *K, nullptr, Config,
-                                              Builder.bytes(), nullptr, Low);
+    sim::LaunchResult Result =
+        Machine.launch(*Mod, *K, nullptr, Config, Builder.bytes(), nullptr,
+                       Low, Token.get());
     std::lock_guard<std::mutex> Lock(ResultsMutex);
     RunReport Native;
     Native.Launch.Kernel = KernelName;
@@ -336,6 +364,11 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
         support::formatString("launch '%s'", KernelName.c_str()));
   }
   std::shared_ptr<runtime::Launch> Lease = std::move(Admitted.value());
+  // Attached before the first record is logged: the workers and the
+  // drain watermark both consult the token, so a trip mid-drain flips
+  // the remaining records onto the drop ledger instead of stalling.
+  if (Token)
+    Lease->setCancelToken(Token);
 
   trace::TraceFileSink FileSink(Writer);
   trace::CountingSink Counts;
@@ -346,8 +379,9 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
 
   sim::SinkLogger Logger(Sinks);
   const sim::LoweredKernel *Low = loweredFor(*K, &KI);
-  sim::LaunchResult Result =
-      Machine.launch(*Mod, *K, &KI, Config, Builder.bytes(), &Logger, Low);
+  sim::LaunchResult Result = Machine.launch(*Mod, *K, &KI, Config,
+                                            Builder.bytes(), &Logger, Low,
+                                            Token.get());
 
   {
     obs::Span DrainSpan(Tracer, Track, "drain " + KernelName, "session");
@@ -355,6 +389,26 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   }
   runtime::EngineCounters After = Eng.counters();
   runtime::LaunchResilience Leased = Lease->resilience();
+  if (Token && Result.Ok) {
+    // The machine finished but the token tripped while (or right
+    // before) the drain retired the launch — the terminal state is the
+    // revocation, not Ok. All counters above are already final, so the
+    // ledger in the report still balances exactly.
+    support::ErrorCode Tripped = Token->state();
+    if (Tripped != support::ErrorCode::Ok) {
+      sim::LaunchResult Revoked = sim::LaunchResult::failure(
+          Tripped, Tripped == support::ErrorCode::Cancelled
+                       ? "launch cancelled while draining"
+                       : "deadline exceeded while draining");
+      // The execution counters are real — the kernel did run — and the
+      // ledger check needs RecordsLogged.
+      Revoked.ThreadsLaunched = Result.ThreadsLaunched;
+      Revoked.WarpInstructions = Result.WarpInstructions;
+      Revoked.RecordsLogged = Result.RecordsLogged;
+      Revoked.RecordsPruned = Result.RecordsPruned;
+      Result = Revoked;
+    }
+  }
   if (Recording) {
     support::Status Closed = Writer.close();
     if (!Closed.ok() && Result.Ok)
@@ -423,6 +477,12 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   Report.Resilience.RecordsCorrupted = Writer.recordsCorrupted();
   Report.Resilience.WorkerFailures = Leased.WorkerFailures;
   Report.Resilience.QueuesQuarantined = Leased.QueuesQuarantined;
+  // Workers respawned by the self-healing supervisor while this launch
+  // was being admitted or drained (a delta, like the spin counters: the
+  // supervisor heals at epoch boundaries, so a respawn observed here
+  // repaired damage from an earlier launch on this engine).
+  Report.Resilience.WorkersRespawned =
+      After.WorkersRespawned - Before.WorkersRespawned;
   // Absolute, not a delta: abandonment is permanent engine state (an
   // injected death can precede the lease). It is observability, not a
   // verdict — launches route around dead queues, so only this launch's
@@ -548,6 +608,12 @@ void Session::ensureExporter(runtime::Engine &Eng) {
     Out.push_back({"engine.leases_in_flight", "",
                    obs::MetricSample::Kind::Gauge,
                    static_cast<int64_t>(Live->LeasesInFlight)});
+    Out.push_back({"engine.live.quarantined_queues", "",
+                   obs::MetricSample::Kind::Gauge,
+                   static_cast<int64_t>(Live->QuarantinedQueues)});
+    Out.push_back({"engine.live.workers_respawned", "",
+                   obs::MetricSample::Kind::Gauge,
+                   static_cast<int64_t>(Live->WorkersRespawned)});
   });
 
   // Per-shard gauges from the most recent sharded launch (the shared_ptr

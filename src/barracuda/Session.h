@@ -102,6 +102,12 @@ struct DetectOptions {
   /// When non-empty, every launch also records its trace to this file
   /// (replayable offline with barracuda-replay).
   std::string RecordTracePath;
+  /// Wall-clock deadline applied to every launch (0 = none). When it
+  /// expires the launch is retired cooperatively — the simulator stops
+  /// at the next scheduling boundary, already-logged records drain (or
+  /// drop) through the normal watermark, and the result carries the
+  /// typed DeadlineExceeded code with the ledger still balanced.
+  uint64_t DeadlineMs = 0;
   /// Deterministic fault plan (barracuda-run --inject). The session
   /// builds one FaultInjector from it and threads it through the
   /// machine, the trace writer and its owned engine. A SharedEngine
@@ -251,6 +257,28 @@ public:
                     sim::Dim3 Grid, sim::Dim3 Block,
                     const std::vector<uint64_t> &Params = {});
 
+  /// Handle to an in-flight asynchronous launch: the result future plus
+  /// the lifecycle controls — the stream-scoped ticket that
+  /// Stream::cancel accepts and the token that revokes it directly.
+  struct AsyncLaunch {
+    std::future<support::Result<sim::LaunchResult>> Future;
+    uint64_t Ticket = 0;
+    std::shared_ptr<support::CancelToken> Token;
+  };
+
+  /// launchKernelAsync with a full lifecycle: the launch is revocable
+  /// (`S.cancel(handle.Ticket)` or `handle.Token->cancel()`) and, when
+  /// \p DeadlineMs is nonzero (falling back to Options.DeadlineMs), the
+  /// deadline clock starts at submission — queue wait counts against
+  /// it. A launch revoked before completion resolves to a typed
+  /// Cancelled/DeadlineExceeded failure; revoking after completion is a
+  /// harmless no-op.
+  AsyncLaunch submitKernel(runtime::Stream &S,
+                           const std::string &KernelName, sim::Dim3 Grid,
+                           sim::Dim3 Block,
+                           const std::vector<uint64_t> &Params = {},
+                           uint64_t DeadlineMs = 0);
+
   /// Waits for every stream created by this session (cudaDeviceSynchronize).
   void synchronize();
 
@@ -287,7 +315,8 @@ private:
   support::Result<sim::LaunchResult>
   runLaunch(const std::string &KernelName, sim::Dim3 Grid,
             sim::Dim3 Block, const std::vector<uint64_t> &Params,
-            const std::string &TraceTrack);
+            const std::string &TraceTrack,
+            std::shared_ptr<support::CancelToken> Token = nullptr);
 
   /// The kernel pre-lowered to micro-ops, lowering it on first use
   /// (null when SimLowered is off or the kernel is un-lowerable). \p KI

@@ -19,6 +19,8 @@ const char *fault::faultKindName(FaultKind Kind) {
     return "consumer-death";
   case FaultKind::WorkerThrow:
     return "worker-throw";
+  case FaultKind::SlowConsumer:
+    return "slow-consumer";
   case FaultKind::RecordBitFlip:
     return "bitflip";
   case FaultKind::RecordTruncate:
@@ -31,7 +33,8 @@ static bool parseKind(const std::string &Name, FaultKind &Out) {
   for (FaultKind Kind :
        {FaultKind::KernelSpin, FaultKind::BarrierHang, FaultKind::QueueStall,
         FaultKind::ConsumerDeath, FaultKind::WorkerThrow,
-        FaultKind::RecordBitFlip, FaultKind::RecordTruncate}) {
+        FaultKind::SlowConsumer, FaultKind::RecordBitFlip,
+        FaultKind::RecordTruncate}) {
     if (Name == faultKindName(Kind)) {
       Out = Kind;
       return true;

@@ -20,6 +20,10 @@
 ///                    (closeWithError) and drops what it drains
 ///   worker-throw     runtime::Engine — the worker throws while
 ///                    processing the Nth record it drains
+///   slow-consumer    runtime::Engine — from the Nth drained record on,
+///                    the worker sleeps after every drain batch
+///                    (lossless delay; deterministically forces a
+///                    deadline to expire during the drain)
 ///   bitflip          trace::TraceWriter — flips one bit of the Nth
 ///                    serialized entry after checksumming
 ///   truncate         trace::TraceWriter — writes only half of the Nth
@@ -59,6 +63,7 @@ enum class FaultKind : uint8_t {
   QueueStall,
   ConsumerDeath,
   WorkerThrow,
+  SlowConsumer,
   RecordBitFlip,
   RecordTruncate,
 };

@@ -100,8 +100,17 @@ void Launch::finish() {
   // statistics flush below.
   uint64_t WaitStart = nowNanos();
   support::Backoff Wait;
-  while (Drained.load(std::memory_order_acquire) != Logged)
+  while (Drained.load(std::memory_order_acquire) != Logged) {
+    // Cooperative cancellation at the drain boundary: state() latches a
+    // newly expired deadline; DropRest then flips the workers into
+    // retiring this launch's remaining records through the drop ledger,
+    // so a cancelled launch still meets the watermark exactly — early
+    // retirement, never record loss.
+    if (Cancel && !DropRest.load(std::memory_order_relaxed) &&
+        Cancel->state() != support::ErrorCode::Ok)
+      DropRest.store(1, std::memory_order_release);
     Wait.pause();
+  }
   if (Shards) {
     // Stage two: the watermark says every record was processed, i.e.
     // every shard posting has happened; now wait for the owners (idle
@@ -139,6 +148,7 @@ LaunchResilience Launch::resilience() const {
   for (const auto &Flag : Quarantined)
     R.QueuesQuarantined += Flag.load(std::memory_order_relaxed) ? 1 : 0;
   R.QueuesRerouted = Rerouted;
+  R.CancelledDuringDrain = DropRest.load(std::memory_order_relaxed) != 0;
   R.Degraded = R.RecordsDropped != 0 || R.RecordsRejected != 0 ||
                R.WorkerFailures != 0;
   {
@@ -163,8 +173,10 @@ Engine::Engine(EngineOptions Options)
   CWorkerFailures = &Metrics.counter("engine.worker_failures");
   CRecordsDropped = &Metrics.counter("engine.records_dropped");
   CQueuesAbandoned = &Metrics.counter("engine.queues_abandoned");
+  CWorkersRespawned = &Metrics.counter("engine.workers_respawned");
   HDrainBatch = &Metrics.histogram("engine.drain_batch");
   HQueueDepth = &Metrics.histogram("engine.queue_depth");
+  Health = std::make_unique<QueueHealth[]>(Options.NumQueues);
   Threads.reserve(Options.NumQueues);
   for (unsigned I = 0; I != Options.NumQueues; ++I) {
     Threads.emplace_back([this, I] { workerMain(I); });
@@ -189,8 +201,11 @@ Engine::~Engine() {
   }
   Queues.closeAll();
   ParkCV.notify_all();
+  // A permanently quarantined queue's thread was already retired and
+  // joined by the supervisor; everything else is live.
   for (std::thread &Thread : Threads)
-    Thread.join();
+    if (Thread.joinable())
+      Thread.join();
 }
 
 std::shared_ptr<Launch>
@@ -202,6 +217,10 @@ Engine::begin(detector::SharedDetectorState &State) {
 support::Result<std::shared_ptr<Launch>>
 Engine::tryBegin(detector::SharedDetectorState &State,
                  const Admission &Limits) {
+  // Heal wounded queue slices before admitting more work: respawns only
+  // happen at an epoch boundary (no leases in flight), so the new
+  // launch starts on a fully live pool whenever possible.
+  healPool();
   {
     // Admission check and the epoch-count reservation share ParkMutex
     // (where every ActiveEpochs transition happens), so the in-flight
@@ -250,6 +269,89 @@ void Engine::endLaunch(uint32_t Epoch) {
   ActiveEpochs.fetch_sub(1, std::memory_order_release);
 }
 
+void Engine::woundQueue(unsigned QueueIndex) {
+  QueueHealth &H = Health[QueueIndex];
+  uint8_t Expected = QueueHealth::Live;
+  H.St.compare_exchange_strong(Expected, QueueHealth::Wounded,
+                               std::memory_order_acq_rel,
+                               std::memory_order_acquire);
+  if (Expected != QueueHealth::Perm)
+    AnyWounded.store(true, std::memory_order_release);
+}
+
+void Engine::healPool() {
+  if (!AnyWounded.load(std::memory_order_acquire))
+    return;
+  bool AllHealed = true;
+  for (unsigned Q = 0; Q != Queues.size(); ++Q) {
+    QueueHealth &H = Health[Q];
+    {
+      // The claim shares ParkMutex with every ActiveEpochs transition:
+      // a wounded slice is only retired at a true epoch boundary, when
+      // no launch can be logging into (or waiting on) its queue.
+      std::lock_guard<std::mutex> Lock(ParkMutex);
+      if (ActiveEpochs.load(std::memory_order_relaxed) != 0)
+        return; // not a boundary; heal at the next one
+      uint8_t Expected = QueueHealth::Wounded;
+      if (!H.St.compare_exchange_strong(Expected, QueueHealth::Respawning,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+        continue;
+      H.Retire.store(1, std::memory_order_release);
+    }
+    // Retire the old worker outside ParkMutex (it needs the lock to
+    // wake from park), then either respawn or escalate.
+    ParkCV.notify_all();
+    if (Threads[Q].joinable())
+      Threads[Q].join();
+    H.Retire.store(0, std::memory_order_release);
+    if (H.Respawns >= Options.MaxWorkerRespawns) {
+      // Repeated failures: the slice is beyond healing. Close the queue
+      // with a typed reason so later launches route around it losslessly
+      // (rejects at a closed ring never count toward a watermark).
+      Queues.queue(Q).closeWithError(support::Status(
+          support::ErrorCode::WorkerFailed,
+          support::formatString(
+              "queue %u permanently quarantined after %u worker respawns",
+              Q, H.Respawns)));
+      CQueuesAbandoned->add(1);
+      H.St.store(QueueHealth::Perm, std::memory_order_release);
+      if (obs::TraceRecorder *Tracer = Options.Tracer)
+        Tracer->instant(Tracer->track(support::formatString(
+                            "engine worker %u", Q)),
+                        "heal: escalated to permanent quarantine",
+                        "resilience");
+      continue;
+    }
+    ++H.Respawns;
+    Threads[Q] = std::thread([this, Q] { workerMain(Q); });
+    ThreadsStarted.fetch_add(1, std::memory_order_relaxed);
+    CWorkersRespawned->add(1);
+    H.St.store(QueueHealth::Live, std::memory_order_release);
+    if (obs::TraceRecorder *Tracer = Options.Tracer)
+      Tracer->instant(Tracer->track(support::formatString(
+                          "engine worker %u", Q)),
+                      "heal: worker respawned", "resilience");
+  }
+  // Perm slices stay quarantined forever; stop sweeping for them.
+  for (unsigned Q = 0; Q != Queues.size(); ++Q)
+    if (Health[Q].St.load(std::memory_order_acquire) ==
+        QueueHealth::Wounded)
+      AllHealed = false;
+  if (AllHealed)
+    AnyWounded.store(false, std::memory_order_release);
+}
+
+uint32_t Engine::quarantinedQueues() const {
+  uint32_t Count = 0;
+  for (unsigned Q = 0; Q != Queues.size(); ++Q)
+    Count += Health[Q].St.load(std::memory_order_acquire) !=
+                     QueueHealth::Live
+                 ? 1
+                 : 0;
+  return Count;
+}
+
 bool Engine::serviceShardsFor(unsigned WorkerIndex) {
   // Snapshot the shard sets under the registry lock, service outside it
   // (applying messages reports races and can briefly spin; holding the
@@ -290,6 +392,11 @@ void Engine::workerMain(unsigned QueueIndex) {
   // it keeps draining so every launch's watermark still completes, but
   // records go to the drop ledger instead of the detector.
   bool Abandoned = false;
+  // Sticky once a slow-consumer fault claims this worker: every
+  // non-empty batch is followed by a delay. Lossless — records are all
+  // still processed — but a launch deadline deterministically expires
+  // during the drain.
+  bool SlowMode = false;
   // Ready handshake with the constructor (see ReadyWorkers): signalled
   // once, after the first fault poll below.
   bool SignaledReady = false;
@@ -324,6 +431,11 @@ void Engine::workerMain(unsigned QueueIndex) {
     EpisodeRecords = 0;
   };
   for (;;) {
+    // Retirement signal from the self-healing supervisor: leave so the
+    // replacement thread can take over this queue. Only raised at an
+    // epoch boundary, so no launch is mid-drain here.
+    if (Health[QueueIndex].Retire.load(std::memory_order_acquire))
+      break;
     if (Faults) {
       if (!Abandoned &&
           Faults->fire(fault::FaultKind::ConsumerDeath, DrainedHere,
@@ -351,6 +463,13 @@ void Engine::workerMain(unsigned QueueIndex) {
           Tracer->instant(Track, "fault: queue stall", "resilience");
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
+      if (!SlowMode &&
+          Faults->fire(fault::FaultKind::SlowConsumer, DrainedHere,
+                       QueueIndex)) {
+        SlowMode = true;
+        if (Tracer)
+          Tracer->instant(Track, "fault: slow consumer", "resilience");
+      }
     }
     if (!SignaledReady) {
       SignaledReady = true;
@@ -377,7 +496,8 @@ void Engine::workerMain(unsigned QueueIndex) {
       assert(Record.Epoch != 0 && "unstamped record in engine queue");
       if (!Cached || Cached->epoch() != Record.Epoch)
         Cached = lookupEpoch(Record.Epoch);
-      bool Drop = Abandoned || Cached->quarantined(QueueIndex);
+      bool Drop = Abandoned || Cached->quarantined(QueueIndex) ||
+                  Cached->dropRest();
       if (!Drop) {
         // A throwing processor must never take the pool down: the
         // exception quarantines this launch's slice of the queue and
@@ -396,6 +516,7 @@ void Engine::workerMain(unsigned QueueIndex) {
                   .withContext(support::formatString(
                       "detector worker %u", QueueIndex)));
           CWorkerFailures->add(1);
+          woundQueue(QueueIndex);
           if (Tracer)
             Tracer->instant(Track, "worker failure: queue quarantined",
                             "resilience");
@@ -408,6 +529,7 @@ void Engine::workerMain(unsigned QueueIndex) {
                                   "detector worker %u: unknown exception",
                                   QueueIndex)));
           CWorkerFailures->add(1);
+          woundQueue(QueueIndex);
           if (Tracer)
             Tracer->instant(Track, "worker failure: queue quarantined",
                             "resilience");
@@ -432,6 +554,8 @@ void Engine::workerMain(unsigned QueueIndex) {
       Cached->Shards->serviceOwned(QueueIndex);
     if (Count)
       DrainNsLocal += nowNanos() - BatchStartNs;
+    if (Count && SlowMode)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     if (Count == 0) {
       if (DrainNsLocal) {
         CDrainNanos->add(DrainNsLocal);
@@ -455,9 +579,11 @@ void Engine::workerMain(unsigned QueueIndex) {
         uint64_t ParkStart = nowNanos();
         {
           std::unique_lock<std::mutex> Lock(ParkMutex);
-          ParkCV.wait(Lock, [this] {
+          ParkCV.wait(Lock, [this, QueueIndex] {
             return ShuttingDown.load(std::memory_order_acquire) ||
-                   ActiveEpochs.load(std::memory_order_acquire) != 0;
+                   ActiveEpochs.load(std::memory_order_acquire) != 0 ||
+                   Health[QueueIndex].Retire.load(
+                       std::memory_order_acquire) != 0;
           });
         }
         uint64_t Parked = nowNanos() - ParkStart;
@@ -502,6 +628,8 @@ void Engine::sampleLive(EngineLiveSample &Out) const {
   Out.RecordsDropped = CRecordsDropped->value();
   Out.WorkerFailures = CWorkerFailures->value();
   Out.QueuesAbandoned = CQueuesAbandoned->value();
+  Out.QuarantinedQueues = quarantinedQueues();
+  Out.WorkersRespawned = CWorkersRespawned->value();
 }
 
 EngineCounters Engine::counters() const {
@@ -516,5 +644,6 @@ EngineCounters Engine::counters() const {
   Counters.RecordsDropped = CRecordsDropped->value();
   Counters.RecordsRejected = Queues.totalRejected();
   Counters.QueuesAbandoned = CQueuesAbandoned->value();
+  Counters.WorkersRespawned = CWorkersRespawned->value();
   return Counters;
 }

@@ -47,6 +47,7 @@
 #include "detector/Detector.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Cancel.h"
 #include "support/Error.h"
 #include "trace/Queue.h"
 #include "trace/Sink.h"
@@ -92,6 +93,10 @@ struct LaunchResilience {
   /// is NOT degraded — but the number is reported so operators see a
   /// pool running on fewer queues than configured.
   uint64_t QueuesRerouted = 0;
+  /// True when the launch's cancel token tripped during the drain and
+  /// the remaining records retired through the drop ledger (controlled
+  /// early-retirement: the watermark still balances exactly).
+  bool CancelledDuringDrain = false;
   /// The first worker failure, context-chained (Ok when clean).
   support::Status FirstError;
 };
@@ -118,6 +123,15 @@ public:
   void finish();
 
   uint64_t recordsLogged() const { return Logged; }
+
+  /// Arms cooperative cancellation for the drain: finish()'s watermark
+  /// wait polls the token, and once it trips the launch's remaining
+  /// records retire through the drop ledger instead of the detector —
+  /// the watermark completes promptly and stays exact. Set before the
+  /// device starts logging.
+  void setCancelToken(std::shared_ptr<support::CancelToken> Token) {
+    Cancel = std::move(Token);
+  }
 
   /// Nanoseconds finish() spent waiting on the drained-record watermark
   /// (detector lag behind the device). Valid after finish().
@@ -191,6 +205,25 @@ private:
   mutable std::mutex FirstErrorMutex;
   support::Status FirstWorkerError;
 
+  /// Cooperative cancellation (see setCancelToken). DropRest latches
+  /// once the token trips: workers then retire this launch's remaining
+  /// records into the drop ledger so the watermark completes promptly.
+  std::shared_ptr<support::CancelToken> Cancel;
+  std::atomic<uint8_t> DropRest{0};
+
+  /// Worker-side poll at the drain boundary: true once the launch is
+  /// cancelled. tripped() is one relaxed load — the clock is consulted
+  /// only by finish()'s state() polls, which latch the deadline.
+  bool dropRest() {
+    if (DropRest.load(std::memory_order_relaxed))
+      return true;
+    if (Cancel && Cancel->tripped()) {
+      DropRest.store(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
   bool quarantined(unsigned Queue) const {
     return Quarantined[Queue].load(std::memory_order_acquire) != 0;
   }
@@ -221,8 +254,13 @@ struct EngineOptions {
   /// outlive the engine. Null = tracing off (no clock reads).
   obs::TraceRecorder *Tracer = nullptr;
   /// Engine-side fault injection (queue-stall / consumer-death /
-  /// worker-throw specs). Must outlive the engine; null = off.
+  /// worker-throw / slow-consumer specs). Must outlive the engine;
+  /// null = off.
   fault::FaultInjector *Faults = nullptr;
+  /// Self-healing: how many times a queue's worker may be respawned
+  /// after failures before the slice escalates to permanent quarantine
+  /// (the queue is closed with a typed reason and routed around).
+  unsigned MaxWorkerRespawns = 3;
 };
 
 /// Admission limits for Engine::tryBegin. Zero means unlimited. Checks
@@ -260,6 +298,9 @@ struct EngineCounters {
   uint64_t RecordsRejected = 0;
   /// Queues abandoned by a dying consumer (closeWithError).
   uint64_t QueuesAbandoned = 0;
+  /// Worker threads respawned by the self-healing supervisor after a
+  /// failure wounded their queue slice.
+  uint64_t WorkersRespawned = 0;
 };
 
 /// A point-in-time view of the engine for live telemetry samplers
@@ -277,6 +318,11 @@ struct EngineLiveSample {
   uint64_t RecordsDropped = 0;
   uint64_t WorkerFailures = 0;
   uint64_t QueuesAbandoned = 0;
+  /// Queues currently not Live: wounded awaiting respawn, mid-respawn,
+  /// or permanently quarantined. Returns to zero once the supervisor
+  /// heals the pool at the next epoch boundary.
+  uint32_t QuarantinedQueues = 0;
+  uint64_t WorkersRespawned = 0;
 };
 
 /// The persistent runtime: a process-lifetime QueueSet and detector
@@ -305,10 +351,17 @@ public:
 
   /// Worker threads created over the engine's lifetime. Stays equal to
   /// numQueues() however many launches run — the pool is reused, never
-  /// rebuilt.
+  /// rebuilt — and grows only when the self-healing supervisor respawns
+  /// a worker after a failure.
   uint64_t threadsEverStarted() const {
     return ThreadsStarted.load(std::memory_order_relaxed);
   }
+
+  /// Workers respawned by the self-healing supervisor so far.
+  uint64_t workersRespawned() const { return CWorkersRespawned->value(); }
+
+  /// Queues currently wounded, mid-respawn or permanently quarantined.
+  uint32_t quarantinedQueues() const;
 
   /// Launch epochs opened so far.
   uint64_t launchesBegun() const {
@@ -336,6 +389,17 @@ private:
   void workerMain(unsigned QueueIndex);
   std::shared_ptr<Launch> lookupEpoch(uint32_t Epoch);
   void endLaunch(uint32_t Epoch);
+  /// The self-healing supervisor: at an epoch boundary (no launches in
+  /// flight), retires each wounded queue's worker thread and spawns a
+  /// fresh replacement — or, past MaxWorkerRespawns, escalates the
+  /// queue to permanent quarantine (closed with a typed reason, routed
+  /// around by later launches). Called from tryBegin; cheap no-op while
+  /// the pool is healthy.
+  void healPool();
+  /// Marks queue \p QueueIndex's slice failed so the supervisor heals
+  /// it at the next epoch boundary. Called by a worker that caught a
+  /// processing exception; never escalates a permanent quarantine.
+  void woundQueue(unsigned QueueIndex);
   /// Services worker \p WorkerIndex's shards across every live launch
   /// (stall hook + idle path). Cross-launch coverage matters: a worker
   /// stalled on launch A's mailbox may be the owner launch B's producer
@@ -366,6 +430,23 @@ private:
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> ThreadsStarted{0};
 
+  /// Per-queue health for the self-healing supervisor. A worker that
+  /// catches a processing exception wounds its queue; healPool() claims
+  /// Wounded -> Respawning at the next epoch boundary, retires the old
+  /// thread (Retire is the worker's exit signal) and spawns a fresh
+  /// one, or escalates to Perm after MaxWorkerRespawns.
+  struct QueueHealth {
+    enum State : uint8_t { Live = 0, Wounded = 1, Respawning = 2, Perm = 3 };
+    std::atomic<uint8_t> St{Live};
+    std::atomic<uint8_t> Retire{0};
+    /// Respawns consumed so far (supervisor-only writes).
+    unsigned Respawns = 0;
+  };
+  std::unique_ptr<QueueHealth[]> Health;
+  /// Fast-path gate for healPool(): set on wound, cleared after a full
+  /// healing sweep found nothing left to do.
+  std::atomic<bool> AnyWounded{false};
+
   obs::Registry Metrics;
   /// Instruments resolved once in the constructor (hot paths use the
   /// cached pointers, registration never happens on a worker loop).
@@ -381,6 +462,7 @@ private:
   obs::Counter *CWorkerFailures = nullptr;
   obs::Counter *CRecordsDropped = nullptr;
   obs::Counter *CQueuesAbandoned = nullptr;
+  obs::Counter *CWorkersRespawned = nullptr;
   obs::Histogram *HDrainBatch = nullptr;
   obs::Histogram *HQueueDepth = nullptr;
 };

@@ -2,6 +2,8 @@
 
 #include "runtime/Stream.h"
 
+#include "support/Format.h"
+
 using namespace barracuda;
 using namespace barracuda::runtime;
 
@@ -29,6 +31,40 @@ void Stream::enqueue(std::function<void()> Work) {
 void Stream::synchronize() {
   std::unique_lock<std::mutex> Lock(Mutex);
   IdleCV.wait(Lock, [this] { return Pending.empty() && !Busy; });
+}
+
+uint64_t Stream::registerCancel(
+    std::shared_ptr<support::CancelToken> Token) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Completed launches dropped their tokens; sweep the dead tickets so
+  // a long-lived stream's registry stays proportional to in-flight
+  // work, not lifetime launches.
+  if (Cancels.size() >= 64)
+    for (auto It = Cancels.begin(); It != Cancels.end();)
+      It = It->second.expired() ? Cancels.erase(It) : std::next(It);
+  uint64_t Ticket = NextTicket++;
+  Cancels.emplace(Ticket, std::move(Token));
+  return Ticket;
+}
+
+support::Status Stream::cancel(uint64_t Ticket) {
+  std::shared_ptr<support::CancelToken> Token;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Cancels.find(Ticket);
+    if (It == Cancels.end())
+      return support::Status(
+          support::ErrorCode::ProtocolError,
+          support::formatString("unknown ticket %llu on %s",
+                                static_cast<unsigned long long>(Ticket),
+                                Name.c_str()));
+    Token = It->second.lock();
+  }
+  // Expired token: the launch already completed — cancelling it now is
+  // the documented no-op.
+  if (Token)
+    Token->cancel();
+  return support::Status();
 }
 
 void Stream::executorMain() {

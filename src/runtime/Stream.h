@@ -16,12 +16,17 @@
 #ifndef BARRACUDA_RUNTIME_STREAM_H
 #define BARRACUDA_RUNTIME_STREAM_H
 
+#include "support/Cancel.h"
+#include "support/Error.h"
+
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 namespace barracuda {
 namespace runtime {
@@ -46,6 +51,17 @@ public:
   /// Blocks until every enqueued item has finished (cudaStreamSynchronize).
   void synchronize();
 
+  /// Registers \p Token under a fresh stream-scoped ticket so the work
+  /// it guards can be revoked later by cancel(). The stream holds only
+  /// a weak reference: once the launch completes and drops its token,
+  /// the ticket degrades to a harmless no-op.
+  uint64_t registerCancel(std::shared_ptr<support::CancelToken> Token);
+
+  /// Revokes the launch registered under \p Ticket. Unknown tickets are
+  /// a typed ProtocolError; cancelling a launch that already completed
+  /// (its token expired) is Ok and does nothing.
+  support::Status cancel(uint64_t Ticket);
+
 private:
   void executorMain();
 
@@ -56,6 +72,11 @@ private:
   std::deque<std::function<void()>> Pending;
   bool Busy = false; ///< an item is executing right now
   bool Stop = false;
+  /// Ticket registry for cancel(). Weak entries: the launch task owns
+  /// the token; expired entries are pruned on registration.
+  std::unordered_map<uint64_t, std::weak_ptr<support::CancelToken>>
+      Cancels;
+  uint64_t NextTicket = 1;
   std::thread Executor;
 };
 

@@ -107,6 +107,41 @@ support::Result<Value> Client::call(const Value &Request) {
   return parseResponse(Frame.value());
 }
 
+support::Result<Value> Client::callWithRetry(const Value &Request,
+                                             uint64_t DeadlineMs) {
+  support::RetryBackoff Backoff(
+      std::chrono::milliseconds(Retry.BaseDelayMs),
+      std::chrono::milliseconds(Retry.MaxDelayMs),
+      Retry.Seed ? Retry.Seed : 0x9e3779b97f4a7c15ull);
+  auto Start = std::chrono::steady_clock::now();
+  unsigned Attempts = Retry.MaxAttempts ? Retry.MaxAttempts : 1;
+  support::Result<Value> Last =
+      support::Status(support::ErrorCode::Internal, "no attempt made");
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    Last = call(Request);
+    if (Last.ok())
+      return Last;
+    support::ErrorCode Code = Last.status().code();
+    bool Transient =
+        Code == support::ErrorCode::Overloaded ||
+        (Retry.RetryDraining && Code == support::ErrorCode::Draining);
+    if (!Transient || Attempt + 1 == Attempts)
+      return Last;
+    std::chrono::milliseconds Delay = Backoff.nextDelay(Attempt);
+    if (DeadlineMs) {
+      // Deadline-aware: never sleep past the caller's budget — surface
+      // the last typed refusal instead of overrunning it.
+      auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - Start);
+      if (Elapsed + Delay >=
+          std::chrono::milliseconds(DeadlineMs))
+        return Last;
+    }
+    std::this_thread::sleep_for(Delay);
+  }
+  return Last;
+}
+
 support::Result<Value> Client::hello() {
   Value Req = Value::object();
   Req.set("op", Value::string("hello"));
@@ -194,23 +229,38 @@ support::Result<Value> Client::launch(const std::string &Tenant,
                                       const std::string &Kernel,
                                       sim::Dim3 Grid, sim::Dim3 Block,
                                       const std::vector<uint64_t> &Params,
-                                      bool WantReport) {
+                                      bool WantReport,
+                                      uint64_t DeadlineMs) {
   Value Req = launchBody(Tenant, Kernel, Grid, Block, Params);
   if (WantReport)
     Req.set("report", Value::boolean(true));
-  return call(Req);
+  if (DeadlineMs)
+    Req.set("deadlineMs", Value::number(DeadlineMs));
+  return callWithRetry(Req, DeadlineMs);
 }
 
 support::Result<uint64_t>
 Client::launchAsync(const std::string &Tenant, const std::string &Kernel,
                     sim::Dim3 Grid, sim::Dim3 Block,
-                    const std::vector<uint64_t> &Params) {
+                    const std::vector<uint64_t> &Params,
+                    uint64_t DeadlineMs) {
   Value Req = launchBody(Tenant, Kernel, Grid, Block, Params);
   Req.set("async", Value::boolean(true));
-  support::Result<Value> Response = call(Req);
+  if (DeadlineMs)
+    Req.set("deadlineMs", Value::number(DeadlineMs));
+  support::Result<Value> Response = callWithRetry(Req, DeadlineMs);
   if (!Response.ok())
     return Response.status();
   return Response.value().getU64("ticket");
+}
+
+support::Result<Value> Client::cancel(const std::string &Tenant,
+                                      uint64_t Ticket) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("cancel"));
+  Req.set("tenant", Value::string(Tenant));
+  Req.set("ticket", Value::number(Ticket));
+  return call(Req);
 }
 
 support::Result<Value> Client::poll(const std::string &Tenant,

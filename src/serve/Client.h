@@ -26,6 +26,7 @@
 
 #include "serve/Protocol.h"
 #include "sim/Machine.h"
+#include "support/Backoff.h"
 #include "support/Error.h"
 #include "support/Json.h"
 
@@ -35,6 +36,24 @@
 
 namespace barracuda {
 namespace serve {
+
+/// Client-side retry policy for transient refusals. Overloaded is
+/// always retried when attempts remain (same server, after backoff);
+/// Draining only when RetryDraining is set — a draining server will
+/// never accept, so that flavor is for callers that fail over (e.g.
+/// reconnect to a replacement daemon) between attempts. The default is
+/// no retries at all.
+struct RetryOptions {
+  /// Total tries per call (1 = no retry).
+  unsigned MaxAttempts = 1;
+  /// Jittered exponential backoff between tries (support::RetryBackoff).
+  uint64_t BaseDelayMs = 10;
+  uint64_t MaxDelayMs = 2000;
+  /// Also retry typed Draining responses.
+  bool RetryDraining = false;
+  /// Deterministic jitter seed (tests); 0 keeps the library default.
+  uint64_t Seed = 0;
+};
 
 /// One connection speaking the line protocol.
 class Client {
@@ -56,6 +75,19 @@ public:
   support::Result<support::json::Value>
   call(const support::json::Value &Request);
 
+  /// Retry policy applied by callWithRetry (and the launch wrappers).
+  void setRetry(RetryOptions Options) { Retry = Options; }
+  const RetryOptions &retry() const { return Retry; }
+
+  /// call() with the retry policy: transient refusals (Overloaded, and
+  /// Draining when enabled) are retried up to MaxAttempts with jittered
+  /// exponential backoff. Deadline-aware: when \p DeadlineMs is nonzero
+  /// the retry loop never sleeps past it — if the next backoff would
+  /// overrun the budget, the last typed refusal is returned instead.
+  support::Result<support::json::Value>
+  callWithRetry(const support::json::Value &Request,
+                uint64_t DeadlineMs = 0);
+
   // --- convenience wrappers (one op each) ----------------------------
   support::Result<support::json::Value> hello();
   /// Returns the kernel-name list on success.
@@ -70,17 +102,26 @@ public:
   support::Result<uint32_t> readU32(const std::string &Tenant,
                                     uint64_t Addr);
   /// Blocking launch: the payload object of the response ("ok",
-  /// "recordsLogged", "racesTotal", "degraded", ...).
+  /// "recordsLogged", "racesTotal", "degraded", ...). A nonzero
+  /// \p DeadlineMs rides the frame as "deadlineMs" (the server bounds
+  /// the launch's wall clock) and caps the client's own retry loop.
   support::Result<support::json::Value>
   launch(const std::string &Tenant, const std::string &Kernel,
          sim::Dim3 Grid, sim::Dim3 Block,
          const std::vector<uint64_t> &Params = {},
-         bool WantReport = false);
-  /// Async launch: the ticket to poll.
+         bool WantReport = false, uint64_t DeadlineMs = 0);
+  /// Async launch: the ticket to poll (revocable with cancel()).
   support::Result<uint64_t>
   launchAsync(const std::string &Tenant, const std::string &Kernel,
               sim::Dim3 Grid, sim::Dim3 Block,
-              const std::vector<uint64_t> &Params = {});
+              const std::vector<uint64_t> &Params = {},
+              uint64_t DeadlineMs = 0);
+  /// Revokes an async ticket. The payload's "cancelled" is true when
+  /// the revoke was delivered, false when the launch had already
+  /// completed (the documented no-op); unknown tickets are typed
+  /// ProtocolError.
+  support::Result<support::json::Value> cancel(const std::string &Tenant,
+                                               uint64_t Ticket);
   /// One poll round; "done" is false while the launch runs.
   support::Result<support::json::Value> poll(const std::string &Tenant,
                                              uint64_t Ticket,
@@ -103,6 +144,7 @@ private:
 
   int Fd = -1;
   std::string Buffer;
+  RetryOptions Retry;
 };
 
 } // namespace serve

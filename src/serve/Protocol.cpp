@@ -30,6 +30,8 @@ const char *serve::opName(Op O) {
     return "launch";
   case Op::Poll:
     return "poll";
+  case Op::Cancel:
+    return "cancel";
   case Op::Report:
     return "report";
   case Op::Stats:
@@ -69,8 +71,8 @@ support::Result<Request> serve::parseRequest(const std::string &Frame) {
   static const Op All[] = {Op::Hello,    Op::LoadModule, Op::Alloc,
                            Op::Fill,     Op::WriteU32,   Op::WriteU64,
                            Op::ReadU32,  Op::ReadU64,    Op::Launch,
-                           Op::Poll,     Op::Report,     Op::Stats,
-                           Op::Shutdown};
+                           Op::Poll,     Op::Cancel,     Op::Report,
+                           Op::Stats,    Op::Shutdown};
   Request Out;
   bool Known = false;
   for (Op O : All)

@@ -66,8 +66,10 @@ enum class Op : uint8_t {
   ReadU32,    ///< peek a word ("addr") -> "value"
   ReadU64,
   Launch,     ///< launch "kernel" with "grid"/"block"/"params";
-              ///< "async":true returns a "ticket" instead of blocking
+              ///< "async":true returns a "ticket" instead of blocking;
+              ///< "deadlineMs" bounds the launch's wall time
   Poll,       ///< resolve an async "ticket" -> "done" (+ result)
+  Cancel,     ///< revoke an async "ticket" (completed = no-op)
   Report,     ///< the tenant's latest RunReport document
   Stats,      ///< server-wide counters (tenants, in-flight, launches)
   Shutdown,   ///< stop the server after acking

@@ -5,6 +5,7 @@
 #include "support/Format.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -124,6 +125,33 @@ void Server::stop() {
   ShutdownCv.notify_all();
 }
 
+void Server::drain(uint64_t BudgetMs) {
+  if (Draining.exchange(true, std::memory_order_acq_rel))
+    return; // someone is already draining; the first caller finishes it
+  if (BudgetMs == ~0ull)
+    BudgetMs = Options.DrainBudgetMs;
+
+  // Phase 1: wait (bounded) for in-flight launches to reach terminal
+  // states on their own. New launches are already refused, every other
+  // op still works, so clients can poll and reap meanwhile.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(BudgetMs);
+  while (Registry.unresolvedTotal() != 0 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // Phase 2: the budget is spent — revoke the stragglers and wait for
+  // the cancellations to retire through the watermark (cooperative
+  // cancellation is bounded by a scheduling pass + a drain batch, so
+  // this wait is short and, unlike phase 1, not abandoned).
+  if (Registry.unresolvedTotal() != 0) {
+    Registry.cancelAllInFlight();
+    while (Registry.unresolvedTotal() != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop();
+}
+
 void Server::waitForShutdown() {
   std::unique_lock<std::mutex> Lock(ShutdownMu);
   ShutdownCv.wait(Lock, [this] {
@@ -217,6 +245,13 @@ std::string Server::handleFrame(const std::string &Frame,
                 Value::number(Accepted.load(std::memory_order_relaxed)));
     Payload.set("frames",
                 Value::number(Frames.load(std::memory_order_relaxed)));
+    Payload.set("draining",
+                Value::boolean(Draining.load(std::memory_order_acquire)));
+    Payload.set("workersRespawned",
+                Value::number(Engine_->workersRespawned()));
+    Payload.set("quarantinedQueues",
+                Value::number(static_cast<uint64_t>(
+                    Engine_->quarantinedQueues())));
     return okResponse(Op::Stats, Payload);
   }
   case Op::Shutdown: {
@@ -232,6 +267,17 @@ std::string Server::handleFrame(const std::string &Frame,
   default:
     break;
   }
+
+  // A draining server admits no new work but keeps every other op alive
+  // so clients can reap, cancel and read reports on their way out. The
+  // code is the retry contract: Draining means "finished elsewhere",
+  // unlike Overloaded's "retry here after backoff".
+  if (Req.O == Op::Launch && Draining.load(std::memory_order_acquire))
+    return errorResponse(
+        opName(Req.O),
+        support::Status(support::ErrorCode::Draining,
+                        "server is draining toward shutdown; "
+                        "new launches are refused"));
 
   Tenant &T = Registry.acquire(Req.Tenant);
   support::Result<Value> Outcome = [&]() -> support::Result<Value> {
@@ -254,6 +300,8 @@ std::string Server::handleFrame(const std::string &Frame,
       return T.launch(Req.Body);
     case Op::Poll:
       return T.poll(Req.Body);
+    case Op::Cancel:
+      return T.cancel(Req.Body);
     case Op::Report:
       return T.report();
     default:
@@ -275,4 +323,12 @@ void Server::sample(std::vector<obs::Exporter::Sample> &Out) {
   Out.push_back({"serve.frames", "", obs::MetricSample::Kind::Counter,
                  static_cast<int64_t>(
                      Frames.load(std::memory_order_relaxed))});
+  Out.push_back({"serve.draining", "", obs::MetricSample::Kind::Gauge,
+                 Draining.load(std::memory_order_acquire) ? 1 : 0});
+  Out.push_back({"engine.live.quarantined_queues", "",
+                 obs::MetricSample::Kind::Gauge,
+                 static_cast<int64_t>(Engine_->quarantinedQueues())});
+  Out.push_back({"engine.live.workers_respawned", "",
+                 obs::MetricSample::Kind::Gauge,
+                 static_cast<int64_t>(Engine_->workersRespawned())});
 }

@@ -60,6 +60,9 @@ struct ServerOptions {
   /// Per-frame byte cap; an overlong line answers ProtocolError and
   /// closes the connection.
   size_t MaxFrameBytes = serve::MaxFrameBytes;
+  /// Graceful-drain budget: how long drain() lets in-flight launches
+  /// finish before cancelling the stragglers (0 = cancel immediately).
+  uint64_t DrainBudgetMs = 5000;
 };
 
 /// The daemon: listener, connection threads, tenant registry, engine.
@@ -78,6 +81,22 @@ public:
   /// Closes the listener, joins every connection thread and stops
   /// accepting. Idempotent; also run by the destructor.
   void stop();
+
+  /// Graceful shutdown (SIGTERM): flips the server into the draining
+  /// state — new launches are refused with typed Draining while every
+  /// other op keeps working, so clients can poll and reap — then waits
+  /// up to the drain budget (\p BudgetMs, or Options.DrainBudgetMs when
+  /// ~0) for in-flight launches to reach terminal states, cancels the
+  /// stragglers cooperatively, waits for those cancellations to retire
+  /// through the watermark, and finally stop()s. No launch is ever
+  /// orphaned: each one resolves Ok, failed, Cancelled or
+  /// DeadlineExceeded before the listener closes. Idempotent.
+  void drain(uint64_t BudgetMs = ~0ull);
+
+  /// True while drain() is refusing new launches.
+  bool draining() const {
+    return Draining.load(std::memory_order_acquire);
+  }
 
   /// Blocks until a shutdown frame arrives or stop() is called.
   void waitForShutdown();
@@ -120,6 +139,7 @@ private:
 
   std::atomic<bool> Running{false};
   std::atomic<bool> ShutdownRequested{false};
+  std::atomic<bool> Draining{false};
   std::atomic<uint64_t> Accepted{0};
   std::atomic<uint64_t> Frames{0};
   /// Atomic because stop() invalidates it while the acceptor reads it.

@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace barracuda;
@@ -226,6 +227,7 @@ support::Result<Value> Tenant::launch(const Value &Body) {
   }
   bool Async = Body.getBool("async");
   bool WantReport = Body.getBool("report");
+  uint64_t DeadlineMs = Body.getU64("deadlineMs");
 
   std::future<support::Result<sim::LaunchResult>> Future;
   {
@@ -244,11 +246,23 @@ support::Result<Value> Tenant::launch(const Value &Body) {
               Name.c_str(), InFlight, Options.MaxInFlight));
     }
     ++InFlight;
-    Future = Sess->launchKernelAsync(*Lane, Kernel, Grid.value(),
-                                     Block.value(), Params);
+    Session::AsyncLaunch Handle = Sess->submitKernel(
+        *Lane, Kernel, Grid.value(), Block.value(), Params, DeadlineMs);
+    // Every launch — ticketed or blocking — stays revocable by a
+    // draining server through the weak list.
+    if (LiveTokens.size() >= 32)
+      LiveTokens.erase(
+          std::remove_if(LiveTokens.begin(), LiveTokens.end(),
+                         [](const std::weak_ptr<support::CancelToken> &W) {
+                           return W.expired();
+                         }),
+          LiveTokens.end());
+    LiveTokens.push_back(Handle.Token);
+    Future = std::move(Handle.Future);
     if (Async) {
       uint64_t Ticket = NextTicket++;
-      Tickets.emplace(Ticket, PendingLaunch{std::move(Future), Kernel});
+      Tickets.emplace(Ticket, PendingLaunch{std::move(Future), Kernel,
+                                            std::move(Handle.Token)});
       Value Payload = Value::object();
       Payload.set("ticket", Value::number(Ticket));
       return Payload;
@@ -296,6 +310,62 @@ support::Result<Value> Tenant::poll(const Value &Body) {
   for (const auto &[Key, Member] : Reaped.members())
     Payload.set(Key, Member);
   return Payload;
+}
+
+support::Result<Value> Tenant::cancel(const Value &Body) {
+  if (!Body.get("ticket"))
+    return protocolError("cancel requires a \"ticket\"");
+  uint64_t Ticket = Body.getU64("ticket");
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Tickets.find(Ticket);
+  if (It == Tickets.end())
+    return protocolError(
+        support::formatString("tenant '%s': unknown ticket %llu",
+                              Name.c_str(),
+                              static_cast<unsigned long long>(Ticket)));
+  Value Payload = Value::object();
+  Payload.set("ticket", Value::number(Ticket));
+  // Cancel-after-completion is the documented no-op: the launch already
+  // has its terminal state, the ticket stays reapable by poll.
+  if (It->second.Future.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    Payload.set("cancelled", Value::boolean(false));
+    Payload.set("done", Value::boolean(true));
+    return Payload;
+  }
+  if (It->second.Token)
+    It->second.Token->cancel();
+  Payload.set("cancelled", Value::boolean(true));
+  Payload.set("done", Value::boolean(false));
+  return Payload;
+}
+
+uint32_t Tenant::unresolvedLaunches() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // InFlight minus the async tickets leaves the blocking launches;
+  // their connection threads self-reap the moment the future resolves,
+  // so counting them as unresolved only briefly over-reports.
+  uint32_t Unresolved =
+      InFlight >= Tickets.size()
+          ? InFlight - static_cast<uint32_t>(Tickets.size())
+          : 0;
+  for (const auto &[Ticket, Pending] : Tickets)
+    if (Pending.Future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+      ++Unresolved;
+  return Unresolved;
+}
+
+uint32_t Tenant::cancelInFlight() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint32_t Tripped = 0;
+  for (const std::weak_ptr<support::CancelToken> &Weak : LiveTokens)
+    if (std::shared_ptr<support::CancelToken> Token = Weak.lock())
+      if (!Token->tripped()) {
+        Token->cancel();
+        ++Tripped;
+      }
+  return Tripped;
 }
 
 support::Result<Value> Tenant::report() {
@@ -360,6 +430,30 @@ support::json::Value TenantRegistry::stats() const {
 size_t TenantRegistry::tenantCount() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Tenants.size();
+}
+
+uint32_t TenantRegistry::inFlightTotal() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint32_t Total = 0;
+  for (const auto &[Name, T] : Tenants)
+    Total += T->inFlight();
+  return Total;
+}
+
+uint32_t TenantRegistry::cancelAllInFlight() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint32_t Tripped = 0;
+  for (const auto &[Name, T] : Tenants)
+    Tripped += T->cancelInFlight();
+  return Tripped;
+}
+
+uint32_t TenantRegistry::unresolvedTotal() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint32_t Total = 0;
+  for (const auto &[Name, T] : Tenants)
+    Total += T->unresolvedLaunches();
+  return Total;
 }
 
 void TenantRegistry::sample(std::vector<obs::Exporter::Sample> &Out) {

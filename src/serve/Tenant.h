@@ -85,7 +85,20 @@ public:
   launch(const support::json::Value &Body);
   support::Result<support::json::Value>
   poll(const support::json::Value &Body);
+  support::Result<support::json::Value>
+  cancel(const support::json::Value &Body);
   support::Result<support::json::Value> report();
+
+  /// Revokes every launch still in flight (graceful-drain stragglers).
+  /// Returns how many live tokens were tripped. Any thread.
+  uint32_t cancelInFlight();
+
+  /// Launches that have not yet reached a terminal state: blocking
+  /// launches still executing plus async tickets whose future is not
+  /// ready. Unlike inFlight() this does NOT count completed-but-
+  /// unreaped tickets, so a draining server can wait on it without
+  /// depending on clients polling.
+  uint32_t unresolvedLaunches() const;
 
   // --- telemetry (any thread) ----------------------------------------
   uint32_t inFlight() const;
@@ -116,9 +129,15 @@ private:
   struct PendingLaunch {
     std::future<support::Result<sim::LaunchResult>> Future;
     std::string Kernel;
+    /// Lifecycle handle: cancel trips it; kept until the ticket is
+    /// reaped so cancel-after-completion stays a cheap no-op.
+    std::shared_ptr<support::CancelToken> Token;
   };
   std::map<uint64_t, PendingLaunch> Tickets;
   uint64_t NextTicket = 1;
+  /// Every launch's token, weakly — blocking launches have no ticket
+  /// but must still be revocable by a draining server. Pruned lazily.
+  std::vector<std::weak_ptr<support::CancelToken>> LiveTokens;
 
   uint32_t InFlight = 0;
   uint64_t Completed = 0;
@@ -145,6 +164,18 @@ public:
   void sample(std::vector<obs::Exporter::Sample> &Out);
 
   size_t tenantCount() const;
+
+  /// Launches submitted-but-unreaped across every tenant. Drain polls
+  /// this toward zero.
+  uint32_t inFlightTotal() const;
+
+  /// Revokes every in-flight launch on every tenant (drain-budget
+  /// expiry). Returns how many tokens were tripped.
+  uint32_t cancelAllInFlight();
+
+  /// Launches not yet terminal across every tenant (see
+  /// Tenant::unresolvedLaunches).
+  uint32_t unresolvedTotal() const;
 
 private:
   runtime::Engine &Engine;

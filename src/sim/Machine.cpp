@@ -119,9 +119,10 @@ public:
                 const instrument::KernelInstrumentation *Instr,
                 const LaunchConfig &Config,
                 const std::vector<uint8_t> &ParamBuffer,
-                DeviceLogger *Logger, const LoweredKernel *Low)
-      : Mach(Mach), M(M), K(K), Instr(Instr), Low(Low), Config(Config),
-        Params(ParamBuffer), Logger(Logger),
+                DeviceLogger *Logger, const LoweredKernel *Low,
+                const support::CancelToken *Cancel)
+      : Mach(Mach), M(M), K(K), Instr(Instr), Low(Low), Cancel(Cancel),
+        Config(Config), Params(ParamBuffer), Logger(Logger),
         Weak(Mach.Options.WeakProfile, Mach.Memory,
              Mach.Options.WeakSeed +
                  0x9E3779B97F4A7C15ULL * ++Mach.LaunchSeq) {
@@ -760,6 +761,7 @@ private:
   const Kernel &K;
   const instrument::KernelInstrumentation *Instr;
   const LoweredKernel *Low;
+  const support::CancelToken *Cancel;
   LaunchConfig Config;
   const std::vector<uint8_t> &Params;
   DeviceLogger *Logger;
@@ -2103,6 +2105,7 @@ LaunchResult Machine::LaunchContext::run() {
   uint32_t BlockCount = Config.blockCount();
   uint32_t WaveSize = std::min(BlockCount, Mach.Options.MaxResidentBlocks);
   std::vector<BlockExec> Blocks(WaveSize);
+  uint64_t SchedPasses = 0;
 
   for (uint32_t WaveBase = 0; WaveBase < BlockCount && !Failed;
        WaveBase += WaveSize) {
@@ -2204,6 +2207,26 @@ LaunchResult Machine::LaunchContext::run() {
       }
       if (Weak.enabled())
         Weak.tick();
+      // Cooperative cancellation at the block-dispatch boundary: the
+      // token is polled every 64 scheduling passes (tripped() is one
+      // relaxed load; state() consults the clock only while a deadline
+      // is armed) so a revoked or deadlined launch retires typed within
+      // a bounded number of passes instead of waiting for the watchdog.
+      if (Cancel && (++SchedPasses & 63) == 0) {
+        support::ErrorCode Tripped = Cancel->state();
+        if (Tripped != support::ErrorCode::Ok) {
+          uint32_t Pc = hangPc();
+          resilienceInstant(Tripped == support::ErrorCode::Cancelled
+                                ? "cancel: launch revoked"
+                                : "cancel: deadline exceeded");
+          failLaunch(Tripped,
+                     Tripped == support::ErrorCode::Cancelled
+                         ? "launch cancelled at a scheduling boundary"
+                         : "deadline exceeded at a scheduling boundary",
+                     Pc);
+          break;
+        }
+      }
       if (Executed > Mach.Options.MaxWarpInstructions) {
         uint32_t Pc = hangPc();
         resilienceInstant("watchdog: instruction budget exhausted");
@@ -2278,14 +2301,16 @@ LaunchResult Machine::launch(const Module &M, const Kernel &K,
                              const instrument::KernelInstrumentation *Instr,
                              const LaunchConfig &Config,
                              const std::vector<uint8_t> &ParamBuffer,
-                             DeviceLogger *Logger, const LoweredKernel *Low) {
+                             DeviceLogger *Logger, const LoweredKernel *Low,
+                             const support::CancelToken *Cancel) {
   // A lowered kernel is only usable if it matches this body and was
   // lowered for the same mode (native vs instrumented); otherwise run
   // the legacy interpreter.
   if (Low && (Low->Uops.size() != K.Body.size() ||
               Low->Instrumented != (Instr != nullptr)))
     Low = nullptr;
-  LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger, Low);
+  LaunchContext Context(*this, M, K, Instr, Config, ParamBuffer, Logger, Low,
+                        Cancel);
   obs::Span Execute(Options.Tracer,
                     Options.Tracer ? Options.Tracer->track("device") : 0,
                     "execute " + K.Name, "sim");

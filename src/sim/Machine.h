@@ -32,6 +32,7 @@
 #include "sim/Logger.h"
 #include "sim/Memory.h"
 #include "sim/WeakMemory.h"
+#include "support/Cancel.h"
 #include "support/Error.h"
 
 #include <atomic>
@@ -141,12 +142,17 @@ public:
   ///        the uop array instead of re-decoding instructions. Must have
   ///        been lowered with the same \p Instr value (native vs
   ///        instrumented); mismatches fall back to the legacy path.
+  /// \param Cancel cooperative cancellation token polled at scheduling
+  ///        boundaries; a tripped token retires the launch with a typed
+  ///        Cancelled/DeadlineExceeded failure (records logged so far
+  ///        still drain through the normal watermark).
   LaunchResult launch(const ptx::Module &M, const ptx::Kernel &K,
                       const instrument::KernelInstrumentation *Instr,
                       const LaunchConfig &Config,
                       const std::vector<uint8_t> &ParamBuffer,
                       DeviceLogger *Logger,
-                      const LoweredKernel *Low = nullptr);
+                      const LoweredKernel *Low = nullptr,
+                      const support::CancelToken *Cancel = nullptr);
 
   GlobalMemory &memory() { return Memory; }
   const MachineOptions &options() const { return Options; }

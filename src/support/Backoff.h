@@ -66,6 +66,56 @@ private:
   unsigned SleepMicros = 1;
 };
 
+/// A jittered, capped exponential retry policy for request-level retry
+/// loops (serve clients backing off on Overloaded/Draining). Unlike
+/// Backoff, it never sleeps itself: nextDelay() hands out the delay for
+/// attempt N so the caller can honor its own deadline while waiting.
+///
+/// Delays follow Base * 2^attempt capped at Max, then jittered to
+/// [delay/2, delay] ("equal jitter") so a thundering herd refused
+/// together does not retry together. The jitter source is a
+/// deterministic xorshift stream per policy instance, seedable for
+/// reproducible tests.
+class RetryBackoff {
+public:
+  explicit RetryBackoff(std::chrono::milliseconds Base =
+                            std::chrono::milliseconds(10),
+                        std::chrono::milliseconds Max =
+                            std::chrono::milliseconds(2000),
+                        uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : BaseMs(static_cast<uint64_t>(Base.count())),
+        MaxMs(static_cast<uint64_t>(Max.count())),
+        Rng(Seed ? Seed : 1) {}
+
+  /// The jittered delay before retry number \p Attempt (0-based).
+  std::chrono::milliseconds nextDelay(unsigned Attempt) {
+    uint64_t Exp = BaseMs;
+    for (unsigned I = 0; I != Attempt && Exp < MaxMs; ++I)
+      Exp *= 2;
+    if (Exp > MaxMs)
+      Exp = MaxMs;
+    if (Exp <= 1)
+      return std::chrono::milliseconds(Exp);
+    // Equal jitter: keep at least half the exponential step so retries
+    // still separate, randomize the rest.
+    uint64_t Half = Exp / 2;
+    return std::chrono::milliseconds(Half + nextRandom() % (Exp - Half + 1));
+  }
+
+private:
+  uint64_t nextRandom() {
+    // xorshift64*: deterministic, seedable, no <random> heft.
+    Rng ^= Rng >> 12;
+    Rng ^= Rng << 25;
+    Rng ^= Rng >> 27;
+    return Rng * 0x2545f4914f6cdd1dull;
+  }
+
+  uint64_t BaseMs;
+  uint64_t MaxMs;
+  uint64_t Rng;
+};
+
 } // namespace support
 } // namespace barracuda
 

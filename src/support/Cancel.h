@@ -1,0 +1,108 @@
+//===- Cancel.h - cooperative per-launch cancellation -----------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared cancellation token checked cooperatively at scheduling
+/// boundaries: the simulator polls it between wave passes and the
+/// engine polls it between drain batches. A token trips exactly once
+/// (explicit cancel() wins over a racing deadline) and then reports a
+/// stable terminal code — Cancelled or DeadlineExceeded — so a launch
+/// revoked from either side retires through the normal watermark with
+/// a typed result instead of being torn down.
+///
+/// The fast path (`tripped()`) is one relaxed atomic load; the clock is
+/// consulted only while a deadline is armed and not yet tripped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_SUPPORT_CANCEL_H
+#define BARRACUDA_SUPPORT_CANCEL_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace barracuda {
+namespace support {
+
+/// Shared, lock-free cancellation state for one launch. Safe to poll
+/// from any thread; arming and cancelling are idempotent.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Revokes the launch. Idempotent; an explicit cancel latched before
+  /// the deadline fires keeps the Cancelled verdict.
+  void cancel() {
+    uint8_t Expected = Live;
+    State.compare_exchange_strong(Expected, ByCancel,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+
+  /// Arms a wall-clock deadline \p Ms milliseconds from now. A zero
+  /// \p Ms or an already-armed token is a no-op (first deadline wins).
+  void armDeadline(uint64_t Ms) {
+    if (Ms == 0)
+      return;
+    uint64_t Expected = 0;
+    DeadlineNs.compare_exchange_strong(Expected, nowNs() + Ms * 1000000ull,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
+  bool hasDeadline() const {
+    return DeadlineNs.load(std::memory_order_acquire) != 0;
+  }
+
+  /// True once the token has latched a terminal state. Never consults
+  /// the clock — use state() at poll points that should trip deadlines.
+  bool tripped() const {
+    return State.load(std::memory_order_relaxed) != Live;
+  }
+
+  /// Poll point: Ok while live, else the terminal code. Trips (and
+  /// latches) DeadlineExceeded when an armed deadline has passed.
+  ErrorCode state() const {
+    uint8_t Latched = State.load(std::memory_order_acquire);
+    if (Latched == Live) {
+      uint64_t Armed = DeadlineNs.load(std::memory_order_acquire);
+      if (Armed == 0 || nowNs() < Armed)
+        return ErrorCode::Ok;
+      uint8_t Expected = Live;
+      if (!State.compare_exchange_strong(Expected, ByDeadline,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+        Latched = Expected; // lost to a racing cancel(): keep its verdict
+      else
+        Latched = ByDeadline;
+    }
+    return Latched == ByCancel ? ErrorCode::Cancelled
+                               : ErrorCode::DeadlineExceeded;
+  }
+
+private:
+  enum : uint8_t { Live = 0, ByCancel = 1, ByDeadline = 2 };
+
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  mutable std::atomic<uint8_t> State{Live};
+  std::atomic<uint64_t> DeadlineNs{0};
+};
+
+} // namespace support
+} // namespace barracuda
+
+#endif // BARRACUDA_SUPPORT_CANCEL_H

@@ -32,6 +32,12 @@ const char *support::errorCodeName(ErrorCode Code) {
     return "Overloaded";
   case ErrorCode::ProtocolError:
     return "ProtocolError";
+  case ErrorCode::Cancelled:
+    return "Cancelled";
+  case ErrorCode::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case ErrorCode::Draining:
+    return "Draining";
   }
   return "Unknown";
 }
@@ -44,7 +50,8 @@ support::ErrorCode support::errorCodeFromName(const std::string &Name) {
       ErrorCode::InvalidLaunch, ErrorCode::DeviceFault,
       ErrorCode::FaultInjected, ErrorCode::Internal,
       ErrorCode::ModuleInvalid, ErrorCode::Overloaded,
-      ErrorCode::ProtocolError,
+      ErrorCode::ProtocolError, ErrorCode::Cancelled,
+      ErrorCode::DeadlineExceeded, ErrorCode::Draining,
   };
   for (ErrorCode Code : All)
     if (Name == errorCodeName(Code))

@@ -63,6 +63,15 @@ enum class ErrorCode : uint8_t {
   /// A serve-protocol frame was malformed: bad JSON, an unsupported
   /// schemaVersion, an unknown op, a missing field or an oversized frame.
   ProtocolError,
+  /// The launch was revoked by an explicit cancel (Stream::cancel /
+  /// serve op "cancel") and retired early through the normal watermark.
+  Cancelled,
+  /// The launch's wall-clock deadline (DetectOptions::DeadlineMs /
+  /// serve "deadlineMs") expired; it retired early like Cancelled.
+  DeadlineExceeded,
+  /// The server is draining toward shutdown and refuses new launches.
+  /// Retry against another instance, or back off until restart.
+  Draining,
 };
 
 /// The stable name of \p Code ("KernelHang", ...). Never changes once

@@ -1,0 +1,177 @@
+//===- BackoffTest.cpp - retry backoff and cancellation primitives ---------===//
+
+#include "support/Backoff.h"
+#include "support/Cancel.h"
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace barracuda;
+using std::chrono::milliseconds;
+
+namespace {
+
+// --- RetryBackoff ---------------------------------------------------------
+
+TEST(RetryBackoff, JitterStaysInsideTheEqualJitterWindow) {
+  support::RetryBackoff Policy(milliseconds(10), milliseconds(2000));
+  for (unsigned Attempt = 0; Attempt != 12; ++Attempt) {
+    uint64_t Exp = 10ull << Attempt;
+    if (Exp > 2000)
+      Exp = 2000;
+    for (int Draw = 0; Draw != 16; ++Draw) {
+      uint64_t Delay =
+          static_cast<uint64_t>(Policy.nextDelay(Attempt).count());
+      EXPECT_GE(Delay, Exp / 2) << "attempt " << Attempt;
+      EXPECT_LE(Delay, Exp) << "attempt " << Attempt;
+    }
+  }
+}
+
+TEST(RetryBackoff, CapsAtMaxForLargeAttempts) {
+  support::RetryBackoff Policy(milliseconds(100), milliseconds(400));
+  // 100 * 2^attempt overflows uint64 well before attempt 200; the cap
+  // must hold anyway.
+  for (unsigned Attempt : {2u, 3u, 10u, 63u, 200u}) {
+    uint64_t Delay =
+        static_cast<uint64_t>(Policy.nextDelay(Attempt).count());
+    EXPECT_GE(Delay, 200u);
+    EXPECT_LE(Delay, 400u);
+  }
+}
+
+TEST(RetryBackoff, GrowthIsMonotoneInTheWindowLowerBound) {
+  // The jittered draws themselves are not monotone, but the window's
+  // floor (Exp/2) doubles per attempt until the cap — so a later
+  // attempt's minimum delay must dominate an earlier attempt's floor.
+  support::RetryBackoff Policy(milliseconds(10), milliseconds(10000));
+  uint64_t PrevFloor = 0;
+  for (unsigned Attempt = 0; Attempt != 8; ++Attempt) {
+    uint64_t Delay =
+        static_cast<uint64_t>(Policy.nextDelay(Attempt).count());
+    EXPECT_GE(Delay, PrevFloor);
+    PrevFloor = (10ull << Attempt) / 2;
+  }
+}
+
+TEST(RetryBackoff, DeterministicPerSeed) {
+  support::RetryBackoff A(milliseconds(10), milliseconds(2000), 42);
+  support::RetryBackoff B(milliseconds(10), milliseconds(2000), 42);
+  std::vector<uint64_t> SeqA, SeqB;
+  for (unsigned Attempt = 0; Attempt != 10; ++Attempt) {
+    SeqA.push_back(static_cast<uint64_t>(A.nextDelay(Attempt).count()));
+    SeqB.push_back(static_cast<uint64_t>(B.nextDelay(Attempt).count()));
+  }
+  EXPECT_EQ(SeqA, SeqB);
+}
+
+TEST(RetryBackoff, DifferentSeedsProduceDifferentJitter) {
+  support::RetryBackoff A(milliseconds(100), milliseconds(1u << 20), 1);
+  support::RetryBackoff B(milliseconds(100), milliseconds(1u << 20), 2);
+  // With a wide window the chance all ten draws collide is negligible;
+  // any single difference proves the streams are seed-dependent.
+  bool Differed = false;
+  for (unsigned Attempt = 4; Attempt != 14 && !Differed; ++Attempt)
+    Differed = A.nextDelay(Attempt) != B.nextDelay(Attempt);
+  EXPECT_TRUE(Differed);
+}
+
+TEST(RetryBackoff, TinyBaseDoesNotUnderflow) {
+  support::RetryBackoff Policy(milliseconds(1), milliseconds(8));
+  EXPECT_EQ(Policy.nextDelay(0).count(), 1);
+  for (int Draw = 0; Draw != 8; ++Draw) {
+    uint64_t Delay = static_cast<uint64_t>(Policy.nextDelay(1).count());
+    EXPECT_GE(Delay, 1u);
+    EXPECT_LE(Delay, 2u);
+  }
+}
+
+// --- CancelToken ----------------------------------------------------------
+
+TEST(CancelToken, StartsLive) {
+  support::CancelToken Token;
+  EXPECT_FALSE(Token.tripped());
+  EXPECT_FALSE(Token.hasDeadline());
+  EXPECT_EQ(Token.state(), support::ErrorCode::Ok);
+}
+
+TEST(CancelToken, CancelLatchesOnceAndIsIdempotent) {
+  support::CancelToken Token;
+  Token.cancel();
+  EXPECT_TRUE(Token.tripped());
+  EXPECT_EQ(Token.state(), support::ErrorCode::Cancelled);
+  Token.cancel(); // second revoke keeps the verdict
+  EXPECT_EQ(Token.state(), support::ErrorCode::Cancelled);
+}
+
+TEST(CancelToken, ExplicitCancelBeatsAnExpiredDeadline) {
+  support::CancelToken Token;
+  Token.armDeadline(1);
+  Token.cancel();
+  std::this_thread::sleep_for(milliseconds(5));
+  // The deadline has long passed, but cancel() latched first.
+  EXPECT_EQ(Token.state(), support::ErrorCode::Cancelled);
+}
+
+TEST(CancelToken, DeadlineTripsAtAPollPoint) {
+  support::CancelToken Token;
+  Token.armDeadline(1);
+  EXPECT_TRUE(Token.hasDeadline());
+  std::this_thread::sleep_for(milliseconds(10));
+  // tripped() never consults the clock; only state() latches.
+  EXPECT_FALSE(Token.tripped());
+  EXPECT_EQ(Token.state(), support::ErrorCode::DeadlineExceeded);
+  EXPECT_TRUE(Token.tripped());
+}
+
+TEST(CancelToken, ZeroDeadlineIsANoOp) {
+  support::CancelToken Token;
+  Token.armDeadline(0);
+  EXPECT_FALSE(Token.hasDeadline());
+  EXPECT_EQ(Token.state(), support::ErrorCode::Ok);
+}
+
+TEST(CancelToken, FirstArmedDeadlineWins) {
+  support::CancelToken Token;
+  Token.armDeadline(1);
+  Token.armDeadline(60000); // later re-arm must not extend the budget
+  std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_EQ(Token.state(), support::ErrorCode::DeadlineExceeded);
+}
+
+TEST(CancelToken, FarDeadlineStaysOk) {
+  support::CancelToken Token;
+  Token.armDeadline(60000);
+  EXPECT_EQ(Token.state(), support::ErrorCode::Ok);
+  EXPECT_FALSE(Token.tripped());
+}
+
+TEST(CancelToken, ConcurrentCancelAndPollAgreeOnOneVerdict) {
+  // Hammer one token from cancellers and pollers at once: every
+  // observer must settle on the same single terminal code.
+  support::CancelToken Token;
+  Token.armDeadline(1);
+  std::vector<support::ErrorCode> Seen(4, support::ErrorCode::Ok);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != 4; ++I)
+    Threads.emplace_back([&Token, &Seen, I] {
+      if (I == 0)
+        Token.cancel();
+      support::ErrorCode Code = Token.state();
+      while (Code == support::ErrorCode::Ok)
+        Code = Token.state();
+      Seen[static_cast<size_t>(I)] = Code;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 1; I != 4; ++I)
+    EXPECT_EQ(Seen[static_cast<size_t>(I)], Seen[0]);
+  EXPECT_TRUE(Seen[0] == support::ErrorCode::Cancelled ||
+              Seen[0] == support::ErrorCode::DeadlineExceeded);
+}
+
+} // namespace

@@ -251,6 +251,186 @@ TEST(Engine, FullRingWaitsAreCounted) {
   EXPECT_GT(Queue.fullSpins(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Request lifecycles: deadlines, cooperative cancellation and the
+// self-healing pool. A revoked launch must retire through the normal
+// watermark — typed terminal code, counters preserved, ledger balanced —
+// and a healed pool must be indistinguishable from a fresh one.
+//===----------------------------------------------------------------------===//
+
+void expectBalancedLedger(const RunReport &R) {
+  EXPECT_EQ(R.Records.Processed + R.Resilience.RecordsDropped +
+                R.Resilience.RecordsRejected,
+            R.Launch.RecordsLogged)
+      << "processed " << R.Records.Processed << " + dropped "
+      << R.Resilience.RecordsDropped << " + rejected "
+      << R.Resilience.RecordsRejected << " != logged "
+      << R.Launch.RecordsLogged;
+}
+
+TEST(Lifecycle, DeadlineRetiresASpinningLaunchTyped) {
+  // kernel-spin makes warp 0 of block 0 spin forever; the watchdog is at
+  // its 500M-instruction default, so the 100ms deadline must be what
+  // stops the launch — cooperatively, at a scheduling boundary.
+  SessionOptions Options;
+  ASSERT_TRUE(Options.Faults.add("kernel-spin").ok());
+  Options.DeadlineMs = 100;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  support::Result<sim::LaunchResult> Result =
+      S.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), support::ErrorCode::DeadlineExceeded);
+  RunReport R = S.report();
+  EXPECT_EQ(R.Launch.Code, support::ErrorCode::DeadlineExceeded);
+  expectBalancedLedger(R);
+  // The engine survives: the next launch (which also spins — kernel-spin
+  // is sticky) is admitted, runs, and retires typed again instead of
+  // wedging the pool.
+  support::Result<sim::LaunchResult> Again =
+      S.launchKernel("hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_FALSE(Again.ok());
+  EXPECT_EQ(Again.status().code(), support::ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(S.engine().launchesBegun(), 2u);
+}
+
+TEST(Lifecycle, TicketCancelRevokesAnInFlightLaunch) {
+  SessionOptions Options;
+  ASSERT_TRUE(Options.Faults.add("kernel-spin").ok());
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  runtime::Stream &Lane = S.createStream();
+  Session::AsyncLaunch Handle = S.submitKernel(
+      Lane, "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_NE(Handle.Ticket, 0u);
+  ASSERT_NE(Handle.Token, nullptr);
+  // Let the launch reach its spin, then revoke through the stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(Lane.cancel(Handle.Ticket).ok());
+  support::Result<sim::LaunchResult> Result = Handle.Future.get();
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), support::ErrorCode::Cancelled);
+  RunReport R = S.report();
+  EXPECT_EQ(R.Launch.Code, support::ErrorCode::Cancelled);
+  expectBalancedLedger(R);
+  // Re-cancelling a tripped token stays a no-op.
+  EXPECT_TRUE(Lane.cancel(Handle.Ticket).ok());
+}
+
+TEST(Lifecycle, CancelAfterCompletionIsANoOpAndUnknownTicketsAreTyped) {
+  Session S;
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  runtime::Stream &Lane = S.createStream();
+  Session::AsyncLaunch Handle = S.submitKernel(
+      Lane, "hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Handle.Future.get().ok());
+  // The launch completed: revoking its ticket (whether the registry
+  // entry is still live or already expired) succeeds without effect.
+  EXPECT_TRUE(Lane.cancel(Handle.Ticket).ok());
+  Handle.Token.reset();
+  Lane.synchronize();
+  EXPECT_TRUE(Lane.cancel(Handle.Ticket).ok());
+  // A ticket the stream never issued is a typed protocol error.
+  support::Status Unknown = Lane.cancel(~0ull);
+  ASSERT_FALSE(Unknown.ok());
+  EXPECT_EQ(Unknown.code(), support::ErrorCode::ProtocolError);
+}
+
+TEST(Lifecycle, PerCallDeadlineOverridesSessionDefault) {
+  // The session default is generous; the per-call deadline is what must
+  // fire, with its clock starting at submission.
+  SessionOptions Options;
+  ASSERT_TRUE(Options.Faults.add("kernel-spin").ok());
+  Options.DeadlineMs = 60000;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  runtime::Stream &Lane = S.createStream();
+  Session::AsyncLaunch Handle =
+      S.submitKernel(Lane, "hist_racy", sim::Dim3(1), sim::Dim3(64),
+                     {Bins}, /*DeadlineMs=*/80);
+  support::Result<sim::LaunchResult> Result = Handle.Future.get();
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), support::ErrorCode::DeadlineExceeded);
+}
+
+TEST(Lifecycle, SlowDrainDeadlineKeepsTheLedgerBalanced) {
+  // slow-consumer throttles every drain batch once it fires; a tiny ring
+  // guarantees many batches, so the deadline must trip while records are
+  // still in flight — the remainder is dropped with exact accounting,
+  // never stranded.
+  SessionOptions Options;
+  Options.NumQueues = 1;
+  Options.QueueCapacity = 16;
+  ASSERT_TRUE(Options.Faults.add("slow-consumer@0").ok());
+  Options.DeadlineMs = 10;
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+  // 64 blocks log ~450 coalesced records; a 16-slot ring forces ~30
+  // throttled batches (2ms each), so the drain alone overruns the
+  // deadline by multiples.
+  support::Result<sim::LaunchResult> Result =
+      S.launchKernel("hist_racy", sim::Dim3(64), sim::Dim3(64), {Bins});
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), support::ErrorCode::DeadlineExceeded);
+  RunReport R = S.report();
+  EXPECT_EQ(R.Launch.Code, support::ErrorCode::DeadlineExceeded);
+  expectBalancedLedger(R);
+}
+
+TEST(Lifecycle, PoolHealsAfterWorkerFailureAndMatchesFreshEngine) {
+  // Fresh-engine reference verdicts for the one-block racy kernel.
+  std::set<RaceKey> Reference;
+  {
+    Session Ref;
+    ASSERT_TRUE(Ref.loadModule(HistogramModule)) << Ref.error();
+    uint64_t Bins = Ref.alloc(64);
+    ASSERT_TRUE(
+        Ref.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins})
+            .ok());
+    Reference = raceKeys(Ref);
+  }
+  ASSERT_FALSE(Reference.empty());
+
+  SessionOptions Options;
+  Options.NumQueues = 2;
+  ASSERT_TRUE(Options.Faults.add("worker-throw@0").ok());
+  Session S(Options);
+  ASSERT_TRUE(S.loadModule(HistogramModule)) << S.error();
+  uint64_t Bins = S.alloc(64);
+
+  // Launch 1 rides the fault: one worker throws, its queue is
+  // quarantined, the launch degrades but returns with balanced books.
+  ASSERT_TRUE(
+      S.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins})
+          .ok());
+  RunReport First = S.report();
+  EXPECT_TRUE(First.Resilience.Degraded);
+  EXPECT_GE(First.Resilience.WorkerFailures, 1u);
+  EXPECT_GE(First.Resilience.QueuesQuarantined, 1u);
+  expectBalancedLedger(First);
+
+  // The next epoch boundary heals the pool: launch 2 runs on a respawned
+  // worker and its verdicts are exactly the fresh-engine reference
+  // (launch 1's partial findings are a subset, so the cumulative set
+  // must equal it too).
+  ASSERT_TRUE(
+      S.launchKernel("hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins})
+          .ok());
+  RunReport Second = S.report();
+  EXPECT_FALSE(Second.Resilience.Degraded);
+  EXPECT_EQ(Second.Resilience.RecordsDropped, 0u);
+  EXPECT_GE(Second.Resilience.WorkersRespawned, 1u);
+  EXPECT_EQ(Second.Records.Processed, Second.Launch.RecordsLogged);
+  EXPECT_GE(S.engine().workersRespawned(), 1u);
+  EXPECT_EQ(S.engine().quarantinedQueues(), 0u);
+  EXPECT_EQ(raceKeys(S), Reference);
+}
+
 TEST(Engine, TinyQueueBackpressureWithConcurrentStreams) {
   // Two launches in flight over the same starved rings: epochs from
   // both interleave in each queue, and the drained-record watermarks

@@ -588,3 +588,183 @@ TEST(ServeServer, TenantFaultIsolation) {
   EXPECT_FALSE(docRaceKeys(*Doc).empty());
   Server.stop();
 }
+
+//===----------------------------------------------------------------------===//
+// Request lifecycles over the wire: deadlines, cancellation, retry and
+// graceful drain.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeLifecycle, DeadlineAnswersTypedDeadlineExceeded) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  // kernel-spin with the default (huge) watchdog: only the request's
+  // own deadline can retire the launch.
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule, {"kernel-spin"}).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  support::Result<Value> Spun =
+      C.launch("t0", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins},
+               /*WantReport=*/false, /*DeadlineMs=*/100);
+  ASSERT_FALSE(Spun.ok());
+  EXPECT_EQ(Spun.status().code(), support::ErrorCode::DeadlineExceeded);
+  // The quota slot was released by the typed failure.
+  EXPECT_EQ(Server.tenants().acquire("t0").inFlight(), 0u);
+  Server.stop();
+}
+
+TEST(ServeLifecycle, CancelResolvesATicketToTypedCancelled) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule, {"kernel-spin"}).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  support::Result<uint64_t> Ticket = C.launchAsync(
+      "t0", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Ticket.ok()) << Ticket.status().describe();
+
+  support::Result<Value> Cancelled = C.cancel("t0", Ticket.value());
+  ASSERT_TRUE(Cancelled.ok()) << Cancelled.status().describe();
+  EXPECT_TRUE(Cancelled.value().getBool("cancelled"));
+  EXPECT_FALSE(Cancelled.value().getBool("done"));
+
+  support::Result<Value> Done = C.pollUntilDone("t0", Ticket.value());
+  ASSERT_TRUE(Done.ok()) << Done.status().describe();
+  EXPECT_TRUE(Done.value().getBool("done"));
+  EXPECT_FALSE(Done.value().getBool("ok"));
+  EXPECT_EQ(Done.value().getString("launchStatus"), "Cancelled");
+  EXPECT_EQ(Server.tenants().acquire("t0").inFlight(), 0u);
+  Server.stop();
+}
+
+TEST(ServeLifecycle, CancelAfterCompletionIsANoOpAndUnknownTicketsTyped) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  support::Result<uint64_t> Ticket = C.launchAsync(
+      "t0", "hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Ticket.ok());
+  // Wait for the launch to finish without reaping it (polling a ready
+  // ticket reaps; cancelling an unfinished one revokes) — the in-process
+  // unresolved count is the side channel that does neither.
+  while (Server.tenants().acquire("t0").unresolvedLaunches() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  support::Result<Value> NoOp = C.cancel("t0", Ticket.value());
+  ASSERT_TRUE(NoOp.ok()) << NoOp.status().describe();
+  EXPECT_TRUE(NoOp.value().getBool("done"));
+  EXPECT_FALSE(NoOp.value().getBool("cancelled"));
+  support::Result<Value> Done = C.pollUntilDone("t0", Ticket.value());
+  ASSERT_TRUE(Done.ok());
+  EXPECT_TRUE(Done.value().getBool("ok"));
+
+  support::Result<Value> Unknown = C.cancel("t0", 999999);
+  ASSERT_FALSE(Unknown.ok());
+  EXPECT_EQ(Unknown.status().code(), support::ErrorCode::ProtocolError);
+  Server.stop();
+}
+
+TEST(ServeLifecycle, RetryRidesOutAQuotaRefusal) {
+  // Quota 1: a spinning deadlined launch holds the only slot. The
+  // second launch's retry loop must absorb the typed Overloaded
+  // refusals until the first launch's deadline frees the slot — its
+  // terminal code is then its own DeadlineExceeded, never Overloaded.
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.Tenant.MaxInFlight = 1;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client A, B;
+  ASSERT_TRUE(A.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(B.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(A.loadModule("t0", HistogramModule, {"kernel-spin"}).ok());
+  uint64_t Bins = A.alloc("t0", 64).valueOr(0);
+
+  support::Result<uint64_t> Ticket =
+      A.launchAsync("t0", "hist_racy", sim::Dim3(1), sim::Dim3(64),
+                    {Bins}, /*DeadlineMs=*/100);
+  ASSERT_TRUE(Ticket.ok()) << Ticket.status().describe();
+
+  // B retries on its own thread: its first attempts are refused while
+  // A's ticket holds the quota slot (the slot frees only when A reaps).
+  serve::RetryOptions Retry;
+  Retry.MaxAttempts = 30;
+  Retry.BaseDelayMs = 10;
+  Retry.MaxDelayMs = 100;
+  Retry.Seed = 7;
+  B.setRetry(Retry);
+  support::Result<Value> Second =
+      support::Status(support::ErrorCode::Internal, "not run");
+  std::thread Retrier([&] {
+    Second = B.launch("t0", "hist_racy", sim::Dim3(1), sim::Dim3(64),
+                      {Bins}, /*WantReport=*/false, /*DeadlineMs=*/600);
+  });
+
+  // A reaps after its deadline: the terminal state frees the slot and
+  // B's next retry is admitted (then spins into its own deadline).
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  support::Result<Value> Done = A.pollUntilDone("t0", Ticket.value());
+  ASSERT_TRUE(Done.ok());
+  EXPECT_EQ(Done.value().getString("launchStatus"), "DeadlineExceeded");
+
+  Retrier.join();
+  ASSERT_FALSE(Second.ok());
+  EXPECT_EQ(Second.status().code(), support::ErrorCode::DeadlineExceeded)
+      << Second.status().describe();
+  Server.stop();
+}
+
+TEST(ServeLifecycle, GracefulDrainCancelsStragglersAndRefusesLaunches) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.DrainBudgetMs = 400;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule, {"kernel-spin"}).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  // A spinning in-flight ticket: the straggler drain must cancel.
+  support::Result<uint64_t> Ticket = C.launchAsync(
+      "t0", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Ticket.ok());
+
+  std::thread Drainer([&Server] { Server.drain(); });
+  while (!Server.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Inside the drain window: stats still answers (and says draining),
+  // new launches answer typed Draining, polling keeps working.
+  support::Result<Value> Stats = C.stats();
+  ASSERT_TRUE(Stats.ok()) << Stats.status().describe();
+  EXPECT_TRUE(Stats.value().getBool("draining"));
+  support::Result<Value> Refused = C.launch(
+      "t0", "hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), support::ErrorCode::Draining);
+
+  Drainer.join();
+  // Zero orphans: every launch reached a terminal state and the server
+  // came down clean.
+  EXPECT_FALSE(Server.running());
+  EXPECT_EQ(Server.tenants().unresolvedTotal(), 0u);
+  Server.stop();
+}

@@ -21,12 +21,19 @@
 //                          plus the engine series) into DIR
 //     --metrics-interval MS  sampling period (default: 1000)
 //     --inject SPEC        engine-side fault for soak testing
-//                          (consumer-death, worker-throw, queue-stall);
-//                          repeatable. Tenants inject machine-side
-//                          faults per load_module instead.
+//                          (consumer-death, worker-throw, slow-consumer,
+//                          queue-stall); repeatable. Tenants inject
+//                          machine-side faults per load_module instead.
+//     --drain-budget-ms MS graceful-drain budget on SIGINT/SIGTERM:
+//                          in-flight launches get this long to finish
+//                          before the stragglers are cancelled
+//                          (default: 5000; 0 = cancel immediately)
 //
 // Runs until SIGINT/SIGTERM or a shutdown frame. Prints
-// "listening on PATH" once accepting, so drivers can wait on it.
+// "listening on PATH" once accepting, so drivers can wait on it. A
+// signal triggers a graceful drain: new launches answer typed
+// Draining, in-flight ones finish (or are cooperatively cancelled at
+// the budget), and every ticket reaches a terminal state before exit.
 //
 // Exit code: 0 clean shutdown, 2 startup failure.
 //
@@ -89,6 +96,8 @@ int main(int ArgCount, char **Args) {
         return Options.EngineFaults.add(V).ok();
       },
       "engine-side fault spec (repeatable)");
+  Cli.u64Option("--drain-budget-ms", "MS", Options.DrainBudgetMs,
+                "graceful-drain budget before stragglers are cancelled");
   if (!Cli.parse(ArgCount, Args))
     return 2;
 
@@ -136,11 +145,18 @@ int main(int ArgCount, char **Args) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
-  // Wait for a shutdown frame or a signal; both funnel into stop().
+  // Wait for a shutdown frame or a signal. A shutdown frame is an
+  // explicit client request and stops immediately; a signal drains
+  // gracefully — refuse new launches, let in-flight ones finish inside
+  // the budget, cancel the stragglers, then stop.
   while (!SignalStop.load(std::memory_order_acquire) &&
          !Server.shutdownRequested() && Server.running())
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  Server.stop();
+  if (SignalStop.load(std::memory_order_acquire) &&
+      !Server.shutdownRequested())
+    Server.drain();
+  else
+    Server.stop();
   if (Exporter)
     Exporter->stop();
   std::printf("stopped\n");

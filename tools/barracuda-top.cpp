@@ -107,6 +107,13 @@ double findValue(const std::vector<Series> &All, const char *Name) {
   return 0;
 }
 
+bool hasSeries(const std::vector<Series> &All, const char *Name) {
+  for (const Series &S : All)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
 void renderFrame(const std::string &Path, const std::vector<Series> &All,
                  uint64_t Frame) {
   std::printf("barracuda-top — %s (frame %llu)\n", Path.c_str(),
@@ -124,6 +131,19 @@ void renderFrame(const std::string &Path, const std::vector<Series> &All,
               findValue(All, "barracuda_engine_records_dropped"),
               findValue(All, "barracuda_engine_worker_failures"),
               findValue(All, "barracuda_engine_queues_abandoned"));
+  // Pool health: a healing engine shows quarantined queues falling back
+  // to zero while the respawn counter rises; a draining daemon is
+  // called out on its own line so an operator sees it at a glance.
+  if (hasSeries(All, "barracuda_engine_live_quarantined_queues") ||
+      hasSeries(All, "barracuda_engine_workers_respawned"))
+    std::printf("  quarantined queues %.0f   workers respawned %.0f\n",
+                findValue(All, "barracuda_engine_live_quarantined_queues"),
+                findValue(All, "barracuda_engine_workers_respawned"));
+  if (hasSeries(All, "barracuda_serve_draining"))
+    std::printf("  serve: %s\n",
+                findValue(All, "barracuda_serve_draining") != 0
+                    ? "DRAINING (new launches refused)"
+                    : "accepting launches");
 
   // Per-queue depth table, keyed by the queue label.
   std::map<std::string, std::pair<double, double>> Queues;
