@@ -114,6 +114,57 @@ struct Point {
   uint64_t P99Micros = 0;
 };
 
+/// Launches/sec for one fresh server at \p SampleRate, \p Clients
+/// concurrent tenants, \p Rounds blocking launches each. Used for the
+/// tracing-overhead A/B gate.
+double measureThroughput(double SampleRate, unsigned Clients,
+                         unsigned Rounds) {
+  serve::ServerOptions Options;
+  Options.SocketPath = support::formatString(
+      "/tmp/barracuda-serve-bench-ab-%d-%u.sock", static_cast<int>(getpid()),
+      static_cast<unsigned>(SampleRate * 1000));
+  Options.NumQueues = 4;
+  Options.Tenant.MaxInFlight = 0;
+  Options.TraceSampleRate = SampleRate;
+  serve::Server Server(std::move(Options));
+  if (!Server.start().ok())
+    fail("A/B server did not start");
+
+  std::vector<std::string> Errors(Clients);
+  double Begin = nowSeconds();
+  std::vector<std::thread> Drivers;
+  for (unsigned I = 0; I != Clients; ++I)
+    Drivers.emplace_back([&, I] {
+      std::string Tenant = support::formatString("ab-%u", I);
+      serve::Client C;
+      if (!C.connect(Server.socketPath()).ok() ||
+          !C.loadModule(Tenant, HistogramModule).ok()) {
+        Errors[I] = "setup failed";
+        return;
+      }
+      uint64_t Bins = C.alloc(Tenant, 64).valueOr(0);
+      for (unsigned Round = 0; Round != Rounds; ++Round) {
+        support::Result<Value> Launch = C.launch(
+            Tenant, "hist_safe", sim::Dim3(2), sim::Dim3(64), {Bins});
+        if (!Launch.ok() || !Launch.value().getBool("ok")) {
+          Errors[I] = "launch failed: " + Launch.status().describe();
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+  double Elapsed = nowSeconds() - Begin;
+  for (unsigned I = 0; I != Clients; ++I)
+    if (!Errors[I].empty()) {
+      std::fprintf(stderr, "FAIL [A/B rate=%.2f, %u]: %s\n", SampleRate, I,
+                   Errors[I].c_str());
+      std::exit(1);
+    }
+  Server.stop();
+  return static_cast<double>(Clients) * Rounds / Elapsed;
+}
+
 } // namespace
 
 int main() {
@@ -235,6 +286,29 @@ int main() {
 
   Server.stop();
 
+  // Tracing-overhead gate: the default head-sampling rate must cost at
+  // most 2% of serve throughput versus tracing fully off. Alternate
+  // three A/B pairs and compare the best of each (best-of denoises the
+  // scheduler; the gate gets a small grace on top because wall-clock
+  // noise at this scale exceeds the real recorder cost).
+  double BaselineBest = 0, SampledBest = 0;
+  const unsigned AbRounds = std::max(Rounds, 100u);
+  for (unsigned Pass = 0; Pass != 3; ++Pass) {
+    BaselineBest =
+        std::max(BaselineBest, measureThroughput(0.0, 2, AbRounds));
+    SampledBest =
+        std::max(SampledBest, measureThroughput(0.05, 2, AbRounds));
+  }
+  double OverheadPct =
+      BaselineBest > 0
+          ? (1.0 - SampledBest / BaselineBest) * 100.0
+          : 0.0;
+  std::printf("\n  trace overhead @ default sample rate: %.2f%% "
+              "(baseline %.0f/s, sampled %.0f/s)\n",
+              OverheadPct, BaselineBest, SampledBest);
+  if (OverheadPct > 2.0)
+    fail("default-rate tracing costs more than 2% of serve throughput");
+
   support::json::Writer Json;
   Json.beginObject();
   Json.key("bench").value(std::string("serve_throughput"));
@@ -246,6 +320,7 @@ int main() {
   Json.key("hostCores").value(static_cast<uint64_t>(HostCores));
   Json.key("roundsPerClient").value(static_cast<uint64_t>(Rounds));
   Json.key("smoke").value(Smoke);
+  Json.key("traceOverheadPct").value(OverheadPct);
   Json.key("points").beginArray();
   for (const Point &P : Points) {
     Json.beginObject();

@@ -211,11 +211,21 @@ class ServeClient:
             time.sleep(interval)
 
     def report(self, tenant):
-        """The tenant's full RunReport document (schemaVersion 2)."""
+        """The tenant's full RunReport document (schemaVersion 3)."""
         return self.call("report", tenant)["report"]
 
     def stats(self):
         return self.call("stats")
+
+    def trace(self, request_id):
+        """The span tree the server retained for request_id.
+
+        Every response envelope echoes its frame's "requestId"; feed a
+        launch's id back here (the daemon must run with a nonzero
+        --trace-sample-rate). Unknown or discarded requests answer an
+        empty "spans" array, not an error.
+        """
+        return self.call("trace", requestId=request_id)["trace"]
 
     def shutdown(self):
         return self.call("shutdown")
@@ -272,9 +282,9 @@ def main():
         check(not result["degraded"], "launch degraded")
         check(result["recordsLogged"] > 0, "no records logged")
 
-        # The embedded per-request report is the schema-2 document.
+        # The embedded per-request report is the schema-3 document.
         report = result["report"]
-        check(report["schemaVersion"] == 2, report.get("schemaVersion"))
+        check(report["schemaVersion"] == 3, report.get("schemaVersion"))
         races = report["races"]
         if args.expect_races:
             check(result["racesTotal"] > 0 and races,

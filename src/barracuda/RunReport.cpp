@@ -101,6 +101,28 @@ std::string RunReport::toJson() const {
   W.key("firstError").value(Resilience.FirstError);
   W.endObject();
 
+  if (Blackbox.Captured) {
+    W.key("blackbox").beginObject();
+    W.key("captured").value(true);
+    W.key("reason").value(Blackbox.Reason);
+    W.key("events").beginArray();
+    for (const BlackboxSection::Event &E : Blackbox.Events) {
+      W.beginObject();
+      W.key("seq").value(E.Seq);
+      W.key("tNs").value(E.TimeNs);
+      W.key("code").value(E.Code);
+      W.key("ring").value(static_cast<uint64_t>(E.Ring));
+      W.key("worker").value(static_cast<uint64_t>(E.Worker));
+      W.key("epoch").value(E.Epoch);
+      W.key("requestId").value(E.RequestId);
+      W.key("a").value(E.A);
+      W.key("b").value(E.B);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
   if (Profile.Enabled) {
     W.key("profile").beginObject();
     W.key("attributedFraction").value(Profile.attributedFraction());
@@ -245,6 +267,9 @@ void RunReport::printText(std::FILE *Out) const {
         static_cast<unsigned long long>(Resilience.FaultsInjected),
         Resilience.FirstError.empty() ? "" : "; first error: ",
         Resilience.FirstError.c_str());
+  if (Blackbox.Captured)
+    std::fprintf(Out, "blackbox: %zu flight-recorder events (%s)\n",
+                 Blackbox.Events.size(), Blackbox.Reason.c_str());
   if (Profile.Enabled) {
     std::fprintf(Out,
                  "profile: %.1f%% of warp instructions attributed; "

@@ -45,7 +45,9 @@ struct RunReport {
   /// Bumped on any non-additive schema change to the JSON form.
   /// v2: added the "profile" section (continuous profiling) and made
   /// consumers version-check rather than assume v1.
-  static constexpr unsigned SchemaVersion = 2;
+  /// v3: added the "blackbox" section (flight-recorder dump on degraded
+  /// or revoked launches).
+  static constexpr unsigned SchemaVersion = 3;
 
   /// Outcome of the most recent launch.
   struct LaunchSection {
@@ -166,6 +168,31 @@ struct RunReport {
     /// the run was clean.
     std::string FirstError;
   } Resilience;
+
+  /// Flight-recorder dump (schemaVersion 3): the engine's recent
+  /// structured events, captured when a launch retires Degraded,
+  /// Cancelled or DeadlineExceeded, or when the run respawned or
+  /// quarantined a worker. Empty (Captured=false) for clean launches —
+  /// the blackbox explains incidents, it is not a per-launch log.
+  struct BlackboxSection {
+    bool Captured = false;
+    /// Why the dump was taken ("degraded", "cancelled", ...).
+    std::string Reason;
+    /// One flight-recorder event, oldest first. Ring numQueues() is the
+    /// supervisor/lease-lifecycle ring; lower rings belong to workers.
+    struct Event {
+      uint64_t Seq = 0;
+      uint64_t TimeNs = 0;
+      std::string Code;
+      unsigned Ring = 0;
+      uint32_t Worker = 0;
+      uint64_t Epoch = 0;
+      uint64_t RequestId = 0;
+      uint64_t A = 0;
+      uint64_t B = 0;
+    };
+    std::vector<Event> Events;
+  } Blackbox;
 
   /// Continuous-profiling attribution for the launch (schemaVersion 2).
   /// Where the run's time and instructions went: per-PC kernel profiles

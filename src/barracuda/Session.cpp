@@ -2,6 +2,7 @@
 
 #include "barracuda/Session.h"
 
+#include "obs/FlightRecorder.h"
 #include "ptx/Inliner.h"
 #include "ptx/Parser.h"
 #include "ptx/Verifier.h"
@@ -200,7 +201,7 @@ Session::AsyncLaunch
 Session::submitKernel(runtime::Stream &S, const std::string &KernelName,
                       sim::Dim3 Grid, sim::Dim3 Block,
                       const std::vector<uint64_t> &Params,
-                      uint64_t DeadlineMs) {
+                      uint64_t DeadlineMs, obs::RequestContext Request) {
   // The deadline clock starts now, not when the stream gets around to
   // executing — queue wait is the caller's wall time too. An already
   // expired token simply trips at the first scheduling boundary.
@@ -210,8 +211,9 @@ Session::submitKernel(runtime::Stream &S, const std::string &KernelName,
   std::string Track = S.name();
   auto Task = std::make_shared<
       std::packaged_task<support::Result<sim::LaunchResult>()>>(
-      [this, KernelName, Grid, Block, Params, Track, Token] {
-        return runLaunch(KernelName, Grid, Block, Params, Track, Token);
+      [this, KernelName, Grid, Block, Params, Track, Token, Request] {
+        return runLaunch(KernelName, Grid, Block, Params, Track, Token,
+                         Request);
       });
 
   AsyncLaunch Handle;
@@ -232,7 +234,8 @@ support::Result<sim::LaunchResult>
 Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
                    sim::Dim3 Block, const std::vector<uint64_t> &Params,
                    const std::string &TraceTrack,
-                   std::shared_ptr<support::CancelToken> Token) {
+                   std::shared_ptr<support::CancelToken> Token,
+                   obs::RequestContext Request) {
   // Synchronous launches with a session-wide deadline get a token of
   // their own, armed here (submitKernel arms at submission instead, so
   // stream queue wait counts). armDeadline is first-arm-wins, so a
@@ -268,7 +271,12 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
 
   obs::TraceRecorder *Tracer = Options.Tracer;
   uint32_t Track = Tracer ? Tracer->track(TraceTrack) : 0;
-  obs::Span LaunchSpan(Tracer, Track, "launch " + KernelName, "session");
+  // When the launch arrived with request correlation (the serve path),
+  // the launch span joins that request's tree under the serve frame;
+  // with the default inactive context the ids are 0 and the span is the
+  // plain standalone event it always was.
+  obs::Span LaunchSpan(Tracer, Track, "launch " + KernelName, "session",
+                       Request.RequestId, Request.ParentSpan);
 
   // Per-launch profile semantics: the profiler accumulates across
   // launches by design (continuous profiling), the report resets it so
@@ -369,6 +377,14 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
   // the remaining records onto the drop ledger instead of stalling.
   if (Token)
     Lease->setCancelToken(Token);
+  // Also before the first record: workers read the request id off the
+  // launch under the same commit/drain ordering as the cancel token.
+  // The lease and shard spans parent under this launch span.
+  if (Request.active()) {
+    obs::RequestContext LeaseCtx = Request;
+    LeaseCtx.ParentSpan = LaunchSpan.spanId();
+    Lease->setRequest(LeaseCtx);
+  }
 
   trace::TraceFileSink FileSink(Writer);
   trace::CountingSink Counts;
@@ -384,7 +400,9 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
                                             Token.get());
 
   {
-    obs::Span DrainSpan(Tracer, Track, "drain " + KernelName, "session");
+    obs::Span DrainSpan(Tracer, Track, "drain " + KernelName, "session",
+                        Request.RequestId,
+                        Request.active() ? LaunchSpan.spanId() : 0);
     Lease->finish();
   }
   runtime::EngineCounters After = Eng.counters();
@@ -501,6 +519,36 @@ Session::runLaunch(const std::string &KernelName, sim::Dim3 Grid,
     Report.Resilience.FirstError = Leased.FirstError.describe();
   else if (!Result.Ok)
     Report.Resilience.FirstError = Result.status().describe();
+
+  // Incident blackbox: when the launch retired degraded or revoked, or
+  // the pool healed itself underneath it, dump the engine's flight
+  // recorder into the report so the operator sees the recent event
+  // history that led here, not just the final tallies.
+  const char *BlackboxReason =
+      Report.Resilience.Degraded ? "degraded"
+      : Result.Code == support::ErrorCode::Cancelled ? "cancelled"
+      : Result.Code == support::ErrorCode::DeadlineExceeded
+          ? "deadline-exceeded"
+      : Report.Resilience.WorkersRespawned ? "worker-respawned"
+      : Report.Resilience.QueuesQuarantined ? "queue-quarantined"
+                                            : nullptr;
+  if (BlackboxReason) {
+    Report.Blackbox.Captured = true;
+    Report.Blackbox.Reason = BlackboxReason;
+    for (const obs::FlightEvent &E : Eng.flight().snapshot()) {
+      RunReport::BlackboxSection::Event Out;
+      Out.Seq = E.Seq;
+      Out.TimeNs = E.TimeNs;
+      Out.Code = obs::flightCodeName(static_cast<obs::FlightCode>(E.Code));
+      Out.Ring = E.Ring;
+      Out.Worker = E.Worker;
+      Out.Epoch = E.Epoch;
+      Out.RequestId = E.RequestId;
+      Out.A = E.A;
+      Out.B = E.B;
+      Report.Blackbox.Events.push_back(std::move(Out));
+    }
+  }
   if (Options.CollectStats) {
     support::json::Writer MetricsWriter;
     State.metrics().writeJson(MetricsWriter);

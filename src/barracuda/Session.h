@@ -273,11 +273,18 @@ public:
   /// it. A launch revoked before completion resolves to a typed
   /// Cancelled/DeadlineExceeded failure; revoking after completion is a
   /// harmless no-op.
+  ///
+  /// \p Request carries per-request trace correlation from the serve
+  /// stack: when active, the launch/drain/lease/shard spans all join
+  /// that request's span tree (parented under Request.ParentSpan) and
+  /// engine-side events are stamped with its id. The default inactive
+  /// context traces exactly as before.
   AsyncLaunch submitKernel(runtime::Stream &S,
                            const std::string &KernelName, sim::Dim3 Grid,
                            sim::Dim3 Block,
                            const std::vector<uint64_t> &Params = {},
-                           uint64_t DeadlineMs = 0);
+                           uint64_t DeadlineMs = 0,
+                           obs::RequestContext Request = {});
 
   /// Waits for every stream created by this session (cudaDeviceSynchronize).
   void synchronize();
@@ -316,7 +323,8 @@ private:
   runLaunch(const std::string &KernelName, sim::Dim3 Grid,
             sim::Dim3 Block, const std::vector<uint64_t> &Params,
             const std::string &TraceTrack,
-            std::shared_ptr<support::CancelToken> Token = nullptr);
+            std::shared_ptr<support::CancelToken> Token = nullptr,
+            obs::RequestContext Request = {});
 
   /// The kernel pre-lowered to micro-ops, lowering it on first use
   /// (null when SimLowered is off or the kernel is un-lowerable). \p KI

@@ -448,6 +448,7 @@ void QueueProcessor::processRun(BlockState &BS, WarpEntry &WE,
     if (Posting) {
       ShardMsg Msg;
       Msg.MsgKind = ShardMsg::Kind::RunPiece;
+      Msg.RequestId = RequestId;
       Msg.Access = Kind;
       Msg.Size = static_cast<uint8_t>(Size);
       Msg.FirstLane = static_cast<uint8_t>(Run.FirstLane);
@@ -515,6 +516,7 @@ void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
     } else if (Shards) {
       ShardMsg Msg;
       Msg.MsgKind = ShardMsg::Kind::MarkSyncLoc;
+      Msg.RequestId = RequestId;
       Msg.PieceStart = Addr;
       Shards->post(QueueIndex, Shards->shardOf(Addr), std::move(Msg),
                    [this] { stallService(); });
@@ -550,7 +552,7 @@ void QueueProcessor::handleSync(BlockState &BS, WarpEntry &WE,
   // equivalent to the single-table order.
   if (Shards)
     Shards->postMarkerAll(QueueIndex, Record.SyncSeq,
-                          [this] { stallService(); });
+                          [this] { stallService(); }, RequestId);
   finishTicket(Record.SyncSeq);
 }
 

@@ -228,6 +228,10 @@ public:
     StallHook = std::move(Hook);
   }
 
+  /// Stamps every shard message this processor posts with the serve
+  /// request id (0 = not request-scoped). Set before records flow.
+  void setRequestId(uint64_t Id) { RequestId = Id; }
+
   uint64_t recordsProcessed() const { return Records; }
 
 private:
@@ -344,6 +348,8 @@ private:
   SharedDetectorState &Shared;
   const DetectorOptions &Opts;
   unsigned QueueIndex;
+  /// Request correlation for shard posts (see setRequestId).
+  uint64_t RequestId = 0;
   /// The run's shard partition, or null when detection is inline.
   ShardSet *Shards;
   std::function<bool()> StallHook;

@@ -67,6 +67,10 @@ struct ShardMsg {
 
   Kind MsgKind = Kind::RunPiece;
   AccessKind Access = AccessKind::Read;
+  /// Serve-layer request correlation, stamped by the posting processor
+  /// (0 outside the daemon). Rides every message so shard-side events
+  /// can be attributed to the request that produced them.
+  uint64_t RequestId = 0;
   uint8_t Size = 1;           ///< per-lane access size in bytes
   uint8_t FirstLane = 0;      ///< lane issuing the first Size bytes
   uint8_t LaneCount = 0;      ///< consecutive active lanes in the run
@@ -270,10 +274,11 @@ public:
   /// mailbox in global ticket order.
   template <typename StallFnT>
   void postMarkerAll(unsigned QueueIndex, uint32_t Ticket,
-                     StallFnT &&Stall) {
+                     StallFnT &&Stall, uint64_t RequestId = 0) {
     for (unsigned S = 0; S != numShards(); ++S) {
       ShardMsg Msg;
       Msg.MsgKind = ShardMsg::Kind::SyncMarker;
+      Msg.RequestId = RequestId;
       Msg.Ticket = Ticket;
       post(QueueIndex, S, std::move(Msg), Stall);
     }

@@ -1,0 +1,182 @@
+//===- FlightRecorder.cpp - lock-free black-box event rings -----------------===//
+
+#include "obs/FlightRecorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+const char *obs::flightCodeName(FlightCode Code) {
+  switch (Code) {
+  case FlightCode::None:
+    return "none";
+  case FlightCode::LeaseOpen:
+    return "lease-open";
+  case FlightCode::LeaseClose:
+    return "lease-close";
+  case FlightCode::WorkerFailure:
+    return "worker-failure";
+  case FlightCode::QueueWounded:
+    return "queue-wounded";
+  case FlightCode::WorkerRespawn:
+    return "worker-respawn";
+  case FlightCode::QueueQuarantined:
+    return "queue-quarantined";
+  case FlightCode::FaultInjected:
+    return "fault-injected";
+  case FlightCode::RecordsDropped:
+    return "records-dropped";
+  case FlightCode::CancelTrip:
+    return "cancel-trip";
+  case FlightCode::DrainStall:
+    return "drain-stall";
+  case FlightCode::SyncMarker:
+    return "sync-marker";
+  case FlightCode::Custom:
+    return "custom";
+  }
+  return "none";
+}
+
+FlightRecorder::FlightRecorder(unsigned NumRings, size_t RequestedCapacity)
+    : Epoch0(std::chrono::steady_clock::now()) {
+  Capacity = 8;
+  while (Capacity < RequestedCapacity)
+    Capacity <<= 1;
+  if (NumRings == 0)
+    NumRings = 1;
+  Rings = std::vector<Ring>(NumRings);
+  for (Ring &R : Rings)
+    R.Slots = std::make_unique<Slot[]>(Capacity);
+}
+
+uint64_t FlightRecorder::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch0)
+          .count());
+}
+
+void FlightRecorder::record(unsigned RingIndex, FlightCode Code,
+                            uint16_t Worker, uint32_t Epoch,
+                            uint64_t RequestId, uint64_t A, uint64_t B) {
+  if (RingIndex >= Rings.size())
+    RingIndex = static_cast<unsigned>(Rings.size()) - 1;
+  Ring &R = Rings[RingIndex];
+  uint64_t Index = R.Cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = R.Slots[Index & (Capacity - 1)];
+  uint64_t Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate first so a concurrent reader that catches the slot
+  // mid-write sees Seq==0 (or a mismatch on re-read) and skips it.
+  S.Seq.store(0, std::memory_order_release);
+  S.TimeNs.store(nowNs(), std::memory_order_relaxed);
+  S.RequestId.store(RequestId, std::memory_order_relaxed);
+  S.A.store(A, std::memory_order_relaxed);
+  S.B.store(B, std::memory_order_relaxed);
+  S.Epoch.store(Epoch, std::memory_order_relaxed);
+  S.Code.store(static_cast<uint16_t>(Code), std::memory_order_relaxed);
+  S.Worker.store(Worker, std::memory_order_relaxed);
+  S.Seq.store(Seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> Out;
+  Out.reserve(Rings.size() * Capacity);
+  for (size_t RingIndex = 0; RingIndex != Rings.size(); ++RingIndex) {
+    const Ring &R = Rings[RingIndex];
+    for (size_t I = 0; I != Capacity; ++I) {
+      const Slot &S = R.Slots[I];
+      uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+      if (!Seq)
+        continue;
+      FlightEvent E;
+      E.Seq = Seq;
+      E.TimeNs = S.TimeNs.load(std::memory_order_relaxed);
+      E.RequestId = S.RequestId.load(std::memory_order_relaxed);
+      E.A = S.A.load(std::memory_order_relaxed);
+      E.B = S.B.load(std::memory_order_relaxed);
+      E.Epoch = S.Epoch.load(std::memory_order_relaxed);
+      E.Code = S.Code.load(std::memory_order_relaxed);
+      E.Worker = S.Worker.load(std::memory_order_relaxed);
+      E.Ring = static_cast<uint16_t>(RingIndex);
+      // A writer may have lapped the slot mid-copy: keep the copy only
+      // when the sequence number is unchanged.
+      if (S.Seq.load(std::memory_order_acquire) != Seq)
+        continue;
+      Out.push_back(E);
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const FlightEvent &L, const FlightEvent &R) {
+              return L.Seq < R.Seq;
+            });
+  return Out;
+}
+
+namespace {
+
+/// Appends \p Value in decimal to \p Buffer at \p Pos (no allocation).
+void putU64(char *Buffer, size_t &Pos, uint64_t Value) {
+  char Digits[20];
+  size_t N = 0;
+  do {
+    Digits[N++] = static_cast<char>('0' + Value % 10);
+    Value /= 10;
+  } while (Value);
+  while (N)
+    Buffer[Pos++] = Digits[--N];
+}
+
+void putStr(char *Buffer, size_t &Pos, const char *Text) {
+  while (*Text)
+    Buffer[Pos++] = *Text++;
+}
+
+} // namespace
+
+void FlightRecorder::dumpTo(int Fd) const {
+#if !defined(_WIN32)
+  for (size_t RingIndex = 0; RingIndex != Rings.size(); ++RingIndex) {
+    const Ring &R = Rings[RingIndex];
+    for (size_t I = 0; I != Capacity; ++I) {
+      const Slot &S = R.Slots[I];
+      uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+      if (!Seq)
+        continue;
+      char Line[256];
+      size_t Pos = 0;
+      putStr(Line, Pos, "seq=");
+      putU64(Line, Pos, Seq);
+      putStr(Line, Pos, " t=");
+      putU64(Line, Pos, S.TimeNs.load(std::memory_order_relaxed));
+      putStr(Line, Pos, " code=");
+      putStr(Line, Pos,
+             flightCodeName(static_cast<FlightCode>(
+                 S.Code.load(std::memory_order_relaxed))));
+      putStr(Line, Pos, " ring=");
+      putU64(Line, Pos, RingIndex);
+      putStr(Line, Pos, " worker=");
+      putU64(Line, Pos, S.Worker.load(std::memory_order_relaxed));
+      putStr(Line, Pos, " epoch=");
+      putU64(Line, Pos, S.Epoch.load(std::memory_order_relaxed));
+      putStr(Line, Pos, " req=");
+      putU64(Line, Pos, S.RequestId.load(std::memory_order_relaxed));
+      putStr(Line, Pos, " a=");
+      putU64(Line, Pos, S.A.load(std::memory_order_relaxed));
+      putStr(Line, Pos, " b=");
+      putU64(Line, Pos, S.B.load(std::memory_order_relaxed));
+      Line[Pos++] = '\n';
+      ssize_t Ignored = ::write(Fd, Line, Pos);
+      (void)Ignored;
+    }
+  }
+#else
+  (void)Fd;
+#endif
+}

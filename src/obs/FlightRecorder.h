@@ -1,0 +1,136 @@
+//===- FlightRecorder.h - lock-free black-box event rings -------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The black-box half of post-mortem observability: fixed-size
+/// lock-free rings of recent structured events, one ring per engine
+/// worker plus a control ring, always on. When a launch retires
+/// Degraded/Cancelled/DeadlineExceeded or the pool heals a worker, the
+/// rings are snapshotted into the RunReport `blackbox` section; when
+/// the daemon takes a fatal signal they are flushed async-signal-safely
+/// to a crash file — the last few hundred pool events are exactly the
+/// context a crash report otherwise lacks.
+///
+/// Every slot field is a relaxed atomic and the per-event sequence
+/// number is written last with release ordering, so writers never lock,
+/// readers never block writers, and a torn slot (claimed but not yet
+/// published, or overwritten mid-copy) is detected and skipped rather
+/// than misread. Recording costs one fetch_add on the ring cursor, one
+/// on the global sequence, and eight relaxed stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_FLIGHTRECORDER_H
+#define BARRACUDA_OBS_FLIGHTRECORDER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace barracuda {
+namespace obs {
+
+/// What happened. Append-only: codes are serialized by name into
+/// RunReport blackbox sections and crash files.
+enum class FlightCode : uint16_t {
+  None = 0,
+  LeaseOpen,     ///< epoch began (A = queues)
+  LeaseClose,    ///< epoch retired (A = drained, B = dropped)
+  WorkerFailure, ///< consumer threw (worker, epoch)
+  QueueWounded,  ///< queue marked for respawn
+  WorkerRespawn, ///< pool healed a wounded queue
+  QueueQuarantined, ///< respawn budget exhausted, queue is Perm
+  FaultInjected, ///< injected fault fired (A = fault kind ordinal)
+  RecordsDropped, ///< drop batch on a degraded queue (A = count)
+  CancelTrip,    ///< cooperative cancel observed (A = reason code)
+  DrainStall,    ///< producer stalled on a full mailbox/queue
+  SyncMarker,    ///< barrier marker crossed a shard boundary (A = seq)
+  Custom         ///< tool-defined
+};
+
+/// Stable name for \p Code ("lease-open", "worker-failure", ...).
+const char *flightCodeName(FlightCode Code);
+
+/// One decoded black-box event (snapshot form).
+struct FlightEvent {
+  uint64_t Seq = 0;    ///< global order across all rings
+  uint64_t TimeNs = 0; ///< steady-clock ns since recorder construction
+  uint16_t Code = 0;   ///< FlightCode
+  uint16_t Ring = 0;   ///< ring index the event was recorded on
+  uint16_t Worker = 0;
+  uint32_t Epoch = 0;
+  uint64_t RequestId = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+};
+
+/// A set of fixed-size rings (capacity rounded up to a power of two).
+/// record() may be called from any thread on any ring; snapshot() and
+/// dumpTo() may run concurrently with writers.
+class FlightRecorder {
+public:
+  /// \p Rings rings of \p Capacity slots each (>= 1 ring; capacity is
+  /// rounded up to a power of two, minimum 8).
+  explicit FlightRecorder(unsigned Rings, size_t Capacity = 256);
+
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  unsigned ringCount() const { return static_cast<unsigned>(Rings.size()); }
+  size_t ringCapacity() const { return Capacity; }
+
+  /// Records one event on \p Ring (clamped to the last ring).
+  void record(unsigned Ring, FlightCode Code, uint16_t Worker,
+              uint32_t Epoch, uint64_t RequestId, uint64_t A = 0,
+              uint64_t B = 0);
+
+  /// Events recorded so far (including ones already overwritten).
+  uint64_t recorded() const {
+    return NextSeq.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Copies every currently-published slot, merged across rings and
+  /// sorted by sequence number. Concurrent writers may overwrite slots
+  /// mid-walk; such slots are skipped, never misread.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Async-signal-safe dump of every published slot to \p Fd, one
+  /// "seq= t= code= ..." text line per event, unsorted. Uses only
+  /// write(2), atomic loads and stack buffers — callable from a
+  /// SIGSEGV handler.
+  void dumpTo(int Fd) const;
+
+private:
+  struct Slot {
+    std::atomic<uint64_t> Seq{0}; ///< 0 = never written / in flight
+    std::atomic<uint64_t> TimeNs{0};
+    std::atomic<uint64_t> RequestId{0};
+    std::atomic<uint64_t> A{0};
+    std::atomic<uint64_t> B{0};
+    std::atomic<uint32_t> Epoch{0};
+    std::atomic<uint16_t> Code{0};
+    std::atomic<uint16_t> Worker{0};
+  };
+
+  struct Ring {
+    std::unique_ptr<Slot[]> Slots;
+    std::atomic<uint64_t> Cursor{0};
+  };
+
+  uint64_t nowNs() const;
+
+  size_t Capacity = 0; ///< power of two
+  std::vector<Ring> Rings;
+  std::atomic<uint64_t> NextSeq{1};
+  std::chrono::steady_clock::time_point Epoch0;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_FLIGHTRECORDER_H

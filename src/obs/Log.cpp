@@ -1,0 +1,212 @@
+//===- Log.cpp - leveled structured JSON-lines logger -----------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+using namespace barracuda;
+using namespace barracuda::obs;
+
+namespace {
+
+/// Process-wide logger state. A single mutex serializes line emission
+/// (keeping each JSON line intact) and sink swaps; the level is read
+/// with one relaxed load on every call site, so disabled levels cost
+/// nothing measurable.
+struct LogState {
+  std::atomic<int> Level{static_cast<int>(LogLevel::Warn)};
+  std::atomic<std::FILE *> Sink{nullptr}; ///< null = stderr
+  std::atomic<uint64_t> MaxPerSecond{1000};
+  std::atomic<uint64_t> Lines[4] = {{0}, {0}, {0}, {0}};
+  std::atomic<uint64_t> Dropped{0};
+
+  std::mutex Mutex;
+  bool OwnsSink = false;   ///< guarded by Mutex
+  uint64_t WindowSec = 0;  ///< guarded by Mutex
+  uint64_t WindowCount = 0;
+
+  static LogState &get() {
+    static LogState State;
+    return State;
+  }
+};
+
+uint64_t unixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+const char *obs::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "off";
+}
+
+bool obs::logLevelFromName(const std::string &Name, LogLevel &Out) {
+  for (LogLevel Level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off})
+    if (Name == logLevelName(Level)) {
+      Out = Level;
+      return true;
+    }
+  return false;
+}
+
+void obs::setLogLevel(LogLevel Level) {
+  LogState::get().Level.store(static_cast<int>(Level),
+                              std::memory_order_relaxed);
+}
+
+LogLevel obs::logLevel() {
+  return static_cast<LogLevel>(
+      LogState::get().Level.load(std::memory_order_relaxed));
+}
+
+support::Status obs::setLogSinkPath(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "a");
+  if (!File)
+    return support::Status(support::ErrorCode::TraceIo,
+                           "cannot open log sink '" + Path + "'");
+  LogState &State = LogState::get();
+  std::lock_guard<std::mutex> Lock(State.Mutex);
+  std::FILE *Old = State.Sink.exchange(File, std::memory_order_acq_rel);
+  if (Old && State.OwnsSink)
+    std::fclose(Old);
+  State.OwnsSink = true;
+  return support::Status();
+}
+
+void obs::resetLogSink() {
+  LogState &State = LogState::get();
+  std::lock_guard<std::mutex> Lock(State.Mutex);
+  std::FILE *Old = State.Sink.exchange(nullptr, std::memory_order_acq_rel);
+  if (Old && State.OwnsSink)
+    std::fclose(Old);
+  State.OwnsSink = false;
+}
+
+void obs::setLogRateLimit(uint64_t MaxPerSecond) {
+  LogState::get().MaxPerSecond.store(MaxPerSecond, std::memory_order_relaxed);
+}
+
+uint64_t obs::logLinesEmitted(LogLevel Level) {
+  unsigned Index = static_cast<unsigned>(Level);
+  if (Index >= 4)
+    return 0;
+  return LogState::get().Lines[Index].load(std::memory_order_relaxed);
+}
+
+uint64_t obs::logLinesDropped() {
+  return LogState::get().Dropped.load(std::memory_order_relaxed);
+}
+
+LogEntry::LogEntry(const char *Component, LogLevel Level, const char *Event)
+    : Enabled(Level >= logLevel() && Level != LogLevel::Off), Level(Level) {
+  if (!Enabled)
+    return;
+  Line = support::json::Value::object();
+  Line.set("ts", support::json::Value::number(unixMillis()));
+  Line.set("level",
+           support::json::Value::string(logLevelName(Level)));
+  Line.set("component", support::json::Value::string(Component));
+  Line.set("event", support::json::Value::string(Event));
+}
+
+LogEntry::LogEntry(LogEntry &&Other) noexcept
+    : Enabled(Other.Enabled), Level(Other.Level),
+      Line(std::move(Other.Line)) {
+  Other.Enabled = false;
+}
+
+LogEntry::~LogEntry() {
+  if (!Enabled)
+    return;
+  LogState &State = LogState::get();
+  std::string Text = Line.dump();
+  Text.push_back('\n');
+  std::lock_guard<std::mutex> Lock(State.Mutex);
+  // Per-second token window: over-budget lines are dropped (and
+  // counted), never queued — the logger must not become backpressure.
+  uint64_t Limit = State.MaxPerSecond.load(std::memory_order_relaxed);
+  if (Limit) {
+    uint64_t NowSec = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (NowSec != State.WindowSec) {
+      State.WindowSec = NowSec;
+      State.WindowCount = 0;
+    }
+    if (State.WindowCount >= Limit) {
+      State.Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++State.WindowCount;
+  }
+  std::FILE *Sink = State.Sink.load(std::memory_order_acquire);
+  if (!Sink)
+    Sink = stderr;
+  std::fwrite(Text.data(), 1, Text.size(), Sink);
+  std::fflush(Sink);
+  State.Lines[static_cast<unsigned>(Level)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+LogEntry &LogEntry::kv(const char *Key, const std::string &Value) {
+  if (Enabled)
+    Line.set(Key, support::json::Value::string(Value));
+  return *this;
+}
+
+LogEntry &LogEntry::kv(const char *Key, const char *Value) {
+  if (Enabled)
+    Line.set(Key, support::json::Value::string(Value));
+  return *this;
+}
+
+LogEntry &LogEntry::kv(const char *Key, uint64_t Value) {
+  if (Enabled)
+    Line.set(Key, support::json::Value::number(Value));
+  return *this;
+}
+
+LogEntry &LogEntry::kv(const char *Key, int64_t Value) {
+  if (Enabled) {
+    if (Value >= 0)
+      Line.set(Key, support::json::Value::number(
+                        static_cast<uint64_t>(Value)));
+    else
+      Line.set(Key, support::json::Value::number(
+                        static_cast<double>(Value)));
+  }
+  return *this;
+}
+
+LogEntry &LogEntry::kv(const char *Key, double Value) {
+  if (Enabled)
+    Line.set(Key, support::json::Value::number(Value));
+  return *this;
+}
+
+LogEntry &LogEntry::kv(const char *Key, bool Value) {
+  if (Enabled)
+    Line.set(Key, support::json::Value::boolean(Value));
+  return *this;
+}

@@ -1,0 +1,135 @@
+//===- Log.h - leveled structured JSON-lines logger -------------*- C++ -*-===//
+//
+// Part of the BARRACUDA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logging third of the observability layer: leveled, structured
+/// JSON-lines diagnostics for the daemon, the runtime and the tools.
+///
+/// One process-wide sink (stderr by default, swappable to a file with an
+/// atomic pointer exchange) receives one compact JSON object per line:
+///
+///   {"ts":1738970000123,"level":"warn","component":"engine",
+///    "event":"worker-respawn","queue":2,"epoch":17}
+///
+/// Components hold a `Logger` and emit through the fluent `LogEntry`
+/// builder; a disabled level costs one relaxed atomic load and no
+/// allocation:
+///
+/// \code
+///   obs::Logger Log("serve");
+///   Log.info("accept").kv("fd", Fd).kv("connections", N);
+/// \endcode
+///
+/// Emission is rate-limited (per-second token window, default 1000
+/// lines/s) so a pathological loop cannot drown the sink; dropped lines
+/// are counted. Per-level line counters feed the exporter as
+/// `obs.log.lines{level=...}` so barracuda-top can show a log-rate
+/// gauge next to the engine series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BARRACUDA_OBS_LOG_H
+#define BARRACUDA_OBS_LOG_H
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace barracuda {
+namespace obs {
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+/// "debug", "info", "warn", "error", "off".
+const char *logLevelName(LogLevel Level);
+
+/// Parses a level name (case-sensitive, as printed by logLevelName);
+/// false when \p Name is not a level.
+bool logLevelFromName(const std::string &Name, LogLevel &Out);
+
+/// Sets the process-wide threshold. Entries below it are discarded at
+/// the call site without formatting.
+void setLogLevel(LogLevel Level);
+LogLevel logLevel();
+
+/// Redirects the sink to \p Path (append mode, created if missing). The
+/// previous owned sink, if any, is closed. TraceIo on open failure.
+support::Status setLogSinkPath(const std::string &Path);
+
+/// Restores the default stderr sink, closing an owned file sink.
+void resetLogSink();
+
+/// Caps emission at \p MaxPerSecond lines per second (0 = unlimited).
+/// Lines over the budget are dropped and counted, never blocked on.
+void setLogRateLimit(uint64_t MaxPerSecond);
+
+/// Lines emitted at \p Level since process start (monotone).
+uint64_t logLinesEmitted(LogLevel Level);
+
+/// Lines discarded by the rate limiter since process start.
+uint64_t logLinesDropped();
+
+/// One structured log line under construction. Emits on destruction;
+/// when the level is disabled every method is a no-op.
+class LogEntry {
+public:
+  LogEntry(const char *Component, LogLevel Level, const char *Event);
+  ~LogEntry();
+
+  LogEntry(const LogEntry &) = delete;
+  LogEntry &operator=(const LogEntry &) = delete;
+  LogEntry(LogEntry &&Other) noexcept;
+
+  LogEntry &kv(const char *Key, const std::string &Value);
+  LogEntry &kv(const char *Key, const char *Value);
+  LogEntry &kv(const char *Key, uint64_t Value);
+  LogEntry &kv(const char *Key, int64_t Value);
+  LogEntry &kv(const char *Key, int Value) {
+    return kv(Key, static_cast<int64_t>(Value));
+  }
+  LogEntry &kv(const char *Key, unsigned Value) {
+    return kv(Key, static_cast<uint64_t>(Value));
+  }
+  LogEntry &kv(const char *Key, double Value);
+  LogEntry &kv(const char *Key, bool Value);
+
+private:
+  bool Enabled;
+  LogLevel Level = LogLevel::Off;
+  support::json::Value Line;
+};
+
+/// Per-component handle; cheap to construct, holds only the component
+/// name (which must outlive the logger — string literals in practice).
+class Logger {
+public:
+  explicit Logger(const char *Component) : Component(Component) {}
+
+  bool enabled(LogLevel Level) const { return Level >= logLevel(); }
+
+  LogEntry debug(const char *Event) const {
+    return LogEntry(Component, LogLevel::Debug, Event);
+  }
+  LogEntry info(const char *Event) const {
+    return LogEntry(Component, LogLevel::Info, Event);
+  }
+  LogEntry warn(const char *Event) const {
+    return LogEntry(Component, LogLevel::Warn, Event);
+  }
+  LogEntry error(const char *Event) const {
+    return LogEntry(Component, LogLevel::Error, Event);
+  }
+
+private:
+  const char *Component;
+};
+
+} // namespace obs
+} // namespace barracuda
+
+#endif // BARRACUDA_OBS_LOG_H

@@ -2,8 +2,7 @@
 
 #include "obs/Trace.h"
 
-#include "support/Json.h"
-
+#include <algorithm>
 #include <cstdio>
 
 using namespace barracuda;
@@ -29,9 +28,22 @@ uint32_t TraceRecorder::track(const std::string &Name) {
   return Id;
 }
 
+void TraceRecorder::trimLocked() {
+  if (!Retention || Events.size() <= Retention)
+    return;
+  // Trim down to half the cap in one erase so a daemon sitting at the
+  // cap does not pay an O(n) shift on every event.
+  size_t Drop = Events.size() - Retention / 2;
+  if (Drop > Events.size())
+    Drop = Events.size();
+  Events.erase(Events.begin(),
+               Events.begin() + static_cast<ptrdiff_t>(Drop));
+}
+
 void TraceRecorder::complete(uint32_t Track, const std::string &Name,
                              const char *Category, uint64_t StartUs,
-                             uint64_t EndUs) {
+                             uint64_t EndUs, uint64_t RequestId,
+                             uint64_t SpanId, uint64_t ParentId) {
   Event E;
   E.Track = Track;
   E.Phase = 'X';
@@ -39,20 +51,124 @@ void TraceRecorder::complete(uint32_t Track, const std::string &Name,
   E.DurUs = EndUs >= StartUs ? EndUs - StartUs : 0;
   E.Name = Name;
   E.Category = Category;
+  E.RequestId = RequestId;
+  E.SpanId = SpanId;
+  E.ParentId = ParentId;
   std::lock_guard<std::mutex> Lock(Mutex);
   Events.push_back(std::move(E));
+  trimLocked();
 }
 
 void TraceRecorder::instant(uint32_t Track, const std::string &Name,
-                            const char *Category) {
+                            const char *Category, uint64_t RequestId) {
   Event E;
   E.Track = Track;
   E.Phase = 'i';
   E.StartUs = nowUs();
   E.Name = Name;
   E.Category = Category;
+  E.RequestId = RequestId;
   std::lock_guard<std::mutex> Lock(Mutex);
   Events.push_back(std::move(E));
+  trimLocked();
+}
+
+void TraceRecorder::flow(char Phase, uint32_t Track,
+                         const std::string &Name, const char *Category,
+                         uint64_t RequestId) {
+  Event E;
+  E.Track = Track;
+  E.Phase = Phase;
+  E.StartUs = nowUs();
+  E.Name = Name;
+  E.Category = Category;
+  E.RequestId = RequestId;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(E));
+  trimLocked();
+}
+
+void TraceRecorder::finishRequest(uint64_t RequestId, bool Keep) {
+  if (Keep || !RequestId)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.erase(std::remove_if(Events.begin(), Events.end(),
+                              [RequestId](const Event &E) {
+                                return E.RequestId == RequestId;
+                              }),
+               Events.end());
+}
+
+bool TraceRecorder::hasRequest(uint64_t RequestId) const {
+  if (!RequestId)
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Event &E : Events)
+    if (E.RequestId == RequestId)
+      return true;
+  return false;
+}
+
+support::json::Value
+TraceRecorder::requestValue(uint64_t RequestId) const {
+  using support::json::Value;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Reverse track map so spans carry their human-readable lane name.
+  std::map<uint32_t, const std::string *> Names;
+  for (const auto &[Name, Id] : Tracks)
+    Names[Id] = &Name;
+
+  std::vector<const Event *> Spans, Flows;
+  for (const Event &E : Events) {
+    if (E.RequestId != RequestId)
+      continue;
+    if (E.Phase == 'X' || E.Phase == 'i')
+      Spans.push_back(&E);
+    else
+      Flows.push_back(&E);
+  }
+  std::stable_sort(Spans.begin(), Spans.end(),
+                   [](const Event *L, const Event *R) {
+                     return L->StartUs < R->StartUs;
+                   });
+
+  Value Doc = Value::object();
+  Doc.set("requestId", Value::number(RequestId));
+  Value SpanArray = Value::array();
+  for (const Event *E : Spans) {
+    Value S = Value::object();
+    S.set("spanId", Value::number(E->SpanId));
+    S.set("parentId", Value::number(E->ParentId));
+    S.set("name", Value::string(E->Name));
+    auto NameIt = Names.find(E->Track);
+    S.set("track", Value::string(NameIt != Names.end() ? *NameIt->second
+                                                       : std::string()));
+    S.set("cat", Value::string(E->Category[0] ? E->Category : "misc"));
+    S.set("ts", Value::number(E->StartUs));
+    S.set("dur", Value::number(E->DurUs));
+    if (E->Phase == 'i')
+      S.set("instant", Value::boolean(true));
+    SpanArray.push(std::move(S));
+  }
+  Doc.set("spans", std::move(SpanArray));
+  Value FlowArray = Value::array();
+  for (const Event *E : Flows) {
+    Value F = Value::object();
+    F.set("phase", Value::string(std::string(1, E->Phase)));
+    auto NameIt = Names.find(E->Track);
+    F.set("track", Value::string(NameIt != Names.end() ? *NameIt->second
+                                                       : std::string()));
+    F.set("ts", Value::number(E->StartUs));
+    FlowArray.push(std::move(F));
+  }
+  Doc.set("flows", std::move(FlowArray));
+  return Doc;
+}
+
+void TraceRecorder::setRetention(size_t MaxEvents) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Retention = MaxEvents;
+  trimLocked();
 }
 
 size_t TraceRecorder::eventCount() const {
@@ -95,6 +211,22 @@ std::string TraceRecorder::json() const {
       W.key("dur").value(E.DurUs);
     if (E.Phase == 'i')
       W.key("s").value("t");
+    if (E.Phase == 's' || E.Phase == 't' || E.Phase == 'f') {
+      // Flow events bind by id; the request id is the flow id.
+      W.key("id").value(E.RequestId);
+      if (E.Phase == 'f')
+        W.key("bp").value("e");
+    }
+    if (E.RequestId && E.Phase != 's' && E.Phase != 't' &&
+        E.Phase != 'f') {
+      W.key("args").beginObject();
+      W.key("requestId").value(E.RequestId);
+      if (E.SpanId) {
+        W.key("spanId").value(E.SpanId);
+        W.key("parentId").value(E.ParentId);
+      }
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

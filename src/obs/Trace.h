@@ -16,6 +16,15 @@
 /// spans are complete events ("ph":"X") with microsecond timestamps from
 /// one steady clock anchored at recorder construction.
 ///
+/// Since the serve stack became the front door, events can additionally
+/// carry request correlation: a per-request id plus span/parent ids
+/// (rendered into "args") and flow events ("ph":"s"/"t"/"f") that
+/// stitch one request's journey — serve frame → session → engine lease
+/// → detector shard — into a connected tree across tracks. The request
+/// view is queryable (requestValue) and individually retained or
+/// discarded (finishRequest) so a sampling daemon keeps only the
+/// requests it wants.
+///
 /// A null TraceRecorder* disables tracing: Span and the record helpers
 /// no-op on null, so wiring sites need no conditionals.
 ///
@@ -24,6 +33,9 @@
 #ifndef BARRACUDA_OBS_TRACE_H
 #define BARRACUDA_OBS_TRACE_H
 
+#include "support/Json.h"
+
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -33,6 +45,21 @@
 
 namespace barracuda {
 namespace obs {
+
+class TraceRecorder;
+
+/// Request correlation handed down the launch path (serve frame →
+/// Tenant → Session → Engine lease → detector shards). Copyable value;
+/// a null Recorder means tracing is disabled for this request and every
+/// consumer no-ops.
+struct RequestContext {
+  uint64_t RequestId = 0;  ///< daemon-unique, echoed on the wire
+  uint64_t ParentSpan = 0; ///< span id the next layer should parent to
+  bool Sampled = false;    ///< head-sampling decision (kept on error too)
+  TraceRecorder *Recorder = nullptr;
+
+  bool active() const { return Recorder != nullptr && RequestId != 0; }
+};
 
 /// Collects trace events; thread-safe. Spans are expected to be coarse
 /// (phases, batches, waits), not per-record, so a mutex per emission is
@@ -51,13 +78,48 @@ public:
   /// Microseconds since recorder construction (steady clock).
   uint64_t nowUs() const;
 
-  /// A complete event on \p Track spanning [StartUs, EndUs].
+  /// A fresh process-unique span id (never 0).
+  uint64_t newSpan() {
+    return NextSpanId.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A complete event on \p Track spanning [StartUs, EndUs]. The
+  /// trailing ids are optional request correlation: when \p RequestId
+  /// is nonzero the event belongs to that request's span tree with
+  /// identity \p SpanId and parent \p ParentId.
   void complete(uint32_t Track, const std::string &Name,
-                const char *Category, uint64_t StartUs, uint64_t EndUs);
+                const char *Category, uint64_t StartUs, uint64_t EndUs,
+                uint64_t RequestId = 0, uint64_t SpanId = 0,
+                uint64_t ParentId = 0);
 
   /// A zero-duration instant event on \p Track.
   void instant(uint32_t Track, const std::string &Name,
-               const char *Category);
+               const char *Category, uint64_t RequestId = 0);
+
+  /// A flow event: \p Phase is 's' (start), 't' (step) or 'f'
+  /// (finish). Flow events with one id render as connecting arrows
+  /// between tracks in Perfetto; the request id doubles as the flow id.
+  void flow(char Phase, uint32_t Track, const std::string &Name,
+            const char *Category, uint64_t RequestId);
+
+  /// Retires request \p RequestId: when \p Keep is false all of its
+  /// events are discarded (the tail-sampling drop path).
+  void finishRequest(uint64_t RequestId, bool Keep);
+
+  /// True when any retained event carries \p RequestId.
+  bool hasRequest(uint64_t RequestId) const;
+
+  /// The request's span tree as a JSON value:
+  ///   {"requestId":N, "spans":[{"spanId","parentId","name","track",
+  ///    "cat","ts","dur"}...], "flows":[{"phase","track","ts"}...]}
+  /// Spans are ordered by start time. Empty spans array when the
+  /// request is unknown or was discarded.
+  support::json::Value requestValue(uint64_t RequestId) const;
+
+  /// Caps retained events at \p MaxEvents (0 = unlimited); when
+  /// exceeded the oldest events are discarded. Keeps a long-running
+  /// daemon's recorder bounded.
+  void setRetention(size_t MaxEvents);
 
   /// Recorded span/instant events (excludes the per-track thread_name
   /// metadata events json() synthesizes).
@@ -80,12 +142,19 @@ private:
     uint64_t DurUs = 0;
     std::string Name;
     const char *Category = "";
+    uint64_t RequestId = 0;
+    uint64_t SpanId = 0;
+    uint64_t ParentId = 0;
   };
+
+  void trimLocked();
 
   mutable std::mutex Mutex;
   std::vector<Event> Events;
   std::map<std::string, uint32_t> Tracks;
   std::chrono::steady_clock::time_point Epoch;
+  std::atomic<uint64_t> NextSpanId{1};
+  size_t Retention = 0; ///< guarded by Mutex; 0 = unlimited
 };
 
 /// RAII span: opens at construction, records on destruction. Null
@@ -100,16 +169,33 @@ public:
       StartUs = Recorder->nowUs();
   }
 
+  /// Request-correlated span: allocates a span id and parents it to
+  /// \p ParentSpan inside request \p RequestId.
+  Span(TraceRecorder *Recorder, uint32_t Track, std::string Name,
+       const char *Category, uint64_t RequestId, uint64_t ParentSpan)
+      : Recorder(Recorder), Track(Track), Name(std::move(Name)),
+        Category(Category), RequestId(RequestId), ParentId(ParentSpan) {
+    if (Recorder) {
+      StartUs = Recorder->nowUs();
+      SpanId = Recorder->newSpan();
+    }
+  }
+
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
 
   ~Span() { close(); }
 
+  /// This span's id (0 when tracing is disabled) — the parent for
+  /// child spans opened underneath it.
+  uint64_t spanId() const { return SpanId; }
+
   /// Ends the span early (idempotent).
   void close() {
     if (!Recorder)
       return;
-    Recorder->complete(Track, Name, Category, StartUs, Recorder->nowUs());
+    Recorder->complete(Track, Name, Category, StartUs, Recorder->nowUs(),
+                       RequestId, SpanId, ParentId);
     Recorder = nullptr;
   }
 
@@ -119,6 +205,9 @@ private:
   std::string Name;
   const char *Category;
   uint64_t StartUs = 0;
+  uint64_t RequestId = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentId = 0;
 };
 
 } // namespace obs

@@ -2,6 +2,7 @@
 
 #include "ptx/Parser.h"
 
+#include "obs/Log.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -823,7 +824,9 @@ std::unique_ptr<Module> ptx::parseOrDie(const std::string &Source) {
   Parser P(Source);
   std::unique_ptr<Module> M = P.parseModule();
   if (!M) {
-    std::fprintf(stderr, "PTX parse error: %s\n", P.error().c_str());
+    // Structured and level Error, so the message survives any log
+    // configuration; the entry flushes before the abort.
+    obs::Logger("ptx").error("parse-failed").kv("error", P.error());
     std::abort();
   }
   return M;

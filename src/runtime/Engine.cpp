@@ -3,6 +3,7 @@
 #include "runtime/Engine.h"
 
 #include "fault/Fault.h"
+#include "obs/Log.h"
 #include "support/Backoff.h"
 #include "support/Format.h"
 
@@ -14,6 +15,10 @@ using namespace barracuda;
 using namespace barracuda::runtime;
 
 namespace {
+
+/// Structured diagnostics for the pool lifecycle (failures, wounds,
+/// respawns, quarantines). Hot paths never log.
+const obs::Logger ELog("engine");
 
 uint64_t nowNanos() {
   return static_cast<uint64_t>(
@@ -68,6 +73,22 @@ Launch::Launch(Engine &Eng, uint32_t Epoch,
 }
 
 Launch::~Launch() { finish(); }
+
+void Launch::setRequest(const obs::RequestContext &Ctx) {
+  Request = Ctx;
+  // Shard posts carry the request id from here on (the sink is not yet
+  // logging, so every message of the launch is stamped).
+  for (auto &Processor : Processors)
+    Processor->setRequestId(Ctx.RequestId);
+  if (Request.active() && Eng.tracer()) {
+    // The lease span id is allocated now so the watermark/shard child
+    // spans recorded at finish() can parent to it; a flow step on the
+    // lease track draws the serve-frame -> lease arrow in Perfetto.
+    LeaseSpanId = Eng.tracer()->newSpan();
+    Eng.tracer()->flow('t', LeaseTrack, "request", "serve",
+                       Request.RequestId);
+  }
+}
 
 void Launch::EpochQueueSink::accept(uint32_t BlockId,
                                     const trace::LogRecord &Record) {
@@ -128,14 +149,41 @@ void Launch::finish() {
   Eng.CWatermarkWaitNanos->add(WatermarkWaitNanos);
   for (auto &Processor : Processors)
     Processor->finish();
+  uint64_t DroppedNow = Dropped.load(std::memory_order_relaxed);
+  if (DropRest.load(std::memory_order_relaxed))
+    Eng.Flight.record(Eng.numQueues(), obs::FlightCode::CancelTrip, 0,
+                      Epoch, Request.RequestId, DroppedNow);
+  Eng.Flight.record(Eng.numQueues(), obs::FlightCode::LeaseClose, 0,
+                    Epoch, Request.RequestId, Logged, DroppedNow);
   if (obs::TraceRecorder *Tracer = Eng.tracer()) {
     uint64_t End = Tracer->nowUs();
     uint64_t WaitUs = WatermarkWaitNanos / 1000;
+    uint64_t Req = Request.RequestId;
     Tracer->complete(LeaseTrack, "watermark wait", "engine",
-                     End >= WaitUs ? End - WaitUs : 0, End);
+                     End >= WaitUs ? End - WaitUs : 0, End, Req,
+                     Req ? Tracer->newSpan() : 0, LeaseSpanId);
+    // One span per shard that saw this launch's traffic, parented to
+    // the lease — the deepest layer of the request's span tree. Safe
+    // here: quiescent() held above, so the relaxed counter reads are
+    // final for this launch.
+    if (Req && Shards) {
+      std::vector<detector::ShardSet::Sample> Samples = Shards->sample();
+      for (unsigned S = 0; S != Samples.size(); ++S) {
+        if (!Samples[S].Applied)
+          continue;
+        Tracer->complete(
+            Tracer->track(support::formatString("detector shard %u", S)),
+            support::formatString(
+                "shard %u apply e%u (%llu msgs)", S, Epoch,
+                static_cast<unsigned long long>(Samples[S].Applied)),
+            "detector", LeaseStartUs, End, Req, Tracer->newSpan(),
+            LeaseSpanId);
+      }
+    }
     Tracer->complete(LeaseTrack,
                      support::formatString("lease e%u", Epoch), "engine",
-                     LeaseStartUs, End);
+                     LeaseStartUs, End, Req, LeaseSpanId,
+                     Request.ParentSpan);
   }
   Eng.endLaunch(Epoch);
 }
@@ -163,7 +211,8 @@ LaunchResilience Launch::resilience() const {
 //===----------------------------------------------------------------------===//
 
 Engine::Engine(EngineOptions Options)
-    : Options(Options), Queues(Options.NumQueues, Options.QueueCapacity) {
+    : Options(Options), Queues(Options.NumQueues, Options.QueueCapacity),
+      Flight(Options.NumQueues + 1) {
   CEmptySpins = &Metrics.counter("engine.empty_spins");
   CParkedNanos = &Metrics.counter("engine.parked_ns");
   CWatermarkWaitNanos = &Metrics.counter("engine.watermark_wait_ns");
@@ -253,6 +302,8 @@ Engine::tryBegin(detector::SharedDetectorState &State,
   ParkCV.notify_all();
   uint32_t Epoch = NextEpoch.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<Launch> Handle(new Launch(*this, Epoch, State));
+  Flight.record(numQueues(), obs::FlightCode::LeaseOpen, 0, Epoch, 0,
+                numQueues());
   CLeases->add(1);
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
@@ -316,6 +367,11 @@ void Engine::healPool() {
               Q, H.Respawns)));
       CQueuesAbandoned->add(1);
       H.St.store(QueueHealth::Perm, std::memory_order_release);
+      Flight.record(numQueues(), obs::FlightCode::QueueQuarantined,
+                    static_cast<uint16_t>(Q), 0, 0, H.Respawns);
+      ELog.error("queue-quarantined")
+          .kv("queue", Q)
+          .kv("respawns", H.Respawns);
       if (obs::TraceRecorder *Tracer = Options.Tracer)
         Tracer->instant(Tracer->track(support::formatString(
                             "engine worker %u", Q)),
@@ -328,6 +384,12 @@ void Engine::healPool() {
     ThreadsStarted.fetch_add(1, std::memory_order_relaxed);
     CWorkersRespawned->add(1);
     H.St.store(QueueHealth::Live, std::memory_order_release);
+    Flight.record(numQueues(), obs::FlightCode::WorkerRespawn,
+                  static_cast<uint16_t>(Q), 0, 0, H.Respawns);
+    ELog.warn("worker-respawned")
+        .kv("queue", Q)
+        .kv("respawns", H.Respawns)
+        .kv("budget", Options.MaxWorkerRespawns);
     if (obs::TraceRecorder *Tracer = Options.Tracer)
       Tracer->instant(Tracer->track(support::formatString(
                           "engine worker %u", Q)),
@@ -450,6 +512,13 @@ void Engine::workerMain(unsigned QueueIndex) {
                 "injected consumer death on queue %u", QueueIndex)));
         Abandoned = true;
         CQueuesAbandoned->add(1);
+        Flight.record(QueueIndex, obs::FlightCode::FaultInjected,
+                      static_cast<uint16_t>(QueueIndex), 0, 0,
+                      static_cast<uint64_t>(
+                          fault::FaultKind::ConsumerDeath));
+        ELog.warn("queue-abandoned")
+            .kv("queue", QueueIndex)
+            .kv("cause", "injected consumer death");
         if (Tracer)
           Tracer->instant(Track, "fault: consumer death (queue abandoned)",
                           "resilience");
@@ -459,6 +528,9 @@ void Engine::workerMain(unsigned QueueIndex) {
         // Backpressure only: producers wait out the stall on the full
         // ring's backoff ladder. Lossless — the fault is hit but no
         // record is dropped.
+        Flight.record(QueueIndex, obs::FlightCode::FaultInjected,
+                      static_cast<uint16_t>(QueueIndex), 0, 0,
+                      static_cast<uint64_t>(fault::FaultKind::QueueStall));
         if (Tracer)
           Tracer->instant(Track, "fault: queue stall", "resilience");
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -467,6 +539,10 @@ void Engine::workerMain(unsigned QueueIndex) {
           Faults->fire(fault::FaultKind::SlowConsumer, DrainedHere,
                        QueueIndex)) {
         SlowMode = true;
+        Flight.record(QueueIndex, obs::FlightCode::FaultInjected,
+                      static_cast<uint16_t>(QueueIndex), 0, 0,
+                      static_cast<uint64_t>(
+                          fault::FaultKind::SlowConsumer));
         if (Tracer)
           Tracer->instant(Track, "fault: slow consumer", "resilience");
       }
@@ -491,6 +567,7 @@ void Engine::workerMain(unsigned QueueIndex) {
       EpisodeRecords += Count;
       BatchStartNs = nowNanos();
     }
+    uint64_t DropsThisBatch = 0;
     for (size_t I = 0; I != Count; ++I) {
       const trace::LogRecord &Record = Batch[I];
       assert(Record.Epoch != 0 && "unstamped record in engine queue");
@@ -517,9 +594,17 @@ void Engine::workerMain(unsigned QueueIndex) {
                       "detector worker %u", QueueIndex)));
           CWorkerFailures->add(1);
           woundQueue(QueueIndex);
+          Flight.record(QueueIndex, obs::FlightCode::WorkerFailure,
+                        static_cast<uint16_t>(QueueIndex), Record.Epoch,
+                        Cached->Request.RequestId);
+          ELog.error("worker-failure")
+              .kv("queue", QueueIndex)
+              .kv("epoch", Record.Epoch)
+              .kv("requestId", Cached->Request.RequestId)
+              .kv("error", E.what());
           if (Tracer)
             Tracer->instant(Track, "worker failure: queue quarantined",
-                            "resilience");
+                            "resilience", Cached->Request.RequestId);
           Drop = true;
         } catch (...) {
           Cached->quarantine(
@@ -530,15 +615,24 @@ void Engine::workerMain(unsigned QueueIndex) {
                                   QueueIndex)));
           CWorkerFailures->add(1);
           woundQueue(QueueIndex);
+          Flight.record(QueueIndex, obs::FlightCode::WorkerFailure,
+                        static_cast<uint16_t>(QueueIndex), Record.Epoch,
+                        Cached->Request.RequestId);
+          ELog.error("worker-failure")
+              .kv("queue", QueueIndex)
+              .kv("epoch", Record.Epoch)
+              .kv("requestId", Cached->Request.RequestId)
+              .kv("error", "unknown exception");
           if (Tracer)
             Tracer->instant(Track, "worker failure: queue quarantined",
-                            "resilience");
+                            "resilience", Cached->Request.RequestId);
           Drop = true;
         }
       }
       if (Drop) {
         Cached->Dropped.fetch_add(1, std::memory_order_relaxed);
         CRecordsDropped->add(1);
+        ++DropsThisBatch;
         // Dropped records may have carried sync tickets whose shard
         // markers will now never be posted; relax the marker gate so no
         // shard waits forever on a hole in the ticket sequence.
@@ -548,6 +642,12 @@ void Engine::workerMain(unsigned QueueIndex) {
       ++DrainedHere;
       Cached->Drained.fetch_add(1, std::memory_order_release);
     }
+    // One black-box event per dropping batch — not per record — keeps
+    // the ring's history window wide even under a full drop storm.
+    if (DropsThisBatch && Cached)
+      Flight.record(QueueIndex, obs::FlightCode::RecordsDropped,
+                    static_cast<uint16_t>(QueueIndex), Cached->epoch(),
+                    Cached->Request.RequestId, DropsThisBatch);
     // Batch boundary: drain what other queues posted into this worker's
     // shards of the launch just served.
     if (Count && Cached && Cached->Shards)

@@ -45,6 +45,7 @@
 #define BARRACUDA_RUNTIME_ENGINE_H
 
 #include "detector/Detector.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Cancel.h"
@@ -132,6 +133,14 @@ public:
   void setCancelToken(std::shared_ptr<support::CancelToken> Token) {
     Cancel = std::move(Token);
   }
+
+  /// Attaches request correlation: the lease span parents to
+  /// \p Ctx.ParentSpan, every lease/watermark/shard span carries the
+  /// request id, and the launch's shard posts are stamped with it. Set
+  /// before the device starts logging (same window as setCancelToken).
+  void setRequest(const obs::RequestContext &Ctx);
+
+  const obs::RequestContext &request() const { return Request; }
 
   /// Nanoseconds finish() spent waiting on the drained-record watermark
   /// (detector lag behind the device). Valid after finish().
@@ -241,6 +250,11 @@ private:
   /// Lease track/open timestamp when the engine's tracer is active.
   uint32_t LeaseTrack = 0;
   uint64_t LeaseStartUs = 0;
+  /// Request correlation (see setRequest). LeaseSpanId is allocated at
+  /// attach time so child spans (watermark wait, shards) can parent to
+  /// the lease span before it is recorded at finish().
+  obs::RequestContext Request;
+  uint64_t LeaseSpanId = 0;
   bool Finished = false;
 };
 
@@ -383,6 +397,12 @@ public:
 
   obs::TraceRecorder *tracer() const { return Options.Tracer; }
 
+  /// The engine's always-on black box: one ring per worker plus a
+  /// control ring (index numQueues()) for supervisor events. Snapshotted
+  /// into RunReport blackbox sections and crash files.
+  obs::FlightRecorder &flight() { return Flight; }
+  const obs::FlightRecorder &flight() const { return Flight; }
+
 private:
   friend class Launch;
 
@@ -408,6 +428,9 @@ private:
 
   EngineOptions Options;
   trace::QueueSet Queues;
+  /// Always-on black-box rings: worker I records on ring I, the
+  /// supervisor and lease lifecycle on ring numQueues().
+  obs::FlightRecorder Flight;
 
   /// Epoch registry. Epoch ids are never reused (monotonic from 1; 0
   /// means "unstamped" in a LogRecord).

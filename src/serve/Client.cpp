@@ -298,6 +298,13 @@ support::Result<Value> Client::stats() {
   return call(Req);
 }
 
+support::Result<Value> Client::trace(uint64_t RequestId) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("trace"));
+  Req.set("requestId", Value::number(RequestId));
+  return call(Req);
+}
+
 support::Status Client::shutdown() {
   Value Req = Value::object();
   Req.set("op", Value::string("shutdown"));

@@ -133,6 +133,10 @@ public:
                 bool WantReport = false);
   support::Result<support::json::Value> report(const std::string &Tenant);
   support::Result<support::json::Value> stats();
+  /// The span tree the server retained for \p RequestId (the id echoed
+  /// in a launch response): the payload's "trace" member, with "spans"
+  /// empty for unknown or discarded requests.
+  support::Result<support::json::Value> trace(uint64_t RequestId);
   support::Status shutdown();
 
 private:

@@ -36,6 +36,8 @@ const char *serve::opName(Op O) {
     return "report";
   case Op::Stats:
     return "stats";
+  case Op::Trace:
+    return "trace";
   case Op::Shutdown:
     return "shutdown";
   }
@@ -72,7 +74,7 @@ support::Result<Request> serve::parseRequest(const std::string &Frame) {
                            Op::Fill,     Op::WriteU32,   Op::WriteU64,
                            Op::ReadU32,  Op::ReadU64,    Op::Launch,
                            Op::Poll,     Op::Cancel,     Op::Report,
-                           Op::Stats,    Op::Shutdown};
+                           Op::Stats,    Op::Trace,      Op::Shutdown};
   Request Out;
   bool Known = false;
   for (Op O : All)
@@ -86,7 +88,7 @@ support::Result<Request> serve::parseRequest(const std::string &Frame) {
 
   Out.Tenant = Body.getString("tenant");
   bool NeedsTenant = Out.O != Op::Hello && Out.O != Op::Stats &&
-                     Out.O != Op::Shutdown;
+                     Out.O != Op::Trace && Out.O != Op::Shutdown;
   if (NeedsTenant && Out.Tenant.empty())
     return protocolError(std::string("op '") + opName(Out.O) +
                          "' requires a \"tenant\"");
@@ -94,24 +96,30 @@ support::Result<Request> serve::parseRequest(const std::string &Frame) {
   return Out;
 }
 
-std::string serve::okResponse(Op O, const Value &Payload) {
+std::string serve::okResponse(Op O, const Value &Payload,
+                              uint64_t RequestId) {
   Value Envelope = Value::object();
   Envelope.set("schemaVersion", Value::number(SchemaVersion));
   Envelope.set("op", Value::string(opName(O)));
   Envelope.set("status", Value::string("Ok"));
+  if (RequestId)
+    Envelope.set("requestId", Value::number(RequestId));
   for (const auto &[Key, Member] : Payload.members())
     Envelope.set(Key, Member);
   return Envelope.dump();
 }
 
 std::string serve::errorResponse(const char *OpName,
-                                 const support::Status &Error) {
+                                 const support::Status &Error,
+                                 uint64_t RequestId) {
   Value Envelope = Value::object();
   Envelope.set("schemaVersion", Value::number(SchemaVersion));
   Envelope.set("op", Value::string(OpName));
   Envelope.set("status",
                Value::string(support::errorCodeName(Error.code())));
   Envelope.set("error", Value::string(Error.message()));
+  if (RequestId)
+    Envelope.set("requestId", Value::number(RequestId));
   return Envelope.dump();
 }
 

@@ -72,6 +72,7 @@ enum class Op : uint8_t {
   Cancel,     ///< revoke an async "ticket" (completed = no-op)
   Report,     ///< the tenant's latest RunReport document
   Stats,      ///< server-wide counters (tenants, in-flight, launches)
+  Trace,      ///< a request's span tree ("requestId") -> "trace"
   Shutdown,   ///< stop the server after acking
 };
 
@@ -94,13 +95,16 @@ support::Result<Request> parseRequest(const std::string &Frame);
 
 /// Renders the success envelope for \p O, splicing \p Payload's members
 /// into it. \p Payload must be an object (pass json::Value::object()
-/// when there is nothing to add).
-std::string okResponse(Op O, const support::json::Value &Payload);
+/// when there is nothing to add). A nonzero \p RequestId is echoed as
+/// "requestId" — the handle a client passes back to the trace op.
+std::string okResponse(Op O, const support::json::Value &Payload,
+                       uint64_t RequestId = 0);
 
 /// Renders the failure envelope: status = the code's stable name. The
 /// op is a string so frames that failed before op decoding can answer
-/// with "unknown".
-std::string errorResponse(const char *OpName, const support::Status &Error);
+/// with "unknown". A nonzero \p RequestId is echoed as "requestId".
+std::string errorResponse(const char *OpName, const support::Status &Error,
+                          uint64_t RequestId = 0);
 
 /// Decodes a response frame back into a Result: Ok responses yield the
 /// parsed envelope object, failures reconstruct the Status from the

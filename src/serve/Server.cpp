@@ -2,6 +2,7 @@
 
 #include "serve/Server.h"
 
+#include "obs/Log.h"
 #include "support/Format.h"
 
 #include <cerrno>
@@ -17,12 +18,27 @@ using support::json::Value;
 
 namespace {
 
+const obs::Logger SLog("serve");
+
 runtime::EngineOptions engineOptionsFor(const ServerOptions &Options,
-                                        fault::FaultInjector *Injector) {
+                                        fault::FaultInjector *Injector,
+                                        obs::TraceRecorder *Tracer) {
   runtime::EngineOptions Out;
   Out.NumQueues = Options.NumQueues;
   Out.QueueCapacity = Options.QueueCapacity;
   Out.Faults = Injector;
+  Out.Tracer = Tracer;
+  return Out;
+}
+
+/// The per-tenant template with the daemon's recorder wired into the
+/// session half, so every tenant's launch spans land in one trace. A
+/// zero sample rate passes no recorder at all — tracing is then
+/// entirely off, not merely unsampled.
+TenantOptions tenantTemplate(const ServerOptions &Options,
+                             obs::TraceRecorder *Tracer) {
+  TenantOptions Out = Options.Tenant;
+  Out.Engine.Tracer = Tracer;
   return Out;
 }
 
@@ -53,9 +69,15 @@ Server::Server(ServerOptions Opts)
                    ? nullptr
                    : std::make_unique<fault::FaultInjector>(
                          Options.EngineFaults)),
-      Engine_(std::make_unique<runtime::Engine>(
-          engineOptionsFor(Options, Injector.get()))),
-      Registry(*Engine_, Options.Tenant) {}
+      Engine_(std::make_unique<runtime::Engine>(engineOptionsFor(
+          Options, Injector.get(),
+          Options.TraceSampleRate > 0 ? &Tracer_ : nullptr))),
+      Registry(*Engine_,
+               tenantTemplate(Options, Options.TraceSampleRate > 0
+                                           ? &Tracer_
+                                           : nullptr)) {
+  Tracer_.setRetention(Options.TraceRetention);
+}
 
 Server::~Server() { stop(); }
 
@@ -94,6 +116,10 @@ support::Status Server::start() {
 
   Running.store(true, std::memory_order_release);
   Acceptor = std::thread(&Server::acceptLoop, this);
+  SLog.info("listening")
+      .kv("socket", Options.SocketPath)
+      .kv("queues", Options.NumQueues)
+      .kv("traceSampleRate", Options.TraceSampleRate);
   return support::Status();
 }
 
@@ -130,6 +156,9 @@ void Server::drain(uint64_t BudgetMs) {
     return; // someone is already draining; the first caller finishes it
   if (BudgetMs == ~0ull)
     BudgetMs = Options.DrainBudgetMs;
+  SLog.info("draining")
+      .kv("budgetMs", BudgetMs)
+      .kv("unresolved", Registry.unresolvedTotal());
 
   // Phase 1: wait (bounded) for in-flight launches to reach terminal
   // states on their own. New launches are already refused, every other
@@ -145,11 +174,18 @@ void Server::drain(uint64_t BudgetMs) {
   // cancellation is bounded by a scheduling pass + a drain batch, so
   // this wait is short and, unlike phase 1, not abandoned).
   if (Registry.unresolvedTotal() != 0) {
-    Registry.cancelAllInFlight();
+    uint32_t Tripped = Registry.cancelAllInFlight();
+    SLog.warn("drain-budget-spent").kv("cancelled", Tripped);
     while (Registry.unresolvedTotal() != 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+  // The sampler stops before the daemon acknowledges shutdown, so no
+  // Prometheus snapshot is ever written after "stopped".
+  if (obs::Exporter *Exporter =
+          Attached.load(std::memory_order_acquire))
+    Exporter->stop();
   stop();
+  SLog.info("drained");
 }
 
 void Server::waitForShutdown() {
@@ -217,11 +253,33 @@ void Server::serveConnection(int Fd) {
   ::close(Fd);
 }
 
+bool Server::headSampled(uint64_t RequestId) const {
+  double Rate = Options.TraceSampleRate;
+  if (Rate <= 0.0)
+    return false;
+  if (Rate >= 1.0)
+    return true;
+  // Fibonacci multiplicative hash spreads sequential ids uniformly over
+  // [0, 2^53); compare against the rate scaled to the same range so the
+  // decision is deterministic per request id.
+  uint64_t Hashed = (RequestId * 0x9E3779B97F4A7C15ull) >> 11;
+  return static_cast<double>(Hashed) < Rate * 9007199254740992.0;
+}
+
 std::string Server::handleFrame(const std::string &Frame,
                                 bool &CloseAfter) {
+  // Every frame — even a malformed one — gets a daemon-unique request
+  // id, echoed in the response envelope; launch frames use it as the
+  // trace correlation handle the trace op accepts back.
+  uint64_t RequestId =
+      NextRequestId.fetch_add(1, std::memory_order_relaxed);
   support::Result<Request> Decoded = parseRequest(Frame);
-  if (!Decoded.ok())
-    return errorResponse("unknown", Decoded.status());
+  if (!Decoded.ok()) {
+    SLog.warn("protocol-error")
+        .kv("requestId", RequestId)
+        .kv("error", Decoded.status().message());
+    return errorResponse("unknown", Decoded.status(), RequestId);
+  }
   const Request &Req = Decoded.value();
 
   switch (Req.O) {
@@ -236,7 +294,9 @@ std::string Server::handleFrame(const std::string &Frame,
     Payload.set("tenantQuota",
                 Value::number(
                     static_cast<uint64_t>(Options.Tenant.MaxInFlight)));
-    return okResponse(Op::Hello, Payload);
+    Payload.set("traceSampleRate",
+                Value::number(Options.TraceSampleRate));
+    return okResponse(Op::Hello, Payload, RequestId);
   }
   case Op::Stats: {
     Value Payload = Registry.stats();
@@ -252,17 +312,30 @@ std::string Server::handleFrame(const std::string &Frame,
     Payload.set("quarantinedQueues",
                 Value::number(static_cast<uint64_t>(
                     Engine_->quarantinedQueues())));
-    return okResponse(Op::Stats, Payload);
+    return okResponse(Op::Stats, Payload, RequestId);
+  }
+  case Op::Trace: {
+    if (!Req.Body.get("requestId"))
+      return errorResponse(
+          opName(Req.O),
+          support::Status(support::ErrorCode::ProtocolError,
+                          "trace requires a \"requestId\""),
+          RequestId);
+    Value Payload = Value::object();
+    Payload.set("trace",
+                Tracer_.requestValue(Req.Body.getU64("requestId")));
+    return okResponse(Op::Trace, Payload, RequestId);
   }
   case Op::Shutdown: {
     // Ack, wake waitForShutdown(), and end this conversation; the
     // owner (the CLI main loop, or a test) then runs stop().
+    SLog.info("shutdown-requested").kv("requestId", RequestId);
     ShutdownRequested.store(true, std::memory_order_release);
     ShutdownCv.notify_all();
     CloseAfter = true;
     Value Payload = Value::object();
     Payload.set("stopping", Value::boolean(true));
-    return okResponse(Op::Shutdown, Payload);
+    return okResponse(Op::Shutdown, Payload, RequestId);
   }
   default:
     break;
@@ -277,41 +350,76 @@ std::string Server::handleFrame(const std::string &Frame,
         opName(Req.O),
         support::Status(support::ErrorCode::Draining,
                         "server is draining toward shutdown; "
-                        "new launches are refused"));
+                        "new launches are refused"),
+        RequestId);
+
+  // Launch frames carry request tracing: a root frame span on the serve
+  // track, a flow arrow toward the engine lease, and the head-sampling
+  // decision the reap consults (errors are always kept).
+  bool IsLaunch = Req.O == Op::Launch;
+  bool Async = IsLaunch && Req.Body.getBool("async");
+  obs::RequestContext Ctx;
+  if (IsLaunch && Options.TraceSampleRate > 0) {
+    Ctx.RequestId = RequestId;
+    Ctx.Sampled = headSampled(RequestId);
+    Ctx.Recorder = &Tracer_;
+  }
 
   Tenant &T = Registry.acquire(Req.Tenant);
-  support::Result<Value> Outcome = [&]() -> support::Result<Value> {
-    switch (Req.O) {
-    case Op::LoadModule:
-      return T.loadModule(Req.Body);
-    case Op::Alloc:
-      return T.alloc(Req.Body);
-    case Op::Fill:
-      return T.fill(Req.Body);
-    case Op::WriteU32:
-      return T.writeWord(Req.Body, /*Wide=*/false);
-    case Op::WriteU64:
-      return T.writeWord(Req.Body, /*Wide=*/true);
-    case Op::ReadU32:
-      return T.readWord(Req.Body, /*Wide=*/false);
-    case Op::ReadU64:
-      return T.readWord(Req.Body, /*Wide=*/true);
-    case Op::Launch:
-      return T.launch(Req.Body);
-    case Op::Poll:
-      return T.poll(Req.Body);
-    case Op::Cancel:
-      return T.cancel(Req.Body);
-    case Op::Report:
-      return T.report();
-    default:
-      return support::Status(support::ErrorCode::Internal,
-                             "unhandled op");
+  support::Result<Value> Outcome =
+      support::Status(support::ErrorCode::Internal, "unhandled op");
+  {
+    uint32_t ServeTrack = Ctx.active() ? Tracer_.track("serve") : 0;
+    obs::Span FrameSpan(Ctx.Recorder, ServeTrack,
+                        std::string("frame ") + opName(Req.O) + " (" +
+                            Req.Tenant + ")",
+                        "serve", RequestId, 0);
+    if (Ctx.active()) {
+      Ctx.ParentSpan = FrameSpan.spanId();
+      Tracer_.flow('s', ServeTrack, "request", "serve", RequestId);
     }
-  }();
+    Outcome = [&]() -> support::Result<Value> {
+      switch (Req.O) {
+      case Op::LoadModule:
+        return T.loadModule(Req.Body);
+      case Op::Alloc:
+        return T.alloc(Req.Body);
+      case Op::Fill:
+        return T.fill(Req.Body);
+      case Op::WriteU32:
+        return T.writeWord(Req.Body, /*Wide=*/false);
+      case Op::WriteU64:
+        return T.writeWord(Req.Body, /*Wide=*/true);
+      case Op::ReadU32:
+        return T.readWord(Req.Body, /*Wide=*/false);
+      case Op::ReadU64:
+        return T.readWord(Req.Body, /*Wide=*/true);
+      case Op::Launch:
+        return T.launch(Req.Body, Ctx);
+      case Op::Poll:
+        return T.poll(Req.Body);
+      case Op::Cancel:
+        return T.cancel(Req.Body);
+      case Op::Report:
+        return T.report();
+      default:
+        return support::Status(support::ErrorCode::Internal,
+                               "unhandled op");
+      }
+    }();
+    if (Ctx.active() && (!Async || !Outcome.ok()))
+      Tracer_.flow('f', ServeTrack, "request", "serve", RequestId);
+  }
+  // A blocking launch was reaped inside this frame (and a refused async
+  // one never made a ticket): retire the request now, after its frame
+  // span recorded. A live async ticket keeps recording until the poll
+  // that reaps it decides retention.
+  if (Ctx.active() && (!Async || !Outcome.ok()))
+    Tracer_.finishRequest(RequestId, Ctx.Sampled || !Outcome.ok());
+
   if (!Outcome.ok())
-    return errorResponse(opName(Req.O), Outcome.status());
-  return okResponse(Req.O, Outcome.value());
+    return errorResponse(opName(Req.O), Outcome.status(), RequestId);
+  return okResponse(Req.O, Outcome.value(), RequestId);
 }
 
 void Server::sample(std::vector<obs::Exporter::Sample> &Out) {

@@ -22,6 +22,7 @@
 #ifndef BARRACUDA_SERVE_SERVER_H
 #define BARRACUDA_SERVE_SERVER_H
 
+#include "obs/Trace.h"
 #include "runtime/Engine.h"
 #include "serve/Protocol.h"
 #include "serve/Tenant.h"
@@ -63,6 +64,15 @@ struct ServerOptions {
   /// Graceful-drain budget: how long drain() lets in-flight launches
   /// finish before cancelling the stragglers (0 = cancel immediately).
   uint64_t DrainBudgetMs = 5000;
+  /// Head-sampling probability for per-request tracing, in [0, 1].
+  /// Every launch frame gets a requestId and records its span tree;
+  /// at reap the tree is kept when the request was head-sampled OR
+  /// ended in error (tail retention), and discarded otherwise. 0
+  /// disables recording entirely (the trace op answers empty trees).
+  double TraceSampleRate = 0.05;
+  /// Cap on retained trace events; the oldest are trimmed past it, so
+  /// a long-running daemon's recorder stays bounded.
+  size_t TraceRetention = 1 << 16;
 };
 
 /// The daemon: listener, connection threads, tenant registry, engine.
@@ -111,6 +121,18 @@ public:
   runtime::Engine &engine() { return *Engine_; }
   TenantRegistry &tenants() { return Registry; }
 
+  /// The daemon's one trace recorder: every tenant session, the engine
+  /// and the per-request span trees all record here.
+  obs::TraceRecorder &tracer() { return Tracer_; }
+
+  /// Registers the exporter whose sampler drain() must stop before the
+  /// daemon answers "stopped" — no Prometheus snapshot is ever written
+  /// after shutdown is acknowledged. The exporter must outlive the
+  /// server (or be detached with nullptr first).
+  void attachExporter(obs::Exporter *Exporter) {
+    Attached.store(Exporter, std::memory_order_release);
+  }
+
   uint64_t connectionsAccepted() const {
     return Accepted.load(std::memory_order_relaxed);
   }
@@ -129,13 +151,22 @@ private:
   /// (without the trailing newline) and sets \p CloseAfter for frames
   /// that end the conversation.
   std::string handleFrame(const std::string &Frame, bool &CloseAfter);
+  /// Deterministic head-sampling decision for \p RequestId.
+  bool headSampled(uint64_t RequestId) const;
 
   ServerOptions Options;
+  /// The request-span recorder; declared before the engine and the
+  /// registry, both of which keep pointers to it.
+  obs::TraceRecorder Tracer_;
   /// Built from Options.EngineFaults; referenced by the engine, so it
   /// is declared first.
   std::unique_ptr<fault::FaultInjector> Injector;
   std::unique_ptr<runtime::Engine> Engine_;
   TenantRegistry Registry;
+  /// Daemon-unique request ids; 0 is reserved for "no request".
+  std::atomic<uint64_t> NextRequestId{1};
+  /// Exporter to stop during drain(); null when none is attached.
+  std::atomic<obs::Exporter *> Attached{nullptr};
 
   std::atomic<bool> Running{false};
   std::atomic<bool> ShutdownRequested{false};

@@ -2,6 +2,7 @@
 
 #include "serve/Tenant.h"
 
+#include "obs/Log.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -12,6 +13,8 @@ using namespace barracuda::serve;
 using support::json::Value;
 
 namespace {
+
+const obs::Logger TLog("tenant");
 
 support::Status protocolError(std::string Message) {
   return support::Status(support::ErrorCode::ProtocolError,
@@ -104,6 +107,10 @@ support::Result<Value> Tenant::loadModule(const Value &Body) {
   if (!Info.ok())
     return Info.status();
 
+  TLog.info("module-loaded")
+      .kv("tenant", Name)
+      .kv("kernels", Info.value().Kernels.size())
+      .kv("parseNanos", Info.value().ParseNanos);
   Value Kernels = Value::array();
   for (const std::string &Kernel : Info.value().Kernels)
     Kernels.push(Value::string(Kernel));
@@ -172,6 +179,11 @@ Value Tenant::reapLocked(const support::Result<sim::LaunchResult> &Result,
   Value Payload = Value::object();
   if (!Result.ok()) {
     ++Completed;
+    TLog.warn("launch-failed")
+        .kv("tenant", Name)
+        .kv("status",
+            support::errorCodeName(Result.status().code()))
+        .kv("error", Result.status().message());
     Payload.set("ok", Value::boolean(false));
     Payload.set("launchStatus",
                 Value::string(support::errorCodeName(
@@ -205,7 +217,8 @@ Value Tenant::reapLocked(const support::Result<sim::LaunchResult> &Result,
   return Payload;
 }
 
-support::Result<Value> Tenant::launch(const Value &Body) {
+support::Result<Value> Tenant::launch(const Value &Body,
+                                      obs::RequestContext Ctx) {
   std::string Kernel = Body.getString("kernel");
   if (Kernel.empty())
     return protocolError("launch requires a \"kernel\"");
@@ -239,6 +252,12 @@ support::Result<Value> Tenant::launch(const Value &Body) {
     // lease/watermark admission when the launch actually begins.
     if (Options.MaxInFlight && InFlight >= Options.MaxInFlight) {
       ++Refused;
+      TLog.warn("launch-refused")
+          .kv("tenant", Name)
+          .kv("kernel", Kernel)
+          .kv("inFlight", InFlight)
+          .kv("quota", Options.MaxInFlight)
+          .kv("requestId", Ctx.RequestId);
       return support::Status(
           support::ErrorCode::Overloaded,
           support::formatString(
@@ -246,8 +265,9 @@ support::Result<Value> Tenant::launch(const Value &Body) {
               Name.c_str(), InFlight, Options.MaxInFlight));
     }
     ++InFlight;
-    Session::AsyncLaunch Handle = Sess->submitKernel(
-        *Lane, Kernel, Grid.value(), Block.value(), Params, DeadlineMs);
+    Session::AsyncLaunch Handle =
+        Sess->submitKernel(*Lane, Kernel, Grid.value(), Block.value(),
+                           Params, DeadlineMs, Ctx);
     // Every launch — ticketed or blocking — stays revocable by a
     // draining server through the weak list.
     if (LiveTokens.size() >= 32)
@@ -261,8 +281,10 @@ support::Result<Value> Tenant::launch(const Value &Body) {
     Future = std::move(Handle.Future);
     if (Async) {
       uint64_t Ticket = NextTicket++;
-      Tickets.emplace(Ticket, PendingLaunch{std::move(Future), Kernel,
-                                            std::move(Handle.Token)});
+      Tickets.emplace(Ticket,
+                      PendingLaunch{std::move(Future), Kernel,
+                                    std::move(Handle.Token),
+                                    Ctx.RequestId, Ctx.Sampled});
       Value Payload = Value::object();
       Payload.set("ticket", Value::number(Ticket));
       return Payload;
@@ -301,8 +323,20 @@ support::Result<Value> Tenant::poll(const Value &Body) {
   }
   support::Result<sim::LaunchResult> Result = It->second.Future.get();
   std::string Kernel = std::move(It->second.Kernel);
+  uint64_t TraceId = It->second.RequestId;
+  bool Sampled = It->second.Sampled;
   Tickets.erase(It);
   Value Reaped = reapLocked(Result, WantReport);
+  // Retention is decided here, at the reap: close the request's flow on
+  // the serve track, then keep its span tree only when it was
+  // head-sampled or ended in error (tail retention).
+  if (TraceId) {
+    if (obs::TraceRecorder *Recorder = Options.Engine.Tracer) {
+      Recorder->flow('f', Recorder->track("serve"), "request", "serve",
+                     TraceId);
+      Recorder->finishRequest(TraceId, Sampled || !Result.ok());
+    }
+  }
   Value Payload = Value::object();
   Payload.set("ticket", Value::number(Ticket));
   Payload.set("done", Value::boolean(true));

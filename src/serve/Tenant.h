@@ -81,8 +81,12 @@ public:
   writeWord(const support::json::Value &Body, bool Wide);
   support::Result<support::json::Value>
   readWord(const support::json::Value &Body, bool Wide);
+  /// \p Ctx is the frame's request-trace correlation (inactive = no
+  /// tracing): the launch's spans join that request's tree, and async
+  /// tickets remember the id so the reaping poll can retire it.
   support::Result<support::json::Value>
-  launch(const support::json::Value &Body);
+  launch(const support::json::Value &Body,
+         obs::RequestContext Ctx = {});
   support::Result<support::json::Value>
   poll(const support::json::Value &Body);
   support::Result<support::json::Value>
@@ -132,6 +136,11 @@ private:
     /// Lifecycle handle: cancel trips it; kept until the ticket is
     /// reaped so cancel-after-completion stays a cheap no-op.
     std::shared_ptr<support::CancelToken> Token;
+    /// Trace correlation from the submitting frame: the reaping poll
+    /// emits the finish flow and retires the request's span tree
+    /// (kept when Sampled or the launch errored).
+    uint64_t RequestId = 0;
+    bool Sampled = false;
   };
   std::map<uint64_t, PendingLaunch> Tickets;
   uint64_t NextTicket = 1;

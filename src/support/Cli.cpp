@@ -2,6 +2,7 @@
 
 #include "support/Cli.h"
 
+#include "obs/Log.h"
 #include "support/Format.h"
 
 #include <cstdlib>
@@ -90,7 +91,12 @@ void Parser::repeatedOption(const char *Name, const char *ValueLabel,
 }
 
 bool Parser::fail(const std::string &Message) {
-  std::fprintf(stderr, "%s: %s\n", Program.c_str(), Message.c_str());
+  // The diagnostic goes through the structured logger (level Error, so
+  // it is emitted at any configured level); the usage text stays plain
+  // stderr — it is help output for a human, not a diagnostic.
+  obs::Logger("cli").error("usage-error")
+      .kv("program", Program)
+      .kv("error", Message);
   usage(stderr);
   return false;
 }

@@ -9,6 +9,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "barracuda/RunReport.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Cli.h"
@@ -16,9 +18,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -394,6 +400,278 @@ TEST(Trace, NegativeDurationClamped) {
 }
 
 //===----------------------------------------------------------------------===//
+// Request-scoped tracing
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, RequestSpanTreeAndFlows) {
+  obs::TraceRecorder Recorder;
+  uint32_t Serve = Recorder.track("serve");
+  uint32_t Session = Recorder.track("session 0");
+  const uint64_t Request = 42;
+
+  uint64_t FrameId = 0, LaunchId = 0;
+  {
+    obs::Span Frame(&Recorder, Serve, "frame launch (a)", "serve", Request,
+                    0);
+    FrameId = Frame.spanId();
+    ASSERT_NE(FrameId, 0u);
+    Recorder.flow('s', Serve, "request", "serve", Request);
+    {
+      obs::Span Launch(&Recorder, Session, "launch k", "session", Request,
+                       FrameId);
+      LaunchId = Launch.spanId();
+      ASSERT_NE(LaunchId, 0u);
+      ASSERT_NE(LaunchId, FrameId);
+      Recorder.flow('t', Session, "request", "serve", Request);
+    }
+    Recorder.flow('f', Serve, "request", "serve", Request);
+  }
+  Recorder.finishRequest(Request, /*Keep=*/true);
+  EXPECT_TRUE(Recorder.hasRequest(Request));
+
+  JsonValue Tree = parseJson(Recorder.requestValue(Request).dump());
+  EXPECT_EQ(Tree.at("requestId").Number, 42.0);
+  const std::vector<JsonValue> &Spans = Tree.at("spans").Array;
+  ASSERT_EQ(Spans.size(), 2u);
+  // Start-time ordered: the frame opened first.
+  EXPECT_EQ(Spans[0].at("spanId").Number, static_cast<double>(FrameId));
+  EXPECT_EQ(Spans[0].at("parentId").Number, 0.0);
+  EXPECT_EQ(Spans[1].at("spanId").Number, static_cast<double>(LaunchId));
+  EXPECT_EQ(Spans[1].at("parentId").Number, static_cast<double>(FrameId));
+  EXPECT_EQ(Tree.at("flows").Array.size(), 3u);
+
+  // Flow events render with the request id as the flow id, and the
+  // finishing edge binds to the enclosing slice ("bp":"e").
+  JsonValue Doc = parseJson(Recorder.json());
+  unsigned FlowStart = 0, FlowFinish = 0;
+  for (const JsonValue &Event : Doc.at("traceEvents").Array) {
+    const std::string &Phase = Event.at("ph").Str;
+    if (Phase == "s") {
+      ++FlowStart;
+      EXPECT_EQ(Event.at("id").Number, 42.0);
+    } else if (Phase == "f") {
+      ++FlowFinish;
+      EXPECT_EQ(Event.at("bp").Str, "e");
+    }
+  }
+  EXPECT_EQ(FlowStart, 1u);
+  EXPECT_EQ(FlowFinish, 1u);
+}
+
+TEST(Trace, FinishRequestDiscardsUnsampled) {
+  obs::TraceRecorder Recorder;
+  uint32_t T = Recorder.track("serve");
+  {
+    obs::Span S(&Recorder, T, "frame", "serve", 7, 0);
+  }
+  Recorder.flow('s', T, "request", "serve", 7);
+  EXPECT_TRUE(Recorder.hasRequest(7));
+  Recorder.finishRequest(7, /*Keep=*/false);
+  EXPECT_FALSE(Recorder.hasRequest(7));
+  EXPECT_EQ(Recorder.requestValue(7).get("spans")->items().size(), 0u);
+  // Uncorrelated events are untouched by per-request retirement.
+  Recorder.complete(T, "background", "serve", 1, 2);
+  Recorder.finishRequest(99, false);
+  EXPECT_EQ(Recorder.eventCount(), 1u);
+}
+
+TEST(Trace, RetentionBoundsEventCount) {
+  obs::TraceRecorder Recorder;
+  uint32_t T = Recorder.track("t");
+  Recorder.setRetention(64);
+  for (uint64_t I = 0; I != 1000; ++I)
+    Recorder.complete(T, "e", "test", I, I + 1);
+  EXPECT_LE(Recorder.eventCount(), 64u);
+  // The survivors are the newest events.
+  JsonValue Doc = parseJson(Recorder.json());
+  for (const JsonValue &Event : Doc.at("traceEvents").Array)
+    if (Event.at("ph").Str == "X")
+      EXPECT_GE(Event.at("ts").Number, 900.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorder, ExactCapacityRetainsEverything) {
+  obs::FlightRecorder Flight(1, 8);
+  EXPECT_EQ(Flight.ringCapacity(), 8u);
+  for (unsigned I = 0; I != 8; ++I)
+    Flight.record(0, obs::FlightCode::LeaseOpen, static_cast<uint16_t>(I),
+                  100 + I, 1000 + I, I, 2 * I);
+  EXPECT_EQ(Flight.recorded(), 8u);
+  std::vector<obs::FlightEvent> Events = Flight.snapshot();
+  ASSERT_EQ(Events.size(), 8u);
+  for (unsigned I = 0; I != 8; ++I) {
+    EXPECT_EQ(Events[I].Seq, I + 1);
+    EXPECT_EQ(Events[I].Worker, I);
+    EXPECT_EQ(Events[I].Epoch, 100 + I);
+    EXPECT_EQ(Events[I].RequestId, 1000 + I);
+    EXPECT_EQ(Events[I].A, I);
+    EXPECT_EQ(Events[I].B, 2 * I);
+    EXPECT_EQ(static_cast<obs::FlightCode>(Events[I].Code),
+              obs::FlightCode::LeaseOpen);
+  }
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewest) {
+  obs::FlightRecorder Flight(1, 8);
+  for (unsigned I = 0; I != 20; ++I)
+    Flight.record(0, obs::FlightCode::RecordsDropped, 0, 0, 0, I);
+  EXPECT_EQ(Flight.recorded(), 20u);
+  std::vector<obs::FlightEvent> Events = Flight.snapshot();
+  ASSERT_EQ(Events.size(), 8u);
+  // Exactly the last 8, in sequence order.
+  for (unsigned I = 0; I != 8; ++I) {
+    EXPECT_EQ(Events[I].Seq, 13 + I);
+    EXPECT_EQ(Events[I].A, 12 + I);
+  }
+}
+
+TEST(FlightRecorder, CapacityRoundsUpAndRingClamps) {
+  obs::FlightRecorder Flight(2, 5);
+  EXPECT_EQ(Flight.ringCapacity(), 8u); // next power of two
+  EXPECT_EQ(Flight.ringCount(), 2u);
+  // An out-of-range ring index lands on the last ring, not UB.
+  Flight.record(99, obs::FlightCode::Custom, 0, 0, 0);
+  std::vector<obs::FlightEvent> Events = Flight.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Ring, 1u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndSnapshots) {
+  // TSan-relevant: writers on every ring race snapshot() and must never
+  // produce a torn event (a slot is either skipped or fully consistent:
+  // we stamp A == Seq and check the invariant on every snapshot).
+  obs::FlightRecorder Flight(4, 32);
+  std::vector<std::thread> Writers;
+  for (unsigned Ring = 0; Ring != 4; ++Ring)
+    Writers.emplace_back([&Flight, Ring] {
+      for (unsigned I = 0; I != 20000; ++I)
+        Flight.record(Ring, obs::FlightCode::SyncMarker,
+                      static_cast<uint16_t>(Ring), I, 0);
+    });
+  for (unsigned Round = 0; Round != 50; ++Round) {
+    std::vector<obs::FlightEvent> Events = Flight.snapshot();
+    uint64_t LastSeq = 0;
+    for (const obs::FlightEvent &E : Events) {
+      EXPECT_GT(E.Seq, LastSeq); // sorted, unique
+      LastSeq = E.Seq;
+      EXPECT_LT(E.Ring, 4u);
+    }
+  }
+  for (auto &W : Writers)
+    W.join();
+  EXPECT_EQ(Flight.recorded(), 4u * 20000u);
+}
+
+TEST(FlightRecorder, DumpToIsParseableText) {
+  obs::FlightRecorder Flight(1, 8);
+  Flight.record(0, obs::FlightCode::WorkerFailure, 3, 7, 99, 1, 2);
+  std::string Path = ::testing::TempDir() + "flight-dump.txt";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  Flight.dumpTo(fileno(F));
+  std::fclose(F);
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+  EXPECT_NE(Text.find("seq="), std::string::npos);
+  EXPECT_NE(Text.find("worker-failure"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logger
+//===----------------------------------------------------------------------===//
+
+/// Restores global logger state (level, sink, rate limit) on scope exit
+/// so log tests cannot leak configuration into each other.
+struct LogStateGuard {
+  ~LogStateGuard() {
+    obs::resetLogSink();
+    obs::setLogLevel(obs::LogLevel::Warn);
+    obs::setLogRateLimit(1000);
+  }
+};
+
+TEST(Log, JsonLinesWithFields) {
+  LogStateGuard Guard;
+  std::string Path = ::testing::TempDir() + "obs-log-test.jsonl";
+  std::remove(Path.c_str());
+  ASSERT_TRUE(obs::setLogSinkPath(Path).ok());
+  obs::setLogLevel(obs::LogLevel::Debug);
+
+  obs::Logger Log("test");
+  Log.info("hello").kv("n", 7u).kv("name", "x").kv("flag", true);
+  Log.error("boom").kv("neg", static_cast<int64_t>(-3)).kv("rate", 0.5);
+  obs::resetLogSink(); // flush + close the file sink
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::vector<JsonValue> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(parseJson(Line));
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].at("level").Str, "info");
+  EXPECT_EQ(Lines[0].at("component").Str, "test");
+  EXPECT_EQ(Lines[0].at("event").Str, "hello");
+  EXPECT_EQ(Lines[0].at("n").Number, 7.0);
+  EXPECT_EQ(Lines[0].at("name").Str, "x");
+  EXPECT_TRUE(Lines[0].at("flag").Bool_);
+  EXPECT_GT(Lines[0].at("ts").Number, 0.0);
+  EXPECT_EQ(Lines[1].at("level").Str, "error");
+  EXPECT_EQ(Lines[1].at("neg").Number, -3.0);
+  EXPECT_EQ(Lines[1].at("rate").Number, 0.5);
+  std::remove(Path.c_str());
+}
+
+TEST(Log, ThresholdFiltersBelowLevel) {
+  LogStateGuard Guard;
+  obs::setLogLevel(obs::LogLevel::Error);
+  uint64_t InfoBefore = obs::logLinesEmitted(obs::LogLevel::Info);
+  uint64_t ErrorBefore = obs::logLinesEmitted(obs::LogLevel::Error);
+  obs::Logger Log("test");
+  Log.info("dropped").kv("k", 1);
+  Log.error("kept");
+  EXPECT_EQ(obs::logLinesEmitted(obs::LogLevel::Info), InfoBefore);
+  EXPECT_EQ(obs::logLinesEmitted(obs::LogLevel::Error), ErrorBefore + 1);
+  EXPECT_FALSE(Log.enabled(obs::LogLevel::Info));
+  EXPECT_TRUE(Log.enabled(obs::LogLevel::Error));
+}
+
+TEST(Log, RateLimiterDropsAndCounts) {
+  LogStateGuard Guard;
+  std::string Path = ::testing::TempDir() + "obs-log-rate.jsonl";
+  std::remove(Path.c_str());
+  ASSERT_TRUE(obs::setLogSinkPath(Path).ok());
+  obs::setLogLevel(obs::LogLevel::Debug);
+  obs::setLogRateLimit(10);
+  uint64_t DroppedBefore = obs::logLinesDropped();
+  obs::Logger Log("test");
+  for (unsigned I = 0; I != 100; ++I)
+    Log.info("spam").kv("i", I);
+  EXPECT_GT(obs::logLinesDropped(), DroppedBefore);
+  std::remove(Path.c_str());
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  using obs::LogLevel;
+  for (LogLevel Level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    LogLevel Parsed;
+    ASSERT_TRUE(obs::logLevelFromName(obs::logLevelName(Level), Parsed));
+    EXPECT_EQ(Parsed, Level);
+  }
+  LogLevel Unused;
+  EXPECT_FALSE(obs::logLevelFromName("verbose", Unused));
+  EXPECT_FALSE(obs::logLevelFromName("", Unused));
+}
+
+//===----------------------------------------------------------------------===//
 // RunReport schema
 //===----------------------------------------------------------------------===//
 
@@ -441,6 +719,38 @@ TEST(RunReportTest, SchemaRoundTrip) {
   EXPECT_EQ(Doc.at("races").Array[0].at("scope").Str, "inter-block");
   EXPECT_EQ(Doc.at("barrierErrors").Array.size(), 0u);
   EXPECT_EQ(Doc.at("metrics").at("detector.fastpath_hits").Number, 24.0);
+}
+
+TEST(RunReportTest, BlackboxSectionSerializesWhenCaptured) {
+  RunReport Report;
+  // Not captured: the section is absent entirely.
+  JsonValue Clean = parseJson(Report.toJson());
+  EXPECT_FALSE(Clean.has("blackbox"));
+
+  Report.Blackbox.Captured = true;
+  Report.Blackbox.Reason = "degraded";
+  RunReport::BlackboxSection::Event E;
+  E.Seq = 5;
+  E.TimeNs = 123456;
+  E.Code = "worker-failure";
+  E.Ring = 1;
+  E.Worker = 2;
+  E.Epoch = 9;
+  E.RequestId = 77;
+  E.A = 3;
+  Report.Blackbox.Events.push_back(E);
+
+  JsonValue Doc = parseJson(Report.toJson());
+  EXPECT_EQ(Doc.at("schemaVersion").Number, 3.0);
+  const JsonValue &Box = Doc.at("blackbox");
+  EXPECT_TRUE(Box.at("captured").Bool_);
+  EXPECT_EQ(Box.at("reason").Str, "degraded");
+  ASSERT_EQ(Box.at("events").Array.size(), 1u);
+  const JsonValue &Out = Box.at("events").Array[0];
+  EXPECT_EQ(Out.at("seq").Number, 5.0);
+  EXPECT_EQ(Out.at("code").Str, "worker-failure");
+  EXPECT_EQ(Out.at("worker").Number, 2.0);
+  EXPECT_EQ(Out.at("requestId").Number, 77.0);
 }
 
 TEST(RunReportTest, TextFormDoesNotCrash) {

@@ -20,7 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -230,10 +232,10 @@ TEST(ServeServer, HelloMemoryOpsAndBlockingLaunch) {
   EXPECT_GT(Launch.value().getU64("recordsLogged"), 0u);
   EXPECT_GT(Launch.value().getU64("racesTotal"), 0u);
   EXPECT_FALSE(Launch.value().getBool("degraded"));
-  // The embedded per-request RunReport is the full schema-2 document.
+  // The embedded per-request RunReport is the full schema-3 document.
   const Value *Doc = Launch.value().get("report");
   ASSERT_NE(Doc, nullptr);
-  EXPECT_EQ(Doc->getU64("schemaVersion"), 2u);
+  EXPECT_EQ(Doc->getU64("schemaVersion"), 3u);
   EXPECT_FALSE(docRaceKeys(*Doc).empty());
 
   // The report op returns the same document shape.
@@ -766,5 +768,268 @@ TEST(ServeLifecycle, GracefulDrainCancelsStragglersAndRefusesLaunches) {
   // came down clean.
   EXPECT_FALSE(Server.running());
   EXPECT_EQ(Server.tenants().unresolvedTotal(), 0u);
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped tracing over the wire.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Depth of \p SpanId in the parent chain (root = 1); 0 on a broken
+/// chain (dangling parent or cycle).
+unsigned chainDepth(const std::map<uint64_t, uint64_t> &ParentOf,
+                    uint64_t SpanId) {
+  unsigned Depth = 0;
+  uint64_t Cursor = SpanId;
+  while (Cursor != 0) {
+    if (++Depth > ParentOf.size())
+      return 0; // cycle
+    auto It = ParentOf.find(Cursor);
+    if (It == ParentOf.end())
+      return 0; // dangling parent id
+    Cursor = It->second;
+  }
+  return Depth;
+}
+
+/// Validates one request's span tree as returned by the trace op:
+/// every span carries a live parent (or is the root), and the deepest
+/// chain covers at least \p MinLayers layers. Returns the max depth.
+unsigned validateSpanTree(const Value &Trace, uint64_t RequestId) {
+  EXPECT_EQ(Trace.getU64("requestId"), RequestId);
+  const Value *Spans = Trace.get("spans");
+  EXPECT_NE(Spans, nullptr);
+  if (!Spans)
+    return 0;
+  std::map<uint64_t, uint64_t> ParentOf;
+  unsigned Roots = 0;
+  for (const Value &Span : Spans->items()) {
+    uint64_t Id = Span.getU64("spanId");
+    EXPECT_NE(Id, 0u);
+    ParentOf[Id] = Span.getU64("parentId");
+    if (Span.getU64("parentId") == 0)
+      ++Roots;
+  }
+  EXPECT_EQ(ParentOf.size(), Spans->items().size())
+      << "duplicate span ids in request " << RequestId;
+  EXPECT_EQ(Roots, 1u) << "request " << RequestId
+                       << " must have exactly one root (the serve frame)";
+  unsigned MaxDepth = 0;
+  for (const auto &[Id, Parent] : ParentOf) {
+    unsigned Depth = chainDepth(ParentOf, Id);
+    EXPECT_GT(Depth, 0u) << "span " << Id << " of request " << RequestId
+                         << " has a dead parent chain";
+    MaxDepth = std::max(MaxDepth, Depth);
+  }
+  return MaxDepth;
+}
+
+} // namespace
+
+TEST(ServeTracing, SpanTreeConnectsFourLayersAndIsQueryable) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 2;
+  Options.TraceSampleRate = 1.0; // head-sample everything
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  support::Result<Value> Launch = C.launch(
+      "t0", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Launch.ok()) << Launch.status().describe();
+  uint64_t RequestId = Launch.value().getU64("requestId");
+  ASSERT_NE(RequestId, 0u) << "launch responses must echo the request id";
+
+  support::Result<Value> Traced = C.trace(RequestId);
+  ASSERT_TRUE(Traced.ok()) << Traced.status().describe();
+  const Value *Trace = Traced.value().get("trace");
+  ASSERT_NE(Trace, nullptr);
+  // serve frame -> session launch -> engine lease -> detector shard /
+  // watermark wait: the acceptance bar is a connected tree at least
+  // four layers deep.
+  unsigned Depth = validateSpanTree(*Trace, RequestId);
+  EXPECT_GE(Depth, 4u) << Trace->dump();
+  // The flow edges that stitch the tracks together survive retention.
+  const Value *Flows = Trace->get("flows");
+  ASSERT_NE(Flows, nullptr);
+  EXPECT_GE(Flows->items().size(), 2u) << "expected 's' and 'f' edges";
+
+  // Unknown requests answer an empty tree, not an error.
+  support::Result<Value> Unknown = C.trace(999999999);
+  ASSERT_TRUE(Unknown.ok());
+  EXPECT_EQ(Unknown.value().get("trace")->get("spans")->items().size(), 0u);
+
+  // A trace request without a requestId is a typed protocol error.
+  Value Bad = Value::object();
+  Bad.set("op", Value::string("trace"));
+  support::Result<Value> Refused = C.call(Bad);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), support::ErrorCode::ProtocolError);
+  Server.stop();
+}
+
+TEST(ServeTracing, ZeroSampleRateDisablesTracing) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.TraceSampleRate = 0.0;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+  support::Result<Value> Launch = C.launch(
+      "t0", "hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins});
+  ASSERT_TRUE(Launch.ok());
+  uint64_t RequestId = Launch.value().getU64("requestId");
+  EXPECT_NE(RequestId, 0u); // ids are still assigned and echoed
+  support::Result<Value> Traced = C.trace(RequestId);
+  ASSERT_TRUE(Traced.ok());
+  EXPECT_EQ(Traced.value().get("trace")->get("spans")->items().size(), 0u);
+  Server.stop();
+}
+
+TEST(ServeTracing, ConcurrentTenantsYieldWellFormedTrees) {
+  // N tenants launching in parallel (blocking and async) against one
+  // shared recorder: every retained request must still render as a
+  // connected single-root tree whose spans all carry live parents. Run
+  // under the TSan preset too — the recorder, sampler and reap-path
+  // retention race by construction.
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 4;
+  Options.TraceSampleRate = 1.0;
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  constexpr unsigned NumTenants = 4, Rounds = 3;
+  std::vector<std::vector<uint64_t>> Kept(NumTenants);
+  std::vector<std::string> Failures(NumTenants);
+  std::vector<std::thread> Drivers;
+  for (unsigned I = 0; I != NumTenants; ++I)
+    Drivers.emplace_back([&, I] {
+      std::string Tenant = support::formatString("trace-%u", I);
+      serve::Client C;
+      if (!C.connect(Server.socketPath()).ok() ||
+          !C.loadModule(Tenant, HistogramModule).ok()) {
+        Failures[I] = "setup failed";
+        return;
+      }
+      uint64_t Bins = C.alloc(Tenant, 64).valueOr(0);
+      for (unsigned Round = 0; Round != Rounds; ++Round) {
+        if (Round % 2 == 0) {
+          support::Result<Value> Launch = C.launch(
+              Tenant, "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins});
+          if (!Launch.ok()) {
+            Failures[I] = Launch.status().describe();
+            return;
+          }
+          Kept[I].push_back(Launch.value().getU64("requestId"));
+        } else {
+          // The request id of an async launch rides the ticket
+          // response's envelope (every later poll frame has its own
+          // id), so drive the wire directly instead of the wrapper.
+          Value Req = Value::object();
+          Req.set("op", Value::string("launch"));
+          Req.set("tenant", Value::string(Tenant));
+          Req.set("kernel", Value::string("hist_safe"));
+          Req.set("grid", Value::number(static_cast<uint64_t>(1)));
+          Req.set("block", Value::number(static_cast<uint64_t>(64)));
+          Value Args = Value::array();
+          Args.push(Value::number(Bins));
+          Req.set("params", std::move(Args));
+          Req.set("async", Value::boolean(true));
+          support::Result<Value> Ticketed = C.call(Req);
+          if (!Ticketed.ok()) {
+            Failures[I] = Ticketed.status().describe();
+            return;
+          }
+          support::Result<Value> Done =
+              C.pollUntilDone(Tenant, Ticketed.value().getU64("ticket"));
+          if (!Done.ok() || !Done.value().getBool("ok")) {
+            Failures[I] = "async round failed";
+            return;
+          }
+          Kept[I].push_back(Ticketed.value().getU64("requestId"));
+        }
+      }
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+  for (unsigned I = 0; I != NumTenants; ++I)
+    ASSERT_TRUE(Failures[I].empty()) << "tenant " << I << ": "
+                                     << Failures[I];
+
+  serve::Client Inspector;
+  ASSERT_TRUE(Inspector.connect(Server.socketPath()).ok());
+  for (unsigned I = 0; I != NumTenants; ++I)
+    for (uint64_t RequestId : Kept[I]) {
+      ASSERT_NE(RequestId, 0u);
+      support::Result<Value> Traced = Inspector.trace(RequestId);
+      ASSERT_TRUE(Traced.ok()) << Traced.status().describe();
+      const Value *Trace = Traced.value().get("trace");
+      ASSERT_NE(Trace, nullptr);
+      unsigned Depth = validateSpanTree(*Trace, RequestId);
+      EXPECT_GE(Depth, 4u)
+          << "request " << RequestId << ": " << Trace->dump();
+    }
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Flight-recorder blackbox in the RunReport.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBlackbox, WorkerThrowPopulatesBlackboxSection) {
+  serve::ServerOptions Options;
+  Options.SocketPath = testSocketPath();
+  Options.NumQueues = 2;
+  ASSERT_TRUE(Options.EngineFaults.add("worker-throw").ok());
+  serve::Server Server(std::move(Options));
+  ASSERT_TRUE(Server.start().ok());
+
+  serve::Client C;
+  ASSERT_TRUE(C.connect(Server.socketPath()).ok());
+  ASSERT_TRUE(C.loadModule("t0", HistogramModule).ok());
+  uint64_t Bins = C.alloc("t0", 64).valueOr(0);
+
+  support::Result<Value> Launch =
+      C.launch("t0", "hist_racy", sim::Dim3(1), sim::Dim3(64), {Bins},
+               /*WantReport=*/true);
+  ASSERT_TRUE(Launch.ok()) << Launch.status().describe();
+  const Value *Doc = Launch.value().get("report");
+  ASSERT_NE(Doc, nullptr);
+  // The worker threw mid-launch, so the pool healed (or degraded) —
+  // either way the launch must carry a populated blackbox.
+  const Value *Box = Doc->get("blackbox");
+  ASSERT_NE(Box, nullptr) << Doc->dump();
+  EXPECT_TRUE(Box->getBool("captured"));
+  EXPECT_FALSE(Box->getString("reason").empty());
+  const Value *Events = Box->get("events");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_GT(Events->items().size(), 0u);
+  // The ring carries the failure itself, not just lease bookkeeping.
+  bool SawFailure = false;
+  for (const Value &Event : Events->items())
+    if (Event.getString("code") == "worker-failure" ||
+        Event.getString("code") == "worker-respawn")
+      SawFailure = true;
+  EXPECT_TRUE(SawFailure) << Box->dump();
+
+  // A clean follow-up launch carries no blackbox at all.
+  support::Result<Value> Clean =
+      C.launch("t0", "hist_safe", sim::Dim3(1), sim::Dim3(64), {Bins},
+               /*WantReport=*/true);
+  if (Clean.ok() && Clean.value().get("report") &&
+      !Clean.value().get("report")->get("blackbox"))
+    SUCCEED();
   Server.stop();
 }

@@ -18,6 +18,7 @@
 #include "ptx/Parser.h"
 #include "ptx/Printer.h"
 #include "sim/Lower.h"
+#include "obs/Log.h"
 #include "support/Cli.h"
 #include "support/Format.h"
 #include "support/Json.h"
@@ -33,6 +34,20 @@ int main(int ArgCount, char **Args) {
   bool Json = false, LineTable = false;
 
   support::cli::Parser Cli("barracuda-instrument", "FILE.ptx");
+  Cli.option(
+      "--log-level", "NAME",
+      [](const char *V) {
+        obs::LogLevel Level;
+        if (!obs::logLevelFromName(V, Level))
+          return false;
+        obs::setLogLevel(Level);
+        return true;
+      },
+      "structured-log threshold (debug|info|warn|error|off)");
+  Cli.option(
+      "--log-file", "PATH",
+      [](const char *V) { return obs::setLogSinkPath(V).ok(); },
+      "append JSON log lines to PATH instead of stderr");
   Cli.flagOff("--no-prune", Options.PruneRedundantLogging,
               "keep redundant logging (disable the pruning pass)");
   Cli.flag("--json", Json,

@@ -20,6 +20,7 @@
 #include "barracuda/RunReport.h"
 #include "detector/Host.h"
 #include "obs/Trace.h"
+#include "obs/Log.h"
 #include "support/Cli.h"
 #include "support/Format.h"
 #include "support/Json.h"
@@ -37,6 +38,20 @@ int main(int ArgCount, char **Args) {
   std::string TraceJsonPath;
 
   support::cli::Parser Cli("barracuda-replay", "TRACE.bct");
+  Cli.option(
+      "--log-level", "NAME",
+      [](const char *V) {
+        obs::LogLevel Level;
+        if (!obs::logLevelFromName(V, Level))
+          return false;
+        obs::setLogLevel(Level);
+        return true;
+      },
+      "structured-log threshold (debug|info|warn|error|off)");
+  Cli.option(
+      "--log-file", "PATH",
+      [](const char *V) { return obs::setLogSinkPath(V).ok(); },
+      "append JSON log lines to PATH instead of stderr");
   Cli.uintOption("--queues", "N", NumQueues,
                  "detector queues/processors");
   Cli.flagOff("--legacy-detector", HotPath,

@@ -48,6 +48,7 @@
 
 #include "barracuda/Session.h"
 #include "obs/Trace.h"
+#include "obs/Log.h"
 #include "support/Cli.h"
 #include "support/Format.h"
 
@@ -87,6 +88,20 @@ int main(int ArgCount, char **Args) {
   unsigned Repeat = 1, NumStreams = 1;
 
   support::cli::Parser Cli("barracuda-run", "FILE.ptx");
+  Cli.option(
+      "--log-level", "NAME",
+      [](const char *V) {
+        obs::LogLevel Level;
+        if (!obs::logLevelFromName(V, Level))
+          return false;
+        obs::setLogLevel(Level);
+        return true;
+      },
+      "structured-log threshold (debug|info|warn|error|off)");
+  Cli.option(
+      "--log-file", "PATH",
+      [](const char *V) { return obs::setLogSinkPath(V).ok(); },
+      "append JSON log lines to PATH instead of stderr");
   Cli.stringOption("--kernel", "NAME", KernelName,
                    "kernel to launch (default: first in module)");
   Cli.option(

@@ -28,6 +28,15 @@
 //                          in-flight launches get this long to finish
 //                          before the stragglers are cancelled
 //                          (default: 5000; 0 = cancel immediately)
+//     --trace-sample-rate R head-sampling probability for per-request
+//                          traces, 0..1 (default: 0.05; errors are
+//                          always retained regardless)
+//     --log-level NAME     structured-log threshold: debug, info,
+//                          warn, error, off (default: warn)
+//     --log-file PATH      append JSON log lines to PATH instead of
+//                          stderr
+//     --crash-file PATH    flight-recorder dump target on
+//                          SIGSEGV/SIGABRT (default: SOCKET.crash)
 //
 // Runs until SIGINT/SIGTERM or a shutdown frame. Prints
 // "listening on PATH" once accepting, so drivers can wait on it. A
@@ -40,6 +49,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Exporter.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
 #include "serve/Server.h"
 #include "support/Cli.h"
 
@@ -48,8 +59,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
 #include <memory>
 #include <thread>
+#include <unistd.h>
 
 using namespace barracuda;
 
@@ -58,6 +72,39 @@ namespace {
 std::atomic<bool> SignalStop{false};
 
 void onSignal(int) { SignalStop.store(true, std::memory_order_release); }
+
+// Crash-dump plumbing. The handler runs under SIGSEGV/SIGABRT, so it is
+// restricted to async-signal-safe calls: open/write/close plus
+// FlightRecorder::dumpTo (lock-free snapshot over atomics). The handler
+// is installed with SA_RESETHAND, so the re-raise at the end takes the
+// default disposition and the process still dies with the right signal.
+const obs::FlightRecorder *CrashFlight = nullptr;
+char CrashPath[512] = {0};
+
+void writeAll(int Fd, const char *Text) {
+  size_t Len = std::strlen(Text);
+  while (Len) {
+    ssize_t N = ::write(Fd, Text, Len);
+    if (N <= 0)
+      return;
+    Text += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+void onCrash(int Signal) {
+  if (CrashFlight && CrashPath[0]) {
+    int Fd = ::open(CrashPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      writeAll(Fd, "# barracuda-serve flight-recorder crash dump, signal ");
+      writeAll(Fd, Signal == SIGSEGV ? "SIGSEGV" : "SIGABRT");
+      writeAll(Fd, "\n");
+      CrashFlight->dumpTo(Fd);
+      ::close(Fd);
+    }
+  }
+  ::raise(Signal);
+}
 
 } // namespace
 
@@ -98,8 +145,44 @@ int main(int ArgCount, char **Args) {
       "engine-side fault spec (repeatable)");
   Cli.u64Option("--drain-budget-ms", "MS", Options.DrainBudgetMs,
                 "graceful-drain budget before stragglers are cancelled");
+  std::string LogFile;
+  std::string CrashFile;
+  Cli.option(
+      "--trace-sample-rate", "R",
+      [&](const char *V) {
+        char *End = nullptr;
+        double Rate = std::strtod(V, &End);
+        if (End == V || *End || Rate < 0.0 || Rate > 1.0)
+          return false;
+        Options.TraceSampleRate = Rate;
+        return true;
+      },
+      "head-sampling probability for request traces (0..1)");
+  Cli.option(
+      "--log-level", "NAME",
+      [](const char *V) {
+        obs::LogLevel Level;
+        if (!obs::logLevelFromName(V, Level))
+          return false;
+        obs::setLogLevel(Level);
+        return true;
+      },
+      "structured-log threshold (debug|info|warn|error|off)");
+  Cli.stringOption("--log-file", "PATH", LogFile,
+                   "append JSON log lines to PATH instead of stderr");
+  Cli.stringOption("--crash-file", "PATH", CrashFile,
+                   "flight-recorder dump on SIGSEGV/SIGABRT");
   if (!Cli.parse(ArgCount, Args))
     return 2;
+
+  if (!LogFile.empty()) {
+    support::Status Sink = obs::setLogSinkPath(LogFile);
+    if (!Sink.ok()) {
+      std::fprintf(stderr, "error: --log-file: %s\n",
+                   Sink.describe().c_str());
+      return 2;
+    }
+  }
 
   Options.QueueCapacity = QueueCapacity;
   Options.Tenant.MaxInFlight = Quota;
@@ -127,11 +210,27 @@ int main(int ArgCount, char **Args) {
       Out.push_back({"engine.leases_in_flight", "",
                      obs::MetricSample::Kind::Gauge,
                      static_cast<int64_t>(Live.LeasesInFlight)});
+      // Structured-log throughput, one counter per level, so
+      // barracuda-top can chart the log rate next to the engine series.
+      for (obs::LogLevel Level :
+           {obs::LogLevel::Debug, obs::LogLevel::Info, obs::LogLevel::Warn,
+            obs::LogLevel::Error})
+        Out.push_back({"obs.log.lines",
+                       std::string("level=\"") + obs::logLevelName(Level) +
+                           "\"",
+                       obs::MetricSample::Kind::Counter,
+                       static_cast<int64_t>(obs::logLinesEmitted(Level))});
+      Out.push_back({"obs.log.dropped", "",
+                     obs::MetricSample::Kind::Counter,
+                     static_cast<int64_t>(obs::logLinesDropped())});
     });
     support::Status Started = Exporter->start();
     if (!Started.ok())
       std::fprintf(stderr, "warning: metrics exporter: %s\n",
                    Started.describe().c_str());
+    // Let drain() stop the sampler before answering "stopped": no
+    // snapshot may be written after the daemon reports itself drained.
+    Server.attachExporter(Exporter.get());
   }
 
   support::Status Started = Server.start();
@@ -144,6 +243,22 @@ int main(int ArgCount, char **Args) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+
+  // Black-box crash dump: if the daemon dies on SIGSEGV/SIGABRT, flush
+  // the engine's flight-recorder rings to a file before the default
+  // disposition kills the process.
+  if (CrashFile.empty())
+    CrashFile = Server.socketPath() + ".crash";
+  if (CrashFile.size() < sizeof(CrashPath)) {
+    std::memcpy(CrashPath, CrashFile.c_str(), CrashFile.size() + 1);
+    CrashFlight = &Server.engine().flight();
+    struct sigaction Action {};
+    Action.sa_handler = onCrash;
+    Action.sa_flags = SA_RESETHAND;
+    sigemptyset(&Action.sa_mask);
+    sigaction(SIGSEGV, &Action, nullptr);
+    sigaction(SIGABRT, &Action, nullptr);
+  }
 
   // Wait for a shutdown frame or a signal. A shutdown frame is an
   // explicit client request and stops immediately; a signal drains

@@ -11,6 +11,13 @@
 //     --interval MS        refresh period (default: 1000)
 //     --once               render a single frame and exit (scripting)
 //     --frames N           exit after N frames (0 = until interrupted)
+//     --log PATH           also tail the structured JSON log at PATH and
+//                          render a "recent errors" pane (warn/error
+//                          lines, newest last)
+//
+// When the exposition carries obs.log.lines counters (barracuda-serve
+// --metrics-out exports them), a log-rate line shows lines/s per level
+// plus the rate-limiter's drop counter.
 //
 // The viewer only ever reads the stable latest file (barracuda.prom);
 // the exporter's atomic-rename protocol guarantees every read sees a
@@ -114,6 +121,70 @@ bool hasSeries(const std::vector<Series> &All, const char *Name) {
   return false;
 }
 
+/// Last-frame obs.log.lines counters, for the lines/s derivation.
+struct LogRateState {
+  std::map<std::string, double> Last; ///< level -> counter value
+  bool Primed = false;
+};
+
+/// Renders the log-rate line from obs.log.lines{level=...} counters (a
+/// rate over the previous frame) when the exposition carries them.
+void renderLogRate(const std::vector<Series> &All, LogRateState &State,
+                   double IntervalSeconds) {
+  std::map<std::string, double> Now;
+  for (const Series &S : All)
+    if (S.Name == "barracuda_obs_log_lines")
+      Now[labelValue(S.Labels, "level")] = S.Value;
+  if (Now.empty())
+    return;
+  std::string Parts;
+  for (const auto &[Level, Count] : Now) {
+    double Rate = 0;
+    if (State.Primed && IntervalSeconds > 0) {
+      auto It = State.Last.find(Level);
+      if (It != State.Last.end() && Count >= It->second)
+        Rate = (Count - It->second) / IntervalSeconds;
+    }
+    Parts += support::formatString("%s%s %.0f/s", Parts.empty() ? "" : "  ",
+                                   Level.c_str(), Rate);
+  }
+  double Dropped = findValue(All, "barracuda_obs_log_dropped");
+  std::printf("  log rate  %s   dropped %.0f\n", Parts.c_str(), Dropped);
+  State.Last = std::move(Now);
+  State.Primed = true;
+}
+
+/// Tails \p LogPath and renders the newest warn/error JSON lines. The
+/// lines are already structured, so the pane shows them almost raw —
+/// only the timestamp is dropped to fit the terminal width.
+void renderRecentErrors(const std::string &LogPath, size_t MaxLines) {
+  std::ifstream In(LogPath);
+  if (!In)
+    return;
+  std::vector<std::string> Recent;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.find("\"level\":\"warn\"") == std::string::npos &&
+        Line.find("\"level\":\"error\"") == std::string::npos)
+      continue;
+    Recent.push_back(std::move(Line));
+    if (Recent.size() > MaxLines)
+      Recent.erase(Recent.begin());
+  }
+  if (Recent.empty())
+    return;
+  std::printf("  recent errors (%s):\n", LogPath.c_str());
+  for (const std::string &Entry : Recent) {
+    // Drop the leading {"ts":NNN, prefix; the rest is the readable part.
+    size_t Start = Entry.find("\"level\"");
+    std::string Shown =
+        Start == std::string::npos ? Entry : "{" + Entry.substr(Start);
+    if (Shown.size() > 110)
+      Shown = Shown.substr(0, 107) + "...";
+    std::printf("    %s\n", Shown.c_str());
+  }
+}
+
 void renderFrame(const std::string &Path, const std::vector<Series> &All,
                  uint64_t Frame) {
   std::printf("barracuda-top — %s (frame %llu)\n", Path.c_str(),
@@ -181,11 +252,14 @@ int main(int ArgCount, char **Args) {
   unsigned IntervalMs = 1000, Frames = 0;
   bool Once = false;
 
+  std::string LogPath;
   support::cli::Parser Cli("barracuda-top", "DIR");
   Cli.uintOption("--interval", "MS", IntervalMs, "refresh period (ms)");
   Cli.flag("--once", Once, "render a single frame and exit");
   Cli.uintOption("--frames", "N", Frames,
                  "exit after N frames (0 = until interrupted)");
+  Cli.stringOption("--log", "PATH", LogPath,
+                   "tail the structured JSON log for the errors pane");
   if (!Cli.parse(ArgCount, Args))
     return 2;
   std::string Path = Cli.positional() + "/barracuda.prom";
@@ -197,6 +271,7 @@ int main(int ArgCount, char **Args) {
   bool Tty = BARRACUDA_ISATTY(BARRACUDA_FILENO(stdout)) != 0;
   uint64_t Frame = 0;
   std::vector<Series> All;
+  LogRateState LogRate;
   while (true) {
     std::ifstream In(Path);
     if (!In) {
@@ -217,6 +292,9 @@ int main(int ArgCount, char **Args) {
     if (Tty && Frames != 1)
       std::fputs("\x1b[2J\x1b[H", stdout); // clear + home
     renderFrame(Path, All, Frame);
+    renderLogRate(All, LogRate, IntervalMs / 1000.0);
+    if (!LogPath.empty())
+      renderRecentErrors(LogPath, 5);
     std::fflush(stdout);
     if (Frames != 0 && Frame >= Frames)
       break;
